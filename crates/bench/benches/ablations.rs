@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - SPARQL BGP greedy join reordering vs. author order;
+//! - reasoner schema-closure materialization on vs. off;
+//! - explanation-pipeline cost split: assemble vs. materialize vs. query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use feo_bench::synthetic_fixture;
+use feo_core::ecosystem::{assemble, assert_question};
+use feo_core::{queries, Question};
+use feo_ontology::ns::sparql_prologue;
+use feo_owl::{Reasoner, ReasonerOptions};
+use feo_sparql::{query_with, ExecOptions};
+
+fn bench_bgp_reordering(c: &mut Criterion) {
+    let (kg, user, ctx) = synthetic_fixture(200);
+    let mut g = assemble(&kg, &user, &ctx);
+    Reasoner::new().materialize(&mut g);
+
+    // Written so author order hits a cartesian product: the first two
+    // patterns share no variable, and only the third connects them. The
+    // greedy reorderer picks the connecting pattern second instead.
+    let q = format!(
+        "{}SELECT ?r ?i ?s WHERE {{\n\
+           ?r food:calories ?c .\n\
+           ?i food:availableInSeason ?s .\n\
+           ?r food:hasIngredient ?i .\n\
+           FILTER (?c > 700) .\n\
+         }}",
+        sparql_prologue()
+    );
+
+    let mut group = c.benchmark_group("ablation_bgp_reorder");
+    group.sample_size(20);
+    for (label, reorder) in [("greedy_reorder", true), ("author_order", false)] {
+        let opts = ExecOptions { reorder_bgp: reorder };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(query_with(&mut g, &q, &opts).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schema_closure(c: &mut Criterion) {
+    let (kg, user, ctx) = synthetic_fixture(200);
+    let base = assemble(&kg, &user, &ctx);
+    let mut group = c.benchmark_group("ablation_schema_closure");
+    group.sample_size(10);
+    for (label, closure) in [("with_closure", true), ("without_closure", false)] {
+        let opts = ReasonerOptions {
+            materialize_schema_closure: closure,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut g = base.clone();
+                black_box(Reasoner::with_options(opts.clone()).materialize(&mut g))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_phases(c: &mut Criterion) {
+    let (kg, user, ctx) = synthetic_fixture(200);
+    let mut group = c.benchmark_group("ablation_pipeline_phases");
+    group.sample_size(10);
+
+    group.bench_function("phase1_assemble", |b| {
+        b.iter(|| black_box(assemble(&kg, &user, &ctx)))
+    });
+
+    let assembled = assemble(&kg, &user, &ctx);
+    group.bench_function("phase2_materialize", |b| {
+        b.iter(|| {
+            let mut g = assembled.clone();
+            black_box(Reasoner::new().materialize(&mut g))
+        })
+    });
+
+    let question = Question::WhyEat {
+        food: kg.recipes[1].id.clone(),
+    };
+    let mut materialized = assembled.clone();
+    assert_question(&question, &mut materialized);
+    Reasoner::new().materialize(&mut materialized);
+    let q = queries::contextual_query(&question);
+    group.bench_function("phase3_query", |b| {
+        b.iter(|| {
+            black_box(
+                query_with(&mut materialized, &q, &ExecOptions::default()).expect("runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_derivation_tracking(c: &mut Criterion) {
+    // The cost of Pellet-style proof recording.
+    let (kg, user, ctx) = synthetic_fixture(200);
+    let base = assemble(&kg, &user, &ctx);
+    let mut group = c.benchmark_group("ablation_derivation_tracking");
+    group.sample_size(10);
+    for (label, track) in [("untracked", false), ("tracked", true)] {
+        let opts = ReasonerOptions {
+            track_derivations: track,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut g = base.clone();
+                black_box(Reasoner::with_options(opts.clone()).materialize(&mut g))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bgp_reordering,
+    bench_schema_closure,
+    bench_pipeline_phases,
+    bench_derivation_tracking
+);
+criterion_main!(benches);

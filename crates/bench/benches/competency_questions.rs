@@ -1,0 +1,74 @@
+//! Benchmarks for the three paper competency questions (Listings 1–3):
+//! end-to-end explanation latency and the SPARQL-query-only latency over
+//! a pre-materialized graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use feo_core::ecosystem::{assemble, assert_question};
+use feo_core::{queries, scenario_a, scenario_b, scenario_c};
+use feo_owl::Reasoner;
+use feo_sparql::query;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_end_to_end");
+    group.sample_size(10);
+    for scenario in [scenario_a(), scenario_b(), scenario_c()] {
+        let label = scenario.name.split(' ').next().unwrap_or("cq").to_string();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut engine = scenario.engine().expect("consistent");
+                black_box(engine.explain(&scenario.question).expect("explained"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_query_only");
+    // Pre-materialize one graph per scenario with the question asserted.
+    let prepared: Vec<(String, feo_rdf::Graph, String)> = [scenario_a(), scenario_b(), scenario_c()]
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut g = assemble(&s.kg(), &s.user, &s.context);
+            assert_question(&s.question, &mut g);
+            Reasoner::new().materialize(&mut g);
+            let q = match i {
+                0 => queries::contextual_query(&s.question),
+                1 => queries::contrastive_query(&s.question),
+                _ => queries::counterfactual_query(feo_ontology::ns::feo::PREGNANCY_STATE),
+            };
+            (format!("CQ{}", i + 1), g, q)
+        })
+        .collect();
+    for (label, g, q) in prepared {
+        let mut g = g;
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(query(&mut g, &q).expect("query runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_materialization");
+    group.sample_size(10);
+    let s = scenario_b();
+    group.bench_function("assemble_and_materialize_curated", |b| {
+        b.iter(|| {
+            let mut g = assemble(&s.kg(), &s.user, &s.context);
+            black_box(Reasoner::new().materialize(&mut g))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_query_only,
+    bench_materialization
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Per-explanation-type latency over the curated KG — Table I answered
+//! live, one bench per row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use feo_bench::full_engine;
+use feo_core::{Hypothesis, Question};
+
+fn bench_each_type(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explanation_types");
+    group.sample_size(10);
+    let questions: Vec<(&str, Question)> = vec![
+        ("contextual", Question::WhyEat { food: "CauliflowerPotatoCurry".into() }),
+        (
+            "contrastive",
+            Question::WhyEatOver {
+                preferred: "ButternutSquashSoup".into(),
+                alternative: "BroccoliCheddarSoup".into(),
+            },
+        ),
+        ("counterfactual", Question::WhatIf { hypothesis: Hypothesis::Pregnant }),
+        ("case_based", Question::WhatOtherUsers { food: "LentilSoup".into() }),
+        ("everyday", Question::WhyGenerally { food: "CauliflowerPotatoCurry".into() }),
+        ("scientific", Question::WhatLiterature { food: "SpinachFrittata".into() }),
+        ("simulation", Question::WhatIfEatenDaily { food: "MargheritaPizza".into() }),
+        ("statistical", Question::WhatEvidenceForDiet { diet: "Vegetarian".into() }),
+        ("trace_based", Question::WhatSteps { food: "ButternutSquashSoup".into() }),
+    ];
+    // One shared engine: explain() is idempotent per question, and this
+    // measures the steady-state cost an application would see.
+    let mut engine = full_engine();
+    for (label, q) in questions {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.explain(&q).expect("explained")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_each_type);
+criterion_main!(benches);

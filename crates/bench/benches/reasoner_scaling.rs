@@ -1,0 +1,51 @@
+//! Reasoner materialization time as the synthetic FoodKG grows — the
+//! systems-level scaling characterization of the Pellet substitute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use feo_bench::synthetic_fixture;
+use feo_core::ecosystem::assemble;
+use feo_owl::Reasoner;
+
+fn bench_materialization_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reasoner_scaling");
+    group.sample_size(10);
+    for recipes in [50usize, 100, 200, 400] {
+        let (kg, user, ctx) = synthetic_fixture(recipes);
+        let base = assemble(&kg, &user, &ctx);
+        group.throughput(Throughput::Elements(base.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(recipes),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    let mut g = base.clone();
+                    black_box(Reasoner::new().materialize(&mut g))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rematerialization_idempotent(c: &mut Criterion) {
+    // Re-running on an already-materialized graph: the engine does this
+    // after each question assertion, so its cost matters.
+    let mut group = c.benchmark_group("reasoner_rematerialize");
+    group.sample_size(10);
+    let (kg, user, ctx) = synthetic_fixture(200);
+    let mut g = assemble(&kg, &user, &ctx);
+    Reasoner::new().materialize(&mut g);
+    group.bench_function("noop_fixpoint_200_recipes", |b| {
+        b.iter(|| black_box(Reasoner::new().materialize(&mut g)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_materialization_scaling,
+    bench_rematerialization_idempotent
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! SPARQL query latency as the knowledge graph grows: the contextual
+//! competency query, a subclass property-path query, and an aggregate
+//! query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use feo_bench::synthetic_fixture;
+use feo_core::ecosystem::{assemble, assert_question};
+use feo_core::{queries, Question};
+use feo_ontology::ns::sparql_prologue;
+use feo_owl::Reasoner;
+use feo_sparql::query;
+
+fn prepared(recipes: usize) -> (feo_rdf::Graph, String) {
+    let (kg, user, ctx) = synthetic_fixture(recipes);
+    let mut g = assemble(&kg, &user, &ctx);
+    let question = Question::WhyEat {
+        food: kg.recipes[1].id.clone(),
+    };
+    assert_question(&question, &mut g);
+    Reasoner::new().materialize(&mut g);
+    (g, queries::contextual_query(&question))
+}
+
+fn bench_cq1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparql_cq1_scaling");
+    for recipes in [50usize, 100, 200, 400] {
+        let (mut g, q) = prepared(recipes);
+        group.bench_with_input(BenchmarkId::from_parameter(recipes), &recipes, |b, _| {
+            b.iter(|| black_box(query(&mut g, &q).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparql_operators");
+    let (mut g, _) = prepared(200);
+    let path_q = format!(
+        "{}SELECT ?c WHERE {{ ?c (rdfs:subClassOf+) feo:Characteristic }}",
+        sparql_prologue()
+    );
+    group.bench_function("subclass_path_plus", |b| {
+        b.iter(|| black_box(query(&mut g, &path_q).expect("runs")))
+    });
+
+    let agg_q = format!(
+        "{}SELECT ?r (COUNT(?i) AS ?n) WHERE {{ ?r food:hasIngredient ?i }} \
+         GROUP BY ?r ORDER BY DESC(?n) LIMIT 10",
+        sparql_prologue()
+    );
+    group.bench_function("group_by_count", |b| {
+        b.iter(|| black_box(query(&mut g, &agg_q).expect("runs")))
+    });
+
+    let filter_q = format!(
+        "{}SELECT ?r WHERE {{ ?r food:calories ?c . FILTER (?c > 400) \
+         FILTER NOT EXISTS {{ ?r food:hasIngredient ?i . ?i food:belongsToCategory feo:Meat }} }}",
+        sparql_prologue()
+    );
+    group.bench_function("filter_not_exists", |b| {
+        b.iter(|| black_box(query(&mut g, &filter_q).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cq1_scaling, bench_path_query);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Micro-benchmarks for the substrates built for this reproduction:
+//! Turtle parsing, graph insertion/pattern matching, the recommender,
+//! and the regex-lite engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use feo_bench::{autumn_ctx, rich_user, synthetic_fixture};
+use feo_foodkg::{curated, kg_to_rdf};
+use feo_rdf::turtle::{parse_turtle, parse_turtle_into, write_turtle};
+use feo_rdf::Graph;
+use feo_recommender::{GroupCoach, HealthCoach, PopularityRecommender, Recommender};
+use feo_sparql::regexlite::Regex;
+
+fn turtle_fixture() -> String {
+    let kg = curated();
+    let mut g = Graph::new();
+    kg_to_rdf(&kg, &mut g);
+    write_turtle(&g, feo_ontology::ns::PREFIXES)
+}
+
+fn bench_turtle(c: &mut Criterion) {
+    let doc = turtle_fixture();
+    let triples = parse_turtle(&doc).expect("parses").len();
+    let mut group = c.benchmark_group("turtle");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function(format!("parse_{triples}_triples"), |b| {
+        b.iter(|| black_box(parse_turtle(&doc).expect("parses")))
+    });
+    group.bench_function("parse_into_graph", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            parse_turtle_into(&doc, &mut g).expect("parses");
+            black_box(g)
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let (kg, ..) = synthetic_fixture(200);
+    let mut g = Graph::new();
+    kg_to_rdf(&kg, &mut g);
+    let mut group = c.benchmark_group("graph");
+    group.throughput(Throughput::Elements(g.len() as u64));
+
+    group.bench_function("full_scan", |b| {
+        b.iter(|| black_box(g.iter_ids().count()))
+    });
+    let has_ing = g
+        .lookup_iri(feo_ontology::ns::food::HAS_INGREDIENT)
+        .expect("present");
+    group.bench_function("predicate_scan", |b| {
+        b.iter(|| black_box(g.match_pattern(None, Some(has_ing), None).len()))
+    });
+    group.bench_function("clone_graph", |b| b.iter(|| black_box(g.clone())));
+    group.finish();
+}
+
+fn bench_recommender(c: &mut Criterion) {
+    let kg = curated();
+    let user = rich_user();
+    let ctx = autumn_ctx();
+    let coach = HealthCoach::new(&kg);
+    let population = feo_foodkg::random_profiles(&kg, 200, 11);
+    let baseline = PopularityRecommender::from_population(&kg, &population);
+
+    let mut group = c.benchmark_group("recommender");
+    group.bench_function("health_coach_top10", |b| {
+        b.iter(|| black_box(coach.recommend(&user, &ctx, 10)))
+    });
+    group.bench_function("popularity_baseline_top10", |b| {
+        b.iter(|| black_box(baseline.recommend(&user, &ctx, 10)))
+    });
+    let family = feo_foodkg::random_profiles(&kg, 4, 23);
+    let group_coach = GroupCoach::new(&kg);
+    group.bench_function("group_coach_4_members_top10", |b| {
+        b.iter(|| black_box(group_coach.recommend(&family, &ctx, 10)))
+    });
+    group.finish();
+}
+
+fn bench_regexlite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regexlite");
+    let re = Regex::new("^Cauliflower.*Curry$", "").expect("compiles");
+    group.bench_function("anchored_match", |b| {
+        b.iter(|| black_box(re.is_match("CauliflowerPotatoCurry")))
+    });
+    let re = Regex::new("(soup|salad|bowl)", "i").expect("compiles");
+    let haystack = "KaleQuinoaBowl ButternutSquashSoup GrilledChickenSalad".repeat(10);
+    group.bench_function("alternation_scan", |b| {
+        b.iter(|| black_box(re.is_match(&haystack)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_turtle,
+    bench_graph_ops,
+    bench_recommender,
+    bench_regexlite
+);
+criterion_main!(benches);

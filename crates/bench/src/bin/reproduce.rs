@@ -1,0 +1,193 @@
+//! Regenerates every table and figure of the paper from the live system.
+//!
+//! ```text
+//! cargo run -p feo-bench --bin reproduce            # everything
+//! cargo run -p feo-bench --bin reproduce -- cq1     # one artifact
+//! ```
+//!
+//! Artifacts: `table1`, `cq1`, `cq2`, `cq3`, `fig1`, `fig2`, `fig3`,
+//! `fig4`, `all` (default).
+
+use feo_core::{
+    competency, figure3_matrix, scenario_a, ExplanationEngine, Population, Question,
+};
+use feo_foodkg::{curated, Season, SystemContext, UserProfile};
+use feo_ontology::report::{characteristic_tree, property_lattice};
+use feo_recommender::{HealthCoach, Recommender};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match which.as_str() {
+        "table1" => table1(),
+        "cq1" => cq(0),
+        "cq2" => cq(1),
+        "cq3" => cq(2),
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "all" => {
+            table1();
+            cq(0);
+            cq(1);
+            cq(2);
+            fig1();
+            fig2();
+            fig3();
+            fig4();
+        }
+        other => {
+            eprintln!("unknown artifact '{other}'");
+            eprintln!("expected: table1 | cq1 | cq2 | cq3 | fig1 | fig2 | fig3 | fig4 | all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+/// Table I — explanation types × example questions, answered live.
+fn table1() {
+    header("Table I: explanation types and example food questions (answered by the engine)");
+    let kg = curated();
+    let user = UserProfile::new("user")
+        .likes(&["BroccoliCheddarSoup", "LentilSoup"])
+        .allergies(&["Broccoli"])
+        .diet("Vegetarian")
+        .goals(&["HighFiberGoal"]);
+    let ctx = SystemContext::new(Season::Autumn).region("Florida");
+    let coach = HealthCoach::new(&kg);
+    let recs = coach.recommend(&user, &ctx, 10);
+    let population = Population::generate(&kg, 150, 42);
+    let mut engine = ExplanationEngine::new(curated(), user, ctx)
+        .expect("consistent")
+        .with_population(population)
+        .with_recommendations(recs);
+
+    let rows: Vec<Question> = vec![
+        Question::WhatOtherUsers { food: "LentilSoup".into() },
+        Question::WhyEat { food: "CauliflowerPotatoCurry".into() },
+        Question::WhyEatOver {
+            preferred: "ButternutSquashSoup".into(),
+            alternative: "BroccoliCheddarSoup".into(),
+        },
+        Question::WhatIf { hypothesis: feo_core::Hypothesis::Pregnant },
+        Question::WhyGenerally { food: "CauliflowerPotatoCurry".into() },
+        Question::WhatLiterature { food: "SpinachFrittata".into() },
+        Question::WhatIfEatenDaily { food: "MargheritaPizza".into() },
+        Question::WhatEvidenceForDiet { diet: "Vegetarian".into() },
+        Question::WhatSteps { food: "ButternutSquashSoup".into() },
+    ];
+    for q in rows {
+        let e = engine.explain(&q).expect("explained");
+        println!("{:<32} | {}", e.explanation_type.label(), q.text());
+        println!("{:<32} |   -> {}", "", truncate(&e.answer, 110));
+    }
+}
+
+/// CQ1–CQ3 — the paper's Listings 1–3 with expected-vs-measured check.
+fn cq(index: usize) {
+    let outcomes = competency::all().expect("competency questions run");
+    let o = &outcomes[index];
+    header(&format!("Listing {}: {}", index + 1, o.scenario.name));
+    println!("Setup:    {}", o.scenario.setup);
+    println!("Question: {}", o.scenario.question.text());
+    println!("\nQuery result:\n{}", o.bindings);
+    println!("Engine answer: {}", o.answer);
+    println!("Paper answer:  {}", o.scenario.paper_answer);
+    println!(
+        "\nExpected rows found: {} | extra rows beyond the paper's table: {}",
+        if o.expected_found { "YES" } else { "NO" },
+        o.extra_rows
+    );
+}
+
+/// Figure 1 — the feo:Characteristic subclass tree, read from the TBox.
+fn fig1() {
+    header("Figure 1: subclasses of feo:Characteristic");
+    let g = feo_ontology::schema::tbox_graph();
+    let tree = characteristic_tree(&g).expect("root class exists");
+    print!("{}", tree.render());
+}
+
+/// Figure 2 — the property lattice.
+fn fig2() {
+    header("Figure 2: property relationships (super-properties, inverses, chains)");
+    let g = feo_ontology::schema::tbox_graph();
+    for p in property_lattice(&g) {
+        let mut notes = Vec::new();
+        if !p.super_properties.is_empty() {
+            notes.push(format!("subPropertyOf {}", p.super_properties.join(", ")));
+        }
+        if !p.inverse_of.is_empty() {
+            notes.push(format!("inverseOf {}", p.inverse_of.join(", ")));
+        }
+        if p.transitive {
+            notes.push("transitive".to_string());
+        }
+        for c in &p.chains {
+            notes.push(format!("chain: {}", c.join(" o ")));
+        }
+        println!("{:<34} {}", p.local, notes.join(" | "));
+    }
+}
+
+/// Figure 3 — the fact/foil matrix, classified by the reasoner.
+fn fig3() {
+    header("Figure 3: facts and foils (classified live by the reasoner)");
+    print!("{}", feo_core::factfoil::render_figure3(&figure3_matrix()));
+}
+
+/// Figure 4 — the CQ1 ontology neighborhood after reasoning.
+fn fig4() {
+    header("Figure 4: ontology subsection for CQ1 after reasoning");
+    let s = scenario_a();
+    let mut engine = s.engine().expect("consistent");
+    let e = engine.explain(&s.question).expect("explained");
+    let g = engine.graph();
+
+    let focus = [
+        "CauliflowerPotatoCurry",
+        "Cauliflower",
+        "Autumn",
+        "WhyEatCauliflowerPotatoCurry",
+    ];
+    let interesting = [
+        "type",
+        "hasParameter",
+        "hasCharacteristic",
+        "hasIngredient",
+        "availableInSeason",
+        "isSupportiveCharacteristicOf",
+        "presentIn",
+    ];
+    for name in focus {
+        let iri = feo_foodkg::FoodKg::iri(name);
+        let Some(id) = g.lookup_iri(&iri) else { continue };
+        for [_, p, o] in g.match_pattern(Some(id), None, None) {
+            let p_name = g.term_name(p);
+            if interesting.contains(&p_name.as_str()) {
+                let o_name = g.term_name(o);
+                // Skip bnodes and noisy upper-level types.
+                if o_name.starts_with("_:")
+                    || ["Resource", "Thing", "NamedIndividual"].contains(&o_name.as_str())
+                {
+                    continue;
+                }
+                println!("{name} --{p_name}--> {o_name}");
+            }
+        }
+    }
+    println!("\n(answer derived from this subsection: {})", e.answer);
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n).collect();
+        format!("{cut}…")
+    }
+}

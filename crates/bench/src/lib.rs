@@ -1,0 +1,58 @@
+//! # feo-bench
+//!
+//! Benchmark harness: the `reproduce` binary regenerates every table and
+//! figure of the paper (Table I, Listings 1–3, Figures 1–4), and the
+//! Criterion benches characterize the substrates (reasoner
+//! materialization scaling, SPARQL competency-query latency,
+//! per-explanation-type latency, parser/recommender throughput).
+//!
+//! Shared fixture helpers live here so benches and the binary agree on
+//! the scenarios.
+
+use feo_core::{ExplanationEngine, Population};
+use feo_foodkg::{curated, synthetic, FoodKg, Season, SyntheticConfig, SystemContext, UserProfile};
+use feo_recommender::{HealthCoach, Recommender};
+
+/// The standard rich-user fixture used across benches.
+pub fn rich_user() -> UserProfile {
+    UserProfile::new("user")
+        .likes(&["BroccoliCheddarSoup", "LentilSoup"])
+        .allergies(&["Broccoli"])
+        .diet("Vegetarian")
+        .goals(&["HighFiberGoal"])
+}
+
+/// Autumn/Florida context (the paper's setting).
+pub fn autumn_ctx() -> SystemContext {
+    SystemContext::new(Season::Autumn).region("Florida")
+}
+
+/// A fully-equipped engine over the curated KG (population +
+/// recommendations attached), for the explanation-type benches.
+pub fn full_engine() -> ExplanationEngine {
+    let kg = curated();
+    let user = rich_user();
+    let ctx = autumn_ctx();
+    let coach_kg = curated();
+    let coach = HealthCoach::new(&coach_kg);
+    let recs = coach.recommend(&user, &ctx, 10);
+    let population = Population::generate(&kg, 150, 42);
+    ExplanationEngine::new(kg, user, ctx)
+        .expect("consistent")
+        .with_population(population)
+        .with_recommendations(recs)
+}
+
+/// Synthetic KG at a given recipe scale, with a user wired to entities
+/// that exist in it.
+pub fn synthetic_fixture(recipes: usize) -> (FoodKg, UserProfile, SystemContext) {
+    let kg = synthetic(&SyntheticConfig {
+        recipes,
+        ingredients: recipes / 2 + 25,
+        ..Default::default()
+    });
+    let user = UserProfile::new("u")
+        .likes(&[&kg.recipes[0].id])
+        .allergies(&[&kg.ingredients[0].id]);
+    (kg, user, SystemContext::new(Season::Autumn))
+}

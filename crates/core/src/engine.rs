@@ -1,0 +1,720 @@
+//! The explanation engine — the paper's pipeline end to end.
+//!
+//! [`ExplanationEngine::new`] assembles the reasoning graph (TBoxes +
+//! FoodKG + user + system context + knowledge records), runs the
+//! materializing reasoner, and keeps the inferred graph. Each
+//! [`ExplanationEngine::explain`] call asserts the question individual,
+//! re-closes the graph, evaluates the explanation type's SPARQL template,
+//! and renders the answer — the exact §IV reasoning-then-querying
+//! workflow.
+
+use feo_foodkg::{FoodKg, Season, SystemContext, UserProfile};
+use feo_ontology::ns::feo;
+use feo_owl::{InferenceResult, Reasoner, ReasonerOptions};
+use feo_rdf::Graph;
+use feo_recommender::{RecommendationSet, TraceStep};
+use feo_sparql::{query, SolutionTable, SparqlError};
+
+use crate::ecosystem::{apply_hypothesis, assemble, assert_question};
+use crate::explanation::{humanize, Explanation};
+use crate::knowledge::{records_to_rdf, Population, EVERYDAY_RECORD, SCIENTIFIC_RECORD};
+use crate::queries;
+use crate::question::{ExplanationType, Hypothesis, Question};
+
+/// Errors raised by the explanation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The assembled ontology is inconsistent.
+    Inconsistent(Vec<String>),
+    /// A SPARQL template failed (indicates an engine bug, surfaced rather
+    /// than swallowed).
+    Sparql(String),
+    /// The question references an entity the KG does not know.
+    UnknownEntity(String),
+    /// Trace-based explanation requested without recommender output.
+    MissingRecommendations,
+    /// Case-based/statistical explanation requested without a reference
+    /// population.
+    MissingPopulation,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Inconsistent(details) => {
+                write!(f, "ontology inconsistent: {}", details.join("; "))
+            }
+            EngineError::Sparql(e) => write!(f, "competency query failed: {e}"),
+            EngineError::UnknownEntity(e) => write!(f, "unknown entity: {e}"),
+            EngineError::MissingRecommendations => {
+                write!(f, "trace-based explanations need recommender output")
+            }
+            EngineError::MissingPopulation => {
+                write!(f, "case-based/statistical explanations need a reference population")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SparqlError> for EngineError {
+    fn from(e: SparqlError) -> Self {
+        EngineError::Sparql(e.to_string())
+    }
+}
+
+/// The FEO explanation engine.
+pub struct ExplanationEngine {
+    kg: FoodKg,
+    user: UserProfile,
+    ctx: SystemContext,
+    graph: Graph,
+    inference: InferenceResult,
+    population: Option<Population>,
+    recommendations: Option<RecommendationSet>,
+    track_proofs: bool,
+}
+
+impl ExplanationEngine {
+    /// Assembles and materializes the reasoning graph.
+    pub fn new(kg: FoodKg, user: UserProfile, ctx: SystemContext) -> Result<Self, EngineError> {
+        Self::build(kg, user, ctx, false)
+    }
+
+    /// Like [`ExplanationEngine::new`], but the reasoner tracks
+    /// derivations so [`ExplanationEngine::proof_of_type`] can render
+    /// Pellet-style proof trees for inferred classifications.
+    pub fn new_with_proofs(
+        kg: FoodKg,
+        user: UserProfile,
+        ctx: SystemContext,
+    ) -> Result<Self, EngineError> {
+        Self::build(kg, user, ctx, true)
+    }
+
+    fn build(
+        kg: FoodKg,
+        user: UserProfile,
+        ctx: SystemContext,
+        track_proofs: bool,
+    ) -> Result<Self, EngineError> {
+        let mut graph = assemble(&kg, &user, &ctx);
+        records_to_rdf(&mut graph);
+        let inference = Self::reasoner(track_proofs).materialize(&mut graph);
+        if !inference.is_consistent() {
+            return Err(EngineError::Inconsistent(
+                inference
+                    .inconsistencies
+                    .iter()
+                    .map(|i| i.detail.clone())
+                    .collect(),
+            ));
+        }
+        Ok(ExplanationEngine {
+            kg,
+            user,
+            ctx,
+            graph,
+            inference,
+            population: None,
+            recommendations: None,
+            track_proofs,
+        })
+    }
+
+    fn reasoner(track_proofs: bool) -> Reasoner {
+        Reasoner::with_options(ReasonerOptions {
+            track_derivations: track_proofs,
+            ..Default::default()
+        })
+    }
+
+    /// Renders the reasoner's proof tree for `individual rdf:type class`,
+    /// e.g. why Broccoli was classified an `eo:Foil`. Requires
+    /// [`ExplanationEngine::new_with_proofs`]; returns `None` when the
+    /// typing does not hold or was asserted rather than inferred.
+    pub fn proof_of_type(&self, individual_local: &str, class_iri: &str) -> Option<String> {
+        let ind = self.graph.lookup_iri(&FoodKg::iri(individual_local))?;
+        let ty = self.graph.lookup_iri(feo_rdf::vocab::rdf::TYPE)?;
+        let class = self.graph.lookup_iri(class_iri)?;
+        if !self.graph.contains_ids(ind, ty, class) {
+            return None;
+        }
+        let node = feo_owl::proof(&self.inference, [ind, ty, class]);
+        Some(node.render(&self.graph))
+    }
+
+    /// Adds a reference population (enables case-based and statistical
+    /// explanations).
+    pub fn with_population(mut self, population: Population) -> Self {
+        population.to_rdf(&mut self.graph);
+        self.inference = Self::reasoner(self.track_proofs).materialize(&mut self.graph);
+        self.population = Some(population);
+        self
+    }
+
+    /// Adds recommender output (enables trace-based explanations and the
+    /// recommendation deltas in counterfactuals).
+    pub fn with_recommendations(mut self, set: RecommendationSet) -> Self {
+        self.recommendations = Some(set);
+        self
+    }
+
+    pub fn inference(&self) -> &InferenceResult {
+        &self.inference
+    }
+
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    pub fn kg(&self) -> &FoodKg {
+        &self.kg
+    }
+
+    pub fn user(&self) -> &UserProfile {
+        &self.user
+    }
+
+    pub fn context(&self) -> &SystemContext {
+        &self.ctx
+    }
+
+    /// Answers a question with the matching explanation type.
+    pub fn explain(&mut self, question: &Question) -> Result<Explanation, EngineError> {
+        match question {
+            Question::WhyEat { food } => self.contextual(question, food),
+            Question::WhyEatOver { .. } => self.contrastive(question),
+            Question::WhatIf { hypothesis } => self.counterfactual(question, hypothesis),
+            Question::WhatSteps { food } => self.trace_based(question, food),
+            Question::WhatOtherUsers { food } => self.case_based(question, food),
+            Question::WhyGenerally { food } => {
+                self.knowledge_based(question, food, EVERYDAY_RECORD, ExplanationType::Everyday)
+            }
+            Question::WhatLiterature { food } => self.knowledge_based(
+                question,
+                food,
+                SCIENTIFIC_RECORD,
+                ExplanationType::Scientific,
+            ),
+            Question::WhatIfEatenDaily { food } => self.simulation(question, food),
+            Question::WhatEvidenceForDiet { diet } => self.statistical(question, diet),
+        }
+    }
+
+    fn require_recipe(&self, food: &str) -> Result<(), EngineError> {
+        if self.kg.recipe(food).is_none() && self.kg.ingredient(food).is_none() {
+            return Err(EngineError::UnknownEntity(food.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Asserts the question and re-closes the graph (the reasoner is a
+    /// monotone fixpoint, so re-running on the extended graph is exactly
+    /// the paper's "export with inferred axioms" over the new state).
+    fn assert_and_close(&mut self, question: &Question) {
+        assert_question(question, &mut self.graph);
+        let inference = Self::reasoner(self.track_proofs).materialize(&mut self.graph);
+        if self.track_proofs {
+            // Accumulate derivations across closes (earlier runs' records
+            // remain valid because inference is monotone).
+            let mut merged = std::mem::take(&mut self.inference.derivations);
+            merged.extend(inference.derivations.clone());
+            self.inference = inference;
+            self.inference.derivations = merged;
+        } else {
+            self.inference = inference;
+        }
+    }
+
+    // ---- CQ1: contextual ---------------------------------------------
+
+    fn contextual(&mut self, question: &Question, food: &str) -> Result<Explanation, EngineError> {
+        self.require_recipe(food)?;
+        self.assert_and_close(question);
+        let q = queries::contextual_query(question);
+        let table = query(&mut self.graph, &q)?.expect_solutions();
+
+        let mut statements = Vec::new();
+        for row in table.local_rows() {
+            let (characteristic, class) = (&row[0], &row[1]);
+            statements.push(self.contextual_sentence(food, characteristic, class));
+        }
+        let answer = if statements.is_empty() {
+            format!(
+                "No external context currently supports {}.",
+                humanize(food)
+            )
+        } else {
+            statements.join(" ")
+        };
+        Ok(Explanation {
+            question: question.clone(),
+            explanation_type: ExplanationType::Contextual,
+            bindings: table,
+            statements,
+            answer,
+        })
+    }
+
+    /// Renders one contextual statement, tracing the characteristic back
+    /// through the recipe's ingredients the way the paper's example
+    /// answer does ("uses the ingredient Cauliflower, which is available
+    /// in the current season").
+    fn contextual_sentence(&self, food: &str, characteristic: &str, class: &str) -> String {
+        let food_h = humanize(food);
+        match class {
+            "SeasonCharacteristic" => {
+                // Which ingredient carries the season?
+                let season = Season::ALL
+                    .iter()
+                    .find(|s| s.name() == characteristic)
+                    .copied();
+                let carrier = self.kg.recipe(food).and_then(|r| {
+                    r.ingredients.iter().find(|i| {
+                        self.kg
+                            .ingredient(i)
+                            .zip(season)
+                            .map(|(ing, s)| ing.seasons.contains(&s))
+                            .unwrap_or(false)
+                    })
+                });
+                match carrier {
+                    Some(ing) => format!(
+                        "{food_h} uses the ingredient {}, which is available in the current season ({characteristic}).",
+                        humanize(ing)
+                    ),
+                    None => format!(
+                        "{food_h} is available in the current season ({characteristic})."
+                    ),
+                }
+            }
+            "LocationCharacteristic" => {
+                let carrier = self.kg.recipe(food).and_then(|r| {
+                    r.ingredients.iter().find(|i| {
+                        self.kg
+                            .ingredient(i)
+                            .map(|ing| ing.regions.iter().any(|reg| reg == characteristic))
+                            .unwrap_or(false)
+                    })
+                });
+                match carrier {
+                    Some(ing) => format!(
+                        "{food_h} uses the ingredient {}, which is available in your region ({characteristic}).",
+                        humanize(ing)
+                    ),
+                    None => format!("{food_h} is available in your region ({characteristic})."),
+                }
+            }
+            "BudgetCharacteristic" => {
+                format!("{food_h} fits your budget ({}).", humanize(characteristic))
+            }
+            "TimeCharacteristic" => format!(
+                "{food_h} suits the current time ({}).",
+                humanize(characteristic)
+            ),
+            other => format!(
+                "{food_h} matches your context through {} ({other}).",
+                humanize(characteristic)
+            ),
+        }
+    }
+
+    // ---- CQ2: contrastive ----------------------------------------------
+
+    fn contrastive(&mut self, question: &Question) -> Result<Explanation, EngineError> {
+        let Question::WhyEatOver {
+            preferred,
+            alternative,
+        } = question
+        else {
+            unreachable!("dispatch guarantees the shape");
+        };
+        self.require_recipe(preferred)?;
+        self.require_recipe(alternative)?;
+        self.assert_and_close(question);
+        let q = queries::contrastive_query(question);
+        let table = query(&mut self.graph, &q)?.expect_solutions();
+
+        let mut fact_parts: Vec<String> = Vec::new();
+        let mut foil_parts: Vec<String> = Vec::new();
+        for row in table.local_rows() {
+            let (fact_type, fact, foil_type, foil) = (&row[0], &row[1], &row[2], &row[3]);
+            // Parameter-typed rows are the question parameters themselves
+            // (self-characteristics from preference seeds); their polarity
+            // already surfaces through the Liked/Disliked rows.
+            if fact_type != "Parameter" {
+                let f = self.fact_clause(preferred, fact, fact_type);
+                if !fact_parts.contains(&f) {
+                    fact_parts.push(f);
+                }
+            }
+            if foil_type != "Parameter" {
+                let o = self.foil_clause(alternative, foil, foil_type);
+                if !foil_parts.contains(&o) {
+                    foil_parts.push(o);
+                }
+            }
+        }
+        let mut statements = fact_parts.clone();
+        statements.extend(foil_parts.iter().cloned());
+        let answer = if fact_parts.is_empty() && foil_parts.is_empty() {
+            format!(
+                "No decisive facts or foils distinguish {} from {}.",
+                humanize(preferred),
+                humanize(alternative)
+            )
+        } else {
+            format!(
+                "{} is better than {} because {}.",
+                humanize(preferred),
+                humanize(alternative),
+                fact_parts
+                    .iter()
+                    .chain(foil_parts.iter())
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(", and ")
+            )
+        };
+        Ok(Explanation {
+            question: question.clone(),
+            explanation_type: ExplanationType::Contrastive,
+            bindings: table,
+            statements,
+            answer,
+        })
+    }
+
+    fn fact_clause(&self, preferred: &str, fact: &str, fact_type: &str) -> String {
+        match fact_type {
+            "SeasonCharacteristic" => {
+                format!("{} is currently in season ({fact})", humanize(preferred))
+            }
+            "LocationCharacteristic" => format!(
+                "{} is available in your region ({fact})",
+                humanize(preferred)
+            ),
+            "LikedFoodCharacteristic" => format!("you like {}", humanize(fact)),
+            "NutritionalGoalCharacteristic" => format!(
+                "{} advances your goal ({})",
+                humanize(preferred),
+                humanize(fact)
+            ),
+            "BudgetCharacteristic" => {
+                format!("{} fits your budget", humanize(preferred))
+            }
+            _ => format!(
+                "{} is supported by {} ({})",
+                humanize(preferred),
+                humanize(fact),
+                humanize(fact_type)
+            ),
+        }
+    }
+
+    fn foil_clause(&self, alternative: &str, foil: &str, foil_type: &str) -> String {
+        match foil_type {
+            "AllergicFoodCharacteristic" => format!(
+                "you are allergic to {} in {}",
+                humanize(foil),
+                humanize(alternative)
+            ),
+            "DislikedFoodCharacteristic" => format!("you dislike {}", humanize(foil)),
+            "SeasonCharacteristic" => format!(
+                "{} depends on {}, which is out of season",
+                humanize(alternative),
+                humanize(foil)
+            ),
+            "DietCharacteristic" | "Diet" => format!(
+                "{} conflicts with your {} diet",
+                humanize(alternative),
+                humanize(foil)
+            ),
+            "BudgetCharacteristic" => {
+                format!("{} exceeds your budget", humanize(alternative))
+            }
+            _ => format!(
+                "{} is opposed by {} ({})",
+                humanize(alternative),
+                humanize(foil),
+                humanize(foil_type)
+            ),
+        }
+    }
+
+    // ---- CQ3: counterfactual ---------------------------------------------
+
+    fn counterfactual(
+        &mut self,
+        question: &Question,
+        hypothesis: &Hypothesis,
+    ) -> Result<Explanation, EngineError> {
+        // Counterfactuals reason over a hypothetical world: clone the
+        // graph, apply the hypothesis, re-close, query the clone.
+        let mut world = self.graph.clone();
+        apply_hypothesis(hypothesis, &self.user, &mut world);
+        assert_question(question, &mut world);
+        Reasoner::new().materialize(&mut world);
+
+        let subject_iri = match hypothesis {
+            Hypothesis::Pregnant => feo::PREGNANCY_STATE.to_string(),
+            Hypothesis::FollowedDiet(d) => FoodKg::iri(d),
+            Hypothesis::AllergicTo(i) => FoodKg::iri(i),
+        };
+        let q = queries::counterfactual_query(&subject_iri);
+        let table = query(&mut world, &q)?.expect_solutions();
+
+        let mut forbidden: Vec<String> = Vec::new();
+        let mut suggested: Vec<String> = Vec::new();
+        for row in table.local_rows() {
+            let (property, base, inherited) = (&row[0], &row[1], &row[2]);
+            match property.as_str() {
+                "forbids" => {
+                    let item = humanize(base);
+                    if !forbidden.contains(&item) {
+                        forbidden.push(item);
+                    }
+                }
+                "recommends" => {
+                    let item = if inherited.is_empty() {
+                        humanize(base)
+                    } else {
+                        humanize(inherited)
+                    };
+                    if !suggested.contains(&item) {
+                        suggested.push(item);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut statements = Vec::new();
+        let mut sentences = Vec::new();
+        if !forbidden.is_empty() {
+            let s = format!(
+                "If {}, you would be forbidden from eating {}.",
+                hypothesis.describe(),
+                forbidden.join(", ")
+            );
+            statements.push(s.clone());
+            sentences.push(s);
+        }
+        if !suggested.is_empty() {
+            let s = format!("You would be suggested to eat {}.", suggested.join(", "));
+            statements.push(s.clone());
+            sentences.push(s);
+        }
+        if sentences.is_empty() {
+            sentences.push(format!(
+                "If {}, your recommendations would not change.",
+                hypothesis.describe()
+            ));
+        }
+        Ok(Explanation {
+            question: question.clone(),
+            explanation_type: ExplanationType::Counterfactual,
+            bindings: table,
+            statements,
+            answer: sentences.join(" "),
+        })
+    }
+
+    // ---- trace-based -------------------------------------------------------
+
+    fn trace_based(&mut self, question: &Question, food: &str) -> Result<Explanation, EngineError> {
+        let set = self
+            .recommendations
+            .as_ref()
+            .ok_or(EngineError::MissingRecommendations)?;
+        let mut statements: Vec<String> = Vec::new();
+        if let Some(rec) = set.get(food) {
+            statements.push(format!(
+                "{} was ranked with score {:.2}.",
+                humanize(food),
+                rec.score
+            ));
+            statements.extend(rec.trace.iter().map(TraceStep::to_string));
+        } else if let Some(step) = set.elimination(food) {
+            statements.push(step.to_string());
+        } else {
+            return Err(EngineError::UnknownEntity(food.to_string()));
+        }
+        let answer = format!(
+            "Steps that led to the recommendation of {}: {}",
+            humanize(food),
+            statements.join("; ")
+        );
+        Ok(Explanation {
+            question: question.clone(),
+            explanation_type: ExplanationType::TraceBased,
+            bindings: SolutionTable::default(),
+            statements,
+            answer,
+        })
+    }
+
+    // ---- case-based ---------------------------------------------------------
+
+    fn case_based(&mut self, question: &Question, food: &str) -> Result<Explanation, EngineError> {
+        if self.population.is_none() {
+            return Err(EngineError::MissingPopulation);
+        }
+        self.require_recipe(food)?;
+        let q = queries::case_based_query(&FoodKg::iri(&self.user.id), &FoodKg::iri(food));
+        let table = query(&mut self.graph, &q)?.expect_solutions();
+        let supporters: i64 = table
+            .rows
+            .first()
+            .and_then(|r| r[0].as_ref())
+            .and_then(|t| t.as_literal())
+            .and_then(|l| l.as_integer())
+            .unwrap_or(0);
+        let statements = vec![format!(
+            "{supporters} users who share your diet or goals also like {}.",
+            humanize(food)
+        )];
+        let answer = statements[0].clone();
+        Ok(Explanation {
+            question: question.clone(),
+            explanation_type: ExplanationType::CaseBased,
+            bindings: table,
+            statements,
+            answer,
+        })
+    }
+
+    // ---- everyday & scientific -------------------------------------------
+
+    fn knowledge_based(
+        &mut self,
+        question: &Question,
+        food: &str,
+        record_class: &str,
+        explanation_type: ExplanationType,
+    ) -> Result<Explanation, EngineError> {
+        self.require_recipe(food)?;
+        let q = queries::knowledge_record_query(&FoodKg::iri(food), record_class);
+        let table = query(&mut self.graph, &q)?.expect_solutions();
+        let mut statements = Vec::new();
+        for row in table.local_rows() {
+            let (about, text, source) = (&row[1], &row[2], &row[3]);
+            let s = if source.is_empty() {
+                format!("{} ({}).", text.trim_end_matches('.'), humanize(about))
+            } else {
+                format!("{} [{}]", text, source)
+            };
+            if !statements.contains(&s) {
+                statements.push(s);
+            }
+        }
+        let answer = if statements.is_empty() {
+            format!("No recorded evidence mentions {}.", humanize(food))
+        } else {
+            statements.join(" ")
+        };
+        Ok(Explanation {
+            question: question.clone(),
+            explanation_type,
+            bindings: table,
+            statements,
+            answer,
+        })
+    }
+
+    // ---- simulation-based ---------------------------------------------------
+
+    fn simulation(&mut self, question: &Question, food: &str) -> Result<Explanation, EngineError> {
+        let recipe = self
+            .kg
+            .recipe(food)
+            .ok_or_else(|| EngineError::UnknownEntity(food.to_string()))?;
+        let weekly = recipe.calories as i64 * 7;
+        let nutrients = self.kg.recipe_nutrients(recipe);
+        let categories = self.kg.recipe_categories(recipe);
+        let mut statements = vec![format!(
+            "Eating {} every day adds about {} kcal per week ({} kcal per serving).",
+            humanize(food),
+            weekly,
+            recipe.calories
+        )];
+        if !nutrients.is_empty() {
+            statements.push(format!(
+                "You would consistently get {}.",
+                nutrients
+                    .iter()
+                    .map(|n| humanize(n))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        let missing: Vec<&str> = ["Protein", "Fiber", "VitaminC"]
+            .into_iter()
+            .filter(|n| !nutrients.iter().any(|have| have == n))
+            .collect();
+        if !missing.is_empty() {
+            statements.push(format!(
+                "A single-dish diet would lack {} — add variety.",
+                missing.join(", ")
+            ));
+        }
+        if categories.iter().any(|c| c == "HighCarb") && recipe.calories > 400 {
+            statements.push(
+                "Daily intake of a calorie-dense, high-carb dish risks exceeding energy needs."
+                    .to_string(),
+            );
+        }
+        let answer = statements.join(" ");
+        Ok(Explanation {
+            question: question.clone(),
+            explanation_type: ExplanationType::SimulationBased,
+            bindings: SolutionTable::default(),
+            statements,
+            answer,
+        })
+    }
+
+    // ---- statistical ----------------------------------------------------------
+
+    fn statistical(&mut self, question: &Question, diet: &str) -> Result<Explanation, EngineError> {
+        if self.population.is_none() {
+            return Err(EngineError::MissingPopulation);
+        }
+        if self.kg.diet(diet).is_none() {
+            return Err(EngineError::UnknownEntity(diet.to_string()));
+        }
+        let q = queries::statistical_query(&FoodKg::iri(diet));
+        let table = query(&mut self.graph, &q)?.expect_solutions();
+        let get = |row: &Vec<Option<feo_rdf::Term>>, i: usize| -> i64 {
+            row.get(i)
+                .and_then(|c| c.as_ref())
+                .and_then(|t| t.as_literal())
+                .and_then(|l| l.as_integer())
+                .unwrap_or(0)
+        };
+        let (total, succeeded) = table
+            .rows
+            .first()
+            .map(|r| (get(r, 0), get(r, 1)))
+            .unwrap_or((0, 0));
+        let statements = vec![format!(
+            "Of {total} users following the {} diet, {succeeded} achieved a nutritional goal.",
+            humanize(diet)
+        )];
+        let answer = statements[0].clone();
+        Ok(Explanation {
+            question: question.clone(),
+            explanation_type: ExplanationType::Statistical,
+            bindings: table,
+            statements,
+            answer,
+        })
+    }
+}
+

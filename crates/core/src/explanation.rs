@@ -1,0 +1,82 @@
+//! The explanation value produced by the engine: the raw SPARQL bindings
+//! (the paper's listing result tables), structured statements, and the
+//! rendered natural-language answer (the paper's "Possible Answer"
+//! texts).
+
+use std::fmt;
+
+use feo_sparql::SolutionTable;
+
+use crate::question::{ExplanationType, Question};
+
+/// A generated explanation.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    pub question: Question,
+    pub explanation_type: ExplanationType,
+    /// The competency-query result table (empty for explanation types
+    /// that are computed outside SPARQL, e.g. trace-based).
+    pub bindings: SolutionTable,
+    /// One structured statement per piece of supporting evidence.
+    pub statements: Vec<String>,
+    /// The rendered natural-language answer.
+    pub answer: String,
+}
+
+impl Explanation {
+    /// True when the explanation carries any evidence.
+    pub fn is_informative(&self) -> bool {
+        !self.statements.is_empty() || !self.bindings.is_empty()
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Question: {}", self.question.text())?;
+        writeln!(f, "Type:     {}", self.explanation_type)?;
+        if !self.bindings.is_empty() {
+            writeln!(f, "{}", self.bindings)?;
+        }
+        writeln!(f, "Answer:   {}", self.answer)
+    }
+}
+
+/// Splits a CamelCase local name into words ("ButternutSquashSoup" →
+/// "Butternut Squash Soup").
+pub fn humanize(id: &str) -> String {
+    let mut out = String::with_capacity(id.len() + 4);
+    for (i, c) in id.chars().enumerate() {
+        if c.is_uppercase() && i > 0 {
+            out.push(' ');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn humanize_splits_camel_case() {
+        assert_eq!(humanize("ButternutSquashSoup"), "Butternut Squash Soup");
+        assert_eq!(humanize("Sushi"), "Sushi");
+        assert_eq!(humanize(""), "");
+    }
+
+    #[test]
+    fn display_includes_question_and_answer() {
+        let e = Explanation {
+            question: Question::WhyEat { food: "Sushi".into() },
+            explanation_type: ExplanationType::Contextual,
+            bindings: SolutionTable::default(),
+            statements: vec!["s".into()],
+            answer: "Because.".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("Why should I eat Sushi?"));
+        assert!(text.contains("Because."));
+        assert!(e.is_informative());
+    }
+}

@@ -1,0 +1,41 @@
+//! # feo-core
+//!
+//! The paper's primary contribution: the FEO explanation engine.
+//!
+//! Given a food knowledge graph, a user profile, and the system context,
+//! the engine assembles the FEO ontology stack, materializes it with the
+//! OWL reasoner, and answers user questions with typed explanations —
+//! the three evaluated competency-question types (contextual,
+//! contrastive, counterfactual; paper §V) plus the six future-work types
+//! (§VI) implemented as extensions (trace-based, case-based, everyday,
+//! scientific, simulation-based, statistical).
+//!
+//! ```
+//! use feo_core::{ExplanationEngine, Question};
+//! use feo_foodkg::{curated, Season, SystemContext, UserProfile};
+//!
+//! let user = UserProfile::new("u").allergies(&["Broccoli"]);
+//! let ctx = SystemContext::new(Season::Autumn);
+//! let mut engine = ExplanationEngine::new(curated(), user, ctx).unwrap();
+//! let e = engine.explain(&Question::WhyEat {
+//!     food: "CauliflowerPotatoCurry".into(),
+//! }).unwrap();
+//! assert!(e.answer.contains("current season"));
+//! ```
+
+pub mod competency;
+pub mod ecosystem;
+pub mod engine;
+pub mod explanation;
+pub mod factfoil;
+pub mod knowledge;
+pub mod queries;
+pub mod question;
+pub mod scenarios;
+
+pub use engine::{EngineError, ExplanationEngine};
+pub use explanation::{humanize, Explanation};
+pub use factfoil::{classify, figure3_matrix, Classification};
+pub use knowledge::Population;
+pub use question::{ExplanationType, Hypothesis, Question};
+pub use scenarios::{all_scenarios, scenario_a, scenario_b, scenario_c, Scenario};

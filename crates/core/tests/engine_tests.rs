@@ -1,0 +1,343 @@
+//! Engine-level tests: every explanation type of Table I produces an
+//! informative, correctly-typed explanation; error paths are exercised.
+
+use feo_core::{
+    EngineError, ExplanationEngine, ExplanationType, Hypothesis, Population, Question,
+};
+use feo_foodkg::{curated, Season, SystemContext, UserProfile};
+use feo_recommender::{HealthCoach, Recommender};
+
+fn engine_full() -> ExplanationEngine {
+    let kg = curated();
+    let user = UserProfile::new("user")
+        .likes(&["BroccoliCheddarSoup", "LentilSoup"])
+        .allergies(&["Broccoli"])
+        .diet("Vegetarian")
+        .goals(&["HighFiberGoal"]);
+    let ctx = SystemContext::new(Season::Autumn).region("Florida");
+    let coach_kg = curated();
+    let coach = HealthCoach::new(&coach_kg);
+    let recs = coach.recommend(&user, &ctx, 10);
+    let population = Population::generate(&kg, 150, 42);
+    ExplanationEngine::new(kg, user, ctx)
+        .unwrap()
+        .with_population(population)
+        .with_recommendations(recs)
+}
+
+#[test]
+fn all_nine_types_produce_informative_explanations() {
+    let mut engine = engine_full();
+    let questions = vec![
+        Question::WhyEat { food: "CauliflowerPotatoCurry".into() },
+        Question::WhyEatOver {
+            preferred: "ButternutSquashSoup".into(),
+            alternative: "BroccoliCheddarSoup".into(),
+        },
+        Question::WhatIf { hypothesis: Hypothesis::Pregnant },
+        Question::WhatOtherUsers { food: "LentilSoup".into() },
+        Question::WhyGenerally { food: "CauliflowerPotatoCurry".into() },
+        Question::WhatLiterature { food: "SpinachFrittata".into() },
+        Question::WhatIfEatenDaily { food: "MargheritaPizza".into() },
+        Question::WhatEvidenceForDiet { diet: "Vegetarian".into() },
+        Question::WhatSteps { food: "ButternutSquashSoup".into() },
+    ];
+    let mut seen = Vec::new();
+    for q in questions {
+        let e = engine.explain(&q).unwrap_or_else(|err| panic!("{q:?}: {err}"));
+        assert_eq!(e.explanation_type, q.explanation_type());
+        assert!(e.is_informative(), "{q:?} produced empty explanation");
+        assert!(!e.answer.is_empty());
+        seen.push(e.explanation_type);
+    }
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), 9, "all nine Table I types exercised");
+}
+
+#[test]
+fn trace_based_reflects_recommender_steps() {
+    let mut engine = engine_full();
+    let e = engine
+        .explain(&Question::WhatSteps { food: "ButternutSquashSoup".into() })
+        .unwrap();
+    assert!(e.answer.contains("score"));
+    assert!(
+        e.statements.iter().any(|s| s.contains("in season")),
+        "seasonal boost should appear in the trace: {:?}",
+        e.statements
+    );
+}
+
+#[test]
+fn trace_based_explains_eliminations_too() {
+    let mut engine = engine_full();
+    let e = engine
+        .explain(&Question::WhatSteps { food: "BroccoliCheddarSoup".into() })
+        .unwrap();
+    assert!(
+        e.answer.contains("allergen Broccoli"),
+        "elimination reason should surface: {}",
+        e.answer
+    );
+}
+
+#[test]
+fn scientific_explanations_cite_sources() {
+    let mut engine = engine_full();
+    let e = engine
+        .explain(&Question::WhatLiterature { food: "SpinachFrittata".into() })
+        .unwrap();
+    assert!(
+        e.statements.iter().any(|s| s.contains('[') && s.contains("NEJM")
+            || s.contains("J Nutr")
+            || s.contains("Nutrients")),
+        "expected a citation: {:?}",
+        e.statements
+    );
+}
+
+#[test]
+fn everyday_explanations_have_no_citations() {
+    let mut engine = engine_full();
+    let e = engine
+        .explain(&Question::WhyGenerally { food: "CauliflowerPotatoCurry".into() })
+        .unwrap();
+    assert!(e.is_informative());
+    assert!(
+        e.statements.iter().all(|s| !s.contains("NEJM")),
+        "everyday records should not carry study citations"
+    );
+}
+
+#[test]
+fn simulation_projects_weekly_calories() {
+    let mut engine = engine_full();
+    let e = engine
+        .explain(&Question::WhatIfEatenDaily { food: "MargheritaPizza".into() })
+        .unwrap();
+    // 650 kcal * 7 = 4550.
+    assert!(e.answer.contains("4550"), "{}", e.answer);
+}
+
+#[test]
+fn statistical_reports_population_counts() {
+    let mut engine = engine_full();
+    let e = engine
+        .explain(&Question::WhatEvidenceForDiet { diet: "Vegetarian".into() })
+        .unwrap();
+    assert!(e.answer.contains("users following the Vegetarian diet"), "{}", e.answer);
+    // Total count must be positive for a 150-user population.
+    let total: i64 = e
+        .bindings
+        .get(0, "total")
+        .and_then(|t| t.as_literal())
+        .and_then(|l| l.as_integer())
+        .unwrap_or(0);
+    assert!(total > 0);
+    let succeeded: i64 = e
+        .bindings
+        .get(0, "succeeded")
+        .and_then(|t| t.as_literal())
+        .and_then(|l| l.as_integer())
+        .unwrap_or(0);
+    assert!(succeeded <= total);
+}
+
+#[test]
+fn case_based_counts_similar_users() {
+    let mut engine = engine_full();
+    let e = engine
+        .explain(&Question::WhatOtherUsers { food: "LentilSoup".into() })
+        .unwrap();
+    assert!(e.answer.contains("share your diet or goals"), "{}", e.answer);
+}
+
+#[test]
+fn counterfactual_diet_hypothesis() {
+    let kg = curated();
+    let user = UserProfile::new("u");
+    let ctx = SystemContext::new(Season::Autumn);
+    let mut engine = ExplanationEngine::new(kg, user, ctx).unwrap();
+    let e = engine
+        .explain(&Question::WhatIf {
+            hypothesis: Hypothesis::FollowedDiet("Vegan".into()),
+        })
+        .unwrap();
+    // Vegan forbids dairy/meat dishes: some forbidden foods must appear.
+    assert!(
+        e.answer.contains("forbidden from eating"),
+        "{}",
+        e.answer
+    );
+    assert!(
+        e.answer.contains("Broccoli Cheddar Soup") || e.answer.contains("Beef Stew"),
+        "{}",
+        e.answer
+    );
+}
+
+#[test]
+fn counterfactual_allergy_hypothesis() {
+    let kg = curated();
+    let mut engine = ExplanationEngine::new(
+        kg,
+        UserProfile::new("u"),
+        SystemContext::new(Season::Autumn),
+    )
+    .unwrap();
+    let e = engine
+        .explain(&Question::WhatIf {
+            hypothesis: Hypothesis::AllergicTo("Peanuts".into()),
+        })
+        .unwrap();
+    assert_eq!(e.explanation_type, ExplanationType::Counterfactual);
+    // The forbids chain reaches the peanut dish.
+    assert!(e.answer.contains("Peanut Noodles"), "{}", e.answer);
+}
+
+#[test]
+fn missing_population_is_reported() {
+    let kg = curated();
+    let mut engine = ExplanationEngine::new(
+        kg,
+        UserProfile::new("u"),
+        SystemContext::new(Season::Autumn),
+    )
+    .unwrap();
+    let err = engine
+        .explain(&Question::WhatOtherUsers { food: "Sushi".into() })
+        .unwrap_err();
+    assert_eq!(err, EngineError::MissingPopulation);
+    let err = engine
+        .explain(&Question::WhatEvidenceForDiet { diet: "Vegan".into() })
+        .unwrap_err();
+    assert_eq!(err, EngineError::MissingPopulation);
+}
+
+#[test]
+fn missing_recommendations_is_reported() {
+    let kg = curated();
+    let mut engine = ExplanationEngine::new(
+        kg,
+        UserProfile::new("u"),
+        SystemContext::new(Season::Autumn),
+    )
+    .unwrap();
+    let err = engine
+        .explain(&Question::WhatSteps { food: "Sushi".into() })
+        .unwrap_err();
+    assert_eq!(err, EngineError::MissingRecommendations);
+}
+
+#[test]
+fn unknown_entities_are_reported() {
+    let mut engine = engine_full();
+    let err = engine
+        .explain(&Question::WhyEat { food: "MysteryMeatloaf".into() })
+        .unwrap_err();
+    assert!(matches!(err, EngineError::UnknownEntity(e) if e == "MysteryMeatloaf"));
+}
+
+#[test]
+fn repeated_questions_are_stable() {
+    let mut engine = engine_full();
+    let q = Question::WhyEat { food: "CauliflowerPotatoCurry".into() };
+    let a = engine.explain(&q).unwrap();
+    let b = engine.explain(&q).unwrap();
+    assert_eq!(a.answer, b.answer);
+    assert_eq!(a.bindings.rows, b.bindings.rows);
+}
+
+#[test]
+fn different_context_changes_contextual_answer() {
+    let kg = curated();
+    let user = UserProfile::new("u");
+    let mut autumn_engine = ExplanationEngine::new(
+        kg.clone(),
+        user.clone(),
+        SystemContext::new(Season::Autumn),
+    )
+    .unwrap();
+    let mut summer_engine =
+        ExplanationEngine::new(kg, user, SystemContext::new(Season::Summer)).unwrap();
+    let q = Question::WhyEat { food: "CauliflowerPotatoCurry".into() };
+    let autumn = autumn_engine.explain(&q).unwrap();
+    let summer = summer_engine.explain(&q).unwrap();
+    assert!(autumn.answer.contains("current season"));
+    assert!(
+        summer.answer.contains("No external context"),
+        "curry has no summer support: {}",
+        summer.answer
+    );
+}
+
+#[test]
+fn proof_mode_renders_classification_proofs() {
+    let kg = curated();
+    let user = UserProfile::new("user")
+        .likes(&["BroccoliCheddarSoup"])
+        .allergies(&["Broccoli"]);
+    let ctx = SystemContext::new(Season::Autumn);
+    let mut engine =
+        ExplanationEngine::new_with_proofs(kg, user, ctx).expect("consistent");
+    engine
+        .explain(&Question::WhyEatOver {
+            preferred: "ButternutSquashSoup".into(),
+            alternative: "BroccoliCheddarSoup".into(),
+        })
+        .unwrap();
+    // Why is Broccoli a Foil? The proof tree bottoms out at assertions.
+    let proof = engine
+        .proof_of_type("Broccoli", feo_ontology::ns::eo::FOIL)
+        .expect("Broccoli must be classified Foil with a recorded proof");
+    assert!(proof.contains("[cls]") || proof.contains("[asserted]"), "{proof}");
+    assert!(proof.contains("Foil"), "{proof}");
+    // A typing that does not hold yields no proof.
+    assert!(engine
+        .proof_of_type("Cheddar", feo_ontology::ns::eo::FOIL)
+        .is_none());
+}
+
+#[test]
+fn budget_characteristic_surfaces_in_explanations() {
+    // A tier-1 budget user: cheap dishes get budget facts, the expensive
+    // sushi gets a budget foil in contrastive comparisons.
+    let kg = curated();
+    let user = UserProfile::new("user").budget(1).likes(&["Sushi"]);
+    let ctx = SystemContext::new(Season::Autumn);
+    let mut engine = ExplanationEngine::new(kg, user, ctx).unwrap();
+
+    let e = engine
+        .explain(&Question::WhyEat { food: "LentilSoup".into() })
+        .unwrap();
+    assert!(
+        e.answer.contains("fits your budget"),
+        "budget context expected: {}",
+        e.answer
+    );
+
+    let e = engine
+        .explain(&Question::WhyEatOver {
+            preferred: "LentilSoup".into(),
+            alternative: "Sushi".into(),
+        })
+        .unwrap();
+    assert!(
+        e.answer.contains("exceeds your budget"),
+        "budget foil expected: {}",
+        e.answer
+    );
+}
+
+#[test]
+fn no_budget_means_no_budget_characteristics() {
+    let kg = curated();
+    let user = UserProfile::new("user");
+    let ctx = SystemContext::new(Season::Summer);
+    let mut engine = ExplanationEngine::new(kg, user, ctx).unwrap();
+    let e = engine
+        .explain(&Question::WhyEat { food: "LentilSoup".into() })
+        .unwrap();
+    assert!(!e.answer.contains("budget"), "{}", e.answer);
+}

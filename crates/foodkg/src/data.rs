@@ -1,0 +1,345 @@
+//! The curated knowledge graph: every individual the paper mentions
+//! (Cauliflower Potato Curry, Butternut Squash Soup, Broccoli Cheddar
+//! Soup, Sushi, Spinach Frittata, the pregnancy guidance) plus enough
+//! additional recipes and ingredients for the recommender to rank
+//! realistically.
+//!
+//! This is the substitution for FoodKG \[5\]: same schema, hand-curated
+//! content sized for the paper's scenarios. The scaled synthetic
+//! generator lives in [`crate::generator`].
+
+use crate::model::{Diet, FoodKg, Goal, Ingredient, Recipe, Season};
+
+use Season::*;
+
+/// Builds the curated knowledge graph.
+pub fn curated() -> FoodKg {
+    let mut kg = FoodKg::new();
+
+    // ---- ingredients -----------------------------------------------------
+    let ingredients = vec![
+        // Paper-scenario ingredients.
+        Ingredient::new("Cauliflower")
+            .seasons(&[Autumn, Winter])
+            .nutrients(&["VitaminC", "Fiber"]),
+        Ingredient::new("Potato").nutrients(&["Potassium"]).categories(&["HighCarb"]),
+        Ingredient::new("CurryPowder"),
+        Ingredient::new("ButternutSquash")
+            .seasons(&[Autumn])
+            .nutrients(&["VitaminA", "Fiber"]),
+        Ingredient::new("VegetableBroth"),
+        // Folate is kept distinctive to spinach so the counterfactual CQ
+        // reproduces the paper's exact rows (§V-C).
+        Ingredient::new("Broccoli")
+            .seasons(&[Autumn])
+            .nutrients(&["VitaminC", "Fiber"]),
+        Ingredient::new("Cheddar").categories(&["Dairy"]).nutrients(&["Calcium", "Protein"]),
+        Ingredient::new("SushiRice").categories(&["HighCarb"]),
+        Ingredient::new("Nori"),
+        Ingredient::new("Salmon").categories(&["Fish"]).nutrients(&["Omega3", "Protein"]),
+        Ingredient::new("Spinach")
+            .seasons(&[Spring, Autumn])
+            .nutrients(&["Folate", "Iron", "VitaminA"]),
+        Ingredient::new("Egg").categories(&["Egg"]).nutrients(&["Protein"]),
+        // Broader pantry.
+        Ingredient::new("Chicken").categories(&["Meat"]).nutrients(&["Protein"]),
+        Ingredient::new("Beef").categories(&["Meat"]).nutrients(&["Protein", "Iron"]),
+        Ingredient::new("Tofu").nutrients(&["Protein", "Calcium"]),
+        Ingredient::new("Lentils").nutrients(&["Protein", "Fiber", "Iron"]),
+        Ingredient::new("Chickpeas").nutrients(&["Protein", "Fiber"]),
+        Ingredient::new("BlackBeans").nutrients(&["Protein", "Fiber"]),
+        Ingredient::new("Rice").categories(&["HighCarb"]),
+        Ingredient::new("Pasta").categories(&["Gluten", "HighCarb"]),
+        Ingredient::new("Bread").categories(&["Gluten", "HighCarb"]),
+        Ingredient::new("Flour").categories(&["Gluten"]),
+        Ingredient::new("Milk").categories(&["Dairy"]).nutrients(&["Calcium"]),
+        Ingredient::new("Butter").categories(&["Dairy"]),
+        Ingredient::new("Yogurt").categories(&["Dairy"]).nutrients(&["Calcium", "Protein"]),
+        Ingredient::new("Parmesan").categories(&["Dairy"]).nutrients(&["Calcium"]),
+        Ingredient::new("Mozzarella").categories(&["Dairy"]).nutrients(&["Calcium"]),
+        Ingredient::new("Shrimp").categories(&["Fish", "Shellfish"]).nutrients(&["Protein"]),
+        Ingredient::new("Tuna").categories(&["Fish"]).nutrients(&["Omega3", "Protein"]),
+        Ingredient::new("Peanuts").categories(&["Nut"]).nutrients(&["Protein"]),
+        Ingredient::new("Almonds").categories(&["Nut"]).nutrients(&["Protein", "Fiber"]),
+        Ingredient::new("Walnuts").categories(&["Nut"]).nutrients(&["Omega3"]),
+        Ingredient::new("Tomato")
+            .seasons(&[Summer])
+            .nutrients(&["VitaminC"]),
+        Ingredient::new("Zucchini").seasons(&[Summer]).nutrients(&["Fiber"]),
+        Ingredient::new("Corn").seasons(&[Summer]),
+        Ingredient::new("Strawberry").seasons(&[Spring, Summer]).nutrients(&["VitaminC"]),
+        Ingredient::new("Asparagus").seasons(&[Spring]).nutrients(&["Fiber"]),
+        Ingredient::new("Peas").seasons(&[Spring]).nutrients(&["Protein", "Fiber"]),
+        Ingredient::new("Kale")
+            .seasons(&[Autumn, Winter])
+            .nutrients(&["VitaminC", "Iron", "Fiber"]),
+        Ingredient::new("Pumpkin").seasons(&[Autumn]).nutrients(&["VitaminA", "Fiber"]),
+        Ingredient::new("BrusselsSprouts").seasons(&[Autumn, Winter]).nutrients(&["VitaminC"]),
+        Ingredient::new("SweetPotato")
+            .seasons(&[Autumn, Winter])
+            .nutrients(&["VitaminA", "Fiber"])
+            .categories(&["HighCarb"]),
+        Ingredient::new("Apple")
+            .seasons(&[Autumn])
+            .regions(&["NewYork", "Washington"])
+            .nutrients(&["Fiber"]),
+        Ingredient::new("Orange")
+            .seasons(&[Winter])
+            .regions(&["Florida", "California"])
+            .nutrients(&["VitaminC"]),
+        Ingredient::new("Avocado").regions(&["California", "Florida"]).nutrients(&["Fiber"]),
+        Ingredient::new("Onion"),
+        Ingredient::new("Garlic"),
+        Ingredient::new("Carrot").seasons(&[Autumn, Spring]).nutrients(&["VitaminA"]),
+        Ingredient::new("Celery"),
+        Ingredient::new("Lettuce").seasons(&[Spring, Summer]),
+        Ingredient::new("Cucumber").seasons(&[Summer]),
+        Ingredient::new("Quinoa").nutrients(&["Protein", "Fiber"]),
+        Ingredient::new("Oats").nutrients(&["Fiber"]),
+        Ingredient::new("Banana").nutrients(&["Potassium"]),
+        Ingredient::new("Mushroom").nutrients(&["Fiber"]),
+        Ingredient::new("BellPepper").seasons(&[Summer]).nutrients(&["VitaminC"]),
+        Ingredient::new("Ginger"),
+        Ingredient::new("CoconutMilk"),
+        Ingredient::new("Turkey").categories(&["Meat"]).nutrients(&["Protein"]),
+        Ingredient::new("Cod").categories(&["Fish"]).nutrients(&["Protein"]),
+        Ingredient::new("Honey"),
+        Ingredient::new("OliveOil"),
+    ];
+    for i in ingredients {
+        kg.add_ingredient(i);
+    }
+
+    // ---- recipes ----------------------------------------------------------
+    let recipes = vec![
+        // The five paper-scenario dishes.
+        Recipe::new("CauliflowerPotatoCurry", "Cauliflower Potato Curry")
+            .ingredients(&["Cauliflower", "Potato", "CurryPowder", "Onion", "CoconutMilk"])
+            .calories(420),
+        Recipe::new("ButternutSquashSoup", "Butternut Squash Soup")
+            .ingredients(&["ButternutSquash", "VegetableBroth", "Onion"])
+            .calories(280),
+        Recipe::new("BroccoliCheddarSoup", "Broccoli Cheddar Soup")
+            .ingredients(&["Broccoli", "Cheddar", "Milk", "Onion"])
+            .calories(460),
+        // Sushi is tagged RawFish on the dish itself: the raw preparation
+        // is a property of the dish, not of salmon in general.
+        Recipe::new("Sushi", "Sushi")
+            .ingredients(&["SushiRice", "Nori", "Salmon"])
+            .categories(&["RawFish"])
+            .calories(350)
+            .price_tier(3),
+        Recipe::new("SpinachFrittata", "Spinach Frittata")
+            .ingredients(&["Spinach", "Egg", "Parmesan", "Onion"])
+            .calories(320),
+        // Broader menu.
+        Recipe::new("LentilSoup", "Lentil Soup")
+            .ingredients(&["Lentils", "Carrot", "Celery", "Onion", "Garlic"])
+            .calories(310),
+        Recipe::new("ChickpeaCurry", "Chickpea Curry")
+            .ingredients(&["Chickpeas", "CurryPowder", "Tomato", "CoconutMilk", "Rice"])
+            .calories(480),
+        Recipe::new("GrilledChickenSalad", "Grilled Chicken Salad")
+            .ingredients(&["Chicken", "Lettuce", "Tomato", "Cucumber", "OliveOil"])
+            .calories(380),
+        Recipe::new("BeefStew", "Beef Stew")
+            .ingredients(&["Beef", "Potato", "Carrot", "Onion", "Celery"])
+            .calories(550)
+            .price_tier(2),
+        Recipe::new("TofuStirFry", "Tofu Stir Fry")
+            .ingredients(&["Tofu", "BellPepper", "Ginger", "Garlic", "Rice"])
+            .calories(400),
+        Recipe::new("MargheritaPizza", "Margherita Pizza")
+            .ingredients(&["Flour", "Tomato", "Mozzarella", "OliveOil"])
+            .calories(650),
+        Recipe::new("PastaPrimavera", "Pasta Primavera")
+            .ingredients(&["Pasta", "Zucchini", "BellPepper", "Parmesan", "OliveOil"])
+            .calories(520),
+        Recipe::new("SalmonTeriyaki", "Salmon Teriyaki")
+            .ingredients(&["Salmon", "Rice", "Ginger", "Honey"])
+            .calories(470)
+            .price_tier(2),
+        Recipe::new("ShrimpScampi", "Shrimp Scampi")
+            .ingredients(&["Shrimp", "Pasta", "Garlic", "Butter"])
+            .calories(510)
+            .price_tier(2),
+        Recipe::new("TunaSalad", "Tuna Salad")
+            .ingredients(&["Tuna", "Lettuce", "Celery", "Egg"])
+            .calories(330),
+        Recipe::new("KaleQuinoaBowl", "Kale Quinoa Bowl")
+            .ingredients(&["Kale", "Quinoa", "Avocado", "Almonds"])
+            .calories(430),
+        Recipe::new("PumpkinRisotto", "Pumpkin Risotto")
+            .ingredients(&["Pumpkin", "Rice", "Parmesan", "Onion", "Butter"])
+            .calories(490),
+        Recipe::new("RoastedBrusselsSprouts", "Roasted Brussels Sprouts")
+            .ingredients(&["BrusselsSprouts", "OliveOil", "Garlic"])
+            .calories(180),
+        Recipe::new("SweetPotatoTacos", "Sweet Potato Tacos")
+            .ingredients(&["SweetPotato", "BlackBeans", "Corn", "Avocado"])
+            .calories(440),
+        Recipe::new("AppleCrisp", "Apple Crisp")
+            .ingredients(&["Apple", "Oats", "Butter", "Flour", "Honey"])
+            .calories(380),
+        Recipe::new("StrawberrySpinachSalad", "Strawberry Spinach Salad")
+            .ingredients(&["Strawberry", "Spinach", "Walnuts", "OliveOil"])
+            .calories(260),
+        Recipe::new("AsparagusOmelette", "Asparagus Omelette")
+            .ingredients(&["Asparagus", "Egg", "Cheddar", "Butter"])
+            .calories(340),
+        Recipe::new("PeaRisotto", "Pea Risotto")
+            .ingredients(&["Peas", "Rice", "Parmesan", "Onion"])
+            .calories(450),
+        Recipe::new("MushroomBarleySoup", "Mushroom Barley Soup")
+            .ingredients(&["Mushroom", "VegetableBroth", "Carrot", "Onion"])
+            .calories(240),
+        Recipe::new("TurkeyChili", "Turkey Chili")
+            .ingredients(&["Turkey", "BlackBeans", "Tomato", "Onion", "BellPepper"])
+            .calories(420),
+        Recipe::new("BakedCod", "Baked Cod")
+            .ingredients(&["Cod", "OliveOil", "Garlic", "Potato"])
+            .calories(360),
+        Recipe::new("PeanutNoodles", "Peanut Noodles")
+            .ingredients(&["Pasta", "Peanuts", "Ginger", "Garlic"])
+            .calories(540),
+        Recipe::new("BananaOatPancakes", "Banana Oat Pancakes")
+            .ingredients(&["Banana", "Oats", "Egg", "Milk"])
+            .calories(390),
+        Recipe::new("GreekYogurtParfait", "Greek Yogurt Parfait")
+            .ingredients(&["Yogurt", "Strawberry", "Honey", "Almonds"])
+            .calories(290),
+        Recipe::new("CornChowder", "Corn Chowder")
+            .ingredients(&["Corn", "Potato", "Milk", "Onion", "Celery"])
+            .calories(370),
+        Recipe::new("ZucchiniFritters", "Zucchini Fritters")
+            .ingredients(&["Zucchini", "Flour", "Egg", "Parmesan"])
+            .calories(310),
+        Recipe::new("OrangeGlazedCarrots", "Orange Glazed Carrots")
+            .ingredients(&["Orange", "Carrot", "Honey", "Butter"])
+            .calories(210),
+    ];
+    for r in recipes {
+        kg.add_recipe(r);
+    }
+
+    // ---- diets ------------------------------------------------------------
+    kg.diets = vec![
+        Diet::new("Vegan", &["Meat", "Dairy", "Egg", "Fish", "Shellfish"]),
+        Diet::new("Vegetarian", &["Meat", "Fish", "Shellfish"]),
+        Diet::new("Pescatarian", &["Meat"]),
+        Diet::new("GlutenFree", &["Gluten"]),
+        Diet::new("DairyFree", &["Dairy"]),
+        Diet::new("NutFree", &["Nut"]),
+    ];
+
+    // ---- goals ------------------------------------------------------------
+    kg.goals = vec![
+        Goal::new("HighProteinGoal", "Protein"),
+        Goal::new("HighFiberGoal", "Fiber"),
+        Goal::new("IronRichGoal", "Iron"),
+        Goal::new("HeartHealthGoal", "Omega3"),
+        Goal::new("ImmunityGoal", "VitaminC"),
+        Goal::new("FolateGoal", "Folate"),
+    ];
+
+    kg.regions = vec![
+        "Florida".into(),
+        "NewYork".into(),
+        "California".into(),
+        "Washington".into(),
+    ];
+
+    kg
+}
+
+/// Domain-knowledge assertions that ride along with the curated KG:
+/// `(subject, property, object)` triples in `feo:`/`food:` vocabulary,
+/// returned as IRI strings. Currently the pregnancy guidance from the
+/// paper's counterfactual scenario (§V-C): pregnancy forbids raw fish and
+/// recommends folate.
+pub fn knowledge_assertions() -> Vec<(String, String, String)> {
+    use feo_ontology::ns::feo;
+    vec![
+        (
+            feo::PREGNANCY_STATE.to_string(),
+            feo::FORBIDS.to_string(),
+            FoodKg::iri("RawFish"),
+        ),
+        (
+            feo::PREGNANCY_STATE.to_string(),
+            feo::RECOMMENDS.to_string(),
+            FoodKg::iri("Folate"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_individuals_present() {
+        let kg = curated();
+        for id in [
+            "CauliflowerPotatoCurry",
+            "ButternutSquashSoup",
+            "BroccoliCheddarSoup",
+            "Sushi",
+            "SpinachFrittata",
+        ] {
+            assert!(kg.recipe(id).is_some(), "missing paper recipe {id}");
+        }
+        for id in ["Cauliflower", "Broccoli", "Spinach", "Salmon"] {
+            assert!(kg.ingredient(id).is_some(), "missing paper ingredient {id}");
+        }
+    }
+
+    #[test]
+    fn scenario_invariants_hold() {
+        let kg = curated();
+        // CQ1: cauliflower is an autumn vegetable.
+        let cauliflower = kg.ingredient("Cauliflower").unwrap();
+        assert!(cauliflower.seasons.contains(&Season::Autumn));
+        // CQ2: butternut squash is autumn-only; broccoli also autumn (so
+        // no spurious season foils); broccoli is the allergen.
+        let squash = kg.ingredient("ButternutSquash").unwrap();
+        assert_eq!(squash.seasons, vec![Season::Autumn]);
+        let broccoli = kg.ingredient("Broccoli").unwrap();
+        assert!(broccoli.seasons.contains(&Season::Autumn));
+        // CQ3: sushi is a raw-fish dish; spinach carries folate and feeds
+        // the frittata.
+        let sushi = kg.recipe("Sushi").unwrap();
+        assert!(sushi.categories.contains(&"RawFish".to_string()));
+        let spinach = kg.ingredient("Spinach").unwrap();
+        assert!(spinach.nutrients.contains(&"Folate".to_string()));
+        let frittata = kg.recipe("SpinachFrittata").unwrap();
+        assert!(frittata.ingredients.contains(&"Spinach".to_string()));
+    }
+
+    #[test]
+    fn kg_is_reasonably_sized() {
+        let kg = curated();
+        assert!(kg.recipes.len() >= 30, "recipes: {}", kg.recipes.len());
+        assert!(kg.ingredients.len() >= 45, "ingredients: {}", kg.ingredients.len());
+        assert!(kg.diets.len() >= 5);
+        assert!(kg.goals.len() >= 5);
+    }
+
+    #[test]
+    fn every_recipe_ingredient_exists() {
+        let kg = curated();
+        for r in &kg.recipes {
+            for i in &r.ingredients {
+                assert!(kg.ingredient(i).is_some(), "{}: unknown ingredient {i}", r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn pregnancy_knowledge_present() {
+        let ka = knowledge_assertions();
+        assert_eq!(ka.len(), 2);
+        assert!(ka.iter().any(|(_, p, o)| p.ends_with("forbids") && o.ends_with("RawFish")));
+        assert!(ka.iter().any(|(_, p, o)| p.ends_with("recommends") && o.ends_with("Folate")));
+    }
+}

@@ -1,0 +1,30 @@
+//! # feo-foodkg
+//!
+//! The food-knowledge-graph substrate: a curated KG containing every
+//! individual the paper's scenarios mention, a seeded synthetic generator
+//! for scaling experiments (the substitute for the real FoodKG \[5\]), user
+//! profiles / system context, and ABox emission into RDF.
+//!
+//! ```
+//! use feo_foodkg::{curated, kg_to_rdf};
+//! use feo_rdf::Graph;
+//!
+//! let kg = curated();
+//! let mut g = Graph::new();
+//! kg_to_rdf(&kg, &mut g);
+//! assert!(kg.recipe("CauliflowerPotatoCurry").is_some());
+//! ```
+
+pub mod data;
+pub mod from_rdf;
+pub mod generator;
+pub mod model;
+pub mod rdf;
+pub mod user;
+
+pub use data::{curated, knowledge_assertions};
+pub use from_rdf::kg_from_rdf;
+pub use generator::{synthetic, SyntheticConfig};
+pub use model::{Diet, FoodKg, Goal, Ingredient, Recipe, Season};
+pub use rdf::{context_to_rdf, kg_to_rdf, user_to_rdf};
+pub use user::{random_profiles, SystemContext, UserProfile};

@@ -1,0 +1,333 @@
+//! Plain-Rust model of the food knowledge graph.
+//!
+//! The KG exists in two forms: these structs (used by the generator and
+//! the recommender, which wants cheap field access) and the RDF graph
+//! produced by [`crate::rdf::kg_to_rdf`] (used by the reasoner and SPARQL
+//! layer). Identifiers are CamelCase local names; IRIs live in the `feo:`
+//! namespace like the paper's individuals (`feo:Sushi`, `feo:Broccoli`).
+
+use std::collections::BTreeMap;
+
+/// The four seasons, matching the `feo:` season individuals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Season {
+    Spring,
+    Summer,
+    Autumn,
+    Winter,
+}
+
+impl Season {
+    pub const ALL: [Season; 4] = [Season::Spring, Season::Summer, Season::Autumn, Season::Winter];
+
+    /// The `feo:` individual IRI for this season.
+    pub fn iri(self) -> &'static str {
+        match self {
+            Season::Spring => feo_ontology::ns::feo::SPRING,
+            Season::Summer => feo_ontology::ns::feo::SUMMER,
+            Season::Autumn => feo_ontology::ns::feo::AUTUMN,
+            Season::Winter => feo_ontology::ns::feo::WINTER,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Season::Spring => "Spring",
+            Season::Summer => "Summer",
+            Season::Autumn => "Autumn",
+            Season::Winter => "Winter",
+        }
+    }
+}
+
+/// An ingredient with its availability, nutrition, and category tags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ingredient {
+    /// CamelCase local name, e.g. `"ButternutSquash"`.
+    pub id: String,
+    /// Seasons the ingredient is available in (empty = year-round).
+    pub seasons: Vec<Season>,
+    /// Regions the ingredient is available in (empty = everywhere).
+    pub regions: Vec<String>,
+    /// Nutrients this ingredient is notably high in.
+    pub nutrients: Vec<String>,
+    /// Food categories (Meat, Dairy, Gluten, …) for diet filtering.
+    pub categories: Vec<String>,
+}
+
+impl Ingredient {
+    pub fn new(id: &str) -> Self {
+        Ingredient {
+            id: id.to_string(),
+            ..Default::default()
+        }
+    }
+
+    pub fn seasons(mut self, seasons: &[Season]) -> Self {
+        self.seasons = seasons.to_vec();
+        self
+    }
+
+    pub fn regions(mut self, regions: &[&str]) -> Self {
+        self.regions = regions.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn nutrients(mut self, nutrients: &[&str]) -> Self {
+        self.nutrients = nutrients.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn categories(mut self, categories: &[&str]) -> Self {
+        self.categories = categories.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
+/// A recipe (a `food:Recipe`, which is also a `food:Food`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recipe {
+    /// CamelCase local name, e.g. `"CauliflowerPotatoCurry"`.
+    pub id: String,
+    /// Human-readable label, e.g. `"Cauliflower Potato Curry"`.
+    pub label: String,
+    /// Ingredient ids.
+    pub ingredients: Vec<String>,
+    /// Calories per serving.
+    pub calories: u32,
+    /// 1 (cheap) ..= 3 (expensive) — used by budget characteristics.
+    pub price_tier: u8,
+    /// Categories asserted directly on the dish (e.g. Sushi → RawFish).
+    pub categories: Vec<String>,
+}
+
+impl Recipe {
+    pub fn new(id: &str, label: &str) -> Self {
+        Recipe {
+            id: id.to_string(),
+            label: label.to_string(),
+            price_tier: 1,
+            ..Default::default()
+        }
+    }
+
+    pub fn ingredients(mut self, ids: &[&str]) -> Self {
+        self.ingredients = ids.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn calories(mut self, c: u32) -> Self {
+        self.calories = c;
+        self
+    }
+
+    pub fn price_tier(mut self, t: u8) -> Self {
+        self.price_tier = t;
+        self
+    }
+
+    pub fn categories(mut self, categories: &[&str]) -> Self {
+        self.categories = categories.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
+/// A diet with the food categories it forbids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diet {
+    pub id: String,
+    pub forbids_categories: Vec<String>,
+}
+
+impl Diet {
+    pub fn new(id: &str, forbids: &[&str]) -> Self {
+        Diet {
+            id: id.to_string(),
+            forbids_categories: forbids.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// A nutritional goal and the nutrient that advances it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Goal {
+    pub id: String,
+    pub wants_nutrient: String,
+}
+
+impl Goal {
+    pub fn new(id: &str, nutrient: &str) -> Self {
+        Goal {
+            id: id.to_string(),
+            wants_nutrient: nutrient.to_string(),
+        }
+    }
+}
+
+/// The knowledge graph: recipes, ingredients, diets, goals, and
+/// free-floating domain knowledge assertions (e.g. pregnancy guidance).
+#[derive(Debug, Clone, Default)]
+pub struct FoodKg {
+    pub recipes: Vec<Recipe>,
+    pub ingredients: Vec<Ingredient>,
+    pub diets: Vec<Diet>,
+    pub goals: Vec<Goal>,
+    /// Regions known to the system.
+    pub regions: Vec<String>,
+    ingredient_index: BTreeMap<String, usize>,
+    recipe_index: BTreeMap<String, usize>,
+}
+
+impl FoodKg {
+    pub fn new() -> Self {
+        FoodKg::default()
+    }
+
+    pub fn add_ingredient(&mut self, i: Ingredient) {
+        self.ingredient_index.insert(i.id.clone(), self.ingredients.len());
+        self.ingredients.push(i);
+    }
+
+    pub fn add_recipe(&mut self, r: Recipe) {
+        self.recipe_index.insert(r.id.clone(), self.recipes.len());
+        self.recipes.push(r);
+    }
+
+    pub fn recipe(&self, id: &str) -> Option<&Recipe> {
+        self.recipe_index.get(id).map(|&i| &self.recipes[i])
+    }
+
+    pub fn ingredient(&self, id: &str) -> Option<&Ingredient> {
+        self.ingredient_index.get(id).map(|&i| &self.ingredients[i])
+    }
+
+    pub fn diet(&self, id: &str) -> Option<&Diet> {
+        self.diets.iter().find(|d| d.id == id)
+    }
+
+    pub fn goal(&self, id: &str) -> Option<&Goal> {
+        self.goals.iter().find(|g| g.id == id)
+    }
+
+    /// All category tags of a recipe: its own plus its ingredients'.
+    pub fn recipe_categories(&self, recipe: &Recipe) -> Vec<String> {
+        let mut out = recipe.categories.clone();
+        for ing_id in &recipe.ingredients {
+            if let Some(ing) = self.ingredient(ing_id) {
+                out.extend(ing.categories.iter().cloned());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All nutrients a recipe provides through its ingredients.
+    pub fn recipe_nutrients(&self, recipe: &Recipe) -> Vec<String> {
+        let mut out = Vec::new();
+        for ing_id in &recipe.ingredients {
+            if let Some(ing) = self.ingredient(ing_id) {
+                out.extend(ing.nutrients.iter().cloned());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Seasons in which every seasonal ingredient of the recipe is
+    /// available (`None` = recipe has no seasonal constraint).
+    pub fn recipe_seasons(&self, recipe: &Recipe) -> Option<Vec<Season>> {
+        let mut acc: Option<Vec<Season>> = None;
+        for ing_id in &recipe.ingredients {
+            let Some(ing) = self.ingredient(ing_id) else { continue };
+            if ing.seasons.is_empty() {
+                continue;
+            }
+            acc = Some(match acc {
+                None => ing.seasons.clone(),
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|s| ing.seasons.contains(s))
+                    .collect(),
+            });
+        }
+        acc
+    }
+
+    /// True when any ingredient of the recipe is seasonal and available
+    /// in `season`.
+    pub fn recipe_in_season(&self, recipe: &Recipe, season: Season) -> bool {
+        recipe.ingredients.iter().any(|i| {
+            self.ingredient(i)
+                .map(|ing| ing.seasons.contains(&season))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Builds the `feo:` IRI for a local individual name.
+    pub fn iri(local: &str) -> String {
+        format!("{}{local}", feo_ontology::ns::feo::NS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kg() -> FoodKg {
+        let mut kg = FoodKg::new();
+        kg.add_ingredient(
+            Ingredient::new("Squash")
+                .seasons(&[Season::Autumn, Season::Winter])
+                .nutrients(&["VitaminA"]),
+        );
+        kg.add_ingredient(Ingredient::new("Cheddar").categories(&["Dairy"]));
+        kg.add_recipe(
+            Recipe::new("SquashBake", "Squash Bake")
+                .ingredients(&["Squash", "Cheddar"])
+                .calories(400),
+        );
+        kg.diets.push(Diet::new("Vegan", &["Dairy", "Meat"]));
+        kg
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let kg = kg();
+        assert!(kg.recipe("SquashBake").is_some());
+        assert!(kg.ingredient("Squash").is_some());
+        assert!(kg.recipe("Nope").is_none());
+    }
+
+    #[test]
+    fn derived_recipe_attributes() {
+        let kg = kg();
+        let r = kg.recipe("SquashBake").unwrap();
+        assert_eq!(kg.recipe_categories(r), vec!["Dairy".to_string()]);
+        assert_eq!(kg.recipe_nutrients(r), vec!["VitaminA".to_string()]);
+        assert_eq!(
+            kg.recipe_seasons(r),
+            Some(vec![Season::Autumn, Season::Winter])
+        );
+        assert!(kg.recipe_in_season(r, Season::Autumn));
+        assert!(!kg.recipe_in_season(r, Season::Summer));
+    }
+
+    #[test]
+    fn season_intersection() {
+        let mut kg = kg();
+        kg.add_ingredient(Ingredient::new("Peas").seasons(&[Season::Spring, Season::Autumn]));
+        kg.add_recipe(Recipe::new("Mix", "Mix").ingredients(&["Squash", "Peas"]));
+        let r = kg.recipe("Mix").unwrap();
+        assert_eq!(kg.recipe_seasons(r), Some(vec![Season::Autumn]));
+    }
+
+    #[test]
+    fn iris_are_feo_namespaced() {
+        assert_eq!(
+            FoodKg::iri("Sushi"),
+            "https://purl.org/heals/feo#Sushi"
+        );
+    }
+}

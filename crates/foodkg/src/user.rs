@@ -1,0 +1,210 @@
+//! User profiles and system context — the "ecosystem" side of FEO's
+//! explanation model, plus a seeded random-profile generator for
+//! benchmarks.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{FoodKg, Season};
+
+/// A user profile: the `feo:UserCharacteristic` sources.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UserProfile {
+    pub id: String,
+    /// Recipe or ingredient ids the user likes.
+    pub likes: Vec<String>,
+    pub dislikes: Vec<String>,
+    /// Ingredient ids the user is allergic to.
+    pub allergies: Vec<String>,
+    /// Diet id, if the user follows one.
+    pub diet: Option<String>,
+    /// Nutritional goal ids.
+    pub goals: Vec<String>,
+    pub pregnant: bool,
+    /// Region id the user is in.
+    pub region: Option<String>,
+    /// Price tier the user can afford (1 cheap ..= 3 expensive).
+    pub budget_tier: Option<u8>,
+}
+
+impl UserProfile {
+    pub fn new(id: &str) -> Self {
+        UserProfile {
+            id: id.to_string(),
+            ..Default::default()
+        }
+    }
+
+    pub fn likes(mut self, ids: &[&str]) -> Self {
+        self.likes = ids.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn dislikes(mut self, ids: &[&str]) -> Self {
+        self.dislikes = ids.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn allergies(mut self, ids: &[&str]) -> Self {
+        self.allergies = ids.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn diet(mut self, id: &str) -> Self {
+        self.diet = Some(id.to_string());
+        self
+    }
+
+    pub fn goals(mut self, ids: &[&str]) -> Self {
+        self.goals = ids.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn pregnant(mut self, v: bool) -> Self {
+        self.pregnant = v;
+        self
+    }
+
+    pub fn region(mut self, id: &str) -> Self {
+        self.region = Some(id.to_string());
+        self
+    }
+
+    pub fn budget(mut self, tier: u8) -> Self {
+        self.budget_tier = Some(tier.clamp(1, 3));
+        self
+    }
+}
+
+/// System context: current season and region (the
+/// `feo:SystemCharacteristic` sources).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemContext {
+    pub season: Season,
+    pub region: Option<String>,
+}
+
+impl SystemContext {
+    pub fn new(season: Season) -> Self {
+        SystemContext {
+            season,
+            region: None,
+        }
+    }
+
+    pub fn region(mut self, id: &str) -> Self {
+        self.region = Some(id.to_string());
+        self
+    }
+
+}
+
+/// Generates `n` plausible random user profiles against a KG, seeded for
+/// reproducibility.
+pub fn random_profiles(kg: &FoodKg, n: usize, seed: u64) -> Vec<UserProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let recipe_ids: Vec<&str> = kg.recipes.iter().map(|r| r.id.as_str()).collect();
+    let ingredient_ids: Vec<&str> = kg.ingredients.iter().map(|i| i.id.as_str()).collect();
+    let diet_ids: Vec<&str> = kg.diets.iter().map(|d| d.id.as_str()).collect();
+    let goal_ids: Vec<&str> = kg.goals.iter().map(|g| g.id.as_str()).collect();
+
+    (0..n)
+        .map(|i| {
+            let mut p = UserProfile::new(&format!("user{i}"));
+            let n_likes = rng.gen_range(1..=4usize.min(recipe_ids.len()));
+            p.likes = recipe_ids
+                .choose_multiple(&mut rng, n_likes)
+                .map(|s| s.to_string())
+                .collect();
+            if rng.gen_bool(0.5) && !recipe_ids.is_empty() {
+                let n_dislikes = rng.gen_range(1..=2);
+                p.dislikes = recipe_ids
+                    .choose_multiple(&mut rng, n_dislikes)
+                    .map(|s| s.to_string())
+                    .filter(|d| !p.likes.contains(d))
+                    .collect();
+            }
+            if rng.gen_bool(0.3) && !ingredient_ids.is_empty() {
+                p.allergies = ingredient_ids
+                    .choose_multiple(&mut rng, 1)
+                    .map(|s| s.to_string())
+                    .collect();
+            }
+            if rng.gen_bool(0.4) && !diet_ids.is_empty() {
+                p.diet = diet_ids.choose(&mut rng).map(|s| s.to_string());
+            }
+            if rng.gen_bool(0.6) && !goal_ids.is_empty() {
+                let n_goals = rng.gen_range(1..=2);
+                p.goals = goal_ids
+                    .choose_multiple(&mut rng, n_goals)
+                    .map(|s| s.to_string())
+                    .collect();
+            }
+            if !kg.regions.is_empty() {
+                p.region = kg.regions.choose(&mut rng).cloned();
+            }
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::curated;
+
+    #[test]
+    fn builder_chains() {
+        let u = UserProfile::new("u")
+            .likes(&["A"])
+            .dislikes(&["B"])
+            .allergies(&["C"])
+            .diet("Vegan")
+            .goals(&["G"])
+            .pregnant(true)
+            .region("Florida");
+        assert_eq!(u.likes, vec!["A"]);
+        assert!(u.pregnant);
+        assert_eq!(u.region.as_deref(), Some("Florida"));
+    }
+
+    #[test]
+    fn random_profiles_are_deterministic() {
+        let kg = curated();
+        let a = random_profiles(&kg, 10, 42);
+        let b = random_profiles(&kg, 10, 42);
+        assert_eq!(a, b);
+        let c = random_profiles(&kg, 10, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_profiles_reference_real_entities() {
+        let kg = curated();
+        for p in random_profiles(&kg, 25, 7) {
+            for l in &p.likes {
+                assert!(kg.recipe(l).is_some(), "unknown liked recipe {l}");
+            }
+            for a in &p.allergies {
+                assert!(kg.ingredient(a).is_some(), "unknown allergen {a}");
+            }
+            if let Some(d) = &p.diet {
+                assert!(kg.diet(d).is_some());
+            }
+            for g in &p.goals {
+                assert!(kg.goal(g).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn dislikes_never_overlap_likes() {
+        let kg = curated();
+        for p in random_profiles(&kg, 50, 3) {
+            for d in &p.dislikes {
+                assert!(!p.likes.contains(d));
+            }
+        }
+    }
+}

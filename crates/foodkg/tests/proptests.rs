@@ -1,0 +1,123 @@
+//! Property tests for the FoodKG substrate: generator validity, RDF
+//! emission/loading round trips, and profile generator invariants over
+//! random configurations.
+
+use feo_foodkg::{
+    kg_from_rdf, kg_to_rdf, random_profiles, synthetic, Season, SyntheticConfig,
+};
+use feo_rdf::Graph;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (10usize..60, 8usize..40, any::<u64>(), 0.0f64..0.9, 1usize..4, 4usize..9).prop_map(
+        |(recipes, ingredients, seed, seasonal, lo, hi)| SyntheticConfig {
+            recipes,
+            ingredients,
+            seed,
+            seasonal_fraction: seasonal,
+            ingredients_per_recipe: (lo, hi),
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated KGs are internally consistent: every reference resolves,
+    /// sizes match the config, recipes stay within the ingredient bounds.
+    #[test]
+    fn generator_output_is_valid(cfg in arb_config()) {
+        let kg = synthetic(&cfg);
+        prop_assert_eq!(kg.recipes.len(), cfg.recipes);
+        prop_assert_eq!(kg.ingredients.len(), cfg.ingredients);
+        for r in &kg.recipes {
+            prop_assert!(r.ingredients.len() >= cfg.ingredients_per_recipe.0.min(cfg.ingredients));
+            prop_assert!(r.ingredients.len() <= cfg.ingredients_per_recipe.1.max(cfg.ingredients_per_recipe.0));
+            for i in &r.ingredients {
+                let exists = kg.ingredient(i).is_some();
+                prop_assert!(exists, "dangling ingredient {}", i);
+            }
+            prop_assert!(r.calories > 0);
+            prop_assert!((1..=3).contains(&r.price_tier));
+        }
+        for d in &kg.diets {
+            prop_assert!(!d.forbids_categories.is_empty());
+        }
+    }
+
+    /// RDF emission → reverse loading reconstructs the same KG.
+    #[test]
+    fn rdf_round_trip_for_random_kgs(cfg in arb_config()) {
+        let kg = synthetic(&cfg);
+        let mut g = Graph::new();
+        kg_to_rdf(&kg, &mut g);
+        let loaded = kg_from_rdf(&g);
+        prop_assert_eq!(kg.recipes.len(), loaded.recipes.len());
+        prop_assert_eq!(kg.ingredients.len(), loaded.ingredients.len());
+        for r in &kg.recipes {
+            let l = loaded.recipe(&r.id).expect("recipe survives round trip");
+            let mut orig: Vec<&String> = r.ingredients.iter().collect();
+            orig.sort();
+            let got: Vec<&String> = l.ingredients.iter().collect();
+            prop_assert_eq!(orig, got);
+            prop_assert_eq!(r.calories, l.calories);
+        }
+        for i in &kg.ingredients {
+            let l = loaded.ingredient(&i.id).expect("ingredient survives");
+            let mut orig = i.seasons.clone();
+            orig.sort();
+            prop_assert_eq!(&orig, &l.seasons);
+        }
+    }
+
+    /// Derived recipe attributes are consistent with ingredient data.
+    #[test]
+    fn derived_attributes_consistent(cfg in arb_config()) {
+        let kg = synthetic(&cfg);
+        for r in &kg.recipes {
+            let nutrients = kg.recipe_nutrients(r);
+            let categories = kg.recipe_categories(r);
+            // Everything derived must come from some ingredient (or the
+            // recipe's own tags).
+            for n in &nutrients {
+                let sourced = r.ingredients.iter().any(|i| {
+                    kg.ingredient(i).map(|ing| ing.nutrients.contains(n)).unwrap_or(false)
+                });
+                prop_assert!(sourced, "nutrient {} has no source", n);
+            }
+            for c in &categories {
+                let from_recipe = r.categories.contains(c);
+                let from_ingredient = r.ingredients.iter().any(|i| {
+                    kg.ingredient(i).map(|ing| ing.categories.contains(c)).unwrap_or(false)
+                });
+                prop_assert!(from_recipe || from_ingredient);
+            }
+            // in-season agrees with the ingredient season lists.
+            for s in Season::ALL {
+                let expect = r.ingredients.iter().any(|i| {
+                    kg.ingredient(i).map(|ing| ing.seasons.contains(&s)).unwrap_or(false)
+                });
+                prop_assert_eq!(kg.recipe_in_season(r, s), expect);
+            }
+        }
+    }
+
+    /// Profile generation is total and valid for any generated KG.
+    #[test]
+    fn profiles_valid_for_any_kg(cfg in arb_config(), n in 1usize..20, seed in any::<u64>()) {
+        let kg = synthetic(&cfg);
+        let profiles = random_profiles(&kg, n, seed);
+        prop_assert_eq!(profiles.len(), n);
+        for p in &profiles {
+            prop_assert!(!p.likes.is_empty());
+            for l in &p.likes {
+                let exists = kg.recipe(l).is_some();
+                prop_assert!(exists);
+            }
+            for d in &p.dislikes {
+                prop_assert!(!p.likes.contains(d), "profile likes and dislikes overlap");
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # feo-ontology
+//!
+//! The ontologies of the FEO paper, encoded programmatically:
+//!
+//! - [`ns`] — namespace constants (`eo:`, `feo:`, `food:`) and the shared
+//!   SPARQL prologue;
+//! - [`schema`] — TBox builders for the Explanation Ontology fragment,
+//!   the Food Explanation Ontology (Figures 1–3 of the paper), and the
+//!   "What To Make" food ontology with FEO's diet/season/region
+//!   extensions;
+//! - [`builder`] — the fluent OWL-in-RDF builder the schemas use;
+//! - [`report`] — regenerates Figure 1 (characteristic tree) and
+//!   Figure 2 (property lattice) from the live graph;
+//! - [`export`] — Turtle serialization of the TBoxes.
+//!
+//! ```
+//! use feo_ontology::schema::tbox_graph;
+//! use feo_owl::Reasoner;
+//!
+//! let mut g = tbox_graph();
+//! let result = Reasoner::new().materialize(&mut g);
+//! assert!(result.is_consistent());
+//! ```
+
+pub mod builder;
+pub mod export;
+pub mod ns;
+pub mod report;
+pub mod schema;
+
+pub use schema::{eo_tbox, feo_tbox, food_tbox, load_tboxes, tbox_graph};

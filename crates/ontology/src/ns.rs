@@ -1,0 +1,202 @@
+//! Namespace constants for the three ontologies the paper composes:
+//! the Explanation Ontology (`eo:`), the Food Explanation Ontology
+//! (`feo:`), and the "What To Make" food ontology (`food:`).
+//!
+//! IRIs match the paper's published namespaces (`purl.org/heals/...`).
+
+/// Explanation Ontology (Chari et al., ISWC 2020) — the fragment FEO
+/// extends: explanation-type classes, `eo:Fact` / `eo:Foil`, and the
+/// `eo:knowledge` grouping class the competency queries filter on.
+pub mod eo {
+    pub const NS: &str = "https://purl.org/heals/eo#";
+
+    pub const EXPLANATION: &str = "https://purl.org/heals/eo#Explanation";
+    pub const CASE_BASED: &str = "https://purl.org/heals/eo#CaseBasedExplanation";
+    pub const CONTEXTUAL: &str = "https://purl.org/heals/eo#ContextualExplanation";
+    pub const CONTRASTIVE: &str = "https://purl.org/heals/eo#ContrastiveExplanation";
+    pub const COUNTERFACTUAL: &str = "https://purl.org/heals/eo#CounterfactualExplanation";
+    pub const EVERYDAY: &str = "https://purl.org/heals/eo#EverydayExplanation";
+    pub const SCIENTIFIC: &str = "https://purl.org/heals/eo#ScientificExplanation";
+    pub const SIMULATION_BASED: &str = "https://purl.org/heals/eo#SimulationBasedExplanation";
+    pub const STATISTICAL: &str = "https://purl.org/heals/eo#StatisticalExplanation";
+    pub const TRACE_BASED: &str = "https://purl.org/heals/eo#TraceBasedExplanation";
+
+    /// Grouping class for knowledge-level constructs; the paper's queries
+    /// exclude subclasses of `eo:knowledge` from characteristic listings.
+    pub const KNOWLEDGE: &str = "https://purl.org/heals/eo#knowledge";
+    pub const FACT: &str = "https://purl.org/heals/eo#Fact";
+    pub const FOIL: &str = "https://purl.org/heals/eo#Foil";
+
+    /// Record classes from EO that FEO reuses for explanation assembly.
+    pub const OBJECT_RECORD: &str = "https://purl.org/heals/eo#ObjectRecord";
+    pub const KNOWLEDGE_RECORD: &str = "https://purl.org/heals/eo#KnowledgeRecord";
+    pub const RECOMMENDATION: &str = "https://purl.org/heals/eo#Recommendation";
+    pub const SYSTEM_RECOMMENDATION: &str = "https://purl.org/heals/eo#SystemRecommendation";
+
+    pub const BASED_ON: &str = "https://purl.org/heals/eo#isBasedOn";
+    pub const IN_RELATION_TO: &str = "https://purl.org/heals/eo#inRelationTo";
+}
+
+/// Food Explanation Ontology — the paper's contribution.
+pub mod feo {
+    pub const NS: &str = "https://purl.org/heals/feo#";
+
+    // ---- Characteristic hierarchy (Figure 1) ----
+    pub const CHARACTERISTIC: &str = "https://purl.org/heals/feo#Characteristic";
+    pub const PARAMETER: &str = "https://purl.org/heals/feo#Parameter";
+    pub const USER_CHARACTERISTIC: &str = "https://purl.org/heals/feo#UserCharacteristic";
+    pub const SYSTEM_CHARACTERISTIC: &str = "https://purl.org/heals/feo#SystemCharacteristic";
+
+    pub const LIKED_FOOD: &str = "https://purl.org/heals/feo#LikedFoodCharacteristic";
+    pub const DISLIKED_FOOD: &str = "https://purl.org/heals/feo#DislikedFoodCharacteristic";
+    pub const ALLERGIC_FOOD: &str = "https://purl.org/heals/feo#AllergicFoodCharacteristic";
+    pub const DIET: &str = "https://purl.org/heals/feo#DietCharacteristic";
+    pub const NUTRITIONAL_GOAL: &str =
+        "https://purl.org/heals/feo#NutritionalGoalCharacteristic";
+    pub const PREGNANCY: &str = "https://purl.org/heals/feo#PregnancyCharacteristic";
+    pub const BUDGET: &str = "https://purl.org/heals/feo#BudgetCharacteristic";
+
+    pub const SEASON: &str = "https://purl.org/heals/feo#SeasonCharacteristic";
+    pub const LOCATION: &str = "https://purl.org/heals/feo#LocationCharacteristic";
+    pub const TIME: &str = "https://purl.org/heals/feo#TimeCharacteristic";
+
+    // ---- Question / ecosystem model ----
+    pub const QUESTION: &str = "https://purl.org/heals/feo#Question";
+    pub const ECOSYSTEM: &str = "https://purl.org/heals/feo#Ecosystem";
+    /// The singleton individual representing the current user+system
+    /// context the engine reasons about.
+    pub const CURRENT_ECOSYSTEM: &str = "https://purl.org/heals/feo#CurrentEcosystem";
+
+    // ---- Properties (Figure 2) ----
+    /// Food/parameter → characteristic; `owl:TransitiveProperty`.
+    pub const HAS_CHARACTERISTIC: &str = "https://purl.org/heals/feo#hasCharacteristic";
+    /// Inverse of `hasCharacteristic`.
+    pub const IS_CHARACTERISTIC_OF: &str = "https://purl.org/heals/feo#isCharacteristicOf";
+    /// Characteristic supports the food it characterizes.
+    pub const IS_SUPPORTIVE_CHARACTERISTIC_OF: &str =
+        "https://purl.org/heals/feo#isSupportiveCharacteristicOf";
+    /// Characteristic opposes the food it characterizes.
+    pub const IS_OPPOSING_CHARACTERISTIC_OF: &str =
+        "https://purl.org/heals/feo#isOpposingCharacteristicOf";
+    /// `feo:forbids ⊑ isOpposingCharacteristicOf ⊓ isCharacteristicOf`
+    /// (paper §III-B).
+    pub const FORBIDS: &str = "https://purl.org/heals/feo#forbids";
+    /// `feo:recommends ⊑ isSupportiveCharacteristicOf ⊓ isCharacteristicOf`.
+    pub const RECOMMENDS: &str = "https://purl.org/heals/feo#recommends";
+
+    pub const HAS_PARAMETER: &str = "https://purl.org/heals/feo#hasParameter";
+    pub const HAS_PRIMARY_PARAMETER: &str =
+        "https://purl.org/heals/feo#hasPrimaryParameter";
+    pub const HAS_SECONDARY_PARAMETER: &str =
+        "https://purl.org/heals/feo#hasSecondaryParameter";
+
+    /// Characteristic holds in the current ecosystem.
+    pub const PRESENT_IN: &str = "https://purl.org/heals/feo#presentIn";
+    /// Characteristic contradicts the current ecosystem.
+    pub const ABSENT_FROM: &str = "https://purl.org/heals/feo#absentFrom";
+
+    /// Boolean datatype property flagging internal (food/health domain)
+    /// vs. external (location, season, budget) characteristic classes.
+    pub const IS_INTERNAL: &str = "https://purl.org/heals/feo#isInternal";
+
+    /// Links a reference user to a nutritional goal they achieved —
+    /// the aggregate evidence behind statistical explanations (§VI).
+    pub const ACHIEVED_GOAL: &str = "https://purl.org/heals/feo#achievedGoal";
+
+    // ---- Season individuals ----
+    pub const SPRING: &str = "https://purl.org/heals/feo#Spring";
+    pub const SUMMER: &str = "https://purl.org/heals/feo#Summer";
+    pub const AUTUMN: &str = "https://purl.org/heals/feo#Autumn";
+    pub const WINTER: &str = "https://purl.org/heals/feo#Winter";
+
+    // ---- Pregnancy individual for the counterfactual CQ ----
+    pub const PREGNANCY_STATE: &str = "https://purl.org/heals/feo#Pregnancy";
+
+    /// The `feo:BudgetTier<n>` individual for a price tier (1..=3).
+    pub fn budget_tier_iri(tier: u8) -> String {
+        format!("{NS}BudgetTier{tier}")
+    }
+}
+
+/// "What To Make" food ontology (`http://purl.org/heals/food`), the concise
+/// food model FEO builds on, with the diet/seasonal/regional extensions
+/// the paper added.
+pub mod food {
+    pub const NS: &str = "http://purl.org/heals/food#";
+
+    pub const FOOD: &str = "http://purl.org/heals/food#Food";
+    pub const RECIPE: &str = "http://purl.org/heals/food#Recipe";
+    pub const INGREDIENT: &str = "http://purl.org/heals/food#Ingredient";
+    pub const NUTRIENT: &str = "http://purl.org/heals/food#Nutrient";
+    /// Food groupings like "raw fish" — not directly edible `food:Food`s.
+    pub const FOOD_CATEGORY: &str = "http://purl.org/heals/food#FoodCategory";
+    pub const DIET: &str = "http://purl.org/heals/food#Diet";
+    pub const USER: &str = "http://purl.org/heals/food#User";
+    pub const REGION: &str = "http://purl.org/heals/food#Region";
+
+    pub const HAS_INGREDIENT: &str = "http://purl.org/heals/food#hasIngredient";
+    pub const IS_INGREDIENT_OF: &str = "http://purl.org/heals/food#isIngredientOf";
+    pub const HAS_NUTRIENT: &str = "http://purl.org/heals/food#hasNutrient";
+    pub const IS_NUTRIENT_OF: &str = "http://purl.org/heals/food#isNutrientOf";
+    pub const AVAILABLE_IN_SEASON: &str = "http://purl.org/heals/food#availableInSeason";
+    pub const SEASON_OF: &str = "http://purl.org/heals/food#seasonOf";
+    pub const AVAILABLE_IN_REGION: &str = "http://purl.org/heals/food#availableInRegion";
+    pub const REGION_OF: &str = "http://purl.org/heals/food#regionOf";
+    pub const BELONGS_TO_CATEGORY: &str = "http://purl.org/heals/food#belongsToCategory";
+    pub const CATEGORY_OF: &str = "http://purl.org/heals/food#categoryOf";
+
+    pub const LIKES: &str = "http://purl.org/heals/food#likes";
+    pub const LIKED_BY: &str = "http://purl.org/heals/food#likedBy";
+    pub const DISLIKES: &str = "http://purl.org/heals/food#dislikes";
+    pub const DISLIKED_BY: &str = "http://purl.org/heals/food#dislikedBy";
+    pub const ALLERGIC_TO: &str = "http://purl.org/heals/food#allergicTo";
+    pub const ALLERGEN_OF: &str = "http://purl.org/heals/food#allergenOf";
+    pub const FOLLOWS_DIET: &str = "http://purl.org/heals/food#followsDiet";
+    pub const DIET_OF: &str = "http://purl.org/heals/food#dietOf";
+    pub const HAS_GOAL: &str = "http://purl.org/heals/food#hasGoal";
+    pub const FORBIDS_CATEGORY: &str = "http://purl.org/heals/food#forbidsCategory";
+
+    pub const CALORIES: &str = "http://purl.org/heals/food#calories";
+    pub const SERVES: &str = "http://purl.org/heals/food#serves";
+    pub const PRICE_TIER: &str = "http://purl.org/heals/food#priceTier";
+}
+
+/// Standard prefix list for serializing / writing queries against FEO
+/// graphs.
+pub const PREFIXES: &[(&str, &str)] = &[
+    ("eo", eo::NS),
+    ("feo", feo::NS),
+    ("food", food::NS),
+    ("rdf", feo_rdf::vocab::rdf::NS),
+    ("rdfs", feo_rdf::vocab::rdfs::NS),
+    ("owl", feo_rdf::vocab::owl::NS),
+    ("xsd", feo_rdf::vocab::xsd::NS),
+];
+
+/// The SPARQL prologue declaring [`PREFIXES`] — prepend to query bodies.
+pub fn sparql_prologue() -> String {
+    PREFIXES
+        .iter()
+        .map(|(p, ns)| format!("PREFIX {p}: <{ns}>\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_consistent() {
+        assert!(eo::FACT.starts_with(eo::NS));
+        assert!(feo::HAS_CHARACTERISTIC.starts_with(feo::NS));
+        assert!(food::HAS_INGREDIENT.starts_with(food::NS));
+    }
+
+    #[test]
+    fn prologue_declares_all_prefixes() {
+        let p = sparql_prologue();
+        for (name, _) in PREFIXES {
+            assert!(p.contains(&format!("PREFIX {name}:")));
+        }
+    }
+}

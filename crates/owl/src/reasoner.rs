@@ -1,0 +1,1216 @@
+//! Forward-chaining materializing reasoner.
+//!
+//! Implements the OWL 2 RL entailment rules the FEO pipeline depends on,
+//! replacing the Pellet reasoner the paper used. The paper's workflow is
+//! "run the reasoner, export the ontology with the inferred axioms, then
+//! run SPARQL over the export" — [`Reasoner::materialize`] is exactly that
+//! export step: it adds every derivable triple to the graph in place.
+//!
+//! ## Rule coverage
+//!
+//! Schema: subclass/subproperty transitive closure (scm-sco, scm-spo),
+//! equivalence as bidirectional subsumption (scm-eqc, scm-eqp).
+//!
+//! Instance: cax-sco (type inheritance), prp-spo1 (subproperty),
+//! prp-inv (inverses), prp-symp (symmetric), prp-trp (transitive),
+//! prp-dom/prp-rng (domain/range, including complex class expressions via
+//! membership application), prp-spo2 (property chains), prp-fp / prp-ifp
+//! (functional → `owl:sameAs`), eq-sym/eq-rep (sameAs propagation and
+//! triple replication), cls-int1/2, cls-svf1, cls-hv1/2, cls-avf, cls-oo —
+//! realized as generic "satisfies / apply" evaluation of class
+//! expressions on each side of every (Sub|Equivalent)ClassOf axiom.
+//!
+//! Consistency: cax-dw (disjoint classes), cls-nothing2, prp-irp
+//! (irreflexive), prp-asyp (asymmetric), eq-diff1 (sameAs ∧ differentFrom).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use feo_rdf::vocab::{owl, rdf, rdfs};
+use feo_rdf::{Graph, TermId};
+
+use crate::axiom::{Axiom, ClassExpr, Ontology};
+use crate::extract::extract_axioms;
+
+/// Tuning knobs for materialization.
+#[derive(Debug, Clone)]
+pub struct ReasonerOptions {
+    /// Insert the transitive closure of `rdfs:subClassOf` /
+    /// `rdfs:subPropertyOf` over named classes/properties into the graph,
+    /// so SPARQL queries can use single-hop subclass patterns the way the
+    /// paper's Listing 1 does. Default: true.
+    pub materialize_schema_closure: bool,
+    /// Abort after this many outer rounds (safety valve; the fixpoint
+    /// normally converges in a handful). Default: 64.
+    pub max_rounds: usize,
+    /// Run consistency checks after the fixpoint. Default: true.
+    pub check_consistency: bool,
+    /// Record, for every inferred triple, the rule that produced it and
+    /// its premise triples — the analogue of Pellet's axiom explanations.
+    /// Default: false (costs memory proportional to the inferred set).
+    pub track_derivations: bool,
+}
+
+impl Default for ReasonerOptions {
+    fn default() -> Self {
+        ReasonerOptions {
+            materialize_schema_closure: true,
+            max_rounds: 64,
+            check_consistency: true,
+            track_derivations: false,
+        }
+    }
+}
+
+/// Why an inferred triple holds: the rule that fired and the premise
+/// triples it consumed. Premises that were themselves inferred have their
+/// own entries, so chains of `Derivation`s form proof trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Derivation {
+    /// OWL 2 RL rule name (e.g. `cax-sco`, `prp-trp`, `cls`).
+    pub rule: &'static str,
+    /// The triples this inference consumed.
+    pub premises: Vec<[TermId; 3]>,
+}
+
+/// A detected inconsistency. The graph is still materialized (all sound
+/// derivations are kept); callers decide how to react, mirroring how the
+/// paper's pipeline would surface a Pellet inconsistency report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inconsistency {
+    pub kind: InconsistencyKind,
+    /// Human-readable description using local names.
+    pub detail: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InconsistencyKind {
+    DisjointClassesViolation,
+    DisjointPropertiesViolation,
+    NothingHasInstance,
+    IrreflexiveViolation,
+    AsymmetricViolation,
+    SameAndDifferent,
+}
+
+/// Statistics and findings from one materialization run.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceResult {
+    /// Triples added to the graph by inference.
+    pub added: usize,
+    /// Outer fixpoint rounds used.
+    pub rounds: usize,
+    /// Number of axioms extracted from the graph.
+    pub axiom_count: usize,
+    /// Extraction warnings (unparseable expressions).
+    pub warnings: Vec<String>,
+    /// Detected inconsistencies (empty when consistent).
+    pub inconsistencies: Vec<Inconsistency>,
+    /// Per-triple derivations (populated only with
+    /// [`ReasonerOptions::track_derivations`]).
+    pub derivations: HashMap<[TermId; 3], Derivation>,
+}
+
+impl InferenceResult {
+    pub fn is_consistent(&self) -> bool {
+        self.inconsistencies.is_empty()
+    }
+}
+
+/// The materializing reasoner. Stateless between runs: each call to
+/// [`Reasoner::materialize`] re-extracts axioms from the graph, so TBox
+/// edits between runs are picked up automatically.
+#[derive(Debug, Default, Clone)]
+pub struct Reasoner {
+    options: ReasonerOptions,
+}
+
+impl Reasoner {
+    pub fn new() -> Self {
+        Reasoner::default()
+    }
+
+    pub fn with_options(options: ReasonerOptions) -> Self {
+        Reasoner { options }
+    }
+
+    /// Materializes all derivable triples into `graph` and returns run
+    /// statistics. Idempotent: a second run adds nothing.
+    pub fn materialize(&self, graph: &mut Graph) -> InferenceResult {
+        let ontology = extract_axioms(graph);
+        Engine::new(graph, &ontology, &self.options).run()
+    }
+}
+
+/// Precompiled rule tables plus the running fixpoint state.
+struct Engine<'g> {
+    g: &'g mut Graph,
+    opts: &'g ReasonerOptions,
+    result: InferenceResult,
+
+    rdf_type: TermId,
+    same_as: TermId,
+
+    /// Named-class superclasses (transitive, irreflexive-by-construction
+    /// unless cycles exist, in which case cycle members include each other).
+    sup_class: HashMap<TermId, BTreeSet<TermId>>,
+    /// Named-property superproperties (transitive).
+    sup_prop: HashMap<TermId, BTreeSet<TermId>>,
+    inverses: HashMap<TermId, Vec<TermId>>,
+    transitive: HashSet<TermId>,
+    symmetric: HashSet<TermId>,
+    asymmetric: HashSet<TermId>,
+    functional: HashSet<TermId>,
+    inverse_functional: HashSet<TermId>,
+    irreflexive: HashSet<TermId>,
+    domains: HashMap<TermId, Vec<ClassExpr>>,
+    ranges: HashMap<TermId, Vec<ClassExpr>>,
+    chains: Vec<(Vec<TermId>, TermId)>,
+    /// Subclass-like pairs where at least one side is a complex expression.
+    complex: Vec<(ClassExpr, ClassExpr)>,
+    disjoint_classes: Vec<(ClassExpr, ClassExpr)>,
+    disjoint_properties: Vec<(TermId, TermId)>,
+    different_from: Vec<(TermId, TermId)>,
+    /// sameAs alias sets, maintained incrementally.
+    aliases: HashMap<TermId, BTreeSet<TermId>>,
+
+    queue: VecDeque<[TermId; 3]>,
+}
+
+impl<'g> Engine<'g> {
+    fn new(g: &'g mut Graph, ontology: &Ontology, opts: &'g ReasonerOptions) -> Self {
+        let rdf_type = g.intern_iri(rdf::TYPE);
+        let same_as = g.intern_iri(owl::SAME_AS);
+
+        let mut sup_class: HashMap<TermId, BTreeSet<TermId>> = HashMap::new();
+        let mut sup_prop: HashMap<TermId, BTreeSet<TermId>> = HashMap::new();
+        let mut inverses: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        let mut transitive = HashSet::new();
+        let mut symmetric = HashSet::new();
+        let mut asymmetric = HashSet::new();
+        let mut functional = HashSet::new();
+        let mut inverse_functional = HashSet::new();
+        let mut irreflexive = HashSet::new();
+        let mut domains: HashMap<TermId, Vec<ClassExpr>> = HashMap::new();
+        let mut ranges: HashMap<TermId, Vec<ClassExpr>> = HashMap::new();
+        let mut chains = Vec::new();
+        let mut complex = Vec::new();
+        let mut disjoint_classes = Vec::new();
+        let mut disjoint_properties = Vec::new();
+        let mut different_from = Vec::new();
+        let mut initial_same_as = Vec::new();
+
+        for (sub, sup) in ontology.subclass_like() {
+            match (sub.as_named(), sup.as_named()) {
+                (Some(a), Some(b)) => {
+                    sup_class.entry(a).or_default().insert(b);
+                }
+                _ => complex.push((sub.clone(), sup.clone())),
+            }
+        }
+
+        for axiom in &ontology.axioms {
+            match axiom {
+                Axiom::SubPropertyOf(a, b) => {
+                    sup_prop.entry(*a).or_default().insert(*b);
+                }
+                Axiom::EquivalentProperties(a, b) => {
+                    sup_prop.entry(*a).or_default().insert(*b);
+                    sup_prop.entry(*b).or_default().insert(*a);
+                }
+                Axiom::InverseOf(a, b) => {
+                    inverses.entry(*a).or_default().push(*b);
+                    inverses.entry(*b).or_default().push(*a);
+                }
+                Axiom::TransitiveProperty(p) => {
+                    transitive.insert(*p);
+                }
+                Axiom::SymmetricProperty(p) => {
+                    symmetric.insert(*p);
+                }
+                Axiom::AsymmetricProperty(p) => {
+                    asymmetric.insert(*p);
+                }
+                Axiom::FunctionalProperty(p) => {
+                    functional.insert(*p);
+                }
+                Axiom::InverseFunctionalProperty(p) => {
+                    inverse_functional.insert(*p);
+                }
+                Axiom::IrreflexiveProperty(p) => {
+                    irreflexive.insert(*p);
+                }
+                Axiom::Domain(p, c) => domains.entry(*p).or_default().push(c.clone()),
+                Axiom::Range(p, c) => ranges.entry(*p).or_default().push(c.clone()),
+                Axiom::PropertyChain(chain, p) => chains.push((chain.clone(), *p)),
+                Axiom::DisjointClasses(a, b) => disjoint_classes.push((a.clone(), b.clone())),
+                Axiom::DisjointProperties(a, b) => disjoint_properties.push((*a, *b)),
+                Axiom::DifferentFrom(a, b) => different_from.push((*a, *b)),
+                Axiom::SameAs(a, b) => initial_same_as.push((*a, *b)),
+                _ => {}
+            }
+        }
+
+        transitive_close(&mut sup_class);
+        transitive_close(&mut sup_prop);
+
+        let mut engine = Engine {
+            g,
+            opts,
+            result: InferenceResult {
+                axiom_count: ontology.axioms.len(),
+                warnings: ontology.warnings.clone(),
+                ..Default::default()
+            },
+            rdf_type,
+            same_as,
+            sup_class,
+            sup_prop,
+            inverses,
+            transitive,
+            symmetric,
+            asymmetric,
+            functional,
+            inverse_functional,
+            irreflexive,
+            domains,
+            ranges,
+            chains,
+            complex,
+            disjoint_classes,
+            disjoint_properties,
+            different_from,
+            aliases: HashMap::new(),
+            queue: VecDeque::new(),
+        };
+
+        for (a, b) in initial_same_as {
+            engine.note_alias(a, b);
+        }
+        engine
+    }
+
+    fn run(mut self) -> InferenceResult {
+        if self.opts.materialize_schema_closure {
+            self.materialize_schema();
+        }
+
+        // Seed: every asserted triple can fire instance rules.
+        self.queue.extend(self.g.iter_ids());
+
+        loop {
+            self.result.rounds += 1;
+            self.drain_queue();
+            let before = self.result.added;
+            self.complex_pass();
+            self.chain_pass();
+            if self.result.added == before && self.queue.is_empty() {
+                break;
+            }
+            if self.result.rounds >= self.opts.max_rounds {
+                self.result.warnings.push(format!(
+                    "fixpoint not reached after {} rounds — output may be incomplete",
+                    self.opts.max_rounds
+                ));
+                break;
+            }
+        }
+
+        if self.opts.check_consistency {
+            self.check_consistency();
+        }
+        self.result
+    }
+
+    /// Inserts a derived triple, recording its derivation when tracking
+    /// is enabled. The first derivation of a triple wins.
+    fn add_by(
+        &mut self,
+        rule: &'static str,
+        premises: &[[TermId; 3]],
+        s: TermId,
+        p: TermId,
+        o: TermId,
+    ) {
+        if self.g.insert_ids(s, p, o) {
+            self.result.added += 1;
+            self.queue.push_back([s, p, o]);
+            if self.opts.track_derivations {
+                self.result.derivations.insert(
+                    [s, p, o],
+                    Derivation {
+                        rule,
+                        premises: premises.to_vec(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn materialize_schema(&mut self) {
+        let sco = self.g.intern_iri(rdfs::SUB_CLASS_OF);
+        let spo = self.g.intern_iri(rdfs::SUB_PROPERTY_OF);
+        let class_pairs: Vec<(TermId, TermId)> = self
+            .sup_class
+            .iter()
+            .flat_map(|(&c, sups)| sups.iter().map(move |&s| (c, s)))
+            .collect();
+        for (c, s) in class_pairs {
+            self.add_by("scm-sco", &[], c, sco, s);
+        }
+        let prop_pairs: Vec<(TermId, TermId)> = self
+            .sup_prop
+            .iter()
+            .flat_map(|(&p, sups)| sups.iter().map(move |&s| (p, s)))
+            .collect();
+        for (p, s) in prop_pairs {
+            self.add_by("scm-spo", &[], p, spo, s);
+        }
+    }
+
+    /// Instance-rule propagation driven by a worklist of new triples.
+    fn drain_queue(&mut self) {
+        while let Some([s, p, o]) = self.queue.pop_front() {
+            // cax-sco: type inheritance through the named-class closure.
+            if p == self.rdf_type {
+                if let Some(sups) = self.sup_class.get(&o) {
+                    for sup in sups.clone() {
+                        self.add_by("cax-sco", &[[s, p, o]], s, self.rdf_type, sup);
+                    }
+                }
+                continue;
+            }
+            if p == self.same_as {
+                self.note_alias(s, o);
+                self.add_by("eq-sym", &[[s, p, o]], o, self.same_as, s);
+                self.replicate_for_alias(s, o);
+                self.replicate_for_alias(o, s);
+                continue;
+            }
+
+            // prp-spo1
+            if let Some(sups) = self.sup_prop.get(&p) {
+                for q in sups.clone() {
+                    self.add_by("prp-spo1", &[[s, p, o]], s, q, o);
+                }
+            }
+            // prp-inv
+            if let Some(invs) = self.inverses.get(&p) {
+                for q in invs.clone() {
+                    self.add_by("prp-inv", &[[s, p, o]], o, q, s);
+                }
+            }
+            // prp-symp
+            if self.symmetric.contains(&p) {
+                self.add_by("prp-symp", &[[s, p, o]], o, p, s);
+            }
+            // prp-trp
+            if self.transitive.contains(&p) {
+                for z in self.g.objects(o, p) {
+                    self.add_by("prp-trp", &[[s, p, o], [o, p, z]], s, p, z);
+                }
+                let xs: Vec<TermId> = self
+                    .g
+                    .match_pattern(None, Some(p), Some(s))
+                    .into_iter()
+                    .map(|t| t[0])
+                    .collect();
+                for x in xs {
+                    self.add_by("prp-trp", &[[x, p, s], [s, p, o]], x, p, o);
+                }
+            }
+            // prp-dom / prp-rng
+            if let Some(cs) = self.domains.get(&p).cloned() {
+                for c in cs {
+                    self.apply_membership(s, &c);
+                }
+            }
+            if let Some(cs) = self.ranges.get(&p).cloned() {
+                for c in cs {
+                    self.apply_membership(o, &c);
+                }
+            }
+            // prp-fp: functional — two objects are the same individual.
+            if self.functional.contains(&p) {
+                for o2 in self.g.objects(s, p) {
+                    if o2 != o && self.g.term(o).is_resource() && self.g.term(o2).is_resource() {
+                        self.add_by("prp-fp", &[[s, p, o], [s, p, o2]], o, self.same_as, o2);
+                    }
+                }
+            }
+            // prp-ifp
+            if self.inverse_functional.contains(&p) {
+                for s2 in self.g.subjects(p, o) {
+                    if s2 != s {
+                        self.add_by("prp-ifp", &[[s, p, o], [s2, p, o]], s, self.same_as, s2);
+                    }
+                }
+            }
+            // eq-rep: replicate across known aliases of s and o.
+            if let Some(al) = self.aliases.get(&s).cloned() {
+                for a in al {
+                    self.add_by("eq-rep-s", &[[s, p, o]], a, p, o);
+                }
+            }
+            if let Some(al) = self.aliases.get(&o).cloned() {
+                for a in al {
+                    self.add_by("eq-rep-o", &[[s, p, o]], s, p, a);
+                }
+            }
+        }
+    }
+
+    /// Links two individuals as aliases, merging their alias sets so
+    /// sameAs chains stay transitively closed (eq-trans), and enqueues the
+    /// implied sameAs triples.
+    fn note_alias(&mut self, a: TermId, b: TermId) {
+        if a == b {
+            return;
+        }
+        // The merged equivalence class of a and b.
+        let mut class: BTreeSet<TermId> = BTreeSet::new();
+        class.insert(a);
+        class.insert(b);
+        class.extend(self.aliases.get(&a).into_iter().flatten().copied());
+        class.extend(self.aliases.get(&b).into_iter().flatten().copied());
+        for &member in &class {
+            let others: BTreeSet<TermId> =
+                class.iter().copied().filter(|&m| m != member).collect();
+            self.aliases
+                .entry(member)
+                .or_default()
+                .extend(others.iter().copied());
+            // Materialize the pairwise sameAs triples (eq-trans/eq-sym).
+            for &other in &others {
+                self.add_by("eq-trans", &[], member, self.same_as, other);
+            }
+        }
+    }
+
+    /// Copies every triple mentioning `from` onto `to` (eq-rep-s / eq-rep-o).
+    fn replicate_for_alias(&mut self, from: TermId, to: TermId) {
+        if from == to {
+            return;
+        }
+        let as_subject: Vec<[TermId; 3]> = self.g.match_pattern(Some(from), None, None);
+        for [_, p, o] in as_subject {
+            if p != self.same_as {
+                self.add_by("eq-rep-s", &[[from, p, o]], to, p, o);
+            }
+        }
+        let as_object: Vec<[TermId; 3]> = self.g.match_pattern(None, None, Some(from));
+        for [s, p, _] in as_object {
+            if p != self.same_as {
+                self.add_by("eq-rep-o", &[[s, p, from]], s, p, to);
+            }
+        }
+    }
+
+    /// One pass over all complex subclass-like axioms.
+    fn complex_pass(&mut self) {
+        let axioms = self.complex.clone();
+        let tracking = self.opts.track_derivations;
+        for (sub, sup) in &axioms {
+            for x in self.candidates(sub) {
+                if tracking {
+                    let mut witnesses = Vec::new();
+                    if self.witnesses(x, sub, &mut witnesses) {
+                        self.apply_membership_by(x, sup, &witnesses);
+                    }
+                } else if self.satisfies(x, sub) {
+                    self.apply_membership(x, sup);
+                }
+            }
+        }
+    }
+
+    /// Property-chain evaluation (prp-spo2), full pass. When derivation
+    /// tracking is on, the walked step triples are recorded as premises.
+    fn chain_pass(&mut self) {
+        let chains = self.chains.clone();
+        let tracking = self.opts.track_derivations;
+        for (chain, q) in &chains {
+            let mut frontier: Vec<(TermId, TermId, Vec<[TermId; 3]>)> = self
+                .g
+                .match_pattern(None, Some(chain[0]), None)
+                .into_iter()
+                .map(|t| {
+                    let steps = if tracking { vec![t] } else { Vec::new() };
+                    (t[0], t[2], steps)
+                })
+                .collect();
+            for &p in &chain[1..] {
+                let mut next = Vec::new();
+                for (start, mid, steps) in frontier {
+                    for z in self.g.objects(mid, p) {
+                        let mut s2 = steps.clone();
+                        if tracking {
+                            s2.push([mid, p, z]);
+                        }
+                        next.push((start, z, s2));
+                    }
+                }
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            for (s, o, steps) in frontier {
+                self.add_by("prp-spo2", &steps, s, *q, o);
+            }
+        }
+    }
+
+    /// Sound membership check: does the graph entail `x ∈ expr` using only
+    /// already-materialized triples?
+    fn satisfies(&self, x: TermId, expr: &ClassExpr) -> bool {
+        match expr {
+            ClassExpr::Named(c) => self.g.contains_ids(x, self.rdf_type, *c),
+            ClassExpr::IntersectionOf(es) => es.iter().all(|e| self.satisfies(x, e)),
+            ClassExpr::UnionOf(es) => es.iter().any(|e| self.satisfies(x, e)),
+            ClassExpr::SomeValuesFrom { property, filler } => self
+                .g
+                .objects(x, *property)
+                .into_iter()
+                .any(|o| self.satisfies(o, filler)),
+            ClassExpr::HasValue { property, value } => {
+                self.g.contains_ids(x, *property, *value)
+            }
+            ClassExpr::OneOf(ids) => ids.contains(&x),
+            // Open-world: membership in a complement or universal
+            // restriction is never derived, matching OWL 2 RL.
+            ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_) => false,
+        }
+    }
+
+    /// Asserts the consequences of `x ∈ expr`.
+    fn apply_membership(&mut self, x: TermId, expr: &ClassExpr) {
+        self.apply_membership_by(x, expr, &[]);
+    }
+
+    /// Like [`Engine::apply_membership`], recording `premises` as the
+    /// evidence for every consequence (used when derivation tracking is
+    /// on: the premises are the witness triples of the left-hand side).
+    fn apply_membership_by(&mut self, x: TermId, expr: &ClassExpr, premises: &[[TermId; 3]]) {
+        match expr {
+            ClassExpr::Named(c) => self.add_by("cls", premises, x, self.rdf_type, *c),
+            ClassExpr::IntersectionOf(es) => {
+                for e in es {
+                    self.apply_membership_by(x, e, premises);
+                }
+            }
+            ClassExpr::HasValue { property, value } => {
+                self.add_by("cls-hv1", premises, x, *property, *value)
+            }
+            ClassExpr::AllValuesFrom { property, filler } => {
+                // cls-avf: every p-successor of x is in the filler.
+                for o in self.g.objects(x, *property) {
+                    let mut with_edge = premises.to_vec();
+                    with_edge.push([x, *property, o]);
+                    self.apply_membership_by(o, filler, &with_edge);
+                }
+            }
+            ClassExpr::OneOf(ids) if ids.len() == 1 => {
+                // Singleton enumeration: x is that individual.
+                self.add_by("cls-oo", premises, x, self.same_as, ids[0]);
+            }
+            // No existential introduction (matches OWL 2 RL), and nothing
+            // sound to conclude from a union or general enumeration.
+            ClassExpr::SomeValuesFrom { .. }
+            | ClassExpr::UnionOf(_)
+            | ClassExpr::OneOf(_)
+            | ClassExpr::ComplementOf(_) => {}
+        }
+    }
+
+    /// Satisfaction check that also collects the witnessing triples —
+    /// used for derivation tracking. Semantically identical to
+    /// [`Engine::satisfies`].
+    fn witnesses(&self, x: TermId, expr: &ClassExpr, out: &mut Vec<[TermId; 3]>) -> bool {
+        match expr {
+            ClassExpr::Named(c) => {
+                if self.g.contains_ids(x, self.rdf_type, *c) {
+                    out.push([x, self.rdf_type, *c]);
+                    true
+                } else {
+                    false
+                }
+            }
+            ClassExpr::IntersectionOf(es) => {
+                let mark = out.len();
+                for e in es {
+                    if !self.witnesses(x, e, out) {
+                        out.truncate(mark);
+                        return false;
+                    }
+                }
+                true
+            }
+            ClassExpr::UnionOf(es) => es.iter().any(|e| self.witnesses(x, e, out)),
+            ClassExpr::SomeValuesFrom { property, filler } => {
+                for o in self.g.objects(x, *property) {
+                    let mark = out.len();
+                    out.push([x, *property, o]);
+                    if self.witnesses(o, filler, out) {
+                        return true;
+                    }
+                    out.truncate(mark);
+                }
+                false
+            }
+            ClassExpr::HasValue { property, value } => {
+                if self.g.contains_ids(x, *property, *value) {
+                    out.push([x, *property, *value]);
+                    true
+                } else {
+                    false
+                }
+            }
+            ClassExpr::OneOf(ids) => ids.contains(&x),
+            ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_) => false,
+        }
+    }
+
+    /// Individuals that could plausibly satisfy `expr` — a superset filter
+    /// used to avoid scanning every node for every axiom.
+    fn candidates(&self, expr: &ClassExpr) -> Vec<TermId> {
+        match expr {
+            ClassExpr::Named(c) => self.g.instances_of(*c),
+            ClassExpr::IntersectionOf(es) => {
+                // Use the conjunct with the most selective concrete
+                // candidate set; fall back to the first with any.
+                let mut best: Option<Vec<TermId>> = None;
+                for e in es {
+                    if matches!(e, ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_)) {
+                        continue;
+                    }
+                    let c = self.candidates(e);
+                    if best.as_ref().is_none_or(|b| c.len() < b.len()) {
+                        best = Some(c);
+                    }
+                }
+                best.unwrap_or_else(|| self.all_subjects())
+            }
+            ClassExpr::UnionOf(es) => {
+                let mut out: BTreeSet<TermId> = BTreeSet::new();
+                for e in es {
+                    out.extend(self.candidates(e));
+                }
+                out.into_iter().collect()
+            }
+            ClassExpr::SomeValuesFrom { property, .. } => {
+                let mut out: BTreeSet<TermId> = BTreeSet::new();
+                for t in self.g.match_pattern(None, Some(*property), None) {
+                    out.insert(t[0]);
+                }
+                out.into_iter().collect()
+            }
+            ClassExpr::HasValue { property, value } => self.g.subjects(*property, *value),
+            ClassExpr::OneOf(ids) => ids.clone(),
+            ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_) => self.all_subjects(),
+        }
+    }
+
+    fn all_subjects(&self) -> Vec<TermId> {
+        let mut out: BTreeSet<TermId> = BTreeSet::new();
+        for [s, _, _] in self.g.iter_ids() {
+            out.insert(s);
+        }
+        out.into_iter().collect()
+    }
+
+    fn check_consistency(&mut self) {
+        // cax-dw: disjoint classes sharing a member.
+        let pairs = self.disjoint_classes.clone();
+        for (a, b) in &pairs {
+            for x in self.candidates(a) {
+                if self.satisfies(x, a) && self.satisfies(x, b) {
+                    let detail = format!(
+                        "{} is an instance of disjoint classes",
+                        self.g.term_name(x)
+                    );
+                    self.result.inconsistencies.push(Inconsistency {
+                        kind: InconsistencyKind::DisjointClassesViolation,
+                        detail,
+                    });
+                }
+            }
+        }
+        // prp-pdw: disjoint properties linking the same pair.
+        for &(p, q) in &self.disjoint_properties.clone() {
+            for [x, _, y] in self.g.match_pattern(None, Some(p), None) {
+                if self.g.contains_ids(x, q, y) {
+                    let detail = format!(
+                        "disjoint properties {} and {} both relate {} to {}",
+                        self.g.term_name(p),
+                        self.g.term_name(q),
+                        self.g.term_name(x),
+                        self.g.term_name(y)
+                    );
+                    self.result.inconsistencies.push(Inconsistency {
+                        kind: InconsistencyKind::DisjointPropertiesViolation,
+                        detail,
+                    });
+                }
+            }
+        }
+        // cls-nothing2
+        if let Some(nothing) = self.g.lookup_iri(owl::NOTHING) {
+            for x in self.g.instances_of(nothing) {
+                let detail = format!("{} is an instance of owl:Nothing", self.g.term_name(x));
+                self.result.inconsistencies.push(Inconsistency {
+                    kind: InconsistencyKind::NothingHasInstance,
+                    detail,
+                });
+            }
+        }
+        // prp-irp
+        for &p in &self.irreflexive.clone() {
+            for [s, _, o] in self.g.match_pattern(None, Some(p), None) {
+                if s == o {
+                    let detail = format!(
+                        "irreflexive property {} relates {} to itself",
+                        self.g.term_name(p),
+                        self.g.term_name(s)
+                    );
+                    self.result.inconsistencies.push(Inconsistency {
+                        kind: InconsistencyKind::IrreflexiveViolation,
+                        detail,
+                    });
+                }
+            }
+        }
+        // prp-asyp
+        for &p in &self.asymmetric.clone() {
+            for [s, _, o] in self.g.match_pattern(None, Some(p), None) {
+                if self.g.contains_ids(o, p, s) && s != o {
+                    let detail = format!(
+                        "asymmetric property {} holds in both directions between {} and {}",
+                        self.g.term_name(p),
+                        self.g.term_name(s),
+                        self.g.term_name(o)
+                    );
+                    self.result.inconsistencies.push(Inconsistency {
+                        kind: InconsistencyKind::AsymmetricViolation,
+                        detail,
+                    });
+                }
+            }
+        }
+        // eq-diff1
+        for &(a, b) in &self.different_from.clone() {
+            if self.g.contains_ids(a, self.same_as, b) || self.g.contains_ids(b, self.same_as, a)
+            {
+                let detail = format!(
+                    "{} and {} are both sameAs and differentFrom",
+                    self.g.term_name(a),
+                    self.g.term_name(b)
+                );
+                self.result.inconsistencies.push(Inconsistency {
+                    kind: InconsistencyKind::SameAndDifferent,
+                    detail,
+                });
+            }
+        }
+    }
+}
+
+/// In-place transitive closure of an adjacency map.
+fn transitive_close(map: &mut HashMap<TermId, BTreeSet<TermId>>) {
+    // Simple semi-naive closure; schema graphs are small.
+    loop {
+        let mut additions: BTreeMap<TermId, BTreeSet<TermId>> = BTreeMap::new();
+        for (&node, sups) in map.iter() {
+            for &mid in sups {
+                if let Some(next) = map.get(&mid) {
+                    for &far in next {
+                        if far != node && !sups.contains(&far) {
+                            additions.entry(node).or_default().insert(far);
+                        }
+                    }
+                }
+            }
+        }
+        if additions.is_empty() {
+            return;
+        }
+        for (node, sups) in additions {
+            map.entry(node).or_default().extend(sups);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feo_rdf::turtle::parse_turtle_into;
+
+    fn graph(src: &str) -> Graph {
+        let mut g = Graph::new();
+        let prefixed = format!(
+            "@prefix rdf: <{}> .\n@prefix rdfs: <{}> .\n@prefix owl: <{}> .\n@prefix e: <http://e/> .\n{}",
+            rdf::NS,
+            rdfs::NS,
+            owl::NS,
+            src
+        );
+        parse_turtle_into(&prefixed, &mut g).expect("test turtle parses");
+        g
+    }
+
+    fn has(g: &Graph, s: &str, p: &str, o: &str) -> bool {
+        let e = |n: &str| -> String {
+            if n.contains("://") {
+                n.to_string()
+            } else {
+                format!("http://e/{n}")
+            }
+        };
+        match (g.lookup_iri(&e(s)), g.lookup_iri(&e(p)), g.lookup_iri(&e(o))) {
+            (Some(s), Some(p), Some(o)) => g.contains_ids(s, p, o),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn type_inheritance_through_subclass_chain() {
+        let mut g = graph(
+            "e:A rdfs:subClassOf e:B . e:B rdfs:subClassOf e:C .\n\
+             e:x a e:A .",
+        );
+        let r = Reasoner::new().materialize(&mut g);
+        assert!(r.is_consistent());
+        assert!(has(&g, "x", rdf::TYPE, "B"));
+        assert!(has(&g, "x", rdf::TYPE, "C"));
+        assert!(has(&g, "A", rdfs::SUB_CLASS_OF, "C"), "schema closure");
+    }
+
+    #[test]
+    fn materialization_is_idempotent() {
+        let mut g = graph(
+            "e:A rdfs:subClassOf e:B .\n\
+             e:p a owl:TransitiveProperty .\n\
+             e:x a e:A . e:x e:p e:y . e:y e:p e:z .",
+        );
+        let r1 = Reasoner::new().materialize(&mut g);
+        assert!(r1.added > 0);
+        let r2 = Reasoner::new().materialize(&mut g);
+        assert_eq!(r2.added, 0, "second run must add nothing");
+    }
+
+    #[test]
+    fn subproperty_and_inverse() {
+        let mut g = graph(
+            "e:likes rdfs:subPropertyOf e:interestedIn .\n\
+             e:likes owl:inverseOf e:likedBy .\n\
+             e:u e:likes e:apple .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "u", "interestedIn", "apple"));
+        assert!(has(&g, "apple", "likedBy", "u"));
+    }
+
+    #[test]
+    fn inverse_feeds_subsequent_rules() {
+        // dislikedBy derived via inverse, then characteristic class via
+        // a someValuesFrom equivalence — the FEO DislikedFoodCharacteristic
+        // pattern from the paper (§III-B).
+        let mut g = graph(
+            "e:dislikes owl:inverseOf e:dislikedBy .\n\
+             e:DislikedFood owl:equivalentClass [\n\
+               a owl:Restriction ; owl:onProperty e:dislikedBy ;\n\
+               owl:someValuesFrom e:User ] .\n\
+             e:u a e:User .\n\
+             e:u e:dislikes e:broccoli .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "broccoli", rdf::TYPE, "DislikedFood"));
+    }
+
+    #[test]
+    fn transitive_property_closure() {
+        let mut g = graph(
+            "e:hasCharacteristic a owl:TransitiveProperty .\n\
+             e:curry e:hasCharacteristic e:cauliflower .\n\
+             e:cauliflower e:hasCharacteristic e:autumn .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "curry", "hasCharacteristic", "autumn"));
+    }
+
+    #[test]
+    fn symmetric_property() {
+        let mut g = graph("e:pairsWith a owl:SymmetricProperty . e:wine e:pairsWith e:cheese .");
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "cheese", "pairsWith", "wine"));
+    }
+
+    #[test]
+    fn domain_and_range() {
+        let mut g = graph(
+            "e:hasIngredient rdfs:domain e:Recipe ; rdfs:range e:Ingredient .\n\
+             e:soup e:hasIngredient e:leek .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "soup", rdf::TYPE, "Recipe"));
+        assert!(has(&g, "leek", rdf::TYPE, "Ingredient"));
+    }
+
+    #[test]
+    fn has_value_both_directions() {
+        let mut g = graph(
+            "e:AutumnAvailable owl:equivalentClass [\n\
+               a owl:Restriction ; owl:onProperty e:availableIn ; owl:hasValue e:Autumn ] .\n\
+             e:squash e:availableIn e:Autumn .\n\
+             e:pumpkin a e:AutumnAvailable .",
+        );
+        Reasoner::new().materialize(&mut g);
+        // cls-hv2 direction: value → class membership.
+        assert!(has(&g, "squash", rdf::TYPE, "AutumnAvailable"));
+        // cls-hv1 direction: class membership → value.
+        assert!(has(&g, "pumpkin", "availableIn", "Autumn"));
+    }
+
+    #[test]
+    fn intersection_membership() {
+        let mut g = graph(
+            "e:Fact owl:equivalentClass [ owl:intersectionOf (\n\
+               [ a owl:Restriction ; owl:onProperty e:supports ; owl:someValuesFrom e:Param ]\n\
+               [ a owl:Restriction ; owl:onProperty e:presentIn ; owl:hasValue e:Eco ]\n\
+             ) ] .\n\
+             e:autumn e:supports e:q1 . e:q1 a e:Param .\n\
+             e:autumn e:presentIn e:Eco .\n\
+             e:spring e:supports e:q1 .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "autumn", rdf::TYPE, "Fact"));
+        assert!(!has(&g, "spring", rdf::TYPE, "Fact"), "spring lacks presence");
+    }
+
+    #[test]
+    fn all_values_from_applies_to_successors() {
+        let mut g = graph(
+            "e:VeganRecipe rdfs:subClassOf [\n\
+               a owl:Restriction ; owl:onProperty e:hasIngredient ;\n\
+               owl:allValuesFrom e:PlantIngredient ] .\n\
+             e:stew a e:VeganRecipe ; e:hasIngredient e:lentil .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "lentil", rdf::TYPE, "PlantIngredient"));
+    }
+
+    #[test]
+    fn property_chain() {
+        let mut g = graph(
+            "e:servedWith owl:propertyChainAxiom (e:hasCourse e:includes) .\n\
+             e:menu e:hasCourse e:starter . e:starter e:includes e:bread .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "menu", "servedWith", "bread"));
+    }
+
+    #[test]
+    fn functional_property_yields_same_as() {
+        let mut g = graph(
+            "e:hasSeason a owl:FunctionalProperty .\n\
+             e:sys e:hasSeason e:fall . e:sys e:hasSeason e:autumn .\n\
+             e:autumn e:label e:A .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "fall", owl::SAME_AS, "autumn"));
+        // eq-rep: triples replicate across the alias.
+        assert!(has(&g, "fall", "label", "A"));
+    }
+
+    #[test]
+    fn union_and_one_of() {
+        let mut g = graph(
+            "e:Produce owl:equivalentClass [ owl:unionOf (e:Fruit e:Vegetable) ] .\n\
+             e:apple a e:Fruit .\n\
+             e:Weekend owl:equivalentClass [ owl:oneOf (e:Saturday e:Sunday) ] .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "apple", rdf::TYPE, "Produce"));
+        // cls-oo: enumeration members are instances of the enumerated class.
+        assert!(has(&g, "Saturday", rdf::TYPE, "Weekend"));
+        assert!(has(&g, "Sunday", rdf::TYPE, "Weekend"));
+    }
+
+    #[test]
+    fn detects_disjointness_violation() {
+        let mut g = graph(
+            "e:Meat owl:disjointWith e:Vegetable .\n\
+             e:thing a e:Meat , e:Vegetable .",
+        );
+        let r = Reasoner::new().materialize(&mut g);
+        assert!(!r.is_consistent());
+        assert!(matches!(
+            r.inconsistencies[0].kind,
+            InconsistencyKind::DisjointClassesViolation
+        ));
+    }
+
+    #[test]
+    fn detects_irreflexive_and_asymmetric_violations() {
+        let mut g = graph(
+            "e:p a owl:IrreflexiveProperty . e:x e:p e:x .\n\
+             e:q a owl:AsymmetricProperty . e:a e:q e:b . e:b e:q e:a .",
+        );
+        let r = Reasoner::new().materialize(&mut g);
+        let kinds: Vec<_> = r.inconsistencies.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&InconsistencyKind::IrreflexiveViolation));
+        assert!(kinds.contains(&InconsistencyKind::AsymmetricViolation));
+    }
+
+    #[test]
+    fn detects_same_and_different() {
+        let mut g = graph("e:a owl:sameAs e:b . e:a owl:differentFrom e:b .");
+        let r = Reasoner::new().materialize(&mut g);
+        assert!(r
+            .inconsistencies
+            .iter()
+            .any(|i| i.kind == InconsistencyKind::SameAndDifferent));
+    }
+
+    #[test]
+    fn equivalence_is_bidirectional_subsumption() {
+        let mut g = graph(
+            "e:Curry owl:equivalentClass e:CurryDish .\n\
+             e:x a e:Curry . e:y a e:CurryDish .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "x", rdf::TYPE, "CurryDish"));
+        assert!(has(&g, "y", rdf::TYPE, "Curry"));
+    }
+
+    #[test]
+    fn subproperty_of_transitive_super() {
+        // A subproperty feeding a transitive superproperty — the FEO
+        // pattern: specific characteristic properties under the transitive
+        // feo:hasCharacteristic.
+        let mut g = graph(
+            "e:hasIngredient rdfs:subPropertyOf e:hasCharacteristic .\n\
+             e:availableIn rdfs:subPropertyOf e:hasCharacteristic .\n\
+             e:hasCharacteristic a owl:TransitiveProperty .\n\
+             e:curry e:hasIngredient e:cauliflower .\n\
+             e:cauliflower e:availableIn e:autumn .",
+        );
+        Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "curry", "hasCharacteristic", "autumn"));
+    }
+
+    #[test]
+    fn schema_closure_can_be_disabled() {
+        let mut g = graph("e:A rdfs:subClassOf e:B . e:B rdfs:subClassOf e:C . e:x a e:A .");
+        let opts = ReasonerOptions {
+            materialize_schema_closure: false,
+            ..Default::default()
+        };
+        Reasoner::with_options(opts).materialize(&mut g);
+        assert!(!has(&g, "A", rdfs::SUB_CLASS_OF, "C"));
+        assert!(has(&g, "x", rdf::TYPE, "C"), "instance closure still runs");
+    }
+
+    #[test]
+    fn cyclic_subclass_hierarchy_terminates() {
+        let mut g = graph(
+            "e:A rdfs:subClassOf e:B . e:B rdfs:subClassOf e:A .\n\
+             e:x a e:A .",
+        );
+        let r = Reasoner::new().materialize(&mut g);
+        assert!(has(&g, "x", rdf::TYPE, "B"));
+        assert!(r.rounds < 64);
+    }
+}
+
+#[cfg(test)]
+mod same_as_tests {
+    use super::*;
+    use feo_rdf::turtle::parse_turtle_into;
+
+    fn graph(src: &str) -> Graph {
+        let mut g = Graph::new();
+        let prefixed = format!(
+            "@prefix owl: <{}> .\n@prefix e: <http://e/> .\n{}",
+            owl::NS,
+            src
+        );
+        parse_turtle_into(&prefixed, &mut g).expect("test turtle parses");
+        g
+    }
+
+    #[test]
+    fn same_as_is_transitively_closed() {
+        let mut g = graph(
+            "e:a owl:sameAs e:b . e:b owl:sameAs e:c .\n\
+             e:a e:p e:x .",
+        );
+        Reasoner::new().materialize(&mut g);
+        let a = g.lookup_iri("http://e/a").unwrap();
+        let c = g.lookup_iri("http://e/c").unwrap();
+        let same = g.lookup_iri(owl::SAME_AS).unwrap();
+        assert!(g.contains_ids(a, same, c), "eq-trans: a sameAs c");
+        assert!(g.contains_ids(c, same, a), "eq-sym over the closure");
+        // eq-rep across the whole class.
+        let p = g.lookup_iri("http://e/p").unwrap();
+        let x = g.lookup_iri("http://e/x").unwrap();
+        assert!(g.contains_ids(c, p, x), "triples replicate to c");
+    }
+
+    #[test]
+    fn long_same_as_chain_terminates_and_closes() {
+        let mut src = String::new();
+        for i in 0..8 {
+            src.push_str(&format!("e:n{i} owl:sameAs e:n{} .\n", i + 1));
+        }
+        let mut g = graph(&src);
+        let r = Reasoner::new().materialize(&mut g);
+        assert!(r.rounds < 64);
+        let first = g.lookup_iri("http://e/n0").unwrap();
+        let last = g.lookup_iri("http://e/n8").unwrap();
+        let same = g.lookup_iri(owl::SAME_AS).unwrap();
+        assert!(g.contains_ids(first, same, last));
+    }
+}
+
+#[cfg(test)]
+mod disjoint_property_tests {
+    use super::*;
+    use feo_rdf::turtle::parse_turtle_into;
+
+    #[test]
+    fn disjoint_properties_violation_detected() {
+        let mut g = Graph::new();
+        parse_turtle_into(
+            &format!(
+                "@prefix owl: <{}> .\n@prefix e: <http://e/> .\n\
+                 e:likes owl:propertyDisjointWith e:dislikes .\n\
+                 e:u e:likes e:kale . e:u e:dislikes e:kale .",
+                owl::NS
+            ),
+            &mut g,
+        )
+        .unwrap();
+        let r = Reasoner::new().materialize(&mut g);
+        assert!(r
+            .inconsistencies
+            .iter()
+            .any(|i| i.kind == InconsistencyKind::DisjointPropertiesViolation));
+    }
+
+    #[test]
+    fn disjoint_properties_ok_when_pairs_differ() {
+        let mut g = Graph::new();
+        parse_turtle_into(
+            &format!(
+                "@prefix owl: <{}> .\n@prefix e: <http://e/> .\n\
+                 e:likes owl:propertyDisjointWith e:dislikes .\n\
+                 e:u e:likes e:kale . e:u e:dislikes e:okra .",
+                owl::NS
+            ),
+            &mut g,
+        )
+        .unwrap();
+        let r = Reasoner::new().materialize(&mut g);
+        assert!(r.is_consistent(), "{:?}", r.inconsistencies);
+    }
+}

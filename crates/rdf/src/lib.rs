@@ -1,0 +1,43 @@
+//! # feo-rdf
+//!
+//! RDF 1.1 substrate for the FEO (Food Explanation Ontology) reproduction:
+//! a term model, an interning dictionary, an indexed in-memory triple
+//! store, and Turtle / N-Triples I/O.
+//!
+//! The paper this workspace reproduces ("Semantic Modeling for Food
+//! Recommendation Explanations", ICDE 2021) assumes a standard semantic-web
+//! stack. Rust lacks one, so this crate provides the storage layer every
+//! other crate builds on:
+//!
+//! - [`term`] — IRIs, blank nodes, literals, triples;
+//! - [`intern`] — Term ↔ dense-id dictionary;
+//! - [`graph`] — SPO/POS/OSP-indexed triple store with pattern matching
+//!   and RDF collection helpers;
+//! - [`turtle`] / [`ntriples`] — parsers and serializers;
+//! - [`vocab`] — RDF/RDFS/OWL/XSD vocabulary constants.
+//!
+//! ## Example
+//!
+//! ```
+//! use feo_rdf::graph::Graph;
+//! use feo_rdf::turtle::parse_turtle_into;
+//!
+//! let mut g = Graph::new();
+//! parse_turtle_into(
+//!     "@prefix feo: <https://purl.org/heals/feo#> .
+//!      feo:Autumn a feo:SeasonCharacteristic .",
+//!     &mut g,
+//! ).unwrap();
+//! assert_eq!(g.len(), 1);
+//! ```
+
+pub mod graph;
+pub mod intern;
+pub mod ntriples;
+pub mod term;
+pub mod turtle;
+pub mod vocab;
+
+pub use graph::{Graph, IdTriple};
+pub use intern::{Interner, TermId};
+pub use term::{BlankNode, Iri, Literal, Term, Triple};

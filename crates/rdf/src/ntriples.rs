@@ -1,0 +1,138 @@
+//! N-Triples reader and writer.
+//!
+//! N-Triples is a line-oriented subset of Turtle, so the reader delegates
+//! to the Turtle parser line by line (rejecting Turtle-only constructs),
+//! which keeps one grammar implementation authoritative. The writer emits
+//! canonical, fully-expanded triples — the interchange format used to dump
+//! materialized (inferred) graphs.
+
+use crate::graph::Graph;
+use crate::term::Triple;
+use crate::turtle::{parse_turtle, TurtleError};
+
+/// Parses an N-Triples document.
+pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, TurtleError> {
+    let mut triples = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.contains('@') && trimmed.starts_with('@') {
+            return Err(TurtleError {
+                message: "directives are not allowed in N-Triples".into(),
+                line: lineno + 1,
+                column: 1,
+            });
+        }
+        let mut parsed = parse_turtle(trimmed).map_err(|mut e| {
+            e.line = lineno + 1;
+            e
+        })?;
+        if parsed.len() != 1 {
+            return Err(TurtleError {
+                message: format!(
+                    "N-Triples line must contain exactly one triple, found {}",
+                    parsed.len()
+                ),
+                line: lineno + 1,
+                column: 1,
+            });
+        }
+        triples.push(parsed.pop().expect("length checked"));
+    }
+    Ok(triples)
+}
+
+/// Parses N-Triples directly into a graph, returning the number of triples
+/// newly added.
+pub fn parse_ntriples_into(input: &str, graph: &mut Graph) -> Result<usize, TurtleError> {
+    let triples = parse_ntriples(input)?;
+    let mut added = 0;
+    for t in &triples {
+        if graph.insert(t) {
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+/// Serializes a graph as N-Triples in deterministic (sorted) order.
+pub fn write_ntriples(graph: &Graph) -> String {
+    let mut lines: Vec<String> = graph.iter_triples().map(|t| t.to_string()).collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn parse_basic_document() {
+        let ts = parse_ntriples(
+            "# comment\n\
+             <http://e/a> <http://e/p> <http://e/b> .\n\
+             \n\
+             <http://e/a> <http://e/q> \"lit\"@en .\n",
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_directives() {
+        assert!(parse_ntriples("@prefix e: <http://e/> .").is_err());
+    }
+
+    #[test]
+    fn rejects_multi_triple_lines() {
+        let err =
+            parse_ntriples("<http://e/a> <http://e/p> <http://e/b> , <http://e/c> .").unwrap_err();
+        assert!(err.message.contains("exactly one"));
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse_ntriples(
+            "<http://e/a> <http://e/p> <http://e/b> .\n\
+             <http://e/a> <http://e/p> \"broken .\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut g = Graph::new();
+        g.insert_iris("http://e/a", "http://e/p", "http://e/b");
+        g.insert_terms(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/q"),
+            Term::simple("a \"quote\" and\nnewline"),
+        );
+        let nt = write_ntriples(&g);
+        let mut g2 = Graph::new();
+        parse_ntriples_into(&nt, &mut g2).unwrap();
+        assert_eq!(g.len(), g2.len());
+        for t in g.iter_triples() {
+            assert!(g2.contains(&t));
+        }
+    }
+
+    #[test]
+    fn writer_is_sorted_and_newline_terminated() {
+        let mut g = Graph::new();
+        g.insert_iris("http://e/z", "http://e/p", "http://e/b");
+        g.insert_iris("http://e/a", "http://e/p", "http://e/b");
+        let nt = write_ntriples(&g);
+        let lines: Vec<_> = nt.lines().collect();
+        assert!(lines[0].starts_with("<http://e/a>"));
+        assert!(nt.ends_with('\n'));
+    }
+}

@@ -1,0 +1,153 @@
+//! Well-known vocabulary IRIs (RDF, RDFS, OWL, XSD) plus the namespaces of
+//! the ontologies this workspace reproduces (EO, FEO, food).
+//!
+//! Keeping these as `&'static str` constants (rather than `Iri` values)
+//! avoids allocation at every use site; callers wrap them with
+//! [`crate::term::Iri::new`] or intern them directly.
+
+/// Helper for building namespaced IRIs at runtime.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    prefix: String,
+}
+
+impl Namespace {
+    pub fn new(prefix: impl Into<String>) -> Self {
+        Namespace { prefix: prefix.into() }
+    }
+
+    /// The namespace IRI itself.
+    pub fn as_str(&self) -> &str {
+        &self.prefix
+    }
+
+    /// `ns.get("Local")` → `"<prefix>Local"`.
+    pub fn get(&self, local: &str) -> String {
+        format!("{}{}", self.prefix, local)
+    }
+}
+
+/// The `rdf:` vocabulary.
+pub mod rdf {
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+    pub const FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
+    pub const REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
+    pub const NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+}
+
+/// The `rdfs:` vocabulary.
+pub mod rdfs {
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+    pub const CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+    pub const RESOURCE: &str = "http://www.w3.org/2000/01/rdf-schema#Resource";
+    pub const LITERAL: &str = "http://www.w3.org/2000/01/rdf-schema#Literal";
+    pub const SEE_ALSO: &str = "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+    pub const IS_DEFINED_BY: &str = "http://www.w3.org/2000/01/rdf-schema#isDefinedBy";
+}
+
+/// The `owl:` vocabulary (the OWL 2 fragment the reasoner understands).
+pub mod owl {
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    pub const THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+    pub const NOTHING: &str = "http://www.w3.org/2002/07/owl#Nothing";
+    pub const ONTOLOGY: &str = "http://www.w3.org/2002/07/owl#Ontology";
+    pub const IMPORTS: &str = "http://www.w3.org/2002/07/owl#imports";
+    pub const OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    pub const DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+    pub const ANNOTATION_PROPERTY: &str = "http://www.w3.org/2002/07/owl#AnnotationProperty";
+    pub const NAMED_INDIVIDUAL: &str = "http://www.w3.org/2002/07/owl#NamedIndividual";
+    pub const EQUIVALENT_CLASS: &str = "http://www.w3.org/2002/07/owl#equivalentClass";
+    pub const EQUIVALENT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#equivalentProperty";
+    pub const DISJOINT_WITH: &str = "http://www.w3.org/2002/07/owl#disjointWith";
+    pub const INVERSE_OF: &str = "http://www.w3.org/2002/07/owl#inverseOf";
+    pub const TRANSITIVE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#TransitiveProperty";
+    pub const SYMMETRIC_PROPERTY: &str = "http://www.w3.org/2002/07/owl#SymmetricProperty";
+    pub const ASYMMETRIC_PROPERTY: &str = "http://www.w3.org/2002/07/owl#AsymmetricProperty";
+    pub const FUNCTIONAL_PROPERTY: &str = "http://www.w3.org/2002/07/owl#FunctionalProperty";
+    pub const INVERSE_FUNCTIONAL_PROPERTY: &str =
+        "http://www.w3.org/2002/07/owl#InverseFunctionalProperty";
+    pub const IRREFLEXIVE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#IrreflexiveProperty";
+    pub const REFLEXIVE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ReflexiveProperty";
+    pub const SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+    pub const DIFFERENT_FROM: &str = "http://www.w3.org/2002/07/owl#differentFrom";
+    pub const RESTRICTION: &str = "http://www.w3.org/2002/07/owl#Restriction";
+    pub const ON_PROPERTY: &str = "http://www.w3.org/2002/07/owl#onProperty";
+    pub const SOME_VALUES_FROM: &str = "http://www.w3.org/2002/07/owl#someValuesFrom";
+    pub const ALL_VALUES_FROM: &str = "http://www.w3.org/2002/07/owl#allValuesFrom";
+    pub const HAS_VALUE: &str = "http://www.w3.org/2002/07/owl#hasValue";
+    pub const INTERSECTION_OF: &str = "http://www.w3.org/2002/07/owl#intersectionOf";
+    pub const UNION_OF: &str = "http://www.w3.org/2002/07/owl#unionOf";
+    pub const COMPLEMENT_OF: &str = "http://www.w3.org/2002/07/owl#complementOf";
+    pub const ONE_OF: &str = "http://www.w3.org/2002/07/owl#oneOf";
+    pub const PROPERTY_CHAIN_AXIOM: &str =
+        "http://www.w3.org/2002/07/owl#propertyChainAxiom";
+    pub const PROPERTY_DISJOINT_WITH: &str =
+        "http://www.w3.org/2002/07/owl#propertyDisjointWith";
+    pub const ALL_DIFFERENT: &str = "http://www.w3.org/2002/07/owl#AllDifferent";
+    pub const MEMBERS: &str = "http://www.w3.org/2002/07/owl#members";
+    pub const DISTINCT_MEMBERS: &str = "http://www.w3.org/2002/07/owl#distinctMembers";
+}
+
+/// The `xsd:` datatypes.
+pub mod xsd {
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    pub const SHORT: &str = "http://www.w3.org/2001/XMLSchema#short";
+    pub const BYTE: &str = "http://www.w3.org/2001/XMLSchema#byte";
+    pub const NON_NEGATIVE_INTEGER: &str =
+        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
+    pub const POSITIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#positiveInteger";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+
+    /// True for the XSD integer family.
+    pub fn is_integer_type(iri: &str) -> bool {
+        matches!(
+            iri,
+            INTEGER | INT | LONG | SHORT | BYTE | NON_NEGATIVE_INTEGER | POSITIVE_INTEGER
+        )
+    }
+
+    /// True for any XSD numeric type.
+    pub fn is_numeric_type(iri: &str) -> bool {
+        is_integer_type(iri) || matches!(iri, DECIMAL | FLOAT | DOUBLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_builds_iris() {
+        let ns = Namespace::new("http://example.org/feo#");
+        assert_eq!(ns.get("Autumn"), "http://example.org/feo#Autumn");
+        assert_eq!(ns.as_str(), "http://example.org/feo#");
+    }
+
+    #[test]
+    fn xsd_type_families() {
+        assert!(xsd::is_integer_type(xsd::INT));
+        assert!(xsd::is_numeric_type(xsd::DOUBLE));
+        assert!(!xsd::is_numeric_type(xsd::STRING));
+        assert!(!xsd::is_integer_type(xsd::DECIMAL));
+        assert!(xsd::is_numeric_type(xsd::DECIMAL));
+    }
+}

@@ -1,0 +1,44 @@
+//! Robustness: the Turtle and N-Triples parsers must never panic on
+//! arbitrary input — they either parse or return a located error.
+
+use feo_rdf::ntriples::parse_ntriples;
+use feo_rdf::turtle::parse_turtle;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn turtle_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = parse_turtle(&input);
+    }
+
+    #[test]
+    fn turtle_never_panics_on_grammar_like_input(
+        input in "[@<>\"'a-z:#._;,()\\[\\]\\\\ \n0-9-]{0,120}"
+    ) {
+        let _ = parse_turtle(&input);
+    }
+
+    #[test]
+    fn ntriples_never_panics(input in ".{0,200}") {
+        let _ = parse_ntriples(&input);
+    }
+
+    /// Near-valid documents: random mutations of a valid document must
+    /// parse or fail cleanly, never panic or loop.
+    #[test]
+    fn mutated_valid_document(cut in 0usize..120, insert in ".{0,4}") {
+        let valid = "@prefix e: <http://e/> .\n\
+                     e:a a e:Food ; e:p \"v\"@en , 42 .\n\
+                     e:b e:q (e:x e:y) .\n\
+                     [ e:r e:z ] .";
+        let mut s: Vec<char> = valid.chars().collect();
+        let pos = cut.min(s.len());
+        for (i, c) in insert.chars().enumerate() {
+            s.insert(pos + i, c);
+        }
+        let mutated: String = s.into_iter().collect();
+        let _ = parse_turtle(&mutated);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the RDF substrate: index coherence under
+//! arbitrary insert/remove interleavings, Turtle and N-Triples round-trips
+//! for arbitrary term shapes, and interner stability.
+
+use feo_rdf::graph::Graph;
+use feo_rdf::ntriples::{parse_ntriples_into, write_ntriples};
+use feo_rdf::term::{Iri, Literal, Term, Triple};
+use feo_rdf::turtle::{parse_turtle_into, write_turtle};
+use proptest::prelude::*;
+
+/// A small pool of IRIs so triples collide often enough to exercise
+/// deduplication and removal.
+fn arb_iri() -> impl Strategy<Value = Term> {
+    (0u8..12).prop_map(|i| Term::iri(format!("http://example.org/resource/r{i}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        // Avoid control chars the escaper does not cover; printable ASCII
+        // plus a few multibyte chars is representative.
+        "[ -~£é😀]{0,12}".prop_map(Term::simple),
+        any::<i64>().prop_map(Term::integer),
+        any::<bool>().prop_map(Term::boolean),
+        ("[a-z]{1,8}", "[a-z]{2}")
+            .prop_map(|(s, tag)| Term::Literal(Literal::lang(s, tag))),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    prop_oneof![arb_iri(), arb_literal()]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_iri(), arb_iri(), arb_object()).prop_map(|(s, p, o)| Triple {
+        subject: s,
+        predicate: p,
+        object: o,
+    })
+}
+
+proptest! {
+    #[test]
+    fn indexes_stay_coherent_under_inserts_and_removes(
+        ops in prop::collection::vec((arb_triple(), any::<bool>()), 0..120)
+    ) {
+        let mut g = Graph::new();
+        let mut reference: std::collections::BTreeSet<Triple> = Default::default();
+        for (t, insert) in ops {
+            if insert {
+                g.insert(&t);
+                reference.insert(t);
+            } else {
+                g.remove(&t);
+                reference.remove(&t);
+            }
+            prop_assert!(g.check_index_coherence());
+        }
+        prop_assert_eq!(g.len(), reference.len());
+        for t in &reference {
+            prop_assert!(g.contains(t));
+        }
+    }
+
+    #[test]
+    fn match_pattern_agrees_with_full_scan(
+        triples in prop::collection::vec(arb_triple(), 1..60)
+    ) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        // For every stored triple, each of the 8 pattern shapes must find it.
+        for [s, p, o] in g.iter_ids().collect::<Vec<_>>() {
+            for mask in 0..8u8 {
+                let ps = (mask & 1 != 0).then_some(s);
+                let pp = (mask & 2 != 0).then_some(p);
+                let po = (mask & 4 != 0).then_some(o);
+                let found = g.match_pattern(ps, pp, po);
+                prop_assert!(
+                    found.contains(&[s, p, o]),
+                    "pattern mask {mask} failed to find triple"
+                );
+                // And everything the pattern returns must satisfy it.
+                for m in &found {
+                    if let Some(x) = ps { prop_assert_eq!(m[0], x); }
+                    if let Some(x) = pp { prop_assert_eq!(m[1], x); }
+                    if let Some(x) = po { prop_assert_eq!(m[2], x); }
+                    prop_assert!(g.contains_ids(m[0], m[1], m[2]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ntriples_round_trip(triples in prop::collection::vec(arb_triple(), 0..50)) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        let nt = write_ntriples(&g);
+        let mut g2 = Graph::new();
+        parse_ntriples_into(&nt, &mut g2).unwrap();
+        prop_assert_eq!(g.len(), g2.len());
+        for t in g.iter_triples() {
+            prop_assert!(g2.contains(&t));
+        }
+    }
+
+    #[test]
+    fn turtle_round_trip_with_prefixes(triples in prop::collection::vec(arb_triple(), 0..50)) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        let ttl = write_turtle(&g, &[("ex", "http://example.org/resource/")]);
+        let mut g2 = Graph::new();
+        parse_turtle_into(&ttl, &mut g2).unwrap();
+        prop_assert_eq!(g.len(), g2.len());
+        for t in g.iter_triples() {
+            prop_assert!(g2.contains(&t));
+        }
+    }
+
+    #[test]
+    fn interning_via_graph_is_stable(terms in prop::collection::vec(arb_object(), 1..60)) {
+        let mut g = Graph::new();
+        let ids: Vec<_> = terms.iter().map(|t| g.intern(t)).collect();
+        // Re-interning yields identical ids and resolves to equal terms.
+        for (t, &id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(g.intern(t), id);
+            prop_assert_eq!(g.term(id), t);
+            prop_assert_eq!(g.lookup(t), Some(id));
+        }
+    }
+
+    #[test]
+    fn literal_display_parses_back(lit in arb_literal()) {
+        // Serialize one triple carrying the literal and parse it back.
+        let mut g = Graph::new();
+        g.insert_terms(
+            Iri::new("http://example.org/s"),
+            Iri::new("http://example.org/p"),
+            lit.clone(),
+        );
+        let nt = write_ntriples(&g);
+        let mut g2 = Graph::new();
+        parse_ntriples_into(&nt, &mut g2).unwrap();
+        let got = g2.iter_triples().next().unwrap().object;
+        prop_assert_eq!(got, lit);
+    }
+}

@@ -1,0 +1,463 @@
+//! The Health Coach recommender and the popularity baseline.
+
+use std::collections::HashMap;
+
+use feo_foodkg::{FoodKg, SystemContext, UserProfile};
+
+use crate::trace::{Recommendation, RecommendationSet, TraceStep};
+
+/// A recommender that FEO can explain post-hoc. The trait keeps the
+/// explanation engine recommender-agnostic, as the paper requires.
+pub trait Recommender {
+    fn name(&self) -> &str;
+    fn recommend(&self, user: &UserProfile, ctx: &SystemContext, k: usize) -> RecommendationSet;
+}
+
+/// Scoring weights for [`HealthCoach`].
+#[derive(Debug, Clone)]
+pub struct Weights {
+    pub direct_like: f64,
+    pub like_overlap_per_ingredient: f64,
+    pub goal_nutrient: f64,
+    pub seasonal: f64,
+    pub regional: f64,
+    pub price_penalty_per_tier: f64,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights {
+            direct_like: 2.0,
+            like_overlap_per_ingredient: 0.5,
+            goal_nutrient: 1.0,
+            seasonal: 1.0,
+            regional: 0.5,
+            price_penalty_per_tier: 0.25,
+        }
+    }
+}
+
+/// The constraint-filtering + content-scoring recommender.
+pub struct HealthCoach<'kg> {
+    kg: &'kg FoodKg,
+    weights: Weights,
+}
+
+impl<'kg> HealthCoach<'kg> {
+    pub fn new(kg: &'kg FoodKg) -> Self {
+        HealthCoach {
+            kg,
+            weights: Weights::default(),
+        }
+    }
+
+    pub fn with_weights(kg: &'kg FoodKg, weights: Weights) -> Self {
+        HealthCoach { kg, weights }
+    }
+
+    /// Hard-constraint check; returns the elimination step if the recipe
+    /// must be excluded for this user.
+    fn check_constraints(&self, user: &UserProfile, recipe_id: &str) -> Option<TraceStep> {
+        let recipe = self.kg.recipe(recipe_id)?;
+        // Dislike.
+        if user.dislikes.iter().any(|d| d == recipe_id) {
+            return Some(TraceStep::FilteredByDislike {
+                recipe: recipe_id.to_string(),
+            });
+        }
+        // Allergy: any allergen among the ingredients.
+        for allergen in &user.allergies {
+            if recipe.ingredients.iter().any(|i| i == allergen) {
+                return Some(TraceStep::FilteredByAllergy {
+                    recipe: recipe_id.to_string(),
+                    allergen: allergen.clone(),
+                });
+            }
+        }
+        let categories = self.kg.recipe_categories(recipe);
+        // Diet.
+        if let Some(diet_id) = &user.diet {
+            if let Some(diet) = self.kg.diet(diet_id) {
+                if let Some(cat) = categories
+                    .iter()
+                    .find(|c| diet.forbids_categories.contains(c))
+                {
+                    return Some(TraceStep::FilteredByDiet {
+                        recipe: recipe_id.to_string(),
+                        diet: diet_id.clone(),
+                        category: cat.clone(),
+                    });
+                }
+            }
+        }
+        // Pregnancy: raw fish is out (the paper's §V-C guidance).
+        if user.pregnant && categories.iter().any(|c| c == "RawFish") {
+            return Some(TraceStep::FilteredByPregnancy {
+                recipe: recipe_id.to_string(),
+                category: "RawFish".to_string(),
+            });
+        }
+        None
+    }
+
+    /// Scores one surviving recipe, returning the score and its trace.
+    fn score(
+        &self,
+        user: &UserProfile,
+        ctx: &SystemContext,
+        recipe_id: &str,
+    ) -> (f64, Vec<TraceStep>) {
+        let w = &self.weights;
+        let mut score = 1.0;
+        let mut trace = Vec::new();
+        let Some(recipe) = self.kg.recipe(recipe_id) else {
+            return (0.0, trace);
+        };
+
+        if user.likes.iter().any(|l| l == recipe_id) {
+            score += w.direct_like;
+            trace.push(TraceStep::ScoredDirectLike {
+                recipe: recipe_id.to_string(),
+            });
+        }
+        // Ingredient overlap with each liked recipe.
+        for liked_id in &user.likes {
+            if liked_id == recipe_id {
+                continue;
+            }
+            let Some(liked) = self.kg.recipe(liked_id) else { continue };
+            let shared = recipe
+                .ingredients
+                .iter()
+                .filter(|i| liked.ingredients.contains(i))
+                .count();
+            if shared > 0 {
+                score += w.like_overlap_per_ingredient * shared as f64;
+                trace.push(TraceStep::ScoredLikeOverlap {
+                    recipe: recipe_id.to_string(),
+                    liked: liked_id.clone(),
+                    shared_ingredients: shared,
+                });
+            }
+        }
+        // Goal nutrients.
+        let nutrients = self.kg.recipe_nutrients(recipe);
+        for goal_id in &user.goals {
+            if let Some(goal) = self.kg.goal(goal_id) {
+                if nutrients.contains(&goal.wants_nutrient) {
+                    score += w.goal_nutrient;
+                    trace.push(TraceStep::ScoredGoal {
+                        recipe: recipe_id.to_string(),
+                        goal: goal_id.clone(),
+                        nutrient: goal.wants_nutrient.clone(),
+                    });
+                }
+            }
+        }
+        // Seasonality.
+        if self.kg.recipe_in_season(recipe, ctx.season) {
+            score += w.seasonal;
+            trace.push(TraceStep::ScoredSeasonal {
+                recipe: recipe_id.to_string(),
+                season: ctx.season.name().to_string(),
+            });
+        }
+        // Regional availability.
+        if let Some(region) = user.region.as_ref().or(ctx.region.as_ref()) {
+            let regional = recipe.ingredients.iter().any(|i| {
+                self.kg
+                    .ingredient(i)
+                    .map(|ing| ing.regions.iter().any(|r| r == region))
+                    .unwrap_or(false)
+            });
+            if regional {
+                score += w.regional;
+                trace.push(TraceStep::ScoredRegional {
+                    recipe: recipe_id.to_string(),
+                    region: region.clone(),
+                });
+            }
+        }
+        // Price.
+        if recipe.price_tier > 1 {
+            score -= w.price_penalty_per_tier * (recipe.price_tier - 1) as f64;
+            trace.push(TraceStep::PenalizedPrice {
+                recipe: recipe_id.to_string(),
+                tier: recipe.price_tier,
+            });
+        }
+        (score, trace)
+    }
+}
+
+impl Recommender for HealthCoach<'_> {
+    fn name(&self) -> &str {
+        "health-coach"
+    }
+
+    fn recommend(&self, user: &UserProfile, ctx: &SystemContext, k: usize) -> RecommendationSet {
+        let mut set = RecommendationSet::default();
+        let mut scored: Vec<Recommendation> = Vec::new();
+        for recipe in &self.kg.recipes {
+            if let Some(step) = self.check_constraints(user, &recipe.id) {
+                set.eliminated.push(step);
+                continue;
+            }
+            let (score, trace) = self.score(user, ctx, &recipe.id);
+            scored.push(Recommendation {
+                recipe_id: recipe.id.clone(),
+                score,
+                trace,
+            });
+        }
+        // Deterministic ranking: score desc, then id asc.
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.recipe_id.cmp(&b.recipe_id))
+        });
+        scored.truncate(k);
+        set.recommendations = scored;
+        set
+    }
+}
+
+/// Non-personalized baseline: ranks recipes by how often a reference
+/// population likes them. No constraints, no context — and therefore
+/// nothing to explain, which is exactly the contrast the paper draws
+/// with black-box recommenders.
+pub struct PopularityRecommender<'kg> {
+    kg: &'kg FoodKg,
+    popularity: HashMap<String, usize>,
+}
+
+impl<'kg> PopularityRecommender<'kg> {
+    /// Builds popularity counts from a reference population.
+    pub fn from_population(kg: &'kg FoodKg, population: &[UserProfile]) -> Self {
+        let mut popularity: HashMap<String, usize> = HashMap::new();
+        for p in population {
+            for l in &p.likes {
+                *popularity.entry(l.clone()).or_insert(0) += 1;
+            }
+        }
+        PopularityRecommender { kg, popularity }
+    }
+}
+
+impl Recommender for PopularityRecommender<'_> {
+    fn name(&self) -> &str {
+        "popularity-baseline"
+    }
+
+    fn recommend(&self, _user: &UserProfile, _ctx: &SystemContext, k: usize) -> RecommendationSet {
+        let mut scored: Vec<Recommendation> = self
+            .kg
+            .recipes
+            .iter()
+            .map(|r| Recommendation {
+                recipe_id: r.id.clone(),
+                score: *self.popularity.get(&r.id).unwrap_or(&0) as f64,
+                trace: Vec::new(),
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.recipe_id.cmp(&b.recipe_id))
+        });
+        scored.truncate(k);
+        RecommendationSet {
+            recommendations: scored,
+            eliminated: Vec::new(),
+        }
+    }
+}
+
+/// Precision-style overlap of two top-k lists (used by benches to compare
+/// the coach against the baseline).
+pub fn overlap_at_k(a: &RecommendationSet, b: &RecommendationSet, k: usize) -> f64 {
+    let a_ids: Vec<&str> = a
+        .recommendations
+        .iter()
+        .take(k)
+        .map(|r| r.recipe_id.as_str())
+        .collect();
+    let b_ids: Vec<&str> = b
+        .recommendations
+        .iter()
+        .take(k)
+        .map(|r| r.recipe_id.as_str())
+        .collect();
+    if a_ids.is_empty() {
+        return 0.0;
+    }
+    let shared = a_ids.iter().filter(|id| b_ids.contains(id)).count();
+    shared as f64 / a_ids.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feo_foodkg::{curated, random_profiles, Season};
+
+    fn autumn() -> SystemContext {
+        SystemContext::new(Season::Autumn)
+    }
+
+    #[test]
+    fn allergy_filters_out_broccoli_soup() {
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let user = UserProfile::new("u")
+            .likes(&["BroccoliCheddarSoup"])
+            .allergies(&["Broccoli"]);
+        let set = coach.recommend(&user, &autumn(), 10);
+        assert!(set.get("BroccoliCheddarSoup").is_none());
+        let step = set.elimination("BroccoliCheddarSoup").unwrap();
+        assert!(matches!(step, TraceStep::FilteredByAllergy { allergen, .. } if allergen == "Broccoli"));
+    }
+
+    #[test]
+    fn paper_scenario_b_recommends_butternut_squash_soup() {
+        // §V-B: user likes Broccoli Cheddar Soup but is allergic to
+        // broccoli; the system recommends Butternut Squash Soup instead.
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let user = UserProfile::new("u")
+            .likes(&["BroccoliCheddarSoup"])
+            .allergies(&["Broccoli"]);
+        let set = coach.recommend(&user, &autumn(), 5);
+        let squash = set.get("ButternutSquashSoup");
+        assert!(squash.is_some(), "squash soup should survive and rank");
+        // The seasonal boost is part of its trace.
+        assert!(squash
+            .unwrap()
+            .trace
+            .iter()
+            .any(|s| matches!(s, TraceStep::ScoredSeasonal { .. })));
+    }
+
+    #[test]
+    fn diet_filters_by_category() {
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let user = UserProfile::new("u").diet("Vegan");
+        let set = coach.recommend(&user, &autumn(), 50);
+        for r in &set.recommendations {
+            let recipe = kg.recipe(&r.recipe_id).unwrap();
+            let cats = kg.recipe_categories(recipe);
+            for forbidden in ["Meat", "Dairy", "Egg", "Fish"] {
+                assert!(
+                    !cats.contains(&forbidden.to_string()),
+                    "{} has {forbidden}",
+                    r.recipe_id
+                );
+            }
+        }
+        assert!(set
+            .eliminated
+            .iter()
+            .any(|s| matches!(s, TraceStep::FilteredByDiet { .. })));
+    }
+
+    #[test]
+    fn pregnancy_filters_sushi() {
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let user = UserProfile::new("u").pregnant(true);
+        let set = coach.recommend(&user, &autumn(), 50);
+        assert!(set.get("Sushi").is_none());
+        assert!(matches!(
+            set.elimination("Sushi"),
+            Some(TraceStep::FilteredByPregnancy { .. })
+        ));
+        // Without pregnancy, sushi survives.
+        let set = coach.recommend(&UserProfile::new("u"), &autumn(), 50);
+        assert!(set.get("Sushi").is_some());
+    }
+
+    #[test]
+    fn goals_boost_matching_recipes() {
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let with_goal = UserProfile::new("u").goals(&["FolateGoal"]);
+        let without = UserProfile::new("u");
+        let s1 = coach.recommend(&with_goal, &autumn(), 50);
+        let s2 = coach.recommend(&without, &autumn(), 50);
+        let frittata_with = s1.get("SpinachFrittata").unwrap().score;
+        let frittata_without = s2.get("SpinachFrittata").unwrap().score;
+        assert!(frittata_with > frittata_without);
+        assert!(s1
+            .get("SpinachFrittata")
+            .unwrap()
+            .trace
+            .iter()
+            .any(|s| matches!(s, TraceStep::ScoredGoal { nutrient, .. } if nutrient == "Folate")));
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let user = UserProfile::new("u").likes(&["LentilSoup"]);
+        let a = coach.recommend(&user, &autumn(), 10);
+        let b = coach.recommend(&user, &autumn(), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seasonality_changes_ranking() {
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let user = UserProfile::new("u");
+        let autumn_set = coach.recommend(&user, &SystemContext::new(Season::Autumn), 50);
+        let summer_set = coach.recommend(&user, &SystemContext::new(Season::Summer), 50);
+        let squash_autumn = autumn_set.get("ButternutSquashSoup").unwrap().score;
+        let squash_summer = summer_set.get("ButternutSquashSoup").unwrap().score;
+        assert!(squash_autumn > squash_summer);
+    }
+
+    #[test]
+    fn popularity_baseline_ignores_constraints() {
+        let kg = curated();
+        let population = random_profiles(&kg, 100, 11);
+        let baseline = PopularityRecommender::from_population(&kg, &population);
+        let user = UserProfile::new("u").allergies(&["Broccoli"]);
+        let set = baseline.recommend(&user, &autumn(), kg.recipes.len());
+        // Baseline does not filter: every recipe is ranked.
+        assert_eq!(set.recommendations.len(), kg.recipes.len());
+        assert!(set.eliminated.is_empty());
+    }
+
+    #[test]
+    fn coach_and_baseline_disagree() {
+        let kg = curated();
+        let population = random_profiles(&kg, 100, 11);
+        let baseline = PopularityRecommender::from_population(&kg, &population);
+        let coach = HealthCoach::new(&kg);
+        let user = UserProfile::new("u")
+            .diet("Vegan")
+            .goals(&["HighFiberGoal"])
+            .allergies(&["Peanuts"]);
+        let a = coach.recommend(&user, &autumn(), 5);
+        let b = baseline.recommend(&user, &autumn(), 5);
+        assert!(
+            overlap_at_k(&a, &b, 5) < 1.0,
+            "personalized and popularity rankings should differ"
+        );
+    }
+
+    #[test]
+    fn price_penalty_recorded() {
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let set = coach.recommend(&UserProfile::new("u"), &autumn(), 50);
+        let sushi = set.get("Sushi").unwrap();
+        assert!(sushi
+            .trace
+            .iter()
+            .any(|s| matches!(s, TraceStep::PenalizedPrice { tier: 3, .. })));
+    }
+}

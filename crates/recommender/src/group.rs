@@ -1,0 +1,248 @@
+//! Group recommendation — the paper's introduction motivates exactly
+//! this: "the seafood allergy of one family member may preclude recipes
+//! including shrimp to be recommended to the whole group" (§I).
+//!
+//! The group recommender applies every member's hard constraints (any
+//! member's allergy, dislike, diet, or pregnancy restriction eliminates a
+//! dish for the whole group) and averages the members' content scores for
+//! the survivors. Eliminations record *whose* constraint fired, so the
+//! explanation layer can answer "why can't we have Shrimp Scampi?" with
+//! the responsible member.
+
+use feo_foodkg::{FoodKg, SystemContext, UserProfile};
+
+use crate::coach::{HealthCoach, Recommender, Weights};
+use crate::trace::{Recommendation, RecommendationSet, TraceStep};
+
+/// A recommendation set where every elimination is attributed to the
+/// member whose constraint fired.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupRecommendationSet {
+    /// Ranked survivors, best average score first.
+    pub recommendations: Vec<Recommendation>,
+    /// `(member id, elimination step)` pairs.
+    pub eliminated: Vec<(String, TraceStep)>,
+}
+
+impl GroupRecommendationSet {
+    pub fn top(&self) -> Option<&str> {
+        self.recommendations.first().map(|r| r.recipe_id.as_str())
+    }
+
+    pub fn get(&self, recipe_id: &str) -> Option<&Recommendation> {
+        self.recommendations
+            .iter()
+            .find(|r| r.recipe_id == recipe_id)
+    }
+
+    /// The first recorded veto of this recipe, if any.
+    pub fn veto(&self, recipe_id: &str) -> Option<(&str, &TraceStep)> {
+        self.vetoes(recipe_id).into_iter().next()
+    }
+
+    /// Every member's veto of this recipe.
+    pub fn vetoes(&self, recipe_id: &str) -> Vec<(&str, &TraceStep)> {
+        self.eliminated
+            .iter()
+            .filter(|(_, s)| s.recipe() == recipe_id)
+            .map(|(m, s)| (m.as_str(), s))
+            .collect()
+    }
+
+    /// Renders the veto as a sentence ("Shrimp Scampi was excluded
+    /// because dana: removed ShrimpScampi: contains allergen Shrimp").
+    pub fn veto_sentence(&self, recipe_id: &str) -> Option<String> {
+        self.veto(recipe_id)
+            .map(|(member, step)| format!("excluded for {member}: {step}"))
+    }
+}
+
+/// Recommends for a whole group over a shared context.
+pub struct GroupCoach<'kg> {
+    kg: &'kg FoodKg,
+    weights: Weights,
+}
+
+impl<'kg> GroupCoach<'kg> {
+    pub fn new(kg: &'kg FoodKg) -> Self {
+        GroupCoach {
+            kg,
+            weights: Weights::default(),
+        }
+    }
+
+    pub fn with_weights(kg: &'kg FoodKg, weights: Weights) -> Self {
+        GroupCoach { kg, weights }
+    }
+
+    /// Ranks recipes acceptable to *every* member, scored by the mean of
+    /// the members' individual scores.
+    pub fn recommend(
+        &self,
+        members: &[UserProfile],
+        ctx: &SystemContext,
+        k: usize,
+    ) -> GroupRecommendationSet {
+        let mut set = GroupRecommendationSet::default();
+        if members.is_empty() {
+            return set;
+        }
+        // One per-member coach run gives both constraints and scores.
+        let coach = HealthCoach::with_weights(self.kg, self.weights.clone());
+        let individual: Vec<(&UserProfile, RecommendationSet)> = members
+            .iter()
+            .map(|m| (m, coach.recommend(m, ctx, self.kg.recipes.len())))
+            .collect();
+
+        let mut scored: Vec<Recommendation> = Vec::new();
+        for recipe in &self.kg.recipes {
+            // Any member's elimination vetoes the dish for the group; all
+            // members' vetoes are recorded so explanations can name every
+            // objection, not just the first.
+            let mut vetoed = false;
+            for (member, result) in &individual {
+                if let Some(step) = result.elimination(&recipe.id) {
+                    set.eliminated.push((member.id.clone(), step.clone()));
+                    vetoed = true;
+                }
+            }
+            if vetoed {
+                continue;
+            }
+            let mut total = 0.0;
+            let mut trace: Vec<TraceStep> = Vec::new();
+            for (_, result) in &individual {
+                if let Some(rec) = result.get(&recipe.id) {
+                    total += rec.score;
+                    for step in &rec.trace {
+                        if !trace.contains(step) {
+                            trace.push(step.clone());
+                        }
+                    }
+                }
+            }
+            scored.push(Recommendation {
+                recipe_id: recipe.id.clone(),
+                score: total / members.len() as f64,
+                trace,
+            });
+        }
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.recipe_id.cmp(&b.recipe_id))
+        });
+        scored.truncate(k);
+        set.recommendations = scored;
+        set
+    }
+}
+
+impl Recommender for GroupCoach<'_> {
+    fn name(&self) -> &str {
+        "group-coach"
+    }
+
+    /// Single-user adapter: a group of one behaves like the individual
+    /// coach (modulo attribution plumbing).
+    fn recommend(&self, user: &UserProfile, ctx: &SystemContext, k: usize) -> RecommendationSet {
+        let group = GroupCoach::recommend(self, std::slice::from_ref(user), ctx, k);
+        RecommendationSet {
+            recommendations: group.recommendations,
+            eliminated: group.eliminated.into_iter().map(|(_, s)| s).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feo_foodkg::{curated, Season};
+
+    fn family() -> Vec<UserProfile> {
+        vec![
+            UserProfile::new("ana").likes(&["ShrimpScampi", "PastaPrimavera"]),
+            UserProfile::new("ben").likes(&["LentilSoup"]).diet("Vegetarian"),
+            UserProfile::new("dana").allergies(&["Shrimp"]),
+        ]
+    }
+
+    #[test]
+    fn paper_intro_scenario_shrimp_vetoed_for_group() {
+        // "the seafood allergy of one family member may preclude recipes
+        // including shrimp to be recommended to the whole group" (§I).
+        let kg = curated();
+        let group = GroupCoach::new(&kg);
+        let set = group.recommend(&family(), &SystemContext::new(Season::Autumn), 20);
+        assert!(set.get("ShrimpScampi").is_none(), "shrimp dish vetoed");
+        let vetoes = set.vetoes("ShrimpScampi");
+        // Dana's allergy is among the recorded objections (Ben's
+        // vegetarian diet also vetoes the shellfish dish).
+        assert!(
+            vetoes.iter().any(|(m, step)| *m == "dana"
+                && matches!(step, TraceStep::FilteredByAllergy { allergen, .. } if allergen == "Shrimp")),
+            "{vetoes:?}"
+        );
+        assert!(set.veto_sentence("ShrimpScampi").is_some());
+    }
+
+    #[test]
+    fn all_member_constraints_apply() {
+        let kg = curated();
+        let group = GroupCoach::new(&kg);
+        let set = group.recommend(&family(), &SystemContext::new(Season::Autumn), 40);
+        // Ben is vegetarian: meat dishes are vetoed too.
+        assert!(set.get("BeefStew").is_none());
+        assert!(set.vetoes("BeefStew").iter().any(|(m, _)| *m == "ben"));
+        // Survivors violate nobody's constraints.
+        for r in &set.recommendations {
+            let recipe = kg.recipe(&r.recipe_id).unwrap();
+            assert!(!recipe.ingredients.contains(&"Shrimp".to_string()));
+            let cats = kg.recipe_categories(recipe);
+            assert!(!cats.contains(&"Meat".to_string()));
+        }
+    }
+
+    #[test]
+    fn scores_average_member_preferences() {
+        let kg = curated();
+        let group = GroupCoach::new(&kg);
+        let ctx = SystemContext::new(Season::Autumn);
+        // Two members both liking the same dish outrank one liking it.
+        let both = vec![
+            UserProfile::new("a").likes(&["LentilSoup"]),
+            UserProfile::new("b").likes(&["LentilSoup"]),
+        ];
+        let one = vec![
+            UserProfile::new("a").likes(&["LentilSoup"]),
+            UserProfile::new("b"),
+        ];
+        let s_both = group.recommend(&both, &ctx, 40).get("LentilSoup").unwrap().score;
+        let s_one = group.recommend(&one, &ctx, 40).get("LentilSoup").unwrap().score;
+        assert!(s_both > s_one);
+    }
+
+    #[test]
+    fn group_of_one_matches_individual_coach() {
+        let kg = curated();
+        let user = UserProfile::new("solo")
+            .likes(&["KaleQuinoaBowl"])
+            .allergies(&["Peanuts"]);
+        let ctx = SystemContext::new(Season::Autumn);
+        let solo = HealthCoach::new(&kg).recommend(&user, &ctx, 10);
+        let group = GroupCoach::new(&kg);
+        let as_group = Recommender::recommend(&group, &user, &ctx, 10);
+        let solo_ids: Vec<_> = solo.recommendations.iter().map(|r| &r.recipe_id).collect();
+        let group_ids: Vec<_> = as_group.recommendations.iter().map(|r| &r.recipe_id).collect();
+        assert_eq!(solo_ids, group_ids);
+    }
+
+    #[test]
+    fn empty_group_yields_nothing() {
+        let kg = curated();
+        let set = GroupCoach::new(&kg).recommend(&[], &SystemContext::new(Season::Autumn), 5);
+        assert!(set.recommendations.is_empty());
+        assert!(set.top().is_none());
+    }
+}

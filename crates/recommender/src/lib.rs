@@ -1,0 +1,23 @@
+//! # feo-recommender
+//!
+//! The "Health Coach" recommender simulator — the substitute for the
+//! closed Health Coach application \[8\] whose recommendations the paper's
+//! competency questions explain. FEO is explicitly *post-hoc* and
+//! "recommender system agnostic" (§I), so any recommender that emits
+//! `(user, recommendation, trace)` drives the explanation pipeline
+//! identically; this one combines hard constraint filtering (allergies,
+//! dislikes, diet, pregnancy) with content scoring (liked-ingredient
+//! overlap, nutritional goals, seasonality, budget) and records a full
+//! reasoning trace, which also feeds FEO's trace-based explanations.
+//!
+//! A popularity baseline ([`PopularityRecommender`]) mirrors the
+//! non-personalized, non-explainable systems the paper's related-work
+//! section contrasts against.
+
+pub mod coach;
+pub mod group;
+pub mod trace;
+
+pub use coach::{HealthCoach, PopularityRecommender, Recommender, Weights};
+pub use group::{GroupCoach, GroupRecommendationSet};
+pub use trace::{Recommendation, RecommendationSet, TraceStep};

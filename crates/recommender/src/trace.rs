@@ -1,0 +1,191 @@
+//! Recommendation results with their reasoning traces.
+
+use std::fmt;
+
+/// One step of the recommender's reasoning, recorded for trace-based
+/// explanations (paper Table I: "What steps led to recommendation E?").
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceStep {
+    /// Recipe removed: contains an allergen of the user.
+    FilteredByAllergy { recipe: String, allergen: String },
+    /// Recipe removed: the user dislikes it.
+    FilteredByDislike { recipe: String },
+    /// Recipe removed: its category is forbidden by the user's diet.
+    FilteredByDiet {
+        recipe: String,
+        diet: String,
+        category: String,
+    },
+    /// Recipe removed: forbidden during pregnancy.
+    FilteredByPregnancy { recipe: String, category: String },
+    /// Score bonus: ingredient overlap with a liked recipe.
+    ScoredLikeOverlap {
+        recipe: String,
+        liked: String,
+        shared_ingredients: usize,
+    },
+    /// Score bonus: the user likes this very recipe.
+    ScoredDirectLike { recipe: String },
+    /// Score bonus: recipe provides a goal nutrient.
+    ScoredGoal {
+        recipe: String,
+        goal: String,
+        nutrient: String,
+    },
+    /// Score bonus: a recipe ingredient is in season.
+    ScoredSeasonal { recipe: String, season: String },
+    /// Score bonus: a recipe ingredient is available in the user's region.
+    ScoredRegional { recipe: String, region: String },
+    /// Score penalty: price tier above the cheapest.
+    PenalizedPrice { recipe: String, tier: u8 },
+}
+
+impl TraceStep {
+    /// The recipe this step concerns.
+    pub fn recipe(&self) -> &str {
+        match self {
+            TraceStep::FilteredByAllergy { recipe, .. }
+            | TraceStep::FilteredByDislike { recipe }
+            | TraceStep::FilteredByDiet { recipe, .. }
+            | TraceStep::FilteredByPregnancy { recipe, .. }
+            | TraceStep::ScoredLikeOverlap { recipe, .. }
+            | TraceStep::ScoredDirectLike { recipe }
+            | TraceStep::ScoredGoal { recipe, .. }
+            | TraceStep::ScoredSeasonal { recipe, .. }
+            | TraceStep::ScoredRegional { recipe, .. }
+            | TraceStep::PenalizedPrice { recipe, .. } => recipe,
+        }
+    }
+
+    /// True for the hard-constraint elimination steps.
+    pub fn is_filter(&self) -> bool {
+        matches!(
+            self,
+            TraceStep::FilteredByAllergy { .. }
+                | TraceStep::FilteredByDislike { .. }
+                | TraceStep::FilteredByDiet { .. }
+                | TraceStep::FilteredByPregnancy { .. }
+        )
+    }
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceStep::FilteredByAllergy { recipe, allergen } => {
+                write!(f, "removed {recipe}: contains allergen {allergen}")
+            }
+            TraceStep::FilteredByDislike { recipe } => {
+                write!(f, "removed {recipe}: user dislikes it")
+            }
+            TraceStep::FilteredByDiet {
+                recipe,
+                diet,
+                category,
+            } => write!(f, "removed {recipe}: {diet} diet forbids {category}"),
+            TraceStep::FilteredByPregnancy { recipe, category } => {
+                write!(f, "removed {recipe}: {category} is forbidden during pregnancy")
+            }
+            TraceStep::ScoredLikeOverlap {
+                recipe,
+                liked,
+                shared_ingredients,
+            } => write!(
+                f,
+                "boosted {recipe}: shares {shared_ingredients} ingredient(s) with liked {liked}"
+            ),
+            TraceStep::ScoredDirectLike { recipe } => {
+                write!(f, "boosted {recipe}: user likes it directly")
+            }
+            TraceStep::ScoredGoal {
+                recipe,
+                goal,
+                nutrient,
+            } => write!(f, "boosted {recipe}: provides {nutrient} for {goal}"),
+            TraceStep::ScoredSeasonal { recipe, season } => {
+                write!(f, "boosted {recipe}: in season ({season})")
+            }
+            TraceStep::ScoredRegional { recipe, region } => {
+                write!(f, "boosted {recipe}: regionally available in {region}")
+            }
+            TraceStep::PenalizedPrice { recipe, tier } => {
+                write!(f, "penalized {recipe}: price tier {tier}")
+            }
+        }
+    }
+}
+
+/// One ranked recommendation with the steps that produced its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    pub recipe_id: String,
+    pub score: f64,
+    pub trace: Vec<TraceStep>,
+}
+
+/// The full output of one recommendation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecommendationSet {
+    /// Ranked survivors, best first.
+    pub recommendations: Vec<Recommendation>,
+    /// Recipes eliminated by hard constraints, with the reason.
+    pub eliminated: Vec<TraceStep>,
+}
+
+impl RecommendationSet {
+    /// The top recommendation's recipe id, if any.
+    pub fn top(&self) -> Option<&str> {
+        self.recommendations.first().map(|r| r.recipe_id.as_str())
+    }
+
+    /// Finds a ranked recommendation by recipe id.
+    pub fn get(&self, recipe_id: &str) -> Option<&Recommendation> {
+        self.recommendations
+            .iter()
+            .find(|r| r.recipe_id == recipe_id)
+    }
+
+    /// The elimination step for a recipe, if it was filtered out.
+    pub fn elimination(&self, recipe_id: &str) -> Option<&TraceStep> {
+        self.eliminated.iter().find(|s| s.recipe() == recipe_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_accessors() {
+        let s = TraceStep::FilteredByAllergy {
+            recipe: "Soup".into(),
+            allergen: "Broccoli".into(),
+        };
+        assert_eq!(s.recipe(), "Soup");
+        assert!(s.is_filter());
+        assert!(s.to_string().contains("allergen Broccoli"));
+
+        let s = TraceStep::ScoredSeasonal {
+            recipe: "Soup".into(),
+            season: "Autumn".into(),
+        };
+        assert!(!s.is_filter());
+        assert!(s.to_string().contains("in season"));
+    }
+
+    #[test]
+    fn set_accessors() {
+        let set = RecommendationSet {
+            recommendations: vec![Recommendation {
+                recipe_id: "A".into(),
+                score: 2.0,
+                trace: vec![],
+            }],
+            eliminated: vec![TraceStep::FilteredByDislike { recipe: "B".into() }],
+        };
+        assert_eq!(set.top(), Some("A"));
+        assert!(set.get("A").is_some());
+        assert!(set.elimination("B").is_some());
+        assert!(set.elimination("A").is_none());
+    }
+}

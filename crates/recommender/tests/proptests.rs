@@ -1,0 +1,104 @@
+//! Property tests for the recommenders: constraint respect, trace
+//! completeness, group-coach invariants, and ranking determinism over
+//! random KGs and profiles.
+
+use feo_foodkg::{random_profiles, synthetic, FoodKg, Season, SyntheticConfig, SystemContext};
+use feo_recommender::{GroupCoach, HealthCoach, Recommender};
+use proptest::prelude::*;
+
+fn arb_kg() -> impl Strategy<Value = FoodKg> {
+    (15usize..40, 12usize..30, any::<u64>()).prop_map(|(recipes, ingredients, seed)| {
+        synthetic(&SyntheticConfig {
+            recipes,
+            ingredients,
+            seed,
+            ..Default::default()
+        })
+    })
+}
+
+fn arb_season() -> impl Strategy<Value = Season> {
+    prop_oneof![
+        Just(Season::Spring),
+        Just(Season::Summer),
+        Just(Season::Autumn),
+        Just(Season::Winter),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every surviving recommendation has only non-filter trace steps,
+    /// every elimination is a filter step, and the two partition the KG.
+    #[test]
+    fn trace_steps_partition_cleanly(kg in arb_kg(), seed in any::<u64>(), season in arb_season()) {
+        let user = random_profiles(&kg, 1, seed).pop().unwrap();
+        let coach = HealthCoach::new(&kg);
+        let set = coach.recommend(&user, &SystemContext::new(season), kg.recipes.len());
+        for rec in &set.recommendations {
+            for step in &rec.trace {
+                prop_assert!(!step.is_filter(), "filter step in survivor trace: {step}");
+                prop_assert_eq!(step.recipe(), rec.recipe_id.as_str());
+            }
+        }
+        for step in &set.eliminated {
+            prop_assert!(step.is_filter());
+        }
+        prop_assert_eq!(
+            set.recommendations.len() + set.eliminated.len(),
+            kg.recipes.len()
+        );
+    }
+
+    /// Group recommendations never include a dish any member's individual
+    /// run would eliminate, and group scores are bounded by the members'
+    /// individual scores.
+    #[test]
+    fn group_respects_every_member(kg in arb_kg(), seed in any::<u64>(), season in arb_season()) {
+        let members = random_profiles(&kg, 3, seed);
+        let ctx = SystemContext::new(season);
+        let coach = HealthCoach::new(&kg);
+        let individual: Vec<_> = members
+            .iter()
+            .map(|m| coach.recommend(m, &ctx, kg.recipes.len()))
+            .collect();
+        let group = GroupCoach::new(&kg).recommend(&members, &ctx, kg.recipes.len());
+        for rec in &group.recommendations {
+            for ind in &individual {
+                prop_assert!(
+                    ind.elimination(&rec.recipe_id).is_none(),
+                    "group surfaced {} despite a member's veto",
+                    rec.recipe_id
+                );
+            }
+            let min = individual
+                .iter()
+                .filter_map(|i| i.get(&rec.recipe_id))
+                .map(|r| r.score)
+                .fold(f64::INFINITY, f64::min);
+            let max = individual
+                .iter()
+                .filter_map(|i| i.get(&rec.recipe_id))
+                .map(|r| r.score)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(rec.score >= min - 1e-9 && rec.score <= max + 1e-9,
+                "average score out of member bounds");
+        }
+    }
+
+    /// Rankings are deterministic and k-prefix-stable: top-k is a prefix
+    /// of top-(k+5).
+    #[test]
+    fn topk_is_prefix_stable(kg in arb_kg(), seed in any::<u64>(), k in 1usize..10) {
+        let user = random_profiles(&kg, 1, seed).pop().unwrap();
+        let ctx = SystemContext::new(Season::Autumn);
+        let coach = HealthCoach::new(&kg);
+        let small = coach.recommend(&user, &ctx, k);
+        let large = coach.recommend(&user, &ctx, k + 5);
+        let small_ids: Vec<_> = small.recommendations.iter().map(|r| &r.recipe_id).collect();
+        let large_ids: Vec<_> = large.recommendations.iter().take(small_ids.len()).collect::<Vec<_>>()
+            .iter().map(|r| &r.recipe_id).collect();
+        prop_assert_eq!(small_ids, large_ids);
+    }
+}

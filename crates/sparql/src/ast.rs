@@ -1,0 +1,320 @@
+//! SPARQL abstract syntax tree.
+//!
+//! The AST stays close to the grammar; translation to an executable
+//! algebra happens during evaluation in [`crate::eval`]. Terms in the AST are string
+//! based (IRIs already resolved against the prologue), interning happens
+//! at evaluation time against the queried graph.
+
+/// A parsed query: prologue already folded in (IRIs resolved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub form: QueryForm,
+    pub where_pattern: GroupPattern,
+    pub modifiers: Modifiers,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    Select {
+        distinct: bool,
+        reduced: bool,
+        projection: Projection,
+    },
+    Ask,
+    Construct {
+        template: Vec<TriplePattern>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`
+    All,
+    /// Explicit list of variables / expressions.
+    Items(Vec<ProjectionItem>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectionItem {
+    Var(String),
+    /// `(expr AS ?v)`
+    Expr(Expr, String),
+}
+
+/// Solution modifiers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Modifiers {
+    pub group_by: Vec<GroupCondition>,
+    pub having: Vec<Expr>,
+    pub order_by: Vec<OrderCondition>,
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupCondition {
+    Var(String),
+    /// `(expr AS ?v)` or bare expr.
+    Expr(Expr, Option<String>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderCondition {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// A group graph pattern: an ordered list of elements. Filters apply to
+/// the whole group (scoping handled by the algebra translation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    pub elements: Vec<GroupElement>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupElement {
+    Triples(Vec<TriplePattern>),
+    Optional(GroupPattern),
+    Union(Vec<GroupPattern>),
+    Minus(GroupPattern),
+    Filter(Expr),
+    Bind(Expr, String),
+    Values(ValuesBlock),
+    /// Nested `{ ... }` group.
+    Group(GroupPattern),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuesBlock {
+    pub vars: Vec<String>,
+    /// One row per solution; `None` is UNDEF.
+    pub rows: Vec<Vec<Option<TermPattern>>>,
+}
+
+/// One triple pattern; the predicate may be a property path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    pub subject: TermPattern,
+    pub path: Path,
+    pub object: TermPattern,
+}
+
+/// Subject/object position: variable or ground term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermPattern {
+    Var(String),
+    Iri(String),
+    /// Blank node label — scoped to the query, acts as a non-projected
+    /// variable.
+    Blank(String),
+    Literal(LiteralPattern),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiteralPattern {
+    pub lexical: String,
+    pub language: Option<String>,
+    /// Datatype IRI; `None` means plain (xsd:string).
+    pub datatype: Option<String>,
+}
+
+/// Property path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Path {
+    /// Plain predicate: an IRI.
+    Iri(String),
+    /// A variable in predicate position (not a path, but shares the slot).
+    Var(String),
+    Inverse(Box<Path>),
+    Sequence(Box<Path>, Box<Path>),
+    Alternative(Box<Path>, Box<Path>),
+    ZeroOrMore(Box<Path>),
+    OneOrMore(Box<Path>),
+    ZeroOrOne(Box<Path>),
+    /// `!(iri1 | iri2 | ^iri3 ...)` — negated property set. The bool marks
+    /// inverted members.
+    Negated(Vec<(String, bool)>),
+}
+
+impl Path {
+    /// True when the path is a plain predicate (IRI or variable).
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, Path::Iri(_) | Path::Var(_))
+    }
+}
+
+/// Expressions (FILTER / BIND / SELECT expressions / HAVING).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Var(String),
+    Iri(String),
+    Literal(LiteralPattern),
+    Or(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Compare(CompareOp, Box<Expr>, Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    UnaryMinus(Box<Expr>),
+    In(Box<Expr>, Vec<Expr>, /*negated=*/ bool),
+    Call(Builtin, Vec<Expr>),
+    Exists(GroupPattern, /*negated=*/ bool),
+    Aggregate(Box<AggregateExpr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateExpr {
+    pub kind: AggregateKind,
+    pub distinct: bool,
+    /// `None` only for `COUNT(*)`.
+    pub expr: Option<Expr>,
+    /// GROUP_CONCAT separator.
+    pub separator: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateKind {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Sample,
+    GroupConcat,
+}
+
+/// Builtin functions. `Builtin::from_name` recognizes them
+/// case-insensitively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    Bound,
+    Str,
+    Lang,
+    LangMatches,
+    Datatype,
+    Iri,
+    BNode,
+    StrLen,
+    UCase,
+    LCase,
+    Contains,
+    StrStarts,
+    StrEnds,
+    StrBefore,
+    StrAfter,
+    SubStr,
+    Replace,
+    Concat,
+    Regex,
+    Abs,
+    Ceil,
+    Floor,
+    Round,
+    Coalesce,
+    If,
+    SameTerm,
+    IsIri,
+    IsBlank,
+    IsLiteral,
+    IsNumeric,
+}
+
+impl Builtin {
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "BOUND" => Builtin::Bound,
+            "STR" => Builtin::Str,
+            "LANG" => Builtin::Lang,
+            "LANGMATCHES" => Builtin::LangMatches,
+            "DATATYPE" => Builtin::Datatype,
+            "IRI" | "URI" => Builtin::Iri,
+            "BNODE" => Builtin::BNode,
+            "STRLEN" => Builtin::StrLen,
+            "UCASE" => Builtin::UCase,
+            "LCASE" => Builtin::LCase,
+            "CONTAINS" => Builtin::Contains,
+            "STRSTARTS" => Builtin::StrStarts,
+            "STRENDS" => Builtin::StrEnds,
+            "STRBEFORE" => Builtin::StrBefore,
+            "STRAFTER" => Builtin::StrAfter,
+            "SUBSTR" => Builtin::SubStr,
+            "REPLACE" => Builtin::Replace,
+            "CONCAT" => Builtin::Concat,
+            "REGEX" => Builtin::Regex,
+            "ABS" => Builtin::Abs,
+            "CEIL" => Builtin::Ceil,
+            "FLOOR" => Builtin::Floor,
+            "ROUND" => Builtin::Round,
+            "COALESCE" => Builtin::Coalesce,
+            "IF" => Builtin::If,
+            "SAMETERM" => Builtin::SameTerm,
+            "ISIRI" | "ISURI" => Builtin::IsIri,
+            "ISBLANK" => Builtin::IsBlank,
+            "ISLITERAL" => Builtin::IsLiteral,
+            "ISNUMERIC" => Builtin::IsNumeric,
+            _ => return None,
+        })
+    }
+}
+
+impl AggregateKind {
+    pub fn from_name(name: &str) -> Option<AggregateKind> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggregateKind::Count,
+            "SUM" => AggregateKind::Sum,
+            "AVG" => AggregateKind::Avg,
+            "MIN" => AggregateKind::Min,
+            "MAX" => AggregateKind::Max,
+            "SAMPLE" => AggregateKind::Sample,
+            "GROUP_CONCAT" => AggregateKind::GroupConcat,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookup_is_case_insensitive() {
+        assert_eq!(Builtin::from_name("bound"), Some(Builtin::Bound));
+        assert_eq!(Builtin::from_name("Regex"), Some(Builtin::Regex));
+        assert_eq!(Builtin::from_name("URI"), Some(Builtin::Iri));
+        assert_eq!(Builtin::from_name("nope"), None);
+    }
+
+    #[test]
+    fn aggregate_lookup() {
+        assert_eq!(AggregateKind::from_name("count"), Some(AggregateKind::Count));
+        assert_eq!(
+            AggregateKind::from_name("GROUP_CONCAT"),
+            Some(AggregateKind::GroupConcat)
+        );
+        assert_eq!(AggregateKind::from_name("MEDIAN"), None);
+    }
+
+    #[test]
+    fn trivial_paths() {
+        assert!(Path::Iri("http://e/p".into()).is_trivial());
+        assert!(Path::Var("p".into()).is_trivial());
+        assert!(!Path::OneOrMore(Box::new(Path::Iri("http://e/p".into()))).is_trivial());
+    }
+}

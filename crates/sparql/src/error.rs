@@ -1,0 +1,48 @@
+//! SPARQL error types.
+
+use std::fmt;
+
+/// An error raised while parsing or evaluating a SPARQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Syntax error with position information.
+    Parse {
+        message: String,
+        line: usize,
+        column: usize,
+    },
+    /// Semantic error discovered at evaluation time (e.g. aggregate used
+    /// outside GROUP BY projection, unknown prefix).
+    Eval(String),
+}
+
+impl SparqlError {
+    pub fn parse(message: impl Into<String>, line: usize, column: usize) -> Self {
+        SparqlError::Parse {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    pub fn eval(message: impl Into<String>) -> Self {
+        SparqlError::Eval(message.into())
+    }
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "sparql parse error at {line}:{column}: {message}"),
+            SparqlError::Eval(m) => write!(f, "sparql evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+pub type Result<T> = std::result::Result<T, SparqlError>;

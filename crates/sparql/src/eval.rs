@@ -1,0 +1,1506 @@
+//! SPARQL query evaluation over a [`feo_rdf::Graph`].
+//!
+//! The evaluator executes the AST directly with solution sets (vectors of
+//! bindings) flowing through group-pattern elements, matching the SPARQL
+//! algebra: triples blocks join, OPTIONAL left-joins, UNION concatenates,
+//! MINUS anti-joins on shared domains, FILTERs apply at group scope, BIND
+//! extends, VALUES joins an inline table. BGPs are greedily reordered by
+//! bound-position count before matching.
+//!
+//! The graph is borrowed mutably only to intern computed terms (BIND /
+//! SELECT expressions / VALUES data); no triples are ever added.
+
+use std::collections::{HashMap, HashSet};
+
+use feo_rdf::vocab::xsd;
+use feo_rdf::{Graph, Term, TermId, Triple};
+
+use crate::ast::*;
+use crate::error::{Result, SparqlError};
+use crate::parser::parse_query;
+use crate::results::{QueryResult, SolutionTable};
+use crate::value::{
+    as_integer, as_numeric, as_string, ebv, order_key, str_builtin, values_compare,
+    values_equal, Value,
+};
+
+/// One solution: a slot per registered variable.
+type Binding = Vec<Option<TermId>>;
+
+/// Evaluator tuning knobs (primarily for ablation studies).
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Greedily reorder BGP triple patterns by bound-position count
+    /// before matching. Disabling evaluates patterns in author order —
+    /// the ablation baseline.
+    pub reorder_bgp: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { reorder_bgp: true }
+    }
+}
+
+/// Parses and executes `text` against `graph`.
+///
+/// The graph is `&mut` only so computed terms (BIND results, VALUES data)
+/// can be interned into its dictionary; the triple set is never modified.
+pub fn query(graph: &mut Graph, text: &str) -> Result<QueryResult> {
+    let q = parse_query(text)?;
+    execute(graph, &q)
+}
+
+/// Executes a parsed query with default options.
+pub fn execute(graph: &mut Graph, q: &Query) -> Result<QueryResult> {
+    execute_with(graph, q, &ExecOptions::default())
+}
+
+/// Parses and executes with explicit options.
+pub fn query_with(graph: &mut Graph, text: &str, opts: &ExecOptions) -> Result<QueryResult> {
+    let q = parse_query(text)?;
+    execute_with(graph, &q, opts)
+}
+
+/// Executes a parsed query with explicit options.
+pub fn execute_with(graph: &mut Graph, q: &Query, opts: &ExecOptions) -> Result<QueryResult> {
+    let mut vars = VarTable::default();
+    register_group_vars(&q.where_pattern, &mut vars);
+    register_modifier_vars(q, &mut vars);
+    let mut ctx = Ctx { g: graph, vars, opts: opts.clone() };
+
+    let rows = ctx.eval_group(&q.where_pattern, vec![vec![None; ctx.vars.len()]])?;
+
+    match &q.form {
+        QueryForm::Ask => Ok(QueryResult::Boolean(!rows.is_empty())),
+        QueryForm::Construct { template } => ctx.construct(template, rows),
+        QueryForm::Select {
+            distinct,
+            reduced,
+            projection,
+        } => ctx.select(q, projection, *distinct || *reduced, rows),
+    }
+}
+
+/// Variable registry: maps names (and blank-node labels, prefixed with
+/// `_:`) to binding slots.
+#[derive(Debug, Default, Clone)]
+struct VarTable {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl VarTable {
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    fn get(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+}
+
+fn register_group_vars(group: &GroupPattern, vars: &mut VarTable) {
+    for el in &group.elements {
+        match el {
+            GroupElement::Triples(ts) => {
+                for t in ts {
+                    register_term_vars(&t.subject, vars);
+                    if let Path::Var(v) = &t.path {
+                        vars.slot(v);
+                    }
+                    register_term_vars(&t.object, vars);
+                }
+            }
+            GroupElement::Optional(g) | GroupElement::Minus(g) | GroupElement::Group(g) => {
+                register_group_vars(g, vars)
+            }
+            GroupElement::Union(arms) => {
+                for a in arms {
+                    register_group_vars(a, vars);
+                }
+            }
+            GroupElement::Filter(e) => register_expr_vars(e, vars),
+            GroupElement::Bind(e, v) => {
+                register_expr_vars(e, vars);
+                vars.slot(v);
+            }
+            GroupElement::Values(vb) => {
+                for v in &vb.vars {
+                    vars.slot(v);
+                }
+            }
+        }
+    }
+}
+
+fn register_term_vars(tp: &TermPattern, vars: &mut VarTable) {
+    match tp {
+        TermPattern::Var(v) => {
+            vars.slot(v);
+        }
+        TermPattern::Blank(l) => {
+            vars.slot(&format!("_:{l}"));
+        }
+        _ => {}
+    }
+}
+
+fn register_expr_vars(e: &Expr, vars: &mut VarTable) {
+    match e {
+        Expr::Var(v) => {
+            vars.slot(v);
+        }
+        Expr::Or(a, b) | Expr::And(a, b) | Expr::Compare(_, a, b) | Expr::Arith(_, a, b) => {
+            register_expr_vars(a, vars);
+            register_expr_vars(b, vars);
+        }
+        Expr::Not(a) | Expr::UnaryMinus(a) => register_expr_vars(a, vars),
+        Expr::In(a, list, _) => {
+            register_expr_vars(a, vars);
+            for e in list {
+                register_expr_vars(e, vars);
+            }
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                register_expr_vars(a, vars);
+            }
+        }
+        Expr::Exists(g, _) => register_group_vars(g, vars),
+        Expr::Aggregate(agg) => {
+            if let Some(inner) = &agg.expr {
+                register_expr_vars(inner, vars);
+            }
+        }
+        Expr::Iri(_) | Expr::Literal(_) => {}
+    }
+}
+
+fn register_modifier_vars(q: &Query, vars: &mut VarTable) {
+    if let QueryForm::Select {
+        projection: Projection::Items(items),
+        ..
+    } = &q.form
+    {
+        for item in items {
+            match item {
+                ProjectionItem::Var(v) => {
+                    vars.slot(v);
+                }
+                ProjectionItem::Expr(e, v) => {
+                    register_expr_vars(e, vars);
+                    vars.slot(v);
+                }
+            }
+        }
+    }
+    for gc in &q.modifiers.group_by {
+        match gc {
+            GroupCondition::Var(v) => {
+                vars.slot(v);
+            }
+            GroupCondition::Expr(e, alias) => {
+                register_expr_vars(e, vars);
+                if let Some(a) = alias {
+                    vars.slot(a);
+                }
+            }
+        }
+    }
+    for h in &q.modifiers.having {
+        register_expr_vars(h, vars);
+    }
+    for oc in &q.modifiers.order_by {
+        register_expr_vars(&oc.expr, vars);
+    }
+}
+
+struct Ctx<'g> {
+    g: &'g mut Graph,
+    vars: VarTable,
+    opts: ExecOptions,
+}
+
+impl<'g> Ctx<'g> {
+    // ---- group patterns ------------------------------------------------
+
+    fn eval_group(&mut self, group: &GroupPattern, input: Vec<Binding>) -> Result<Vec<Binding>> {
+        let mut rows = input;
+        let mut filters: Vec<&Expr> = Vec::new();
+        for el in &group.elements {
+            match el {
+                GroupElement::Filter(e) => filters.push(e),
+                GroupElement::Triples(ts) => rows = self.eval_bgp(ts, rows)?,
+                GroupElement::Group(inner) => rows = self.eval_group(inner, rows)?,
+                GroupElement::Optional(inner) => {
+                    let mut out = Vec::new();
+                    for b in rows {
+                        let extended = self.eval_group(inner, vec![b.clone()])?;
+                        if extended.is_empty() {
+                            out.push(b);
+                        } else {
+                            out.extend(extended);
+                        }
+                    }
+                    rows = out;
+                }
+                GroupElement::Union(arms) => {
+                    let mut out = Vec::new();
+                    for arm in arms {
+                        out.extend(self.eval_group(arm, rows.clone())?);
+                    }
+                    rows = out;
+                }
+                GroupElement::Minus(inner) => {
+                    let empty = vec![vec![None; self.vars.len()]];
+                    let rhs = self.eval_group(inner, empty)?;
+                    rows.retain(|b| {
+                        !rhs.iter().any(|r| {
+                            let mut shared = false;
+                            for (x, y) in b.iter().zip(r.iter()) {
+                                if let (Some(x), Some(y)) = (x, y) {
+                                    if x != y {
+                                        return false;
+                                    }
+                                    shared = true;
+                                }
+                            }
+                            shared
+                        })
+                    });
+                }
+                GroupElement::Bind(e, v) => {
+                    let slot = self
+                        .vars
+                        .get(v)
+                        .ok_or_else(|| SparqlError::eval("unregistered BIND variable"))?;
+                    let mut out = Vec::with_capacity(rows.len());
+                    for mut b in rows {
+                        if b[slot].is_some() {
+                            return Err(SparqlError::eval(format!(
+                                "BIND would rebind already-bound variable ?{v}"
+                            )));
+                        }
+                        if let Some(val) = self.eval_expr(e, &b) {
+                            b[slot] = Some(val.into_term_id(self.g));
+                        }
+                        out.push(b);
+                    }
+                    rows = out;
+                }
+                GroupElement::Values(vb) => {
+                    let slots: Vec<usize> = vb
+                        .vars
+                        .iter()
+                        .map(|v| self.vars.get(v).expect("registered"))
+                        .collect();
+                    // Intern the data terms.
+                    let mut table: Vec<Vec<Option<TermId>>> = Vec::new();
+                    for row in &vb.rows {
+                        let mut r = Vec::with_capacity(row.len());
+                        for cell in row {
+                            r.push(match cell {
+                                None => None,
+                                Some(tp) => Some(self.intern_ground(tp)?),
+                            });
+                        }
+                        table.push(r);
+                    }
+                    let mut out = Vec::new();
+                    for b in &rows {
+                        for trow in &table {
+                            let mut merged = b.clone();
+                            let mut ok = true;
+                            for (slot, cell) in slots.iter().zip(trow.iter()) {
+                                match (merged[*slot], cell) {
+                                    (Some(x), Some(y)) if x != *y => {
+                                        ok = false;
+                                        break;
+                                    }
+                                    (None, Some(y)) => merged[*slot] = Some(*y),
+                                    _ => {}
+                                }
+                            }
+                            if ok {
+                                out.push(merged);
+                            }
+                        }
+                    }
+                    rows = out;
+                }
+            }
+        }
+        for f in filters {
+            let mut kept = Vec::with_capacity(rows.len());
+            for b in rows {
+                if self.filter_passes(f, &b)? {
+                    kept.push(b);
+                }
+            }
+            rows = kept;
+        }
+        Ok(rows)
+    }
+
+    fn filter_passes(&mut self, e: &Expr, b: &Binding) -> Result<bool> {
+        // EXISTS needs mutable evaluation; handle at this level.
+        Ok(match self.eval_expr(e, b) {
+            Some(v) => ebv(self.g, &v) == Some(true),
+            None => false,
+        })
+    }
+
+    // ---- BGP -------------------------------------------------------------
+
+    fn eval_bgp(&mut self, patterns: &[TriplePattern], input: Vec<Binding>) -> Result<Vec<Binding>> {
+        if !self.opts.reorder_bgp {
+            let mut rows = input;
+            for tp in patterns {
+                rows = self.match_triple_pattern(tp, rows)?;
+                if rows.is_empty() {
+                    break;
+                }
+            }
+            return Ok(rows);
+        }
+        // Greedy static reorder: prefer patterns with most bound positions
+        // given the variables bound so far (constants always count).
+        let mut bound: HashSet<usize> = HashSet::new();
+        if let Some(first) = input.first() {
+            for (i, v) in first.iter().enumerate() {
+                if v.is_some() {
+                    bound.insert(i);
+                }
+            }
+        }
+        let mut remaining: Vec<&TriplePattern> = patterns.iter().collect();
+        let mut ordered: Vec<&TriplePattern> = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let (best_idx, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, tp)| (i, self.pattern_selectivity(tp, &bound)))
+                .max_by_key(|&(_, s)| s)
+                .expect("nonempty");
+            let tp = remaining.remove(best_idx);
+            for slot in self.pattern_var_slots(tp) {
+                bound.insert(slot);
+            }
+            ordered.push(tp);
+        }
+
+        let mut rows = input;
+        for tp in ordered {
+            rows = self.match_triple_pattern(tp, rows)?;
+            if rows.is_empty() {
+                break;
+            }
+        }
+        Ok(rows)
+    }
+
+    fn pattern_var_slots(&self, tp: &TriplePattern) -> Vec<usize> {
+        let mut out = Vec::new();
+        for t in [&tp.subject, &tp.object] {
+            match t {
+                TermPattern::Var(v) => out.extend(self.vars.get(v)),
+                TermPattern::Blank(l) => out.extend(self.vars.get(&format!("_:{l}"))),
+                _ => {}
+            }
+        }
+        if let Path::Var(v) = &tp.path {
+            out.extend(self.vars.get(v));
+        }
+        out
+    }
+
+    fn pattern_selectivity(&self, tp: &TriplePattern, bound: &HashSet<usize>) -> usize {
+        let mut score = 0;
+        let term_score = |t: &TermPattern| match t {
+            TermPattern::Var(v) => {
+                if self.vars.get(v).is_some_and(|s| bound.contains(&s)) {
+                    2
+                } else {
+                    0
+                }
+            }
+            TermPattern::Blank(l) => {
+                if self
+                    .vars
+                    .get(&format!("_:{l}"))
+                    .is_some_and(|s| bound.contains(&s))
+                {
+                    2
+                } else {
+                    0
+                }
+            }
+            _ => 3, // ground terms are most selective
+        };
+        score += term_score(&tp.subject);
+        score += term_score(&tp.object);
+        score += match &tp.path {
+            Path::Var(v) => {
+                if self.vars.get(v).is_some_and(|s| bound.contains(&s)) {
+                    2
+                } else {
+                    0
+                }
+            }
+            Path::Iri(_) => 3,
+            _ => 1, // complex paths: evaluate late unless endpoints help
+        };
+        score
+    }
+
+    fn match_triple_pattern(
+        &mut self,
+        tp: &TriplePattern,
+        rows: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
+        let mut out = Vec::new();
+        for b in rows {
+            let s_slot = self.term_slot(&tp.subject);
+            let o_slot = self.term_slot(&tp.object);
+            let s_val = self.term_value(&tp.subject, &b)?;
+            let o_val = self.term_value(&tp.object, &b)?;
+
+            match &tp.path {
+                Path::Var(pv) => {
+                    let p_slot = self.vars.get(pv);
+                    let p_val = p_slot.and_then(|s| b[s]);
+                    for [ms, mp, mo] in self.g.match_pattern(s_val, p_val, o_val) {
+                        let mut nb = b.clone();
+                        if let Some(slot) = s_slot {
+                            nb[slot] = Some(ms);
+                        }
+                        if let Some(slot) = p_slot {
+                            nb[slot] = Some(mp);
+                        }
+                        if let Some(slot) = o_slot {
+                            nb[slot] = Some(mo);
+                        }
+                        out.push(nb);
+                    }
+                }
+                Path::Iri(p) => {
+                    let p_id = self.g.lookup_iri(p);
+                    let Some(p_id) = p_id else { continue };
+                    for [ms, _, mo] in self.g.match_pattern(s_val, Some(p_id), o_val) {
+                        let mut nb = b.clone();
+                        if let Some(slot) = s_slot {
+                            nb[slot] = Some(ms);
+                        }
+                        if let Some(slot) = o_slot {
+                            nb[slot] = Some(mo);
+                        }
+                        out.push(nb);
+                    }
+                }
+                path => {
+                    for (ms, mo) in self.eval_path(path, s_val, o_val) {
+                        let mut nb = b.clone();
+                        if let Some(slot) = s_slot {
+                            nb[slot] = Some(ms);
+                        }
+                        if let Some(slot) = o_slot {
+                            nb[slot] = Some(mo);
+                        }
+                        out.push(nb);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn term_slot(&self, tp: &TermPattern) -> Option<usize> {
+        match tp {
+            TermPattern::Var(v) => self.vars.get(v),
+            TermPattern::Blank(l) => self.vars.get(&format!("_:{l}")),
+            _ => None,
+        }
+    }
+
+    /// The bound id for this position, if any. Ground terms that are not
+    /// in the dictionary yield a sentinel no-match by interning (the
+    /// pattern simply finds nothing).
+    fn term_value(&mut self, tp: &TermPattern, b: &Binding) -> Result<Option<TermId>> {
+        Ok(match tp {
+            TermPattern::Var(v) => self.vars.get(v).and_then(|s| b[s]),
+            TermPattern::Blank(l) => self.vars.get(&format!("_:{l}")).and_then(|s| b[s]),
+            ground => Some(self.intern_ground(ground)?),
+        })
+    }
+
+    fn intern_ground(&mut self, tp: &TermPattern) -> Result<TermId> {
+        let term = ground_to_term(tp)
+            .ok_or_else(|| SparqlError::eval("variable where a ground term was expected"))?;
+        Ok(self.g.intern(&term))
+    }
+
+    // ---- property paths ---------------------------------------------------
+
+    /// All `(start, end)` node pairs related by `path`, restricted by the
+    /// optionally bound endpoints.
+    fn eval_path(
+        &self,
+        path: &Path,
+        s: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<(TermId, TermId)> {
+        match path {
+            Path::Iri(p) => match self.g.lookup_iri(p) {
+                Some(pid) => self
+                    .g
+                    .match_pattern(s, Some(pid), o)
+                    .into_iter()
+                    .map(|t| (t[0], t[2]))
+                    .collect(),
+                None => Vec::new(),
+            },
+            Path::Var(_) => unreachable!("variable predicates handled in match_triple_pattern"),
+            Path::Inverse(inner) => self
+                .eval_path(inner, o, s)
+                .into_iter()
+                .map(|(a, b)| (b, a))
+                .collect(),
+            Path::Sequence(first, second) => {
+                let mut out = Vec::new();
+                let mut seen = HashSet::new();
+                for (a, mid) in self.eval_path(first, s, None) {
+                    for (_, b) in self.eval_path(second, Some(mid), o) {
+                        if seen.insert((a, b)) {
+                            out.push((a, b));
+                        }
+                    }
+                }
+                out
+            }
+            Path::Alternative(l, r) => {
+                let mut out = self.eval_path(l, s, o);
+                let seen: HashSet<(TermId, TermId)> = out.iter().copied().collect();
+                for pair in self.eval_path(r, s, o) {
+                    if !seen.contains(&pair) {
+                        out.push(pair);
+                    }
+                }
+                out
+            }
+            Path::ZeroOrOne(inner) => {
+                let mut out = self.zero_length_pairs(s, o);
+                let seen: HashSet<(TermId, TermId)> = out.iter().copied().collect();
+                for pair in self.eval_path(inner, s, o) {
+                    if !seen.contains(&pair) {
+                        out.push(pair);
+                    }
+                }
+                out
+            }
+            Path::ZeroOrMore(inner) => self.closure_pairs(inner, s, o, true),
+            Path::OneOrMore(inner) => self.closure_pairs(inner, s, o, false),
+            Path::Negated(members) => {
+                let forward: HashSet<TermId> = members
+                    .iter()
+                    .filter(|(_, inv)| !inv)
+                    .filter_map(|(iri, _)| self.g.lookup_iri(iri))
+                    .collect();
+                let has_forward = members.iter().any(|(_, inv)| !inv);
+                let inverse: HashSet<TermId> = members
+                    .iter()
+                    .filter(|(_, inv)| *inv)
+                    .filter_map(|(iri, _)| self.g.lookup_iri(iri))
+                    .collect();
+                let has_inverse = members.iter().any(|(_, inv)| *inv);
+                let mut out = Vec::new();
+                let mut seen = HashSet::new();
+                if has_forward {
+                    for [ms, mp, mo] in self.g.match_pattern(s, None, o) {
+                        if !forward.contains(&mp) && seen.insert((ms, mo)) {
+                            out.push((ms, mo));
+                        }
+                    }
+                }
+                if has_inverse {
+                    for [ms, mp, mo] in self.g.match_pattern(o, None, s) {
+                        if !inverse.contains(&mp) && seen.insert((mo, ms)) {
+                            out.push((mo, ms));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Pairs related by a zero-length path: every graph node to itself.
+    fn zero_length_pairs(&self, s: Option<TermId>, o: Option<TermId>) -> Vec<(TermId, TermId)> {
+        match (s, o) {
+            (Some(a), Some(b)) => {
+                if a == b {
+                    vec![(a, a)]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(a), None) => vec![(a, a)],
+            (None, Some(b)) => vec![(b, b)],
+            (None, None) => self.all_nodes().into_iter().map(|n| (n, n)).collect(),
+        }
+    }
+
+    fn all_nodes(&self) -> Vec<TermId> {
+        let mut out: std::collections::BTreeSet<TermId> = Default::default();
+        for [s, _, o] in self.g.iter_ids() {
+            out.insert(s);
+            out.insert(o);
+        }
+        out.into_iter().collect()
+    }
+
+    /// Transitive closure pairs for `inner*` / `inner+`.
+    fn closure_pairs(
+        &self,
+        inner: &Path,
+        s: Option<TermId>,
+        o: Option<TermId>,
+        include_zero: bool,
+    ) -> Vec<(TermId, TermId)> {
+        let starts: Vec<TermId> = match (s, o) {
+            (Some(a), _) => vec![a],
+            (None, Some(_)) => {
+                // Walk backward from the object instead.
+                let inv = Path::Inverse(Box::new(inner.clone()));
+                return self
+                    .closure_pairs(&inv, o, s, include_zero)
+                    .into_iter()
+                    .map(|(a, b)| (b, a))
+                    .collect();
+            }
+            (None, None) => self.all_nodes(),
+        };
+        let mut out = Vec::new();
+        for start in starts {
+            let mut reached: HashSet<TermId> = HashSet::new();
+            let mut frontier = vec![start];
+            if include_zero {
+                reached.insert(start);
+            }
+            while let Some(node) = frontier.pop() {
+                for (_, next) in self.eval_path(inner, Some(node), None) {
+                    if reached.insert(next) {
+                        frontier.push(next);
+                    }
+                }
+            }
+            for end in reached {
+                match o {
+                    Some(target) if end != target => {}
+                    _ => out.push((start, end)),
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// Evaluates an expression; `None` is the SPARQL "error" value.
+    fn eval_expr(&mut self, e: &Expr, b: &Binding) -> Option<Value> {
+        match e {
+            Expr::Var(v) => self.vars.get(v).and_then(|s| b[s]).map(Value::Term),
+            Expr::Iri(iri) => Some(Value::Term(self.g.intern_iri(iri))),
+            Expr::Literal(l) => Some(self.literal_value(l)),
+            Expr::Or(x, y) => {
+                let l = self.eval_expr(x, b).and_then(|v| ebv(self.g, &v));
+                let r = self.eval_expr(y, b).and_then(|v| ebv(self.g, &v));
+                match (l, r) {
+                    (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
+                    (Some(false), Some(false)) => Some(Value::Bool(false)),
+                    _ => None,
+                }
+            }
+            Expr::And(x, y) => {
+                let l = self.eval_expr(x, b).and_then(|v| ebv(self.g, &v));
+                let r = self.eval_expr(y, b).and_then(|v| ebv(self.g, &v));
+                match (l, r) {
+                    (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
+                    (Some(true), Some(true)) => Some(Value::Bool(true)),
+                    _ => None,
+                }
+            }
+            Expr::Not(x) => {
+                let v = self.eval_expr(x, b)?;
+                ebv(self.g, &v).map(|t| Value::Bool(!t))
+            }
+            Expr::Compare(op, x, y) => {
+                let l = self.eval_expr(x, b)?;
+                let r = self.eval_expr(y, b)?;
+                self.compare(*op, &l, &r).map(Value::Bool)
+            }
+            Expr::Arith(op, x, y) => {
+                let l = self.eval_expr(x, b)?;
+                let r = self.eval_expr(y, b)?;
+                self.arith(*op, &l, &r)
+            }
+            Expr::UnaryMinus(x) => {
+                let v = self.eval_expr(x, b)?;
+                match v {
+                    Value::Int(i) => Some(Value::Int(-i)),
+                    other => as_numeric(self.g, &other).map(|n| Value::Num(-n)),
+                }
+            }
+            Expr::In(x, list, negated) => {
+                let needle = self.eval_expr(x, b)?;
+                let mut found = false;
+                for item in list {
+                    let v = self.eval_expr(item, b)?;
+                    if values_equal(self.g, &needle, &v) == Some(true) {
+                        found = true;
+                        break;
+                    }
+                }
+                Some(Value::Bool(found != *negated))
+            }
+            Expr::Call(builtin, args) => self.call(*builtin, args, b),
+            Expr::Exists(group, negated) => {
+                let found = match self.eval_group(group, vec![b.clone()]) {
+                    Ok(rows) => !rows.is_empty(),
+                    Err(_) => false,
+                };
+                Some(Value::Bool(found != *negated))
+            }
+            Expr::Aggregate(_) => None, // only valid in aggregation context
+        }
+    }
+
+    fn literal_value(&mut self, l: &LiteralPattern) -> Value {
+        match (&l.language, &l.datatype) {
+            (Some(lang), _) => Value::Str {
+                s: l.lexical.clone(),
+                lang: Some(lang.clone()),
+            },
+            (None, None) => Value::Str {
+                s: l.lexical.clone(),
+                lang: None,
+            },
+            (None, Some(dt)) if dt == xsd::BOOLEAN => {
+                Value::Bool(l.lexical == "true" || l.lexical == "1")
+            }
+            (None, Some(dt)) if xsd::is_integer_type(dt) => l
+                .lexical
+                .parse()
+                .map(Value::Int)
+                .unwrap_or(Value::Str { s: l.lexical.clone(), lang: None }),
+            (None, Some(dt)) if xsd::is_numeric_type(dt) => l
+                .lexical
+                .parse()
+                .map(Value::Num)
+                .unwrap_or(Value::Str { s: l.lexical.clone(), lang: None }),
+            (None, Some(dt)) => {
+                let term = Term::Literal(feo_rdf::Literal::typed(
+                    l.lexical.clone(),
+                    feo_rdf::Iri::new(dt.clone()),
+                ));
+                Value::Term(self.g.intern(&term))
+            }
+        }
+    }
+
+    fn compare(&self, op: CompareOp, l: &Value, r: &Value) -> Option<bool> {
+        use std::cmp::Ordering;
+        match op {
+            CompareOp::Eq => values_equal(self.g, l, r),
+            CompareOp::Ne => values_equal(self.g, l, r).map(|b| !b),
+            _ => {
+                let ord = values_compare(self.g, l, r)?;
+                Some(match op {
+                    CompareOp::Lt => ord == Ordering::Less,
+                    CompareOp::Le => ord != Ordering::Greater,
+                    CompareOp::Gt => ord == Ordering::Greater,
+                    CompareOp::Ge => ord != Ordering::Less,
+                    CompareOp::Eq | CompareOp::Ne => unreachable!(),
+                })
+            }
+        }
+    }
+
+    fn arith(&self, op: ArithOp, l: &Value, r: &Value) -> Option<Value> {
+        // Integer arithmetic stays integral except division.
+        if let (Value::Int(a), Value::Int(b)) = (l, r) {
+            return match op {
+                ArithOp::Add => Some(Value::Int(a.checked_add(*b)?)),
+                ArithOp::Sub => Some(Value::Int(a.checked_sub(*b)?)),
+                ArithOp::Mul => Some(Value::Int(a.checked_mul(*b)?)),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        None
+                    } else {
+                        Some(Value::Num(*a as f64 / *b as f64))
+                    }
+                }
+            };
+        }
+        let a = as_numeric(self.g, l)?;
+        let b = as_numeric(self.g, r)?;
+        // Preserve integrality when both terms are integer-typed literals.
+        let both_int = as_integer(self.g, l).is_some() && as_integer(self.g, r).is_some();
+        let result = match op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if b == 0.0 {
+                    return None;
+                }
+                a / b
+            }
+        };
+        if both_int && result.fract() == 0.0 && !matches!(op, ArithOp::Div) {
+            Some(Value::Int(result as i64))
+        } else {
+            Some(Value::Num(result))
+        }
+    }
+
+    fn call(&mut self, builtin: Builtin, args: &[Expr], b: &Binding) -> Option<Value> {
+        use Builtin::*;
+        // BOUND and COALESCE/IF must control evaluation of their args.
+        match builtin {
+            Bound => {
+                let Expr::Var(v) = &args[0] else { return None };
+                let bound = self.vars.get(v).and_then(|s| b[s]).is_some();
+                return Some(Value::Bool(bound));
+            }
+            Coalesce => {
+                for a in args {
+                    if let Some(v) = self.eval_expr(a, b) {
+                        return Some(v);
+                    }
+                }
+                return None;
+            }
+            If => {
+                if args.len() != 3 {
+                    return None;
+                }
+                let c = self.eval_expr(&args[0], b)?;
+                return match ebv(self.g, &c)? {
+                    true => self.eval_expr(&args[1], b),
+                    false => self.eval_expr(&args[2], b),
+                };
+            }
+            _ => {}
+        }
+
+        let vals: Option<Vec<Value>> = args.iter().map(|a| self.eval_expr(a, b)).collect();
+        let vals = vals?;
+        match builtin {
+            Bound | Coalesce | If => unreachable!("handled above"),
+            Str => str_builtin(self.g, vals.first()?).map(|s| Value::Str { s, lang: None }),
+            Lang => {
+                let v = vals.first()?;
+                let lang = match v {
+                    Value::Term(id) => match self.g.term(*id) {
+                        Term::Literal(l) => l.language().unwrap_or("").to_string(),
+                        _ => return None,
+                    },
+                    Value::Str { lang, .. } => lang.clone().unwrap_or_default(),
+                    _ => return None,
+                };
+                Some(Value::Str { s: lang, lang: None })
+            }
+            LangMatches => {
+                let (tag, _) = as_string(self.g, vals.first()?)?;
+                let (range, _) = as_string(self.g, vals.get(1)?)?;
+                let m = if range == "*" {
+                    !tag.is_empty()
+                } else {
+                    tag.eq_ignore_ascii_case(&range)
+                        || tag
+                            .to_ascii_lowercase()
+                            .starts_with(&format!("{}-", range.to_ascii_lowercase()))
+                };
+                Some(Value::Bool(m))
+            }
+            Datatype => {
+                let v = vals.first()?;
+                let dt = match v {
+                    Value::Term(id) => match self.g.term(*id) {
+                        Term::Literal(l) => l.datatype().as_str().to_string(),
+                        _ => return None,
+                    },
+                    Value::Bool(_) => xsd::BOOLEAN.to_string(),
+                    Value::Int(_) => xsd::INTEGER.to_string(),
+                    Value::Num(_) => xsd::DOUBLE.to_string(),
+                    Value::Str { lang: None, .. } => xsd::STRING.to_string(),
+                    Value::Str { lang: Some(_), .. } => {
+                        feo_rdf::vocab::rdf::LANG_STRING.to_string()
+                    }
+                    Value::IriStr(_) => return None,
+                };
+                Some(Value::IriStr(dt))
+            }
+            Iri => {
+                let s = str_builtin(self.g, vals.first()?)?;
+                Some(Value::IriStr(s))
+            }
+            BNode => {
+                let id = self.g.fresh_bnode();
+                Some(Value::Term(id))
+            }
+            StrLen => {
+                let (s, _) = as_string(self.g, vals.first()?)?;
+                Some(Value::Int(s.chars().count() as i64))
+            }
+            UCase => {
+                let (s, lang) = as_string(self.g, vals.first()?)?;
+                Some(Value::Str { s: s.to_uppercase(), lang })
+            }
+            LCase => {
+                let (s, lang) = as_string(self.g, vals.first()?)?;
+                Some(Value::Str { s: s.to_lowercase(), lang })
+            }
+            Contains => {
+                let (h, _) = as_string(self.g, vals.first()?)?;
+                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                Some(Value::Bool(h.contains(&n)))
+            }
+            StrStarts => {
+                let (h, _) = as_string(self.g, vals.first()?)?;
+                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                Some(Value::Bool(h.starts_with(&n)))
+            }
+            StrEnds => {
+                let (h, _) = as_string(self.g, vals.first()?)?;
+                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                Some(Value::Bool(h.ends_with(&n)))
+            }
+            StrBefore => {
+                let (h, lang) = as_string(self.g, vals.first()?)?;
+                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                Some(match h.find(&n) {
+                    Some(i) => Value::Str { s: h[..i].to_string(), lang },
+                    None => Value::Str { s: String::new(), lang: None },
+                })
+            }
+            StrAfter => {
+                let (h, lang) = as_string(self.g, vals.first()?)?;
+                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                Some(match h.find(&n) {
+                    Some(i) => Value::Str { s: h[i + n.len()..].to_string(), lang },
+                    None => Value::Str { s: String::new(), lang: None },
+                })
+            }
+            SubStr => {
+                let (s, lang) = as_string(self.g, vals.first()?)?;
+                let start = as_integer(self.g, vals.get(1)?)?;
+                let chars: Vec<char> = s.chars().collect();
+                let from = (start.max(1) - 1) as usize;
+                let taken: String = match vals.get(2) {
+                    Some(len_v) => {
+                        let len = as_integer(self.g, len_v)?.max(0) as usize;
+                        chars.iter().skip(from).take(len).collect()
+                    }
+                    None => chars.iter().skip(from).collect(),
+                };
+                Some(Value::Str { s: taken, lang })
+            }
+            Replace => {
+                let (s, lang) = as_string(self.g, vals.first()?)?;
+                let (pat, _) = as_string(self.g, vals.get(1)?)?;
+                let (rep, _) = as_string(self.g, vals.get(2)?)?;
+                let flags = match vals.get(3) {
+                    Some(v) => as_string(self.g, v)?.0,
+                    None => String::new(),
+                };
+                let re = crate::regexlite::Regex::new(&pat, &flags).ok()?;
+                Some(Value::Str { s: re.replace_all(&s, &rep), lang })
+            }
+            Concat => {
+                let mut out = String::new();
+                for v in &vals {
+                    out.push_str(&str_builtin(self.g, v)?);
+                }
+                Some(Value::Str { s: out, lang: None })
+            }
+            Regex => {
+                let (text, _) = as_string(self.g, vals.first()?)?;
+                let (pat, _) = as_string(self.g, vals.get(1)?)?;
+                let flags = match vals.get(2) {
+                    Some(v) => as_string(self.g, v)?.0,
+                    None => String::new(),
+                };
+                let re = crate::regexlite::Regex::new(&pat, &flags).ok()?;
+                Some(Value::Bool(re.is_match(&text)))
+            }
+            Abs => as_numeric(self.g, vals.first()?).map(|n| Value::Num(n.abs())),
+            Ceil => as_numeric(self.g, vals.first()?).map(|n| Value::Num(n.ceil())),
+            Floor => as_numeric(self.g, vals.first()?).map(|n| Value::Num(n.floor())),
+            Round => as_numeric(self.g, vals.first()?).map(|n| Value::Num(n.round())),
+            SameTerm => {
+                let a = vals.first()?;
+                let c = vals.get(1)?;
+                match (a, c) {
+                    (Value::Term(x), Value::Term(y)) => Some(Value::Bool(x == y)),
+                    _ => values_equal(self.g, a, c).map(Value::Bool),
+                }
+            }
+            IsIri => Some(Value::Bool(match vals.first()? {
+                Value::Term(id) => self.g.term(*id).is_iri(),
+                Value::IriStr(_) => true,
+                _ => false,
+            })),
+            IsBlank => Some(Value::Bool(match vals.first()? {
+                Value::Term(id) => self.g.term(*id).is_blank(),
+                _ => false,
+            })),
+            IsLiteral => Some(Value::Bool(match vals.first()? {
+                Value::Term(id) => self.g.term(*id).is_literal(),
+                Value::Bool(_) | Value::Int(_) | Value::Num(_) | Value::Str { .. } => true,
+                Value::IriStr(_) => false,
+            })),
+            IsNumeric => Some(Value::Bool(as_numeric(self.g, vals.first()?).is_some())),
+        }
+    }
+
+    // ---- SELECT finalization ---------------------------------------------
+
+    fn select(
+        &mut self,
+        q: &Query,
+        projection: &Projection,
+        distinct: bool,
+        rows: Vec<Binding>,
+    ) -> Result<QueryResult> {
+        let aggregating = !q.modifiers.group_by.is_empty()
+            || matches!(projection, Projection::Items(items)
+                if items.iter().any(|i| matches!(i, ProjectionItem::Expr(e, _) if contains_aggregate(e))));
+
+        let rows = if aggregating {
+            self.aggregate_rows(q, projection, rows)?
+        } else {
+            // Extend rows with SELECT expression results.
+            let mut rows = rows;
+            if let Projection::Items(items) = projection {
+                for item in items {
+                    if let ProjectionItem::Expr(e, v) = item {
+                        let slot = self.vars.get(v).expect("registered");
+                        for b in &mut rows {
+                            if let Some(val) = self.eval_expr(e, &b.clone()) {
+                                b[slot] = Some(val.into_term_id(self.g));
+                            }
+                        }
+                    }
+                }
+            }
+            rows
+        };
+
+        // ORDER BY over full bindings.
+        let mut rows = rows;
+        if !q.modifiers.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<crate::value::OrderKey>, BoolMask, Binding)> = Vec::new();
+            for b in rows {
+                let mut keys = Vec::new();
+                let mut descs = Vec::new();
+                for oc in &q.modifiers.order_by {
+                    let v = self.eval_expr(&oc.expr, &b);
+                    keys.push(order_key(self.g, v.as_ref()));
+                    descs.push(oc.descending);
+                }
+                keyed.push((keys, descs, b));
+            }
+            keyed.sort_by(|(ka, da, _), (kb, _, _)| {
+                for ((a, b), desc) in ka.iter().zip(kb.iter()).zip(da.iter()) {
+                    let ord = a.cmp(b);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            rows = keyed.into_iter().map(|(_, _, b)| b).collect();
+        }
+
+        // Projection.
+        let (names, slots): (Vec<String>, Vec<usize>) = match projection {
+            Projection::All => {
+                let mut pairs: Vec<(String, usize)> = self
+                    .vars
+                    .names
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| !n.starts_with("_:"))
+                    .map(|(i, n)| (n.clone(), i))
+                    .collect();
+                pairs.sort_by(|a, b| a.1.cmp(&b.1));
+                pairs.into_iter().unzip()
+            }
+            Projection::Items(items) => items
+                .iter()
+                .map(|i| {
+                    let name = match i {
+                        ProjectionItem::Var(v) => v.clone(),
+                        ProjectionItem::Expr(_, v) => v.clone(),
+                    };
+                    let slot = self.vars.get(&name).expect("registered");
+                    (name, slot)
+                })
+                .unzip(),
+        };
+
+        let mut projected: Vec<Vec<Option<TermId>>> = rows
+            .into_iter()
+            .map(|b| slots.iter().map(|&s| b[s]).collect())
+            .collect();
+
+        if distinct {
+            let mut seen = HashSet::new();
+            projected.retain(|r| seen.insert(r.clone()));
+        }
+
+        let offset = q.modifiers.offset.unwrap_or(0);
+        let limit = q.modifiers.limit.unwrap_or(usize::MAX);
+        let sliced: Vec<Vec<Option<TermId>>> = projected
+            .into_iter()
+            .skip(offset)
+            .take(limit)
+            .collect();
+
+        let table = SolutionTable {
+            vars: names,
+            rows: sliced
+                .into_iter()
+                .map(|r| {
+                    r.into_iter()
+                        .map(|c| c.map(|id| self.g.term(id).clone()))
+                        .collect()
+                })
+                .collect(),
+        };
+        Ok(QueryResult::Solutions(table))
+    }
+
+    fn aggregate_rows(
+        &mut self,
+        q: &Query,
+        projection: &Projection,
+        rows: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
+        // Compute group keys.
+        let mut groups: Vec<(Vec<Option<TermId>>, Vec<Binding>)> = Vec::new();
+        let mut index: HashMap<Vec<Option<TermId>>, usize> = HashMap::new();
+        for b in rows {
+            let mut key = Vec::new();
+            for gc in &q.modifiers.group_by {
+                let v = match gc {
+                    GroupCondition::Var(v) => self.vars.get(v).and_then(|s| b[s]),
+                    GroupCondition::Expr(e, _) => self
+                        .eval_expr(e, &b)
+                        .map(|v| v.into_term_id(self.g)),
+                };
+                key.push(v);
+            }
+            match index.get(&key) {
+                Some(&i) => groups[i].1.push(b),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![b]));
+                }
+            }
+        }
+        // With no GROUP BY but aggregates present: one implicit group.
+        if q.modifiers.group_by.is_empty() && groups.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        } else if q.modifiers.group_by.is_empty() {
+            let all: Vec<Binding> = groups.drain(..).flat_map(|(_, v)| v).collect();
+            groups.push((Vec::new(), all));
+        }
+
+        let mut out = Vec::new();
+        'group: for (key, members) in groups {
+            let mut row: Binding = vec![None; self.vars.len()];
+            // Bind group keys.
+            for (gc, k) in q.modifiers.group_by.iter().zip(key.iter()) {
+                match gc {
+                    GroupCondition::Var(v) => {
+                        if let Some(slot) = self.vars.get(v) {
+                            row[slot] = *k;
+                        }
+                    }
+                    GroupCondition::Expr(_, Some(alias)) => {
+                        if let Some(slot) = self.vars.get(alias) {
+                            row[slot] = *k;
+                        }
+                    }
+                    GroupCondition::Expr(_, None) => {}
+                }
+            }
+            // HAVING.
+            for h in &q.modifiers.having {
+                let v = self.eval_group_expr(h, &members, &row);
+                if v.and_then(|v| ebv(self.g, &v)) != Some(true) {
+                    continue 'group;
+                }
+            }
+            // Projection expressions.
+            if let Projection::Items(items) = projection {
+                for item in items {
+                    if let ProjectionItem::Expr(e, v) = item {
+                        let slot = self.vars.get(v).expect("registered");
+                        if let Some(val) = self.eval_group_expr(e, &members, &row) {
+                            row[slot] = Some(val.into_term_id(self.g));
+                        }
+                    }
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Expression evaluation inside a group: aggregates compute over the
+    /// member rows, plain variables resolve from the group-key row.
+    fn eval_group_expr(&mut self, e: &Expr, members: &[Binding], keyrow: &Binding) -> Option<Value> {
+        match e {
+            Expr::Aggregate(agg) => self.eval_aggregate(agg, members),
+            Expr::Or(a, x) => {
+                let l = self
+                    .eval_group_expr(a, members, keyrow)
+                    .and_then(|v| ebv(self.g, &v));
+                let r = self
+                    .eval_group_expr(x, members, keyrow)
+                    .and_then(|v| ebv(self.g, &v));
+                match (l, r) {
+                    (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
+                    (Some(false), Some(false)) => Some(Value::Bool(false)),
+                    _ => None,
+                }
+            }
+            Expr::And(a, x) => {
+                let l = self
+                    .eval_group_expr(a, members, keyrow)
+                    .and_then(|v| ebv(self.g, &v));
+                let r = self
+                    .eval_group_expr(x, members, keyrow)
+                    .and_then(|v| ebv(self.g, &v));
+                match (l, r) {
+                    (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
+                    (Some(true), Some(true)) => Some(Value::Bool(true)),
+                    _ => None,
+                }
+            }
+            Expr::Not(a) => {
+                let v = self.eval_group_expr(a, members, keyrow)?;
+                ebv(self.g, &v).map(|t| Value::Bool(!t))
+            }
+            Expr::Compare(op, a, x) => {
+                let l = self.eval_group_expr(a, members, keyrow)?;
+                let r = self.eval_group_expr(x, members, keyrow)?;
+                self.compare(*op, &l, &r).map(Value::Bool)
+            }
+            Expr::Arith(op, a, x) => {
+                let l = self.eval_group_expr(a, members, keyrow)?;
+                let r = self.eval_group_expr(x, members, keyrow)?;
+                self.arith(*op, &l, &r)
+            }
+            other => self.eval_expr(other, keyrow),
+        }
+    }
+
+    fn eval_aggregate(&mut self, agg: &AggregateExpr, members: &[Binding]) -> Option<Value> {
+        let mut values: Vec<Value> = Vec::new();
+        match &agg.expr {
+            None => {
+                // COUNT(*)
+                return Some(Value::Int(members.len() as i64));
+            }
+            Some(e) => {
+                for m in members {
+                    if let Some(v) = self.eval_expr(e, m) {
+                        values.push(v);
+                    }
+                }
+            }
+        }
+        if agg.distinct {
+            let mut seen: Vec<Value> = Vec::new();
+            values.retain(|v| {
+                if seen.iter().any(|s| values_equal(self.g, s, v) == Some(true)) {
+                    false
+                } else {
+                    seen.push(v.clone());
+                    true
+                }
+            });
+        }
+        match agg.kind {
+            AggregateKind::Count => Some(Value::Int(values.len() as i64)),
+            AggregateKind::Sum => {
+                let mut acc = 0.0;
+                for v in &values {
+                    acc += as_numeric(self.g, v)?;
+                }
+                Some(if acc.fract() == 0.0 {
+                    Value::Int(acc as i64)
+                } else {
+                    Value::Num(acc)
+                })
+            }
+            AggregateKind::Avg => {
+                if values.is_empty() {
+                    return Some(Value::Int(0));
+                }
+                let mut acc = 0.0;
+                for v in &values {
+                    acc += as_numeric(self.g, v)?;
+                }
+                Some(Value::Num(acc / values.len() as f64))
+            }
+            AggregateKind::Min => {
+                let mut best: Option<Value> = None;
+                for v in values {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            if values_compare(self.g, &v, &b)
+                                == Some(std::cmp::Ordering::Less)
+                            {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best
+            }
+            AggregateKind::Max => {
+                let mut best: Option<Value> = None;
+                for v in values {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            if values_compare(self.g, &v, &b)
+                                == Some(std::cmp::Ordering::Greater)
+                            {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best
+            }
+            AggregateKind::Sample => values.into_iter().next(),
+            AggregateKind::GroupConcat => {
+                let sep = agg.separator.clone().unwrap_or_else(|| " ".to_string());
+                let parts: Option<Vec<String>> =
+                    values.iter().map(|v| str_builtin(self.g, v)).collect();
+                Some(Value::Str {
+                    s: parts?.join(&sep),
+                    lang: None,
+                })
+            }
+        }
+    }
+
+    // ---- CONSTRUCT --------------------------------------------------------
+
+    fn construct(
+        &mut self,
+        template: &[TriplePattern],
+        rows: Vec<Binding>,
+    ) -> Result<QueryResult> {
+        let mut out = Graph::new();
+        for (row_idx, b) in rows.iter().enumerate() {
+            for tp in template {
+                let s = self.template_term(&tp.subject, b, row_idx);
+                let p = match &tp.path {
+                    Path::Iri(iri) => Some(Term::iri(iri.clone())),
+                    Path::Var(v) => self
+                        .vars
+                        .get(v)
+                        .and_then(|slot| b[slot])
+                        .map(|id| self.g.term(id).clone()),
+                    _ => None,
+                };
+                let o = self.template_term(&tp.object, b, row_idx);
+                if let (Some(s), Some(p), Some(o)) = (s, p, o) {
+                    if s.is_resource() && p.is_iri() {
+                        out.insert(&Triple {
+                            subject: s,
+                            predicate: p,
+                            object: o,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(QueryResult::Graph(out))
+    }
+
+    fn template_term(&self, tp: &TermPattern, b: &Binding, row: usize) -> Option<Term> {
+        match tp {
+            TermPattern::Var(v) => self
+                .vars
+                .get(v)
+                .and_then(|s| b[s])
+                .map(|id| self.g.term(id).clone()),
+            TermPattern::Blank(l) => Some(Term::bnode(format!("c{row}_{l}"))),
+            TermPattern::Iri(i) => Some(Term::iri(i.clone())),
+            TermPattern::Literal(l) => Some(literal_pattern_to_term(l)),
+        }
+    }
+}
+
+/// Row-sort helper alias (descending flags per ORDER BY condition).
+type BoolMask = Vec<bool>;
+
+fn contains_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Aggregate(_) => true,
+        Expr::Or(a, b) | Expr::And(a, b) | Expr::Compare(_, a, b) | Expr::Arith(_, a, b) => {
+            contains_aggregate(a) || contains_aggregate(b)
+        }
+        Expr::Not(a) | Expr::UnaryMinus(a) => contains_aggregate(a),
+        Expr::In(a, list, _) => contains_aggregate(a) || list.iter().any(contains_aggregate),
+        Expr::Call(_, args) => args.iter().any(contains_aggregate),
+        _ => false,
+    }
+}
+
+fn ground_to_term(tp: &TermPattern) -> Option<Term> {
+    match tp {
+        TermPattern::Iri(i) => Some(Term::iri(i.clone())),
+        TermPattern::Blank(l) => Some(Term::bnode(l.clone())),
+        TermPattern::Literal(l) => Some(literal_pattern_to_term(l)),
+        TermPattern::Var(_) => None,
+    }
+}
+
+fn literal_pattern_to_term(l: &LiteralPattern) -> Term {
+    match (&l.language, &l.datatype) {
+        (Some(lang), _) => Term::Literal(feo_rdf::Literal::lang(l.lexical.clone(), lang.clone())),
+        (None, Some(dt)) => Term::Literal(feo_rdf::Literal::typed(
+            l.lexical.clone(),
+            feo_rdf::Iri::new(dt.clone()),
+        )),
+        (None, None) => Term::simple(l.lexical.clone()),
+    }
+}

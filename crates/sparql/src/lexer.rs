@@ -1,0 +1,678 @@
+//! SPARQL tokenizer.
+//!
+//! Produces a flat token stream with positions; the parser is a recursive
+//! descent over this stream. Keywords are recognized case-insensitively at
+//! parse time (they are lexed as `Word`), so variable-free prefixed names
+//! like `feo:Select` never collide with keywords.
+
+use crate::error::{Result, SparqlError};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `<...>` IRI reference (raw text, unresolved).
+    IriRef(String),
+    /// `prefix:local` or `prefix:` or `:local` — kept split.
+    PName { prefix: String, local: String },
+    /// `?name` or `$name`.
+    Var(String),
+    /// `_:label`.
+    BlankLabel(String),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// `@lang`.
+    LangTag(String),
+    /// Unsigned numeric literal; the bool flags (has_dot, has_exp).
+    Number { lexical: String, dot: bool, exp: bool },
+    /// Bare word: keyword, `a`, `true`, `false`, function names.
+    Word(String),
+    /// `^^`
+    DtSep,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Dot,
+    Semicolon,
+    Comma,
+    Eq,
+    Ne,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    AndAnd,
+    OrOr,
+    Bang,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// `|` (path alternative)
+    Pipe,
+    /// `^` (path inverse)
+    Caret,
+    /// `?` used as a path modifier (only emitted when not followed by a
+    /// variable name).
+    Question,
+    Eof,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+    pub column: usize,
+}
+
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Lexer {
+        chars: input.chars().collect(),
+        pos: 0,
+        line: 1,
+        column: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl Lexer {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(SparqlError::parse(msg, self.line, self.column))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    tok: Tok::Eof,
+                    line,
+                    column,
+                });
+                return Ok(out);
+            };
+            let tok = self.next_token(c)?;
+            out.push(Token { tok, line, column });
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self, c: char) -> Result<Tok> {
+        match c {
+            '<' => {
+                // IRI ref or comparison. An IRI ref has no whitespace and a
+                // closing '>' before any space; comparisons are followed by
+                // space/char. Heuristic per SPARQL grammar: after '<' an IRI
+                // char or '>' means IRIREF.
+                match self.peek_at(1) {
+                    Some(n) if n == '=' => {
+                        self.bump();
+                        self.bump();
+                        Ok(Tok::Le)
+                    }
+                    Some(n)
+                        if !n.is_whitespace()
+                            && n != '<'
+                            && (n.is_alphanumeric()
+                                || "/:#_.-~%?&=+>".contains(n)) =>
+                    {
+                        self.lex_iri_ref()
+                    }
+                    _ => {
+                        self.bump();
+                        Ok(Tok::Lt)
+                    }
+                }
+            }
+            '>' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Tok::Ge)
+                } else {
+                    Ok(Tok::Gt)
+                }
+            }
+            '?' | '$' => {
+                // Variable if a name char follows, else path '?'.
+                match self.peek_at(1) {
+                    Some(n) if n.is_alphanumeric() || n == '_' => {
+                        self.bump();
+                        let mut name = String::new();
+                        while let Some(c) = self.peek() {
+                            if c.is_alphanumeric() || c == '_' {
+                                name.push(c);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        Ok(Tok::Var(name))
+                    }
+                    _ => {
+                        self.bump();
+                        Ok(Tok::Question)
+                    }
+                }
+            }
+            '_' if self.peek_at(1) == Some(':') => {
+                self.bump();
+                self.bump();
+                let mut label = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        label.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if label.is_empty() {
+                    return self.err("empty blank node label");
+                }
+                Ok(Tok::BlankLabel(label))
+            }
+            '"' | '\'' => self.lex_string(c),
+            '@' => {
+                self.bump();
+                let mut tag = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        tag.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if tag.is_empty() {
+                    return self.err("empty language tag");
+                }
+                Ok(Tok::LangTag(tag))
+            }
+            '^' => {
+                self.bump();
+                if self.peek() == Some('^') {
+                    self.bump();
+                    Ok(Tok::DtSep)
+                } else {
+                    Ok(Tok::Caret)
+                }
+            }
+            '{' => {
+                self.bump();
+                Ok(Tok::LBrace)
+            }
+            '}' => {
+                self.bump();
+                Ok(Tok::RBrace)
+            }
+            '(' => {
+                self.bump();
+                Ok(Tok::LParen)
+            }
+            ')' => {
+                self.bump();
+                Ok(Tok::RParen)
+            }
+            '[' => {
+                self.bump();
+                Ok(Tok::LBracket)
+            }
+            ']' => {
+                self.bump();
+                Ok(Tok::RBracket)
+            }
+            ';' => {
+                self.bump();
+                Ok(Tok::Semicolon)
+            }
+            ',' => {
+                self.bump();
+                Ok(Tok::Comma)
+            }
+            '=' => {
+                self.bump();
+                Ok(Tok::Eq)
+            }
+            '!' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Tok::Ne)
+                } else {
+                    Ok(Tok::Bang)
+                }
+            }
+            '&' if self.peek_at(1) == Some('&') => {
+                self.bump();
+                self.bump();
+                Ok(Tok::AndAnd)
+            }
+            '|' => {
+                self.bump();
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Ok(Tok::OrOr)
+                } else {
+                    Ok(Tok::Pipe)
+                }
+            }
+            '+' => {
+                self.bump();
+                Ok(Tok::Plus)
+            }
+            '-' => {
+                self.bump();
+                Ok(Tok::Minus)
+            }
+            '*' => {
+                self.bump();
+                Ok(Tok::Star)
+            }
+            '/' => {
+                self.bump();
+                Ok(Tok::Slash)
+            }
+            '.' => {
+                // Number like .5 or the DOT terminator.
+                if matches!(self.peek_at(1), Some(d) if d.is_ascii_digit()) {
+                    self.lex_number()
+                } else {
+                    self.bump();
+                    Ok(Tok::Dot)
+                }
+            }
+            c if c.is_ascii_digit() => self.lex_number(),
+            c if c.is_alphabetic() || c == '_' => self.lex_word_or_pname(),
+            ':' => self.lex_word_or_pname(),
+            other => self.err(format!("unexpected character '{other}'")),
+        }
+    }
+
+    fn lex_iri_ref(&mut self) -> Result<Tok> {
+        self.bump(); // '<'
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(Tok::IriRef(out)),
+                Some('\\') => match self.bump() {
+                    Some('u') => out.push(self.unicode_escape(4)?),
+                    Some('U') => out.push(self.unicode_escape(8)?),
+                    _ => return self.err("invalid IRI escape"),
+                },
+                Some(c) if c.is_whitespace() => return self.err("whitespace in IRI"),
+                Some(c) => out.push(c),
+                None => return self.err("unterminated IRI"),
+            }
+        }
+    }
+
+    fn lex_string(&mut self, quote: char) -> Result<Tok> {
+        // Long form?
+        if self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote) {
+            self.bump();
+            self.bump();
+            self.bump();
+            let mut out = String::new();
+            loop {
+                if self.peek() == Some(quote)
+                    && self.peek_at(1) == Some(quote)
+                    && self.peek_at(2) == Some(quote)
+                {
+                    let mut run = 3;
+                    while self.peek_at(run) == Some(quote) {
+                        run += 1;
+                    }
+                    for _ in 0..(run - 3) {
+                        out.push(quote);
+                        self.bump();
+                    }
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    return Ok(Tok::Str(out));
+                }
+                match self.bump() {
+                    Some('\\') => out.push(self.escape()?),
+                    Some(c) => out.push(c),
+                    None => return self.err("unterminated long string"),
+                }
+            }
+        }
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => return Ok(Tok::Str(out)),
+                Some('\\') => out.push(self.escape()?),
+                Some('\n') => return self.err("newline in string literal"),
+                Some(c) => out.push(c),
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char> {
+        match self.bump() {
+            Some('t') => Ok('\t'),
+            Some('b') => Ok('\u{8}'),
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('f') => Ok('\u{c}'),
+            Some('"') => Ok('"'),
+            Some('\'') => Ok('\''),
+            Some('\\') => Ok('\\'),
+            Some('u') => self.unicode_escape(4),
+            Some('U') => self.unicode_escape(8),
+            Some(c) => self.err(format!("invalid escape '\\{c}'")),
+            None => self.err("unterminated escape"),
+        }
+    }
+
+    fn unicode_escape(&mut self, digits: usize) -> Result<char> {
+        let mut v: u32 = 0;
+        for _ in 0..digits {
+            match self.bump().and_then(|c| c.to_digit(16)) {
+                Some(d) => v = v * 16 + d,
+                None => return self.err("invalid unicode escape"),
+            }
+        }
+        char::from_u32(v).map_or_else(|| self.err("invalid code point"), Ok)
+    }
+
+    fn lex_number(&mut self) -> Result<Tok> {
+        let mut s = String::new();
+        let mut dot = false;
+        let mut exp = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && !dot && !exp {
+                match self.peek_at(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        dot = true;
+                        s.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if (c == 'e' || c == 'E') && !exp {
+                match self.peek_at(1) {
+                    Some(d) if d.is_ascii_digit() || d == '+' || d == '-' => {
+                        exp = true;
+                        s.push(c);
+                        self.bump();
+                        if matches!(self.peek(), Some('+') | Some('-')) {
+                            s.push(self.bump().unwrap());
+                        }
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Tok::Number { lexical: s, dot, exp })
+    }
+
+    /// A bare word (keyword / builtin) or a prefixed name. The word form
+    /// ends before ':'; if ':' immediately follows, it's a PName.
+    fn lex_word_or_pname(&mut self) -> Result<Tok> {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some(':') {
+            self.bump();
+            let mut local = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_alphanumeric() || c == '_' || c == '-' {
+                    local.push(c);
+                    self.bump();
+                } else if c == '.' {
+                    match self.peek_at(1) {
+                        Some(n) if n.is_alphanumeric() || n == '_' || n == '-' => {
+                            local.push(c);
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                } else if c == '\\' {
+                    self.bump();
+                    match self.bump() {
+                        Some(e) if "_~.-!$&'()*+,;=/?#@%".contains(e) => local.push(e),
+                        _ => return self.err("invalid local name escape"),
+                    }
+                } else {
+                    break;
+                }
+            }
+            return Ok(Tok::PName {
+                prefix: word,
+                local,
+            });
+        }
+        if word.is_empty() {
+            return self.err("unexpected ':'");
+        }
+        Ok(Tok::Word(word))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn variables_and_question_modifier() {
+        assert_eq!(
+            toks("?x $y ?"),
+            vec![
+                Tok::Var("x".into()),
+                Tok::Var("y".into()),
+                Tok::Question,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        assert_eq!(
+            toks("<http://e/a> < <= ?x"),
+            vec![
+                Tok::IriRef("http://e/a".into()),
+                Tok::Lt,
+                Tok::Le,
+                Tok::Var("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pnames_and_words() {
+        assert_eq!(
+            toks("SELECT feo:Autumn rdfs:subClassOf a :x"),
+            vec![
+                Tok::Word("SELECT".into()),
+                Tok::PName {
+                    prefix: "feo".into(),
+                    local: "Autumn".into()
+                },
+                Tok::PName {
+                    prefix: "rdfs".into(),
+                    local: "subClassOf".into()
+                },
+                Tok::Word("a".into()),
+                Tok::PName {
+                    prefix: "".into(),
+                    local: "x".into()
+                },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= != <= >= && || ! + - * / ^^ ^ | ."),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::DtSep,
+                Tok::Caret,
+                Tok::Pipe,
+                Tok::Dot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 3.5 1e3 .5"),
+            vec![
+                Tok::Number {
+                    lexical: "42".into(),
+                    dot: false,
+                    exp: false
+                },
+                Tok::Number {
+                    lexical: "3.5".into(),
+                    dot: true,
+                    exp: false
+                },
+                Tok::Number {
+                    lexical: "1e3".into(),
+                    dot: false,
+                    exp: true
+                },
+                Tok::Number {
+                    lexical: ".5".into(),
+                    dot: true,
+                    exp: false
+                },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_tags() {
+        assert_eq!(
+            toks(r#""hi" 'there' "esc\"d" "v"@en "x"^^xsd:integer"#),
+            vec![
+                Tok::Str("hi".into()),
+                Tok::Str("there".into()),
+                Tok::Str("esc\"d".into()),
+                Tok::Str("v".into()),
+                Tok::LangTag("en".into()),
+                Tok::Str("x".into()),
+                Tok::DtSep,
+                Tok::PName {
+                    prefix: "xsd".into(),
+                    local: "integer".into()
+                },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("SELECT # all of it\n *"),
+            vec![Tok::Word("SELECT".into()), Tok::Star, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn blank_labels() {
+        assert_eq!(
+            toks("_:b0"),
+            vec![Tok::BlankLabel("b0".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn error_position() {
+        let err = tokenize("?x ~").unwrap_err();
+        match err {
+            SparqlError::Parse { line, column, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 4);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # feo-sparql
+//!
+//! A SPARQL 1.1 query engine over [`feo_rdf::Graph`] — the workspace's
+//! substitute for the Jena/ARQ-style engine the paper used to evaluate
+//! its competency questions (§IV–§V).
+//!
+//! Pipeline: [`lexer`] → [`parser`] → direct evaluation ([`eval`]) with
+//! solution sets. Supported: SELECT / ASK / CONSTRUCT, BGPs with greedy
+//! join reordering, OPTIONAL, UNION, MINUS, FILTER (incl. EXISTS /
+//! NOT EXISTS), BIND, VALUES, property paths (`^ / | * + ?` and negated
+//! sets), the builtin function library, GROUP BY with aggregates, HAVING,
+//! ORDER BY, DISTINCT / REDUCED, LIMIT / OFFSET.
+//!
+//! ```
+//! use feo_rdf::Graph;
+//! use feo_rdf::turtle::parse_turtle_into;
+//! use feo_sparql::query;
+//!
+//! let mut g = Graph::new();
+//! parse_turtle_into(r#"
+//!     @prefix feo: <https://purl.org/heals/feo#> .
+//!     feo:Autumn a feo:SeasonCharacteristic .
+//! "#, &mut g).unwrap();
+//! let result = query(&mut g,
+//!     "PREFIX feo: <https://purl.org/heals/feo#>
+//!      SELECT ?c WHERE { ?c a feo:SeasonCharacteristic }").unwrap();
+//! let table = result.expect_solutions();
+//! assert!(table.contains_local("c", "Autumn"));
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod regexlite;
+pub mod results;
+pub mod value;
+
+pub use error::{Result, SparqlError};
+pub use eval::{execute, execute_with, query, query_with, ExecOptions};
+pub use parser::parse_query;
+pub use results::{QueryResult, SolutionTable};

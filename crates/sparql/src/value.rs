@@ -1,0 +1,366 @@
+//! Runtime values for SPARQL expression evaluation.
+//!
+//! Expression evaluation operates on [`Value`]: either a graph term
+//! (by id, keeping identity for `sameTerm` / `DATATYPE` / projection) or a
+//! computed scalar. Typed interpretation of literal terms happens lazily
+//! inside the operations that need it, following the SPARQL operator
+//! mapping (numeric promotion, string comparison, effective boolean
+//! value).
+
+use feo_rdf::term::{Literal, Term};
+use feo_rdf::vocab::xsd;
+use feo_rdf::{Graph, TermId};
+
+/// An expression value. `Term` preserves identity; the scalar variants
+/// are produced by operators and builtins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Term(TermId),
+    Bool(bool),
+    Int(i64),
+    /// Non-integer numeric (decimal/double collapsed).
+    Num(f64),
+    Str { s: String, lang: Option<String> },
+    /// A computed IRI (from `IRI(...)`).
+    IriStr(String),
+}
+
+impl Value {
+    /// Converts to a concrete [`Term`], interning computed scalars.
+    pub fn into_term_id(self, g: &mut Graph) -> TermId {
+        match self {
+            Value::Term(id) => id,
+            Value::Bool(b) => g.intern(&Term::boolean(b)),
+            Value::Int(i) => g.intern(&Term::integer(i)),
+            Value::Num(n) => g.intern(&Term::Literal(Literal::typed(
+                format_num(n),
+                feo_rdf::Iri::new(xsd::DOUBLE),
+            ))),
+            Value::Str { s, lang } => match lang {
+                Some(l) => g.intern(&Term::Literal(Literal::lang(s, l))),
+                None => g.intern(&Term::simple(s)),
+            },
+            Value::IriStr(iri) => g.intern(&Term::iri(iri)),
+        }
+    }
+}
+
+fn format_num(n: f64) -> String {
+    if n == n.trunc() && n.is_finite() && n.abs() < 1e15 {
+        format!("{n:.1}")
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Numeric view of a value, if any.
+pub fn as_numeric(g: &Graph, v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Num(n) => Some(*n),
+        Value::Bool(_) | Value::Str { .. } | Value::IriStr(_) => None,
+        Value::Term(id) => match g.term(*id) {
+            Term::Literal(l) => l.as_double(),
+            _ => None,
+        },
+    }
+}
+
+/// Integer view (used where SPARQL wants integers, e.g. SUBSTR).
+pub fn as_integer(g: &Graph, v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) => Some(*i),
+        Value::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+        Value::Term(id) => match g.term(*id) {
+            Term::Literal(l) => l.as_integer(),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// String view: lexical form plus language tag. IRIs only stringify via
+/// the explicit STR() builtin, not implicitly.
+pub fn as_string(g: &Graph, v: &Value) -> Option<(String, Option<String>)> {
+    match v {
+        Value::Str { s, lang } => Some((s.clone(), lang.clone())),
+        Value::Term(id) => match g.term(*id) {
+            Term::Literal(l) if l.datatype().as_str() == xsd::STRING => {
+                Some((l.lexical_form().to_string(), None))
+            }
+            Term::Literal(l) if l.language().is_some() => Some((
+                l.lexical_form().to_string(),
+                l.language().map(str::to_string),
+            )),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The STR() builtin view: literals yield their lexical form, IRIs their
+/// text.
+pub fn str_builtin(g: &Graph, v: &Value) -> Option<String> {
+    match v {
+        Value::Str { s, .. } => Some(s.clone()),
+        Value::IriStr(i) => Some(i.clone()),
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Int(i) => Some(i.to_string()),
+        Value::Num(n) => Some(format_num(*n)),
+        Value::Term(id) => match g.term(*id) {
+            Term::Iri(i) => Some(i.as_str().to_string()),
+            Term::Literal(l) => Some(l.lexical_form().to_string()),
+            Term::BlankNode(_) => None,
+        },
+    }
+}
+
+/// Boolean view, if directly boolean.
+pub fn as_bool(g: &Graph, v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Term(id) => match g.term(*id) {
+            Term::Literal(l) => l.as_bool(),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// SPARQL effective boolean value. `None` = type error.
+pub fn ebv(g: &Graph, v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Int(i) => Some(*i != 0),
+        Value::Num(n) => Some(*n != 0.0 && !n.is_nan()),
+        Value::Str { s, .. } => Some(!s.is_empty()),
+        Value::IriStr(_) => None,
+        Value::Term(id) => match g.term(*id) {
+            Term::Literal(l) => {
+                if let Some(b) = l.as_bool() {
+                    Some(b)
+                } else if l.is_numeric() {
+                    l.as_double().map(|n| n != 0.0 && !n.is_nan())
+                } else if l.datatype().as_str() == xsd::STRING || l.language().is_some() {
+                    Some(!l.lexical_form().is_empty())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+    }
+}
+
+/// RDF-term / value equality for `=`. Returns `None` on incomparable
+/// operands (propagates as an expression error).
+pub fn values_equal(g: &Graph, a: &Value, b: &Value) -> Option<bool> {
+    // Numeric comparison dominates when both sides are numeric.
+    if let (Some(x), Some(y)) = (as_numeric(g, a), as_numeric(g, b)) {
+        return Some(x == y);
+    }
+    if let (Some(x), Some(y)) = (as_bool(g, a), as_bool(g, b)) {
+        return Some(x == y);
+    }
+    if let (Some((sa, la)), Some((sb, lb))) = (as_string(g, a), as_string(g, b)) {
+        return Some(sa == sb && la == lb);
+    }
+    match (a, b) {
+        (Value::Term(x), Value::Term(y)) => Some(x == y),
+        (Value::IriStr(s), Value::Term(t)) | (Value::Term(t), Value::IriStr(s)) => {
+            match g.term(*t) {
+                Term::Iri(i) => Some(i.as_str() == s),
+                _ => Some(false),
+            }
+        }
+        (Value::IriStr(x), Value::IriStr(y)) => Some(x == y),
+        _ => None,
+    }
+}
+
+/// Order comparison for `<`/`>`: numeric, string (codepoint), or boolean.
+pub fn values_compare(g: &Graph, a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    if let (Some(x), Some(y)) = (as_numeric(g, a), as_numeric(g, b)) {
+        return x.partial_cmp(&y);
+    }
+    if let (Some((sa, _)), Some((sb, _))) = (as_string(g, a), as_string(g, b)) {
+        return Some(sa.cmp(&sb));
+    }
+    if let (Some(x), Some(y)) = (as_bool(g, a), as_bool(g, b)) {
+        return Some(x.cmp(&y));
+    }
+    None
+}
+
+/// Total order key for ORDER BY: unbound < blank < IRI < literal, with
+/// numeric literals ordered by value, then others by lexical form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    Unbound,
+    Blank(String),
+    Iri(String),
+    Number(f64),
+    Text(String),
+}
+
+impl OrderKey {
+    fn rank(&self) -> u8 {
+        match self {
+            OrderKey::Unbound => 0,
+            OrderKey::Blank(_) => 1,
+            OrderKey::Iri(_) => 2,
+            OrderKey::Number(_) => 3,
+            OrderKey::Text(_) => 4,
+        }
+    }
+}
+
+impl Eq for OrderKey {}
+
+impl PartialOrd for OrderKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (OrderKey::Blank(a), OrderKey::Blank(b)) => a.cmp(b),
+            (OrderKey::Iri(a), OrderKey::Iri(b)) => a.cmp(b),
+            (OrderKey::Number(a), OrderKey::Number(b)) => {
+                a.partial_cmp(b).unwrap_or(Ordering::Equal)
+            }
+            (OrderKey::Text(a), OrderKey::Text(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+/// Computes the ORDER BY key for an optional value.
+pub fn order_key(g: &Graph, v: Option<&Value>) -> OrderKey {
+    let Some(v) = v else {
+        return OrderKey::Unbound;
+    };
+    if let Some(n) = as_numeric(g, v) {
+        return OrderKey::Number(n);
+    }
+    match v {
+        Value::Term(id) => match g.term(*id) {
+            Term::BlankNode(b) => OrderKey::Blank(b.as_str().to_string()),
+            Term::Iri(i) => OrderKey::Iri(i.as_str().to_string()),
+            Term::Literal(l) => OrderKey::Text(l.lexical_form().to_string()),
+        },
+        Value::IriStr(s) => OrderKey::Iri(s.clone()),
+        Value::Str { s, .. } => OrderKey::Text(s.clone()),
+        Value::Bool(b) => OrderKey::Text(b.to_string()),
+        Value::Int(_) | Value::Num(_) => unreachable!("handled by as_numeric"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Graph, TermId, TermId, TermId, TermId) {
+        let mut g = Graph::new();
+        let iri = g.intern(&Term::iri("http://e/x"));
+        let int5 = g.intern(&Term::integer(5));
+        let s = g.intern(&Term::simple("abc"));
+        let b = g.intern(&Term::boolean(true));
+        (g, iri, int5, s, b)
+    }
+
+    #[test]
+    fn numeric_views() {
+        let (g, _, int5, s, _) = setup();
+        assert_eq!(as_numeric(&g, &Value::Term(int5)), Some(5.0));
+        assert_eq!(as_numeric(&g, &Value::Num(2.5)), Some(2.5));
+        assert_eq!(as_numeric(&g, &Value::Term(s)), None);
+    }
+
+    #[test]
+    fn ebv_cases() {
+        let (g, iri, int5, s, b) = setup();
+        assert_eq!(ebv(&g, &Value::Term(b)), Some(true));
+        assert_eq!(ebv(&g, &Value::Term(int5)), Some(true));
+        assert_eq!(ebv(&g, &Value::Int(0)), Some(false));
+        assert_eq!(ebv(&g, &Value::Str { s: "".into(), lang: None }), Some(false));
+        assert_eq!(ebv(&g, &Value::Term(s)), Some(true));
+        assert_eq!(ebv(&g, &Value::Term(iri)), None, "IRI has no EBV");
+    }
+
+    #[test]
+    fn equality_mixes_term_and_computed() {
+        let (g, _, int5, s, _) = setup();
+        assert_eq!(values_equal(&g, &Value::Term(int5), &Value::Int(5)), Some(true));
+        assert_eq!(values_equal(&g, &Value::Term(int5), &Value::Num(5.0)), Some(true));
+        assert_eq!(
+            values_equal(
+                &g,
+                &Value::Term(s),
+                &Value::Str { s: "abc".into(), lang: None }
+            ),
+            Some(true)
+        );
+        assert_eq!(values_equal(&g, &Value::Term(int5), &Value::Int(6)), Some(false));
+    }
+
+    #[test]
+    fn iri_equality() {
+        let (g, iri, ..) = setup();
+        assert_eq!(
+            values_equal(&g, &Value::Term(iri), &Value::IriStr("http://e/x".into())),
+            Some(true)
+        );
+        assert_eq!(
+            values_equal(&g, &Value::Term(iri), &Value::IriStr("http://e/y".into())),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn comparison() {
+        let (g, ..) = setup();
+        use std::cmp::Ordering::*;
+        assert_eq!(values_compare(&g, &Value::Int(1), &Value::Num(2.0)), Some(Less));
+        assert_eq!(
+            values_compare(
+                &g,
+                &Value::Str { s: "a".into(), lang: None },
+                &Value::Str { s: "b".into(), lang: None }
+            ),
+            Some(Less)
+        );
+        assert_eq!(values_compare(&g, &Value::Bool(false), &Value::Bool(true)), Some(Less));
+        assert_eq!(values_compare(&g, &Value::Int(1), &Value::Bool(true)), None);
+    }
+
+    #[test]
+    fn order_keys_total_order() {
+        let (g, iri, int5, s, _) = setup();
+        let mut keys = vec![
+            order_key(&g, Some(&Value::Term(s))),
+            order_key(&g, None),
+            order_key(&g, Some(&Value::Term(int5))),
+            order_key(&g, Some(&Value::Term(iri))),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], OrderKey::Unbound);
+        assert!(matches!(keys[1], OrderKey::Iri(_)));
+        assert!(matches!(keys[2], OrderKey::Number(_)));
+        assert!(matches!(keys[3], OrderKey::Text(_)));
+    }
+
+    #[test]
+    fn into_term_id_round_trips() {
+        let mut g = Graph::new();
+        let id = Value::Int(42).into_term_id(&mut g);
+        assert_eq!(g.term(id), &Term::integer(42));
+        let id = Value::Str { s: "hi".into(), lang: Some("en".into()) }.into_term_id(&mut g);
+        assert_eq!(g.term(id), &Term::Literal(Literal::lang("hi", "en")));
+        let id = Value::IriStr("http://e/z".into()).into_term_id(&mut g);
+        assert_eq!(g.term(id), &Term::iri("http://e/z"));
+    }
+}

@@ -1,0 +1,44 @@
+//! The paper's §V-B contrastive scenario, plus further contrastive
+//! comparisons across the menu: "Why X over Y?" answered with facts for
+//! X and foils against Y (Figure 3 semantics).
+//!
+//! Run with: `cargo run --example contrastive_meal_planning`
+
+use feo::core::{scenario_b, ExplanationEngine, Question};
+use feo::foodkg::{curated, Season, SystemContext, UserProfile};
+
+fn main() {
+    // Exact paper scenario first.
+    let s = scenario_b();
+    println!("== {} ==", s.name);
+    println!("Setup: {}", s.setup);
+    let mut engine = s.engine().expect("consistent");
+    let e = engine.explain(&s.question).expect("explained");
+    println!("Q: {}", s.question.text());
+    println!("\nListing 2 result table:\n{}", e.bindings);
+    println!("A: {}", e.answer);
+    println!("(paper: {})\n", s.paper_answer);
+
+    // A richer user, more comparisons.
+    let user = UserProfile::new("sam")
+        .likes(&["PastaPrimavera"])
+        .dislikes(&["TunaSalad"])
+        .diet("Vegetarian")
+        .goals(&["HighFiberGoal"]);
+    let ctx = SystemContext::new(Season::Autumn);
+    let mut engine = ExplanationEngine::new(curated(), user, ctx).expect("consistent");
+
+    for (preferred, alternative) in [
+        ("KaleQuinoaBowl", "GrilledChickenSalad"),
+        ("PumpkinRisotto", "TunaSalad"),
+        ("LentilSoup", "BeefStew"),
+    ] {
+        let q = Question::WhyEatOver {
+            preferred: preferred.into(),
+            alternative: alternative.into(),
+        };
+        let e = engine.explain(&q).expect("explained");
+        println!("Q: {}", q.text());
+        println!("A: {}\n", e.answer);
+    }
+}

@@ -1,0 +1,59 @@
+//! Scaling study over the synthetic FoodKG: how materialization and the
+//! competency queries behave as the knowledge graph grows — the
+//! systems-level characterization of the substrates (reported in
+//! EXPERIMENTS.md).
+//!
+//! Run with: `cargo run --release --example kg_scaling`
+
+use std::time::Instant;
+
+use feo::core::ecosystem::{assemble, assert_question};
+use feo::core::{queries, Question};
+use feo::foodkg::{synthetic, SyntheticConfig, SystemContext, UserProfile};
+use feo::owl::Reasoner;
+use feo::sparql::query;
+
+fn main() {
+    println!(
+        "{:>8} {:>13} {:>10} {:>12} {:>9} {:>8}",
+        "recipes", "base triples", "inferred", "total", "mat. ms", "CQ1 ms"
+    );
+    for &recipes in &[50usize, 100, 200, 400, 800] {
+        let cfg = SyntheticConfig {
+            recipes,
+            ingredients: recipes / 2 + 25,
+            ..Default::default()
+        };
+        let kg = synthetic(&cfg);
+        let user = UserProfile::new("u")
+            .likes(&[&kg.recipes[0].id])
+            .allergies(&[&kg.ingredients[0].id]);
+        let ctx = SystemContext::new(feo::foodkg::Season::Autumn);
+
+        let mut g = assemble(&kg, &user, &ctx);
+        let question = Question::WhyEat {
+            food: kg.recipes[1].id.clone(),
+        };
+        assert_question(&question, &mut g);
+        let base = g.len();
+
+        let t0 = Instant::now();
+        let result = Reasoner::new().materialize(&mut g);
+        let mat_ms = t0.elapsed().as_millis();
+
+        let q = queries::contextual_query(&question);
+        let t1 = Instant::now();
+        let _table = query(&mut g, &q).expect("CQ1 runs").expect_solutions();
+        let q_ms = t1.elapsed().as_millis();
+
+        println!(
+            "{:>8} {:>13} {:>10} {:>12} {:>9} {:>8}",
+            recipes,
+            base,
+            result.added,
+            g.len(),
+            mat_ms,
+            q_ms
+        );
+    }
+}

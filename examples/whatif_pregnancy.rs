@@ -1,0 +1,56 @@
+//! The paper's §V-C counterfactual scenario ("What if I was pregnant?")
+//! plus diet and allergy hypotheticals, showing how recommendations
+//! would change under each hypothesis.
+//!
+//! Run with: `cargo run --example whatif_pregnancy`
+
+use feo::core::{scenario_c, ExplanationEngine, Hypothesis, Question};
+use feo::foodkg::{curated, Season, SystemContext, UserProfile};
+use feo::recommender::{HealthCoach, Recommender};
+
+fn main() {
+    // Exact paper scenario.
+    let s = scenario_c();
+    println!("== {} ==", s.name);
+    println!("Setup: {}", s.setup);
+    let mut engine = s.engine().expect("consistent");
+    let e = engine.explain(&s.question).expect("explained");
+    println!("Q: {}", s.question.text());
+    println!("\nListing 3 result table:\n{}", e.bindings);
+    println!("A: {}", e.answer);
+    println!("(paper: {})\n", s.paper_answer);
+
+    // Cross-check against the recommender: with the hypothesis applied,
+    // the recommendation set itself changes.
+    let kg = curated();
+    let base_user = UserProfile::new("u").likes(&["Sushi"]);
+    let ctx = SystemContext::new(Season::Autumn);
+    let coach = HealthCoach::new(&kg);
+    let before = coach.recommend(&base_user, &ctx, 40);
+    let after = coach.recommend(&base_user.clone().pregnant(true), &ctx, 40);
+    println!("Recommender cross-check:");
+    println!(
+        "  sushi ranked before hypothesis: {}",
+        before.get("Sushi").is_some()
+    );
+    println!(
+        "  sushi ranked under pregnancy:   {}",
+        after.get("Sushi").is_some()
+    );
+    if let Some(step) = after.elimination("Sushi") {
+        println!("  recommender's reason: {step}\n");
+    }
+
+    // Other hypotheses.
+    let mut engine = ExplanationEngine::new(curated(), base_user, ctx).expect("consistent");
+    for hypothesis in [
+        Hypothesis::FollowedDiet("Vegan".into()),
+        Hypothesis::FollowedDiet("GlutenFree".into()),
+        Hypothesis::AllergicTo("Peanuts".into()),
+    ] {
+        let q = Question::WhatIf { hypothesis };
+        let e = engine.explain(&q).expect("explained");
+        println!("Q: {}", q.text());
+        println!("A: {}\n", e.answer);
+    }
+}

@@ -1,0 +1,341 @@
+//! `feo` — command-line interface to the FEO explanation stack.
+//!
+//! ```text
+//! feo recommend [profile flags]                 rank recipes for a profile
+//! feo explain why-eat <Food> [flags]            contextual explanation
+//! feo explain why-over <A> <B> [flags]          contrastive explanation
+//! feo explain what-if-pregnant [flags]          counterfactual explanation
+//! feo explain steps <Food> [flags]              trace-based explanation
+//! feo proof <Individual> <fact|foil> [flags]    reasoner proof tree
+//! feo query <SPARQL>                            query the materialized graph
+//! feo export [--raw]                            dump the graph as Turtle
+//! feo list                                      list recipes and ingredients
+//!
+//! profile flags:
+//!   --likes A,B   --dislikes A,B   --allergies A,B   --diet D
+//!   --goals G1,G2 --region R       --season spring|summer|autumn|winter
+//!   --pregnant    --top N
+//! ```
+
+use std::process::exit;
+
+use feo::core::ecosystem::assemble;
+use feo::core::{ExplanationEngine, Hypothesis, Question};
+use feo::foodkg::{curated, Season, SystemContext, UserProfile};
+use feo::owl::Reasoner;
+use feo::recommender::{HealthCoach, Recommender};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage_and_exit();
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "recommend" => cmd_recommend(rest),
+        "explain" => cmd_explain(rest),
+        "proof" => cmd_proof(rest),
+        "query" => cmd_query(rest),
+        "export" => cmd_export(rest),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => usage_and_exit(),
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage_and_exit();
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "feo — Food Explanation Ontology CLI\n\
+         \n\
+         USAGE:\n\
+           feo recommend [profile flags]\n\
+           feo explain why-eat <Food> [profile flags]\n\
+           feo explain why-over <FoodA> <FoodB> [profile flags]\n\
+           feo explain what-if-pregnant [profile flags]\n\
+           feo explain steps <Food> [profile flags]\n\
+           feo proof <Individual> <fact|foil> [profile flags]\n\
+           feo query <SPARQL string> [profile flags]\n\
+           feo export [--raw] [profile flags]\n\
+           feo list\n\
+         \n\
+         PROFILE FLAGS:\n\
+           --likes A,B --dislikes A,B --allergies A,B --diet D --goals G,H\n\
+           --region R --season spring|summer|autumn|winter --pregnant --top N\n\
+         \n\
+         Identifiers are CamelCase local names from `feo list`\n\
+         (e.g. ButternutSquashSoup, Broccoli, Vegetarian, HighFiberGoal)."
+    );
+    exit(2);
+}
+
+/// Parsed profile flags shared by all commands.
+struct Opts {
+    user: UserProfile,
+    ctx: SystemContext,
+    top: usize,
+    raw: bool,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut user = UserProfile::new("cli-user");
+    let mut season = Season::Autumn;
+    let mut region: Option<String> = None;
+    let mut top = 10usize;
+    let mut raw = false;
+    let mut positional = Vec::new();
+    let mut i = 0;
+    let list = |v: &str| -> Vec<String> {
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |name: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--likes" => user.likes = list(&value("--likes")),
+            "--dislikes" => user.dislikes = list(&value("--dislikes")),
+            "--allergies" => user.allergies = list(&value("--allergies")),
+            "--diet" => user.diet = Some(value("--diet")),
+            "--goals" => user.goals = list(&value("--goals")),
+            "--region" => region = Some(value("--region")),
+            "--season" => {
+                season = match value("--season").to_ascii_lowercase().as_str() {
+                    "spring" => Season::Spring,
+                    "summer" => Season::Summer,
+                    "autumn" | "fall" => Season::Autumn,
+                    "winter" => Season::Winter,
+                    other => {
+                        eprintln!("unknown season '{other}'");
+                        exit(2);
+                    }
+                }
+            }
+            "--pregnant" => user.pregnant = true,
+            "--top" => {
+                top = value("--top").parse().unwrap_or_else(|_| {
+                    eprintln!("--top needs an integer");
+                    exit(2);
+                })
+            }
+            "--raw" => raw = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}'");
+                exit(2);
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if let Some(r) = &region {
+        user.region = Some(r.clone());
+    }
+    let mut ctx = SystemContext::new(season);
+    if let Some(r) = region {
+        ctx = ctx.region(&r);
+    }
+    Opts {
+        user,
+        ctx,
+        top,
+        raw,
+        positional,
+    }
+}
+
+fn engine_for(opts: &Opts, proofs: bool) -> ExplanationEngine {
+    let result = if proofs {
+        ExplanationEngine::new_with_proofs(curated(), opts.user.clone(), opts.ctx.clone())
+    } else {
+        ExplanationEngine::new(curated(), opts.user.clone(), opts.ctx.clone())
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("failed to build engine: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_recommend(args: &[String]) {
+    let opts = parse_opts(args);
+    let kg = curated();
+    let coach = HealthCoach::new(&kg);
+    let set = coach.recommend(&opts.user, &opts.ctx, opts.top);
+    println!("Recommendations ({}):", opts.ctx.season.name());
+    for (i, r) in set.recommendations.iter().enumerate() {
+        println!("  {:>2}. {:<28} score {:.2}", i + 1, r.recipe_id, r.score);
+    }
+    if !set.eliminated.is_empty() {
+        println!("\nEliminated by hard constraints:");
+        for step in &set.eliminated {
+            println!("  - {step}");
+        }
+    }
+}
+
+fn cmd_explain(args: &[String]) {
+    let Some(kind) = args.first().cloned() else {
+        eprintln!("explain needs a subcommand (why-eat | why-over | what-if-pregnant | steps)");
+        exit(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    let question = match kind.as_str() {
+        "why-eat" => Question::WhyEat {
+            food: opts.positional.first().cloned().unwrap_or_else(|| {
+                eprintln!("why-eat needs a food id");
+                exit(2);
+            }),
+        },
+        "why-over" => {
+            if opts.positional.len() < 2 {
+                eprintln!("why-over needs two food ids");
+                exit(2);
+            }
+            Question::WhyEatOver {
+                preferred: opts.positional[0].clone(),
+                alternative: opts.positional[1].clone(),
+            }
+        }
+        "what-if-pregnant" => Question::WhatIf {
+            hypothesis: Hypothesis::Pregnant,
+        },
+        "steps" => Question::WhatSteps {
+            food: opts.positional.first().cloned().unwrap_or_else(|| {
+                eprintln!("steps needs a food id");
+                exit(2);
+            }),
+        },
+        other => {
+            eprintln!("unknown explain subcommand '{other}'");
+            exit(2);
+        }
+    };
+    let mut engine = engine_for(&opts, false);
+    if matches!(question, Question::WhatSteps { .. }) {
+        let kg = curated();
+        let coach = HealthCoach::new(&kg);
+        let recs = coach.recommend(&opts.user, &opts.ctx, 50);
+        engine = engine.with_recommendations(recs);
+    }
+    match engine.explain(&question) {
+        Ok(e) => {
+            println!("Q: {}", question.text());
+            if !e.bindings.is_empty() {
+                println!("\n{}", e.bindings);
+            }
+            println!("A: {}", e.answer);
+        }
+        Err(err) => {
+            eprintln!("cannot explain: {err}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_proof(args: &[String]) {
+    if args.len() < 2 {
+        eprintln!("proof needs <Individual> <fact|foil>");
+        exit(2);
+    }
+    let individual = args[0].clone();
+    let class = match args[1].to_ascii_lowercase().as_str() {
+        "fact" => feo::ontology::ns::eo::FACT,
+        "foil" => feo::ontology::ns::eo::FOIL,
+        other => {
+            eprintln!("expected 'fact' or 'foil', got '{other}'");
+            exit(2);
+        }
+    };
+    let opts = parse_opts(&args[2..]);
+    let mut engine = engine_for(&opts, true);
+    // A question parameter is needed for fact/foil classification; use the
+    // first liked food or a default.
+    let param = opts
+        .user
+        .likes
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "ButternutSquashSoup".to_string());
+    let _ = engine.explain(&Question::WhyEat { food: param });
+    match engine.proof_of_type(&individual, class) {
+        Some(p) => println!("{p}"),
+        None => {
+            println!(
+                "{individual} is not classified as {} under this profile/context.",
+                args[1]
+            );
+        }
+    }
+}
+
+fn cmd_query(args: &[String]) {
+    let Some(sparql) = args.first() else {
+        eprintln!("query needs a SPARQL string");
+        exit(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    let mut g = assemble(&curated(), &opts.user, &opts.ctx);
+    Reasoner::new().materialize(&mut g);
+    // Prepend the standard prefixes so short queries work out of the box.
+    let full = format!("{}{}", feo::ontology::ns::sparql_prologue(), sparql);
+    match feo::sparql::query(&mut g, &full) {
+        Ok(feo::sparql::QueryResult::Solutions(t)) => print!("{t}"),
+        Ok(feo::sparql::QueryResult::Boolean(b)) => println!("{b}"),
+        Ok(feo::sparql::QueryResult::Graph(g2)) => {
+            print!(
+                "{}",
+                feo::rdf::turtle::write_turtle(&g2, feo::ontology::ns::PREFIXES)
+            )
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_export(args: &[String]) {
+    let opts = parse_opts(args);
+    let mut g = assemble(&curated(), &opts.user, &opts.ctx);
+    if !opts.raw {
+        Reasoner::new().materialize(&mut g);
+    }
+    print!(
+        "{}",
+        feo::rdf::turtle::write_turtle(&g, feo::ontology::ns::PREFIXES)
+    );
+}
+
+fn cmd_list() {
+    let kg = curated();
+    println!("Recipes:");
+    for r in &kg.recipes {
+        println!("  {:<28} {} kcal", r.id, r.calories);
+    }
+    println!("\nIngredients:");
+    let names: Vec<&str> = kg.ingredients.iter().map(|i| i.id.as_str()).collect();
+    for chunk in names.chunks(5) {
+        println!("  {}", chunk.join(", "));
+    }
+    println!("\nDiets:");
+    for d in &kg.diets {
+        println!("  {:<14} forbids {}", d.id, d.forbids_categories.join(", "));
+    }
+    println!("\nGoals:");
+    for g in &kg.goals {
+        println!("  {:<18} wants {}", g.id, g.wants_nutrient);
+    }
+}

@@ -1,0 +1,35 @@
+//! # feo — Food Explanation Ontology, reproduced in Rust
+//!
+//! Facade crate re-exporting the full stack built for the reproduction of
+//! *"Semantic Modeling for Food Recommendation Explanations"* (ICDE 2021):
+//!
+//! - [`rdf`] — RDF term model, indexed triple store, Turtle/N-Triples;
+//! - [`sparql`] — SPARQL 1.1 query engine;
+//! - [`owl`] — OWL 2 RL materializing reasoner (Pellet substitute);
+//! - [`ontology`] — the EO fragment, FEO, and food TBoxes;
+//! - [`foodkg`] — curated + synthetic food knowledge graphs, users;
+//! - [`recommender`] — the Health Coach simulator and baseline;
+//! - [`core`] — the explanation engine (the paper's contribution).
+//!
+//! ```
+//! use feo::core::{ExplanationEngine, Question};
+//! use feo::foodkg::{curated, Season, SystemContext, UserProfile};
+//!
+//! let mut engine = ExplanationEngine::new(
+//!     curated(),
+//!     UserProfile::new("u"),
+//!     SystemContext::new(Season::Autumn),
+//! ).unwrap();
+//! let e = engine.explain(&Question::WhyEat {
+//!     food: "CauliflowerPotatoCurry".into(),
+//! }).unwrap();
+//! println!("{}", e.answer);
+//! ```
+
+pub use feo_core as core;
+pub use feo_foodkg as foodkg;
+pub use feo_ontology as ontology;
+pub use feo_owl as owl;
+pub use feo_rdf as rdf;
+pub use feo_recommender as recommender;
+pub use feo_sparql as sparql;

@@ -1,0 +1,117 @@
+//! Integration tests for the `feo` CLI binary.
+
+use std::process::Command;
+
+fn feo(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_feo"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn recommend_ranks_and_reports_eliminations() {
+    let (stdout, _, ok) = feo(&[
+        "recommend",
+        "--allergies",
+        "Broccoli",
+        "--diet",
+        "Vegetarian",
+        "--top",
+        "5",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Recommendations"));
+    assert!(stdout.contains("Eliminated by hard constraints"));
+    assert!(!stdout.contains("BroccoliCheddarSoup\n"), "allergen dish not ranked");
+    assert!(stdout.contains("allergen Broccoli"));
+}
+
+#[test]
+fn explain_why_over_reproduces_cq2() {
+    let (stdout, _, ok) = feo(&[
+        "explain",
+        "why-over",
+        "ButternutSquashSoup",
+        "BroccoliCheddarSoup",
+        "--likes",
+        "BroccoliCheddarSoup",
+        "--allergies",
+        "Broccoli",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("SeasonCharacteristic"));
+    assert!(stdout.contains("AllergicFoodCharacteristic"));
+    assert!(stdout.contains("allergic to Broccoli"));
+}
+
+#[test]
+fn explain_what_if_pregnant() {
+    let (stdout, _, ok) = feo(&["explain", "what-if-pregnant", "--likes", "Sushi"]);
+    assert!(ok);
+    assert!(stdout.contains("forbidden from eating Sushi"));
+    assert!(stdout.contains("Spinach Frittata"));
+}
+
+#[test]
+fn proof_renders_rule_chain() {
+    let (stdout, _, ok) = feo(&[
+        "proof",
+        "Broccoli",
+        "foil",
+        "--likes",
+        "BroccoliCheddarSoup",
+        "--allergies",
+        "Broccoli",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("[cls]"));
+    assert!(stdout.contains("[asserted]"));
+    assert!(stdout.contains("prp-spo2"), "chain rule appears: {stdout}");
+}
+
+#[test]
+fn query_runs_sparql_with_default_prefixes() {
+    let (stdout, _, ok) = feo(&[
+        "query",
+        "SELECT (COUNT(?r) AS ?n) WHERE { ?r a food:Recipe }",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("32"), "32 curated recipes: {stdout}");
+}
+
+#[test]
+fn export_produces_parseable_turtle() {
+    let (stdout, _, ok) = feo(&["export", "--raw"]);
+    assert!(ok);
+    let mut g = feo::rdf::Graph::new();
+    feo::rdf::turtle::parse_turtle_into(&stdout, &mut g).expect("export parses");
+    assert!(g.len() > 500);
+}
+
+#[test]
+fn list_shows_inventory() {
+    let (stdout, _, ok) = feo(&["list"]);
+    assert!(ok);
+    assert!(stdout.contains("ButternutSquashSoup"));
+    assert!(stdout.contains("Vegetarian"));
+    assert!(stdout.contains("HighProteinGoal"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (_, stderr, ok) = feo(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (_, stderr, ok) = feo(&["explain", "why-eat"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a food id"));
+    let (_, stderr, ok) = feo(&["query", "SELECT WHERE"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+}
