@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 build + test pass.
+# Run from the repo root. Mirrors what reviewers run before merging.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: release build + tests"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== workspace tests"
+cargo test -q --offline --workspace
+
+echo "CI green."

@@ -35,9 +35,11 @@ fn bench_bgp_reordering(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_bgp_reorder");
     group.sample_size(20);
     for (label, reorder) in [("greedy_reorder", true), ("author_order", false)] {
-        let opts = ExecOptions { reorder_bgp: reorder };
+        let opts = ExecOptions {
+            reorder_bgp: reorder,
+        };
         group.bench_function(label, |b| {
-            b.iter(|| black_box(query_with(&mut g, &q, &opts).expect("runs")))
+            b.iter(|| black_box(query_with(&g, &q, &opts).expect("runs")))
         });
     }
     group.finish();
@@ -88,11 +90,7 @@ fn bench_pipeline_phases(c: &mut Criterion) {
     Reasoner::new().materialize(&mut materialized);
     let q = queries::contextual_query(&question);
     group.bench_function("phase3_query", |b| {
-        b.iter(|| {
-            black_box(
-                query_with(&mut materialized, &q, &ExecOptions::default()).expect("runs"),
-            )
-        })
+        b.iter(|| black_box(query_with(&materialized, &q, &ExecOptions::default()).expect("runs")))
     });
     group.finish();
 }

@@ -28,25 +28,25 @@ fn bench_end_to_end(c: &mut Criterion) {
 fn bench_query_only(c: &mut Criterion) {
     let mut group = c.benchmark_group("cq_query_only");
     // Pre-materialize one graph per scenario with the question asserted.
-    let prepared: Vec<(String, feo_rdf::Graph, String)> = [scenario_a(), scenario_b(), scenario_c()]
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let mut g = assemble(&s.kg(), &s.user, &s.context);
-            assert_question(&s.question, &mut g);
-            Reasoner::new().materialize(&mut g);
-            let q = match i {
-                0 => queries::contextual_query(&s.question),
-                1 => queries::contrastive_query(&s.question),
-                _ => queries::counterfactual_query(feo_ontology::ns::feo::PREGNANCY_STATE),
-            };
-            (format!("CQ{}", i + 1), g, q)
-        })
-        .collect();
+    let prepared: Vec<(String, feo_rdf::Graph, String)> =
+        [scenario_a(), scenario_b(), scenario_c()]
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut g = assemble(&s.kg(), &s.user, &s.context);
+                assert_question(&s.question, &mut g);
+                Reasoner::new().materialize(&mut g);
+                let q = match i {
+                    0 => queries::contextual_query(&s.question),
+                    1 => queries::contrastive_query(&s.question),
+                    _ => queries::counterfactual_query(feo_ontology::ns::feo::PREGNANCY_STATE),
+                };
+                (format!("CQ{}", i + 1), g, q)
+            })
+            .collect();
     for (label, g, q) in prepared {
-        let mut g = g;
         group.bench_function(label, |b| {
-            b.iter(|| black_box(query(&mut g, &q).expect("query runs")))
+            b.iter(|| black_box(query(&g, &q).expect("query runs")))
         });
     }
     group.finish();

@@ -11,7 +11,12 @@ fn bench_each_type(c: &mut Criterion) {
     let mut group = c.benchmark_group("explanation_types");
     group.sample_size(10);
     let questions: Vec<(&str, Question)> = vec![
-        ("contextual", Question::WhyEat { food: "CauliflowerPotatoCurry".into() }),
+        (
+            "contextual",
+            Question::WhyEat {
+                food: "CauliflowerPotatoCurry".into(),
+            },
+        ),
         (
             "contrastive",
             Question::WhyEatOver {
@@ -19,13 +24,48 @@ fn bench_each_type(c: &mut Criterion) {
                 alternative: "BroccoliCheddarSoup".into(),
             },
         ),
-        ("counterfactual", Question::WhatIf { hypothesis: Hypothesis::Pregnant }),
-        ("case_based", Question::WhatOtherUsers { food: "LentilSoup".into() }),
-        ("everyday", Question::WhyGenerally { food: "CauliflowerPotatoCurry".into() }),
-        ("scientific", Question::WhatLiterature { food: "SpinachFrittata".into() }),
-        ("simulation", Question::WhatIfEatenDaily { food: "MargheritaPizza".into() }),
-        ("statistical", Question::WhatEvidenceForDiet { diet: "Vegetarian".into() }),
-        ("trace_based", Question::WhatSteps { food: "ButternutSquashSoup".into() }),
+        (
+            "counterfactual",
+            Question::WhatIf {
+                hypothesis: Hypothesis::Pregnant,
+            },
+        ),
+        (
+            "case_based",
+            Question::WhatOtherUsers {
+                food: "LentilSoup".into(),
+            },
+        ),
+        (
+            "everyday",
+            Question::WhyGenerally {
+                food: "CauliflowerPotatoCurry".into(),
+            },
+        ),
+        (
+            "scientific",
+            Question::WhatLiterature {
+                food: "SpinachFrittata".into(),
+            },
+        ),
+        (
+            "simulation",
+            Question::WhatIfEatenDaily {
+                food: "MargheritaPizza".into(),
+            },
+        ),
+        (
+            "statistical",
+            Question::WhatEvidenceForDiet {
+                diet: "Vegetarian".into(),
+            },
+        ),
+        (
+            "trace_based",
+            Question::WhatSteps {
+                food: "ButternutSquashSoup".into(),
+            },
+        ),
     ];
     // One shared engine: explain() is idempotent per question, and this
     // measures the steady-state cost an application would see.

@@ -1,0 +1,56 @@
+//! Per-question close latency: full re-materialization of the extended
+//! graph (the pre-overlay engine behaviour) vs. the semi-naïve
+//! incremental close seeded from a session overlay's delta. The
+//! snapshot + overlay architecture rests on the delta path being far
+//! cheaper, since the base closure is amortized across every question.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use feo_bench::synthetic_fixture;
+use feo_core::ecosystem::{assemble, assert_question};
+use feo_core::Question;
+use feo_owl::Reasoner;
+use feo_rdf::Overlay;
+
+fn bench_per_question_close(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_close");
+    group.sample_size(10);
+    for recipes in [200usize, 1000] {
+        let (kg, user, ctx) = synthetic_fixture(recipes);
+        let mut base = assemble(&kg, &user, &ctx);
+        let reasoner = Reasoner::new();
+        let rules = reasoner.compile(&mut base);
+        reasoner.materialize_with(&mut base, &rules);
+        let question = Question::WhyEat {
+            food: kg.recipes[recipes / 2].id.clone(),
+        };
+
+        group.bench_with_input(
+            BenchmarkId::new("full_rematerialize", recipes),
+            &question,
+            |b, q| {
+                b.iter(|| {
+                    let mut world = base.clone();
+                    assert_question(q, &mut world);
+                    black_box(reasoner.materialize_with(&mut world, &rules))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("overlay_delta", recipes),
+            &question,
+            |b, q| {
+                b.iter(|| {
+                    let mut overlay = Overlay::new(&base);
+                    assert_question(q, &mut overlay);
+                    black_box(reasoner.materialize_delta(&mut overlay, &rules))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_question_close);
+criterion_main!(benches);

@@ -15,16 +15,12 @@ fn bench_materialization_scaling(c: &mut Criterion) {
         let (kg, user, ctx) = synthetic_fixture(recipes);
         let base = assemble(&kg, &user, &ctx);
         group.throughput(Throughput::Elements(base.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(recipes),
-            &base,
-            |b, base| {
-                b.iter(|| {
-                    let mut g = base.clone();
-                    black_box(Reasoner::new().materialize(&mut g))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(recipes), &base, |b, base| {
+            b.iter(|| {
+                let mut g = base.clone();
+                black_box(Reasoner::new().materialize(&mut g))
+            })
+        });
     }
     group.finish();
 }

@@ -26,9 +26,9 @@ fn prepared(recipes: usize) -> (feo_rdf::Graph, String) {
 fn bench_cq1_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sparql_cq1_scaling");
     for recipes in [50usize, 100, 200, 400] {
-        let (mut g, q) = prepared(recipes);
+        let (g, q) = prepared(recipes);
         group.bench_with_input(BenchmarkId::from_parameter(recipes), &recipes, |b, _| {
-            b.iter(|| black_box(query(&mut g, &q).expect("runs")))
+            b.iter(|| black_box(query(&g, &q).expect("runs")))
         });
     }
     group.finish();
@@ -36,13 +36,13 @@ fn bench_cq1_scaling(c: &mut Criterion) {
 
 fn bench_path_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("sparql_operators");
-    let (mut g, _) = prepared(200);
+    let (g, _) = prepared(200);
     let path_q = format!(
         "{}SELECT ?c WHERE {{ ?c (rdfs:subClassOf+) feo:Characteristic }}",
         sparql_prologue()
     );
     group.bench_function("subclass_path_plus", |b| {
-        b.iter(|| black_box(query(&mut g, &path_q).expect("runs")))
+        b.iter(|| black_box(query(&g, &path_q).expect("runs")))
     });
 
     let agg_q = format!(
@@ -51,7 +51,7 @@ fn bench_path_query(c: &mut Criterion) {
         sparql_prologue()
     );
     group.bench_function("group_by_count", |b| {
-        b.iter(|| black_box(query(&mut g, &agg_q).expect("runs")))
+        b.iter(|| black_box(query(&g, &agg_q).expect("runs")))
     });
 
     let filter_q = format!(
@@ -60,7 +60,7 @@ fn bench_path_query(c: &mut Criterion) {
         sparql_prologue()
     );
     group.bench_function("filter_not_exists", |b| {
-        b.iter(|| black_box(query(&mut g, &filter_q).expect("runs")))
+        b.iter(|| black_box(query(&g, &filter_q).expect("runs")))
     });
     group.finish();
 }

@@ -44,9 +44,7 @@ fn bench_graph_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph");
     group.throughput(Throughput::Elements(g.len() as u64));
 
-    group.bench_function("full_scan", |b| {
-        b.iter(|| black_box(g.iter_ids().count()))
-    });
+    group.bench_function("full_scan", |b| b.iter(|| black_box(g.iter_ids().count())));
     let has_ing = g
         .lookup_iri(feo_ontology::ns::food::HAS_INGREDIENT)
         .expect("present");

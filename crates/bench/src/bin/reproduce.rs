@@ -8,9 +8,7 @@
 //! Artifacts: `table1`, `cq1`, `cq2`, `cq3`, `fig1`, `fig2`, `fig3`,
 //! `fig4`, `all` (default).
 
-use feo_core::{
-    competency, figure3_matrix, scenario_a, ExplanationEngine, Population, Question,
-};
+use feo_core::{competency, figure3_matrix, scenario_a, ExplanationEngine, Population, Question};
 use feo_foodkg::{curated, Season, SystemContext, UserProfile};
 use feo_ontology::report::{characteristic_tree, property_lattice};
 use feo_recommender::{HealthCoach, Recommender};
@@ -67,18 +65,34 @@ fn table1() {
         .with_recommendations(recs);
 
     let rows: Vec<Question> = vec![
-        Question::WhatOtherUsers { food: "LentilSoup".into() },
-        Question::WhyEat { food: "CauliflowerPotatoCurry".into() },
+        Question::WhatOtherUsers {
+            food: "LentilSoup".into(),
+        },
+        Question::WhyEat {
+            food: "CauliflowerPotatoCurry".into(),
+        },
         Question::WhyEatOver {
             preferred: "ButternutSquashSoup".into(),
             alternative: "BroccoliCheddarSoup".into(),
         },
-        Question::WhatIf { hypothesis: feo_core::Hypothesis::Pregnant },
-        Question::WhyGenerally { food: "CauliflowerPotatoCurry".into() },
-        Question::WhatLiterature { food: "SpinachFrittata".into() },
-        Question::WhatIfEatenDaily { food: "MargheritaPizza".into() },
-        Question::WhatEvidenceForDiet { diet: "Vegetarian".into() },
-        Question::WhatSteps { food: "ButternutSquashSoup".into() },
+        Question::WhatIf {
+            hypothesis: feo_core::Hypothesis::Pregnant,
+        },
+        Question::WhyGenerally {
+            food: "CauliflowerPotatoCurry".into(),
+        },
+        Question::WhatLiterature {
+            food: "SpinachFrittata".into(),
+        },
+        Question::WhatIfEatenDaily {
+            food: "MargheritaPizza".into(),
+        },
+        Question::WhatEvidenceForDiet {
+            diet: "Vegetarian".into(),
+        },
+        Question::WhatSteps {
+            food: "ButternutSquashSoup".into(),
+        },
     ];
     for q in rows {
         let e = engine.explain(&q).expect("explained");
@@ -165,7 +179,9 @@ fn fig4() {
     ];
     for name in focus {
         let iri = feo_foodkg::FoodKg::iri(name);
-        let Some(id) = g.lookup_iri(&iri) else { continue };
+        let Some(id) = g.lookup_iri(&iri) else {
+            continue;
+        };
         for [_, p, o] in g.match_pattern(Some(id), None, None) {
             let p_name = g.term_name(p);
             if interesting.contains(&p_name.as_str()) {

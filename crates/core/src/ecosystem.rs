@@ -23,7 +23,7 @@ use feo_foodkg::{kg_to_rdf, user_to_rdf, FoodKg, SystemContext, UserProfile};
 use feo_ontology::ns::{feo, food};
 use feo_ontology::schema::load_tboxes;
 use feo_owl::{InferenceResult, Reasoner};
-use feo_rdf::Graph;
+use feo_rdf::{Graph, GraphStore};
 
 /// Assembles the un-materialized reasoning graph for one (KG, user,
 /// context) triple.
@@ -75,7 +75,11 @@ pub fn seed_user_polarity(user: &UserProfile, g: &mut Graph) {
         g.insert_iris(&FoodKg::iri(goal), feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
     }
     if user.pregnant {
-        g.insert_iris(feo::PREGNANCY_STATE, feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
+        g.insert_iris(
+            feo::PREGNANCY_STATE,
+            feo::PRESENT_IN,
+            feo::CURRENT_ECOSYSTEM,
+        );
     }
 }
 
@@ -99,13 +103,21 @@ pub fn seed_budget(user: &UserProfile, kg: &FoodKg, g: &mut Graph) {
 }
 
 /// Applies a hypothesis to a (cloned) graph for counterfactual reasoning.
-pub fn apply_hypothesis(hypothesis: &crate::question::Hypothesis, user: &UserProfile, g: &mut Graph) {
+pub fn apply_hypothesis(
+    hypothesis: &crate::question::Hypothesis,
+    user: &UserProfile,
+    g: &mut impl GraphStore,
+) {
     use crate::question::Hypothesis;
     let user_iri = FoodKg::iri(&user.id);
     match hypothesis {
         Hypothesis::Pregnant => {
             g.insert_iris(&user_iri, feo::HAS_CHARACTERISTIC, feo::PREGNANCY_STATE);
-            g.insert_iris(feo::PREGNANCY_STATE, feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
+            g.insert_iris(
+                feo::PREGNANCY_STATE,
+                feo::PRESENT_IN,
+                feo::CURRENT_ECOSYSTEM,
+            );
         }
         Hypothesis::FollowedDiet(diet) => {
             let diet_iri = FoodKg::iri(diet);
@@ -127,7 +139,7 @@ pub fn apply_hypothesis(hypothesis: &crate::question::Hypothesis, user: &UserPro
 
 /// Registers a question individual with its parameters in the graph.
 /// Returns the question IRI.
-pub fn assert_question(question: &crate::question::Question, g: &mut Graph) -> String {
+pub fn assert_question(question: &crate::question::Question, g: &mut impl GraphStore) -> String {
     use crate::question::Question;
     use feo_rdf::vocab::rdf;
     let q_iri = question.iri();
@@ -146,7 +158,11 @@ pub fn assert_question(question: &crate::question::Question, g: &mut Graph) -> S
             alternative,
         } => {
             g.insert_iris(&q_iri, feo::HAS_PRIMARY_PARAMETER, &FoodKg::iri(preferred));
-            g.insert_iris(&q_iri, feo::HAS_SECONDARY_PARAMETER, &FoodKg::iri(alternative));
+            g.insert_iris(
+                &q_iri,
+                feo::HAS_SECONDARY_PARAMETER,
+                &FoodKg::iri(alternative),
+            );
         }
         Question::WhatEvidenceForDiet { diet } => {
             g.insert_iris(&q_iri, feo::HAS_PARAMETER, &FoodKg::iri(diet));
@@ -214,8 +230,14 @@ mod tests {
         let param = g.lookup_iri(feo::PARAMETER).unwrap();
         let squash = g.lookup_iri(&FoodKg::iri("ButternutSquashSoup")).unwrap();
         let broc = g.lookup_iri(&FoodKg::iri("BroccoliCheddarSoup")).unwrap();
-        assert!(g.contains_ids(squash, ty, param), "range axiom types parameter A");
-        assert!(g.contains_ids(broc, ty, param), "subproperty + range types parameter B");
+        assert!(
+            g.contains_ids(squash, ty, param),
+            "range axiom types parameter A"
+        );
+        assert!(
+            g.contains_ids(broc, ty, param),
+            "subproperty + range types parameter B"
+        );
     }
 
     #[test]

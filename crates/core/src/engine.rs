@@ -1,17 +1,29 @@
 //! The explanation engine — the paper's pipeline end to end.
 //!
-//! [`ExplanationEngine::new`] assembles the reasoning graph (TBoxes +
-//! FoodKG + user + system context + knowledge records), runs the
-//! materializing reasoner, and keeps the inferred graph. Each
-//! [`ExplanationEngine::explain`] call asserts the question individual,
-//! re-closes the graph, evaluates the explanation type's SPARQL template,
-//! and renders the answer — the exact §IV reasoning-then-querying
-//! workflow.
+//! The engine is split along the snapshot + overlay architecture:
+//!
+//! - [`EngineBase`] assembles the reasoning graph (TBoxes + FoodKG +
+//!   user + system context + knowledge records), compiles the OWL rule
+//!   set once, and materializes the closure once. It is immutable after
+//!   construction and can be shared behind an `Arc` across threads.
+//! - [`Session`] answers questions against a borrowed base. Question
+//!   individuals are asserted into a per-session [`Overlay`] and closed
+//!   incrementally with the precompiled rules — the base graph is never
+//!   touched, so concurrent sessions cannot observe each other.
+//! - [`ExplanationEngine`] is the original single-owner façade: it wraps
+//!   an [`EngineBase`] and commits each session's delta back into the
+//!   base, preserving the accumulate-across-questions behaviour (and
+//!   proof trees) of earlier versions while using the incremental
+//!   closure underneath.
+//!
+//! Each `explain` call asserts the question individual, re-closes the
+//! view, evaluates the explanation type's SPARQL template, and renders
+//! the answer — the exact §IV reasoning-then-querying workflow.
 
 use feo_foodkg::{FoodKg, Season, SystemContext, UserProfile};
 use feo_ontology::ns::feo;
-use feo_owl::{InferenceResult, Reasoner, ReasonerOptions};
-use feo_rdf::Graph;
+use feo_owl::{CompiledRules, InferenceResult, Reasoner, ReasonerOptions};
+use feo_rdf::{Graph, IdTriple, Overlay, Term};
 use feo_recommender::{RecommendationSet, TraceStep};
 use feo_sparql::{query, SolutionTable, SparqlError};
 
@@ -50,7 +62,10 @@ impl std::fmt::Display for EngineError {
                 write!(f, "trace-based explanations need recommender output")
             }
             EngineError::MissingPopulation => {
-                write!(f, "case-based/statistical explanations need a reference population")
+                write!(
+                    f,
+                    "case-based/statistical explanations need a reference population"
+                )
             }
         }
     }
@@ -64,27 +79,34 @@ impl From<SparqlError> for EngineError {
     }
 }
 
-/// The FEO explanation engine.
-pub struct ExplanationEngine {
+/// The shared, materialized snapshot of the reasoning world.
+///
+/// Built once per (KG, user, context) triple: the graph is assembled,
+/// the rule set compiled from the TBox, and the closure materialized.
+/// After that the base is read-only — [`EngineBase::explain`] takes
+/// `&self` and spins up a throwaway [`Session`] per question, so one
+/// base behind an `Arc` serves any number of threads concurrently.
+pub struct EngineBase {
     kg: FoodKg,
     user: UserProfile,
     ctx: SystemContext,
     graph: Graph,
+    rules: CompiledRules,
     inference: InferenceResult,
     population: Option<Population>,
     recommendations: Option<RecommendationSet>,
     track_proofs: bool,
 }
 
-impl ExplanationEngine {
+impl EngineBase {
     /// Assembles and materializes the reasoning graph.
     pub fn new(kg: FoodKg, user: UserProfile, ctx: SystemContext) -> Result<Self, EngineError> {
         Self::build(kg, user, ctx, false)
     }
 
-    /// Like [`ExplanationEngine::new`], but the reasoner tracks
-    /// derivations so [`ExplanationEngine::proof_of_type`] can render
-    /// Pellet-style proof trees for inferred classifications.
+    /// Like [`EngineBase::new`], but the reasoner tracks derivations so
+    /// [`EngineBase::proof_of_type`] can render Pellet-style proof trees
+    /// for inferred classifications.
     pub fn new_with_proofs(
         kg: FoodKg,
         user: UserProfile,
@@ -101,7 +123,11 @@ impl ExplanationEngine {
     ) -> Result<Self, EngineError> {
         let mut graph = assemble(&kg, &user, &ctx);
         records_to_rdf(&mut graph);
-        let inference = Self::reasoner(track_proofs).materialize(&mut graph);
+        let reasoner = Self::reasoner(track_proofs);
+        // Compile once; sessions only ever add ABox triples, so the rule
+        // set stays valid for every incremental close that follows.
+        let rules = reasoner.compile(&mut graph);
+        let inference = reasoner.materialize_with(&mut graph, &rules);
         if !inference.is_consistent() {
             return Err(EngineError::Inconsistent(
                 inference
@@ -111,11 +137,12 @@ impl ExplanationEngine {
                     .collect(),
             ));
         }
-        Ok(ExplanationEngine {
+        Ok(EngineBase {
             kg,
             user,
             ctx,
             graph,
+            rules,
             inference,
             population: None,
             recommendations: None,
@@ -130,10 +157,74 @@ impl ExplanationEngine {
         })
     }
 
-    /// Renders the reasoner's proof tree for `individual rdf:type class`,
-    /// e.g. why Broccoli was classified an `eo:Foil`. Requires
-    /// [`ExplanationEngine::new_with_proofs`]; returns `None` when the
-    /// typing does not hold or was asserted rather than inferred.
+    /// Adds a reference population (enables case-based and statistical
+    /// explanations). The population ABox is closed incrementally — it
+    /// is written into an overlay, `materialize_delta` derives its
+    /// consequences against the already-closed base, and the delta is
+    /// merged back — rather than re-running the full fixpoint.
+    /// Order-insensitive with [`EngineBase::with_recommendations`].
+    pub fn with_population(mut self, population: Population) -> Self {
+        let reasoner = Self::reasoner(self.track_proofs);
+        let mut overlay = Overlay::new(&self.graph);
+        population.to_rdf(&mut overlay);
+        let inference = reasoner.materialize_delta(&mut overlay, &self.rules);
+        let (spill, delta) = overlay.into_delta();
+        self.absorb(spill, delta, inference);
+        self.population = Some(population);
+        self
+    }
+
+    /// Adds recommender output (enables trace-based explanations).
+    /// Order-insensitive with [`EngineBase::with_population`].
+    pub fn with_recommendations(mut self, set: RecommendationSet) -> Self {
+        self.recommendations = Some(set);
+        self
+    }
+
+    /// Merges an overlay delta into the base graph. Spill terms are
+    /// interned in overlay-id order, which re-creates the same dense
+    /// ids in the base dictionary — so the delta's id triples and any
+    /// derivation records stay valid verbatim.
+    fn absorb(&mut self, spill: Vec<Term>, delta: Vec<IdTriple>, inference: InferenceResult) {
+        let before = self.graph.term_count();
+        let spilled = spill.len();
+        for term in &spill {
+            self.graph.intern(term);
+        }
+        debug_assert_eq!(self.graph.term_count(), before + spilled);
+        for [s, p, o] in delta {
+            self.graph.insert_ids(s, p, o);
+        }
+        self.inference.added += inference.added;
+        self.inference.warnings.extend(inference.warnings);
+        self.inference
+            .inconsistencies
+            .extend(inference.inconsistencies);
+        self.inference.derivations.extend(inference.derivations);
+    }
+
+    /// Opens a question-answering session over this base. The session
+    /// writes only into its private overlay; any number of sessions can
+    /// run concurrently over one base.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            base: self,
+            overlay: Overlay::new(&self.graph),
+            inference: InferenceResult::default(),
+        }
+    }
+
+    /// Answers a question in a fresh throwaway session. Takes `&self`,
+    /// so explanations can be produced from many threads over one
+    /// `Arc<EngineBase>` — and no question can leak state into the next.
+    pub fn explain(&self, question: &Question) -> Result<Explanation, EngineError> {
+        self.session().explain(question)
+    }
+
+    /// Renders the reasoner's proof tree for `individual rdf:type class`
+    /// over the base closure. Requires [`EngineBase::new_with_proofs`];
+    /// returns `None` when the typing does not hold or was asserted
+    /// rather than inferred.
     pub fn proof_of_type(&self, individual_local: &str, class_iri: &str) -> Option<String> {
         let ind = self.graph.lookup_iri(&FoodKg::iri(individual_local))?;
         let ty = self.graph.lookup_iri(feo_rdf::vocab::rdf::TYPE)?;
@@ -145,22 +236,6 @@ impl ExplanationEngine {
         Some(node.render(&self.graph))
     }
 
-    /// Adds a reference population (enables case-based and statistical
-    /// explanations).
-    pub fn with_population(mut self, population: Population) -> Self {
-        population.to_rdf(&mut self.graph);
-        self.inference = Self::reasoner(self.track_proofs).materialize(&mut self.graph);
-        self.population = Some(population);
-        self
-    }
-
-    /// Adds recommender output (enables trace-based explanations and the
-    /// recommendation deltas in counterfactuals).
-    pub fn with_recommendations(mut self, set: RecommendationSet) -> Self {
-        self.recommendations = Some(set);
-        self
-    }
-
     pub fn inference(&self) -> &InferenceResult {
         &self.inference
     }
@@ -169,8 +244,10 @@ impl ExplanationEngine {
         &self.graph
     }
 
-    pub fn graph_mut(&mut self) -> &mut Graph {
-        &mut self.graph
+    /// The rule set compiled from the base TBox, reused by every
+    /// incremental close.
+    pub fn rules(&self) -> &CompiledRules {
+        &self.rules
     }
 
     pub fn kg(&self) -> &FoodKg {
@@ -183,6 +260,42 @@ impl ExplanationEngine {
 
     pub fn context(&self) -> &SystemContext {
         &self.ctx
+    }
+}
+
+/// A per-question view over a shared [`EngineBase`].
+///
+/// Question individuals (and everything the reasoner derives from them)
+/// land in the session's [`Overlay`]; SPARQL templates evaluate over the
+/// unioned base + delta view. Dropping the session discards the delta.
+pub struct Session<'a> {
+    base: &'a EngineBase,
+    overlay: Overlay<&'a Graph>,
+    /// Closure stats and derivations accumulated by this session's
+    /// incremental closes (disjoint from the base's own inference).
+    inference: InferenceResult,
+}
+
+impl<'a> Session<'a> {
+    /// The base this session reads through.
+    pub fn base(&self) -> &'a EngineBase {
+        self.base
+    }
+
+    /// Inference accumulated by this session's incremental closes.
+    pub fn inference(&self) -> &InferenceResult {
+        &self.inference
+    }
+
+    /// Number of triples in the session delta.
+    pub fn delta_len(&self) -> usize {
+        self.overlay.delta_len()
+    }
+
+    /// Decomposes the session into its overlay and inference — used by
+    /// [`ExplanationEngine`] to commit the delta into an owned base.
+    pub fn into_parts(self) -> (Overlay<&'a Graph>, InferenceResult) {
+        (self.overlay, self.inference)
     }
 
     /// Answers a question with the matching explanation type.
@@ -208,28 +321,28 @@ impl ExplanationEngine {
     }
 
     fn require_recipe(&self, food: &str) -> Result<(), EngineError> {
-        if self.kg.recipe(food).is_none() && self.kg.ingredient(food).is_none() {
+        if self.base.kg.recipe(food).is_none() && self.base.kg.ingredient(food).is_none() {
             return Err(EngineError::UnknownEntity(food.to_string()));
         }
         Ok(())
     }
 
-    /// Asserts the question and re-closes the graph (the reasoner is a
-    /// monotone fixpoint, so re-running on the extended graph is exactly
-    /// the paper's "export with inferred axioms" over the new state).
+    /// Asserts the question into the overlay and re-closes incrementally:
+    /// the precompiled rules run semi-naïvely from the delta, which is
+    /// equivalent to the paper's full "export with inferred axioms" over
+    /// the extended graph because the base is already closed and the
+    /// question triples are pure ABox.
     fn assert_and_close(&mut self, question: &Question) {
-        assert_question(question, &mut self.graph);
-        let inference = Self::reasoner(self.track_proofs).materialize(&mut self.graph);
-        if self.track_proofs {
-            // Accumulate derivations across closes (earlier runs' records
-            // remain valid because inference is monotone).
-            let mut merged = std::mem::take(&mut self.inference.derivations);
-            merged.extend(inference.derivations.clone());
-            self.inference = inference;
-            self.inference.derivations = merged;
-        } else {
-            self.inference = inference;
-        }
+        assert_question(question, &mut self.overlay);
+        let reasoner = EngineBase::reasoner(self.base.track_proofs);
+        let inference = reasoner.materialize_delta(&mut self.overlay, &self.base.rules);
+        self.inference.added += inference.added;
+        self.inference.rounds += inference.rounds;
+        self.inference.warnings.extend(inference.warnings);
+        self.inference
+            .inconsistencies
+            .extend(inference.inconsistencies);
+        self.inference.derivations.extend(inference.derivations);
     }
 
     // ---- CQ1: contextual ---------------------------------------------
@@ -238,7 +351,7 @@ impl ExplanationEngine {
         self.require_recipe(food)?;
         self.assert_and_close(question);
         let q = queries::contextual_query(question);
-        let table = query(&mut self.graph, &q)?.expect_solutions();
+        let table = query(&self.overlay, &q)?.expect_solutions();
 
         let mut statements = Vec::new();
         for row in table.local_rows() {
@@ -246,10 +359,7 @@ impl ExplanationEngine {
             statements.push(self.contextual_sentence(food, characteristic, class));
         }
         let answer = if statements.is_empty() {
-            format!(
-                "No external context currently supports {}.",
-                humanize(food)
-            )
+            format!("No external context currently supports {}.", humanize(food))
         } else {
             statements.join(" ")
         };
@@ -267,6 +377,7 @@ impl ExplanationEngine {
     /// answer does ("uses the ingredient Cauliflower, which is available
     /// in the current season").
     fn contextual_sentence(&self, food: &str, characteristic: &str, class: &str) -> String {
+        let kg = &self.base.kg;
         let food_h = humanize(food);
         match class {
             "SeasonCharacteristic" => {
@@ -275,10 +386,9 @@ impl ExplanationEngine {
                     .iter()
                     .find(|s| s.name() == characteristic)
                     .copied();
-                let carrier = self.kg.recipe(food).and_then(|r| {
+                let carrier = kg.recipe(food).and_then(|r| {
                     r.ingredients.iter().find(|i| {
-                        self.kg
-                            .ingredient(i)
+                        kg.ingredient(i)
                             .zip(season)
                             .map(|(ing, s)| ing.seasons.contains(&s))
                             .unwrap_or(false)
@@ -295,10 +405,9 @@ impl ExplanationEngine {
                 }
             }
             "LocationCharacteristic" => {
-                let carrier = self.kg.recipe(food).and_then(|r| {
+                let carrier = kg.recipe(food).and_then(|r| {
                     r.ingredients.iter().find(|i| {
-                        self.kg
-                            .ingredient(i)
+                        kg.ingredient(i)
                             .map(|ing| ing.regions.iter().any(|reg| reg == characteristic))
                             .unwrap_or(false)
                     })
@@ -339,7 +448,7 @@ impl ExplanationEngine {
         self.require_recipe(alternative)?;
         self.assert_and_close(question);
         let q = queries::contrastive_query(question);
-        let table = query(&mut self.graph, &q)?.expect_solutions();
+        let table = query(&self.overlay, &q)?.expect_solutions();
 
         let mut fact_parts: Vec<String> = Vec::new();
         let mut foil_parts: Vec<String> = Vec::new();
@@ -455,12 +564,14 @@ impl ExplanationEngine {
         question: &Question,
         hypothesis: &Hypothesis,
     ) -> Result<Explanation, EngineError> {
-        // Counterfactuals reason over a hypothetical world: clone the
-        // graph, apply the hypothesis, re-close, query the clone.
-        let mut world = self.graph.clone();
-        apply_hypothesis(hypothesis, &self.user, &mut world);
+        // Counterfactuals reason over a hypothetical world: a throwaway
+        // overlay on the shared base (no clone). The hypothesis is pure
+        // ABox, so the precompiled rules close it incrementally; the
+        // world is discarded when this call returns.
+        let mut world = Overlay::new(self.base.graph());
+        apply_hypothesis(hypothesis, &self.base.user, &mut world);
         assert_question(question, &mut world);
-        Reasoner::new().materialize(&mut world);
+        Reasoner::new().materialize_delta(&mut world, &self.base.rules);
 
         let subject_iri = match hypothesis {
             Hypothesis::Pregnant => feo::PREGNANCY_STATE.to_string(),
@@ -468,7 +579,7 @@ impl ExplanationEngine {
             Hypothesis::AllergicTo(i) => FoodKg::iri(i),
         };
         let q = queries::counterfactual_query(&subject_iri);
-        let table = query(&mut world, &q)?.expect_solutions();
+        let table = query(&world, &q)?.expect_solutions();
 
         let mut forbidden: Vec<String> = Vec::new();
         let mut suggested: Vec<String> = Vec::new();
@@ -530,6 +641,7 @@ impl ExplanationEngine {
 
     fn trace_based(&mut self, question: &Question, food: &str) -> Result<Explanation, EngineError> {
         let set = self
+            .base
             .recommendations
             .as_ref()
             .ok_or(EngineError::MissingRecommendations)?;
@@ -563,12 +675,12 @@ impl ExplanationEngine {
     // ---- case-based ---------------------------------------------------------
 
     fn case_based(&mut self, question: &Question, food: &str) -> Result<Explanation, EngineError> {
-        if self.population.is_none() {
+        if self.base.population.is_none() {
             return Err(EngineError::MissingPopulation);
         }
         self.require_recipe(food)?;
-        let q = queries::case_based_query(&FoodKg::iri(&self.user.id), &FoodKg::iri(food));
-        let table = query(&mut self.graph, &q)?.expect_solutions();
+        let q = queries::case_based_query(&FoodKg::iri(&self.base.user.id), &FoodKg::iri(food));
+        let table = query(&self.overlay, &q)?.expect_solutions();
         let supporters: i64 = table
             .rows
             .first()
@@ -601,7 +713,7 @@ impl ExplanationEngine {
     ) -> Result<Explanation, EngineError> {
         self.require_recipe(food)?;
         let q = queries::knowledge_record_query(&FoodKg::iri(food), record_class);
-        let table = query(&mut self.graph, &q)?.expect_solutions();
+        let table = query(&self.overlay, &q)?.expect_solutions();
         let mut statements = Vec::new();
         for row in table.local_rows() {
             let (about, text, source) = (&row[1], &row[2], &row[3]);
@@ -631,13 +743,13 @@ impl ExplanationEngine {
     // ---- simulation-based ---------------------------------------------------
 
     fn simulation(&mut self, question: &Question, food: &str) -> Result<Explanation, EngineError> {
-        let recipe = self
-            .kg
+        let kg = &self.base.kg;
+        let recipe = kg
             .recipe(food)
             .ok_or_else(|| EngineError::UnknownEntity(food.to_string()))?;
         let weekly = recipe.calories as i64 * 7;
-        let nutrients = self.kg.recipe_nutrients(recipe);
-        let categories = self.kg.recipe_categories(recipe);
+        let nutrients = kg.recipe_nutrients(recipe);
+        let categories = kg.recipe_categories(recipe);
         let mut statements = vec![format!(
             "Eating {} every day adds about {} kcal per week ({} kcal per serving).",
             humanize(food),
@@ -683,14 +795,14 @@ impl ExplanationEngine {
     // ---- statistical ----------------------------------------------------------
 
     fn statistical(&mut self, question: &Question, diet: &str) -> Result<Explanation, EngineError> {
-        if self.population.is_none() {
+        if self.base.population.is_none() {
             return Err(EngineError::MissingPopulation);
         }
-        if self.kg.diet(diet).is_none() {
+        if self.base.kg.diet(diet).is_none() {
             return Err(EngineError::UnknownEntity(diet.to_string()));
         }
         let q = queries::statistical_query(&FoodKg::iri(diet));
-        let table = query(&mut self.graph, &q)?.expect_solutions();
+        let table = query(&self.overlay, &q)?.expect_solutions();
         let get = |row: &Vec<Option<feo_rdf::Term>>, i: usize| -> i64 {
             row.get(i)
                 .and_then(|c| c.as_ref())
@@ -718,3 +830,95 @@ impl ExplanationEngine {
     }
 }
 
+/// The FEO explanation engine — single-owner façade over [`EngineBase`].
+///
+/// Each [`ExplanationEngine::explain`] call runs a [`Session`] and then
+/// commits the session's delta into the owned base, so question
+/// individuals and their inferred classifications accumulate exactly as
+/// in earlier versions (and [`ExplanationEngine::proof_of_type`] can
+/// explain typings derived while answering). For isolated or concurrent
+/// question answering use [`EngineBase`] directly.
+pub struct ExplanationEngine {
+    base: EngineBase,
+}
+
+impl ExplanationEngine {
+    /// Assembles and materializes the reasoning graph.
+    pub fn new(kg: FoodKg, user: UserProfile, ctx: SystemContext) -> Result<Self, EngineError> {
+        EngineBase::new(kg, user, ctx).map(|base| ExplanationEngine { base })
+    }
+
+    /// Like [`ExplanationEngine::new`], but the reasoner tracks
+    /// derivations so [`ExplanationEngine::proof_of_type`] can render
+    /// Pellet-style proof trees for inferred classifications.
+    pub fn new_with_proofs(
+        kg: FoodKg,
+        user: UserProfile,
+        ctx: SystemContext,
+    ) -> Result<Self, EngineError> {
+        EngineBase::new_with_proofs(kg, user, ctx).map(|base| ExplanationEngine { base })
+    }
+
+    /// Adds a reference population (enables case-based and statistical
+    /// explanations).
+    pub fn with_population(mut self, population: Population) -> Self {
+        self.base = self.base.with_population(population);
+        self
+    }
+
+    /// Adds recommender output (enables trace-based explanations and the
+    /// recommendation deltas in counterfactuals).
+    pub fn with_recommendations(mut self, set: RecommendationSet) -> Self {
+        self.base = self.base.with_recommendations(set);
+        self
+    }
+
+    /// Answers a question, then folds the session's delta (question
+    /// triples, derived classifications, derivations) into the base.
+    pub fn explain(&mut self, question: &Question) -> Result<Explanation, EngineError> {
+        let mut session = self.base.session();
+        let result = session.explain(question);
+        let (overlay, inference) = session.into_parts();
+        let (spill, delta) = overlay.into_delta();
+        self.base.absorb(spill, delta, inference);
+        result
+    }
+
+    /// Renders the reasoner's proof tree for `individual rdf:type class`,
+    /// e.g. why Broccoli was classified an `eo:Foil`. Requires
+    /// [`ExplanationEngine::new_with_proofs`]; returns `None` when the
+    /// typing does not hold or was asserted rather than inferred.
+    pub fn proof_of_type(&self, individual_local: &str, class_iri: &str) -> Option<String> {
+        self.base.proof_of_type(individual_local, class_iri)
+    }
+
+    /// The shared base — e.g. to wrap it in an `Arc` for concurrent
+    /// sessions after the stateful phase is over.
+    pub fn into_base(self) -> EngineBase {
+        self.base
+    }
+
+    pub fn base(&self) -> &EngineBase {
+        &self.base
+    }
+
+    pub fn inference(&self) -> &InferenceResult {
+        self.base.inference()
+    }
+
+    pub fn graph(&self) -> &Graph {
+        self.base.graph()
+    }
+
+    pub fn kg(&self) -> &FoodKg {
+        self.base.kg()
+    }
+
+    pub fn user(&self) -> &UserProfile {
+        self.base.user()
+    }
+
+    pub fn context(&self) -> &SystemContext {
+        self.base.context()
+    }
+}

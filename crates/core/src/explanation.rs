@@ -68,7 +68,9 @@ mod tests {
     #[test]
     fn display_includes_question_and_answer() {
         let e = Explanation {
-            question: Question::WhyEat { food: "Sushi".into() },
+            question: Question::WhyEat {
+                food: "Sushi".into(),
+            },
             explanation_type: ExplanationType::Contextual,
             bindings: SolutionTable::default(),
             statements: vec!["s".into()],

@@ -48,8 +48,10 @@ pub fn classify(g: &Graph, individual: TermId) -> Classification {
     let ty = g.lookup_iri(rdf::TYPE);
     let fact = g.lookup_iri(eo::FACT);
     let foil = g.lookup_iri(eo::FOIL);
-    let is_fact = matches!((ty, fact), (Some(ty), Some(fact)) if g.contains_ids(individual, ty, fact));
-    let is_foil = matches!((ty, foil), (Some(ty), Some(foil)) if g.contains_ids(individual, ty, foil));
+    let is_fact =
+        matches!((ty, fact), (Some(ty), Some(fact)) if g.contains_ids(individual, ty, fact));
+    let is_foil =
+        matches!((ty, foil), (Some(ty), Some(foil)) if g.contains_ids(individual, ty, foil));
     match (is_fact, is_foil) {
         (true, true) => Classification::Both,
         (true, false) => Classification::Fact,
@@ -72,13 +74,41 @@ pub struct MatrixCell {
 pub fn figure3_matrix() -> Vec<MatrixCell> {
     let mut g = feo_ontology::schema::tbox_graph();
     let param = "https://example.org/fig3#Param";
-    g.insert_iris("https://example.org/fig3#q", feo::HAS_PRIMARY_PARAMETER, param);
+    g.insert_iris(
+        "https://example.org/fig3#q",
+        feo::HAS_PRIMARY_PARAMETER,
+        param,
+    );
 
     let cases = [
-        ("SupportsPresent", feo::IS_SUPPORTIVE_CHARACTERISTIC_OF, feo::PRESENT_IN, "supports", "present"),
-        ("SupportsAbsent", feo::IS_SUPPORTIVE_CHARACTERISTIC_OF, feo::ABSENT_FROM, "supports", "absent"),
-        ("OpposesPresent", feo::IS_OPPOSING_CHARACTERISTIC_OF, feo::PRESENT_IN, "opposes", "present"),
-        ("OpposesAbsent", feo::IS_OPPOSING_CHARACTERISTIC_OF, feo::ABSENT_FROM, "opposes", "absent"),
+        (
+            "SupportsPresent",
+            feo::IS_SUPPORTIVE_CHARACTERISTIC_OF,
+            feo::PRESENT_IN,
+            "supports",
+            "present",
+        ),
+        (
+            "SupportsAbsent",
+            feo::IS_SUPPORTIVE_CHARACTERISTIC_OF,
+            feo::ABSENT_FROM,
+            "supports",
+            "absent",
+        ),
+        (
+            "OpposesPresent",
+            feo::IS_OPPOSING_CHARACTERISTIC_OF,
+            feo::PRESENT_IN,
+            "opposes",
+            "present",
+        ),
+        (
+            "OpposesAbsent",
+            feo::IS_OPPOSING_CHARACTERISTIC_OF,
+            feo::ABSENT_FROM,
+            "opposes",
+            "absent",
+        ),
     ];
     for (name, polarity_prop, presence_prop, _, _) in &cases {
         let iri = format!("https://example.org/fig3#{name}");
@@ -136,10 +166,18 @@ mod tests {
                 .unwrap()
                 .classification
         };
-        assert_eq!(get("supports", "present"), Classification::Fact, "green box");
+        assert_eq!(
+            get("supports", "present"),
+            Classification::Fact,
+            "green box"
+        );
         assert_eq!(get("supports", "absent"), Classification::Foil, "red box 1");
         assert_eq!(get("opposes", "present"), Classification::Foil, "red box 2");
-        assert_eq!(get("opposes", "absent"), Classification::Neither, "blue box");
+        assert_eq!(
+            get("opposes", "absent"),
+            Classification::Neither,
+            "blue box"
+        );
     }
 
     #[test]

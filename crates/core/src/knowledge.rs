@@ -7,7 +7,7 @@ use feo_foodkg::{user_to_rdf, FoodKg, UserProfile};
 use feo_ontology::ns::{eo, feo};
 use feo_rdf::term::Term;
 use feo_rdf::vocab::{rdf, rdfs};
-use feo_rdf::Graph;
+use feo_rdf::GraphStore;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -116,7 +116,7 @@ pub fn scientific_records() -> Vec<KnowledgeRecord> {
 
 /// Emits both record sets into the graph as `eo:KnowledgeRecord`
 /// individuals with `eo:inRelationTo` links.
-pub fn records_to_rdf(g: &mut Graph) {
+pub fn records_to_rdf(g: &mut impl GraphStore) {
     // Record classes under eo:KnowledgeRecord (which is under
     // eo:knowledge, keeping records out of characteristic listings).
     g.insert_iris(EVERYDAY_RECORD, rdfs::SUB_CLASS_OF, eo::KNOWLEDGE_RECORD);
@@ -167,7 +167,9 @@ impl Population {
         let mut achievements = Vec::new();
         for p in &profiles {
             for goal_id in &p.goals {
-                let Some(goal) = kg.goal(goal_id) else { continue };
+                let Some(goal) = kg.goal(goal_id) else {
+                    continue;
+                };
                 let aligned = p.likes.iter().any(|recipe_id| {
                     kg.recipe(recipe_id)
                         .map(|r| kg.recipe_nutrients(r).contains(&goal.wants_nutrient))
@@ -186,7 +188,7 @@ impl Population {
     }
 
     /// Emits the population ABox (profiles + achievements).
-    pub fn to_rdf(&self, g: &mut Graph) {
+    pub fn to_rdf(&self, g: &mut impl GraphStore) {
         for p in &self.profiles {
             user_to_rdf(p, g);
         }
@@ -200,6 +202,7 @@ impl Population {
 mod tests {
     use super::*;
     use feo_foodkg::curated;
+    use feo_rdf::Graph;
 
     #[test]
     fn records_reference_known_entities() {
@@ -259,9 +262,7 @@ mod tests {
         pop.to_rdf(&mut g);
         let achieved = g.lookup_iri(feo::ACHIEVED_GOAL);
         assert!(achieved.is_some());
-        let n = g
-            .match_pattern(None, achieved, None)
-            .len();
+        let n = g.match_pattern(None, achieved, None).len();
         assert_eq!(n, pop.achievements.len());
     }
 }

@@ -104,7 +104,10 @@ pub enum Question {
     /// "Why should I eat Food A?" → contextual.
     WhyEat { food: String },
     /// "Why should I eat Food A over Food B?" → contrastive.
-    WhyEatOver { preferred: String, alternative: String },
+    WhyEatOver {
+        preferred: String,
+        alternative: String,
+    },
     /// "What if \<hypothesis\>?" → counterfactual.
     WhatIf { hypothesis: Hypothesis },
     /// "What results from other users recommend food A?" → case-based.
@@ -184,10 +187,9 @@ impl Question {
                 spaced(alternative)
             ),
             Question::WhatIf { hypothesis } => format!("What if {}?", hypothesis.describe()),
-            Question::WhatOtherUsers { food } => format!(
-                "What results from other users recommend {}?",
-                spaced(food)
-            ),
+            Question::WhatOtherUsers { food } => {
+                format!("What results from other users recommend {}?", spaced(food))
+            }
             Question::WhyGenerally { food } => {
                 format!("Why is {} generally a good choice?", spaced(food))
             }
@@ -201,10 +203,9 @@ impl Question {
                 "What evidence from data suggests I follow the {} diet?",
                 spaced(diet)
             ),
-            Question::WhatSteps { food } => format!(
-                "What steps led to the recommendation of {}?",
-                spaced(food)
-            ),
+            Question::WhatSteps { food } => {
+                format!("What steps led to the recommendation of {}?", spaced(food))
+            }
         }
     }
 }
@@ -217,8 +218,13 @@ mod tests {
     fn every_type_has_a_question_shape() {
         let questions = [
             Question::WhyEat { food: "A".into() },
-            Question::WhyEatOver { preferred: "A".into(), alternative: "B".into() },
-            Question::WhatIf { hypothesis: Hypothesis::Pregnant },
+            Question::WhyEatOver {
+                preferred: "A".into(),
+                alternative: "B".into(),
+            },
+            Question::WhatIf {
+                hypothesis: Hypothesis::Pregnant,
+            },
             Question::WhatOtherUsers { food: "A".into() },
             Question::WhyGenerally { food: "A".into() },
             Question::WhatLiterature { food: "A".into() },

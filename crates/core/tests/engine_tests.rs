@@ -1,9 +1,7 @@
 //! Engine-level tests: every explanation type of Table I produces an
 //! informative, correctly-typed explanation; error paths are exercised.
 
-use feo_core::{
-    EngineError, ExplanationEngine, ExplanationType, Hypothesis, Population, Question,
-};
+use feo_core::{EngineError, ExplanationEngine, ExplanationType, Hypothesis, Population, Question};
 use feo_foodkg::{curated, Season, SystemContext, UserProfile};
 use feo_recommender::{HealthCoach, Recommender};
 
@@ -29,22 +27,40 @@ fn engine_full() -> ExplanationEngine {
 fn all_nine_types_produce_informative_explanations() {
     let mut engine = engine_full();
     let questions = vec![
-        Question::WhyEat { food: "CauliflowerPotatoCurry".into() },
+        Question::WhyEat {
+            food: "CauliflowerPotatoCurry".into(),
+        },
         Question::WhyEatOver {
             preferred: "ButternutSquashSoup".into(),
             alternative: "BroccoliCheddarSoup".into(),
         },
-        Question::WhatIf { hypothesis: Hypothesis::Pregnant },
-        Question::WhatOtherUsers { food: "LentilSoup".into() },
-        Question::WhyGenerally { food: "CauliflowerPotatoCurry".into() },
-        Question::WhatLiterature { food: "SpinachFrittata".into() },
-        Question::WhatIfEatenDaily { food: "MargheritaPizza".into() },
-        Question::WhatEvidenceForDiet { diet: "Vegetarian".into() },
-        Question::WhatSteps { food: "ButternutSquashSoup".into() },
+        Question::WhatIf {
+            hypothesis: Hypothesis::Pregnant,
+        },
+        Question::WhatOtherUsers {
+            food: "LentilSoup".into(),
+        },
+        Question::WhyGenerally {
+            food: "CauliflowerPotatoCurry".into(),
+        },
+        Question::WhatLiterature {
+            food: "SpinachFrittata".into(),
+        },
+        Question::WhatIfEatenDaily {
+            food: "MargheritaPizza".into(),
+        },
+        Question::WhatEvidenceForDiet {
+            diet: "Vegetarian".into(),
+        },
+        Question::WhatSteps {
+            food: "ButternutSquashSoup".into(),
+        },
     ];
     let mut seen = Vec::new();
     for q in questions {
-        let e = engine.explain(&q).unwrap_or_else(|err| panic!("{q:?}: {err}"));
+        let e = engine
+            .explain(&q)
+            .unwrap_or_else(|err| panic!("{q:?}: {err}"));
         assert_eq!(e.explanation_type, q.explanation_type());
         assert!(e.is_informative(), "{q:?} produced empty explanation");
         assert!(!e.answer.is_empty());
@@ -59,7 +75,9 @@ fn all_nine_types_produce_informative_explanations() {
 fn trace_based_reflects_recommender_steps() {
     let mut engine = engine_full();
     let e = engine
-        .explain(&Question::WhatSteps { food: "ButternutSquashSoup".into() })
+        .explain(&Question::WhatSteps {
+            food: "ButternutSquashSoup".into(),
+        })
         .unwrap();
     assert!(e.answer.contains("score"));
     assert!(
@@ -73,7 +91,9 @@ fn trace_based_reflects_recommender_steps() {
 fn trace_based_explains_eliminations_too() {
     let mut engine = engine_full();
     let e = engine
-        .explain(&Question::WhatSteps { food: "BroccoliCheddarSoup".into() })
+        .explain(&Question::WhatSteps {
+            food: "BroccoliCheddarSoup".into(),
+        })
         .unwrap();
     assert!(
         e.answer.contains("allergen Broccoli"),
@@ -86,12 +106,16 @@ fn trace_based_explains_eliminations_too() {
 fn scientific_explanations_cite_sources() {
     let mut engine = engine_full();
     let e = engine
-        .explain(&Question::WhatLiterature { food: "SpinachFrittata".into() })
+        .explain(&Question::WhatLiterature {
+            food: "SpinachFrittata".into(),
+        })
         .unwrap();
     assert!(
-        e.statements.iter().any(|s| s.contains('[') && s.contains("NEJM")
-            || s.contains("J Nutr")
-            || s.contains("Nutrients")),
+        e.statements
+            .iter()
+            .any(|s| s.contains('[') && s.contains("NEJM")
+                || s.contains("J Nutr")
+                || s.contains("Nutrients")),
         "expected a citation: {:?}",
         e.statements
     );
@@ -101,7 +125,9 @@ fn scientific_explanations_cite_sources() {
 fn everyday_explanations_have_no_citations() {
     let mut engine = engine_full();
     let e = engine
-        .explain(&Question::WhyGenerally { food: "CauliflowerPotatoCurry".into() })
+        .explain(&Question::WhyGenerally {
+            food: "CauliflowerPotatoCurry".into(),
+        })
         .unwrap();
     assert!(e.is_informative());
     assert!(
@@ -114,7 +140,9 @@ fn everyday_explanations_have_no_citations() {
 fn simulation_projects_weekly_calories() {
     let mut engine = engine_full();
     let e = engine
-        .explain(&Question::WhatIfEatenDaily { food: "MargheritaPizza".into() })
+        .explain(&Question::WhatIfEatenDaily {
+            food: "MargheritaPizza".into(),
+        })
         .unwrap();
     // 650 kcal * 7 = 4550.
     assert!(e.answer.contains("4550"), "{}", e.answer);
@@ -124,9 +152,15 @@ fn simulation_projects_weekly_calories() {
 fn statistical_reports_population_counts() {
     let mut engine = engine_full();
     let e = engine
-        .explain(&Question::WhatEvidenceForDiet { diet: "Vegetarian".into() })
+        .explain(&Question::WhatEvidenceForDiet {
+            diet: "Vegetarian".into(),
+        })
         .unwrap();
-    assert!(e.answer.contains("users following the Vegetarian diet"), "{}", e.answer);
+    assert!(
+        e.answer.contains("users following the Vegetarian diet"),
+        "{}",
+        e.answer
+    );
     // Total count must be positive for a 150-user population.
     let total: i64 = e
         .bindings
@@ -148,9 +182,15 @@ fn statistical_reports_population_counts() {
 fn case_based_counts_similar_users() {
     let mut engine = engine_full();
     let e = engine
-        .explain(&Question::WhatOtherUsers { food: "LentilSoup".into() })
+        .explain(&Question::WhatOtherUsers {
+            food: "LentilSoup".into(),
+        })
         .unwrap();
-    assert!(e.answer.contains("share your diet or goals"), "{}", e.answer);
+    assert!(
+        e.answer.contains("share your diet or goals"),
+        "{}",
+        e.answer
+    );
 }
 
 #[test]
@@ -165,11 +205,7 @@ fn counterfactual_diet_hypothesis() {
         })
         .unwrap();
     // Vegan forbids dairy/meat dishes: some forbidden foods must appear.
-    assert!(
-        e.answer.contains("forbidden from eating"),
-        "{}",
-        e.answer
-    );
+    assert!(e.answer.contains("forbidden from eating"), "{}", e.answer);
     assert!(
         e.answer.contains("Broccoli Cheddar Soup") || e.answer.contains("Beef Stew"),
         "{}",
@@ -206,11 +242,15 @@ fn missing_population_is_reported() {
     )
     .unwrap();
     let err = engine
-        .explain(&Question::WhatOtherUsers { food: "Sushi".into() })
+        .explain(&Question::WhatOtherUsers {
+            food: "Sushi".into(),
+        })
         .unwrap_err();
     assert_eq!(err, EngineError::MissingPopulation);
     let err = engine
-        .explain(&Question::WhatEvidenceForDiet { diet: "Vegan".into() })
+        .explain(&Question::WhatEvidenceForDiet {
+            diet: "Vegan".into(),
+        })
         .unwrap_err();
     assert_eq!(err, EngineError::MissingPopulation);
 }
@@ -225,7 +265,9 @@ fn missing_recommendations_is_reported() {
     )
     .unwrap();
     let err = engine
-        .explain(&Question::WhatSteps { food: "Sushi".into() })
+        .explain(&Question::WhatSteps {
+            food: "Sushi".into(),
+        })
         .unwrap_err();
     assert_eq!(err, EngineError::MissingRecommendations);
 }
@@ -234,7 +276,9 @@ fn missing_recommendations_is_reported() {
 fn unknown_entities_are_reported() {
     let mut engine = engine_full();
     let err = engine
-        .explain(&Question::WhyEat { food: "MysteryMeatloaf".into() })
+        .explain(&Question::WhyEat {
+            food: "MysteryMeatloaf".into(),
+        })
         .unwrap_err();
     assert!(matches!(err, EngineError::UnknownEntity(e) if e == "MysteryMeatloaf"));
 }
@@ -242,7 +286,9 @@ fn unknown_entities_are_reported() {
 #[test]
 fn repeated_questions_are_stable() {
     let mut engine = engine_full();
-    let q = Question::WhyEat { food: "CauliflowerPotatoCurry".into() };
+    let q = Question::WhyEat {
+        food: "CauliflowerPotatoCurry".into(),
+    };
     let a = engine.explain(&q).unwrap();
     let b = engine.explain(&q).unwrap();
     assert_eq!(a.answer, b.answer);
@@ -253,15 +299,14 @@ fn repeated_questions_are_stable() {
 fn different_context_changes_contextual_answer() {
     let kg = curated();
     let user = UserProfile::new("u");
-    let mut autumn_engine = ExplanationEngine::new(
-        kg.clone(),
-        user.clone(),
-        SystemContext::new(Season::Autumn),
-    )
-    .unwrap();
+    let mut autumn_engine =
+        ExplanationEngine::new(kg.clone(), user.clone(), SystemContext::new(Season::Autumn))
+            .unwrap();
     let mut summer_engine =
         ExplanationEngine::new(kg, user, SystemContext::new(Season::Summer)).unwrap();
-    let q = Question::WhyEat { food: "CauliflowerPotatoCurry".into() };
+    let q = Question::WhyEat {
+        food: "CauliflowerPotatoCurry".into(),
+    };
     let autumn = autumn_engine.explain(&q).unwrap();
     let summer = summer_engine.explain(&q).unwrap();
     assert!(autumn.answer.contains("current season"));
@@ -279,8 +324,7 @@ fn proof_mode_renders_classification_proofs() {
         .likes(&["BroccoliCheddarSoup"])
         .allergies(&["Broccoli"]);
     let ctx = SystemContext::new(Season::Autumn);
-    let mut engine =
-        ExplanationEngine::new_with_proofs(kg, user, ctx).expect("consistent");
+    let mut engine = ExplanationEngine::new_with_proofs(kg, user, ctx).expect("consistent");
     engine
         .explain(&Question::WhyEatOver {
             preferred: "ButternutSquashSoup".into(),
@@ -291,7 +335,10 @@ fn proof_mode_renders_classification_proofs() {
     let proof = engine
         .proof_of_type("Broccoli", feo_ontology::ns::eo::FOIL)
         .expect("Broccoli must be classified Foil with a recorded proof");
-    assert!(proof.contains("[cls]") || proof.contains("[asserted]"), "{proof}");
+    assert!(
+        proof.contains("[cls]") || proof.contains("[asserted]"),
+        "{proof}"
+    );
     assert!(proof.contains("Foil"), "{proof}");
     // A typing that does not hold yields no proof.
     assert!(engine
@@ -309,7 +356,9 @@ fn budget_characteristic_surfaces_in_explanations() {
     let mut engine = ExplanationEngine::new(kg, user, ctx).unwrap();
 
     let e = engine
-        .explain(&Question::WhyEat { food: "LentilSoup".into() })
+        .explain(&Question::WhyEat {
+            food: "LentilSoup".into(),
+        })
         .unwrap();
     assert!(
         e.answer.contains("fits your budget"),
@@ -337,7 +386,9 @@ fn no_budget_means_no_budget_characteristics() {
     let ctx = SystemContext::new(Season::Summer);
     let mut engine = ExplanationEngine::new(kg, user, ctx).unwrap();
     let e = engine
-        .explain(&Question::WhyEat { food: "LentilSoup".into() })
+        .explain(&Question::WhyEat {
+            food: "LentilSoup".into(),
+        })
         .unwrap();
     assert!(!e.answer.contains("budget"), "{}", e.answer);
 }

@@ -22,7 +22,9 @@ pub fn curated() -> FoodKg {
         Ingredient::new("Cauliflower")
             .seasons(&[Autumn, Winter])
             .nutrients(&["VitaminC", "Fiber"]),
-        Ingredient::new("Potato").nutrients(&["Potassium"]).categories(&["HighCarb"]),
+        Ingredient::new("Potato")
+            .nutrients(&["Potassium"])
+            .categories(&["HighCarb"]),
         Ingredient::new("CurryPowder"),
         Ingredient::new("ButternutSquash")
             .seasons(&[Autumn])
@@ -33,17 +35,27 @@ pub fn curated() -> FoodKg {
         Ingredient::new("Broccoli")
             .seasons(&[Autumn])
             .nutrients(&["VitaminC", "Fiber"]),
-        Ingredient::new("Cheddar").categories(&["Dairy"]).nutrients(&["Calcium", "Protein"]),
+        Ingredient::new("Cheddar")
+            .categories(&["Dairy"])
+            .nutrients(&["Calcium", "Protein"]),
         Ingredient::new("SushiRice").categories(&["HighCarb"]),
         Ingredient::new("Nori"),
-        Ingredient::new("Salmon").categories(&["Fish"]).nutrients(&["Omega3", "Protein"]),
+        Ingredient::new("Salmon")
+            .categories(&["Fish"])
+            .nutrients(&["Omega3", "Protein"]),
         Ingredient::new("Spinach")
             .seasons(&[Spring, Autumn])
             .nutrients(&["Folate", "Iron", "VitaminA"]),
-        Ingredient::new("Egg").categories(&["Egg"]).nutrients(&["Protein"]),
+        Ingredient::new("Egg")
+            .categories(&["Egg"])
+            .nutrients(&["Protein"]),
         // Broader pantry.
-        Ingredient::new("Chicken").categories(&["Meat"]).nutrients(&["Protein"]),
-        Ingredient::new("Beef").categories(&["Meat"]).nutrients(&["Protein", "Iron"]),
+        Ingredient::new("Chicken")
+            .categories(&["Meat"])
+            .nutrients(&["Protein"]),
+        Ingredient::new("Beef")
+            .categories(&["Meat"])
+            .nutrients(&["Protein", "Iron"]),
         Ingredient::new("Tofu").nutrients(&["Protein", "Calcium"]),
         Ingredient::new("Lentils").nutrients(&["Protein", "Fiber", "Iron"]),
         Ingredient::new("Chickpeas").nutrients(&["Protein", "Fiber"]),
@@ -52,29 +64,59 @@ pub fn curated() -> FoodKg {
         Ingredient::new("Pasta").categories(&["Gluten", "HighCarb"]),
         Ingredient::new("Bread").categories(&["Gluten", "HighCarb"]),
         Ingredient::new("Flour").categories(&["Gluten"]),
-        Ingredient::new("Milk").categories(&["Dairy"]).nutrients(&["Calcium"]),
+        Ingredient::new("Milk")
+            .categories(&["Dairy"])
+            .nutrients(&["Calcium"]),
         Ingredient::new("Butter").categories(&["Dairy"]),
-        Ingredient::new("Yogurt").categories(&["Dairy"]).nutrients(&["Calcium", "Protein"]),
-        Ingredient::new("Parmesan").categories(&["Dairy"]).nutrients(&["Calcium"]),
-        Ingredient::new("Mozzarella").categories(&["Dairy"]).nutrients(&["Calcium"]),
-        Ingredient::new("Shrimp").categories(&["Fish", "Shellfish"]).nutrients(&["Protein"]),
-        Ingredient::new("Tuna").categories(&["Fish"]).nutrients(&["Omega3", "Protein"]),
-        Ingredient::new("Peanuts").categories(&["Nut"]).nutrients(&["Protein"]),
-        Ingredient::new("Almonds").categories(&["Nut"]).nutrients(&["Protein", "Fiber"]),
-        Ingredient::new("Walnuts").categories(&["Nut"]).nutrients(&["Omega3"]),
+        Ingredient::new("Yogurt")
+            .categories(&["Dairy"])
+            .nutrients(&["Calcium", "Protein"]),
+        Ingredient::new("Parmesan")
+            .categories(&["Dairy"])
+            .nutrients(&["Calcium"]),
+        Ingredient::new("Mozzarella")
+            .categories(&["Dairy"])
+            .nutrients(&["Calcium"]),
+        Ingredient::new("Shrimp")
+            .categories(&["Fish", "Shellfish"])
+            .nutrients(&["Protein"]),
+        Ingredient::new("Tuna")
+            .categories(&["Fish"])
+            .nutrients(&["Omega3", "Protein"]),
+        Ingredient::new("Peanuts")
+            .categories(&["Nut"])
+            .nutrients(&["Protein"]),
+        Ingredient::new("Almonds")
+            .categories(&["Nut"])
+            .nutrients(&["Protein", "Fiber"]),
+        Ingredient::new("Walnuts")
+            .categories(&["Nut"])
+            .nutrients(&["Omega3"]),
         Ingredient::new("Tomato")
             .seasons(&[Summer])
             .nutrients(&["VitaminC"]),
-        Ingredient::new("Zucchini").seasons(&[Summer]).nutrients(&["Fiber"]),
+        Ingredient::new("Zucchini")
+            .seasons(&[Summer])
+            .nutrients(&["Fiber"]),
         Ingredient::new("Corn").seasons(&[Summer]),
-        Ingredient::new("Strawberry").seasons(&[Spring, Summer]).nutrients(&["VitaminC"]),
-        Ingredient::new("Asparagus").seasons(&[Spring]).nutrients(&["Fiber"]),
-        Ingredient::new("Peas").seasons(&[Spring]).nutrients(&["Protein", "Fiber"]),
+        Ingredient::new("Strawberry")
+            .seasons(&[Spring, Summer])
+            .nutrients(&["VitaminC"]),
+        Ingredient::new("Asparagus")
+            .seasons(&[Spring])
+            .nutrients(&["Fiber"]),
+        Ingredient::new("Peas")
+            .seasons(&[Spring])
+            .nutrients(&["Protein", "Fiber"]),
         Ingredient::new("Kale")
             .seasons(&[Autumn, Winter])
             .nutrients(&["VitaminC", "Iron", "Fiber"]),
-        Ingredient::new("Pumpkin").seasons(&[Autumn]).nutrients(&["VitaminA", "Fiber"]),
-        Ingredient::new("BrusselsSprouts").seasons(&[Autumn, Winter]).nutrients(&["VitaminC"]),
+        Ingredient::new("Pumpkin")
+            .seasons(&[Autumn])
+            .nutrients(&["VitaminA", "Fiber"]),
+        Ingredient::new("BrusselsSprouts")
+            .seasons(&[Autumn, Winter])
+            .nutrients(&["VitaminC"]),
         Ingredient::new("SweetPotato")
             .seasons(&[Autumn, Winter])
             .nutrients(&["VitaminA", "Fiber"])
@@ -87,10 +129,14 @@ pub fn curated() -> FoodKg {
             .seasons(&[Winter])
             .regions(&["Florida", "California"])
             .nutrients(&["VitaminC"]),
-        Ingredient::new("Avocado").regions(&["California", "Florida"]).nutrients(&["Fiber"]),
+        Ingredient::new("Avocado")
+            .regions(&["California", "Florida"])
+            .nutrients(&["Fiber"]),
         Ingredient::new("Onion"),
         Ingredient::new("Garlic"),
-        Ingredient::new("Carrot").seasons(&[Autumn, Spring]).nutrients(&["VitaminA"]),
+        Ingredient::new("Carrot")
+            .seasons(&[Autumn, Spring])
+            .nutrients(&["VitaminA"]),
         Ingredient::new("Celery"),
         Ingredient::new("Lettuce").seasons(&[Spring, Summer]),
         Ingredient::new("Cucumber").seasons(&[Summer]),
@@ -98,11 +144,17 @@ pub fn curated() -> FoodKg {
         Ingredient::new("Oats").nutrients(&["Fiber"]),
         Ingredient::new("Banana").nutrients(&["Potassium"]),
         Ingredient::new("Mushroom").nutrients(&["Fiber"]),
-        Ingredient::new("BellPepper").seasons(&[Summer]).nutrients(&["VitaminC"]),
+        Ingredient::new("BellPepper")
+            .seasons(&[Summer])
+            .nutrients(&["VitaminC"]),
         Ingredient::new("Ginger"),
         Ingredient::new("CoconutMilk"),
-        Ingredient::new("Turkey").categories(&["Meat"]).nutrients(&["Protein"]),
-        Ingredient::new("Cod").categories(&["Fish"]).nutrients(&["Protein"]),
+        Ingredient::new("Turkey")
+            .categories(&["Meat"])
+            .nutrients(&["Protein"]),
+        Ingredient::new("Cod")
+            .categories(&["Fish"])
+            .nutrients(&["Protein"]),
         Ingredient::new("Honey"),
         Ingredient::new("OliveOil"),
     ];
@@ -114,7 +166,13 @@ pub fn curated() -> FoodKg {
     let recipes = vec![
         // The five paper-scenario dishes.
         Recipe::new("CauliflowerPotatoCurry", "Cauliflower Potato Curry")
-            .ingredients(&["Cauliflower", "Potato", "CurryPowder", "Onion", "CoconutMilk"])
+            .ingredients(&[
+                "Cauliflower",
+                "Potato",
+                "CurryPowder",
+                "Onion",
+                "CoconutMilk",
+            ])
             .calories(420),
         Recipe::new("ButternutSquashSoup", "Butternut Squash Soup")
             .ingredients(&["ButternutSquash", "VegetableBroth", "Onion"])
@@ -320,7 +378,11 @@ mod tests {
     fn kg_is_reasonably_sized() {
         let kg = curated();
         assert!(kg.recipes.len() >= 30, "recipes: {}", kg.recipes.len());
-        assert!(kg.ingredients.len() >= 45, "ingredients: {}", kg.ingredients.len());
+        assert!(
+            kg.ingredients.len() >= 45,
+            "ingredients: {}",
+            kg.ingredients.len()
+        );
         assert!(kg.diets.len() >= 5);
         assert!(kg.goals.len() >= 5);
     }
@@ -330,7 +392,11 @@ mod tests {
         let kg = curated();
         for r in &kg.recipes {
             for i in &r.ingredients {
-                assert!(kg.ingredient(i).is_some(), "{}: unknown ingredient {i}", r.id);
+                assert!(
+                    kg.ingredient(i).is_some(),
+                    "{}: unknown ingredient {i}",
+                    r.id
+                );
             }
         }
     }
@@ -339,7 +405,11 @@ mod tests {
     fn pregnancy_knowledge_present() {
         let ka = knowledge_assertions();
         assert_eq!(ka.len(), 2);
-        assert!(ka.iter().any(|(_, p, o)| p.ends_with("forbids") && o.ends_with("RawFish")));
-        assert!(ka.iter().any(|(_, p, o)| p.ends_with("recommends") && o.ends_with("Folate")));
+        assert!(ka
+            .iter()
+            .any(|(_, p, o)| p.ends_with("forbids") && o.ends_with("RawFish")));
+        assert!(ka
+            .iter()
+            .any(|(_, p, o)| p.ends_with("recommends") && o.ends_with("Folate")));
     }
 }

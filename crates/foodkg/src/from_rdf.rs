@@ -165,7 +165,9 @@ mod tests {
         let (orig, loaded) = round_trip();
         assert_eq!(orig.recipes.len(), loaded.recipes.len());
         for r in &orig.recipes {
-            let l = loaded.recipe(&r.id).unwrap_or_else(|| panic!("missing {}", r.id));
+            let l = loaded
+                .recipe(&r.id)
+                .unwrap_or_else(|| panic!("missing {}", r.id));
             let mut orig_ing = r.ingredients.clone();
             orig_ing.sort();
             assert_eq!(orig_ing, l.ingredients, "{}", r.id);

@@ -45,10 +45,25 @@ impl Default for SyntheticConfig {
 }
 
 const CATEGORIES: &[&str] = &[
-    "Meat", "Dairy", "Fish", "Shellfish", "Gluten", "Nut", "Egg", "HighCarb", "RawFish",
+    "Meat",
+    "Dairy",
+    "Fish",
+    "Shellfish",
+    "Gluten",
+    "Nut",
+    "Egg",
+    "HighCarb",
+    "RawFish",
 ];
 const NUTRIENTS: &[&str] = &[
-    "Protein", "Fiber", "Iron", "Calcium", "VitaminA", "VitaminC", "Folate", "Omega3",
+    "Protein",
+    "Fiber",
+    "Iron",
+    "Calcium",
+    "VitaminA",
+    "VitaminC",
+    "Folate",
+    "Omega3",
     "Potassium",
 ];
 const REGIONS: &[&str] = &["Florida", "NewYork", "California", "Washington", "Texas"];
@@ -193,7 +208,11 @@ mod tests {
             ingredients: 300,
             ..Default::default()
         });
-        let seasonal = kg.ingredients.iter().filter(|i| !i.seasons.is_empty()).count();
+        let seasonal = kg
+            .ingredients
+            .iter()
+            .filter(|i| !i.seasons.is_empty())
+            .count();
         let frac = seasonal as f64 / kg.ingredients.len() as f64;
         assert!((0.25..0.55).contains(&frac), "fraction {frac}");
     }

@@ -18,7 +18,12 @@ pub enum Season {
 }
 
 impl Season {
-    pub const ALL: [Season; 4] = [Season::Spring, Season::Summer, Season::Autumn, Season::Winter];
+    pub const ALL: [Season; 4] = [
+        Season::Spring,
+        Season::Summer,
+        Season::Autumn,
+        Season::Winter,
+    ];
 
     /// The `feo:` individual IRI for this season.
     pub fn iri(self) -> &'static str {
@@ -184,7 +189,8 @@ impl FoodKg {
     }
 
     pub fn add_ingredient(&mut self, i: Ingredient) {
-        self.ingredient_index.insert(i.id.clone(), self.ingredients.len());
+        self.ingredient_index
+            .insert(i.id.clone(), self.ingredients.len());
         self.ingredients.push(i);
     }
 
@@ -240,7 +246,9 @@ impl FoodKg {
     pub fn recipe_seasons(&self, recipe: &Recipe) -> Option<Vec<Season>> {
         let mut acc: Option<Vec<Season>> = None;
         for ing_id in &recipe.ingredients {
-            let Some(ing) = self.ingredient(ing_id) else { continue };
+            let Some(ing) = self.ingredient(ing_id) else {
+                continue;
+            };
             if ing.seasons.is_empty() {
                 continue;
             }
@@ -325,9 +333,6 @@ mod tests {
 
     #[test]
     fn iris_are_feo_namespaced() {
-        assert_eq!(
-            FoodKg::iri("Sushi"),
-            "https://purl.org/heals/feo#Sushi"
-        );
+        assert_eq!(FoodKg::iri("Sushi"), "https://purl.org/heals/feo#Sushi");
     }
 }

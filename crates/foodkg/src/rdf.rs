@@ -3,7 +3,7 @@
 
 use feo_rdf::term::Term;
 use feo_rdf::vocab::rdf;
-use feo_rdf::Graph;
+use feo_rdf::GraphStore;
 
 use feo_ontology::ns::{feo, food};
 
@@ -22,7 +22,7 @@ fn camel_to_label(id: &str) -> String {
 }
 
 /// Emits the knowledge graph as triples. Idempotent (set semantics).
-pub fn kg_to_rdf(kg: &FoodKg, g: &mut Graph) {
+pub fn kg_to_rdf(kg: &FoodKg, g: &mut impl GraphStore) {
     // Ingredients.
     for ing in &kg.ingredients {
         let iri = FoodKg::iri(&ing.id);
@@ -120,7 +120,7 @@ pub fn kg_to_rdf(kg: &FoodKg, g: &mut Graph) {
 
 /// Emits a user profile as triples (the `food:User` individual with its
 /// likes/dislikes/allergies/diet/goals).
-pub fn user_to_rdf(user: &UserProfile, g: &mut Graph) {
+pub fn user_to_rdf(user: &UserProfile, g: &mut impl GraphStore) {
     let iri = FoodKg::iri(&user.id);
     g.insert_iris(&iri, rdf::TYPE, food::USER);
     for l in &user.likes {
@@ -150,7 +150,7 @@ pub fn user_to_rdf(user: &UserProfile, g: &mut Graph) {
 
 /// Emits the system context: the current season and region, and their
 /// presence in the current ecosystem; all other seasons are absent.
-pub fn context_to_rdf(ctx: &SystemContext, g: &mut Graph) {
+pub fn context_to_rdf(ctx: &SystemContext, g: &mut impl GraphStore) {
     g.insert_iris(ctx.season.iri(), feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
     for s in Season::ALL {
         if s != ctx.season {
@@ -168,6 +168,7 @@ pub fn context_to_rdf(ctx: &SystemContext, g: &mut Graph) {
 mod tests {
     use super::*;
     use crate::data::curated;
+    use feo_rdf::Graph;
 
     #[test]
     fn kg_emits_expected_triples() {
@@ -176,7 +177,9 @@ mod tests {
         kg_to_rdf(&kg, &mut g);
         assert!(g.len() > 300, "triples: {}", g.len());
         // Spot checks for paper individuals.
-        let curry = g.lookup_iri(&FoodKg::iri("CauliflowerPotatoCurry")).unwrap();
+        let curry = g
+            .lookup_iri(&FoodKg::iri("CauliflowerPotatoCurry"))
+            .unwrap();
         let has_ing = g.lookup_iri(food::HAS_INGREDIENT).unwrap();
         let cauliflower = g.lookup_iri(&FoodKg::iri("Cauliflower")).unwrap();
         assert!(g.contains_ids(curry, has_ing, cauliflower));

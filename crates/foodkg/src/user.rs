@@ -97,7 +97,6 @@ impl SystemContext {
         self.region = Some(id.to_string());
         self
     }
-
 }
 
 /// Generates `n` plausible random user profiles against a KG, seeded for

@@ -2,23 +2,29 @@
 //! emission/loading round trips, and profile generator invariants over
 //! random configurations.
 
-use feo_foodkg::{
-    kg_from_rdf, kg_to_rdf, random_profiles, synthetic, Season, SyntheticConfig,
-};
+use feo_foodkg::{kg_from_rdf, kg_to_rdf, random_profiles, synthetic, Season, SyntheticConfig};
 use feo_rdf::Graph;
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
-    (10usize..60, 8usize..40, any::<u64>(), 0.0f64..0.9, 1usize..4, 4usize..9).prop_map(
-        |(recipes, ingredients, seed, seasonal, lo, hi)| SyntheticConfig {
-            recipes,
-            ingredients,
-            seed,
-            seasonal_fraction: seasonal,
-            ingredients_per_recipe: (lo, hi),
-            ..Default::default()
-        },
+    (
+        10usize..60,
+        8usize..40,
+        any::<u64>(),
+        0.0f64..0.9,
+        1usize..4,
+        4usize..9,
     )
+        .prop_map(
+            |(recipes, ingredients, seed, seasonal, lo, hi)| SyntheticConfig {
+                recipes,
+                ingredients,
+                seed,
+                seasonal_fraction: seasonal,
+                ingredients_per_recipe: (lo, hi),
+                ..Default::default()
+            },
+        )
 }
 
 proptest! {

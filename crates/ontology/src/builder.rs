@@ -214,7 +214,10 @@ mod tests {
         let ont = extract_axioms(&g);
         assert!(ont.warnings.is_empty(), "{:?}", ont.warnings);
         assert_eq!(ont.count_of(|a| matches!(a, Axiom::SubClassOf(_, _))), 1);
-        assert_eq!(ont.count_of(|a| matches!(a, Axiom::TransitiveProperty(_))), 1);
+        assert_eq!(
+            ont.count_of(|a| matches!(a, Axiom::TransitiveProperty(_))),
+            1
+        );
         assert_eq!(ont.count_of(|a| matches!(a, Axiom::InverseOf(_, _))), 1);
         assert_eq!(ont.count_of(|a| matches!(a, Axiom::PropertyChain(_, _))), 1);
         assert!(ont.axioms.iter().any(|a| matches!(

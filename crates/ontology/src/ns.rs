@@ -51,8 +51,7 @@ pub mod feo {
     pub const DISLIKED_FOOD: &str = "https://purl.org/heals/feo#DislikedFoodCharacteristic";
     pub const ALLERGIC_FOOD: &str = "https://purl.org/heals/feo#AllergicFoodCharacteristic";
     pub const DIET: &str = "https://purl.org/heals/feo#DietCharacteristic";
-    pub const NUTRITIONAL_GOAL: &str =
-        "https://purl.org/heals/feo#NutritionalGoalCharacteristic";
+    pub const NUTRITIONAL_GOAL: &str = "https://purl.org/heals/feo#NutritionalGoalCharacteristic";
     pub const PREGNANCY: &str = "https://purl.org/heals/feo#PregnancyCharacteristic";
     pub const BUDGET: &str = "https://purl.org/heals/feo#BudgetCharacteristic";
 
@@ -85,10 +84,8 @@ pub mod feo {
     pub const RECOMMENDS: &str = "https://purl.org/heals/feo#recommends";
 
     pub const HAS_PARAMETER: &str = "https://purl.org/heals/feo#hasParameter";
-    pub const HAS_PRIMARY_PARAMETER: &str =
-        "https://purl.org/heals/feo#hasPrimaryParameter";
-    pub const HAS_SECONDARY_PARAMETER: &str =
-        "https://purl.org/heals/feo#hasSecondaryParameter";
+    pub const HAS_PRIMARY_PARAMETER: &str = "https://purl.org/heals/feo#hasPrimaryParameter";
+    pub const HAS_SECONDARY_PARAMETER: &str = "https://purl.org/heals/feo#hasSecondaryParameter";
 
     /// Characteristic holds in the current ecosystem.
     pub const PRESENT_IN: &str = "https://purl.org/heals/feo#presentIn";

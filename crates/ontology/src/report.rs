@@ -216,7 +216,9 @@ mod tests {
 
         let has_char = get("hasCharacteristic");
         assert!(has_char.transitive);
-        assert!(has_char.inverse_of.contains(&"isCharacteristicOf".to_string()));
+        assert!(has_char
+            .inverse_of
+            .contains(&"isCharacteristicOf".to_string()));
 
         let forbids = get("forbids");
         assert!(forbids

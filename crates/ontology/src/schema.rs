@@ -85,7 +85,8 @@ pub fn feo_tbox(g: &mut Graph) {
         (feo::LOCATION, "Location Characteristic"),
         (feo::TIME, "Time Characteristic"),
     ] {
-        b.class(iri, label).sub_class(iri, feo::SYSTEM_CHARACTERISTIC);
+        b.class(iri, label)
+            .sub_class(iri, feo::SYSTEM_CHARACTERISTIC);
     }
 
     // feo:isInternal — internal (food/health) vs external (environment)
@@ -120,12 +121,18 @@ pub fn feo_tbox(g: &mut Graph) {
         feo::IS_SUPPORTIVE_CHARACTERISTIC_OF,
         "is supportive characteristic of",
     )
-    .sub_property(feo::IS_SUPPORTIVE_CHARACTERISTIC_OF, feo::IS_CHARACTERISTIC_OF);
+    .sub_property(
+        feo::IS_SUPPORTIVE_CHARACTERISTIC_OF,
+        feo::IS_CHARACTERISTIC_OF,
+    );
     b.object_property(
         feo::IS_OPPOSING_CHARACTERISTIC_OF,
         "is opposing characteristic of",
     )
-    .sub_property(feo::IS_OPPOSING_CHARACTERISTIC_OF, feo::IS_CHARACTERISTIC_OF);
+    .sub_property(
+        feo::IS_OPPOSING_CHARACTERISTIC_OF,
+        feo::IS_CHARACTERISTIC_OF,
+    );
 
     // §III-B: feo:forbids is a subproperty of both the opposing polarity
     // property and isCharacteristicOf (multiple inheritance).
@@ -143,11 +150,17 @@ pub fn feo_tbox(g: &mut Graph) {
     // an ingredient of the soup".
     b.chain(
         feo::IS_SUPPORTIVE_CHARACTERISTIC_OF,
-        &[feo::IS_SUPPORTIVE_CHARACTERISTIC_OF, feo::IS_CHARACTERISTIC_OF],
+        &[
+            feo::IS_SUPPORTIVE_CHARACTERISTIC_OF,
+            feo::IS_CHARACTERISTIC_OF,
+        ],
     );
     b.chain(
         feo::IS_OPPOSING_CHARACTERISTIC_OF,
-        &[feo::IS_OPPOSING_CHARACTERISTIC_OF, feo::IS_CHARACTERISTIC_OF],
+        &[
+            feo::IS_OPPOSING_CHARACTERISTIC_OF,
+            feo::IS_CHARACTERISTIC_OF,
+        ],
     );
     // feo:forbids / feo:recommends propagate into composite dishes:
     // pregnancy forbids raw fish → pregnancy forbids sushi.
@@ -218,7 +231,8 @@ pub fn food_tbox(g: &mut Graph) {
     let mut b = TBox::new(g);
 
     b.class(food::FOOD, "Food");
-    b.class(food::RECIPE, "Recipe").sub_class(food::RECIPE, food::FOOD);
+    b.class(food::RECIPE, "Recipe")
+        .sub_class(food::RECIPE, food::FOOD);
     b.class(food::INGREDIENT, "Ingredient")
         .sub_class(food::INGREDIENT, food::FOOD);
     b.class(food::NUTRIENT, "Nutrient");
@@ -339,7 +353,11 @@ mod tests {
         let g = tbox_graph();
         let ont = extract_axioms(&g);
         assert!(ont.warnings.is_empty(), "warnings: {:?}", ont.warnings);
-        assert!(ont.axioms.len() > 60, "expected a rich TBox, got {}", ont.axioms.len());
+        assert!(
+            ont.axioms.len() > 60,
+            "expected a rich TBox, got {}",
+            ont.axioms.len()
+        );
     }
 
     #[test]
@@ -408,7 +426,11 @@ mod tests {
         // A parameter P supported by Autumn, which is present in the
         // current ecosystem.
         g.insert_iris("http://e/q", feo::HAS_PRIMARY_PARAMETER, "http://e/P");
-        g.insert_iris(feo::AUTUMN, feo::IS_SUPPORTIVE_CHARACTERISTIC_OF, "http://e/P");
+        g.insert_iris(
+            feo::AUTUMN,
+            feo::IS_SUPPORTIVE_CHARACTERISTIC_OF,
+            "http://e/P",
+        );
         g.insert_iris(feo::AUTUMN, feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
         Reasoner::new().materialize(&mut g);
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
@@ -426,18 +448,32 @@ mod tests {
         let mut g = tbox_graph();
         g.insert_iris("http://e/q", feo::HAS_PRIMARY_PARAMETER, "http://e/P");
         // Arm 1: supportive but absent.
-        g.insert_iris(feo::SUMMER, feo::IS_SUPPORTIVE_CHARACTERISTIC_OF, "http://e/P");
+        g.insert_iris(
+            feo::SUMMER,
+            feo::IS_SUPPORTIVE_CHARACTERISTIC_OF,
+            "http://e/P",
+        );
         g.insert_iris(feo::SUMMER, feo::ABSENT_FROM, feo::CURRENT_ECOSYSTEM);
         // Arm 2: opposing and present.
-        g.insert_iris("http://e/broccoli", feo::IS_OPPOSING_CHARACTERISTIC_OF, "http://e/P");
+        g.insert_iris(
+            "http://e/broccoli",
+            feo::IS_OPPOSING_CHARACTERISTIC_OF,
+            "http://e/P",
+        );
         g.insert_iris("http://e/broccoli", feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
         Reasoner::new().materialize(&mut g);
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let foil = g.lookup_iri(eo::FOIL).unwrap();
         let summer = g.lookup_iri(feo::SUMMER).unwrap();
         let broccoli = g.lookup_iri("http://e/broccoli").unwrap();
-        assert!(g.contains_ids(summer, ty, foil), "supportive+absent is a foil");
-        assert!(g.contains_ids(broccoli, ty, foil), "opposing+present is a foil");
+        assert!(
+            g.contains_ids(summer, ty, foil),
+            "supportive+absent is a foil"
+        );
+        assert!(
+            g.contains_ids(broccoli, ty, foil),
+            "opposing+present is a foil"
+        );
         // Neither is a Fact.
         let fact = g.lookup_iri(eo::FACT).unwrap();
         assert!(!g.contains_ids(summer, ty, fact));
@@ -471,7 +507,11 @@ mod tests {
         // sushi hasIngredient rawSalmon; rawSalmon belongsToCategory RawFish;
         // pregnancy forbids RawFish.
         g.insert_iris("http://e/sushi", food::HAS_INGREDIENT, "http://e/rawSalmon");
-        g.insert_iris("http://e/rawSalmon", food::BELONGS_TO_CATEGORY, "http://e/RawFish");
+        g.insert_iris(
+            "http://e/rawSalmon",
+            food::BELONGS_TO_CATEGORY,
+            "http://e/RawFish",
+        );
         g.insert_iris(feo::PREGNANCY_STATE, feo::FORBIDS, "http://e/RawFish");
         Reasoner::new().materialize(&mut g);
         let preg = g.lookup_iri(feo::PREGNANCY_STATE).unwrap();

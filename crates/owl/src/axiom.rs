@@ -21,9 +21,15 @@ pub enum ClassExpr {
     /// `owl:complementOf`.
     ComplementOf(Box<ClassExpr>),
     /// `owl:someValuesFrom` restriction on `property`.
-    SomeValuesFrom { property: TermId, filler: Box<ClassExpr> },
+    SomeValuesFrom {
+        property: TermId,
+        filler: Box<ClassExpr>,
+    },
     /// `owl:allValuesFrom` restriction on `property`.
-    AllValuesFrom { property: TermId, filler: Box<ClassExpr> },
+    AllValuesFrom {
+        property: TermId,
+        filler: Box<ClassExpr>,
+    },
     /// `owl:hasValue` restriction on `property`.
     HasValue { property: TermId, value: TermId },
     /// `owl:oneOf` enumeration of individuals.
@@ -48,8 +54,9 @@ impl ClassExpr {
                 1 + es.iter().map(ClassExpr::size).sum::<usize>()
             }
             ClassExpr::ComplementOf(e) => 1 + e.size(),
-            ClassExpr::SomeValuesFrom { filler, .. }
-            | ClassExpr::AllValuesFrom { filler, .. } => 1 + filler.size(),
+            ClassExpr::SomeValuesFrom { filler, .. } | ClassExpr::AllValuesFrom { filler, .. } => {
+                1 + filler.size()
+            }
             ClassExpr::HasValue { .. } => 1,
             ClassExpr::OneOf(ids) => 1 + ids.len(),
         }

@@ -1,5 +1,5 @@
-//! Axiom extraction: reads OWL-in-RDF syntax out of a [`Graph`] into the
-//! structured [`Ontology`] model.
+//! Axiom extraction: reads OWL-in-RDF syntax out of any [`GraphView`]
+//! into the structured [`Ontology`] model.
 //!
 //! Handles the RDF mapping for: `rdfs:subClassOf` / `subPropertyOf` /
 //! `domain` / `range`, `owl:equivalentClass`, `owl:disjointWith`,
@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use feo_rdf::vocab::{owl, rdf, rdfs};
-use feo_rdf::{Graph, TermId};
+use feo_rdf::{GraphView, TermId};
 
 use crate::axiom::{Axiom, ClassExpr, Ontology};
 
@@ -51,7 +51,7 @@ struct Vocab {
 }
 
 impl Vocab {
-    fn resolve(g: &Graph) -> Self {
+    fn resolve<G: GraphView + ?Sized>(g: &G) -> Self {
         let f = |iri: &str| g.lookup_iri(iri);
         Vocab {
             sub_class_of: f(rdfs::SUB_CLASS_OF),
@@ -85,8 +85,8 @@ impl Vocab {
     }
 }
 
-/// Extracts all recognizable OWL axioms from the graph.
-pub fn extract_axioms(graph: &Graph) -> Ontology {
+/// Extracts all recognizable OWL axioms from any graph view.
+pub fn extract_axioms<G: GraphView + ?Sized>(graph: &G) -> Ontology {
     Extractor {
         g: graph,
         v: Vocab::resolve(graph),
@@ -96,30 +96,30 @@ pub fn extract_axioms(graph: &Graph) -> Ontology {
     .run()
 }
 
-struct Extractor<'g> {
-    g: &'g Graph,
+struct Extractor<'g, G: GraphView + ?Sized> {
+    g: &'g G,
     v: Vocab,
     expr_cache: HashMap<TermId, Option<ClassExpr>>,
     ont: Ontology,
 }
 
-impl<'g> Extractor<'g> {
+impl<'g, G: GraphView + ?Sized> Extractor<'g, G> {
     fn run(mut self) -> Ontology {
-        self.extract_binary(self.v.sub_class_of, |a, b| Axiom::SubClassOf(a, b));
+        self.extract_binary(self.v.sub_class_of, Axiom::SubClassOf);
         self.extract_binary(self.v.equivalent_class, |a, b| {
             Axiom::EquivalentClasses(a, b)
         });
-        self.extract_binary(self.v.disjoint_with, |a, b| Axiom::DisjointClasses(a, b));
-        self.extract_prop_pairs(self.v.sub_property_of, |a, b| Axiom::SubPropertyOf(a, b));
+        self.extract_binary(self.v.disjoint_with, Axiom::DisjointClasses);
+        self.extract_prop_pairs(self.v.sub_property_of, Axiom::SubPropertyOf);
         self.extract_prop_pairs(self.v.equivalent_property, |a, b| {
             Axiom::EquivalentProperties(a, b)
         });
-        self.extract_prop_pairs(self.v.inverse_of, |a, b| Axiom::InverseOf(a, b));
+        self.extract_prop_pairs(self.v.inverse_of, Axiom::InverseOf);
         self.extract_prop_pairs(self.v.property_disjoint_with, |a, b| {
             Axiom::DisjointProperties(a, b)
         });
-        self.extract_prop_pairs(self.v.same_as, |a, b| Axiom::SameAs(a, b));
-        self.extract_prop_pairs(self.v.different_from, |a, b| Axiom::DifferentFrom(a, b));
+        self.extract_prop_pairs(self.v.same_as, Axiom::SameAs);
+        self.extract_prop_pairs(self.v.different_from, Axiom::DifferentFrom);
         self.extract_domain_range();
         self.extract_characteristics();
         self.extract_chains();
@@ -179,6 +179,7 @@ impl<'g> Extractor<'g> {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn extract_characteristics(&mut self) {
         let Some(ty) = self.v.rdf_type else { return };
         let kinds: [(Option<TermId>, fn(TermId) -> Axiom); 6] = [
@@ -309,6 +310,7 @@ impl<'g> Extractor<'g> {
 mod tests {
     use super::*;
     use feo_rdf::turtle::parse_turtle_into;
+    use feo_rdf::Graph;
 
     fn graph(src: &str) -> Graph {
         let mut g = Graph::new();
@@ -330,10 +332,7 @@ mod tests {
              e:C owl:equivalentClass e:D .",
         );
         let ont = extract_axioms(&g);
-        assert_eq!(
-            ont.count_of(|a| matches!(a, Axiom::SubClassOf(_, _))),
-            1
-        );
+        assert_eq!(ont.count_of(|a| matches!(a, Axiom::SubClassOf(_, _))), 1);
         assert_eq!(
             ont.count_of(|a| matches!(a, Axiom::EquivalentClasses(_, _))),
             1
@@ -354,9 +353,18 @@ mod tests {
         let ont = extract_axioms(&g);
         assert_eq!(ont.count_of(|a| matches!(a, Axiom::SubPropertyOf(_, _))), 1);
         assert_eq!(ont.count_of(|a| matches!(a, Axiom::InverseOf(_, _))), 1);
-        assert_eq!(ont.count_of(|a| matches!(a, Axiom::TransitiveProperty(_))), 1);
-        assert_eq!(ont.count_of(|a| matches!(a, Axiom::SymmetricProperty(_))), 1);
-        assert_eq!(ont.count_of(|a| matches!(a, Axiom::FunctionalProperty(_))), 1);
+        assert_eq!(
+            ont.count_of(|a| matches!(a, Axiom::TransitiveProperty(_))),
+            1
+        );
+        assert_eq!(
+            ont.count_of(|a| matches!(a, Axiom::SymmetricProperty(_))),
+            1
+        );
+        assert_eq!(
+            ont.count_of(|a| matches!(a, Axiom::FunctionalProperty(_))),
+            1
+        );
         assert_eq!(ont.count_of(|a| matches!(a, Axiom::Domain(_, _))), 1);
         assert_eq!(ont.count_of(|a| matches!(a, Axiom::Range(_, _))), 1);
     }
@@ -432,7 +440,9 @@ mod tests {
 
     #[test]
     fn one_of_enumeration() {
-        let g = graph("e:Season owl:equivalentClass [ owl:oneOf (e:Spring e:Summer e:Autumn e:Winter) ] .");
+        let g = graph(
+            "e:Season owl:equivalentClass [ owl:oneOf (e:Spring e:Summer e:Autumn e:Winter) ] .",
+        );
         let ont = extract_axioms(&g);
         assert!(ont.axioms.iter().any(|a| matches!(
             a,

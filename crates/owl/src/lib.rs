@@ -48,5 +48,6 @@ pub use axiom::{Axiom, ClassExpr, Ontology};
 pub use extract::extract_axioms;
 pub use proof::{proof, ProofNode};
 pub use reasoner::{
-    Derivation, Inconsistency, InconsistencyKind, InferenceResult, Reasoner, ReasonerOptions,
+    CompiledRules, Derivation, Inconsistency, InconsistencyKind, InferenceResult, Reasoner,
+    ReasonerOptions,
 };

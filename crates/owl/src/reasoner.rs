@@ -26,7 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use feo_rdf::vocab::{owl, rdf, rdfs};
-use feo_rdf::{Graph, TermId};
+use feo_rdf::{GraphStore, GraphView, Overlay, TermId};
 
 use crate::axiom::{Axiom, ClassExpr, Ontology};
 use crate::extract::extract_axioms;
@@ -116,9 +116,13 @@ impl InferenceResult {
     }
 }
 
-/// The materializing reasoner. Stateless between runs: each call to
-/// [`Reasoner::materialize`] re-extracts axioms from the graph, so TBox
-/// edits between runs are picked up automatically.
+/// The materializing reasoner.
+///
+/// [`Reasoner::materialize`] recompiles the TBox on every call, so graphs
+/// whose schema changes between runs keep working. The snapshot + overlay
+/// pipeline instead calls [`Reasoner::compile`] once on the base graph and
+/// then [`Reasoner::materialize_delta`] per session overlay, skipping both
+/// re-extraction and the full fixpoint.
 #[derive(Debug, Default, Clone)]
 pub struct Reasoner {
     options: ReasonerOptions,
@@ -134,22 +138,65 @@ impl Reasoner {
     }
 
     /// Materializes all derivable triples into `graph` and returns run
-    /// statistics. Idempotent: a second run adds nothing.
-    pub fn materialize(&self, graph: &mut Graph) -> InferenceResult {
-        let ontology = extract_axioms(graph);
-        Engine::new(graph, &ontology, &self.options).run()
+    /// statistics. Idempotent: a second run adds nothing. Extracts and
+    /// compiles the TBox first; use [`Reasoner::compile`] +
+    /// [`Reasoner::materialize_with`] to reuse that work across runs.
+    pub fn materialize(&self, graph: &mut impl GraphStore) -> InferenceResult {
+        let rules = CompiledRules::compile(graph);
+        self.materialize_with(graph, &rules)
+    }
+
+    /// Extracts the graph's axioms and compiles them into reusable rule
+    /// tables (see [`CompiledRules`]).
+    pub fn compile(&self, graph: &mut impl GraphStore) -> CompiledRules {
+        CompiledRules::compile(graph)
+    }
+
+    /// Full-fixpoint materialization with precompiled rules.
+    pub fn materialize_with(
+        &self,
+        graph: &mut impl GraphStore,
+        rules: &CompiledRules,
+    ) -> InferenceResult {
+        Engine::new(graph, rules, &self.options).run()
+    }
+
+    /// Semi-naïve incremental re-closure of an overlay whose base is
+    /// already materialized: only consequences reachable from the
+    /// overlay's delta triples are derived, which is equivalent to a full
+    /// re-materialization of `base ∪ delta` when
+    ///
+    /// - the base was materialized under the same `rules`, and
+    /// - the delta contains ABox assertions only (the TBox, and therefore
+    ///   `rules`, is unchanged).
+    ///
+    /// All derived triples land in the overlay's delta; the base is never
+    /// touched. Consistency checking (when enabled) is likewise scoped to
+    /// the delta: only violations involving delta-affected triples or
+    /// individuals are reported.
+    pub fn materialize_delta<B: GraphView>(
+        &self,
+        overlay: &mut Overlay<B>,
+        rules: &CompiledRules,
+    ) -> InferenceResult {
+        let seed: Vec<[TermId; 3]> = overlay.delta_log().to_vec();
+        Engine::new(overlay, rules, &self.options).run_delta(&seed)
     }
 }
 
-/// Precompiled rule tables plus the running fixpoint state.
-struct Engine<'g> {
-    g: &'g mut Graph,
-    opts: &'g ReasonerOptions,
-    result: InferenceResult,
-
+/// Rule tables compiled once from a graph's TBox, reusable across any
+/// number of closure runs over stores sharing that graph's id space
+/// (the graph itself, or [`Overlay`]s based on it).
+///
+/// Compilation is the expensive, schema-dependent half of what
+/// [`Reasoner::materialize`] used to do on every call: axiom extraction,
+/// schema transitive closure, and rule-table indexing. Splitting it out
+/// lets the engine answer many per-session deltas against one compiled
+/// TBox.
+#[derive(Debug, Clone)]
+pub struct CompiledRules {
     rdf_type: TermId,
     same_as: TermId,
-
     /// Named-class superclasses (transitive, irreflexive-by-construction
     /// unless cycles exist, in which case cycle members include each other).
     sup_class: HashMap<TermId, BTreeSet<TermId>>,
@@ -170,14 +217,33 @@ struct Engine<'g> {
     disjoint_classes: Vec<(ClassExpr, ClassExpr)>,
     disjoint_properties: Vec<(TermId, TermId)>,
     different_from: Vec<(TermId, TermId)>,
-    /// sameAs alias sets, maintained incrementally.
-    aliases: HashMap<TermId, BTreeSet<TermId>>,
-
-    queue: VecDeque<[TermId; 3]>,
+    /// Asserted `owl:sameAs` pairs (fed to the alias machinery at the
+    /// start of a full run).
+    initial_same_as: Vec<(TermId, TermId)>,
+    /// Max nesting depth over the left-hand sides of `complex` and
+    /// `disjoint_classes` expressions: how many property steps away a
+    /// node's membership can depend on a triple. Bounds the backward
+    /// expansion of the delta-mode dirty set.
+    lhs_depth: usize,
+    /// `someValuesFrom` properties occurring (at any depth) in those
+    /// left-hand sides — the only edges membership evidence can travel
+    /// along, so backward expansion follows only these.
+    lhs_step_props: BTreeSet<TermId>,
+    axiom_count: usize,
+    warnings: Vec<String>,
 }
 
-impl<'g> Engine<'g> {
-    fn new(g: &'g mut Graph, ontology: &Ontology, opts: &'g ReasonerOptions) -> Self {
+impl CompiledRules {
+    /// Extracts axioms from the store and compiles them. `&mut` only to
+    /// intern the two vocabulary ids every rule needs (`rdf:type`,
+    /// `owl:sameAs`); no triples are added.
+    pub fn compile(g: &mut impl GraphStore) -> Self {
+        let ontology = extract_axioms(g);
+        Self::from_ontology(g, &ontology)
+    }
+
+    /// Compiles an already-extracted [`Ontology`].
+    pub fn from_ontology(g: &mut impl GraphStore, ontology: &Ontology) -> Self {
         let rdf_type = g.intern_iri(rdf::TYPE);
         let same_as = g.intern_iri(owl::SAME_AS);
 
@@ -253,14 +319,19 @@ impl<'g> Engine<'g> {
         transitive_close(&mut sup_class);
         transitive_close(&mut sup_prop);
 
-        let mut engine = Engine {
-            g,
-            opts,
-            result: InferenceResult {
-                axiom_count: ontology.axioms.len(),
-                warnings: ontology.warnings.clone(),
-                ..Default::default()
-            },
+        let mut lhs_depth = 0;
+        let mut lhs_step_props = BTreeSet::new();
+        for (lhs, _) in complex.iter().chain(disjoint_classes.iter()) {
+            lhs_depth = lhs_depth.max(expr_depth(lhs));
+            collect_step_props(lhs, &mut lhs_step_props);
+        }
+        for (_, rhs) in &disjoint_classes {
+            // Disjointness tests both sides as membership checks.
+            lhs_depth = lhs_depth.max(expr_depth(rhs));
+            collect_step_props(rhs, &mut lhs_step_props);
+        }
+
+        CompiledRules {
             rdf_type,
             same_as,
             sup_class,
@@ -279,23 +350,101 @@ impl<'g> Engine<'g> {
             disjoint_classes,
             disjoint_properties,
             different_from,
+            initial_same_as,
+            lhs_depth,
+            lhs_step_props,
+            axiom_count: ontology.axioms.len(),
+            warnings: ontology.warnings.clone(),
+        }
+    }
+
+    /// Number of axioms the rules were compiled from.
+    pub fn axiom_count(&self) -> usize {
+        self.axiom_count
+    }
+}
+
+/// How many property steps from an individual a membership witness for
+/// `expr` can reach (see [`CompiledRules::lhs_depth`]).
+fn expr_depth(expr: &ClassExpr) -> usize {
+    match expr {
+        ClassExpr::SomeValuesFrom { filler, .. } => 1 + expr_depth(filler),
+        ClassExpr::IntersectionOf(es) | ClassExpr::UnionOf(es) => {
+            es.iter().map(expr_depth).max().unwrap_or(0)
+        }
+        ClassExpr::Named(_)
+        | ClassExpr::OneOf(_)
+        | ClassExpr::HasValue { .. }
+        | ClassExpr::AllValuesFrom { .. }
+        | ClassExpr::ComplementOf(_) => 0,
+    }
+}
+
+fn collect_step_props(expr: &ClassExpr, out: &mut BTreeSet<TermId>) {
+    match expr {
+        ClassExpr::SomeValuesFrom { property, filler } => {
+            out.insert(*property);
+            collect_step_props(filler, out);
+        }
+        ClassExpr::IntersectionOf(es) | ClassExpr::UnionOf(es) => {
+            for e in es {
+                collect_step_props(e, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The running fixpoint state over any [`GraphStore`].
+struct Engine<'a, S: GraphStore> {
+    g: &'a mut S,
+    rules: &'a CompiledRules,
+    opts: &'a ReasonerOptions,
+    result: InferenceResult,
+    /// sameAs alias sets, maintained incrementally.
+    aliases: HashMap<TermId, BTreeSet<TermId>>,
+    queue: VecDeque<[TermId; 3]>,
+    /// Delta mode only: individuals mentioned by any new triple, and the
+    /// new triples themselves, for scoping the complex/chain/consistency
+    /// passes to what the delta could have changed.
+    delta_mode: bool,
+    dirty: HashSet<TermId>,
+    new_triples: Vec<[TermId; 3]>,
+    /// Position in `new_triples` up to which chains have been evaluated.
+    chain_cursor: usize,
+}
+
+impl<'a, S: GraphStore> Engine<'a, S> {
+    fn new(g: &'a mut S, rules: &'a CompiledRules, opts: &'a ReasonerOptions) -> Self {
+        Engine {
+            g,
+            rules,
+            opts,
+            result: InferenceResult {
+                axiom_count: rules.axiom_count,
+                warnings: rules.warnings.clone(),
+                ..Default::default()
+            },
             aliases: HashMap::new(),
             queue: VecDeque::new(),
-        };
-
-        for (a, b) in initial_same_as {
-            engine.note_alias(a, b);
+            delta_mode: false,
+            dirty: HashSet::new(),
+            new_triples: Vec::new(),
+            chain_cursor: 0,
         }
-        engine
     }
 
     fn run(mut self) -> InferenceResult {
+        for &(a, b) in &self.rules.initial_same_as.clone() {
+            self.note_alias(a, b);
+        }
         if self.opts.materialize_schema_closure {
             self.materialize_schema();
         }
 
         // Seed: every asserted triple can fire instance rules.
-        self.queue.extend(self.g.iter_ids());
+        let all: Vec<[TermId; 3]> = self.g.iter_ids().collect();
+        self.queue.extend(all);
 
         loop {
             self.result.rounds += 1;
@@ -321,6 +470,267 @@ impl<'g> Engine<'g> {
         self.result
     }
 
+    /// Semi-naïve delta closure: derive only what the seed triples (and
+    /// their consequences) can newly entail, assuming everything else is
+    /// already closed under `rules`.
+    fn run_delta(mut self, seed: &[[TermId; 3]]) -> InferenceResult {
+        self.delta_mode = true;
+        // Aliases discovered during the base closure exist only as
+        // `owl:sameAs` triples there; rebuild the alias map so eq-rep
+        // fires when a delta triple touches an aliased individual. On a
+        // closed base every re-noted pair is a no-op insert.
+        let pairs: Vec<(TermId, TermId)> = self
+            .g
+            .match_pattern(None, Some(self.rules.same_as), None)
+            .into_iter()
+            .map(|t| (t[0], t[2]))
+            .collect();
+        for (a, b) in pairs {
+            self.note_alias(a, b);
+        }
+        for &t in seed {
+            self.dirty.insert(t[0]);
+            self.dirty.insert(t[2]);
+            self.new_triples.push(t);
+            self.queue.push_back(t);
+        }
+
+        loop {
+            self.result.rounds += 1;
+            self.drain_queue();
+            let before = self.result.added;
+            self.complex_pass_delta();
+            self.chain_pass_delta();
+            if self.result.added == before && self.queue.is_empty() {
+                break;
+            }
+            if self.result.rounds >= self.opts.max_rounds {
+                self.result.warnings.push(format!(
+                    "fixpoint not reached after {} rounds — output may be incomplete",
+                    self.opts.max_rounds
+                ));
+                break;
+            }
+        }
+
+        if self.opts.check_consistency {
+            self.check_consistency_delta();
+        }
+        self.result
+    }
+
+    /// Dirty individuals plus everything whose class membership could
+    /// depend on them: walk backward along the `someValuesFrom` edge
+    /// properties of the compiled left-hand sides, once per nesting
+    /// level. A node newly satisfying a complex expression must have a
+    /// new triple somewhere in its witness tree, and witness trees only
+    /// descend through those properties, so this set covers every
+    /// possible new member.
+    fn expanded_dirty(&self) -> Vec<TermId> {
+        let mut set: BTreeSet<TermId> = self.dirty.iter().copied().collect();
+        for _ in 0..self.rules.lhs_depth {
+            let mut grow: Vec<TermId> = Vec::new();
+            for &n in &set {
+                for &p in &self.rules.lhs_step_props {
+                    for t in self.g.match_pattern(None, Some(p), Some(n)) {
+                        grow.push(t[0]);
+                    }
+                }
+            }
+            let before = set.len();
+            set.extend(grow);
+            if set.len() == before {
+                break;
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Delta-scoped [`Engine::complex_pass`]: membership is re-evaluated
+    /// only for individuals the delta could have affected.
+    fn complex_pass_delta(&mut self) {
+        let rules = self.rules;
+        if rules.complex.is_empty() {
+            return;
+        }
+        let cand = self.expanded_dirty();
+        let tracking = self.opts.track_derivations;
+        for (sub, sup) in &rules.complex {
+            for &x in &cand {
+                if tracking {
+                    let mut witnesses = Vec::new();
+                    if self.witnesses(x, sub, &mut witnesses) {
+                        self.apply_membership_by(x, sup, &witnesses);
+                    }
+                } else if self.satisfies(x, sub) {
+                    self.apply_membership(x, sup);
+                }
+            }
+        }
+    }
+
+    /// Delta-scoped [`Engine::chain_pass`]: each not-yet-processed new
+    /// triple is matched against every chain position, extending left
+    /// and right through the (base ∪ delta) view.
+    fn chain_pass_delta(&mut self) {
+        let rules = self.rules;
+        let fresh: Vec<[TermId; 3]> = self.new_triples[self.chain_cursor..].to_vec();
+        self.chain_cursor = self.new_triples.len();
+        if rules.chains.is_empty() || fresh.is_empty() {
+            return;
+        }
+        let tracking = self.opts.track_derivations;
+        for (chain, q) in &rules.chains {
+            for &[a, p, b] in &fresh {
+                for i in 0..chain.len() {
+                    if chain[i] != p {
+                        continue;
+                    }
+                    // Sequences over chain[..i] ending at `a`, walked
+                    // backward (steps recorded in reverse).
+                    let mut lefts: Vec<(TermId, Vec<[TermId; 3]>)> = vec![(a, Vec::new())];
+                    for &pj in chain[..i].iter().rev() {
+                        let mut next = Vec::new();
+                        for (node, steps) in lefts {
+                            for t in self.g.match_pattern(None, Some(pj), Some(node)) {
+                                let mut s2 = steps.clone();
+                                if tracking {
+                                    s2.push(t);
+                                }
+                                next.push((t[0], s2));
+                            }
+                        }
+                        lefts = next;
+                        if lefts.is_empty() {
+                            break;
+                        }
+                    }
+                    // Sequences over chain[i+1..] starting at `b`.
+                    let mut rights: Vec<(TermId, Vec<[TermId; 3]>)> = vec![(b, Vec::new())];
+                    for &pj in &chain[i + 1..] {
+                        let mut next = Vec::new();
+                        for (node, steps) in rights {
+                            for z in self.g.objects(node, pj) {
+                                let mut s2 = steps.clone();
+                                if tracking {
+                                    s2.push([node, pj, z]);
+                                }
+                                next.push((z, s2));
+                            }
+                        }
+                        rights = next;
+                        if rights.is_empty() {
+                            break;
+                        }
+                    }
+                    for (start, lsteps) in &lefts {
+                        for (end, rsteps) in &rights {
+                            let mut steps = Vec::new();
+                            if tracking {
+                                steps.extend(lsteps.iter().rev().copied());
+                                steps.push([a, p, b]);
+                                steps.extend(rsteps.iter().copied());
+                            }
+                            self.add_by("prp-spo2", &steps, *start, *q, *end);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delta-scoped consistency: report only violations a delta triple or
+    /// delta-affected individual participates in. A consistent base stays
+    /// silent; a violation introduced by the session is always caught.
+    fn check_consistency_delta(&mut self) {
+        let rules = self.rules;
+        if !rules.disjoint_classes.is_empty() {
+            let cand = self.expanded_dirty();
+            for (a, b) in &rules.disjoint_classes {
+                for &x in &cand {
+                    if self.satisfies(x, a) && self.satisfies(x, b) {
+                        let detail =
+                            format!("{} is an instance of disjoint classes", self.g.term_name(x));
+                        self.result.inconsistencies.push(Inconsistency {
+                            kind: InconsistencyKind::DisjointClassesViolation,
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+        let nothing = self.g.lookup_iri(owl::NOTHING);
+        for idx in 0..self.new_triples.len() {
+            let [x, p, y] = self.new_triples[idx];
+            for &(pp, qq) in &rules.disjoint_properties {
+                let other = if p == pp {
+                    qq
+                } else if p == qq {
+                    pp
+                } else {
+                    continue;
+                };
+                if self.g.contains_ids(x, other, y) {
+                    let detail = format!(
+                        "disjoint properties {} and {} both relate {} to {}",
+                        self.g.term_name(p),
+                        self.g.term_name(other),
+                        self.g.term_name(x),
+                        self.g.term_name(y)
+                    );
+                    self.result.inconsistencies.push(Inconsistency {
+                        kind: InconsistencyKind::DisjointPropertiesViolation,
+                        detail,
+                    });
+                }
+            }
+            if p == rules.rdf_type && Some(y) == nothing {
+                let detail = format!("{} is an instance of owl:Nothing", self.g.term_name(x));
+                self.result.inconsistencies.push(Inconsistency {
+                    kind: InconsistencyKind::NothingHasInstance,
+                    detail,
+                });
+            }
+            if rules.irreflexive.contains(&p) && x == y {
+                let detail = format!(
+                    "irreflexive property {} relates {} to itself",
+                    self.g.term_name(p),
+                    self.g.term_name(x)
+                );
+                self.result.inconsistencies.push(Inconsistency {
+                    kind: InconsistencyKind::IrreflexiveViolation,
+                    detail,
+                });
+            }
+            if rules.asymmetric.contains(&p) && x != y && self.g.contains_ids(y, p, x) {
+                let detail = format!(
+                    "asymmetric property {} holds in both directions between {} and {}",
+                    self.g.term_name(p),
+                    self.g.term_name(x),
+                    self.g.term_name(y)
+                );
+                self.result.inconsistencies.push(Inconsistency {
+                    kind: InconsistencyKind::AsymmetricViolation,
+                    detail,
+                });
+            }
+        }
+        for &(a, b) in &rules.different_from {
+            if self.g.contains_ids(a, rules.same_as, b) || self.g.contains_ids(b, rules.same_as, a)
+            {
+                let detail = format!(
+                    "{} and {} are both sameAs and differentFrom",
+                    self.g.term_name(a),
+                    self.g.term_name(b)
+                );
+                self.result.inconsistencies.push(Inconsistency {
+                    kind: InconsistencyKind::SameAndDifferent,
+                    detail,
+                });
+            }
+        }
+    }
+
     /// Inserts a derived triple, recording its derivation when tracking
     /// is enabled. The first derivation of a triple wins.
     fn add_by(
@@ -334,6 +744,11 @@ impl<'g> Engine<'g> {
         if self.g.insert_ids(s, p, o) {
             self.result.added += 1;
             self.queue.push_back([s, p, o]);
+            if self.delta_mode {
+                self.dirty.insert(s);
+                self.dirty.insert(o);
+                self.new_triples.push([s, p, o]);
+            }
             if self.opts.track_derivations {
                 self.result.derivations.insert(
                     [s, p, o],
@@ -350,6 +765,7 @@ impl<'g> Engine<'g> {
         let sco = self.g.intern_iri(rdfs::SUB_CLASS_OF);
         let spo = self.g.intern_iri(rdfs::SUB_PROPERTY_OF);
         let class_pairs: Vec<(TermId, TermId)> = self
+            .rules
             .sup_class
             .iter()
             .flat_map(|(&c, sups)| sups.iter().map(move |&s| (c, s)))
@@ -358,6 +774,7 @@ impl<'g> Engine<'g> {
             self.add_by("scm-sco", &[], c, sco, s);
         }
         let prop_pairs: Vec<(TermId, TermId)> = self
+            .rules
             .sup_prop
             .iter()
             .flat_map(|(&p, sups)| sups.iter().map(move |&s| (p, s)))
@@ -371,40 +788,40 @@ impl<'g> Engine<'g> {
     fn drain_queue(&mut self) {
         while let Some([s, p, o]) = self.queue.pop_front() {
             // cax-sco: type inheritance through the named-class closure.
-            if p == self.rdf_type {
-                if let Some(sups) = self.sup_class.get(&o) {
+            if p == self.rules.rdf_type {
+                if let Some(sups) = self.rules.sup_class.get(&o) {
                     for sup in sups.clone() {
-                        self.add_by("cax-sco", &[[s, p, o]], s, self.rdf_type, sup);
+                        self.add_by("cax-sco", &[[s, p, o]], s, self.rules.rdf_type, sup);
                     }
                 }
                 continue;
             }
-            if p == self.same_as {
+            if p == self.rules.same_as {
                 self.note_alias(s, o);
-                self.add_by("eq-sym", &[[s, p, o]], o, self.same_as, s);
+                self.add_by("eq-sym", &[[s, p, o]], o, self.rules.same_as, s);
                 self.replicate_for_alias(s, o);
                 self.replicate_for_alias(o, s);
                 continue;
             }
 
             // prp-spo1
-            if let Some(sups) = self.sup_prop.get(&p) {
+            if let Some(sups) = self.rules.sup_prop.get(&p) {
                 for q in sups.clone() {
                     self.add_by("prp-spo1", &[[s, p, o]], s, q, o);
                 }
             }
             // prp-inv
-            if let Some(invs) = self.inverses.get(&p) {
+            if let Some(invs) = self.rules.inverses.get(&p) {
                 for q in invs.clone() {
                     self.add_by("prp-inv", &[[s, p, o]], o, q, s);
                 }
             }
             // prp-symp
-            if self.symmetric.contains(&p) {
+            if self.rules.symmetric.contains(&p) {
                 self.add_by("prp-symp", &[[s, p, o]], o, p, s);
             }
             // prp-trp
-            if self.transitive.contains(&p) {
+            if self.rules.transitive.contains(&p) {
                 for z in self.g.objects(o, p) {
                     self.add_by("prp-trp", &[[s, p, o], [o, p, z]], s, p, z);
                 }
@@ -419,29 +836,41 @@ impl<'g> Engine<'g> {
                 }
             }
             // prp-dom / prp-rng
-            if let Some(cs) = self.domains.get(&p).cloned() {
+            if let Some(cs) = self.rules.domains.get(&p).cloned() {
                 for c in cs {
                     self.apply_membership(s, &c);
                 }
             }
-            if let Some(cs) = self.ranges.get(&p).cloned() {
+            if let Some(cs) = self.rules.ranges.get(&p).cloned() {
                 for c in cs {
                     self.apply_membership(o, &c);
                 }
             }
             // prp-fp: functional — two objects are the same individual.
-            if self.functional.contains(&p) {
+            if self.rules.functional.contains(&p) {
                 for o2 in self.g.objects(s, p) {
                     if o2 != o && self.g.term(o).is_resource() && self.g.term(o2).is_resource() {
-                        self.add_by("prp-fp", &[[s, p, o], [s, p, o2]], o, self.same_as, o2);
+                        self.add_by(
+                            "prp-fp",
+                            &[[s, p, o], [s, p, o2]],
+                            o,
+                            self.rules.same_as,
+                            o2,
+                        );
                     }
                 }
             }
             // prp-ifp
-            if self.inverse_functional.contains(&p) {
+            if self.rules.inverse_functional.contains(&p) {
                 for s2 in self.g.subjects(p, o) {
                     if s2 != s {
-                        self.add_by("prp-ifp", &[[s, p, o], [s2, p, o]], s, self.same_as, s2);
+                        self.add_by(
+                            "prp-ifp",
+                            &[[s, p, o], [s2, p, o]],
+                            s,
+                            self.rules.same_as,
+                            s2,
+                        );
                     }
                 }
             }
@@ -473,15 +902,14 @@ impl<'g> Engine<'g> {
         class.extend(self.aliases.get(&a).into_iter().flatten().copied());
         class.extend(self.aliases.get(&b).into_iter().flatten().copied());
         for &member in &class {
-            let others: BTreeSet<TermId> =
-                class.iter().copied().filter(|&m| m != member).collect();
+            let others: BTreeSet<TermId> = class.iter().copied().filter(|&m| m != member).collect();
             self.aliases
                 .entry(member)
                 .or_default()
                 .extend(others.iter().copied());
             // Materialize the pairwise sameAs triples (eq-trans/eq-sym).
             for &other in &others {
-                self.add_by("eq-trans", &[], member, self.same_as, other);
+                self.add_by("eq-trans", &[], member, self.rules.same_as, other);
             }
         }
     }
@@ -493,13 +921,13 @@ impl<'g> Engine<'g> {
         }
         let as_subject: Vec<[TermId; 3]> = self.g.match_pattern(Some(from), None, None);
         for [_, p, o] in as_subject {
-            if p != self.same_as {
+            if p != self.rules.same_as {
                 self.add_by("eq-rep-s", &[[from, p, o]], to, p, o);
             }
         }
         let as_object: Vec<[TermId; 3]> = self.g.match_pattern(None, None, Some(from));
         for [s, p, _] in as_object {
-            if p != self.same_as {
+            if p != self.rules.same_as {
                 self.add_by("eq-rep-o", &[[s, p, from]], s, p, to);
             }
         }
@@ -507,7 +935,7 @@ impl<'g> Engine<'g> {
 
     /// One pass over all complex subclass-like axioms.
     fn complex_pass(&mut self) {
-        let axioms = self.complex.clone();
+        let axioms = self.rules.complex.clone();
         let tracking = self.opts.track_derivations;
         for (sub, sup) in &axioms {
             for x in self.candidates(sub) {
@@ -526,7 +954,7 @@ impl<'g> Engine<'g> {
     /// Property-chain evaluation (prp-spo2), full pass. When derivation
     /// tracking is on, the walked step triples are recorded as premises.
     fn chain_pass(&mut self) {
-        let chains = self.chains.clone();
+        let chains = self.rules.chains.clone();
         let tracking = self.opts.track_derivations;
         for (chain, q) in &chains {
             let mut frontier: Vec<(TermId, TermId, Vec<[TermId; 3]>)> = self
@@ -564,7 +992,7 @@ impl<'g> Engine<'g> {
     /// already-materialized triples?
     fn satisfies(&self, x: TermId, expr: &ClassExpr) -> bool {
         match expr {
-            ClassExpr::Named(c) => self.g.contains_ids(x, self.rdf_type, *c),
+            ClassExpr::Named(c) => self.g.contains_ids(x, self.rules.rdf_type, *c),
             ClassExpr::IntersectionOf(es) => es.iter().all(|e| self.satisfies(x, e)),
             ClassExpr::UnionOf(es) => es.iter().any(|e| self.satisfies(x, e)),
             ClassExpr::SomeValuesFrom { property, filler } => self
@@ -572,9 +1000,7 @@ impl<'g> Engine<'g> {
                 .objects(x, *property)
                 .into_iter()
                 .any(|o| self.satisfies(o, filler)),
-            ClassExpr::HasValue { property, value } => {
-                self.g.contains_ids(x, *property, *value)
-            }
+            ClassExpr::HasValue { property, value } => self.g.contains_ids(x, *property, *value),
             ClassExpr::OneOf(ids) => ids.contains(&x),
             // Open-world: membership in a complement or universal
             // restriction is never derived, matching OWL 2 RL.
@@ -592,7 +1018,7 @@ impl<'g> Engine<'g> {
     /// on: the premises are the witness triples of the left-hand side).
     fn apply_membership_by(&mut self, x: TermId, expr: &ClassExpr, premises: &[[TermId; 3]]) {
         match expr {
-            ClassExpr::Named(c) => self.add_by("cls", premises, x, self.rdf_type, *c),
+            ClassExpr::Named(c) => self.add_by("cls", premises, x, self.rules.rdf_type, *c),
             ClassExpr::IntersectionOf(es) => {
                 for e in es {
                     self.apply_membership_by(x, e, premises);
@@ -611,7 +1037,7 @@ impl<'g> Engine<'g> {
             }
             ClassExpr::OneOf(ids) if ids.len() == 1 => {
                 // Singleton enumeration: x is that individual.
-                self.add_by("cls-oo", premises, x, self.same_as, ids[0]);
+                self.add_by("cls-oo", premises, x, self.rules.same_as, ids[0]);
             }
             // No existential introduction (matches OWL 2 RL), and nothing
             // sound to conclude from a union or general enumeration.
@@ -628,8 +1054,8 @@ impl<'g> Engine<'g> {
     fn witnesses(&self, x: TermId, expr: &ClassExpr, out: &mut Vec<[TermId; 3]>) -> bool {
         match expr {
             ClassExpr::Named(c) => {
-                if self.g.contains_ids(x, self.rdf_type, *c) {
-                    out.push([x, self.rdf_type, *c]);
+                if self.g.contains_ids(x, self.rules.rdf_type, *c) {
+                    out.push([x, self.rules.rdf_type, *c]);
                     true
                 } else {
                     false
@@ -680,7 +1106,10 @@ impl<'g> Engine<'g> {
                 // candidate set; fall back to the first with any.
                 let mut best: Option<Vec<TermId>> = None;
                 for e in es {
-                    if matches!(e, ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_)) {
+                    if matches!(
+                        e,
+                        ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_)
+                    ) {
                         continue;
                     }
                     let c = self.candidates(e);
@@ -720,14 +1149,12 @@ impl<'g> Engine<'g> {
 
     fn check_consistency(&mut self) {
         // cax-dw: disjoint classes sharing a member.
-        let pairs = self.disjoint_classes.clone();
+        let pairs = self.rules.disjoint_classes.clone();
         for (a, b) in &pairs {
             for x in self.candidates(a) {
                 if self.satisfies(x, a) && self.satisfies(x, b) {
-                    let detail = format!(
-                        "{} is an instance of disjoint classes",
-                        self.g.term_name(x)
-                    );
+                    let detail =
+                        format!("{} is an instance of disjoint classes", self.g.term_name(x));
                     self.result.inconsistencies.push(Inconsistency {
                         kind: InconsistencyKind::DisjointClassesViolation,
                         detail,
@@ -736,7 +1163,7 @@ impl<'g> Engine<'g> {
             }
         }
         // prp-pdw: disjoint properties linking the same pair.
-        for &(p, q) in &self.disjoint_properties.clone() {
+        for &(p, q) in &self.rules.disjoint_properties.clone() {
             for [x, _, y] in self.g.match_pattern(None, Some(p), None) {
                 if self.g.contains_ids(x, q, y) {
                     let detail = format!(
@@ -764,7 +1191,7 @@ impl<'g> Engine<'g> {
             }
         }
         // prp-irp
-        for &p in &self.irreflexive.clone() {
+        for &p in &self.rules.irreflexive.clone() {
             for [s, _, o] in self.g.match_pattern(None, Some(p), None) {
                 if s == o {
                     let detail = format!(
@@ -780,7 +1207,7 @@ impl<'g> Engine<'g> {
             }
         }
         // prp-asyp
-        for &p in &self.asymmetric.clone() {
+        for &p in &self.rules.asymmetric.clone() {
             for [s, _, o] in self.g.match_pattern(None, Some(p), None) {
                 if self.g.contains_ids(o, p, s) && s != o {
                     let detail = format!(
@@ -797,8 +1224,9 @@ impl<'g> Engine<'g> {
             }
         }
         // eq-diff1
-        for &(a, b) in &self.different_from.clone() {
-            if self.g.contains_ids(a, self.same_as, b) || self.g.contains_ids(b, self.same_as, a)
+        for &(a, b) in &self.rules.different_from.clone() {
+            if self.g.contains_ids(a, self.rules.same_as, b)
+                || self.g.contains_ids(b, self.rules.same_as, a)
             {
                 let detail = format!(
                     "{} and {} are both sameAs and differentFrom",
@@ -843,6 +1271,7 @@ fn transitive_close(map: &mut HashMap<TermId, BTreeSet<TermId>>) {
 mod tests {
     use super::*;
     use feo_rdf::turtle::parse_turtle_into;
+    use feo_rdf::Graph;
 
     fn graph(src: &str) -> Graph {
         let mut g = Graph::new();
@@ -865,7 +1294,11 @@ mod tests {
                 format!("http://e/{n}")
             }
         };
-        match (g.lookup_iri(&e(s)), g.lookup_iri(&e(p)), g.lookup_iri(&e(o))) {
+        match (
+            g.lookup_iri(&e(s)),
+            g.lookup_iri(&e(p)),
+            g.lookup_iri(&e(o)),
+        ) {
             (Some(s), Some(p), Some(o)) => g.contains_ids(s, p, o),
             _ => false,
         }
@@ -983,7 +1416,10 @@ mod tests {
         );
         Reasoner::new().materialize(&mut g);
         assert!(has(&g, "autumn", rdf::TYPE, "Fact"));
-        assert!(!has(&g, "spring", rdf::TYPE, "Fact"), "spring lacks presence");
+        assert!(
+            !has(&g, "spring", rdf::TYPE, "Fact"),
+            "spring lacks presence"
+        );
     }
 
     #[test]
@@ -1126,6 +1562,7 @@ mod tests {
 mod same_as_tests {
     use super::*;
     use feo_rdf::turtle::parse_turtle_into;
+    use feo_rdf::Graph;
 
     fn graph(src: &str) -> Graph {
         let mut g = Graph::new();
@@ -1176,6 +1613,7 @@ mod same_as_tests {
 mod disjoint_property_tests {
     use super::*;
     use feo_rdf::turtle::parse_turtle_into;
+    use feo_rdf::Graph;
 
     #[test]
     fn disjoint_properties_violation_detected() {

@@ -35,12 +35,7 @@ fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8)>> {
     prop::collection::vec((0..N_NODES, 0..N_NODES), 0..25)
 }
 
-fn build(
-    sub: &[(u8, u8)],
-    typings: &[(u8, u8)],
-    edges: &[(u8, u8)],
-    prop_axioms: &str,
-) -> Graph {
+fn build(sub: &[(u8, u8)], typings: &[(u8, u8)], edges: &[(u8, u8)], prop_axioms: &str) -> Graph {
     let mut g = Graph::new();
     for (a, b) in sub {
         g.insert_iris(&class_iri(*a), rdfs::SUB_CLASS_OF, &class_iri(*b));

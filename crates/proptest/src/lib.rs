@@ -1,0 +1,702 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The workspace pins `proptest = "1"` but this build environment has no
+//! registry access, so this path crate implements the surface the
+//! workspace's property tests use: the [`proptest!`] /
+//! [`prop_assert!`] family of macros, the [`strategy::Strategy`] trait
+//! with `prop_map`, [`strategy::Just`], [`prop_oneof!`], `any::<T>()`,
+//! integer/float range strategies, tuple strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, and regex-literal string
+//! strategies for the character-class subset the tests rely on.
+//!
+//! Simplifications versus upstream: no shrinking (a failing case panics
+//! with the generated inputs' debug output), and generation is driven
+//! by a splitmix64 stream seeded per test name, so runs are
+//! deterministic per test but explore different inputs across tests.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic generation stream (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[lo, hi]` (inclusive), `lo <= hi`.
+        pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u128 + 1;
+            lo + (self.next_u64() as u128 % span) as i128
+        }
+
+        pub fn usize_in(&mut self, lo: usize, hi_excl: usize) -> usize {
+            debug_assert!(lo < hi_excl);
+            self.int_in(lo as i128, hi_excl as i128 - 1) as usize
+        }
+    }
+
+    /// FNV-1a over the test name: a stable per-test seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::string::RegexGen;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Value-producing strategy. Unlike upstream there is no value tree
+    /// or shrinking: `new_value` samples a fresh value.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// One generator arm of a [`Union`].
+    pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Uniform choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_in(0, self.arms.len());
+            (self.arms[i])(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.next_f64() as $t * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    /// String literals are regex strategies, matching upstream's
+    /// `impl Strategy for &str`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            RegexGen::parse(self).generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (S0 0);
+        (S0 0, S1 1);
+        (S0 0, S1 1, S2 2);
+        (S0 0, S1 1, S2 2, S3 3);
+        (S0 0, S1 1, S2 2, S3 3, S4 4);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct ArbitraryStrategy<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+        type Value = A;
+        fn new_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+        ArbitraryStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.start < self.size.end {
+                rng.usize_in(self.size.start, self.size.end)
+            } else {
+                self.size.start
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod string {
+    //! Generator for the regex subset the workspace uses in string
+    //! strategies: literal chars, `.`, character classes with ranges and
+    //! escapes, and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+
+    use super::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        /// Concrete choices (a literal is a one-element class).
+        Class(Vec<char>),
+        /// `.` — any printable char from a fixed pool.
+        Dot,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct RegexGen {
+        pieces: Vec<Piece>,
+    }
+
+    /// Pool for `.`: printable ASCII plus a few multibyte chars so fuzz
+    /// inputs exercise UTF-8 boundaries.
+    const DOT_POOL_EXTRA: [char; 4] = ['£', 'é', '😀', '\t'];
+
+    fn dot_char(rng: &mut TestRng) -> char {
+        let n = (0x7E - 0x20 + 1) + DOT_POOL_EXTRA.len();
+        let i = rng.usize_in(0, n);
+        if i < 0x7E - 0x20 + 1 {
+            char::from_u32(0x20 + i as u32).unwrap()
+        } else {
+            DOT_POOL_EXTRA[i - (0x7E - 0x20 + 1)]
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    impl RegexGen {
+        pub fn parse(pattern: &str) -> RegexGen {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut pieces = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let atom = match chars[i] {
+                    '[' => {
+                        i += 1;
+                        let mut set = Vec::new();
+                        while i < chars.len() && chars[i] != ']' {
+                            let lo = if chars[i] == '\\' {
+                                i += 1;
+                                unescape(chars[i])
+                            } else {
+                                chars[i]
+                            };
+                            // Range `a-z` (a trailing `-` is a literal).
+                            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                                let hi = if chars[i + 2] == '\\' {
+                                    i += 1;
+                                    unescape(chars[i + 2])
+                                } else {
+                                    chars[i + 2]
+                                };
+                                for u in lo as u32..=hi as u32 {
+                                    if let Some(ch) = char::from_u32(u) {
+                                        set.push(ch);
+                                    }
+                                }
+                                i += 3;
+                            } else {
+                                set.push(lo);
+                                i += 1;
+                            }
+                        }
+                        i += 1; // closing ']'
+                        assert!(!set.is_empty(), "empty char class in {pattern:?}");
+                        Atom::Class(set)
+                    }
+                    '.' => {
+                        i += 1;
+                        Atom::Dot
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = unescape(chars[i]);
+                        i += 1;
+                        Atom::Class(vec![c])
+                    }
+                    c => {
+                        i += 1;
+                        Atom::Class(vec![c])
+                    }
+                };
+                // Optional quantifier.
+                let (min, max) = if i < chars.len() {
+                    match chars[i] {
+                        '{' => {
+                            let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+                            let body: String = chars[i + 1..close].iter().collect();
+                            i = close + 1;
+                            match body.split_once(',') {
+                                Some((m, n)) => {
+                                    (m.trim().parse().unwrap(), n.trim().parse().unwrap())
+                                }
+                                None => {
+                                    let n: usize = body.trim().parse().unwrap();
+                                    (n, n)
+                                }
+                            }
+                        }
+                        '?' => {
+                            i += 1;
+                            (0, 1)
+                        }
+                        '*' => {
+                            i += 1;
+                            (0, 6)
+                        }
+                        '+' => {
+                            i += 1;
+                            (1, 6)
+                        }
+                        _ => (1, 1),
+                    }
+                } else {
+                    (1, 1)
+                };
+                pieces.push(Piece { atom, min, max });
+            }
+            RegexGen { pieces }
+        }
+
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let count = rng.int_in(piece.min as i128, piece.max as i128) as usize;
+                for _ in 0..count {
+                    match &piece.atom {
+                        Atom::Class(set) => out.push(set[rng.usize_in(0, set.len())]),
+                        Atom::Dot => out.push(dot_char(rng)),
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::seed_from_u64(
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!("proptest {} case {}/{} failed: {}",
+                        stringify!($name), case + 1, config.cases, err);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right), l, r),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: {} != {}\n  both: {:?}",
+                            stringify!($left), stringify!($right), l),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Failed assumptions skip the rest of the case (no retry, unlike
+/// upstream — acceptable without shrinking).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::new_value(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::string::RegexGen;
+    use crate::test_runner::TestRng;
+
+    fn sample(pattern: &str, n: usize) -> Vec<String> {
+        let gen = RegexGen::parse(pattern);
+        let mut rng = TestRng::seed_from_u64(42);
+        (0..n).map(|_| gen.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn regex_class_with_range_and_counts() {
+        for s in sample("[a-z]{1,8}", 200) {
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        for s in sample("[a-z]{2}", 50) {
+            assert_eq!(s.chars().count(), 2);
+        }
+    }
+
+    #[test]
+    fn regex_escapes_and_literals() {
+        // `[ab]\*?[ab]?` — escaped star is a literal, `?` is a quantifier.
+        let seen_star = sample("[ab]\\*?[ab]?", 200).iter().any(|s| s.contains('*'));
+        assert!(seen_star);
+        for s in sample("[ab]\\*?[ab]?", 200) {
+            assert!(s.chars().all(|c| c == 'a' || c == 'b' || c == '*'), "{s:?}");
+        }
+        // Class escapes, including a raw newline in the class.
+        for s in sample("[@<>\"'a-z:#._;,()\\[\\]\\\\ \n0-9-]{0,120}", 50) {
+            assert!(s.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn regex_dot_and_unicode_classes() {
+        for s in sample(".{0,200}", 50) {
+            assert!(s.chars().count() <= 200);
+        }
+        let multi = sample("[ -~£é😀]{0,12}", 400).concat();
+        assert!(!multi.is_ascii(), "multibyte chars appear");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro surface itself: patterns, tuples, oneof, vec, any.
+        #[test]
+        fn macro_surface_works(
+            mut xs in prop::collection::vec((0u8..12, prop::bool::ANY), 0..20),
+            flag in any::<bool>(),
+            pick in prop_oneof![Just(1usize), Just(2usize), 3usize..5],
+            s in "[abc]{1,3}",
+        ) {
+            xs.push((0, flag));
+            prop_assert!(!xs.is_empty());
+            prop_assert!((1usize..5usize).contains(&pick));
+            prop_assert_ne!(s.len(), 0);
+            prop_assert_eq!(s.len(), s.len(), "lengths {} differ", s.len());
+            for (x, _) in xs {
+                prop_assert!(x < 13, "x was {}", x);
+            }
+        }
+    }
+}

@@ -319,9 +319,9 @@ impl Graph {
         if self.spo.len() != self.pos.len() || self.spo.len() != self.osp.len() {
             return false;
         }
-        self.spo.iter().all(|&[s, p, o]| {
-            self.pos.contains(&[p, o, s]) && self.osp.contains(&[o, s, p])
-        })
+        self.spo
+            .iter()
+            .all(|&[s, p, o]| self.pos.contains(&[p, o, s]) && self.osp.contains(&[o, s, p]))
     }
 }
 

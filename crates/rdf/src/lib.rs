@@ -36,8 +36,10 @@ pub mod intern;
 pub mod ntriples;
 pub mod term;
 pub mod turtle;
+pub mod view;
 pub mod vocab;
 
 pub use graph::{Graph, IdTriple};
 pub use intern::{Interner, TermId};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};
+pub use view::{GraphStore, GraphView, Overlay};

@@ -339,7 +339,11 @@ pub struct Triple {
 }
 
 impl Triple {
-    pub fn new(subject: impl Into<Term>, predicate: impl Into<Term>, object: impl Into<Term>) -> Self {
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Term>,
+        object: impl Into<Term>,
+    ) -> Self {
         Triple {
             subject: subject.into(),
             predicate: predicate.into(),
@@ -376,8 +380,14 @@ mod tests {
     #[test]
     fn boolean_parsing() {
         assert_eq!(Literal::boolean(true).as_bool(), Some(true));
-        assert_eq!(Literal::typed("1", Iri::new(xsd::BOOLEAN)).as_bool(), Some(true));
-        assert_eq!(Literal::typed("0", Iri::new(xsd::BOOLEAN)).as_bool(), Some(false));
+        assert_eq!(
+            Literal::typed("1", Iri::new(xsd::BOOLEAN)).as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            Literal::typed("0", Iri::new(xsd::BOOLEAN)).as_bool(),
+            Some(false)
+        );
         assert_eq!(Literal::simple("true").as_bool(), None);
     }
 

@@ -666,10 +666,11 @@ impl<'a> Parser<'a> {
 /// the base, path references merge with the base path.
 pub fn resolve_iri(base: Option<&str>, reference: &str) -> String {
     if reference.contains(':')
-        && reference
-            .split(':')
-            .next()
-            .is_some_and(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.'))
+        && reference.split(':').next().is_some_and(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.')
+        })
     {
         // Looks like an absolute IRI with a scheme.
         if reference.find(':').unwrap() < reference.find('/').unwrap_or(usize::MAX) {
@@ -824,8 +825,14 @@ mod tests {
         assert!(objects.contains(&Term::Literal(Literal::lang("tagged", "en-us"))));
         assert!(objects.contains(&Term::Literal(Literal::typed("42", Iri::new(xsd::INTEGER)))));
         assert!(objects.contains(&Term::Literal(Literal::typed("7", Iri::new(xsd::INTEGER)))));
-        assert!(objects.contains(&Term::Literal(Literal::typed("-3.5", Iri::new(xsd::DECIMAL)))));
-        assert!(objects.contains(&Term::Literal(Literal::typed("1.2e3", Iri::new(xsd::DOUBLE)))));
+        assert!(objects.contains(&Term::Literal(Literal::typed(
+            "-3.5",
+            Iri::new(xsd::DECIMAL)
+        ))));
+        assert!(objects.contains(&Term::Literal(Literal::typed(
+            "1.2e3",
+            Iri::new(xsd::DOUBLE)
+        ))));
         assert!(objects.contains(&Term::boolean(true)));
         assert!(objects.contains(&Term::boolean(false)));
     }
@@ -836,10 +843,7 @@ mod tests {
             "@prefix e: <http://e/> .\n\
              e:a e:p \"\"\"line1\nline2 \"quoted\"\"\"\" .",
         );
-        assert_eq!(
-            ts[0].object,
-            Term::simple("line1\nline2 \"quoted\"")
-        );
+        assert_eq!(ts[0].object, Term::simple("line1\nline2 \"quoted\""));
         let ts = parse_ok(r#"@prefix e: <http://e/> . e:a e:p "tab\there!" ."#);
         assert_eq!(ts[0].object, Term::simple("tab\there!"));
     }

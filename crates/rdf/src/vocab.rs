@@ -13,7 +13,9 @@ pub struct Namespace {
 
 impl Namespace {
     pub fn new(prefix: impl Into<String>) -> Self {
-        Namespace { prefix: prefix.into() }
+        Namespace {
+            prefix: prefix.into(),
+        }
     }
 
     /// The namespace IRI itself.
@@ -89,10 +91,8 @@ pub mod owl {
     pub const UNION_OF: &str = "http://www.w3.org/2002/07/owl#unionOf";
     pub const COMPLEMENT_OF: &str = "http://www.w3.org/2002/07/owl#complementOf";
     pub const ONE_OF: &str = "http://www.w3.org/2002/07/owl#oneOf";
-    pub const PROPERTY_CHAIN_AXIOM: &str =
-        "http://www.w3.org/2002/07/owl#propertyChainAxiom";
-    pub const PROPERTY_DISJOINT_WITH: &str =
-        "http://www.w3.org/2002/07/owl#propertyDisjointWith";
+    pub const PROPERTY_CHAIN_AXIOM: &str = "http://www.w3.org/2002/07/owl#propertyChainAxiom";
+    pub const PROPERTY_DISJOINT_WITH: &str = "http://www.w3.org/2002/07/owl#propertyDisjointWith";
     pub const ALL_DIFFERENT: &str = "http://www.w3.org/2002/07/owl#AllDifferent";
     pub const MEMBERS: &str = "http://www.w3.org/2002/07/owl#members";
     pub const DISTINCT_MEMBERS: &str = "http://www.w3.org/2002/07/owl#distinctMembers";
@@ -108,8 +108,7 @@ pub mod xsd {
     pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
     pub const SHORT: &str = "http://www.w3.org/2001/XMLSchema#short";
     pub const BYTE: &str = "http://www.w3.org/2001/XMLSchema#byte";
-    pub const NON_NEGATIVE_INTEGER: &str =
-        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
+    pub const NON_NEGATIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
     pub const POSITIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#positiveInteger";
     pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
     pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";

@@ -21,8 +21,7 @@ fn arb_literal() -> impl Strategy<Value = Term> {
         "[ -~£é😀]{0,12}".prop_map(Term::simple),
         any::<i64>().prop_map(Term::integer),
         any::<bool>().prop_map(Term::boolean),
-        ("[a-z]{1,8}", "[a-z]{2}")
-            .prop_map(|(s, tag)| Term::Literal(Literal::lang(s, tag))),
+        ("[a-z]{1,8}", "[a-z]{2}").prop_map(|(s, tag)| Term::Literal(Literal::lang(s, tag))),
     ]
 }
 

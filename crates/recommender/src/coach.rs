@@ -125,7 +125,9 @@ impl<'kg> HealthCoach<'kg> {
             if liked_id == recipe_id {
                 continue;
             }
-            let Some(liked) = self.kg.recipe(liked_id) else { continue };
+            let Some(liked) = self.kg.recipe(liked_id) else {
+                continue;
+            };
             let shared = recipe
                 .ingredients
                 .iter()
@@ -316,7 +318,9 @@ mod tests {
         let set = coach.recommend(&user, &autumn(), 10);
         assert!(set.get("BroccoliCheddarSoup").is_none());
         let step = set.elimination("BroccoliCheddarSoup").unwrap();
-        assert!(matches!(step, TraceStep::FilteredByAllergy { allergen, .. } if allergen == "Broccoli"));
+        assert!(
+            matches!(step, TraceStep::FilteredByAllergy { allergen, .. } if allergen == "Broccoli")
+        );
     }
 
     #[test]

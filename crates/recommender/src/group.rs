@@ -163,7 +163,9 @@ mod tests {
     fn family() -> Vec<UserProfile> {
         vec![
             UserProfile::new("ana").likes(&["ShrimpScampi", "PastaPrimavera"]),
-            UserProfile::new("ben").likes(&["LentilSoup"]).diet("Vegetarian"),
+            UserProfile::new("ben")
+                .likes(&["LentilSoup"])
+                .diet("Vegetarian"),
             UserProfile::new("dana").allergies(&["Shrimp"]),
         ]
     }
@@ -218,8 +220,16 @@ mod tests {
             UserProfile::new("a").likes(&["LentilSoup"]),
             UserProfile::new("b"),
         ];
-        let s_both = group.recommend(&both, &ctx, 40).get("LentilSoup").unwrap().score;
-        let s_one = group.recommend(&one, &ctx, 40).get("LentilSoup").unwrap().score;
+        let s_both = group
+            .recommend(&both, &ctx, 40)
+            .get("LentilSoup")
+            .unwrap()
+            .score;
+        let s_one = group
+            .recommend(&one, &ctx, 40)
+            .get("LentilSoup")
+            .unwrap()
+            .score;
         assert!(s_both > s_one);
     }
 
@@ -234,7 +244,11 @@ mod tests {
         let group = GroupCoach::new(&kg);
         let as_group = Recommender::recommend(&group, &user, &ctx, 10);
         let solo_ids: Vec<_> = solo.recommendations.iter().map(|r| &r.recipe_id).collect();
-        let group_ids: Vec<_> = as_group.recommendations.iter().map(|r| &r.recipe_id).collect();
+        let group_ids: Vec<_> = as_group
+            .recommendations
+            .iter()
+            .map(|r| &r.recipe_id)
+            .collect();
         assert_eq!(solo_ids, group_ids);
     }
 

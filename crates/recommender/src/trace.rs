@@ -84,7 +84,10 @@ impl fmt::Display for TraceStep {
                 category,
             } => write!(f, "removed {recipe}: {diet} diet forbids {category}"),
             TraceStep::FilteredByPregnancy { recipe, category } => {
-                write!(f, "removed {recipe}: {category} is forbidden during pregnancy")
+                write!(
+                    f,
+                    "removed {recipe}: {category} is forbidden during pregnancy"
+                )
             }
             TraceStep::ScoredLikeOverlap {
                 recipe,

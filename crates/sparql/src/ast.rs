@@ -303,7 +303,10 @@ mod tests {
 
     #[test]
     fn aggregate_lookup() {
-        assert_eq!(AggregateKind::from_name("count"), Some(AggregateKind::Count));
+        assert_eq!(
+            AggregateKind::from_name("count"),
+            Some(AggregateKind::Count)
+        );
         assert_eq!(
             AggregateKind::from_name("GROUP_CONCAT"),
             Some(AggregateKind::GroupConcat)

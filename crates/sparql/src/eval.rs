@@ -1,4 +1,4 @@
-//! SPARQL query evaluation over a [`feo_rdf::Graph`].
+//! SPARQL query evaluation over any [`feo_rdf::GraphView`].
 //!
 //! The evaluator executes the AST directly with solution sets (vectors of
 //! bindings) flowing through group-pattern elements, matching the SPARQL
@@ -7,21 +7,25 @@
 //! extends, VALUES joins an inline table. BGPs are greedily reordered by
 //! bound-position count before matching.
 //!
-//! The graph is borrowed mutably only to intern computed terms (BIND /
-//! SELECT expressions / VALUES data); no triples are ever added.
+//! Evaluation is read-only: the input is any [`feo_rdf::GraphView`]
+//! (a `&Graph`, an [`feo_rdf::Overlay`] session, or the `&mut Graph`
+//! older call sites still hold). Computed terms (query constants, BIND /
+//! SELECT expressions, VALUES data) are interned into a private scratch
+//! overlay that is dropped when evaluation finishes, so the caller's
+//! dictionary is never polluted by the queries it answers.
 
 use std::collections::{HashMap, HashSet};
 
 use feo_rdf::vocab::xsd;
-use feo_rdf::{Graph, Term, TermId, Triple};
+use feo_rdf::{Graph, GraphStore, GraphView, Overlay, Term, TermId, Triple};
 
 use crate::ast::*;
 use crate::error::{Result, SparqlError};
 use crate::parser::parse_query;
 use crate::results::{QueryResult, SolutionTable};
 use crate::value::{
-    as_integer, as_numeric, as_string, ebv, order_key, str_builtin, values_compare,
-    values_equal, Value,
+    as_integer, as_numeric, as_string, ebv, order_key, str_builtin, values_compare, values_equal,
+    Value,
 };
 
 /// One solution: a slot per registered variable.
@@ -42,32 +46,39 @@ impl Default for ExecOptions {
     }
 }
 
-/// Parses and executes `text` against `graph`.
+/// Parses and executes `text` against any [`GraphView`].
 ///
-/// The graph is `&mut` only so computed terms (BIND results, VALUES data)
-/// can be interned into its dictionary; the triple set is never modified.
-pub fn query(graph: &mut Graph, text: &str) -> Result<QueryResult> {
+/// The view is read-only; computed terms (query constants, BIND results,
+/// VALUES data) are interned into a private scratch [`Overlay`] that is
+/// discarded with the evaluation, so the caller's dictionary and triple
+/// set are untouched. Pass `&graph` for shared reads; `&mut graph` still
+/// compiles for older call sites.
+pub fn query<G: GraphView>(graph: G, text: &str) -> Result<QueryResult> {
     let q = parse_query(text)?;
     execute(graph, &q)
 }
 
 /// Executes a parsed query with default options.
-pub fn execute(graph: &mut Graph, q: &Query) -> Result<QueryResult> {
+pub fn execute<G: GraphView>(graph: G, q: &Query) -> Result<QueryResult> {
     execute_with(graph, q, &ExecOptions::default())
 }
 
 /// Parses and executes with explicit options.
-pub fn query_with(graph: &mut Graph, text: &str, opts: &ExecOptions) -> Result<QueryResult> {
+pub fn query_with<G: GraphView>(graph: G, text: &str, opts: &ExecOptions) -> Result<QueryResult> {
     let q = parse_query(text)?;
     execute_with(graph, &q, opts)
 }
 
 /// Executes a parsed query with explicit options.
-pub fn execute_with(graph: &mut Graph, q: &Query, opts: &ExecOptions) -> Result<QueryResult> {
+pub fn execute_with<G: GraphView>(graph: G, q: &Query, opts: &ExecOptions) -> Result<QueryResult> {
     let mut vars = VarTable::default();
     register_group_vars(&q.where_pattern, &mut vars);
     register_modifier_vars(q, &mut vars);
-    let mut ctx = Ctx { g: graph, vars, opts: opts.clone() };
+    let mut ctx = Ctx {
+        g: Overlay::new(graph),
+        vars,
+        opts: opts.clone(),
+    };
 
     let rows = ctx.eval_group(&q.where_pattern, vec![vec![None; ctx.vars.len()]])?;
 
@@ -226,13 +237,19 @@ fn register_modifier_vars(q: &Query, vars: &mut VarTable) {
     }
 }
 
-struct Ctx<'g> {
-    g: &'g mut Graph,
+struct Ctx<G: GraphView> {
+    /// Scratch overlay over the caller's view: reads fall through to the
+    /// base, while evaluator-created terms (ground query constants not in
+    /// the base dictionary, BIND/SELECT expression results, fresh blank
+    /// nodes) spill into the overlay's private dictionary. A ground term
+    /// absent from the base gets a spill id that matches no triple, which
+    /// preserves the "unknown constant finds nothing" semantics.
+    g: Overlay<G>,
     vars: VarTable,
     opts: ExecOptions,
 }
 
-impl<'g> Ctx<'g> {
+impl<G: GraphView> Ctx<G> {
     // ---- group patterns ------------------------------------------------
 
     fn eval_group(&mut self, group: &GroupPattern, input: Vec<Binding>) -> Result<Vec<Binding>> {
@@ -293,7 +310,7 @@ impl<'g> Ctx<'g> {
                             )));
                         }
                         if let Some(val) = self.eval_expr(e, &b) {
-                            b[slot] = Some(val.into_term_id(self.g));
+                            b[slot] = Some(val.into_term_id(&mut self.g));
                         }
                         out.push(b);
                     }
@@ -356,14 +373,18 @@ impl<'g> Ctx<'g> {
     fn filter_passes(&mut self, e: &Expr, b: &Binding) -> Result<bool> {
         // EXISTS needs mutable evaluation; handle at this level.
         Ok(match self.eval_expr(e, b) {
-            Some(v) => ebv(self.g, &v) == Some(true),
+            Some(v) => ebv(&self.g, &v) == Some(true),
             None => false,
         })
     }
 
     // ---- BGP -------------------------------------------------------------
 
-    fn eval_bgp(&mut self, patterns: &[TriplePattern], input: Vec<Binding>) -> Result<Vec<Binding>> {
+    fn eval_bgp(
+        &mut self,
+        patterns: &[TriplePattern],
+        input: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
         if !self.opts.reorder_bgp {
             let mut rows = input;
             for tp in patterns {
@@ -724,8 +745,8 @@ impl<'g> Ctx<'g> {
             Expr::Iri(iri) => Some(Value::Term(self.g.intern_iri(iri))),
             Expr::Literal(l) => Some(self.literal_value(l)),
             Expr::Or(x, y) => {
-                let l = self.eval_expr(x, b).and_then(|v| ebv(self.g, &v));
-                let r = self.eval_expr(y, b).and_then(|v| ebv(self.g, &v));
+                let l = self.eval_expr(x, b).and_then(|v| ebv(&self.g, &v));
+                let r = self.eval_expr(y, b).and_then(|v| ebv(&self.g, &v));
                 match (l, r) {
                     (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
                     (Some(false), Some(false)) => Some(Value::Bool(false)),
@@ -733,8 +754,8 @@ impl<'g> Ctx<'g> {
                 }
             }
             Expr::And(x, y) => {
-                let l = self.eval_expr(x, b).and_then(|v| ebv(self.g, &v));
-                let r = self.eval_expr(y, b).and_then(|v| ebv(self.g, &v));
+                let l = self.eval_expr(x, b).and_then(|v| ebv(&self.g, &v));
+                let r = self.eval_expr(y, b).and_then(|v| ebv(&self.g, &v));
                 match (l, r) {
                     (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
                     (Some(true), Some(true)) => Some(Value::Bool(true)),
@@ -743,7 +764,7 @@ impl<'g> Ctx<'g> {
             }
             Expr::Not(x) => {
                 let v = self.eval_expr(x, b)?;
-                ebv(self.g, &v).map(|t| Value::Bool(!t))
+                ebv(&self.g, &v).map(|t| Value::Bool(!t))
             }
             Expr::Compare(op, x, y) => {
                 let l = self.eval_expr(x, b)?;
@@ -759,7 +780,7 @@ impl<'g> Ctx<'g> {
                 let v = self.eval_expr(x, b)?;
                 match v {
                     Value::Int(i) => Some(Value::Int(-i)),
-                    other => as_numeric(self.g, &other).map(|n| Value::Num(-n)),
+                    other => as_numeric(&self.g, &other).map(|n| Value::Num(-n)),
                 }
             }
             Expr::In(x, list, negated) => {
@@ -767,7 +788,7 @@ impl<'g> Ctx<'g> {
                 let mut found = false;
                 for item in list {
                     let v = self.eval_expr(item, b)?;
-                    if values_equal(self.g, &needle, &v) == Some(true) {
+                    if values_equal(&self.g, &needle, &v) == Some(true) {
                         found = true;
                         break;
                     }
@@ -799,16 +820,18 @@ impl<'g> Ctx<'g> {
             (None, Some(dt)) if dt == xsd::BOOLEAN => {
                 Value::Bool(l.lexical == "true" || l.lexical == "1")
             }
-            (None, Some(dt)) if xsd::is_integer_type(dt) => l
-                .lexical
-                .parse()
-                .map(Value::Int)
-                .unwrap_or(Value::Str { s: l.lexical.clone(), lang: None }),
-            (None, Some(dt)) if xsd::is_numeric_type(dt) => l
-                .lexical
-                .parse()
-                .map(Value::Num)
-                .unwrap_or(Value::Str { s: l.lexical.clone(), lang: None }),
+            (None, Some(dt)) if xsd::is_integer_type(dt) => {
+                l.lexical.parse().map(Value::Int).unwrap_or(Value::Str {
+                    s: l.lexical.clone(),
+                    lang: None,
+                })
+            }
+            (None, Some(dt)) if xsd::is_numeric_type(dt) => {
+                l.lexical.parse().map(Value::Num).unwrap_or(Value::Str {
+                    s: l.lexical.clone(),
+                    lang: None,
+                })
+            }
             (None, Some(dt)) => {
                 let term = Term::Literal(feo_rdf::Literal::typed(
                     l.lexical.clone(),
@@ -822,10 +845,10 @@ impl<'g> Ctx<'g> {
     fn compare(&self, op: CompareOp, l: &Value, r: &Value) -> Option<bool> {
         use std::cmp::Ordering;
         match op {
-            CompareOp::Eq => values_equal(self.g, l, r),
-            CompareOp::Ne => values_equal(self.g, l, r).map(|b| !b),
+            CompareOp::Eq => values_equal(&self.g, l, r),
+            CompareOp::Ne => values_equal(&self.g, l, r).map(|b| !b),
             _ => {
-                let ord = values_compare(self.g, l, r)?;
+                let ord = values_compare(&self.g, l, r)?;
                 Some(match op {
                     CompareOp::Lt => ord == Ordering::Less,
                     CompareOp::Le => ord != Ordering::Greater,
@@ -853,10 +876,10 @@ impl<'g> Ctx<'g> {
                 }
             };
         }
-        let a = as_numeric(self.g, l)?;
-        let b = as_numeric(self.g, r)?;
+        let a = as_numeric(&self.g, l)?;
+        let b = as_numeric(&self.g, r)?;
         // Preserve integrality when both terms are integer-typed literals.
-        let both_int = as_integer(self.g, l).is_some() && as_integer(self.g, r).is_some();
+        let both_int = as_integer(&self.g, l).is_some() && as_integer(&self.g, r).is_some();
         let result = match op {
             ArithOp::Add => a + b,
             ArithOp::Sub => a - b,
@@ -897,7 +920,7 @@ impl<'g> Ctx<'g> {
                     return None;
                 }
                 let c = self.eval_expr(&args[0], b)?;
-                return match ebv(self.g, &c)? {
+                return match ebv(&self.g, &c)? {
                     true => self.eval_expr(&args[1], b),
                     false => self.eval_expr(&args[2], b),
                 };
@@ -909,7 +932,7 @@ impl<'g> Ctx<'g> {
         let vals = vals?;
         match builtin {
             Bound | Coalesce | If => unreachable!("handled above"),
-            Str => str_builtin(self.g, vals.first()?).map(|s| Value::Str { s, lang: None }),
+            Str => str_builtin(&self.g, vals.first()?).map(|s| Value::Str { s, lang: None }),
             Lang => {
                 let v = vals.first()?;
                 let lang = match v {
@@ -920,11 +943,14 @@ impl<'g> Ctx<'g> {
                     Value::Str { lang, .. } => lang.clone().unwrap_or_default(),
                     _ => return None,
                 };
-                Some(Value::Str { s: lang, lang: None })
+                Some(Value::Str {
+                    s: lang,
+                    lang: None,
+                })
             }
             LangMatches => {
-                let (tag, _) = as_string(self.g, vals.first()?)?;
-                let (range, _) = as_string(self.g, vals.get(1)?)?;
+                let (tag, _) = as_string(&self.g, vals.first()?)?;
+                let (range, _) = as_string(&self.g, vals.get(1)?)?;
                 let m = if range == "*" {
                     !tag.is_empty()
                 } else {
@@ -954,7 +980,7 @@ impl<'g> Ctx<'g> {
                 Some(Value::IriStr(dt))
             }
             Iri => {
-                let s = str_builtin(self.g, vals.first()?)?;
+                let s = str_builtin(&self.g, vals.first()?)?;
                 Some(Value::IriStr(s))
             }
             BNode => {
@@ -962,56 +988,74 @@ impl<'g> Ctx<'g> {
                 Some(Value::Term(id))
             }
             StrLen => {
-                let (s, _) = as_string(self.g, vals.first()?)?;
+                let (s, _) = as_string(&self.g, vals.first()?)?;
                 Some(Value::Int(s.chars().count() as i64))
             }
             UCase => {
-                let (s, lang) = as_string(self.g, vals.first()?)?;
-                Some(Value::Str { s: s.to_uppercase(), lang })
+                let (s, lang) = as_string(&self.g, vals.first()?)?;
+                Some(Value::Str {
+                    s: s.to_uppercase(),
+                    lang,
+                })
             }
             LCase => {
-                let (s, lang) = as_string(self.g, vals.first()?)?;
-                Some(Value::Str { s: s.to_lowercase(), lang })
+                let (s, lang) = as_string(&self.g, vals.first()?)?;
+                Some(Value::Str {
+                    s: s.to_lowercase(),
+                    lang,
+                })
             }
             Contains => {
-                let (h, _) = as_string(self.g, vals.first()?)?;
-                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                let (h, _) = as_string(&self.g, vals.first()?)?;
+                let (n, _) = as_string(&self.g, vals.get(1)?)?;
                 Some(Value::Bool(h.contains(&n)))
             }
             StrStarts => {
-                let (h, _) = as_string(self.g, vals.first()?)?;
-                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                let (h, _) = as_string(&self.g, vals.first()?)?;
+                let (n, _) = as_string(&self.g, vals.get(1)?)?;
                 Some(Value::Bool(h.starts_with(&n)))
             }
             StrEnds => {
-                let (h, _) = as_string(self.g, vals.first()?)?;
-                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                let (h, _) = as_string(&self.g, vals.first()?)?;
+                let (n, _) = as_string(&self.g, vals.get(1)?)?;
                 Some(Value::Bool(h.ends_with(&n)))
             }
             StrBefore => {
-                let (h, lang) = as_string(self.g, vals.first()?)?;
-                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                let (h, lang) = as_string(&self.g, vals.first()?)?;
+                let (n, _) = as_string(&self.g, vals.get(1)?)?;
                 Some(match h.find(&n) {
-                    Some(i) => Value::Str { s: h[..i].to_string(), lang },
-                    None => Value::Str { s: String::new(), lang: None },
+                    Some(i) => Value::Str {
+                        s: h[..i].to_string(),
+                        lang,
+                    },
+                    None => Value::Str {
+                        s: String::new(),
+                        lang: None,
+                    },
                 })
             }
             StrAfter => {
-                let (h, lang) = as_string(self.g, vals.first()?)?;
-                let (n, _) = as_string(self.g, vals.get(1)?)?;
+                let (h, lang) = as_string(&self.g, vals.first()?)?;
+                let (n, _) = as_string(&self.g, vals.get(1)?)?;
                 Some(match h.find(&n) {
-                    Some(i) => Value::Str { s: h[i + n.len()..].to_string(), lang },
-                    None => Value::Str { s: String::new(), lang: None },
+                    Some(i) => Value::Str {
+                        s: h[i + n.len()..].to_string(),
+                        lang,
+                    },
+                    None => Value::Str {
+                        s: String::new(),
+                        lang: None,
+                    },
                 })
             }
             SubStr => {
-                let (s, lang) = as_string(self.g, vals.first()?)?;
-                let start = as_integer(self.g, vals.get(1)?)?;
+                let (s, lang) = as_string(&self.g, vals.first()?)?;
+                let start = as_integer(&self.g, vals.get(1)?)?;
                 let chars: Vec<char> = s.chars().collect();
                 let from = (start.max(1) - 1) as usize;
                 let taken: String = match vals.get(2) {
                     Some(len_v) => {
-                        let len = as_integer(self.g, len_v)?.max(0) as usize;
+                        let len = as_integer(&self.g, len_v)?.max(0) as usize;
                         chars.iter().skip(from).take(len).collect()
                     }
                     None => chars.iter().skip(from).collect(),
@@ -1019,43 +1063,46 @@ impl<'g> Ctx<'g> {
                 Some(Value::Str { s: taken, lang })
             }
             Replace => {
-                let (s, lang) = as_string(self.g, vals.first()?)?;
-                let (pat, _) = as_string(self.g, vals.get(1)?)?;
-                let (rep, _) = as_string(self.g, vals.get(2)?)?;
+                let (s, lang) = as_string(&self.g, vals.first()?)?;
+                let (pat, _) = as_string(&self.g, vals.get(1)?)?;
+                let (rep, _) = as_string(&self.g, vals.get(2)?)?;
                 let flags = match vals.get(3) {
-                    Some(v) => as_string(self.g, v)?.0,
+                    Some(v) => as_string(&self.g, v)?.0,
                     None => String::new(),
                 };
                 let re = crate::regexlite::Regex::new(&pat, &flags).ok()?;
-                Some(Value::Str { s: re.replace_all(&s, &rep), lang })
+                Some(Value::Str {
+                    s: re.replace_all(&s, &rep),
+                    lang,
+                })
             }
             Concat => {
                 let mut out = String::new();
                 for v in &vals {
-                    out.push_str(&str_builtin(self.g, v)?);
+                    out.push_str(&str_builtin(&self.g, v)?);
                 }
                 Some(Value::Str { s: out, lang: None })
             }
             Regex => {
-                let (text, _) = as_string(self.g, vals.first()?)?;
-                let (pat, _) = as_string(self.g, vals.get(1)?)?;
+                let (text, _) = as_string(&self.g, vals.first()?)?;
+                let (pat, _) = as_string(&self.g, vals.get(1)?)?;
                 let flags = match vals.get(2) {
-                    Some(v) => as_string(self.g, v)?.0,
+                    Some(v) => as_string(&self.g, v)?.0,
                     None => String::new(),
                 };
                 let re = crate::regexlite::Regex::new(&pat, &flags).ok()?;
                 Some(Value::Bool(re.is_match(&text)))
             }
-            Abs => as_numeric(self.g, vals.first()?).map(|n| Value::Num(n.abs())),
-            Ceil => as_numeric(self.g, vals.first()?).map(|n| Value::Num(n.ceil())),
-            Floor => as_numeric(self.g, vals.first()?).map(|n| Value::Num(n.floor())),
-            Round => as_numeric(self.g, vals.first()?).map(|n| Value::Num(n.round())),
+            Abs => as_numeric(&self.g, vals.first()?).map(|n| Value::Num(n.abs())),
+            Ceil => as_numeric(&self.g, vals.first()?).map(|n| Value::Num(n.ceil())),
+            Floor => as_numeric(&self.g, vals.first()?).map(|n| Value::Num(n.floor())),
+            Round => as_numeric(&self.g, vals.first()?).map(|n| Value::Num(n.round())),
             SameTerm => {
                 let a = vals.first()?;
                 let c = vals.get(1)?;
                 match (a, c) {
                     (Value::Term(x), Value::Term(y)) => Some(Value::Bool(x == y)),
-                    _ => values_equal(self.g, a, c).map(Value::Bool),
+                    _ => values_equal(&self.g, a, c).map(Value::Bool),
                 }
             }
             IsIri => Some(Value::Bool(match vals.first()? {
@@ -1072,7 +1119,7 @@ impl<'g> Ctx<'g> {
                 Value::Bool(_) | Value::Int(_) | Value::Num(_) | Value::Str { .. } => true,
                 Value::IriStr(_) => false,
             })),
-            IsNumeric => Some(Value::Bool(as_numeric(self.g, vals.first()?).is_some())),
+            IsNumeric => Some(Value::Bool(as_numeric(&self.g, vals.first()?).is_some())),
         }
     }
 
@@ -1100,7 +1147,7 @@ impl<'g> Ctx<'g> {
                         let slot = self.vars.get(v).expect("registered");
                         for b in &mut rows {
                             if let Some(val) = self.eval_expr(e, &b.clone()) {
-                                b[slot] = Some(val.into_term_id(self.g));
+                                b[slot] = Some(val.into_term_id(&mut self.g));
                             }
                         }
                     }
@@ -1118,7 +1165,7 @@ impl<'g> Ctx<'g> {
                 let mut descs = Vec::new();
                 for oc in &q.modifiers.order_by {
                     let v = self.eval_expr(&oc.expr, &b);
-                    keys.push(order_key(self.g, v.as_ref()));
+                    keys.push(order_key(&self.g, v.as_ref()));
                     descs.push(oc.descending);
                 }
                 keyed.push((keys, descs, b));
@@ -1147,7 +1194,7 @@ impl<'g> Ctx<'g> {
                     .filter(|(_, n)| !n.starts_with("_:"))
                     .map(|(i, n)| (n.clone(), i))
                     .collect();
-                pairs.sort_by(|a, b| a.1.cmp(&b.1));
+                pairs.sort_by_key(|a| a.1);
                 pairs.into_iter().unzip()
             }
             Projection::Items(items) => items
@@ -1175,11 +1222,8 @@ impl<'g> Ctx<'g> {
 
         let offset = q.modifiers.offset.unwrap_or(0);
         let limit = q.modifiers.limit.unwrap_or(usize::MAX);
-        let sliced: Vec<Vec<Option<TermId>>> = projected
-            .into_iter()
-            .skip(offset)
-            .take(limit)
-            .collect();
+        let sliced: Vec<Vec<Option<TermId>>> =
+            projected.into_iter().skip(offset).take(limit).collect();
 
         let table = SolutionTable {
             vars: names,
@@ -1209,9 +1253,9 @@ impl<'g> Ctx<'g> {
             for gc in &q.modifiers.group_by {
                 let v = match gc {
                     GroupCondition::Var(v) => self.vars.get(v).and_then(|s| b[s]),
-                    GroupCondition::Expr(e, _) => self
-                        .eval_expr(e, &b)
-                        .map(|v| v.into_term_id(self.g)),
+                    GroupCondition::Expr(e, _) => {
+                        self.eval_expr(e, &b).map(|v| v.into_term_id(&mut self.g))
+                    }
                 };
                 key.push(v);
             }
@@ -1253,7 +1297,7 @@ impl<'g> Ctx<'g> {
             // HAVING.
             for h in &q.modifiers.having {
                 let v = self.eval_group_expr(h, &members, &row);
-                if v.and_then(|v| ebv(self.g, &v)) != Some(true) {
+                if v.and_then(|v| ebv(&self.g, &v)) != Some(true) {
                     continue 'group;
                 }
             }
@@ -1263,7 +1307,7 @@ impl<'g> Ctx<'g> {
                     if let ProjectionItem::Expr(e, v) = item {
                         let slot = self.vars.get(v).expect("registered");
                         if let Some(val) = self.eval_group_expr(e, &members, &row) {
-                            row[slot] = Some(val.into_term_id(self.g));
+                            row[slot] = Some(val.into_term_id(&mut self.g));
                         }
                     }
                 }
@@ -1275,16 +1319,21 @@ impl<'g> Ctx<'g> {
 
     /// Expression evaluation inside a group: aggregates compute over the
     /// member rows, plain variables resolve from the group-key row.
-    fn eval_group_expr(&mut self, e: &Expr, members: &[Binding], keyrow: &Binding) -> Option<Value> {
+    fn eval_group_expr(
+        &mut self,
+        e: &Expr,
+        members: &[Binding],
+        keyrow: &Binding,
+    ) -> Option<Value> {
         match e {
             Expr::Aggregate(agg) => self.eval_aggregate(agg, members),
             Expr::Or(a, x) => {
                 let l = self
                     .eval_group_expr(a, members, keyrow)
-                    .and_then(|v| ebv(self.g, &v));
+                    .and_then(|v| ebv(&self.g, &v));
                 let r = self
                     .eval_group_expr(x, members, keyrow)
-                    .and_then(|v| ebv(self.g, &v));
+                    .and_then(|v| ebv(&self.g, &v));
                 match (l, r) {
                     (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
                     (Some(false), Some(false)) => Some(Value::Bool(false)),
@@ -1294,10 +1343,10 @@ impl<'g> Ctx<'g> {
             Expr::And(a, x) => {
                 let l = self
                     .eval_group_expr(a, members, keyrow)
-                    .and_then(|v| ebv(self.g, &v));
+                    .and_then(|v| ebv(&self.g, &v));
                 let r = self
                     .eval_group_expr(x, members, keyrow)
-                    .and_then(|v| ebv(self.g, &v));
+                    .and_then(|v| ebv(&self.g, &v));
                 match (l, r) {
                     (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
                     (Some(true), Some(true)) => Some(Value::Bool(true)),
@@ -1306,7 +1355,7 @@ impl<'g> Ctx<'g> {
             }
             Expr::Not(a) => {
                 let v = self.eval_group_expr(a, members, keyrow)?;
-                ebv(self.g, &v).map(|t| Value::Bool(!t))
+                ebv(&self.g, &v).map(|t| Value::Bool(!t))
             }
             Expr::Compare(op, a, x) => {
                 let l = self.eval_group_expr(a, members, keyrow)?;
@@ -1340,7 +1389,10 @@ impl<'g> Ctx<'g> {
         if agg.distinct {
             let mut seen: Vec<Value> = Vec::new();
             values.retain(|v| {
-                if seen.iter().any(|s| values_equal(self.g, s, v) == Some(true)) {
+                if seen
+                    .iter()
+                    .any(|s| values_equal(&self.g, s, v) == Some(true))
+                {
                     false
                 } else {
                     seen.push(v.clone());
@@ -1353,7 +1405,7 @@ impl<'g> Ctx<'g> {
             AggregateKind::Sum => {
                 let mut acc = 0.0;
                 for v in &values {
-                    acc += as_numeric(self.g, v)?;
+                    acc += as_numeric(&self.g, v)?;
                 }
                 Some(if acc.fract() == 0.0 {
                     Value::Int(acc as i64)
@@ -1367,7 +1419,7 @@ impl<'g> Ctx<'g> {
                 }
                 let mut acc = 0.0;
                 for v in &values {
-                    acc += as_numeric(self.g, v)?;
+                    acc += as_numeric(&self.g, v)?;
                 }
                 Some(Value::Num(acc / values.len() as f64))
             }
@@ -1377,9 +1429,7 @@ impl<'g> Ctx<'g> {
                     best = Some(match best {
                         None => v,
                         Some(b) => {
-                            if values_compare(self.g, &v, &b)
-                                == Some(std::cmp::Ordering::Less)
-                            {
+                            if values_compare(&self.g, &v, &b) == Some(std::cmp::Ordering::Less) {
                                 v
                             } else {
                                 b
@@ -1395,8 +1445,7 @@ impl<'g> Ctx<'g> {
                     best = Some(match best {
                         None => v,
                         Some(b) => {
-                            if values_compare(self.g, &v, &b)
-                                == Some(std::cmp::Ordering::Greater)
+                            if values_compare(&self.g, &v, &b) == Some(std::cmp::Ordering::Greater)
                             {
                                 v
                             } else {
@@ -1411,7 +1460,7 @@ impl<'g> Ctx<'g> {
             AggregateKind::GroupConcat => {
                 let sep = agg.separator.clone().unwrap_or_else(|| " ".to_string());
                 let parts: Option<Vec<String>> =
-                    values.iter().map(|v| str_builtin(self.g, v)).collect();
+                    values.iter().map(|v| str_builtin(&self.g, v)).collect();
                 Some(Value::Str {
                     s: parts?.join(&sep),
                     lang: None,
@@ -1422,11 +1471,7 @@ impl<'g> Ctx<'g> {
 
     // ---- CONSTRUCT --------------------------------------------------------
 
-    fn construct(
-        &mut self,
-        template: &[TriplePattern],
-        rows: Vec<Binding>,
-    ) -> Result<QueryResult> {
+    fn construct(&mut self, template: &[TriplePattern], rows: Vec<Binding>) -> Result<QueryResult> {
         let mut out = Graph::new();
         for (row_idx, b) in rows.iter().enumerate() {
             for tp in template {

@@ -12,7 +12,10 @@ pub enum Tok {
     /// `<...>` IRI reference (raw text, unresolved).
     IriRef(String),
     /// `prefix:local` or `prefix:` or `:local` — kept split.
-    PName { prefix: String, local: String },
+    PName {
+        prefix: String,
+        local: String,
+    },
     /// `?name` or `$name`.
     Var(String),
     /// `_:label`.
@@ -22,7 +25,11 @@ pub enum Tok {
     /// `@lang`.
     LangTag(String),
     /// Unsigned numeric literal; the bool flags (has_dot, has_exp).
-    Number { lexical: String, dot: bool, exp: bool },
+    Number {
+        lexical: String,
+        dot: bool,
+        exp: bool,
+    },
     /// Bare word: keyword, `a`, `true`, `false`, function names.
     Word(String),
     /// `^^`
@@ -153,7 +160,7 @@ impl Lexer {
                 // space/char. Heuristic per SPARQL grammar: after '<' an IRI
                 // char or '>' means IRIREF.
                 match self.peek_at(1) {
-                    Some(n) if n == '=' => {
+                    Some('=') => {
                         self.bump();
                         self.bump();
                         Ok(Tok::Le)
@@ -161,8 +168,7 @@ impl Lexer {
                     Some(n)
                         if !n.is_whitespace()
                             && n != '<'
-                            && (n.is_alphanumeric()
-                                || "/:#_.-~%?&=+>".contains(n)) =>
+                            && (n.is_alphanumeric() || "/:#_.-~%?&=+>".contains(n)) =>
                     {
                         self.lex_iri_ref()
                     }
@@ -461,7 +467,11 @@ impl Lexer {
                 break;
             }
         }
-        Ok(Tok::Number { lexical: s, dot, exp })
+        Ok(Tok::Number {
+            lexical: s,
+            dot,
+            exp,
+        })
     }
 
     /// A bare word (keyword / builtin) or a prefixed name. The word form
@@ -658,10 +668,7 @@ mod tests {
 
     #[test]
     fn blank_labels() {
-        assert_eq!(
-            toks("_:b0"),
-            vec![Tok::BlankLabel("b0".into()), Tok::Eof]
-        );
+        assert_eq!(toks("_:b0"), vec![Tok::BlankLabel("b0".into()), Tok::Eof]);
     }
 
     #[test]

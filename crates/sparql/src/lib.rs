@@ -21,7 +21,7 @@
 //!     @prefix feo: <https://purl.org/heals/feo#> .
 //!     feo:Autumn a feo:SeasonCharacteristic .
 //! "#, &mut g).unwrap();
-//! let result = query(&mut g,
+//! let result = query(&g,
 //!     "PREFIX feo: <https://purl.org/heals/feo#>
 //!      SELECT ?c WHERE { ?c a feo:SeasonCharacteristic }").unwrap();
 //! let table = result.expect_solutions();

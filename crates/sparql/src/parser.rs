@@ -356,7 +356,11 @@ impl Parser {
 
     fn parse_unsigned(&mut self) -> Result<usize> {
         match self.bump() {
-            Tok::Number { lexical, dot: false, exp: false } => lexical
+            Tok::Number {
+                lexical,
+                dot: false,
+                exp: false,
+            } => lexical
                 .parse()
                 .map_err(|_| SparqlError::eval("integer out of range")),
             _ => self.err("expected a non-negative integer"),
@@ -607,36 +611,34 @@ impl Parser {
             Tok::IriRef(iri) => Ok(TermPattern::Iri(self.resolve(&iri))),
             Tok::PName { prefix, local } => Ok(TermPattern::Iri(self.expand(&prefix, &local)?)),
             Tok::BlankLabel(l) => Ok(TermPattern::Blank(format!("u{l}"))),
-            Tok::Str(s) => {
-                match self.peek().clone() {
-                    Tok::LangTag(tag) => {
-                        self.bump();
-                        Ok(TermPattern::Literal(LiteralPattern {
-                            lexical: s,
-                            language: Some(tag.to_ascii_lowercase()),
-                            datatype: None,
-                        }))
-                    }
-                    Tok::DtSep => {
-                        self.bump();
-                        let dt = match self.bump() {
-                            Tok::IriRef(iri) => self.resolve(&iri),
-                            Tok::PName { prefix, local } => self.expand(&prefix, &local)?,
-                            _ => return self.err("expected datatype IRI after '^^'"),
-                        };
-                        Ok(TermPattern::Literal(LiteralPattern {
-                            lexical: s,
-                            language: None,
-                            datatype: Some(dt),
-                        }))
-                    }
-                    _ => Ok(TermPattern::Literal(LiteralPattern {
+            Tok::Str(s) => match self.peek().clone() {
+                Tok::LangTag(tag) => {
+                    self.bump();
+                    Ok(TermPattern::Literal(LiteralPattern {
+                        lexical: s,
+                        language: Some(tag.to_ascii_lowercase()),
+                        datatype: None,
+                    }))
+                }
+                Tok::DtSep => {
+                    self.bump();
+                    let dt = match self.bump() {
+                        Tok::IriRef(iri) => self.resolve(&iri),
+                        Tok::PName { prefix, local } => self.expand(&prefix, &local)?,
+                        _ => return self.err("expected datatype IRI after '^^'"),
+                    };
+                    Ok(TermPattern::Literal(LiteralPattern {
                         lexical: s,
                         language: None,
-                        datatype: None,
-                    })),
+                        datatype: Some(dt),
+                    }))
                 }
-            }
+                _ => Ok(TermPattern::Literal(LiteralPattern {
+                    lexical: s,
+                    language: None,
+                    datatype: None,
+                })),
+            },
             Tok::Number { lexical, dot, exp } => {
                 Ok(TermPattern::Literal(numeric_literal(&lexical, dot, exp)))
             }
@@ -768,7 +770,9 @@ impl Parser {
                 Tok::IriRef(iri) => Ok((p.resolve(&iri), inverted)),
                 Tok::PName { prefix, local } => Ok((p.expand(&prefix, &local)?, inverted)),
                 Tok::Word(w) if w == "a" => Ok((rdf::TYPE.to_string(), inverted)),
-                other => p.err(format!("expected IRI in negated property set, found {other:?}")),
+                other => p.err(format!(
+                    "expected IRI in negated property set, found {other:?}"
+                )),
             }
         };
         if self.eat(&Tok::LParen) {
@@ -1149,7 +1153,10 @@ mod tests {
                ?question <http://e/param> ?p . \
                OPTIONAL { ?p <http://e/x> ?y } }",
         );
-        assert!(matches!(q.where_pattern.elements[0], GroupElement::Bind(_, _)));
+        assert!(matches!(
+            q.where_pattern.elements[0],
+            GroupElement::Bind(_, _)
+        ));
         assert!(q
             .where_pattern
             .elements
@@ -1176,9 +1183,7 @@ mod tests {
             }
             _ => panic!(),
         }
-        let q = parse(
-            "SELECT * WHERE { VALUES (?x ?y) { (<http://e/a> 1) (UNDEF 2) } }",
-        );
+        let q = parse("SELECT * WHERE { VALUES (?x ?y) { (<http://e/a> 1) (UNDEF 2) } }");
         match &q.where_pattern.elements[0] {
             GroupElement::Values(v) => {
                 assert_eq!(v.vars.len(), 2);
@@ -1205,9 +1210,7 @@ mod tests {
 
     #[test]
     fn construct_and_ask() {
-        let q = parse(
-            "CONSTRUCT { ?s <http://e/derived> ?o } WHERE { ?s <http://e/p> ?o }",
-        );
+        let q = parse("CONSTRUCT { ?s <http://e/derived> ?o } WHERE { ?s <http://e/p> ?o }");
         assert!(matches!(q.form, QueryForm::Construct { .. }));
         let q = parse("ASK { <http://e/a> <http://e/p> <http://e/b> }");
         assert!(matches!(q.form, QueryForm::Ask));

@@ -41,9 +41,16 @@ enum Node {
     /// Any char (`.`).
     Any,
     /// Character class.
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     /// Repetition of inner node: min, max (None = unbounded).
-    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: Option<u32>,
+    },
     /// End anchor `$`.
     End,
 }
@@ -433,9 +440,9 @@ impl RParser {
             Some('.') => Ok(Node::Any),
             Some('$') => Ok(Node::End),
             Some('\\') => self.parse_escape(),
-            Some('*') | Some('+') | Some('?') => {
-                Err(RegexError("repetition operator with nothing to repeat".into()))
-            }
+            Some('*') | Some('+') | Some('?') => Err(RegexError(
+                "repetition operator with nothing to repeat".into(),
+            )),
             Some(c) => Ok(Node::Char(c)),
             None => Err(RegexError("unexpected end of pattern".into())),
         }
@@ -472,9 +479,7 @@ impl RParser {
         let mut items = Vec::new();
         loop {
             match self.bump() {
-                Some(']') if !items.is_empty() => {
-                    return Ok(Node::Class { negated, items })
-                }
+                Some(']') if !items.is_empty() => return Ok(Node::Class { negated, items }),
                 Some(']') => {
                     // A ']' first in the class is a literal.
                     items.push(ClassItem::Char(']'));

@@ -9,7 +9,7 @@
 
 use feo_rdf::term::{Literal, Term};
 use feo_rdf::vocab::xsd;
-use feo_rdf::{Graph, TermId};
+use feo_rdf::{GraphStore, GraphView, TermId};
 
 /// An expression value. `Term` preserves identity; the scalar variants
 /// are produced by operators and builtins.
@@ -20,14 +20,19 @@ pub enum Value {
     Int(i64),
     /// Non-integer numeric (decimal/double collapsed).
     Num(f64),
-    Str { s: String, lang: Option<String> },
+    Str {
+        s: String,
+        lang: Option<String>,
+    },
     /// A computed IRI (from `IRI(...)`).
     IriStr(String),
 }
 
 impl Value {
-    /// Converts to a concrete [`Term`], interning computed scalars.
-    pub fn into_term_id(self, g: &mut Graph) -> TermId {
+    /// Converts to a concrete [`Term`], interning computed scalars into
+    /// the store's writable dictionary (the scratch spill, when `g` is an
+    /// overlay over a read-only view).
+    pub fn into_term_id(self, g: &mut impl GraphStore) -> TermId {
         match self {
             Value::Term(id) => id,
             Value::Bool(b) => g.intern(&Term::boolean(b)),
@@ -54,7 +59,7 @@ fn format_num(n: f64) -> String {
 }
 
 /// Numeric view of a value, if any.
-pub fn as_numeric(g: &Graph, v: &Value) -> Option<f64> {
+pub fn as_numeric<G: GraphView + ?Sized>(g: &G, v: &Value) -> Option<f64> {
     match v {
         Value::Int(i) => Some(*i as f64),
         Value::Num(n) => Some(*n),
@@ -67,7 +72,7 @@ pub fn as_numeric(g: &Graph, v: &Value) -> Option<f64> {
 }
 
 /// Integer view (used where SPARQL wants integers, e.g. SUBSTR).
-pub fn as_integer(g: &Graph, v: &Value) -> Option<i64> {
+pub fn as_integer<G: GraphView + ?Sized>(g: &G, v: &Value) -> Option<i64> {
     match v {
         Value::Int(i) => Some(*i),
         Value::Num(n) if n.fract() == 0.0 => Some(*n as i64),
@@ -81,7 +86,7 @@ pub fn as_integer(g: &Graph, v: &Value) -> Option<i64> {
 
 /// String view: lexical form plus language tag. IRIs only stringify via
 /// the explicit STR() builtin, not implicitly.
-pub fn as_string(g: &Graph, v: &Value) -> Option<(String, Option<String>)> {
+pub fn as_string<G: GraphView + ?Sized>(g: &G, v: &Value) -> Option<(String, Option<String>)> {
     match v {
         Value::Str { s, lang } => Some((s.clone(), lang.clone())),
         Value::Term(id) => match g.term(*id) {
@@ -100,7 +105,7 @@ pub fn as_string(g: &Graph, v: &Value) -> Option<(String, Option<String>)> {
 
 /// The STR() builtin view: literals yield their lexical form, IRIs their
 /// text.
-pub fn str_builtin(g: &Graph, v: &Value) -> Option<String> {
+pub fn str_builtin<G: GraphView + ?Sized>(g: &G, v: &Value) -> Option<String> {
     match v {
         Value::Str { s, .. } => Some(s.clone()),
         Value::IriStr(i) => Some(i.clone()),
@@ -116,7 +121,7 @@ pub fn str_builtin(g: &Graph, v: &Value) -> Option<String> {
 }
 
 /// Boolean view, if directly boolean.
-pub fn as_bool(g: &Graph, v: &Value) -> Option<bool> {
+pub fn as_bool<G: GraphView + ?Sized>(g: &G, v: &Value) -> Option<bool> {
     match v {
         Value::Bool(b) => Some(*b),
         Value::Term(id) => match g.term(*id) {
@@ -128,7 +133,7 @@ pub fn as_bool(g: &Graph, v: &Value) -> Option<bool> {
 }
 
 /// SPARQL effective boolean value. `None` = type error.
-pub fn ebv(g: &Graph, v: &Value) -> Option<bool> {
+pub fn ebv<G: GraphView + ?Sized>(g: &G, v: &Value) -> Option<bool> {
     match v {
         Value::Bool(b) => Some(*b),
         Value::Int(i) => Some(*i != 0),
@@ -154,7 +159,7 @@ pub fn ebv(g: &Graph, v: &Value) -> Option<bool> {
 
 /// RDF-term / value equality for `=`. Returns `None` on incomparable
 /// operands (propagates as an expression error).
-pub fn values_equal(g: &Graph, a: &Value, b: &Value) -> Option<bool> {
+pub fn values_equal<G: GraphView + ?Sized>(g: &G, a: &Value, b: &Value) -> Option<bool> {
     // Numeric comparison dominates when both sides are numeric.
     if let (Some(x), Some(y)) = (as_numeric(g, a), as_numeric(g, b)) {
         return Some(x == y);
@@ -179,7 +184,11 @@ pub fn values_equal(g: &Graph, a: &Value, b: &Value) -> Option<bool> {
 }
 
 /// Order comparison for `<`/`>`: numeric, string (codepoint), or boolean.
-pub fn values_compare(g: &Graph, a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+pub fn values_compare<G: GraphView + ?Sized>(
+    g: &G,
+    a: &Value,
+    b: &Value,
+) -> Option<std::cmp::Ordering> {
     if let (Some(x), Some(y)) = (as_numeric(g, a), as_numeric(g, b)) {
         return x.partial_cmp(&y);
     }
@@ -239,7 +248,7 @@ impl Ord for OrderKey {
 }
 
 /// Computes the ORDER BY key for an optional value.
-pub fn order_key(g: &Graph, v: Option<&Value>) -> OrderKey {
+pub fn order_key<G: GraphView + ?Sized>(g: &G, v: Option<&Value>) -> OrderKey {
     let Some(v) = v else {
         return OrderKey::Unbound;
     };
@@ -262,6 +271,7 @@ pub fn order_key(g: &Graph, v: Option<&Value>) -> OrderKey {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use feo_rdf::Graph;
 
     fn setup() -> (Graph, TermId, TermId, TermId, TermId) {
         let mut g = Graph::new();
@@ -286,7 +296,16 @@ mod tests {
         assert_eq!(ebv(&g, &Value::Term(b)), Some(true));
         assert_eq!(ebv(&g, &Value::Term(int5)), Some(true));
         assert_eq!(ebv(&g, &Value::Int(0)), Some(false));
-        assert_eq!(ebv(&g, &Value::Str { s: "".into(), lang: None }), Some(false));
+        assert_eq!(
+            ebv(
+                &g,
+                &Value::Str {
+                    s: "".into(),
+                    lang: None
+                }
+            ),
+            Some(false)
+        );
         assert_eq!(ebv(&g, &Value::Term(s)), Some(true));
         assert_eq!(ebv(&g, &Value::Term(iri)), None, "IRI has no EBV");
     }
@@ -294,17 +313,29 @@ mod tests {
     #[test]
     fn equality_mixes_term_and_computed() {
         let (g, _, int5, s, _) = setup();
-        assert_eq!(values_equal(&g, &Value::Term(int5), &Value::Int(5)), Some(true));
-        assert_eq!(values_equal(&g, &Value::Term(int5), &Value::Num(5.0)), Some(true));
+        assert_eq!(
+            values_equal(&g, &Value::Term(int5), &Value::Int(5)),
+            Some(true)
+        );
+        assert_eq!(
+            values_equal(&g, &Value::Term(int5), &Value::Num(5.0)),
+            Some(true)
+        );
         assert_eq!(
             values_equal(
                 &g,
                 &Value::Term(s),
-                &Value::Str { s: "abc".into(), lang: None }
+                &Value::Str {
+                    s: "abc".into(),
+                    lang: None
+                }
             ),
             Some(true)
         );
-        assert_eq!(values_equal(&g, &Value::Term(int5), &Value::Int(6)), Some(false));
+        assert_eq!(
+            values_equal(&g, &Value::Term(int5), &Value::Int(6)),
+            Some(false)
+        );
     }
 
     #[test]
@@ -324,23 +355,35 @@ mod tests {
     fn comparison() {
         let (g, ..) = setup();
         use std::cmp::Ordering::*;
-        assert_eq!(values_compare(&g, &Value::Int(1), &Value::Num(2.0)), Some(Less));
+        assert_eq!(
+            values_compare(&g, &Value::Int(1), &Value::Num(2.0)),
+            Some(Less)
+        );
         assert_eq!(
             values_compare(
                 &g,
-                &Value::Str { s: "a".into(), lang: None },
-                &Value::Str { s: "b".into(), lang: None }
+                &Value::Str {
+                    s: "a".into(),
+                    lang: None
+                },
+                &Value::Str {
+                    s: "b".into(),
+                    lang: None
+                }
             ),
             Some(Less)
         );
-        assert_eq!(values_compare(&g, &Value::Bool(false), &Value::Bool(true)), Some(Less));
+        assert_eq!(
+            values_compare(&g, &Value::Bool(false), &Value::Bool(true)),
+            Some(Less)
+        );
         assert_eq!(values_compare(&g, &Value::Int(1), &Value::Bool(true)), None);
     }
 
     #[test]
     fn order_keys_total_order() {
         let (g, iri, int5, s, _) = setup();
-        let mut keys = vec![
+        let mut keys = [
             order_key(&g, Some(&Value::Term(s))),
             order_key(&g, None),
             order_key(&g, Some(&Value::Term(int5))),
@@ -358,7 +401,11 @@ mod tests {
         let mut g = Graph::new();
         let id = Value::Int(42).into_term_id(&mut g);
         assert_eq!(g.term(id), &Term::integer(42));
-        let id = Value::Str { s: "hi".into(), lang: Some("en".into()) }.into_term_id(&mut g);
+        let id = Value::Str {
+            s: "hi".into(),
+            lang: Some("en".into()),
+        }
+        .into_term_id(&mut g);
         assert_eq!(g.term(id), &Term::Literal(Literal::lang("hi", "en")));
         let id = Value::IriStr("http://e/z".into()).into_term_id(&mut g);
         assert_eq!(g.term(id), &Term::iri("http://e/z"));

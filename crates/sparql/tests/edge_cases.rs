@@ -49,10 +49,7 @@ fn nested_optionals() {
 fn values_joins_prebound_variables() {
     let mut g = graph("e:a e:p e:b . e:c e:p e:d .");
     // VALUES after the triple pattern must act as a join filter.
-    let t = select(
-        &mut g,
-        "SELECT ?s WHERE { ?s e:p ?o . VALUES ?s { e:a } }",
-    );
+    let t = select(&mut g, "SELECT ?s WHERE { ?s e:p ?o . VALUES ?s { e:a } }");
     assert_eq!(t.len(), 1);
     assert!(t.contains_local("s", "a"));
 }
@@ -79,9 +76,7 @@ fn construct_with_blank_template_mints_per_row() {
 
 #[test]
 fn order_by_mixed_types_is_total() {
-    let mut g = graph(
-        r#"e:a e:v 10 . e:b e:v "text" . e:c e:v e:iri . e:d e:q e:x ."#,
-    );
+    let mut g = graph(r#"e:a e:v 10 . e:b e:v "text" . e:c e:v e:iri . e:d e:q e:x ."#);
     let t = select(
         &mut g,
         "SELECT ?s ?v WHERE { ?s ?p ?o . OPTIONAL { ?s e:v ?v } } ORDER BY ?v",
@@ -144,14 +139,14 @@ fn negated_property_set_with_inverse() {
 
 #[test]
 fn zero_or_more_with_both_ends_bound() {
-    let mut g = graph("e:a e:p e:b . e:b e:p e:c .");
-    assert!(query(&mut g, "PREFIX e: <http://e/> ASK { e:a (e:p*) e:c }")
+    let g = graph("e:a e:p e:b . e:b e:p e:c .");
+    assert!(query(&g, "PREFIX e: <http://e/> ASK { e:a (e:p*) e:c }")
         .unwrap()
         .expect_boolean());
-    assert!(query(&mut g, "PREFIX e: <http://e/> ASK { e:a (e:p*) e:a }")
+    assert!(query(&g, "PREFIX e: <http://e/> ASK { e:a (e:p*) e:a }")
         .unwrap()
         .expect_boolean());
-    assert!(!query(&mut g, "PREFIX e: <http://e/> ASK { e:c (e:p+) e:a }")
+    assert!(!query(&g, "PREFIX e: <http://e/> ASK { e:c (e:p+) e:a }")
         .unwrap()
         .expect_boolean());
 }
@@ -160,7 +155,10 @@ fn zero_or_more_with_both_ends_bound() {
 fn minus_without_shared_vars_keeps_everything() {
     // Per spec, MINUS rows with disjoint domains are not compatible.
     let mut g = graph("e:a e:p e:b . e:x e:q e:y .");
-    let t = select(&mut g, "SELECT ?s WHERE { ?s e:p ?o . MINUS { ?u e:q ?v } }");
+    let t = select(
+        &mut g,
+        "SELECT ?s WHERE { ?s e:p ?o . MINUS { ?u e:q ?v } }",
+    );
     assert_eq!(t.len(), 1);
 }
 
@@ -237,7 +235,10 @@ fn variable_predicate_joins_with_path_elsewhere() {
 #[test]
 fn empty_group_in_union_arm() {
     let mut g = graph("e:a e:p e:b .");
-    let t = select(&mut g, "SELECT ?s WHERE { { ?s e:p ?o } UNION { ?s e:missing ?o } }");
+    let t = select(
+        &mut g,
+        "SELECT ?s WHERE { { ?s e:p ?o } UNION { ?s e:missing ?o } }",
+    );
     assert_eq!(t.len(), 1);
 }
 

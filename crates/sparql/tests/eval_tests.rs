@@ -53,7 +53,10 @@ fn basic_bgp_join() {
 #[test]
 fn select_star_excludes_blank_slots() {
     let mut g = food_graph();
-    let t = select(&mut g, "SELECT * WHERE { ?r e:hasIngredient [ a e:Vegetable ] }");
+    let t = select(
+        &mut g,
+        "SELECT * WHERE { ?r e:hasIngredient [ a e:Vegetable ] }",
+    );
     assert_eq!(t.vars, vec!["r"]);
     assert_eq!(t.len(), 4); // curry x2 ingredients, soup, salad
 }
@@ -69,9 +72,7 @@ fn optional_keeps_unmatched() {
     let potato_rows: Vec<_> = t
         .rows
         .iter()
-        .filter(|r| {
-            matches!(&r[0], Some(feo_rdf::Term::Iri(i)) if i.local_name() == "potato")
-        })
+        .filter(|r| matches!(&r[0], Some(feo_rdf::Term::Iri(i)) if i.local_name() == "potato"))
         .collect();
     assert_eq!(potato_rows.len(), 1);
     assert!(potato_rows[0][1].is_none());
@@ -195,7 +196,10 @@ fn values_multi_var_with_undef() {
 #[test]
 fn distinct_and_limit_offset() {
     let mut g = food_graph();
-    let t = select(&mut g, "SELECT DISTINCT ?season WHERE { ?v e:availableIn ?season }");
+    let t = select(
+        &mut g,
+        "SELECT DISTINCT ?season WHERE { ?v e:availableIn ?season }",
+    );
     assert_eq!(t.len(), 3);
     let t = select(
         &mut g,
@@ -249,9 +253,8 @@ fn property_path_inverse() {
 
 #[test]
 fn property_path_plus_transitive() {
-    let mut g = graph(
-        "e:A rdfs:subClassOf e:B . e:B rdfs:subClassOf e:C . e:C rdfs:subClassOf e:D .",
-    );
+    let mut g =
+        graph("e:A rdfs:subClassOf e:B . e:B rdfs:subClassOf e:C . e:C rdfs:subClassOf e:D .");
     let t = select(&mut g, "SELECT ?sup WHERE { e:A (rdfs:subClassOf+) ?sup }");
     assert_eq!(t.len(), 3);
     let t = select(&mut g, "SELECT ?sup WHERE { e:A (rdfs:subClassOf*) ?sup }");
@@ -277,12 +280,14 @@ fn negated_property_set() {
 
 #[test]
 fn ask_queries() {
-    let mut g = food_graph();
-    assert!(query(&mut g, "PREFIX e: <http://e/> ASK { e:curry a e:Recipe }")
-        .unwrap()
-        .expect_boolean());
+    let g = food_graph();
     assert!(
-        !query(&mut g, "PREFIX e: <http://e/> ASK { e:curry a e:Vegetable }")
+        query(&g, "PREFIX e: <http://e/> ASK { e:curry a e:Recipe }")
+            .unwrap()
+            .expect_boolean()
+    );
+    assert!(
+        !query(&g, "PREFIX e: <http://e/> ASK { e:curry a e:Vegetable }")
             .unwrap()
             .expect_boolean()
     );
@@ -337,7 +342,10 @@ fn having_filters_groups() {
 #[test]
 fn count_star_and_distinct() {
     let mut g = food_graph();
-    let t = select(&mut g, "SELECT (COUNT(*) AS ?n) WHERE { ?s e:availableIn ?o }");
+    let t = select(
+        &mut g,
+        "SELECT (COUNT(*) AS ?n) WHERE { ?s e:availableIn ?o }",
+    );
     assert_eq!(t.local_rows()[0][0], "4");
     let t = select(
         &mut g,
@@ -378,7 +386,10 @@ fn string_builtins() {
         r#"SELECT (STRLEN("hello") AS ?l) (UCASE("hi") AS ?u) (SUBSTR("potato", 2, 3) AS ?s) WHERE { }"#,
     );
     let r = t.local_rows();
-    assert_eq!(r[0], vec!["5".to_string(), "HI".to_string(), "ota".to_string()]);
+    assert_eq!(
+        r[0],
+        vec!["5".to_string(), "HI".to_string(), "ota".to_string()]
+    );
 }
 
 #[test]
@@ -398,9 +409,7 @@ fn regex_builtin() {
 
 #[test]
 fn str_lang_datatype() {
-    let mut g = graph(
-        r#"e:x e:label "plain" . e:y e:label "tagged"@fr . e:z e:num 5 ."#,
-    );
+    let mut g = graph(r#"e:x e:label "plain" . e:y e:label "tagged"@fr . e:z e:num 5 ."#);
     let t = select(
         &mut g,
         r#"SELECT ?s WHERE { ?s e:label ?l . FILTER (LANG(?l) = "fr") }"#,
@@ -455,10 +464,7 @@ fn in_and_not_in() {
 #[test]
 fn nested_group_and_variable_predicate() {
     let mut g = food_graph();
-    let t = select(
-        &mut g,
-        "SELECT DISTINCT ?p WHERE { e:curry ?p ?o }",
-    );
+    let t = select(&mut g, "SELECT DISTINCT ?p WHERE { e:curry ?p ?o }");
     assert_eq!(t.len(), 3); // rdf:type, hasIngredient, calories
 
     let t = select(
@@ -513,13 +519,20 @@ fn empty_where_yields_single_empty_solution() {
 fn error_value_drops_row_in_filter() {
     // Comparing an IRI numerically is an error → row dropped, not panic.
     let mut g = food_graph();
-    let t = select(&mut g, "SELECT ?r WHERE { ?r a e:Recipe . FILTER (?r > 5) }");
+    let t = select(
+        &mut g,
+        "SELECT ?r WHERE { ?r a e:Recipe . FILTER (?r > 5) }",
+    );
     assert_eq!(t.len(), 0);
 }
 
 #[test]
 fn query_result_accessors() {
-    let mut g = food_graph();
-    let r = query(&mut g, "PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Recipe }").unwrap();
+    let g = food_graph();
+    let r = query(
+        &g,
+        "PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Recipe }",
+    )
+    .unwrap();
     assert!(matches!(r, QueryResult::Solutions(_)));
 }

@@ -15,11 +15,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         let mut g = Graph::new();
         for (s, p, o) in edges {
             let pred = if p { "http://t/p" } else { "http://t/q" };
-            g.insert_iris(
-                &format!("http://t/n{s}"),
-                pred,
-                &format!("http://t/n{o}"),
-            );
+            g.insert_iris(&format!("http://t/n{s}"), pred, &format!("http://t/n{o}"));
         }
         g
     })
@@ -44,10 +40,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn distinct_is_idempotent_and_dedupes(mut g in arb_graph()) {
-        let all = query(&mut g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
+    fn distinct_is_idempotent_and_dedupes(g in arb_graph()) {
+        let all = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
             .unwrap().expect_solutions();
-        let distinct = query(&mut g, "SELECT DISTINCT ?s ?o WHERE { ?s <http://t/p> ?o }")
+        let distinct = query(&g, "SELECT DISTINCT ?s ?o WHERE { ?s <http://t/p> ?o }")
             .unwrap().expect_solutions();
         // Distinct result is a set.
         let d = rows_sorted(&distinct);
@@ -61,10 +57,10 @@ proptest! {
     }
 
     #[test]
-    fn limit_offset_slice(mut g in arb_graph(), limit in 0usize..10, offset in 0usize..10) {
-        let base = query(&mut g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o } ORDER BY ?s ?o")
+    fn limit_offset_slice(g in arb_graph(), limit in 0usize..10, offset in 0usize..10) {
+        let base = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o } ORDER BY ?s ?o")
             .unwrap().expect_solutions();
-        let sliced = query(&mut g, &format!(
+        let sliced = query(&g, &format!(
             "SELECT ?s ?o WHERE {{ ?s <http://t/p> ?o }} ORDER BY ?s ?o LIMIT {limit} OFFSET {offset}"
         )).unwrap().expect_solutions();
         let expected: Vec<_> = base.rows.iter().skip(offset).take(limit).cloned().collect();
@@ -72,35 +68,35 @@ proptest! {
     }
 
     #[test]
-    fn union_is_commutative_as_multiset(mut g in arb_graph()) {
-        let ab = query(&mut g,
+    fn union_is_commutative_as_multiset(g in arb_graph()) {
+        let ab = query(&g,
             "SELECT ?s ?o WHERE { { ?s <http://t/p> ?o } UNION { ?s <http://t/q> ?o } }")
             .unwrap().expect_solutions();
-        let ba = query(&mut g,
+        let ba = query(&g,
             "SELECT ?s ?o WHERE { { ?s <http://t/q> ?o } UNION { ?s <http://t/p> ?o } }")
             .unwrap().expect_solutions();
         prop_assert_eq!(rows_sorted(&ab), rows_sorted(&ba));
     }
 
     #[test]
-    fn filter_true_is_identity(mut g in arb_graph()) {
-        let plain = query(&mut g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
+    fn filter_true_is_identity(g in arb_graph()) {
+        let plain = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
             .unwrap().expect_solutions();
-        let filtered = query(&mut g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o . FILTER (1 = 1) }")
+        let filtered = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o . FILTER (1 = 1) }")
             .unwrap().expect_solutions();
         prop_assert_eq!(rows_sorted(&plain), rows_sorted(&filtered));
-        let none = query(&mut g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o . FILTER (1 = 2) }")
+        let none = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o . FILTER (1 = 2) }")
             .unwrap().expect_solutions();
         prop_assert!(none.is_empty());
     }
 
     #[test]
-    fn path_plus_equals_path_star_minus_zero_length(mut g in arb_graph()) {
+    fn path_plus_equals_path_star_minus_zero_length(g in arb_graph()) {
         // p+ from a fixed start = p* minus the zero-length pair when the
         // start has no self-loop derivation.
-        let plus = query(&mut g, "SELECT ?x WHERE { <http://t/n0> (<http://t/p>+) ?x }")
+        let plus = query(&g, "SELECT ?x WHERE { <http://t/n0> (<http://t/p>+) ?x }")
             .unwrap().expect_solutions();
-        let star = query(&mut g, "SELECT ?x WHERE { <http://t/n0> (<http://t/p>*) ?x }")
+        let star = query(&g, "SELECT ?x WHERE { <http://t/n0> (<http://t/p>*) ?x }")
             .unwrap().expect_solutions();
         let plus_set: std::collections::BTreeSet<_> = rows_sorted(&plus).into_iter().collect();
         let star_set: std::collections::BTreeSet<_> = rows_sorted(&star).into_iter().collect();
@@ -112,30 +108,30 @@ proptest! {
     }
 
     #[test]
-    fn path_sequence_equals_join(mut g in arb_graph()) {
-        let path = query(&mut g,
+    fn path_sequence_equals_join(g in arb_graph()) {
+        let path = query(&g,
             "SELECT ?s ?o WHERE { ?s (<http://t/p>/<http://t/q>) ?o }")
             .unwrap().expect_solutions();
-        let join = query(&mut g,
+        let join = query(&g,
             "SELECT DISTINCT ?s ?o WHERE { ?s <http://t/p> ?m . ?m <http://t/q> ?o }")
             .unwrap().expect_solutions();
         prop_assert_eq!(rows_sorted(&path), rows_sorted(&join));
     }
 
     #[test]
-    fn ask_agrees_with_select(mut g in arb_graph()) {
-        let any = query(&mut g, "SELECT ?s WHERE { ?s <http://t/p> ?o } LIMIT 1")
+    fn ask_agrees_with_select(g in arb_graph()) {
+        let any = query(&g, "SELECT ?s WHERE { ?s <http://t/p> ?o } LIMIT 1")
             .unwrap().expect_solutions();
-        let ask = query(&mut g, "ASK { ?s <http://t/p> ?o }")
+        let ask = query(&g, "ASK { ?s <http://t/p> ?o }")
             .unwrap().expect_boolean();
         prop_assert_eq!(ask, !any.is_empty());
     }
 
     #[test]
-    fn count_matches_row_count(mut g in arb_graph()) {
-        let rows = query(&mut g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
+    fn count_matches_row_count(g in arb_graph()) {
+        let rows = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
             .unwrap().expect_solutions();
-        let counted = query(&mut g, "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://t/p> ?o }")
+        let counted = query(&g, "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://t/p> ?o }")
             .unwrap().expect_solutions();
         let n: i64 = counted.get(0, "n")
             .and_then(|t| t.as_literal())

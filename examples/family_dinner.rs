@@ -14,7 +14,9 @@ fn main() {
     let kg = curated();
     let family = vec![
         UserProfile::new("ana").likes(&["ShrimpScampi", "PastaPrimavera"]),
-        UserProfile::new("ben").likes(&["LentilSoup"]).diet("Vegetarian"),
+        UserProfile::new("ben")
+            .likes(&["LentilSoup"])
+            .diet("Vegetarian"),
         UserProfile::new("dana")
             .allergies(&["Shrimp"])
             .goals(&["HighFiberGoal"]),
@@ -41,12 +43,7 @@ fn main() {
     // Explain the winning dish for the most constrained member.
     let top = set.top().expect("a dish survives").to_string();
     println!("\nWhy {} works for dana:", top);
-    let mut engine = ExplanationEngine::new(
-        curated(),
-        family[2].clone(),
-        ctx,
-    )
-    .expect("consistent");
+    let mut engine = ExplanationEngine::new(curated(), family[2].clone(), ctx).expect("consistent");
     let e = engine
         .explain(&Question::WhyEat { food: top })
         .expect("explained");

@@ -43,7 +43,7 @@ fn main() {
 
         let q = queries::contextual_query(&question);
         let t1 = Instant::now();
-        let _table = query(&mut g, &q).expect("CQ1 runs").expect_solutions();
+        let _table = query(&g, &q).expect("CQ1 runs").expect_solutions();
         let q_ms = t1.elapsed().as_millis();
 
         println!(

@@ -291,7 +291,7 @@ fn cmd_query(args: &[String]) {
     Reasoner::new().materialize(&mut g);
     // Prepend the standard prefixes so short queries work out of the box.
     let full = format!("{}{}", feo::ontology::ns::sparql_prologue(), sparql);
-    match feo::sparql::query(&mut g, &full) {
+    match feo::sparql::query(&g, &full) {
         Ok(feo::sparql::QueryResult::Solutions(t)) => print!("{t}"),
         Ok(feo::sparql::QueryResult::Boolean(b)) => println!("{b}"),
         Ok(feo::sparql::QueryResult::Graph(g2)) => {

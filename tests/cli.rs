@@ -28,7 +28,10 @@ fn recommend_ranks_and_reports_eliminations() {
     assert!(ok);
     assert!(stdout.contains("Recommendations"));
     assert!(stdout.contains("Eliminated by hard constraints"));
-    assert!(!stdout.contains("BroccoliCheddarSoup\n"), "allergen dish not ranked");
+    assert!(
+        !stdout.contains("BroccoliCheddarSoup\n"),
+        "allergen dish not ranked"
+    );
     assert!(stdout.contains("allergen Broccoli"));
 }
 

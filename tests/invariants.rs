@@ -31,7 +31,9 @@ fn arb_kg() -> impl Strategy<Value = FoodKg> {
 }
 
 fn arb_user(kg: &FoodKg, seed: u64) -> UserProfile {
-    feo::foodkg::random_profiles(kg, 1, seed).pop().expect("one profile")
+    feo::foodkg::random_profiles(kg, 1, seed)
+        .pop()
+        .expect("one profile")
 }
 
 proptest! {

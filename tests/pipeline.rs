@@ -7,7 +7,9 @@
 use feo::core::{
     competency, scenario_a, scenario_b, scenario_c, ExplanationEngine, Population, Question,
 };
-use feo::foodkg::{curated, synthetic, FoodKg, Season, SyntheticConfig, SystemContext, UserProfile};
+use feo::foodkg::{
+    curated, synthetic, FoodKg, Season, SyntheticConfig, SystemContext, UserProfile,
+};
 use feo::rdf::turtle::{parse_turtle_into, write_turtle};
 use feo::rdf::Graph;
 use feo::recommender::{HealthCoach, PopularityRecommender, Recommender};
@@ -47,7 +49,9 @@ fn recommend_then_explain_round_trip() {
     let mut engine = ExplanationEngine::new(curated(), user, ctx)
         .expect("consistent")
         .with_recommendations(recs);
-    let contextual = engine.explain(&Question::WhyEat { food: top.clone() }).unwrap();
+    let contextual = engine
+        .explain(&Question::WhyEat { food: top.clone() })
+        .unwrap();
     let trace = engine.explain(&Question::WhatSteps { food: top }).unwrap();
     assert!(contextual.is_informative() || trace.is_informative());
 }
@@ -66,8 +70,11 @@ fn materialized_export_round_trips_through_turtle() {
     assert_eq!(engine.graph().len(), reimported.len(), "lossless export");
 
     let q = feo::core::queries::contrastive_query(&s.question);
-    let table = query(&mut reimported, &q).unwrap().expect_solutions();
-    assert_eq!(table.rows, direct.bindings.rows, "same rows over the re-import");
+    let table = query(&reimported, &q).unwrap().expect_solutions();
+    assert_eq!(
+        table.rows, direct.bindings.rows,
+        "same rows over the re-import"
+    );
 }
 
 #[test]
@@ -81,8 +88,7 @@ fn synthetic_kg_pipeline_end_to_end() {
     let recipe = kg.recipes[3].id.clone();
     let user = UserProfile::new("u").likes(&[&kg.recipes[0].id]);
     let ctx = SystemContext::new(Season::Winter);
-    let mut engine =
-        ExplanationEngine::new(kg, user, ctx).expect("synthetic stack is consistent");
+    let mut engine = ExplanationEngine::new(kg, user, ctx).expect("synthetic stack is consistent");
     assert!(engine.inference().is_consistent());
     assert!(engine.inference().warnings.is_empty());
     let e = engine.explain(&Question::WhyEat { food: recipe }).unwrap();
@@ -112,11 +118,7 @@ fn coach_beats_baseline_on_constraint_respect() {
         let violates = |set: &feo::recommender::RecommendationSet| {
             set.recommendations.iter().any(|r| {
                 kg.recipe(&r.recipe_id)
-                    .map(|rec| {
-                        rec.ingredients
-                            .iter()
-                            .any(|i| user.allergies.contains(i))
-                    })
+                    .map(|rec| rec.ingredients.iter().any(|i| user.allergies.contains(i)))
                     .unwrap_or(false)
             })
         };
@@ -193,13 +195,27 @@ fn full_engine_supports_all_nine_types_via_facade() {
         .with_population(Population::generate(&curated(), 100, 1))
         .with_recommendations(recs);
     for q in [
-        Question::WhyEat { food: "LentilSoup".into() },
-        Question::WhatSteps { food: "LentilSoup".into() },
-        Question::WhatOtherUsers { food: "LentilSoup".into() },
-        Question::WhyGenerally { food: "LentilSoup".into() },
-        Question::WhatLiterature { food: "LentilSoup".into() },
-        Question::WhatIfEatenDaily { food: "LentilSoup".into() },
-        Question::WhatEvidenceForDiet { diet: "Vegetarian".into() },
+        Question::WhyEat {
+            food: "LentilSoup".into(),
+        },
+        Question::WhatSteps {
+            food: "LentilSoup".into(),
+        },
+        Question::WhatOtherUsers {
+            food: "LentilSoup".into(),
+        },
+        Question::WhyGenerally {
+            food: "LentilSoup".into(),
+        },
+        Question::WhatLiterature {
+            food: "LentilSoup".into(),
+        },
+        Question::WhatIfEatenDaily {
+            food: "LentilSoup".into(),
+        },
+        Question::WhatEvidenceForDiet {
+            diet: "Vegetarian".into(),
+        },
     ] {
         engine.explain(&q).unwrap_or_else(|e| panic!("{q:?}: {e}"));
     }
