@@ -1,0 +1,59 @@
+//! Governor overhead on the happy path: the same CQ1–CQ3 explanations
+//! with no guard, with an unlimited guard, and with a generous (never
+//! tripping) budget. The workspace's contract is < 2% overhead — the
+//! guard amortizes wall-clock reads over `TIME_CHECK_INTERVAL` ticks and
+//! unlimited guards short-circuit every check, so the three bars should
+//! be indistinguishable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use feo_core::{scenario_a, scenario_b, scenario_c, EngineBase};
+use feo_rdf::governor::Budget;
+
+fn bench_explain_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("governor_overhead");
+    group.sample_size(20);
+    for scenario in [scenario_a(), scenario_b(), scenario_c()] {
+        let label = scenario.name.split(' ').next().unwrap_or("cq").to_string();
+        let base = EngineBase::new(
+            scenario.kg(),
+            scenario.user.clone(),
+            scenario.context.clone(),
+        )
+        .expect("consistent");
+        let question = scenario.question.clone();
+
+        group.bench_function(format!("{label}/unguarded"), |b| {
+            b.iter(|| black_box(base.explain(&question).expect("explained")))
+        });
+
+        let unlimited = Budget::new();
+        group.bench_function(format!("{label}/unlimited_guard"), |b| {
+            b.iter(|| {
+                let guard = unlimited.start();
+                black_box(base.explain_guarded(&question, &guard).expect("explained"))
+            })
+        });
+
+        // Generous real limits: the budget machinery runs (counters,
+        // amortized clock) but never trips.
+        let generous = Budget::new()
+            .with_deadline(Duration::from_secs(600))
+            .with_max_inferred(100_000_000)
+            .with_max_rounds(1_000_000)
+            .with_max_solutions(100_000_000);
+        group.bench_function(format!("{label}/generous_budget"), |b| {
+            b.iter(|| {
+                let guard = generous.start();
+                black_box(base.explain_guarded(&question, &guard).expect("explained"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explain_overhead);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Paired measurement of governor overhead on the happy path.
+//!
+//! Wall-clock benches on a shared machine drift by far more than the 2%
+//! the workspace budgets for the governor, so this harness interleaves
+//! unguarded and guarded batches (drift hits both alike) and reports the
+//! median of per-round ratios — a drift-robust estimate of the true
+//! overhead. Run with `cargo run --release -p feo-bench --bin
+//! governor_overhead`.
+
+use std::time::{Duration, Instant};
+
+use feo_core::{EngineBase, Question, Scenario};
+use feo_rdf::governor::Budget;
+
+const WARMUP: usize = 50;
+const REPEATS: usize = 5;
+const PAIRS: usize = 1_500;
+
+fn one_explain(base: &EngineBase, question: &Question, budget: Option<&Budget>) -> Duration {
+    let started = Instant::now();
+    let e = match budget {
+        Some(b) => {
+            let guard = b.start();
+            base.explain_guarded(question, &guard)
+        }
+        None => base.explain(question),
+    };
+    std::hint::black_box(e.expect("happy path explains"));
+    started.elapsed()
+}
+
+fn measure(scenario: &Scenario) -> f64 {
+    let base = EngineBase::new(
+        scenario.kg(),
+        scenario.user.clone(),
+        scenario.context.clone(),
+    )
+    .expect("consistent");
+    // Generous limits: every check runs, none trips.
+    let budget = Budget::new()
+        .with_deadline(Duration::from_secs(600))
+        .with_max_inferred(100_000_000)
+        .with_max_rounds(1_000_000)
+        .with_max_solutions(100_000_000);
+
+    for _ in 0..WARMUP {
+        std::hint::black_box(base.explain(&scenario.question).expect("warms up"));
+    }
+
+    // Tightly interleave single explains so clock drift, frequency
+    // scaling, and scheduler noise land evenly on both arms; aggregate
+    // sums over many pairs, then take the median ratio across repeats.
+    let mut ratios: Vec<f64> = Vec::with_capacity(REPEATS);
+    for repeat in 0..REPEATS {
+        let mut plain = Duration::ZERO;
+        let mut guarded = Duration::ZERO;
+        for pair in 0..PAIRS {
+            if (pair + repeat) % 2 == 0 {
+                plain += one_explain(&base, &scenario.question, None);
+                guarded += one_explain(&base, &scenario.question, Some(&budget));
+            } else {
+                guarded += one_explain(&base, &scenario.question, Some(&budget));
+                plain += one_explain(&base, &scenario.question, None);
+            }
+        }
+        ratios.push(guarded.as_secs_f64() / plain.as_secs_f64());
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ratios[ratios.len() / 2]
+}
+
+fn main() {
+    println!("governor overhead, median over {REPEATS} runs of {PAIRS} interleaved pairs:");
+    for scenario in feo_core::all_scenarios() {
+        let label = scenario.name.split(' ').next().unwrap_or("cq").to_string();
+        let ratio = measure(&scenario);
+        println!(
+            "  {label}: guarded/unguarded = {ratio:.4} ({:+.2}%)",
+            (ratio - 1.0) * 100.0
+        );
+    }
+}

@@ -22,10 +22,11 @@
 
 use feo_foodkg::{FoodKg, Season, SystemContext, UserProfile};
 use feo_ontology::ns::feo;
-use feo_owl::{CompiledRules, InferenceResult, Reasoner, ReasonerOptions};
-use feo_rdf::{Graph, IdTriple, Overlay, Term};
+use feo_owl::{CompiledRules, InferenceResult, Reasoner, ReasonerError, ReasonerOptions};
+use feo_rdf::governor::{Budget, Exhausted, Guard};
+use feo_rdf::{Graph, GraphView, IdTriple, Overlay, Term};
 use feo_recommender::{RecommendationSet, TraceStep};
-use feo_sparql::{query, SolutionTable, SparqlError};
+use feo_sparql::{execute, execute_guarded, parse_query, QueryResult, SolutionTable, SparqlError};
 
 use crate::ecosystem::{apply_hypothesis, assemble, assert_question};
 use crate::explanation::{humanize, Explanation};
@@ -48,6 +49,10 @@ pub enum EngineError {
     /// Case-based/statistical explanation requested without a reference
     /// population.
     MissingPopulation,
+    /// An execution budget tripped while reasoning or querying (see
+    /// [`feo_rdf::governor`]). Catch this to degrade gracefully — or use
+    /// [`EngineBase::explain_with_budget`], which does it for you.
+    Exhausted(Exhausted),
 }
 
 impl std::fmt::Display for EngineError {
@@ -67,6 +72,7 @@ impl std::fmt::Display for EngineError {
                     "case-based/statistical explanations need a reference population"
                 )
             }
+            EngineError::Exhausted(e) => write!(f, "explanation stopped early: {e}"),
         }
     }
 }
@@ -75,7 +81,74 @@ impl std::error::Error for EngineError {}
 
 impl From<SparqlError> for EngineError {
     fn from(e: SparqlError) -> Self {
-        EngineError::Sparql(e.to_string())
+        match e {
+            SparqlError::Exhausted(exhausted) => EngineError::Exhausted(exhausted),
+            other => EngineError::Sparql(other.to_string()),
+        }
+    }
+}
+
+impl From<Exhausted> for EngineError {
+    fn from(e: Exhausted) -> Self {
+        EngineError::Exhausted(e)
+    }
+}
+
+impl From<ReasonerError> for EngineError {
+    fn from(e: ReasonerError) -> Self {
+        EngineError::Exhausted(*e.exhausted())
+    }
+}
+
+/// What a budgeted explanation run could not finish, and why.
+///
+/// Returned inside [`BudgetedOutcome`] when the shared budget trips
+/// partway through a batch: `completed` lists the explanation types that
+/// were fully answered before the trip, `skipped` the ones that were not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// The resource that tripped, with spent/limit figures.
+    pub exhausted: Exhausted,
+    /// Explanation types answered before the budget ran out.
+    pub completed: Vec<ExplanationType>,
+    /// Explanation types skipped (the one in flight when the budget
+    /// tripped, plus everything after it).
+    pub skipped: Vec<ExplanationType>,
+}
+
+impl std::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names = |ts: &[ExplanationType]| -> String {
+            if ts.is_empty() {
+                "none".to_string()
+            } else {
+                ts.iter().map(|t| t.label()).collect::<Vec<_>>().join(", ")
+            }
+        };
+        write!(
+            f,
+            "{}; completed: {}; skipped: {}",
+            self.exhausted,
+            names(&self.completed),
+            names(&self.skipped)
+        )
+    }
+}
+
+/// Result of [`EngineBase::explain_with_budget`]: every explanation that
+/// finished within the budget, plus a [`DegradationReport`] when the
+/// budget tripped before the batch completed.
+#[derive(Debug)]
+pub struct BudgetedOutcome {
+    pub explanations: Vec<Explanation>,
+    /// `None` when every question was answered within the budget.
+    pub degradation: Option<DegradationReport>,
+}
+
+impl BudgetedOutcome {
+    /// True when every requested explanation completed.
+    pub fn is_complete(&self) -> bool {
+        self.degradation.is_none()
     }
 }
 
@@ -211,6 +284,7 @@ impl EngineBase {
             base: self,
             overlay: Overlay::new(&self.graph),
             inference: InferenceResult::default(),
+            guard: None,
         }
     }
 
@@ -219,6 +293,64 @@ impl EngineBase {
     /// `Arc<EngineBase>` — and no question can leak state into the next.
     pub fn explain(&self, question: &Question) -> Result<Explanation, EngineError> {
         self.session().explain(question)
+    }
+
+    /// [`EngineBase::explain`] under an execution [`Guard`]: incremental
+    /// reasoning and SPARQL evaluation both check the guard, and a trip
+    /// surfaces as [`EngineError::Exhausted`] instead of unbounded work.
+    pub fn explain_guarded(
+        &self,
+        question: &Question,
+        guard: &Guard,
+    ) -> Result<Explanation, EngineError> {
+        self.session().explain_guarded(question, guard)
+    }
+
+    /// Answers a batch of questions under one shared [`Budget`],
+    /// degrading gracefully when it trips.
+    ///
+    /// One [`Guard`] meters the whole batch — reasoning and querying for
+    /// every question draw from the same deadline and budgets. When a
+    /// budget trips mid-batch the call still succeeds: the outcome
+    /// carries every explanation completed before the trip plus a
+    /// [`DegradationReport`] naming the tripped resource and the skipped
+    /// explanation types. Non-budget errors (unknown entity, missing
+    /// population, engine bugs) abort the batch as a real `Err`.
+    pub fn explain_with_budget(
+        &self,
+        questions: &[Question],
+        budget: &Budget,
+    ) -> Result<BudgetedOutcome, EngineError> {
+        let guard = budget.start();
+        let mut explanations = Vec::new();
+        let mut completed = Vec::new();
+        for (i, question) in questions.iter().enumerate() {
+            match self.explain_guarded(question, &guard) {
+                Ok(explanation) => {
+                    completed.push(explanation.explanation_type);
+                    explanations.push(explanation);
+                }
+                Err(EngineError::Exhausted(exhausted)) => {
+                    let skipped = questions[i..]
+                        .iter()
+                        .map(Question::explanation_type)
+                        .collect();
+                    return Ok(BudgetedOutcome {
+                        explanations,
+                        degradation: Some(DegradationReport {
+                            exhausted,
+                            completed,
+                            skipped,
+                        }),
+                    });
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(BudgetedOutcome {
+            explanations,
+            degradation: None,
+        })
     }
 
     /// Renders the reasoner's proof tree for `individual rdf:type class`
@@ -274,6 +406,9 @@ pub struct Session<'a> {
     /// Closure stats and derivations accumulated by this session's
     /// incremental closes (disjoint from the base's own inference).
     inference: InferenceResult,
+    /// Execution governor checked by incremental closes and SPARQL
+    /// evaluation; `None` on the legacy unguarded path.
+    guard: Option<&'a Guard>,
 }
 
 impl<'a> Session<'a> {
@@ -296,6 +431,29 @@ impl<'a> Session<'a> {
     /// [`ExplanationEngine`] to commit the delta into an owned base.
     pub fn into_parts(self) -> (Overlay<&'a Graph>, InferenceResult) {
         (self.overlay, self.inference)
+    }
+
+    /// [`Session::explain`] under an execution [`Guard`]: every
+    /// subsequent incremental close and SPARQL evaluation in this
+    /// session checks the guard.
+    pub fn explain_guarded(
+        &mut self,
+        question: &Question,
+        guard: &'a Guard,
+    ) -> Result<Explanation, EngineError> {
+        self.guard = Some(guard);
+        self.explain(question)
+    }
+
+    /// Evaluates a competency query over `view`, under the session guard
+    /// when one is installed.
+    fn run_query<V: GraphView>(&self, view: V, q: &str) -> Result<QueryResult, EngineError> {
+        let parsed = parse_query(q)?;
+        let result = match self.guard {
+            Some(g) => execute_guarded(view, &parsed, g),
+            None => execute(view, &parsed),
+        };
+        Ok(result?)
     }
 
     /// Answers a question with the matching explanation type.
@@ -332,10 +490,27 @@ impl<'a> Session<'a> {
     /// equivalent to the paper's full "export with inferred axioms" over
     /// the extended graph because the base is already closed and the
     /// question triples are pure ABox.
-    fn assert_and_close(&mut self, question: &Question) {
+    fn assert_and_close(&mut self, question: &Question) -> Result<(), EngineError> {
         assert_question(question, &mut self.overlay);
         let reasoner = EngineBase::reasoner(self.base.track_proofs);
-        let inference = reasoner.materialize_delta(&mut self.overlay, &self.base.rules);
+        let (inference, tripped) = match self.guard {
+            Some(g) => {
+                match reasoner.materialize_delta_guarded(&mut self.overlay, &self.base.rules, g) {
+                    Ok(inference) => (inference, None),
+                    // Keep the partial closure's statistics: the derived
+                    // triples are already in the overlay (sound but
+                    // incomplete), and the degradation report should
+                    // account for them.
+                    Err(ReasonerError::Exhausted { exhausted, partial }) => {
+                        (*partial, Some(exhausted))
+                    }
+                }
+            }
+            None => (
+                reasoner.materialize_delta(&mut self.overlay, &self.base.rules),
+                None,
+            ),
+        };
         self.inference.added += inference.added;
         self.inference.rounds += inference.rounds;
         self.inference.warnings.extend(inference.warnings);
@@ -343,15 +518,19 @@ impl<'a> Session<'a> {
             .inconsistencies
             .extend(inference.inconsistencies);
         self.inference.derivations.extend(inference.derivations);
+        match tripped {
+            Some(exhausted) => Err(EngineError::Exhausted(exhausted)),
+            None => Ok(()),
+        }
     }
 
     // ---- CQ1: contextual ---------------------------------------------
 
     fn contextual(&mut self, question: &Question, food: &str) -> Result<Explanation, EngineError> {
         self.require_recipe(food)?;
-        self.assert_and_close(question);
+        self.assert_and_close(question)?;
         let q = queries::contextual_query(question);
-        let table = query(&self.overlay, &q)?.expect_solutions();
+        let table = self.run_query(&self.overlay, &q)?.expect_solutions();
 
         let mut statements = Vec::new();
         for row in table.local_rows() {
@@ -446,9 +625,9 @@ impl<'a> Session<'a> {
         };
         self.require_recipe(preferred)?;
         self.require_recipe(alternative)?;
-        self.assert_and_close(question);
+        self.assert_and_close(question)?;
         let q = queries::contrastive_query(question);
-        let table = query(&self.overlay, &q)?.expect_solutions();
+        let table = self.run_query(&self.overlay, &q)?.expect_solutions();
 
         let mut fact_parts: Vec<String> = Vec::new();
         let mut foil_parts: Vec<String> = Vec::new();
@@ -571,7 +750,14 @@ impl<'a> Session<'a> {
         let mut world = Overlay::new(self.base.graph());
         apply_hypothesis(hypothesis, &self.base.user, &mut world);
         assert_question(question, &mut world);
-        Reasoner::new().materialize_delta(&mut world, &self.base.rules);
+        match self.guard {
+            Some(g) => {
+                Reasoner::new().materialize_delta_guarded(&mut world, &self.base.rules, g)?;
+            }
+            None => {
+                Reasoner::new().materialize_delta(&mut world, &self.base.rules);
+            }
+        }
 
         let subject_iri = match hypothesis {
             Hypothesis::Pregnant => feo::PREGNANCY_STATE.to_string(),
@@ -579,7 +765,7 @@ impl<'a> Session<'a> {
             Hypothesis::AllergicTo(i) => FoodKg::iri(i),
         };
         let q = queries::counterfactual_query(&subject_iri);
-        let table = query(&world, &q)?.expect_solutions();
+        let table = self.run_query(&world, &q)?.expect_solutions();
 
         let mut forbidden: Vec<String> = Vec::new();
         let mut suggested: Vec<String> = Vec::new();
@@ -680,7 +866,7 @@ impl<'a> Session<'a> {
         }
         self.require_recipe(food)?;
         let q = queries::case_based_query(&FoodKg::iri(&self.base.user.id), &FoodKg::iri(food));
-        let table = query(&self.overlay, &q)?.expect_solutions();
+        let table = self.run_query(&self.overlay, &q)?.expect_solutions();
         let supporters: i64 = table
             .rows
             .first()
@@ -713,7 +899,7 @@ impl<'a> Session<'a> {
     ) -> Result<Explanation, EngineError> {
         self.require_recipe(food)?;
         let q = queries::knowledge_record_query(&FoodKg::iri(food), record_class);
-        let table = query(&self.overlay, &q)?.expect_solutions();
+        let table = self.run_query(&self.overlay, &q)?.expect_solutions();
         let mut statements = Vec::new();
         for row in table.local_rows() {
             let (about, text, source) = (&row[1], &row[2], &row[3]);
@@ -802,7 +988,7 @@ impl<'a> Session<'a> {
             return Err(EngineError::UnknownEntity(diet.to_string()));
         }
         let q = queries::statistical_query(&FoodKg::iri(diet));
-        let table = query(&self.overlay, &q)?.expect_solutions();
+        let table = self.run_query(&self.overlay, &q)?.expect_solutions();
         let get = |row: &Vec<Option<feo_rdf::Term>>, i: usize| -> i64 {
             row.get(i)
                 .and_then(|c| c.as_ref())

@@ -33,7 +33,9 @@ pub mod queries;
 pub mod question;
 pub mod scenarios;
 
-pub use engine::{EngineBase, EngineError, ExplanationEngine, Session};
+pub use engine::{
+    BudgetedOutcome, DegradationReport, EngineBase, EngineError, ExplanationEngine, Session,
+};
 pub use explanation::{humanize, Explanation};
 pub use factfoil::{classify, figure3_matrix, Classification};
 pub use knowledge::Population;

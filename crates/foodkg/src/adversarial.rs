@@ -1,0 +1,121 @@
+//! Pathological knowledge-graph generators for fault-injection tests.
+//!
+//! Real deployments meet hostile inputs: ontologies with cyclic class
+//! hierarchies, absurdly deep property chains, `someValuesFrom`
+//! definitions whose closure grows multiplicatively, and documents that
+//! are simply broken. These generators produce such inputs as Turtle
+//! text so the governor test-suite (`tests/adversarial.rs` at the
+//! workspace root) can assert the pipeline's contract: typed errors or
+//! bounded partial results, never a panic or a runaway loop.
+
+/// A `rdfs:subClassOf` cycle of `n` classes (`C0 ⊑ C1 ⊑ … ⊑ C0`) with
+/// one individual asserted into `C0`. A naive hierarchy walk that does
+/// not track visited classes loops forever here.
+pub fn cyclic_subclass_turtle(n: usize) -> String {
+    let n = n.max(2);
+    let mut out = String::from("@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n@prefix a: <http://adversarial/> .\n");
+    for i in 0..n {
+        out.push_str(&format!("a:C{} rdfs:subClassOf a:C{} .\n", i, (i + 1) % n));
+    }
+    out.push_str("a:victim a a:C0 .\n");
+    out
+}
+
+/// A chain of `depth` hops over one `owl:TransitiveProperty` — the
+/// closure holds `depth * (depth + 1) / 2` pairs, so the inferred-triple
+/// budget must bound it.
+pub fn deep_transitive_chain_turtle(depth: usize) -> String {
+    let mut out = String::from(
+        "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n@prefix a: <http://adversarial/> .\na:p a owl:TransitiveProperty .\n",
+    );
+    for i in 0..depth {
+        out.push_str(&format!("a:n{} a:p a:n{} .\n", i, i + 1));
+    }
+    out
+}
+
+/// Nested `owl:equivalentClass [ owl:someValuesFrom ]` definitions over a
+/// property chain: `C_i ≡ ∃p.C_{i+1}` for `levels` levels, with `chains`
+/// parallel `p`-chains of individuals. Membership cascades one level per
+/// fixpoint round, so the round budget (not just the triple budget) is
+/// exercised.
+pub fn closure_blowup_turtle(levels: usize, chains: usize) -> String {
+    let mut out = String::from(
+        "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n@prefix a: <http://adversarial/> .\n",
+    );
+    for i in 0..levels {
+        out.push_str(&format!(
+            "a:C{i} owl:equivalentClass [ a owl:Restriction ; owl:onProperty a:p ; owl:someValuesFrom a:C{} ] .\n",
+            i + 1
+        ));
+    }
+    for c in 0..chains {
+        for i in 0..levels {
+            out.push_str(&format!("a:x{c}_{i} a:p a:x{c}_{} .\n", i + 1));
+        }
+        out.push_str(&format!("a:x{c}_{levels} a a:C{levels} .\n"));
+    }
+    out
+}
+
+/// A corpus of malformed Turtle documents, one failure mode each. Every
+/// entry must produce a positioned syntax error — never a panic.
+pub fn malformed_turtle_corpus() -> Vec<&'static str> {
+    vec![
+        // Unterminated IRI.
+        "<http://e/a <http://e/p> <http://e/b> .",
+        // Unterminated string literal.
+        "<http://e/a> <http://e/p> \"never closed .",
+        // Missing terminating dot.
+        "<http://e/a> <http://e/p> <http://e/b>",
+        // Undeclared prefix.
+        "e:a e:p e:b .",
+        // Directive mid-statement.
+        "<http://e/a> @prefix e: <http://e/> .",
+        // Unbalanced collection.
+        "<http://e/a> <http://e/p> ( <http://e/b> .",
+        // Unbalanced blank-node property list.
+        "<http://e/a> <http://e/p> [ <http://e/q> <http://e/b> .",
+        // Bare garbage.
+        "%%% not turtle at all %%%",
+        // Dangling escape at end of input.
+        "<http://e/a> <http://e/p> \"bad\\",
+        // Literal as subject.
+        "\"lit\" <http://e/p> <http://e/b> .",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_subclass_parses_and_closes_the_cycle() {
+        let src = cyclic_subclass_turtle(5);
+        let triples = feo_rdf::turtle::parse_turtle(&src).unwrap();
+        // n subclass links + 1 membership.
+        assert_eq!(triples.len(), 6);
+    }
+
+    #[test]
+    fn transitive_chain_has_requested_depth() {
+        let src = deep_transitive_chain_turtle(100);
+        let triples = feo_rdf::turtle::parse_turtle(&src).unwrap();
+        assert_eq!(triples.len(), 101); // 100 hops + the property typing
+    }
+
+    #[test]
+    fn closure_blowup_parses() {
+        let src = closure_blowup_turtle(4, 2);
+        assert!(feo_rdf::turtle::parse_turtle(&src).is_ok());
+    }
+
+    #[test]
+    fn malformed_corpus_is_rejected_with_positions() {
+        for doc in malformed_turtle_corpus() {
+            let err =
+                feo_rdf::turtle::parse_turtle(doc).expect_err("malformed document must not parse");
+            assert!(err.line >= 1, "error carries a line for {doc:?}");
+        }
+    }
+}

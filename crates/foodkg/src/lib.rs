@@ -15,6 +15,7 @@
 //! assert!(kg.recipe("CauliflowerPotatoCurry").is_some());
 //! ```
 
+pub mod adversarial;
 pub mod data;
 pub mod from_rdf;
 pub mod generator;

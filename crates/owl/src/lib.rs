@@ -49,5 +49,5 @@ pub use extract::extract_axioms;
 pub use proof::{proof, ProofNode};
 pub use reasoner::{
     CompiledRules, Derivation, Inconsistency, InconsistencyKind, InferenceResult, Reasoner,
-    ReasonerOptions,
+    ReasonerError, ReasonerOptions,
 };

@@ -24,7 +24,9 @@
 //! (irreflexive), prp-asyp (asymmetric), eq-diff1 (sameAs ∧ differentFrom).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
 
+use feo_rdf::governor::{Exhausted, Guard, Resource};
 use feo_rdf::vocab::{owl, rdf, rdfs};
 use feo_rdf::{GraphStore, GraphView, Overlay, TermId};
 
@@ -93,12 +95,18 @@ pub enum InconsistencyKind {
 }
 
 /// Statistics and findings from one materialization run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct InferenceResult {
     /// Triples added to the graph by inference.
     pub added: usize,
     /// Outer fixpoint rounds used.
     pub rounds: usize,
+    /// Whether the fixpoint actually converged. `false` means the round
+    /// cap ([`ReasonerOptions::max_rounds`]) cut the loop short and the
+    /// materialized output may be incomplete. The guarded entry points
+    /// surface the same condition as a typed
+    /// [`Exhausted`] with [`Resource::Rounds`] instead.
+    pub converged: bool,
     /// Number of axioms extracted from the graph.
     pub axiom_count: usize,
     /// Extraction warnings (unparseable expressions).
@@ -110,11 +118,64 @@ pub struct InferenceResult {
     pub derivations: HashMap<[TermId; 3], Derivation>,
 }
 
+impl Default for InferenceResult {
+    fn default() -> Self {
+        InferenceResult {
+            added: 0,
+            rounds: 0,
+            // An empty run is trivially converged; the engine flips this
+            // only when a round cap actually cuts the fixpoint short.
+            converged: true,
+            axiom_count: 0,
+            warnings: Vec::new(),
+            inconsistencies: Vec::new(),
+            derivations: HashMap::new(),
+        }
+    }
+}
+
 impl InferenceResult {
     pub fn is_consistent(&self) -> bool {
         self.inconsistencies.is_empty()
     }
 }
+
+/// Error surface of the guarded materialization entry points.
+#[derive(Debug, Clone)]
+pub enum ReasonerError {
+    /// An execution budget tripped mid-closure. The triples derived up to
+    /// that point are already in the graph/overlay (sound but possibly
+    /// incomplete), and `partial` carries the statistics for them —
+    /// callers can keep the partial materialization or roll the overlay
+    /// back.
+    Exhausted {
+        exhausted: Exhausted,
+        partial: Box<InferenceResult>,
+    },
+}
+
+impl ReasonerError {
+    /// The budget trip behind this error.
+    pub fn exhausted(&self) -> &Exhausted {
+        match self {
+            ReasonerError::Exhausted { exhausted, .. } => exhausted,
+        }
+    }
+}
+
+impl fmt::Display for ReasonerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReasonerError::Exhausted { exhausted, partial } => write!(
+                f,
+                "materialization stopped early: {} ({} triples derived before the trip)",
+                exhausted, partial.added
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReasonerError {}
 
 /// The materializing reasoner.
 ///
@@ -146,6 +207,21 @@ impl Reasoner {
         self.materialize_with(graph, &rules)
     }
 
+    /// [`Reasoner::materialize`] under an execution [`Guard`]: the
+    /// derived-triple budget is charged per inference, the deadline /
+    /// cancellation flag is polled in every hot loop, and the guard's
+    /// round budget (as well as [`ReasonerOptions::max_rounds`]) surfaces
+    /// as a typed [`ReasonerError::Exhausted`] instead of a warning.
+    /// Triples derived before a trip stay in the graph.
+    pub fn materialize_guarded(
+        &self,
+        graph: &mut impl GraphStore,
+        guard: &Guard,
+    ) -> Result<InferenceResult, ReasonerError> {
+        let rules = CompiledRules::compile(graph);
+        self.materialize_with_guarded(graph, &rules, guard)
+    }
+
     /// Extracts the graph's axioms and compiles them into reusable rule
     /// tables (see [`CompiledRules`]).
     pub fn compile(&self, graph: &mut impl GraphStore) -> CompiledRules {
@@ -158,7 +234,19 @@ impl Reasoner {
         graph: &mut impl GraphStore,
         rules: &CompiledRules,
     ) -> InferenceResult {
-        Engine::new(graph, rules, &self.options).run()
+        Engine::new(graph, rules, &self.options).run().0
+    }
+
+    /// Guarded variant of [`Reasoner::materialize_with`].
+    pub fn materialize_with_guarded(
+        &self,
+        graph: &mut impl GraphStore,
+        rules: &CompiledRules,
+        guard: &Guard,
+    ) -> Result<InferenceResult, ReasonerError> {
+        let mut engine = Engine::new(graph, rules, &self.options);
+        engine.guard = Some(guard);
+        settle(engine.run())
     }
 
     /// Semi-naïve incremental re-closure of an overlay whose base is
@@ -180,7 +268,38 @@ impl Reasoner {
         rules: &CompiledRules,
     ) -> InferenceResult {
         let seed: Vec<[TermId; 3]> = overlay.delta_log().to_vec();
-        Engine::new(overlay, rules, &self.options).run_delta(&seed)
+        Engine::new(overlay, rules, &self.options)
+            .run_delta(&seed)
+            .0
+    }
+
+    /// Guarded variant of [`Reasoner::materialize_delta`]. On a trip the
+    /// overlay keeps the triples derived so far; the caller decides
+    /// whether to use or discard the partial delta.
+    pub fn materialize_delta_guarded<B: GraphView>(
+        &self,
+        overlay: &mut Overlay<B>,
+        rules: &CompiledRules,
+        guard: &Guard,
+    ) -> Result<InferenceResult, ReasonerError> {
+        let seed: Vec<[TermId; 3]> = overlay.delta_log().to_vec();
+        let mut engine = Engine::new(overlay, rules, &self.options);
+        engine.guard = Some(guard);
+        settle(engine.run_delta(&seed))
+    }
+}
+
+/// Maps an engine run's `(result, tripped)` pair onto the guarded
+/// entry points' `Result` surface.
+fn settle(
+    (result, tripped): (InferenceResult, Option<Exhausted>),
+) -> Result<InferenceResult, ReasonerError> {
+    match tripped {
+        None => Ok(result),
+        Some(exhausted) => Err(ReasonerError::Exhausted {
+            exhausted,
+            partial: Box::new(result),
+        }),
     }
 }
 
@@ -412,6 +531,12 @@ struct Engine<'a, S: GraphStore> {
     new_triples: Vec<[TermId; 3]>,
     /// Position in `new_triples` up to which chains have been evaluated.
     chain_cursor: usize,
+    /// Execution governor for the guarded entry points; `None` on the
+    /// legacy (unguarded) paths.
+    guard: Option<&'a Guard>,
+    /// Set when the guard trips; every hot loop bails out once this is
+    /// populated so the engine unwinds quickly with its partial result.
+    tripped: Option<Exhausted>,
 }
 
 impl<'a, S: GraphStore> Engine<'a, S> {
@@ -431,10 +556,53 @@ impl<'a, S: GraphStore> Engine<'a, S> {
             dirty: HashSet::new(),
             new_triples: Vec::new(),
             chain_cursor: 0,
+            guard: None,
+            tripped: None,
         }
     }
 
-    fn run(mut self) -> InferenceResult {
+    /// Polls the governor (amortized wall-clock / cancellation check) and
+    /// reports whether execution should stop. Hot loops call this at
+    /// their iteration boundaries.
+    #[inline]
+    fn guard_tripped(&mut self) -> bool {
+        if self.tripped.is_some() {
+            return true;
+        }
+        if let Some(g) = self.guard {
+            if let Err(exhausted) = g.check_time() {
+                self.tripped = Some(exhausted);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Handles the outer round cap shared by both fixpoints. Returns true
+    /// when the loop must stop. On the legacy path this flips
+    /// `converged` and records a warning (the historical behavior); on
+    /// the guarded path it additionally trips the guard so callers get a
+    /// typed `Exhausted { resource: Rounds }`.
+    fn round_cap_hit(&mut self) -> bool {
+        if self.result.rounds < self.opts.max_rounds {
+            return false;
+        }
+        self.result.converged = false;
+        self.result.warnings.push(format!(
+            "fixpoint not reached after {} rounds — output may be incomplete",
+            self.opts.max_rounds
+        ));
+        if self.guard.is_some() && self.tripped.is_none() {
+            self.tripped = Some(Exhausted {
+                resource: Resource::Rounds,
+                spent: self.result.rounds as u64,
+                limit: self.opts.max_rounds as u64,
+            });
+        }
+        true
+    }
+
+    fn run(mut self) -> (InferenceResult, Option<Exhausted>) {
         for &(a, b) in &self.rules.initial_same_as.clone() {
             self.note_alias(a, b);
         }
@@ -447,33 +615,45 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         self.queue.extend(all);
 
         loop {
+            if self.guard_tripped() {
+                break;
+            }
             self.result.rounds += 1;
+            if let Some(g) = self.guard {
+                if let Err(exhausted) = g.add_round() {
+                    self.tripped = Some(exhausted);
+                    break;
+                }
+            }
             self.drain_queue();
             let before = self.result.added;
             self.complex_pass();
             self.chain_pass();
+            if self.tripped.is_some() {
+                break;
+            }
             if self.result.added == before && self.queue.is_empty() {
                 break;
             }
-            if self.result.rounds >= self.opts.max_rounds {
-                self.result.warnings.push(format!(
-                    "fixpoint not reached after {} rounds — output may be incomplete",
-                    self.opts.max_rounds
-                ));
+            if self.round_cap_hit() {
                 break;
             }
         }
 
-        if self.opts.check_consistency {
+        if self.tripped.is_some() {
+            // A tripped budget means the closure stopped early: whatever
+            // was derived is sound, but the fixpoint was not reached.
+            self.result.converged = false;
+        } else if self.opts.check_consistency {
             self.check_consistency();
         }
-        self.result
+        (self.result, self.tripped)
     }
 
     /// Semi-naïve delta closure: derive only what the seed triples (and
     /// their consequences) can newly entail, assuming everything else is
     /// already closed under `rules`.
-    fn run_delta(mut self, seed: &[[TermId; 3]]) -> InferenceResult {
+    fn run_delta(mut self, seed: &[[TermId; 3]]) -> (InferenceResult, Option<Exhausted>) {
         self.delta_mode = true;
         // Aliases discovered during the base closure exist only as
         // `owl:sameAs` triples there; rebuild the alias map so eq-rep
@@ -496,27 +676,37 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         }
 
         loop {
+            if self.guard_tripped() {
+                break;
+            }
             self.result.rounds += 1;
+            if let Some(g) = self.guard {
+                if let Err(exhausted) = g.add_round() {
+                    self.tripped = Some(exhausted);
+                    break;
+                }
+            }
             self.drain_queue();
             let before = self.result.added;
             self.complex_pass_delta();
             self.chain_pass_delta();
+            if self.tripped.is_some() {
+                break;
+            }
             if self.result.added == before && self.queue.is_empty() {
                 break;
             }
-            if self.result.rounds >= self.opts.max_rounds {
-                self.result.warnings.push(format!(
-                    "fixpoint not reached after {} rounds — output may be incomplete",
-                    self.opts.max_rounds
-                ));
+            if self.round_cap_hit() {
                 break;
             }
         }
 
-        if self.opts.check_consistency {
+        if self.tripped.is_some() {
+            self.result.converged = false;
+        } else if self.opts.check_consistency {
             self.check_consistency_delta();
         }
-        self.result
+        (self.result, self.tripped)
     }
 
     /// Dirty individuals plus everything whose class membership could
@@ -557,6 +747,9 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         let tracking = self.opts.track_derivations;
         for (sub, sup) in &rules.complex {
             for &x in &cand {
+                if self.guard_tripped() {
+                    return;
+                }
                 if tracking {
                     let mut witnesses = Vec::new();
                     if self.witnesses(x, sub, &mut witnesses) {
@@ -582,6 +775,9 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         let tracking = self.opts.track_derivations;
         for (chain, q) in &rules.chains {
             for &[a, p, b] in &fresh {
+                if self.guard_tripped() {
+                    return;
+                }
                 for i in 0..chain.len() {
                     if chain[i] != p {
                         continue;
@@ -741,8 +937,18 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         p: TermId,
         o: TermId,
     ) {
+        if self.tripped.is_some() {
+            return;
+        }
         if self.g.insert_ids(s, p, o) {
             self.result.added += 1;
+            if let Some(g) = self.guard {
+                // Single choke point: every derived triple, whatever rule
+                // produced it, is charged here.
+                if let Err(exhausted) = g.add_inferred(1) {
+                    self.tripped = Some(exhausted);
+                }
+            }
             self.queue.push_back([s, p, o]);
             if self.delta_mode {
                 self.dirty.insert(s);
@@ -787,6 +993,9 @@ impl<'a, S: GraphStore> Engine<'a, S> {
     /// Instance-rule propagation driven by a worklist of new triples.
     fn drain_queue(&mut self) {
         while let Some([s, p, o]) = self.queue.pop_front() {
+            if self.guard_tripped() {
+                return;
+            }
             // cax-sco: type inheritance through the named-class closure.
             if p == self.rules.rdf_type {
                 if let Some(sups) = self.rules.sup_class.get(&o) {
@@ -939,6 +1148,9 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         let tracking = self.opts.track_derivations;
         for (sub, sup) in &axioms {
             for x in self.candidates(sub) {
+                if self.guard_tripped() {
+                    return;
+                }
                 if tracking {
                     let mut witnesses = Vec::new();
                     if self.witnesses(x, sub, &mut witnesses) {
@@ -969,6 +1181,9 @@ impl<'a, S: GraphStore> Engine<'a, S> {
             for &p in &chain[1..] {
                 let mut next = Vec::new();
                 for (start, mid, steps) in frontier {
+                    if self.guard_tripped() {
+                        return;
+                    }
                     for z in self.g.objects(mid, p) {
                         let mut s2 = steps.clone();
                         if tracking {
@@ -1555,6 +1770,116 @@ mod tests {
         let r = Reasoner::new().materialize(&mut g);
         assert!(has(&g, "x", rdf::TYPE, "B"));
         assert!(r.rounds < 64);
+        assert!(r.converged);
+    }
+
+    /// Regression for the silent-truncation bug: hitting the round cap
+    /// used to return as if the fixpoint had converged. The compat path
+    /// must now report `converged: false`.
+    /// An ontology whose closure needs one complex-pass round per level:
+    /// `C_i ≡ ∃p.C_{i+1}` over a p-chain of individuals, so membership
+    /// propagates backward one class per round.
+    fn layered_some_values_src(levels: usize) -> String {
+        let mut src = String::new();
+        for i in 0..levels {
+            src.push_str(&format!(
+                "e:C{i} owl:equivalentClass [ a owl:Restriction ; \
+                 owl:onProperty e:p ; owl:someValuesFrom e:C{} ] .\n",
+                i + 1
+            ));
+            src.push_str(&format!("e:x{i} e:p e:x{} .\n", i + 1));
+        }
+        src.push_str(&format!("e:x{levels} a e:C{levels} .\n"));
+        src
+    }
+
+    #[test]
+    fn round_cap_reports_nonconvergence() {
+        let src = layered_some_values_src(6);
+        let mut g = graph(&src);
+        let opts = ReasonerOptions {
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let r = Reasoner::with_options(opts).materialize(&mut g);
+        assert!(!r.converged, "cap hit must not look like convergence");
+        assert!(r.warnings.iter().any(|w| w.contains("fixpoint")));
+
+        // And without the cap the same input converges cleanly.
+        let mut g2 = graph(&src);
+        let r2 = Reasoner::new().materialize(&mut g2);
+        assert!(r2.converged);
+        assert!(r2.warnings.is_empty());
+    }
+
+    #[test]
+    fn guarded_round_cap_is_typed_exhausted() {
+        use feo_rdf::governor::{Budget, Resource};
+        let src = layered_some_values_src(6);
+        let mut g = graph(&src);
+        let opts = ReasonerOptions {
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let guard = Budget::new().start();
+        let err = Reasoner::with_options(opts)
+            .materialize_guarded(&mut g, &guard)
+            .unwrap_err();
+        let ReasonerError::Exhausted { exhausted, partial } = err;
+        assert_eq!(exhausted.resource, Resource::Rounds);
+        assert_eq!(exhausted.limit, 1);
+        assert!(partial.added > 0, "partial derivations are kept");
+    }
+
+    #[test]
+    fn guarded_inference_budget_trips_and_keeps_partial() {
+        use feo_rdf::governor::{Budget, Resource};
+        let mut src = String::from("e:p a owl:TransitiveProperty .\n");
+        for i in 0..40 {
+            src.push_str(&format!("e:n{i} e:p e:n{} .\n", i + 1));
+        }
+        let mut g = graph(&src);
+        let guard = Budget::new().with_max_inferred(10).start();
+        let err = Reasoner::new()
+            .materialize_guarded(&mut g, &guard)
+            .unwrap_err();
+        assert_eq!(err.exhausted().resource, Resource::InferredTriples);
+        let ReasonerError::Exhausted { partial, .. } = err;
+        // The partial closure is sound: whatever was derived is a real
+        // consequence, and it stopped right after the budget.
+        assert!(partial.added >= 10);
+        assert!(partial.added < 40 * 40);
+    }
+
+    #[test]
+    fn guarded_run_with_headroom_matches_unguarded() {
+        use feo_rdf::governor::Budget;
+        let src = "e:A rdfs:subClassOf e:B . e:B rdfs:subClassOf e:C .\n\
+                   e:p a owl:TransitiveProperty .\n\
+                   e:x a e:A . e:x e:p e:y . e:y e:p e:z .";
+        let mut g1 = graph(src);
+        let r1 = Reasoner::new().materialize(&mut g1);
+        let mut g2 = graph(src);
+        let guard = Budget::new().with_max_inferred(1_000_000).start();
+        let r2 = Reasoner::new()
+            .materialize_guarded(&mut g2, &guard)
+            .unwrap();
+        assert_eq!(r1.added, r2.added);
+        assert_eq!(g1.len(), g2.len());
+        assert!(r2.converged);
+    }
+
+    #[test]
+    fn guarded_cancellation_stops_materialization() {
+        use feo_rdf::governor::{Budget, CancelFlag, Resource};
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let guard = Budget::new().with_cancel(flag).start();
+        let mut g = graph("e:A rdfs:subClassOf e:B . e:x a e:A .");
+        let err = Reasoner::new()
+            .materialize_guarded(&mut g, &guard)
+            .unwrap_err();
+        assert_eq!(err.exhausted().resource, Resource::Cancelled);
     }
 }
 

@@ -31,6 +31,7 @@
 //! assert_eq!(g.len(), 1);
 //! ```
 
+pub mod governor;
 pub mod graph;
 pub mod intern;
 pub mod ntriples;
@@ -39,7 +40,44 @@ pub mod turtle;
 pub mod view;
 pub mod vocab;
 
+pub use governor::{Budget, CancelFlag, Exhausted, Guard, Resource};
 pub use graph::{Graph, IdTriple};
 pub use intern::{Interner, TermId};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};
 pub use view::{GraphStore, GraphView, Overlay};
+
+use std::fmt;
+use turtle::TurtleError;
+
+/// Error surface of the guarded parser entry points: either a syntax
+/// error with its 1-based line/column, or a tripped execution budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// Malformed input; carries the parser's line/column location.
+    Syntax(TurtleError),
+    /// An execution budget tripped before parsing finished.
+    Exhausted(Exhausted),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax(e) => e.fmt(f),
+            RdfError::Exhausted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+impl From<TurtleError> for RdfError {
+    fn from(e: TurtleError) -> Self {
+        RdfError::Syntax(e)
+    }
+}
+
+impl From<Exhausted> for RdfError {
+    fn from(e: Exhausted) -> Self {
+        RdfError::Exhausted(e)
+    }
+}

@@ -6,9 +6,11 @@
 //! canonical, fully-expanded triples — the interchange format used to dump
 //! materialized (inferred) graphs.
 
+use crate::governor::Guard;
 use crate::graph::Graph;
 use crate::term::Triple;
 use crate::turtle::{parse_turtle, TurtleError};
+use crate::RdfError;
 
 /// Parses an N-Triples document.
 pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, TurtleError> {
@@ -18,30 +20,52 @@ pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, TurtleError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        if trimmed.contains('@') && trimmed.starts_with('@') {
-            return Err(TurtleError {
-                message: "directives are not allowed in N-Triples".into(),
-                line: lineno + 1,
-                column: 1,
-            });
-        }
-        let mut parsed = parse_turtle(trimmed).map_err(|mut e| {
-            e.line = lineno + 1;
-            e
-        })?;
-        if parsed.len() != 1 {
-            return Err(TurtleError {
-                message: format!(
-                    "N-Triples line must contain exactly one triple, found {}",
-                    parsed.len()
-                ),
-                line: lineno + 1,
-                column: 1,
-            });
-        }
-        triples.push(parsed.pop().expect("length checked"));
+        triples.push(parse_line(trimmed, lineno)?);
     }
     Ok(triples)
+}
+
+/// Parses an N-Triples document under an execution [`Guard`]: the
+/// input-size cap is checked up front and the deadline / cancellation
+/// flag once per line. A tripped budget surfaces as
+/// [`RdfError::Exhausted`]; syntax errors keep their line number.
+pub fn parse_ntriples_guarded(input: &str, guard: &Guard) -> Result<Vec<Triple>, RdfError> {
+    guard.check_input(input.len())?;
+    let mut triples = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        guard.check_time()?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        triples.push(parse_line(trimmed, lineno)?);
+    }
+    Ok(triples)
+}
+
+/// Parses one non-blank N-Triples line into exactly one triple.
+fn parse_line(trimmed: &str, lineno: usize) -> Result<Triple, TurtleError> {
+    if trimmed.starts_with('@') {
+        return Err(TurtleError {
+            message: "directives are not allowed in N-Triples".into(),
+            line: lineno + 1,
+            column: 1,
+        });
+    }
+    let parsed = parse_turtle(trimmed).map_err(|mut e| {
+        e.line = lineno + 1;
+        e
+    })?;
+    let count = parsed.len();
+    let mut it = parsed.into_iter();
+    match (it.next(), it.next()) {
+        (Some(t), None) => Ok(t),
+        _ => Err(TurtleError {
+            message: format!("N-Triples line must contain exactly one triple, found {count}"),
+            line: lineno + 1,
+            column: 1,
+        }),
+    }
 }
 
 /// Parses N-Triples directly into a graph, returning the number of triples
@@ -122,6 +146,36 @@ mod tests {
         assert_eq!(g.len(), g2.len());
         for t in g.iter_triples() {
             assert!(g2.contains(&t));
+        }
+    }
+
+    #[test]
+    fn guarded_parse_respects_input_cap() {
+        use crate::governor::{Budget, Resource};
+        let guard = Budget::new().with_max_input_bytes(8).start();
+        let err =
+            parse_ntriples_guarded("<http://e/a> <http://e/p> <http://e/b> .", &guard).unwrap_err();
+        match err {
+            RdfError::Exhausted(e) => assert_eq!(e.resource, Resource::InputSize),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_parse_passes_unlimited() {
+        let guard = Guard::default();
+        let ts =
+            parse_ntriples_guarded("<http://e/a> <http://e/p> <http://e/b> .\n", &guard).unwrap();
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn guarded_parse_keeps_syntax_errors_typed() {
+        let guard = Guard::default();
+        let err = parse_ntriples_guarded("not ntriples at all", &guard).unwrap_err();
+        match err {
+            RdfError::Syntax(e) => assert_eq!(e.line, 1),
+            other => panic!("expected Syntax, got {other:?}"),
         }
     }
 

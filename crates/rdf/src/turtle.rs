@@ -11,9 +11,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::governor::{Exhausted, Guard};
 use crate::graph::Graph;
 use crate::term::{BlankNode, Iri, Literal, Term, Triple};
 use crate::vocab::{rdf, xsd};
+use crate::RdfError;
 
 /// A Turtle parse error with 1-based line/column location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +44,24 @@ pub fn parse_turtle(input: &str) -> Result<Vec<Triple>, TurtleError> {
     Ok(parser.triples)
 }
 
+/// Parses a Turtle document under an execution [`Guard`]: the input-size
+/// cap is checked up front and the deadline / cancellation flag at every
+/// statement and object boundary. A tripped budget surfaces as
+/// [`RdfError::Exhausted`]; syntax errors keep their line/column via
+/// [`RdfError::Syntax`].
+pub fn parse_turtle_guarded(input: &str, guard: &Guard) -> Result<Vec<Triple>, RdfError> {
+    guard.check_input(input.len())?;
+    let mut parser = Parser::new(input);
+    parser.guard = Some(guard);
+    match parser.parse_document() {
+        Ok(()) => Ok(parser.triples),
+        Err(e) => match parser.tripped.take() {
+            Some(exhausted) => Err(RdfError::Exhausted(exhausted)),
+            None => Err(RdfError::Syntax(e)),
+        },
+    }
+}
+
 /// Parses a Turtle document directly into a [`Graph`].
 pub fn parse_turtle_into(input: &str, graph: &mut Graph) -> Result<usize, TurtleError> {
     let triples = parse_turtle(input)?;
@@ -63,6 +83,8 @@ struct Parser<'a> {
     prefixes: HashMap<String, String>,
     triples: Vec<Triple>,
     bnode_counter: u64,
+    guard: Option<&'a Guard>,
+    tripped: Option<Exhausted>,
     _input: &'a str,
 }
 
@@ -77,8 +99,23 @@ impl<'a> Parser<'a> {
             prefixes: HashMap::new(),
             triples: Vec::new(),
             bnode_counter: 0,
+            guard: None,
+            tripped: None,
             _input: input,
         }
+    }
+
+    /// Hot-loop budget check. On a trip the [`Exhausted`] detail is
+    /// stashed in `self.tripped` (the guarded entry point surfaces it)
+    /// and a plain [`TurtleError`] unwinds the recursive descent.
+    fn check_guard(&mut self) -> Result<(), TurtleError> {
+        if let Some(g) = self.guard {
+            if let Err(exhausted) = g.check_time() {
+                self.tripped = Some(exhausted);
+                return self.error("execution budget exhausted");
+            }
+        }
+        Ok(())
     }
 
     fn error<T>(&self, message: impl Into<String>) -> Result<T, TurtleError> {
@@ -167,6 +204,7 @@ impl<'a> Parser<'a> {
 
     fn parse_document(&mut self) -> Result<(), TurtleError> {
         loop {
+            self.check_guard()?;
             self.skip_ws();
             if self.peek().is_none() {
                 return Ok(());
@@ -267,6 +305,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let predicate = self.parse_predicate()?;
             loop {
+                self.check_guard()?;
                 self.skip_ws();
                 let object = self.parse_object()?;
                 self.triples.push(Triple {
@@ -375,6 +414,7 @@ impl<'a> Parser<'a> {
         self.expect('(')?;
         let mut items = Vec::new();
         loop {
+            self.check_guard()?;
             self.skip_ws();
             if self.peek() == Some(')') {
                 self.bump();
@@ -924,6 +964,61 @@ mod tests {
         let ts = parse_ok(r"@prefix e: <http://e/> . e:a.b e:p e:c\/d .");
         assert_eq!(ts[0].subject, Term::iri("http://e/a.b"));
         assert_eq!(ts[0].object, Term::iri("http://e/c/d"));
+    }
+
+    #[test]
+    fn guarded_parse_trips_on_input_cap() {
+        use crate::governor::{Budget, Resource};
+        let guard = Budget::new().with_max_input_bytes(4).start();
+        let err =
+            parse_turtle_guarded("<http://e/a> <http://e/p> <http://e/b> .", &guard).unwrap_err();
+        match err {
+            RdfError::Exhausted(e) => {
+                assert_eq!(e.resource, Resource::InputSize);
+                assert_eq!(e.limit, 4);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_parse_trips_on_cancellation() {
+        use crate::governor::{Budget, CancelFlag, Resource};
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let guard = Budget::new().with_cancel(flag).start();
+        // Enough statements that the amortized check fires.
+        let doc = "<http://e/a> <http://e/p> <http://e/b> .\n".repeat(600);
+        let err = parse_turtle_guarded(&doc, &guard).unwrap_err();
+        match err {
+            RdfError::Exhausted(e) => assert_eq!(e.resource, Resource::Cancelled),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_parse_is_transparent_when_unlimited() {
+        let guard = Guard::default();
+        let ts = parse_turtle_guarded(
+            "@prefix e: <http://e/> . e:a e:p e:b , e:c ; e:q (e:d e:f) .",
+            &guard,
+        )
+        .unwrap();
+        assert_eq!(
+            ts,
+            parse_ok("@prefix e: <http://e/> . e:a e:p e:b , e:c ; e:q (e:d e:f) .")
+        );
+    }
+
+    #[test]
+    fn guarded_parse_keeps_syntax_location() {
+        let guard = Guard::default();
+        let err =
+            parse_turtle_guarded("@prefix e: <http://e/> .\ne:a e:p % .", &guard).unwrap_err();
+        match err {
+            RdfError::Syntax(e) => assert_eq!(e.line, 2),
+            other => panic!("expected Syntax, got {other:?}"),
+        }
     }
 
     #[test]

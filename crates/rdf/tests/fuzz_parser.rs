@@ -1,9 +1,51 @@
 //! Robustness: the Turtle and N-Triples parsers must never panic on
 //! arbitrary input — they either parse or return a located error.
 
-use feo_rdf::ntriples::parse_ntriples;
-use feo_rdf::turtle::parse_turtle;
+use feo_rdf::governor::Budget;
+use feo_rdf::ntriples::{parse_ntriples, parse_ntriples_guarded};
+use feo_rdf::turtle::{parse_turtle, parse_turtle_guarded};
 use proptest::prelude::*;
+
+const VALID_TURTLE: &str = "@prefix e: <http://e/> .\n\
+     e:a a e:Food ; e:p \"v\"@en , 42 .\n\
+     e:b e:q (e:x e:y) .\n\
+     [ e:r e:z ] .";
+
+const VALID_NTRIPLES: &str = "<http://e/a> <http://e/p> <http://e/b> .\n\
+     <http://e/a> <http://e/q> \"lit\"^^<http://www.w3.org/2001/XMLSchema#string> .\n\
+     _:b0 <http://e/r> \"x\"@en .";
+
+/// A parse error must carry a position inside (or one past) the input:
+/// 1-based line within the document, column within that line.
+fn assert_located(err: &feo_rdf::turtle::TurtleError, input: &str) {
+    let lines: Vec<&str> = input.split('\n').collect();
+    assert!(err.line >= 1, "line is 1-based: {err:?}");
+    assert!(
+        err.line <= lines.len().max(1),
+        "line {} out of range for {} lines: {err:?}",
+        err.line,
+        lines.len()
+    );
+    let line_len = lines
+        .get(err.line - 1)
+        .map(|l| l.chars().count())
+        .unwrap_or(0);
+    assert!(err.column >= 1, "column is 1-based: {err:?}");
+    assert!(
+        err.column <= line_len + 1,
+        "column {} out of range for line of {} chars: {err:?}",
+        err.column,
+        line_len
+    );
+}
+
+fn splice(base: &str, cut: usize, del: usize, insert: &str) -> String {
+    let mut s: Vec<char> = base.chars().collect();
+    let pos = cut.min(s.len());
+    let end = (pos + del).min(s.len());
+    s.splice(pos..end, insert.chars());
+    s.into_iter().collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -29,16 +71,55 @@ proptest! {
     /// parse or fail cleanly, never panic or loop.
     #[test]
     fn mutated_valid_document(cut in 0usize..120, insert in ".{0,4}") {
-        let valid = "@prefix e: <http://e/> .\n\
-                     e:a a e:Food ; e:p \"v\"@en , 42 .\n\
-                     e:b e:q (e:x e:y) .\n\
-                     [ e:r e:z ] .";
-        let mut s: Vec<char> = valid.chars().collect();
-        let pos = cut.min(s.len());
-        for (i, c) in insert.chars().enumerate() {
-            s.insert(pos + i, c);
-        }
-        let mutated: String = s.into_iter().collect();
+        let mutated = splice(VALID_TURTLE, cut, 0, &insert);
         let _ = parse_turtle(&mutated);
+    }
+
+    /// Deletion + insertion mutations of valid Turtle: every rejection
+    /// must point at a real (line, column) inside the document.
+    #[test]
+    fn turtle_mutation_errors_are_located(
+        cut in 0usize..120,
+        del in 0usize..8,
+        insert in "[@<>\"'a-z:#._;,()\\[\\]\\\\ \n0-9-]{0,6}"
+    ) {
+        let mutated = splice(VALID_TURTLE, cut, del, &insert);
+        if let Err(e) = parse_turtle(&mutated) {
+            assert_located(&e, &mutated);
+        }
+    }
+
+    /// Same contract for N-Triples: mutations never panic, and every
+    /// error is located within the mutated document.
+    #[test]
+    fn ntriples_mutation_errors_are_located(
+        cut in 0usize..160,
+        del in 0usize..8,
+        insert in "[<>\"'^_:@a-z#. \n0-9-]{0,6}"
+    ) {
+        let mutated = splice(VALID_NTRIPLES, cut, del, &insert);
+        if let Err(e) = parse_ntriples(&mutated) {
+            assert_located(&e, &mutated);
+        }
+    }
+
+    /// The guarded entry points share the panic-freedom contract: under
+    /// an unlimited guard they behave exactly like the plain parsers,
+    /// and under a tiny input cap they return a typed budget error
+    /// instead of touching the document at all.
+    #[test]
+    fn guarded_parsers_never_panic(cut in 0usize..120, insert in ".{0,4}") {
+        let mutated = splice(VALID_TURTLE, cut, 0, &insert);
+        let unlimited = Budget::new().start();
+        let plain = parse_turtle(&mutated);
+        let guarded = parse_turtle_guarded(&mutated, &unlimited);
+        assert_eq!(plain.is_ok(), guarded.is_ok());
+
+        let capped = Budget::new().with_max_input_bytes(1).start();
+        if mutated.len() > 1 {
+            let res = parse_turtle_guarded(&mutated, &capped);
+            prop_assert!(matches!(res, Err(feo_rdf::RdfError::Exhausted(_))));
+        }
+        let _ = parse_ntriples_guarded(&mutated, &Budget::new().start());
     }
 }

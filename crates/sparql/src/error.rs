@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use feo_rdf::governor::Exhausted;
+
 /// An error raised while parsing or evaluating a SPARQL query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SparqlError {
@@ -14,6 +16,9 @@ pub enum SparqlError {
     /// Semantic error discovered at evaluation time (e.g. aggregate used
     /// outside GROUP BY projection, unknown prefix).
     Eval(String),
+    /// An execution budget (solutions, deadline, cancellation) tripped
+    /// during evaluation under a [`feo_rdf::governor::Guard`].
+    Exhausted(Exhausted),
 }
 
 impl SparqlError {
@@ -28,6 +33,14 @@ impl SparqlError {
     pub fn eval(message: impl Into<String>) -> Self {
         SparqlError::Eval(message.into())
     }
+
+    /// The budget trip behind this error, if it is an `Exhausted`.
+    pub fn as_exhausted(&self) -> Option<&Exhausted> {
+        match self {
+            SparqlError::Exhausted(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SparqlError {
@@ -39,10 +52,17 @@ impl fmt::Display for SparqlError {
                 column,
             } => write!(f, "sparql parse error at {line}:{column}: {message}"),
             SparqlError::Eval(m) => write!(f, "sparql evaluation error: {m}"),
+            SparqlError::Exhausted(e) => write!(f, "sparql evaluation stopped: {e}"),
         }
     }
 }
 
 impl std::error::Error for SparqlError {}
+
+impl From<Exhausted> for SparqlError {
+    fn from(e: Exhausted) -> Self {
+        SparqlError::Exhausted(e)
+    }
+}
 
 pub type Result<T> = std::result::Result<T, SparqlError>;

@@ -14,8 +14,10 @@
 //! overlay that is dropped when evaluation finishes, so the caller's
 //! dictionary is never polluted by the queries it answers.
 
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
+use feo_rdf::governor::{Exhausted, Guard};
 use feo_rdf::vocab::xsd;
 use feo_rdf::{Graph, GraphStore, GraphView, Overlay, Term, TermId, Triple};
 
@@ -71,6 +73,31 @@ pub fn query_with<G: GraphView>(graph: G, text: &str, opts: &ExecOptions) -> Res
 
 /// Executes a parsed query with explicit options.
 pub fn execute_with<G: GraphView>(graph: G, q: &Query, opts: &ExecOptions) -> Result<QueryResult> {
+    execute_inner(graph, q, opts, None)
+}
+
+/// Parses and executes under an execution [`Guard`]: the input-size cap
+/// is applied to the query text, join-row production is charged against
+/// the guard's solution budget, and the deadline / cancellation flag is
+/// polled inside BGP matching and property-path closure loops. A tripped
+/// budget surfaces as [`SparqlError::Exhausted`].
+pub fn query_guarded<G: GraphView>(graph: G, text: &str, guard: &Guard) -> Result<QueryResult> {
+    guard.check_input(text.len())?;
+    let q = parse_query(text)?;
+    execute_guarded(graph, &q, guard)
+}
+
+/// Executes a parsed query under an execution [`Guard`].
+pub fn execute_guarded<G: GraphView>(graph: G, q: &Query, guard: &Guard) -> Result<QueryResult> {
+    execute_inner(graph, q, &ExecOptions::default(), Some(guard))
+}
+
+fn execute_inner<G: GraphView>(
+    graph: G,
+    q: &Query,
+    opts: &ExecOptions,
+    guard: Option<&Guard>,
+) -> Result<QueryResult> {
     let mut vars = VarTable::default();
     register_group_vars(&q.where_pattern, &mut vars);
     register_modifier_vars(q, &mut vars);
@@ -78,11 +105,13 @@ pub fn execute_with<G: GraphView>(graph: G, q: &Query, opts: &ExecOptions) -> Re
         g: Overlay::new(graph),
         vars,
         opts: opts.clone(),
+        guard,
+        tripped: Cell::new(None),
     };
 
     let rows = ctx.eval_group(&q.where_pattern, vec![vec![None; ctx.vars.len()]])?;
 
-    match &q.form {
+    let result = match &q.form {
         QueryForm::Ask => Ok(QueryResult::Boolean(!rows.is_empty())),
         QueryForm::Construct { template } => ctx.construct(template, rows),
         QueryForm::Select {
@@ -90,7 +119,13 @@ pub fn execute_with<G: GraphView>(graph: G, q: &Query, opts: &ExecOptions) -> Re
             reduced,
             projection,
         } => ctx.select(q, projection, *distinct || *reduced, rows),
+    };
+    // A trip recorded inside an infallible path (e.g. property-path
+    // closure) surfaces here even if the rest of evaluation completed.
+    if let Some(exhausted) = ctx.tripped.get() {
+        return Err(SparqlError::Exhausted(exhausted));
     }
+    result
 }
 
 /// Variable registry: maps names (and blank-node labels, prefixed with
@@ -237,7 +272,7 @@ fn register_modifier_vars(q: &Query, vars: &mut VarTable) {
     }
 }
 
-struct Ctx<G: GraphView> {
+struct Ctx<'a, G: GraphView> {
     /// Scratch overlay over the caller's view: reads fall through to the
     /// base, while evaluator-created terms (ground query constants not in
     /// the base dictionary, BIND/SELECT expression results, fresh blank
@@ -247,15 +282,66 @@ struct Ctx<G: GraphView> {
     g: Overlay<G>,
     vars: VarTable,
     opts: ExecOptions,
+    /// Execution governor for the guarded entry points; `None` on the
+    /// legacy paths.
+    guard: Option<&'a Guard>,
+    /// Trip recorded from `&self` evaluation paths (property-path
+    /// closures) that cannot return a `Result`; checked at element
+    /// boundaries and again when evaluation finishes.
+    tripped: Cell<Option<Exhausted>>,
 }
 
-impl<G: GraphView> Ctx<G> {
+impl<'a, G: GraphView> Ctx<'a, G> {
+    /// Amortized governor poll for `&self` hot loops. Returns true when
+    /// execution should stop; the trip is stashed in `self.tripped` and
+    /// surfaced as an error at the next fallible boundary.
+    #[inline]
+    fn guard_tripped(&self) -> bool {
+        if self.tripped.get().is_some() {
+            return true;
+        }
+        if let Some(g) = self.guard {
+            if let Err(exhausted) = g.check_time() {
+                self.tripped.set(Some(exhausted));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fallible governor checkpoint: converts a recorded or fresh trip
+    /// into a typed error.
+    fn checkpoint(&self) -> Result<()> {
+        if let Some(exhausted) = self.tripped.get() {
+            return Err(SparqlError::Exhausted(exhausted));
+        }
+        if let Some(g) = self.guard {
+            if let Err(exhausted) = g.check_time() {
+                self.tripped.set(Some(exhausted));
+                return Err(SparqlError::Exhausted(exhausted));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` produced join rows against the solution budget.
+    fn charge_solutions(&self, n: usize) -> Result<()> {
+        if let Some(g) = self.guard {
+            if let Err(exhausted) = g.add_solutions(n as u64) {
+                self.tripped.set(Some(exhausted));
+                return Err(SparqlError::Exhausted(exhausted));
+            }
+        }
+        Ok(())
+    }
+
     // ---- group patterns ------------------------------------------------
 
     fn eval_group(&mut self, group: &GroupPattern, input: Vec<Binding>) -> Result<Vec<Binding>> {
         let mut rows = input;
         let mut filters: Vec<&Expr> = Vec::new();
         for el in &group.elements {
+            self.checkpoint()?;
             match el {
                 GroupElement::Filter(e) => filters.push(e),
                 GroupElement::Triples(ts) => rows = self.eval_bgp(ts, rows)?,
@@ -320,8 +406,12 @@ impl<G: GraphView> Ctx<G> {
                     let slots: Vec<usize> = vb
                         .vars
                         .iter()
-                        .map(|v| self.vars.get(v).expect("registered"))
-                        .collect();
+                        .map(|v| {
+                            self.vars.get(v).ok_or_else(|| {
+                                SparqlError::eval(format!("VALUES variable ?{v} is not registered"))
+                            })
+                        })
+                        .collect::<Result<_>>()?;
                     // Intern the data terms.
                     let mut table: Vec<Vec<Option<TermId>>> = Vec::new();
                     for row in &vb.rows {
@@ -408,12 +498,15 @@ impl<G: GraphView> Ctx<G> {
         let mut remaining: Vec<&TriplePattern> = patterns.iter().collect();
         let mut ordered: Vec<&TriplePattern> = Vec::with_capacity(remaining.len());
         while !remaining.is_empty() {
-            let (best_idx, _) = remaining
+            // max_by_key on a nonempty list always yields a winner; fall
+            // back to author order rather than panicking if it ever
+            // doesn't.
+            let best_idx = remaining
                 .iter()
                 .enumerate()
                 .map(|(i, tp)| (i, self.pattern_selectivity(tp, &bound)))
                 .max_by_key(|&(_, s)| s)
-                .expect("nonempty");
+                .map_or(0, |(i, _)| i);
             let tp = remaining.remove(best_idx);
             for slot in self.pattern_var_slots(tp) {
                 bound.insert(slot);
@@ -490,8 +583,15 @@ impl<G: GraphView> Ctx<G> {
         tp: &TriplePattern,
         rows: Vec<Binding>,
     ) -> Result<Vec<Binding>> {
+        // Solution charging is batched: a guard call per input binding
+        // costs ~2% on small queries, so produced rows accumulate locally
+        // and are charged every `CHARGE_BATCH` rows (bounding overshoot
+        // to one batch plus one binding's matches).
+        const CHARGE_BATCH: usize = 256;
+        let mut uncharged: usize = 0;
         let mut out = Vec::new();
         for b in rows {
+            let produced_before = out.len();
             let s_slot = self.term_slot(&tp.subject);
             let o_slot = self.term_slot(&tp.object);
             let s_val = self.term_value(&tp.subject, &b)?;
@@ -542,7 +642,13 @@ impl<G: GraphView> Ctx<G> {
                     }
                 }
             }
+            uncharged += out.len() - produced_before;
+            if uncharged >= CHARGE_BATCH {
+                self.charge_solutions(uncharged)?;
+                uncharged = 0;
+            }
         }
+        self.charge_solutions(uncharged)?;
         Ok(out)
     }
 
@@ -591,7 +697,10 @@ impl<G: GraphView> Ctx<G> {
                     .collect(),
                 None => Vec::new(),
             },
-            Path::Var(_) => unreachable!("variable predicates handled in match_triple_pattern"),
+            // Variable predicates are handled in match_triple_pattern; a
+            // bare variable reaching here matches nothing rather than
+            // panicking.
+            Path::Var(_) => Vec::new(),
             Path::Inverse(inner) => self
                 .eval_path(inner, o, s)
                 .into_iter()
@@ -601,6 +710,9 @@ impl<G: GraphView> Ctx<G> {
                 let mut out = Vec::new();
                 let mut seen = HashSet::new();
                 for (a, mid) in self.eval_path(first, s, None) {
+                    if self.guard_tripped() {
+                        break;
+                    }
                     for (_, b) in self.eval_path(second, Some(mid), o) {
                         if seen.insert((a, b)) {
                             out.push((a, b));
@@ -713,12 +825,18 @@ impl<G: GraphView> Ctx<G> {
         };
         let mut out = Vec::new();
         for start in starts {
+            if self.guard_tripped() {
+                break;
+            }
             let mut reached: HashSet<TermId> = HashSet::new();
             let mut frontier = vec![start];
             if include_zero {
                 reached.insert(start);
             }
             while let Some(node) = frontier.pop() {
+                if self.guard_tripped() {
+                    break;
+                }
                 for (_, next) in self.eval_path(inner, Some(node), None) {
                     if reached.insert(next) {
                         frontier.push(next);
@@ -854,7 +972,8 @@ impl<G: GraphView> Ctx<G> {
                     CompareOp::Le => ord != Ordering::Greater,
                     CompareOp::Gt => ord == Ordering::Greater,
                     CompareOp::Ge => ord != Ordering::Less,
-                    CompareOp::Eq | CompareOp::Ne => unreachable!(),
+                    // Eq/Ne are handled by the outer match arms.
+                    CompareOp::Eq | CompareOp::Ne => return None,
                 })
             }
         }
@@ -931,7 +1050,8 @@ impl<G: GraphView> Ctx<G> {
         let vals: Option<Vec<Value>> = args.iter().map(|a| self.eval_expr(a, b)).collect();
         let vals = vals?;
         match builtin {
-            Bound | Coalesce | If => unreachable!("handled above"),
+            // Already returned from the lazy-evaluation block above.
+            Bound | Coalesce | If => None,
             Str => str_builtin(&self.g, vals.first()?).map(|s| Value::Str { s, lang: None }),
             Lang => {
                 let v = vals.first()?;
@@ -1144,7 +1264,11 @@ impl<G: GraphView> Ctx<G> {
             if let Projection::Items(items) = projection {
                 for item in items {
                     if let ProjectionItem::Expr(e, v) = item {
-                        let slot = self.vars.get(v).expect("registered");
+                        let slot = self.vars.get(v).ok_or_else(|| {
+                            SparqlError::eval(format!(
+                                "SELECT expression variable ?{v} is not registered"
+                            ))
+                        })?;
                         for b in &mut rows {
                             if let Some(val) = self.eval_expr(e, &b.clone()) {
                                 b[slot] = Some(val.into_term_id(&mut self.g));
@@ -1197,17 +1321,24 @@ impl<G: GraphView> Ctx<G> {
                 pairs.sort_by_key(|a| a.1);
                 pairs.into_iter().unzip()
             }
-            Projection::Items(items) => items
-                .iter()
-                .map(|i| {
-                    let name = match i {
-                        ProjectionItem::Var(v) => v.clone(),
-                        ProjectionItem::Expr(_, v) => v.clone(),
-                    };
-                    let slot = self.vars.get(&name).expect("registered");
-                    (name, slot)
-                })
-                .unzip(),
+            Projection::Items(items) => {
+                let pairs: Vec<(String, usize)> = items
+                    .iter()
+                    .map(|i| {
+                        let name = match i {
+                            ProjectionItem::Var(v) => v.clone(),
+                            ProjectionItem::Expr(_, v) => v.clone(),
+                        };
+                        let slot = self.vars.get(&name).ok_or_else(|| {
+                            SparqlError::eval(format!(
+                                "projected variable ?{name} is not registered"
+                            ))
+                        })?;
+                        Ok((name, slot))
+                    })
+                    .collect::<Result<_>>()?;
+                pairs.into_iter().unzip()
+            }
         };
 
         let mut projected: Vec<Vec<Option<TermId>>> = rows
@@ -1305,7 +1436,11 @@ impl<G: GraphView> Ctx<G> {
             if let Projection::Items(items) = projection {
                 for item in items {
                     if let ProjectionItem::Expr(e, v) = item {
-                        let slot = self.vars.get(v).expect("registered");
+                        let slot = self.vars.get(v).ok_or_else(|| {
+                            SparqlError::eval(format!(
+                                "aggregate projection variable ?{v} is not registered"
+                            ))
+                        })?;
                         if let Some(val) = self.eval_group_expr(e, &members, &row) {
                             row[slot] = Some(val.into_term_id(&mut self.g));
                         }

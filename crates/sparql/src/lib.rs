@@ -38,6 +38,8 @@ pub mod results;
 pub mod value;
 
 pub use error::{Result, SparqlError};
-pub use eval::{execute, execute_with, query, query_with, ExecOptions};
+pub use eval::{
+    execute, execute_guarded, execute_with, query, query_guarded, query_with, ExecOptions,
+};
 pub use parser::parse_query;
 pub use results::{QueryResult, SolutionTable};

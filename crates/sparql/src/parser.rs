@@ -946,7 +946,7 @@ impl Parser {
                 let tp = self.parse_graph_term()?;
                 match tp {
                     TermPattern::Literal(l) => Ok(Expr::Literal(l)),
-                    _ => unreachable!("strings/numbers parse to literals"),
+                    _ => self.err("expected a literal expression"),
                 }
             }
             Tok::Word(w) => {

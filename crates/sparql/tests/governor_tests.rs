@@ -1,0 +1,171 @@
+//! Guarded-evaluation tests: the SPARQL engine under an execution
+//! [`feo_rdf::governor::Budget`] must trip with typed
+//! [`SparqlError::Exhausted`] errors instead of running away, and an
+//! unlimited guard must be behaviorally invisible.
+
+use std::time::Duration;
+
+use feo_rdf::governor::{Budget, CancelFlag, Guard, Resource};
+use feo_rdf::turtle::parse_turtle_into;
+use feo_rdf::Graph;
+use feo_sparql::{query, query_guarded, SparqlError};
+
+fn graph(src: &str) -> Graph {
+    let mut g = Graph::new();
+    let prefixed = format!("@prefix e: <http://e/> .\n{src}");
+    parse_turtle_into(&prefixed, &mut g).expect("fixture turtle parses");
+    g
+}
+
+fn chain_graph(len: usize) -> Graph {
+    let mut src = String::new();
+    for i in 0..len {
+        src.push_str(&format!("e:n{} e:p e:n{} .\n", i, i + 1));
+    }
+    graph(&src)
+}
+
+fn expect_exhausted(err: SparqlError, resource: Resource) {
+    match err {
+        SparqlError::Exhausted(e) => assert_eq!(e.resource, resource, "{e}"),
+        other => panic!("expected Exhausted({resource:?}), got {other:?}"),
+    }
+}
+
+#[test]
+fn input_cap_rejects_oversized_query_text() {
+    let g = graph("e:a e:p e:b .");
+    let guard = Budget::new().with_max_input_bytes(10).start();
+    let err = query_guarded(&g, "SELECT ?s WHERE { ?s ?p ?o }", &guard).unwrap_err();
+    expect_exhausted(err, Resource::InputSize);
+}
+
+#[test]
+fn solution_budget_trips_on_cross_product() {
+    // 8 triples joined with themselves twice: 512 join rows, far past
+    // the 20-row budget.
+    let g = chain_graph(8);
+    let guard = Budget::new().with_max_solutions(20).start();
+    let err = query_guarded(
+        &g,
+        "SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f }",
+        &guard,
+    )
+    .unwrap_err();
+    expect_exhausted(err, Resource::Solutions);
+    assert!(guard.solutions_spent() > 20);
+}
+
+#[test]
+fn solution_budget_with_headroom_matches_unguarded() {
+    let g = chain_graph(8);
+    let q = "PREFIX e: <http://e/> SELECT ?a ?b WHERE { ?a e:p ?b }";
+    let unguarded = query(&g, q).unwrap().expect_solutions();
+    let guard = Budget::new().with_max_solutions(1_000).start();
+    let guarded = query_guarded(&g, q, &guard).unwrap().expect_solutions();
+    assert_eq!(unguarded.len(), guarded.len());
+}
+
+#[test]
+fn unlimited_guard_is_transparent() {
+    let g = chain_graph(8);
+    let q = "PREFIX e: <http://e/> SELECT ?a WHERE { ?a e:p+ ?b } ORDER BY ?a";
+    let unguarded = query(&g, q).unwrap().expect_solutions();
+    let guarded = query_guarded(&g, q, &Guard::default())
+        .unwrap()
+        .expect_solutions();
+    assert_eq!(unguarded.local_rows(), guarded.local_rows());
+}
+
+#[test]
+fn cancellation_stops_evaluation() {
+    let g = chain_graph(8);
+    let flag = CancelFlag::new();
+    flag.cancel();
+    let guard = Budget::new().with_cancel(flag).start();
+    let err = query_guarded(&g, "SELECT ?s WHERE { ?s ?p ?o }", &guard).unwrap_err();
+    expect_exhausted(err, Resource::Cancelled);
+}
+
+#[test]
+fn expired_deadline_stops_path_closure() {
+    // A long chain queried with a transitive path generates enough
+    // closure work to pass the guard's amortized time-check interval.
+    let g = chain_graph(400);
+    let guard = Budget::new().with_deadline(Duration::ZERO).start();
+    std::thread::sleep(Duration::from_millis(2));
+    let err = query_guarded(
+        &g,
+        "PREFIX e: <http://e/> SELECT ?a ?b WHERE { ?a e:p+ ?b }",
+        &guard,
+    )
+    .unwrap_err();
+    expect_exhausted(err, Resource::WallClock);
+}
+
+#[test]
+fn syntax_errors_stay_typed_under_guard() {
+    let g = graph("e:a e:p e:b .");
+    let guard = Guard::default();
+    let err = query_guarded(&g, "SELECT WHERE {", &guard).unwrap_err();
+    assert!(matches!(err, SparqlError::Parse { .. }), "{err:?}");
+}
+
+// ---- regression coverage for converted panic sites ---------------------
+
+#[test]
+fn values_query_still_evaluates() {
+    let g = graph("e:a e:p e:b . e:c e:p e:d .");
+    let t = query(
+        &g,
+        "PREFIX e: <http://e/> SELECT ?s ?o WHERE { VALUES ?s { e:a e:c } ?s e:p ?o }",
+    )
+    .unwrap()
+    .expect_solutions();
+    assert_eq!(t.len(), 2);
+}
+
+#[test]
+fn select_expression_and_aggregate_projection_still_evaluate() {
+    let g = graph("e:a e:v 1 . e:b e:v 2 . e:c e:v 3 .");
+    let t = query(
+        &g,
+        "PREFIX e: <http://e/> SELECT (SUM(?n) AS ?total) WHERE { ?s e:v ?n }",
+    )
+    .unwrap()
+    .expect_solutions();
+    assert_eq!(t.local_rows()[0][0], "6");
+    let t = query(
+        &g,
+        "PREFIX e: <http://e/> SELECT (1 + 2 AS ?three) WHERE { }",
+    )
+    .unwrap()
+    .expect_solutions();
+    assert_eq!(t.local_rows()[0][0], "3");
+}
+
+#[test]
+fn bgp_reorder_handles_single_and_many_patterns() {
+    let g = graph("e:a e:p e:b . e:b e:q e:c .");
+    let t = query(
+        &g,
+        "PREFIX e: <http://e/> SELECT ?x ?z WHERE { ?x e:p ?y . ?y e:q ?z }",
+    )
+    .unwrap()
+    .expect_solutions();
+    assert_eq!(t.len(), 1);
+}
+
+#[test]
+fn literal_expression_parse_errors_are_positioned() {
+    // Any parse failure inside an expression must be a positioned error,
+    // never a panic.
+    let g = graph("e:a e:p e:b .");
+    let err = query(&g, "SELECT ?s WHERE { ?s ?p ?o FILTER(?o = ) }").unwrap_err();
+    match err {
+        SparqlError::Parse { line, column, .. } => {
+            assert!(line >= 1 && column >= 1);
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}

@@ -1,0 +1,159 @@
+//! The crate-spanning error taxonomy.
+//!
+//! Each layer of the stack has its own typed error (`TurtleError`,
+//! `SparqlError`, `ReasonerError`, `EngineError`); [`FeoError`] unifies
+//! them for applications driving the whole pipeline, with `From` impls so
+//! `?` composes across layers. The [`FeoError::exhausted`] accessor
+//! recovers the governor trip regardless of which layer it surfaced in.
+
+use std::fmt;
+
+use feo_core::EngineError;
+use feo_owl::ReasonerError;
+use feo_rdf::governor::Exhausted;
+use feo_rdf::turtle::TurtleError;
+use feo_rdf::RdfError;
+use feo_sparql::SparqlError;
+
+/// Any error the FEO pipeline can produce, by layer.
+#[derive(Debug)]
+pub enum FeoError {
+    /// Turtle / N-Triples syntax error (with line/column).
+    Syntax(TurtleError),
+    /// SPARQL parse or evaluation error.
+    Sparql(SparqlError),
+    /// OWL materialization stopped by a budget (carries the partial
+    /// closure's statistics).
+    Reasoner(ReasonerError),
+    /// Explanation-engine error (unknown entity, inconsistency, …).
+    Engine(EngineError),
+    /// A budget trip surfaced directly from a guarded parser or other
+    /// layer-free entry point.
+    Exhausted(Exhausted),
+}
+
+impl FeoError {
+    /// The governor trip behind this error, wherever it surfaced, or
+    /// `None` for errors unrelated to budgets. Applications use this to
+    /// distinguish "degrade gracefully" from "report a bug".
+    pub fn exhausted(&self) -> Option<&Exhausted> {
+        match self {
+            FeoError::Syntax(_) => None,
+            FeoError::Sparql(e) => e.as_exhausted(),
+            FeoError::Reasoner(e) => Some(e.exhausted()),
+            FeoError::Engine(EngineError::Exhausted(e)) => Some(e),
+            FeoError::Engine(_) => None,
+            FeoError::Exhausted(e) => Some(e),
+        }
+    }
+}
+
+impl fmt::Display for FeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeoError::Syntax(e) => write!(f, "syntax: {e}"),
+            FeoError::Sparql(e) => write!(f, "sparql: {e}"),
+            FeoError::Reasoner(e) => write!(f, "reasoner: {e}"),
+            FeoError::Engine(e) => write!(f, "engine: {e}"),
+            FeoError::Exhausted(e) => write!(f, "budget: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FeoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeoError::Syntax(e) => Some(e),
+            FeoError::Sparql(e) => Some(e),
+            FeoError::Reasoner(e) => Some(e),
+            FeoError::Engine(e) => Some(e),
+            FeoError::Exhausted(e) => Some(e),
+        }
+    }
+}
+
+impl From<TurtleError> for FeoError {
+    fn from(e: TurtleError) -> Self {
+        FeoError::Syntax(e)
+    }
+}
+
+impl From<RdfError> for FeoError {
+    fn from(e: RdfError) -> Self {
+        match e {
+            RdfError::Syntax(e) => FeoError::Syntax(e),
+            RdfError::Exhausted(e) => FeoError::Exhausted(e),
+        }
+    }
+}
+
+impl From<SparqlError> for FeoError {
+    fn from(e: SparqlError) -> Self {
+        FeoError::Sparql(e)
+    }
+}
+
+impl From<ReasonerError> for FeoError {
+    fn from(e: ReasonerError) -> Self {
+        FeoError::Reasoner(e)
+    }
+}
+
+impl From<EngineError> for FeoError {
+    fn from(e: EngineError) -> Self {
+        FeoError::Engine(e)
+    }
+}
+
+impl From<Exhausted> for FeoError {
+    fn from(e: Exhausted) -> Self {
+        FeoError::Exhausted(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feo_rdf::governor::Resource;
+
+    fn trip() -> Exhausted {
+        Exhausted {
+            resource: Resource::WallClock,
+            spent: 12,
+            limit: 10,
+        }
+    }
+
+    #[test]
+    fn question_marks_compose_across_layers() {
+        fn pipeline() -> Result<(), FeoError> {
+            feo_rdf::turtle::parse_turtle("broken")?;
+            Ok(())
+        }
+        let err = pipeline().unwrap_err();
+        assert!(matches!(err, FeoError::Syntax(_)));
+        assert!(err.exhausted().is_none());
+    }
+
+    #[test]
+    fn exhausted_is_recovered_from_every_layer() {
+        let by_layer: Vec<FeoError> = vec![
+            FeoError::Sparql(SparqlError::from(trip())),
+            FeoError::Engine(EngineError::Exhausted(trip())),
+            FeoError::Exhausted(trip()),
+        ];
+        for err in by_layer {
+            assert_eq!(
+                err.exhausted().expect("carries the trip").resource,
+                Resource::WallClock,
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_prefixes_the_layer() {
+        let e = FeoError::from(trip());
+        assert!(e.to_string().starts_with("budget:"));
+    }
+}

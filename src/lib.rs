@@ -26,6 +26,10 @@
 //! println!("{}", e.answer);
 //! ```
 
+pub mod error;
+
+pub use error::FeoError;
+
 pub use feo_core as core;
 pub use feo_foodkg as foodkg;
 pub use feo_ontology as ontology;
