@@ -35,6 +35,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== no deprecated calls in-tree"
+# The unified-options redesign left the old *_with/*_guarded names as
+# #[deprecated] wrappers for external callers. In-tree code must use
+# the new API: build everything with `-D deprecated`. Wrapper
+# *definitions* (and their delegation bodies, which carry
+# #[allow(deprecated)]) are fine; new *calls* are not.
+RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo check --workspace --all-targets --offline
+
 echo "== tier-1: release build + tests"
 cargo build --release --offline
 cargo test -q --offline
@@ -47,5 +55,15 @@ echo "== adversarial suite (bounded wall-clock)"
 # blowups) must degrade via the governor, never hang: the whole suite
 # has to finish inside the timeout.
 timeout 120 cargo test -q --offline --release --test adversarial
+
+echo "== planner equivalence (bounded wall-clock)"
+# All three planners must return identical solution multisets on seeded
+# synthetic KGs, guarded or not.
+timeout 180 cargo test -q --offline --release --test plan_equivalence
+
+echo "== planner smoke (bounded wall-clock)"
+# The paired planner-gain harness must run end to end; full numbers go
+# to EXPERIMENTS.md, the smoke run just has to complete.
+timeout 180 cargo run -q --release --offline -p feo-bench --bin planner_gain -- --smoke
 
 echo "CI green."

@@ -1,6 +1,6 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //!
-//! - SPARQL BGP greedy join reordering vs. author order;
+//! - SPARQL planner: cost-based vs. greedy reordering vs. author order;
 //! - reasoner schema-closure materialization on vs. off;
 //! - explanation-pipeline cost split: assemble vs. materialize vs. query.
 
@@ -12,16 +12,18 @@ use feo_core::ecosystem::{assemble, assert_question};
 use feo_core::{queries, Question};
 use feo_ontology::ns::sparql_prologue;
 use feo_owl::{Reasoner, ReasonerOptions};
-use feo_sparql::{query_with, ExecOptions};
+use feo_sparql::{query, Planner, QueryOptions};
 
 fn bench_bgp_reordering(c: &mut Criterion) {
     let (kg, user, ctx) = synthetic_fixture(200);
     let mut g = assemble(&kg, &user, &ctx);
-    Reasoner::new().materialize(&mut g);
+    Reasoner::new()
+        .materialize(&mut g, &Default::default())
+        .expect("materialize");
 
     // Written so author order hits a cartesian product: the first two
-    // patterns share no variable, and only the third connects them. The
-    // greedy reorderer picks the connecting pattern second instead.
+    // patterns share no variable, and only the third connects them. Both
+    // planners pick the connecting pattern second instead.
     let q = format!(
         "{}SELECT ?r ?i ?s WHERE {{\n\
            ?r food:calories ?c .\n\
@@ -34,12 +36,17 @@ fn bench_bgp_reordering(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_bgp_reorder");
     group.sample_size(20);
-    for (label, reorder) in [("greedy_reorder", true), ("author_order", false)] {
-        let opts = ExecOptions {
-            reorder_bgp: reorder,
+    for (label, planner) in [
+        ("cost_based", Planner::CostBased),
+        ("greedy_reorder", Planner::Greedy),
+        ("author_order", Planner::Off),
+    ] {
+        let opts = QueryOptions {
+            planner,
+            ..Default::default()
         };
         group.bench_function(label, |b| {
-            b.iter(|| black_box(query_with(&g, &q, &opts).expect("runs")))
+            b.iter(|| black_box(query(&g, &q, &opts).expect("runs")))
         });
     }
     group.finish();
@@ -58,7 +65,9 @@ fn bench_schema_closure(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut g = base.clone();
-                black_box(Reasoner::with_options(opts.clone()).materialize(&mut g))
+                black_box(
+                    Reasoner::with_options(opts.clone()).materialize(&mut g, &Default::default()),
+                )
             })
         });
     }
@@ -78,7 +87,7 @@ fn bench_pipeline_phases(c: &mut Criterion) {
     group.bench_function("phase2_materialize", |b| {
         b.iter(|| {
             let mut g = assembled.clone();
-            black_box(Reasoner::new().materialize(&mut g))
+            black_box(Reasoner::new().materialize(&mut g, &Default::default()))
         })
     });
 
@@ -87,10 +96,12 @@ fn bench_pipeline_phases(c: &mut Criterion) {
     };
     let mut materialized = assembled.clone();
     assert_question(&question, &mut materialized);
-    Reasoner::new().materialize(&mut materialized);
+    Reasoner::new()
+        .materialize(&mut materialized, &Default::default())
+        .expect("materialize");
     let q = queries::contextual_query(&question);
     group.bench_function("phase3_query", |b| {
-        b.iter(|| black_box(query_with(&materialized, &q, &ExecOptions::default()).expect("runs")))
+        b.iter(|| black_box(query(&materialized, &q, &QueryOptions::default()).expect("runs")))
     });
     group.finish();
 }
@@ -109,7 +120,9 @@ fn bench_derivation_tracking(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut g = base.clone();
-                black_box(Reasoner::with_options(opts.clone()).materialize(&mut g))
+                black_box(
+                    Reasoner::with_options(opts.clone()).materialize(&mut g, &Default::default()),
+                )
             })
         });
     }

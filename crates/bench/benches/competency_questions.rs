@@ -35,7 +35,9 @@ fn bench_query_only(c: &mut Criterion) {
             .map(|(i, s)| {
                 let mut g = assemble(&s.kg(), &s.user, &s.context);
                 assert_question(&s.question, &mut g);
-                Reasoner::new().materialize(&mut g);
+                Reasoner::new()
+                    .materialize(&mut g, &Default::default())
+                    .expect("materialize");
                 let q = match i {
                     0 => queries::contextual_query(&s.question),
                     1 => queries::contrastive_query(&s.question),
@@ -46,7 +48,7 @@ fn bench_query_only(c: &mut Criterion) {
             .collect();
     for (label, g, q) in prepared {
         group.bench_function(label, |b| {
-            b.iter(|| black_box(query(&g, &q).expect("query runs")))
+            b.iter(|| black_box(query(&g, &q, &Default::default()).expect("query runs")))
         });
     }
     group.finish();
@@ -59,7 +61,7 @@ fn bench_materialization(c: &mut Criterion) {
     group.bench_function("assemble_and_materialize_curated", |b| {
         b.iter(|| {
             let mut g = assemble(&s.kg(), &s.user, &s.context);
-            black_box(Reasoner::new().materialize(&mut g))
+            black_box(Reasoner::new().materialize(&mut g, &Default::default()))
         })
     });
     group.finish();

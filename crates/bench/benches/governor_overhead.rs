@@ -10,7 +10,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use feo_core::{scenario_a, scenario_b, scenario_c, EngineBase};
+use feo_core::{scenario_a, scenario_b, scenario_c, EngineBase, ExplainOptions};
 use feo_rdf::governor::Budget;
 
 fn bench_explain_overhead(c: &mut Criterion) {
@@ -27,14 +27,22 @@ fn bench_explain_overhead(c: &mut Criterion) {
         let question = scenario.question.clone();
 
         group.bench_function(format!("{label}/unguarded"), |b| {
-            b.iter(|| black_box(base.explain(&question).expect("explained")))
+            b.iter(|| {
+                black_box(
+                    base.explain(&question, &ExplainOptions::default())
+                        .expect("explained"),
+                )
+            })
         });
 
         let unlimited = Budget::new();
         group.bench_function(format!("{label}/unlimited_guard"), |b| {
             b.iter(|| {
                 let guard = unlimited.start();
-                black_box(base.explain_guarded(&question, &guard).expect("explained"))
+                black_box(
+                    base.explain(&question, &ExplainOptions::guarded(&guard))
+                        .expect("explained"),
+                )
             })
         });
 
@@ -48,7 +56,10 @@ fn bench_explain_overhead(c: &mut Criterion) {
         group.bench_function(format!("{label}/generous_budget"), |b| {
             b.iter(|| {
                 let guard = generous.start();
-                black_box(base.explain_guarded(&question, &guard).expect("explained"))
+                black_box(
+                    base.explain(&question, &ExplainOptions::guarded(&guard))
+                        .expect("explained"),
+                )
             })
         });
     }

@@ -10,7 +10,7 @@ use std::hint::black_box;
 use feo_bench::synthetic_fixture;
 use feo_core::ecosystem::{assemble, assert_question};
 use feo_core::Question;
-use feo_owl::Reasoner;
+use feo_owl::{MaterializeOptions, Reasoner};
 use feo_rdf::Overlay;
 
 fn bench_per_question_close(c: &mut Criterion) {
@@ -21,7 +21,9 @@ fn bench_per_question_close(c: &mut Criterion) {
         let mut base = assemble(&kg, &user, &ctx);
         let reasoner = Reasoner::new();
         let rules = reasoner.compile(&mut base);
-        reasoner.materialize_with(&mut base, &rules);
+        reasoner
+            .materialize(&mut base, &MaterializeOptions::with_rules(&rules))
+            .expect("materialize");
         let question = Question::WhyEat {
             food: kg.recipes[recipes / 2].id.clone(),
         };
@@ -33,7 +35,9 @@ fn bench_per_question_close(c: &mut Criterion) {
                 b.iter(|| {
                     let mut world = base.clone();
                     assert_question(q, &mut world);
-                    black_box(reasoner.materialize_with(&mut world, &rules))
+                    black_box(
+                        reasoner.materialize(&mut world, &MaterializeOptions::with_rules(&rules)),
+                    )
                 })
             },
         );
@@ -44,7 +48,12 @@ fn bench_per_question_close(c: &mut Criterion) {
                 b.iter(|| {
                     let mut overlay = Overlay::new(&base);
                     assert_question(q, &mut overlay);
-                    black_box(reasoner.materialize_delta(&mut overlay, &rules))
+                    black_box(
+                        reasoner.materialize_delta(
+                            &mut overlay,
+                            &MaterializeOptions::with_rules(&rules),
+                        ),
+                    )
                 })
             },
         );

@@ -18,7 +18,7 @@ fn bench_materialization_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(recipes), &base, |b, base| {
             b.iter(|| {
                 let mut g = base.clone();
-                black_box(Reasoner::new().materialize(&mut g))
+                black_box(Reasoner::new().materialize(&mut g, &Default::default()))
             })
         });
     }
@@ -32,9 +32,11 @@ fn bench_rematerialization_idempotent(c: &mut Criterion) {
     group.sample_size(10);
     let (kg, user, ctx) = synthetic_fixture(200);
     let mut g = assemble(&kg, &user, &ctx);
-    Reasoner::new().materialize(&mut g);
+    Reasoner::new()
+        .materialize(&mut g, &Default::default())
+        .expect("materialize");
     group.bench_function("noop_fixpoint_200_recipes", |b| {
-        b.iter(|| black_box(Reasoner::new().materialize(&mut g)))
+        b.iter(|| black_box(Reasoner::new().materialize(&mut g, &Default::default())))
     });
     group.finish();
 }

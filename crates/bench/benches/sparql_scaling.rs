@@ -19,7 +19,9 @@ fn prepared(recipes: usize) -> (feo_rdf::Graph, String) {
         food: kg.recipes[1].id.clone(),
     };
     assert_question(&question, &mut g);
-    Reasoner::new().materialize(&mut g);
+    Reasoner::new()
+        .materialize(&mut g, &Default::default())
+        .expect("materialize");
     (g, queries::contextual_query(&question))
 }
 
@@ -28,7 +30,7 @@ fn bench_cq1_scaling(c: &mut Criterion) {
     for recipes in [50usize, 100, 200, 400] {
         let (g, q) = prepared(recipes);
         group.bench_with_input(BenchmarkId::from_parameter(recipes), &recipes, |b, _| {
-            b.iter(|| black_box(query(&g, &q).expect("runs")))
+            b.iter(|| black_box(query(&g, &q, &Default::default()).expect("runs")))
         });
     }
     group.finish();
@@ -42,7 +44,7 @@ fn bench_path_query(c: &mut Criterion) {
         sparql_prologue()
     );
     group.bench_function("subclass_path_plus", |b| {
-        b.iter(|| black_box(query(&g, &path_q).expect("runs")))
+        b.iter(|| black_box(query(&g, &path_q, &Default::default()).expect("runs")))
     });
 
     let agg_q = format!(
@@ -51,7 +53,7 @@ fn bench_path_query(c: &mut Criterion) {
         sparql_prologue()
     );
     group.bench_function("group_by_count", |b| {
-        b.iter(|| black_box(query(&g, &agg_q).expect("runs")))
+        b.iter(|| black_box(query(&g, &agg_q, &Default::default()).expect("runs")))
     });
 
     let filter_q = format!(
@@ -60,7 +62,7 @@ fn bench_path_query(c: &mut Criterion) {
         sparql_prologue()
     );
     group.bench_function("filter_not_exists", |b| {
-        b.iter(|| black_box(query(&g, &filter_q).expect("runs")))
+        b.iter(|| black_box(query(&g, &filter_q, &Default::default()).expect("runs")))
     });
     group.finish();
 }

@@ -21,16 +21,18 @@ fn turtle_fixture() -> String {
 
 fn bench_turtle(c: &mut Criterion) {
     let doc = turtle_fixture();
-    let triples = parse_turtle(&doc).expect("parses").len();
+    let triples = parse_turtle(&doc, &Default::default())
+        .expect("parses")
+        .len();
     let mut group = c.benchmark_group("turtle");
     group.throughput(Throughput::Bytes(doc.len() as u64));
     group.bench_function(format!("parse_{triples}_triples"), |b| {
-        b.iter(|| black_box(parse_turtle(&doc).expect("parses")))
+        b.iter(|| black_box(parse_turtle(&doc, &Default::default()).expect("parses")))
     });
     group.bench_function("parse_into_graph", |b| {
         b.iter(|| {
             let mut g = Graph::new();
-            parse_turtle_into(&doc, &mut g).expect("parses");
+            parse_turtle_into(&doc, &mut g, &Default::default()).expect("parses");
             black_box(g)
         })
     });

@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use feo_core::{EngineBase, Question, Scenario};
+use feo_core::{EngineBase, ExplainOptions, Question, Scenario};
 use feo_rdf::governor::Budget;
 
 const WARMUP: usize = 50;
@@ -21,9 +21,9 @@ fn one_explain(base: &EngineBase, question: &Question, budget: Option<&Budget>) 
     let e = match budget {
         Some(b) => {
             let guard = b.start();
-            base.explain_guarded(question, &guard)
+            base.explain(question, &ExplainOptions::guarded(&guard))
         }
-        None => base.explain(question),
+        None => base.explain(question, &ExplainOptions::default()),
     };
     std::hint::black_box(e.expect("happy path explains"));
     started.elapsed()
@@ -44,7 +44,10 @@ fn measure(scenario: &Scenario) -> f64 {
         .with_max_solutions(100_000_000);
 
     for _ in 0..WARMUP {
-        std::hint::black_box(base.explain(&scenario.question).expect("warms up"));
+        std::hint::black_box(
+            base.explain(&scenario.question, &ExplainOptions::default())
+                .expect("warms up"),
+        );
     }
 
     // Tightly interleave single explains so clock drift, frequency

@@ -1,0 +1,171 @@
+//! Snapshot-keyed SPARQL plan cache.
+//!
+//! The engine answers every question by instantiating a handful of
+//! SPARQL templates, so the same query text recurs across sessions over
+//! one [`crate::EngineBase`]. Parsing and cost-based planning are pure
+//! functions of (query text, graph statistics), and the base graph is
+//! immutable between commits — so both can be cached on the base and
+//! shared by every session.
+//!
+//! Entries are keyed by query text and stamped with the base's *snapshot
+//! epoch*. Committing a session delta into the base
+//! ([`crate::EngineBase`]'s absorb) bumps the epoch, which invalidates
+//! every cached plan at once: the statistics that justified the old join
+//! orders no longer describe the graph.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use feo_rdf::GraphView;
+use feo_sparql::ast::Query;
+use feo_sparql::{parse_query, plan_query, Plan, SparqlError};
+
+/// Hit/miss counters and current state of a [`crate::EngineBase`]'s plan
+/// cache — exposed so tests (and curious callers) can verify that
+/// repeated questions reuse cached plans and that commits invalidate
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache without re-parsing or re-planning.
+    pub hits: u64,
+    /// Lookups that had to parse and plan (first sight of a query text,
+    /// or its entry was stamped with an older epoch).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Current snapshot epoch; bumped on every commit into the base.
+    pub epoch: u64,
+}
+
+struct CachedPlan {
+    epoch: u64,
+    query: Arc<Query>,
+    plan: Arc<Plan>,
+}
+
+/// Interior-mutable cache living on the shared, otherwise-immutable
+/// [`crate::EngineBase`]. All operations take `&self`, so any number of
+/// concurrent sessions can share one cache through an `Arc`d base.
+#[derive(Default)]
+pub(crate) struct PlanCache {
+    entries: Mutex<HashMap<String, CachedPlan>>,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Returns the parsed query and its plan, reusing a cached pair when
+    /// one exists for the current epoch; otherwise parses `text`, plans
+    /// it against `view`'s statistics, and caches the result.
+    pub(crate) fn get_or_insert<G: GraphView>(
+        &self,
+        text: &str,
+        view: G,
+    ) -> Result<(Arc<Query>, Arc<Plan>), SparqlError> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            // A poisoned lock only means another thread panicked while
+            // holding it; the map is still structurally sound, so keep
+            // serving rather than propagate the panic.
+            let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = entries.get(text) {
+                if hit.epoch == epoch {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(&hit.query), Arc::clone(&hit.plan)));
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let query = Arc::new(parse_query(text)?);
+        let plan = Arc::new(plan_query(&view, &query));
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.insert(
+            text.to_string(),
+            CachedPlan {
+                epoch,
+                query: Arc::clone(&query),
+                plan: Arc::clone(&plan),
+            },
+        );
+        Ok((query, plan))
+    }
+
+    /// Bumps the snapshot epoch and drops every cached entry. Called when
+    /// a session delta is committed into the base graph. Entries inserted
+    /// by lookups that raced the bump carry the old epoch and are
+    /// rejected at their next lookup.
+    pub(crate) fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            epoch: self.epoch.load(Ordering::Acquire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feo_rdf::Graph;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert_iris("http://e/a", "http://e/p", "http://e/b");
+        g
+    }
+
+    const Q: &str = "SELECT ?s WHERE { ?s <http://e/p> ?o }";
+
+    #[test]
+    fn repeated_lookup_hits() {
+        let cache = PlanCache::default();
+        let g = graph();
+        cache.get_or_insert(Q, &g).expect("parses");
+        cache.get_or_insert(Q, &g).expect("parses");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn invalidate_bumps_epoch_and_clears() {
+        let cache = PlanCache::default();
+        let g = graph();
+        cache.get_or_insert(Q, &g).expect("parses");
+        cache.invalidate();
+        let stats = cache.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.entries, 0);
+        cache.get_or_insert(Q, &g).expect("parses");
+        assert_eq!(cache.stats().misses, 2, "old entry must not be reused");
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let cache = PlanCache::default();
+        let g = graph();
+        assert!(cache.get_or_insert("SELEKT nonsense", &g).is_err());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn distinct_texts_get_distinct_entries() {
+        let cache = PlanCache::default();
+        let g = graph();
+        cache.get_or_insert(Q, &g).expect("parses");
+        cache.get_or_insert("ASK { ?s ?p ?o }", &g).expect("parses");
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

@@ -45,7 +45,9 @@ pub fn assemble_materialized(
     ctx: &SystemContext,
 ) -> (Graph, InferenceResult) {
     let mut g = assemble(kg, user, ctx);
-    let result = Reasoner::new().materialize(&mut g);
+    let result = Reasoner::new()
+        .materialize(&mut g, &Default::default())
+        .unwrap_or_else(|e| e.into_partial());
     (g, result)
 }
 
@@ -225,7 +227,9 @@ mod tests {
             alternative: "BroccoliCheddarSoup".into(),
         };
         assert_question(&q, &mut g);
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let param = g.lookup_iri(feo::PARAMETER).unwrap();
         let squash = g.lookup_iri(&FoodKg::iri("ButternutSquashSoup")).unwrap();
@@ -249,7 +253,9 @@ mod tests {
             alternative: "BroccoliCheddarSoup".into(),
         };
         assert_question(&q, &mut g);
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let fact = g.lookup_iri(feo_ontology::ns::eo::FACT).unwrap();
         let foil = g.lookup_iri(feo_ontology::ns::eo::FOIL).unwrap();
@@ -265,7 +271,9 @@ mod tests {
         let (kg, user, ctx) = scenario_b();
         let mut g = assemble(&kg, &user, &ctx);
         apply_hypothesis(&crate::question::Hypothesis::Pregnant, &user, &mut g);
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let preg = g.lookup_iri(feo::PREGNANCY_STATE).unwrap();
         let forbids = g.lookup_iri(feo::FORBIDS).unwrap();
         let sushi = g.lookup_iri(&FoodKg::iri("Sushi")).unwrap();

@@ -22,12 +22,18 @@
 
 use feo_foodkg::{FoodKg, Season, SystemContext, UserProfile};
 use feo_ontology::ns::feo;
-use feo_owl::{CompiledRules, InferenceResult, Reasoner, ReasonerError, ReasonerOptions};
+use feo_owl::{
+    CompiledRules, InferenceResult, MaterializeOptions, Reasoner, ReasonerError, ReasonerOptions,
+};
 use feo_rdf::governor::{Budget, Exhausted, Guard};
 use feo_rdf::{Graph, GraphView, IdTriple, Overlay, Term};
 use feo_recommender::{RecommendationSet, TraceStep};
-use feo_sparql::{execute, execute_guarded, parse_query, QueryResult, SolutionTable, SparqlError};
+use feo_sparql::{
+    execute, execute_prepared, parse_query, Planner, QueryOptions, QueryResult, SolutionTable,
+    SparqlError,
+};
 
+use crate::cache::{PlanCache, PlanCacheStats};
 use crate::ecosystem::{apply_hypothesis, assemble, assert_question};
 use crate::explanation::{humanize, Explanation};
 use crate::knowledge::{records_to_rdf, Population, EVERYDAY_RECORD, SCIENTIFIC_RECORD};
@@ -78,6 +84,29 @@ impl std::fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// Options accepted by the unified explanation entry points
+/// ([`EngineBase::explain`] / [`Session::explain`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExplainOptions<'a> {
+    /// Execution governor checked by incremental closes and SPARQL
+    /// evaluation; `None` runs unguarded.
+    pub guard: Option<&'a Guard>,
+    /// SPARQL planner used for the competency queries. The default
+    /// cost-based planner also routes through the base's snapshot-keyed
+    /// plan cache.
+    pub planner: Planner,
+}
+
+impl<'a> ExplainOptions<'a> {
+    /// Options with only a guard set.
+    pub fn guarded(guard: &'a Guard) -> Self {
+        ExplainOptions {
+            guard: Some(guard),
+            planner: Planner::default(),
+        }
+    }
+}
 
 impl From<SparqlError> for EngineError {
     fn from(e: SparqlError) -> Self {
@@ -169,6 +198,9 @@ pub struct EngineBase {
     population: Option<Population>,
     recommendations: Option<RecommendationSet>,
     track_proofs: bool,
+    /// Parsed queries and their cost-based plans, keyed by query text and
+    /// the base's snapshot epoch (see [`crate::cache`]).
+    plan_cache: PlanCache,
 }
 
 impl EngineBase {
@@ -200,7 +232,11 @@ impl EngineBase {
         // Compile once; sessions only ever add ABox triples, so the rule
         // set stays valid for every incremental close that follows.
         let rules = reasoner.compile(&mut graph);
-        let inference = reasoner.materialize_with(&mut graph, &rules);
+        // Unguarded materialization cannot trip; keep whatever closure
+        // completed if that ever changes.
+        let inference = reasoner
+            .materialize(&mut graph, &MaterializeOptions::with_rules(&rules))
+            .unwrap_or_else(|e| e.into_partial());
         if !inference.is_consistent() {
             return Err(EngineError::Inconsistent(
                 inference
@@ -220,6 +256,7 @@ impl EngineBase {
             population: None,
             recommendations: None,
             track_proofs,
+            plan_cache: PlanCache::default(),
         })
     }
 
@@ -240,7 +277,9 @@ impl EngineBase {
         let reasoner = Self::reasoner(self.track_proofs);
         let mut overlay = Overlay::new(&self.graph);
         population.to_rdf(&mut overlay);
-        let inference = reasoner.materialize_delta(&mut overlay, &self.rules);
+        let inference = reasoner
+            .materialize_delta(&mut overlay, &MaterializeOptions::with_rules(&self.rules))
+            .unwrap_or_else(|e| e.into_partial());
         let (spill, delta) = overlay.into_delta();
         self.absorb(spill, delta, inference);
         self.population = Some(population);
@@ -274,6 +313,15 @@ impl EngineBase {
             .inconsistencies
             .extend(inference.inconsistencies);
         self.inference.derivations.extend(inference.derivations);
+        // The snapshot changed: statistics that justified cached join
+        // orders are stale, so every cached plan is invalidated at once.
+        self.plan_cache.invalidate();
+    }
+
+    /// Hit/miss counters and current epoch of the snapshot-keyed plan
+    /// cache shared by this base's sessions.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     /// Opens a question-answering session over this base. The session
@@ -285,25 +333,33 @@ impl EngineBase {
             overlay: Overlay::new(&self.graph),
             inference: InferenceResult::default(),
             guard: None,
+            planner: Planner::default(),
         }
     }
 
     /// Answers a question in a fresh throwaway session. Takes `&self`,
     /// so explanations can be produced from many threads over one
     /// `Arc<EngineBase>` — and no question can leak state into the next.
-    pub fn explain(&self, question: &Question) -> Result<Explanation, EngineError> {
-        self.session().explain(question)
+    ///
+    /// [`ExplainOptions`] carries the execution guard (a trip surfaces
+    /// as [`EngineError::Exhausted`] instead of unbounded work) and the
+    /// SPARQL planner choice.
+    pub fn explain<'s>(
+        &'s self,
+        question: &Question,
+        opts: &ExplainOptions<'s>,
+    ) -> Result<Explanation, EngineError> {
+        self.session().explain(question, opts)
     }
 
-    /// [`EngineBase::explain`] under an execution [`Guard`]: incremental
-    /// reasoning and SPARQL evaluation both check the guard, and a trip
-    /// surfaces as [`EngineError::Exhausted`] instead of unbounded work.
+    /// Deprecated form of [`EngineBase::explain`] with a guard.
+    #[deprecated(note = "use `explain(question, &ExplainOptions::guarded(guard))`")]
     pub fn explain_guarded(
         &self,
         question: &Question,
         guard: &Guard,
     ) -> Result<Explanation, EngineError> {
-        self.session().explain_guarded(question, guard)
+        self.explain(question, &ExplainOptions::guarded(guard))
     }
 
     /// Answers a batch of questions under one shared [`Budget`],
@@ -325,7 +381,7 @@ impl EngineBase {
         let mut explanations = Vec::new();
         let mut completed = Vec::new();
         for (i, question) in questions.iter().enumerate() {
-            match self.explain_guarded(question, &guard) {
+            match self.explain(question, &ExplainOptions::guarded(&guard)) {
                 Ok(explanation) => {
                     completed.push(explanation.explanation_type);
                     explanations.push(explanation);
@@ -409,6 +465,8 @@ pub struct Session<'a> {
     /// Execution governor checked by incremental closes and SPARQL
     /// evaluation; `None` on the legacy unguarded path.
     guard: Option<&'a Guard>,
+    /// SPARQL planner used by this session's competency queries.
+    planner: Planner,
 }
 
 impl<'a> Session<'a> {
@@ -433,31 +491,45 @@ impl<'a> Session<'a> {
         (self.overlay, self.inference)
     }
 
-    /// [`Session::explain`] under an execution [`Guard`]: every
-    /// subsequent incremental close and SPARQL evaluation in this
-    /// session checks the guard.
+    /// Deprecated form of [`Session::explain`] with a guard.
+    #[deprecated(note = "use `explain(question, &ExplainOptions::guarded(guard))`")]
     pub fn explain_guarded(
         &mut self,
         question: &Question,
         guard: &'a Guard,
     ) -> Result<Explanation, EngineError> {
-        self.guard = Some(guard);
-        self.explain(question)
+        self.explain(question, &ExplainOptions::guarded(guard))
     }
 
     /// Evaluates a competency query over `view`, under the session guard
-    /// when one is installed.
+    /// when one is installed. With the cost-based planner the parsed
+    /// query and its plan come from the base's snapshot-keyed cache —
+    /// plans are computed against the shared base snapshot, whose
+    /// statistics the per-session delta is far too small to flip.
     fn run_query<V: GraphView>(&self, view: V, q: &str) -> Result<QueryResult, EngineError> {
-        let parsed = parse_query(q)?;
-        let result = match self.guard {
-            Some(g) => execute_guarded(view, &parsed, g),
-            None => execute(view, &parsed),
+        let opts = QueryOptions {
+            guard: self.guard,
+            planner: self.planner,
+            explain: false,
         };
-        Ok(result?)
+        if self.planner == Planner::CostBased {
+            let (parsed, plan) = self.base.plan_cache.get_or_insert(q, self.base.graph())?;
+            return Ok(execute_prepared(view, &parsed, &plan, &opts)?);
+        }
+        let parsed = parse_query(q)?;
+        Ok(execute(view, &parsed, &opts)?)
     }
 
-    /// Answers a question with the matching explanation type.
-    pub fn explain(&mut self, question: &Question) -> Result<Explanation, EngineError> {
+    /// Answers a question with the matching explanation type, under the
+    /// guard and planner carried by [`ExplainOptions`] (which stick for
+    /// the rest of this session).
+    pub fn explain(
+        &mut self,
+        question: &Question,
+        opts: &ExplainOptions<'a>,
+    ) -> Result<Explanation, EngineError> {
+        self.guard = opts.guard;
+        self.planner = opts.planner;
         match question {
             Question::WhyEat { food } => self.contextual(question, food),
             Question::WhyEatOver { .. } => self.contrastive(question),
@@ -493,23 +565,16 @@ impl<'a> Session<'a> {
     fn assert_and_close(&mut self, question: &Question) -> Result<(), EngineError> {
         assert_question(question, &mut self.overlay);
         let reasoner = EngineBase::reasoner(self.base.track_proofs);
-        let (inference, tripped) = match self.guard {
-            Some(g) => {
-                match reasoner.materialize_delta_guarded(&mut self.overlay, &self.base.rules, g) {
-                    Ok(inference) => (inference, None),
-                    // Keep the partial closure's statistics: the derived
-                    // triples are already in the overlay (sound but
-                    // incomplete), and the degradation report should
-                    // account for them.
-                    Err(ReasonerError::Exhausted { exhausted, partial }) => {
-                        (*partial, Some(exhausted))
-                    }
-                }
-            }
-            None => (
-                reasoner.materialize_delta(&mut self.overlay, &self.base.rules),
-                None,
-            ),
+        let opts = MaterializeOptions {
+            guard: self.guard,
+            rules: Some(&self.base.rules),
+        };
+        let (inference, tripped) = match reasoner.materialize_delta(&mut self.overlay, &opts) {
+            Ok(inference) => (inference, None),
+            // Keep the partial closure's statistics: the derived triples
+            // are already in the overlay (sound but incomplete), and the
+            // degradation report should account for them.
+            Err(ReasonerError::Exhausted { exhausted, partial }) => (*partial, Some(exhausted)),
         };
         self.inference.added += inference.added;
         self.inference.rounds += inference.rounds;
@@ -750,14 +815,13 @@ impl<'a> Session<'a> {
         let mut world = Overlay::new(self.base.graph());
         apply_hypothesis(hypothesis, &self.base.user, &mut world);
         assert_question(question, &mut world);
-        match self.guard {
-            Some(g) => {
-                Reasoner::new().materialize_delta_guarded(&mut world, &self.base.rules, g)?;
-            }
-            None => {
-                Reasoner::new().materialize_delta(&mut world, &self.base.rules);
-            }
-        }
+        Reasoner::new().materialize_delta(
+            &mut world,
+            &MaterializeOptions {
+                guard: self.guard,
+                rules: Some(&self.base.rules),
+            },
+        )?;
 
         let subject_iri = match hypothesis {
             Hypothesis::Pregnant => feo::PREGNANCY_STATE.to_string(),
@@ -1063,7 +1127,7 @@ impl ExplanationEngine {
     /// triples, derived classifications, derivations) into the base.
     pub fn explain(&mut self, question: &Question) -> Result<Explanation, EngineError> {
         let mut session = self.base.session();
-        let result = session.explain(question);
+        let result = session.explain(question, &ExplainOptions::default());
         let (overlay, inference) = session.into_parts();
         let (spill, delta) = overlay.into_delta();
         self.base.absorb(spill, delta, inference);

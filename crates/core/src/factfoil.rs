@@ -115,7 +115,7 @@ pub fn figure3_matrix() -> Vec<MatrixCell> {
         g.insert_iris(&iri, polarity_prop, param);
         g.insert_iris(&iri, presence_prop, feo::CURRENT_ECOSYSTEM);
     }
-    Reasoner::new().materialize(&mut g);
+    let _ = Reasoner::new().materialize(&mut g, &Default::default());
 
     cases
         .iter()
@@ -197,7 +197,9 @@ mod tests {
         g.insert_iris(c, feo::IS_SUPPORTIVE_CHARACTERISTIC_OF, param);
         g.insert_iris(c, feo::IS_OPPOSING_CHARACTERISTIC_OF, param);
         g.insert_iris(c, feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let id = g.lookup_iri(c).unwrap();
         assert_eq!(classify(&g, id), Classification::Both);
     }

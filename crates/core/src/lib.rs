@@ -23,6 +23,7 @@
 //! assert!(e.answer.contains("current season"));
 //! ```
 
+pub mod cache;
 pub mod competency;
 pub mod ecosystem;
 pub mod engine;
@@ -33,8 +34,10 @@ pub mod queries;
 pub mod question;
 pub mod scenarios;
 
+pub use cache::PlanCacheStats;
 pub use engine::{
-    BudgetedOutcome, DegradationReport, EngineBase, EngineError, ExplanationEngine, Session,
+    BudgetedOutcome, DegradationReport, EngineBase, EngineError, ExplainOptions, ExplanationEngine,
+    Session,
 };
 pub use explanation::{humanize, Explanation};
 pub use factfoil::{classify, figure3_matrix, Classification};

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use feo_core::{EngineBase, EngineError, ExplanationType, Question};
+use feo_core::{EngineBase, EngineError, ExplainOptions, ExplanationType, Question};
 use feo_foodkg::{curated, Season, SystemContext, UserProfile};
 use feo_rdf::governor::{Budget, CancelFlag, Resource};
 
@@ -55,11 +55,13 @@ fn guarded_answers_match_unguarded_with_headroom() {
     let question = Question::WhyEat {
         food: "CauliflowerPotatoCurry".into(),
     };
-    let plain = base.explain(&question).unwrap();
+    let plain = base.explain(&question, &ExplainOptions::default()).unwrap();
     let guard = Budget::new()
         .with_deadline(Duration::from_secs(600))
         .start();
-    let guarded = base.explain_guarded(&question, &guard).unwrap();
+    let guarded = base
+        .explain(&question, &ExplainOptions::guarded(&guard))
+        .unwrap();
     assert_eq!(plain.answer, guarded.answer);
 }
 
@@ -122,11 +124,11 @@ fn guarded_trip_surfaces_as_typed_engine_error() {
     let guard = Budget::new().with_deadline(Duration::ZERO).start();
     std::thread::sleep(Duration::from_millis(2));
     let err = base
-        .explain_guarded(
+        .explain(
             &Question::WhyEat {
                 food: "CauliflowerPotatoCurry".into(),
             },
-            &guard,
+            &ExplainOptions::guarded(&guard),
         )
         .unwrap_err();
     match err {

@@ -92,7 +92,7 @@ mod tests {
     #[test]
     fn cyclic_subclass_parses_and_closes_the_cycle() {
         let src = cyclic_subclass_turtle(5);
-        let triples = feo_rdf::turtle::parse_turtle(&src).unwrap();
+        let triples = feo_rdf::turtle::parse_turtle(&src, &Default::default()).unwrap();
         // n subclass links + 1 membership.
         assert_eq!(triples.len(), 6);
     }
@@ -100,22 +100,27 @@ mod tests {
     #[test]
     fn transitive_chain_has_requested_depth() {
         let src = deep_transitive_chain_turtle(100);
-        let triples = feo_rdf::turtle::parse_turtle(&src).unwrap();
+        let triples = feo_rdf::turtle::parse_turtle(&src, &Default::default()).unwrap();
         assert_eq!(triples.len(), 101); // 100 hops + the property typing
     }
 
     #[test]
     fn closure_blowup_parses() {
         let src = closure_blowup_turtle(4, 2);
-        assert!(feo_rdf::turtle::parse_turtle(&src).is_ok());
+        assert!(feo_rdf::turtle::parse_turtle(&src, &Default::default()).is_ok());
     }
 
     #[test]
     fn malformed_corpus_is_rejected_with_positions() {
         for doc in malformed_turtle_corpus() {
-            let err =
-                feo_rdf::turtle::parse_turtle(doc).expect_err("malformed document must not parse");
-            assert!(err.line >= 1, "error carries a line for {doc:?}");
+            let err = feo_rdf::turtle::parse_turtle(doc, &Default::default())
+                .expect_err("malformed document must not parse");
+            match err {
+                feo_rdf::RdfError::Syntax(e) => {
+                    assert!(e.line >= 1, "error carries a line for {doc:?}")
+                }
+                other => panic!("expected a syntax error for {doc:?}, got {other:?}"),
+            }
         }
     }
 }

@@ -221,7 +221,7 @@ mod tests {
         kg_to_rdf(&original, &mut g);
         let ttl = feo_rdf::turtle::write_turtle(&g, feo_ontology::ns::PREFIXES);
         let mut g2 = Graph::new();
-        feo_rdf::turtle::parse_turtle_into(&ttl, &mut g2).unwrap();
+        feo_rdf::turtle::parse_turtle_into(&ttl, &mut g2, &Default::default()).unwrap();
         let loaded = kg_from_rdf(&g2);
         assert!(loaded.recipe("ButternutSquashSoup").is_some());
         assert!(loaded.recipe_in_season(

@@ -30,7 +30,7 @@ mod tests {
         schema::load_tboxes(&mut original);
         let ttl = tboxes_turtle();
         let mut reparsed = Graph::new();
-        parse_turtle_into(&ttl, &mut reparsed).expect("export parses");
+        parse_turtle_into(&ttl, &mut reparsed, &Default::default()).expect("export parses");
         assert_eq!(original.len(), reparsed.len());
         for t in original.iter_triples() {
             assert!(reparsed.contains(&t), "missing after round trip: {t}");

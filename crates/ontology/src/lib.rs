@@ -18,8 +18,9 @@
 //! use feo_owl::Reasoner;
 //!
 //! let mut g = tbox_graph();
-//! let result = Reasoner::new().materialize(&mut g);
+//! let result = Reasoner::new().materialize(&mut g, &Default::default())?;
 //! assert!(result.is_consistent());
+//! # Ok::<(), feo_owl::ReasonerError>(())
 //! ```
 
 pub mod builder;

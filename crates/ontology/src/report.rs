@@ -195,7 +195,9 @@ mod tests {
     #[test]
     fn figure1_tree_uses_direct_edges_even_after_reasoning() {
         let mut g = tbox_graph();
-        feo_owl::Reasoner::new().materialize(&mut g);
+        feo_owl::Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let tree = characteristic_tree(&g).expect("root exists");
         // Materialized closure adds Season ⊑ Characteristic, but the tree
         // must still place Season under SystemCharacteristic, not the root.

@@ -363,14 +363,18 @@ mod tests {
     #[test]
     fn tboxes_are_consistent_standalone() {
         let mut g = tbox_graph();
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r.is_consistent(), "{:?}", r.inconsistencies);
     }
 
     #[test]
     fn characteristic_hierarchy_closes() {
         let mut g = tbox_graph();
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let sco = g.lookup_iri(feo_rdf::vocab::rdfs::SUB_CLASS_OF).unwrap();
         let characteristic = g.lookup_iri(feo::CHARACTERISTIC).unwrap();
         let season = g.lookup_iri(feo::SEASON).unwrap();
@@ -383,7 +387,9 @@ mod tests {
     #[test]
     fn seasons_are_typed_system_characteristics() {
         let mut g = tbox_graph();
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let autumn = g.lookup_iri(feo::AUTUMN).unwrap();
         let system = g.lookup_iri(feo::SYSTEM_CHARACTERISTIC).unwrap();
@@ -410,7 +416,9 @@ mod tests {
         let mut g = tbox_graph();
         g.insert_iris("http://e/u", rdf::TYPE, food::USER);
         g.insert_iris("http://e/u", food::DISLIKES, "http://e/okra");
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let okra = g.lookup_iri("http://e/okra").unwrap();
         let disliked = g.lookup_iri(feo::DISLIKED_FOOD).unwrap();
@@ -432,7 +440,9 @@ mod tests {
             "http://e/P",
         );
         g.insert_iris(feo::AUTUMN, feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let autumn = g.lookup_iri(feo::AUTUMN).unwrap();
         let fact = g.lookup_iri(eo::FACT).unwrap();
@@ -461,7 +471,9 @@ mod tests {
             "http://e/P",
         );
         g.insert_iris("http://e/broccoli", feo::PRESENT_IN, feo::CURRENT_ECOSYSTEM);
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let foil = g.lookup_iri(eo::FOIL).unwrap();
         let summer = g.lookup_iri(feo::SUMMER).unwrap();
@@ -486,7 +498,9 @@ mod tests {
         // soup hasIngredient squash; squash availableInSeason Autumn.
         g.insert_iris("http://e/soup", food::HAS_INGREDIENT, "http://e/squash");
         g.insert_iris("http://e/squash", food::AVAILABLE_IN_SEASON, feo::AUTUMN);
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let autumn = g.lookup_iri(feo::AUTUMN).unwrap();
         let soup = g.lookup_iri("http://e/soup").unwrap();
         let supportive = g.lookup_iri(feo::IS_SUPPORTIVE_CHARACTERISTIC_OF).unwrap();
@@ -513,7 +527,9 @@ mod tests {
             "http://e/RawFish",
         );
         g.insert_iris(feo::PREGNANCY_STATE, feo::FORBIDS, "http://e/RawFish");
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let preg = g.lookup_iri(feo::PREGNANCY_STATE).unwrap();
         let forbids = g.lookup_iri(feo::FORBIDS).unwrap();
         let salmon = g.lookup_iri("http://e/rawSalmon").unwrap();
@@ -533,7 +549,9 @@ mod tests {
         let mut g = tbox_graph();
         g.insert_iris("http://e/spinach", food::HAS_NUTRIENT, "http://e/Folate");
         g.insert_iris(feo::PREGNANCY_STATE, feo::RECOMMENDS, "http://e/Folate");
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let preg = g.lookup_iri(feo::PREGNANCY_STATE).unwrap();
         let recommends = g.lookup_iri(feo::RECOMMENDS).unwrap();
         let spinach = g.lookup_iri("http://e/spinach").unwrap();
@@ -554,7 +572,9 @@ mod hardening_tests {
             food::HAS_INGREDIENT,
             "http://e/OuroborosStew",
         );
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(!r.is_consistent());
         assert!(r
             .inconsistencies
@@ -566,7 +586,9 @@ mod hardening_tests {
     fn well_formed_kg_stays_consistent_with_hardening() {
         let mut g = tbox_graph();
         g.insert_iris("http://e/soup", food::HAS_INGREDIENT, "http://e/leek");
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r.is_consistent(), "{:?}", r.inconsistencies);
     }
 }
@@ -581,7 +603,9 @@ mod profile_hardening_tests {
         let mut g = tbox_graph();
         g.insert_iris("http://e/u", food::LIKES, "http://e/kale");
         g.insert_iris("http://e/u", food::DISLIKES, "http://e/kale");
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r
             .inconsistencies
             .iter()

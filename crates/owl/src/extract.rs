@@ -321,7 +321,7 @@ mod tests {
             owl::NS,
             src
         );
-        parse_turtle_into(&prefixed, &mut g).expect("test turtle parses");
+        parse_turtle_into(&prefixed, &mut g, &Default::default()).expect("test turtle parses");
         g
     }
 

@@ -29,14 +29,15 @@
 //!     e:SeasonCharacteristic rdfs:subClassOf e:SystemCharacteristic .
 //!     e:SystemCharacteristic rdfs:subClassOf e:Characteristic .
 //!     e:Autumn a e:SeasonCharacteristic .
-//! "#, &mut g).unwrap();
-//! let result = Reasoner::new().materialize(&mut g);
+//! "#, &mut g, &Default::default()).unwrap();
+//! let result = Reasoner::new().materialize(&mut g, &Default::default())?;
 //! assert!(result.is_consistent());
 //! // Autumn is now also typed as Characteristic.
 //! let autumn = g.lookup_iri("http://e/Autumn").unwrap();
 //! let ty = g.lookup_iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type").unwrap();
 //! let characteristic = g.lookup_iri("http://e/Characteristic").unwrap();
 //! assert!(g.contains_ids(autumn, ty, characteristic));
+//! # Ok::<(), feo_owl::ReasonerError>(())
 //! ```
 
 pub mod axiom;
@@ -48,6 +49,6 @@ pub use axiom::{Axiom, ClassExpr, Ontology};
 pub use extract::extract_axioms;
 pub use proof::{proof, ProofNode};
 pub use reasoner::{
-    CompiledRules, Derivation, Inconsistency, InconsistencyKind, InferenceResult, Reasoner,
-    ReasonerError, ReasonerOptions,
+    CompiledRules, Derivation, Inconsistency, InconsistencyKind, InferenceResult,
+    MaterializeOptions, Reasoner, ReasonerError, ReasonerOptions,
 };

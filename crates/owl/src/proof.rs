@@ -113,9 +113,12 @@ mod tests {
                 rdfs::NS
             ),
             &mut g,
+            &Default::default(),
         )
         .unwrap();
-        let result = tracked().materialize(&mut g);
+        let result = tracked()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let x = g.lookup_iri("http://e/x").unwrap();
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let c = g.lookup_iri("http://e/C").unwrap();
@@ -139,9 +142,12 @@ mod tests {
                 feo_rdf::vocab::owl::NS
             ),
             &mut g,
+            &Default::default(),
         )
         .unwrap();
-        let result = tracked().materialize(&mut g);
+        let result = tracked()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let a = g.lookup_iri("http://e/a").unwrap();
         let p = g.lookup_iri("http://e/p").unwrap();
         let c = g.lookup_iri("http://e/c").unwrap();
@@ -155,7 +161,9 @@ mod tests {
     fn asserted_triples_have_trivial_proofs() {
         let mut g = Graph::new();
         g.insert_iris("http://e/a", "http://e/p", "http://e/b");
-        let result = tracked().materialize(&mut g);
+        let result = tracked()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let a = g.lookup_iri("http://e/a").unwrap();
         let p = g.lookup_iri("http://e/p").unwrap();
         let b = g.lookup_iri("http://e/b").unwrap();
@@ -174,9 +182,12 @@ mod tests {
                 rdfs::NS
             ),
             &mut g,
+            &Default::default(),
         )
         .unwrap();
-        let result = Reasoner::new().materialize(&mut g);
+        let result = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(result.derivations.is_empty());
     }
 
@@ -191,9 +202,12 @@ mod tests {
                 feo_rdf::vocab::owl::NS
             ),
             &mut g,
+            &Default::default(),
         )
         .unwrap();
-        let result = tracked().materialize(&mut g);
+        let result = tracked()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let curry = g.lookup_iri("http://e/curry").unwrap();
         let liked_by = g.lookup_iri("http://e/likedBy").unwrap();
         let u = g.lookup_iri("http://e/u").unwrap();
@@ -227,13 +241,15 @@ mod deep_proof_tests {
                 owlv::NS
             ),
             &mut g,
+            &Default::default(),
         )
         .unwrap();
         let result = Reasoner::with_options(ReasonerOptions {
             track_derivations: true,
             ..Default::default()
         })
-        .materialize(&mut g);
+        .materialize(&mut g, &Default::default())
+        .expect("materialize");
         let preg = g.lookup_iri("http://e/preg").unwrap();
         let forbids = g.lookup_iri("http://e/forbids").unwrap();
         let sushi = g.lookup_iri("http://e/sushi").unwrap();
@@ -259,13 +275,15 @@ mod deep_proof_tests {
                 owlv::NS
             ),
             &mut g,
+            &Default::default(),
         )
         .unwrap();
         let result = Reasoner::with_options(ReasonerOptions {
             track_derivations: true,
             ..Default::default()
         })
-        .materialize(&mut g);
+        .materialize(&mut g, &Default::default())
+        .expect("materialize");
         let autumn = g.lookup_iri("http://e/autumn").unwrap();
         let ty = g.lookup_iri(rdf::TYPE).unwrap();
         let fact = g.lookup_iri("http://e/Fact").unwrap();

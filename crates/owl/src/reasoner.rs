@@ -161,6 +161,50 @@ impl ReasonerError {
             ReasonerError::Exhausted { exhausted, .. } => exhausted,
         }
     }
+
+    /// Unwraps the partial result, discarding the trip. The derived
+    /// triples are already in the store, so callers that want
+    /// best-effort semantics (keep whatever closure completed) use
+    /// `materialize(..).unwrap_or_else(|e| e.into_partial())`.
+    pub fn into_partial(self) -> InferenceResult {
+        match self {
+            ReasonerError::Exhausted { partial, .. } => *partial,
+        }
+    }
+}
+
+/// Options accepted by the unified materialization entry points
+/// ([`Reasoner::materialize`] / [`Reasoner::materialize_delta`]).
+///
+/// - `guard`: charge the closure against an execution [`Guard`]; a trip
+///   surfaces as [`ReasonerError::Exhausted`] with the partial result.
+/// - `rules`: reuse a [`CompiledRules`] table instead of re-extracting
+///   and compiling the TBox on every call (the snapshot + overlay
+///   pipeline compiles once per base graph).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaterializeOptions<'a> {
+    /// Execution guard; `None` runs unguarded (never errors).
+    pub guard: Option<&'a Guard>,
+    /// Precompiled rule tables; `None` compiles from the store itself.
+    pub rules: Option<&'a CompiledRules>,
+}
+
+impl<'a> MaterializeOptions<'a> {
+    /// Options with only a guard set.
+    pub fn guarded(guard: &'a Guard) -> Self {
+        MaterializeOptions {
+            guard: Some(guard),
+            rules: None,
+        }
+    }
+
+    /// Options with only precompiled rules set.
+    pub fn with_rules(rules: &'a CompiledRules) -> Self {
+        MaterializeOptions {
+            guard: None,
+            rules: Some(rules),
+        }
+    }
 }
 
 impl fmt::Display for ReasonerError {
@@ -199,27 +243,44 @@ impl Reasoner {
     }
 
     /// Materializes all derivable triples into `graph` and returns run
-    /// statistics. Idempotent: a second run adds nothing. Extracts and
-    /// compiles the TBox first; use [`Reasoner::compile`] +
-    /// [`Reasoner::materialize_with`] to reuse that work across runs.
-    pub fn materialize(&self, graph: &mut impl GraphStore) -> InferenceResult {
-        let rules = CompiledRules::compile(graph);
-        self.materialize_with(graph, &rules)
+    /// statistics. Idempotent: a second run adds nothing.
+    ///
+    /// Behavior under [`MaterializeOptions`]:
+    /// - with `rules`, reuses the precompiled tables; otherwise extracts
+    ///   and compiles the TBox first (use [`Reasoner::compile`] to split
+    ///   that work out across runs);
+    /// - with `guard`, the derived-triple budget is charged per
+    ///   inference, the deadline / cancellation flag is polled in every
+    ///   hot loop, and a trip surfaces as [`ReasonerError::Exhausted`]
+    ///   carrying the partial statistics — triples derived before the
+    ///   trip stay in the graph. Unguarded runs never error (round caps
+    ///   surface as `converged: false` instead).
+    pub fn materialize(
+        &self,
+        graph: &mut impl GraphStore,
+        opts: &MaterializeOptions,
+    ) -> Result<InferenceResult, ReasonerError> {
+        let compiled;
+        let rules = match opts.rules {
+            Some(r) => r,
+            None => {
+                compiled = CompiledRules::compile(graph);
+                &compiled
+            }
+        };
+        let mut engine = Engine::new(graph, rules, &self.options);
+        engine.guard = opts.guard;
+        settle(engine.run())
     }
 
-    /// [`Reasoner::materialize`] under an execution [`Guard`]: the
-    /// derived-triple budget is charged per inference, the deadline /
-    /// cancellation flag is polled in every hot loop, and the guard's
-    /// round budget (as well as [`ReasonerOptions::max_rounds`]) surfaces
-    /// as a typed [`ReasonerError::Exhausted`] instead of a warning.
-    /// Triples derived before a trip stay in the graph.
+    /// Deprecated form of [`Reasoner::materialize`] with a guard.
+    #[deprecated(note = "use `materialize(graph, &MaterializeOptions::guarded(guard))`")]
     pub fn materialize_guarded(
         &self,
         graph: &mut impl GraphStore,
         guard: &Guard,
     ) -> Result<InferenceResult, ReasonerError> {
-        let rules = CompiledRules::compile(graph);
-        self.materialize_with_guarded(graph, &rules, guard)
+        self.materialize(graph, &MaterializeOptions::guarded(guard))
     }
 
     /// Extracts the graph's axioms and compiles them into reusable rule
@@ -228,25 +289,34 @@ impl Reasoner {
         CompiledRules::compile(graph)
     }
 
-    /// Full-fixpoint materialization with precompiled rules.
+    /// Deprecated form of [`Reasoner::materialize`] with precompiled
+    /// rules.
+    #[deprecated(note = "use `materialize(graph, &MaterializeOptions::with_rules(rules))`")]
     pub fn materialize_with(
         &self,
         graph: &mut impl GraphStore,
         rules: &CompiledRules,
     ) -> InferenceResult {
-        Engine::new(graph, rules, &self.options).run().0
+        self.materialize(graph, &MaterializeOptions::with_rules(rules))
+            .unwrap_or_else(|e| e.into_partial())
     }
 
-    /// Guarded variant of [`Reasoner::materialize_with`].
+    /// Deprecated form of [`Reasoner::materialize`] with both rules and
+    /// a guard.
+    #[deprecated(note = "use `materialize` with `MaterializeOptions { guard, rules }`")]
     pub fn materialize_with_guarded(
         &self,
         graph: &mut impl GraphStore,
         rules: &CompiledRules,
         guard: &Guard,
     ) -> Result<InferenceResult, ReasonerError> {
-        let mut engine = Engine::new(graph, rules, &self.options);
-        engine.guard = Some(guard);
-        settle(engine.run())
+        self.materialize(
+            graph,
+            &MaterializeOptions {
+                guard: Some(guard),
+                rules: Some(rules),
+            },
+        )
     }
 
     /// Semi-naïve incremental re-closure of an overlay whose base is
@@ -262,30 +332,47 @@ impl Reasoner {
     /// touched. Consistency checking (when enabled) is likewise scoped to
     /// the delta: only violations involving delta-affected triples or
     /// individuals are reported.
+    ///
+    /// The rule tables normally arrive via [`MaterializeOptions::rules`],
+    /// compiled once from the base; when absent they are compiled from
+    /// the overlay itself (correct, but repeats the TBox work the
+    /// snapshot pipeline exists to avoid). With a guard set, a trip
+    /// leaves the triples derived so far in the overlay's delta; the
+    /// caller decides whether to keep or discard the partial closure.
     pub fn materialize_delta<B: GraphView>(
         &self,
         overlay: &mut Overlay<B>,
-        rules: &CompiledRules,
-    ) -> InferenceResult {
+        opts: &MaterializeOptions,
+    ) -> Result<InferenceResult, ReasonerError> {
         let seed: Vec<[TermId; 3]> = overlay.delta_log().to_vec();
-        Engine::new(overlay, rules, &self.options)
-            .run_delta(&seed)
-            .0
+        let compiled;
+        let rules = match opts.rules {
+            Some(r) => r,
+            None => {
+                compiled = CompiledRules::compile(overlay);
+                &compiled
+            }
+        };
+        let mut engine = Engine::new(overlay, rules, &self.options);
+        engine.guard = opts.guard;
+        settle(engine.run_delta(&seed))
     }
 
-    /// Guarded variant of [`Reasoner::materialize_delta`]. On a trip the
-    /// overlay keeps the triples derived so far; the caller decides
-    /// whether to use or discard the partial delta.
+    /// Deprecated form of [`Reasoner::materialize_delta`] with a guard.
+    #[deprecated(note = "use `materialize_delta` with `MaterializeOptions { guard, rules }`")]
     pub fn materialize_delta_guarded<B: GraphView>(
         &self,
         overlay: &mut Overlay<B>,
         rules: &CompiledRules,
         guard: &Guard,
     ) -> Result<InferenceResult, ReasonerError> {
-        let seed: Vec<[TermId; 3]> = overlay.delta_log().to_vec();
-        let mut engine = Engine::new(overlay, rules, &self.options);
-        engine.guard = Some(guard);
-        settle(engine.run_delta(&seed))
+        self.materialize_delta(
+            overlay,
+            &MaterializeOptions {
+                guard: Some(guard),
+                rules: Some(rules),
+            },
+        )
     }
 }
 
@@ -1497,7 +1584,7 @@ mod tests {
             owl::NS,
             src
         );
-        parse_turtle_into(&prefixed, &mut g).expect("test turtle parses");
+        parse_turtle_into(&prefixed, &mut g, &Default::default()).expect("test turtle parses");
         g
     }
 
@@ -1525,7 +1612,9 @@ mod tests {
             "e:A rdfs:subClassOf e:B . e:B rdfs:subClassOf e:C .\n\
              e:x a e:A .",
         );
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r.is_consistent());
         assert!(has(&g, "x", rdf::TYPE, "B"));
         assert!(has(&g, "x", rdf::TYPE, "C"));
@@ -1539,9 +1628,13 @@ mod tests {
              e:p a owl:TransitiveProperty .\n\
              e:x a e:A . e:x e:p e:y . e:y e:p e:z .",
         );
-        let r1 = Reasoner::new().materialize(&mut g);
+        let r1 = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r1.added > 0);
-        let r2 = Reasoner::new().materialize(&mut g);
+        let r2 = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert_eq!(r2.added, 0, "second run must add nothing");
     }
 
@@ -1552,7 +1645,9 @@ mod tests {
              e:likes owl:inverseOf e:likedBy .\n\
              e:u e:likes e:apple .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "u", "interestedIn", "apple"));
         assert!(has(&g, "apple", "likedBy", "u"));
     }
@@ -1570,7 +1665,9 @@ mod tests {
              e:u a e:User .\n\
              e:u e:dislikes e:broccoli .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "broccoli", rdf::TYPE, "DislikedFood"));
     }
 
@@ -1581,14 +1678,18 @@ mod tests {
              e:curry e:hasCharacteristic e:cauliflower .\n\
              e:cauliflower e:hasCharacteristic e:autumn .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "curry", "hasCharacteristic", "autumn"));
     }
 
     #[test]
     fn symmetric_property() {
         let mut g = graph("e:pairsWith a owl:SymmetricProperty . e:wine e:pairsWith e:cheese .");
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "cheese", "pairsWith", "wine"));
     }
 
@@ -1598,7 +1699,9 @@ mod tests {
             "e:hasIngredient rdfs:domain e:Recipe ; rdfs:range e:Ingredient .\n\
              e:soup e:hasIngredient e:leek .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "soup", rdf::TYPE, "Recipe"));
         assert!(has(&g, "leek", rdf::TYPE, "Ingredient"));
     }
@@ -1611,7 +1714,9 @@ mod tests {
              e:squash e:availableIn e:Autumn .\n\
              e:pumpkin a e:AutumnAvailable .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         // cls-hv2 direction: value → class membership.
         assert!(has(&g, "squash", rdf::TYPE, "AutumnAvailable"));
         // cls-hv1 direction: class membership → value.
@@ -1629,7 +1734,9 @@ mod tests {
              e:autumn e:presentIn e:Eco .\n\
              e:spring e:supports e:q1 .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "autumn", rdf::TYPE, "Fact"));
         assert!(
             !has(&g, "spring", rdf::TYPE, "Fact"),
@@ -1645,7 +1752,9 @@ mod tests {
                owl:allValuesFrom e:PlantIngredient ] .\n\
              e:stew a e:VeganRecipe ; e:hasIngredient e:lentil .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "lentil", rdf::TYPE, "PlantIngredient"));
     }
 
@@ -1655,7 +1764,9 @@ mod tests {
             "e:servedWith owl:propertyChainAxiom (e:hasCourse e:includes) .\n\
              e:menu e:hasCourse e:starter . e:starter e:includes e:bread .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "menu", "servedWith", "bread"));
     }
 
@@ -1666,7 +1777,9 @@ mod tests {
              e:sys e:hasSeason e:fall . e:sys e:hasSeason e:autumn .\n\
              e:autumn e:label e:A .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "fall", owl::SAME_AS, "autumn"));
         // eq-rep: triples replicate across the alias.
         assert!(has(&g, "fall", "label", "A"));
@@ -1679,7 +1792,9 @@ mod tests {
              e:apple a e:Fruit .\n\
              e:Weekend owl:equivalentClass [ owl:oneOf (e:Saturday e:Sunday) ] .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "apple", rdf::TYPE, "Produce"));
         // cls-oo: enumeration members are instances of the enumerated class.
         assert!(has(&g, "Saturday", rdf::TYPE, "Weekend"));
@@ -1692,7 +1807,9 @@ mod tests {
             "e:Meat owl:disjointWith e:Vegetable .\n\
              e:thing a e:Meat , e:Vegetable .",
         );
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(!r.is_consistent());
         assert!(matches!(
             r.inconsistencies[0].kind,
@@ -1706,7 +1823,9 @@ mod tests {
             "e:p a owl:IrreflexiveProperty . e:x e:p e:x .\n\
              e:q a owl:AsymmetricProperty . e:a e:q e:b . e:b e:q e:a .",
         );
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let kinds: Vec<_> = r.inconsistencies.iter().map(|i| i.kind).collect();
         assert!(kinds.contains(&InconsistencyKind::IrreflexiveViolation));
         assert!(kinds.contains(&InconsistencyKind::AsymmetricViolation));
@@ -1715,7 +1834,9 @@ mod tests {
     #[test]
     fn detects_same_and_different() {
         let mut g = graph("e:a owl:sameAs e:b . e:a owl:differentFrom e:b .");
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r
             .inconsistencies
             .iter()
@@ -1728,7 +1849,9 @@ mod tests {
             "e:Curry owl:equivalentClass e:CurryDish .\n\
              e:x a e:Curry . e:y a e:CurryDish .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "x", rdf::TYPE, "CurryDish"));
         assert!(has(&g, "y", rdf::TYPE, "Curry"));
     }
@@ -1745,7 +1868,9 @@ mod tests {
              e:curry e:hasIngredient e:cauliflower .\n\
              e:cauliflower e:availableIn e:autumn .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "curry", "hasCharacteristic", "autumn"));
     }
 
@@ -1756,7 +1881,9 @@ mod tests {
             materialize_schema_closure: false,
             ..Default::default()
         };
-        Reasoner::with_options(opts).materialize(&mut g);
+        Reasoner::with_options(opts)
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(!has(&g, "A", rdfs::SUB_CLASS_OF, "C"));
         assert!(has(&g, "x", rdf::TYPE, "C"), "instance closure still runs");
     }
@@ -1767,7 +1894,9 @@ mod tests {
             "e:A rdfs:subClassOf e:B . e:B rdfs:subClassOf e:A .\n\
              e:x a e:A .",
         );
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(has(&g, "x", rdf::TYPE, "B"));
         assert!(r.rounds < 64);
         assert!(r.converged);
@@ -1801,13 +1930,17 @@ mod tests {
             max_rounds: 1,
             ..Default::default()
         };
-        let r = Reasoner::with_options(opts).materialize(&mut g);
+        let r = Reasoner::with_options(opts)
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(!r.converged, "cap hit must not look like convergence");
         assert!(r.warnings.iter().any(|w| w.contains("fixpoint")));
 
         // And without the cap the same input converges cleanly.
         let mut g2 = graph(&src);
-        let r2 = Reasoner::new().materialize(&mut g2);
+        let r2 = Reasoner::new()
+            .materialize(&mut g2, &Default::default())
+            .expect("materialize");
         assert!(r2.converged);
         assert!(r2.warnings.is_empty());
     }
@@ -1823,7 +1956,7 @@ mod tests {
         };
         let guard = Budget::new().start();
         let err = Reasoner::with_options(opts)
-            .materialize_guarded(&mut g, &guard)
+            .materialize(&mut g, &MaterializeOptions::guarded(&guard))
             .unwrap_err();
         let ReasonerError::Exhausted { exhausted, partial } = err;
         assert_eq!(exhausted.resource, Resource::Rounds);
@@ -1841,7 +1974,7 @@ mod tests {
         let mut g = graph(&src);
         let guard = Budget::new().with_max_inferred(10).start();
         let err = Reasoner::new()
-            .materialize_guarded(&mut g, &guard)
+            .materialize(&mut g, &MaterializeOptions::guarded(&guard))
             .unwrap_err();
         assert_eq!(err.exhausted().resource, Resource::InferredTriples);
         let ReasonerError::Exhausted { partial, .. } = err;
@@ -1858,11 +1991,13 @@ mod tests {
                    e:p a owl:TransitiveProperty .\n\
                    e:x a e:A . e:x e:p e:y . e:y e:p e:z .";
         let mut g1 = graph(src);
-        let r1 = Reasoner::new().materialize(&mut g1);
+        let r1 = Reasoner::new()
+            .materialize(&mut g1, &Default::default())
+            .expect("materialize");
         let mut g2 = graph(src);
         let guard = Budget::new().with_max_inferred(1_000_000).start();
         let r2 = Reasoner::new()
-            .materialize_guarded(&mut g2, &guard)
+            .materialize(&mut g2, &MaterializeOptions::guarded(&guard))
             .unwrap();
         assert_eq!(r1.added, r2.added);
         assert_eq!(g1.len(), g2.len());
@@ -1877,7 +2012,7 @@ mod tests {
         let guard = Budget::new().with_cancel(flag).start();
         let mut g = graph("e:A rdfs:subClassOf e:B . e:x a e:A .");
         let err = Reasoner::new()
-            .materialize_guarded(&mut g, &guard)
+            .materialize(&mut g, &MaterializeOptions::guarded(&guard))
             .unwrap_err();
         assert_eq!(err.exhausted().resource, Resource::Cancelled);
     }
@@ -1896,7 +2031,7 @@ mod same_as_tests {
             owl::NS,
             src
         );
-        parse_turtle_into(&prefixed, &mut g).expect("test turtle parses");
+        parse_turtle_into(&prefixed, &mut g, &Default::default()).expect("test turtle parses");
         g
     }
 
@@ -1906,7 +2041,9 @@ mod same_as_tests {
             "e:a owl:sameAs e:b . e:b owl:sameAs e:c .\n\
              e:a e:p e:x .",
         );
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let a = g.lookup_iri("http://e/a").unwrap();
         let c = g.lookup_iri("http://e/c").unwrap();
         let same = g.lookup_iri(owl::SAME_AS).unwrap();
@@ -1925,7 +2062,9 @@ mod same_as_tests {
             src.push_str(&format!("e:n{i} owl:sameAs e:n{} .\n", i + 1));
         }
         let mut g = graph(&src);
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r.rounds < 64);
         let first = g.lookup_iri("http://e/n0").unwrap();
         let last = g.lookup_iri("http://e/n8").unwrap();
@@ -1951,9 +2090,12 @@ mod disjoint_property_tests {
                 owl::NS
             ),
             &mut g,
+            &Default::default(),
         )
         .unwrap();
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r
             .inconsistencies
             .iter()
@@ -1971,9 +2113,12 @@ mod disjoint_property_tests {
                 owl::NS
             ),
             &mut g,
+            &Default::default(),
         )
         .unwrap();
-        let r = Reasoner::new().materialize(&mut g);
+        let r = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         assert!(r.is_consistent(), "{:?}", r.inconsistencies);
     }
 }

@@ -85,15 +85,15 @@ proptest! {
     #[test]
     fn idempotent(sub in arb_subclass_edges(), ty in arb_typings(), e in arb_edges()) {
         let mut g = build(&sub, &ty, &e, "transitive");
-        Reasoner::new().materialize(&mut g);
-        let second = Reasoner::new().materialize(&mut g);
+        Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
+        let second = Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
         prop_assert_eq!(second.added, 0);
     }
 
     #[test]
     fn type_closure_matches_reference(sub in arb_subclass_edges(), ty in arb_typings()) {
         let mut g = build(&sub, &ty, &[], "");
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
         let reference = reference_superclasses(&sub);
         let rdf_type = g.lookup_iri(rdf::TYPE).unwrap();
         for (n, c) in &ty {
@@ -111,7 +111,7 @@ proptest! {
     #[test]
     fn transitive_closure_sound_and_complete(e in arb_edges()) {
         let mut g = build(&[], &[], &e, "transitive");
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
         // Reference reachability.
         let mut reach: BTreeSet<(u8, u8)> = e.iter().copied().collect();
         loop {
@@ -146,7 +146,7 @@ proptest! {
     #[test]
     fn symmetric_rule_sound(e in arb_edges()) {
         let mut g = build(&[], &[], &e, "symmetric");
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
         let p = g.lookup_iri("http://t/p").unwrap();
         let mut expected: BTreeSet<(feo_rdf::TermId, feo_rdf::TermId)> = BTreeSet::new();
         for [s, _, o] in g.match_pattern(None, Some(p), None) {
@@ -160,7 +160,7 @@ proptest! {
     #[test]
     fn inverse_rule_bijective(e in arb_edges()) {
         let mut g = build(&[], &[], &e, "inverse");
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
         let p = g.lookup_iri("http://t/p").unwrap();
         let q = g.lookup_iri("http://t/q");
         let p_edges: BTreeSet<_> = g
@@ -184,12 +184,12 @@ proptest! {
     #[test]
     fn monotone(sub in arb_subclass_edges(), ty in arb_typings(), extra in (0..N_NODES, 0..N_CLASSES)) {
         let mut small = build(&sub, &ty, &[], "");
-        Reasoner::new().materialize(&mut small);
+        Reasoner::new().materialize(&mut small, &Default::default()).expect("materialize");
 
         let mut ty_big = ty.clone();
         ty_big.push(extra);
         let mut big = build(&sub, &ty_big, &[], "");
-        Reasoner::new().materialize(&mut big);
+        Reasoner::new().materialize(&mut big, &Default::default()).expect("materialize");
 
         for t in small.iter_triples() {
             prop_assert!(big.contains(&t));

@@ -9,6 +9,7 @@
 use std::collections::BTreeSet;
 
 use crate::intern::{Interner, TermId};
+use crate::stats::GraphStats;
 use crate::term::{Iri, Term, Triple};
 use crate::vocab::rdf;
 
@@ -23,6 +24,7 @@ pub struct Graph {
     pos: BTreeSet<[u32; 3]>,
     osp: BTreeSet<[u32; 3]>,
     next_bnode: u64,
+    stats: GraphStats,
 }
 
 impl Graph {
@@ -44,16 +46,36 @@ impl Graph {
         self.dict.len()
     }
 
+    /// Incrementally-maintained statistics (see [`GraphStats`]).
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
     // ---- dictionary access ----------------------------------------------
 
     /// Interns a term into this graph's dictionary.
     pub fn intern(&mut self, term: &Term) -> TermId {
-        self.dict.intern(term)
+        let before = self.dict.len();
+        let id = self.dict.intern(term);
+        if self.dict.len() > before {
+            self.stats.note_new_term(id, term);
+        }
+        id
+    }
+
+    /// Interns an owned term without cloning when it is new.
+    fn intern_owned(&mut self, term: Term) -> TermId {
+        let before = self.dict.len();
+        let id = self.dict.intern_owned(term);
+        if self.dict.len() > before {
+            self.stats.note_new_term(id, self.dict.term(id));
+        }
+        id
     }
 
     /// Interns an IRI string.
     pub fn intern_iri(&mut self, iri: &str) -> TermId {
-        self.dict.intern_owned(Term::iri(iri))
+        self.intern_owned(Term::iri(iri))
     }
 
     /// Looks up a term without interning it.
@@ -88,7 +110,7 @@ impl Graph {
             self.next_bnode += 1;
             let t = Term::bnode(label);
             if self.dict.lookup(&t).is_none() {
-                return self.dict.intern_owned(t);
+                return self.intern_owned(t);
             }
         }
     }
@@ -97,19 +119,33 @@ impl Graph {
 
     /// Inserts an interned triple. Returns true when newly added.
     pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
-        let new = self.spo.insert([s.0, p.0, o.0]);
-        if new {
-            self.pos.insert([p.0, o.0, s.0]);
-            self.osp.insert([o.0, s.0, p.0]);
+        if !self.spo.insert([s.0, p.0, o.0]) {
+            return false;
         }
-        new
+        // First-seen flags for the stats, read off the indexes before
+        // the secondary inserts: (s,p) pair is new iff the SPO range for
+        // it holds only the triple just added; likewise (p,o) in POS.
+        let new_sp = self
+            .spo
+            .range([s.0, p.0, 0]..=[s.0, p.0, u32::MAX])
+            .nth(1)
+            .is_none();
+        let new_po = self
+            .pos
+            .range([p.0, o.0, 0]..=[p.0, o.0, u32::MAX])
+            .next()
+            .is_none();
+        self.pos.insert([p.0, o.0, s.0]);
+        self.osp.insert([o.0, s.0, p.0]);
+        self.stats.record_insert(s, p, o, new_sp, new_po);
+        true
     }
 
     /// Interns the terms of `triple` and inserts it.
     pub fn insert(&mut self, triple: &Triple) -> bool {
-        let s = self.dict.intern(&triple.subject);
-        let p = self.dict.intern(&triple.predicate);
-        let o = self.dict.intern(&triple.object);
+        let s = self.intern(&triple.subject);
+        let p = self.intern(&triple.predicate);
+        let o = self.intern(&triple.object);
         self.insert_ids(s, p, o)
     }
 
@@ -120,9 +156,9 @@ impl Graph {
         p: impl Into<Term>,
         o: impl Into<Term>,
     ) -> bool {
-        let s = self.dict.intern_owned(s.into());
-        let p = self.dict.intern_owned(p.into());
-        let o = self.dict.intern_owned(o.into());
+        let s = self.intern_owned(s.into());
+        let p = self.intern_owned(p.into());
+        let o = self.intern_owned(o.into());
         self.insert_ids(s, p, o)
     }
 
@@ -137,6 +173,17 @@ impl Graph {
         if removed {
             self.pos.remove(&[p.0, o.0, s.0]);
             self.osp.remove(&[o.0, s.0, p.0]);
+            let last_sp = self
+                .spo
+                .range([s.0, p.0, 0]..=[s.0, p.0, u32::MAX])
+                .next()
+                .is_none();
+            let last_po = self
+                .pos
+                .range([p.0, o.0, 0]..=[p.0, o.0, u32::MAX])
+                .next()
+                .is_none();
+            self.stats.record_remove(s, p, o, last_sp, last_po);
         }
         removed
     }

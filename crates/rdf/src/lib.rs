@@ -27,6 +27,7 @@
 //!     "@prefix feo: <https://purl.org/heals/feo#> .
 //!      feo:Autumn a feo:SeasonCharacteristic .",
 //!     &mut g,
+//!     &feo_rdf::ParseOptions::default(),
 //! ).unwrap();
 //! assert_eq!(g.len(), 1);
 //! ```
@@ -35,6 +36,7 @@ pub mod governor;
 pub mod graph;
 pub mod intern;
 pub mod ntriples;
+pub mod stats;
 pub mod term;
 pub mod turtle;
 pub mod view;
@@ -43,11 +45,30 @@ pub mod vocab;
 pub use governor::{Budget, CancelFlag, Exhausted, Guard, Resource};
 pub use graph::{Graph, IdTriple};
 pub use intern::{Interner, TermId};
+pub use stats::{GraphStats, PredicateStats};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};
 pub use view::{GraphStore, GraphView, Overlay};
 
 use std::fmt;
 use turtle::TurtleError;
+
+/// Options accepted by the parser entry points
+/// ([`turtle::parse_turtle`], [`ntriples::parse_ntriples`] and their
+/// `_into` forms). `Default` parses unguarded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParseOptions<'a> {
+    /// Execution governor: when set, the input-size cap is checked up
+    /// front and the deadline / cancellation flag during parsing. A
+    /// tripped budget surfaces as [`RdfError::Exhausted`].
+    pub guard: Option<&'a Guard>,
+}
+
+impl<'a> ParseOptions<'a> {
+    /// Options parsing under `guard`.
+    pub fn guarded(guard: &'a Guard) -> Self {
+        ParseOptions { guard: Some(guard) }
+    }
+}
 
 /// Error surface of the guarded parser entry points: either a syntax
 /// error with its 1-based line/column, or a tripped execution budget.

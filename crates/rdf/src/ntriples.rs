@@ -9,13 +9,24 @@
 use crate::governor::Guard;
 use crate::graph::Graph;
 use crate::term::Triple;
-use crate::turtle::{parse_turtle, TurtleError};
-use crate::RdfError;
+use crate::turtle::{parse_turtle_raw, TurtleError};
+use crate::{ParseOptions, RdfError};
 
 /// Parses an N-Triples document.
-pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, TurtleError> {
+///
+/// With `opts.guard` set, the input-size cap is checked up front and
+/// the deadline / cancellation flag once per line. A tripped budget
+/// surfaces as [`RdfError::Exhausted`]; syntax errors keep their line
+/// number via [`RdfError::Syntax`].
+pub fn parse_ntriples(input: &str, opts: &ParseOptions) -> Result<Vec<Triple>, RdfError> {
+    if let Some(guard) = opts.guard {
+        guard.check_input(input.len())?;
+    }
     let mut triples = Vec::new();
     for (lineno, line) in input.lines().enumerate() {
+        if let Some(guard) = opts.guard {
+            guard.check_time()?;
+        }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -25,22 +36,10 @@ pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, TurtleError> {
     Ok(triples)
 }
 
-/// Parses an N-Triples document under an execution [`Guard`]: the
-/// input-size cap is checked up front and the deadline / cancellation
-/// flag once per line. A tripped budget surfaces as
-/// [`RdfError::Exhausted`]; syntax errors keep their line number.
+/// Parses an N-Triples document under an execution [`Guard`].
+#[deprecated(note = "use parse_ntriples(input, &ParseOptions { guard: Some(guard) })")]
 pub fn parse_ntriples_guarded(input: &str, guard: &Guard) -> Result<Vec<Triple>, RdfError> {
-    guard.check_input(input.len())?;
-    let mut triples = Vec::new();
-    for (lineno, line) in input.lines().enumerate() {
-        guard.check_time()?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        triples.push(parse_line(trimmed, lineno)?);
-    }
-    Ok(triples)
+    parse_ntriples(input, &ParseOptions { guard: Some(guard) })
 }
 
 /// Parses one non-blank N-Triples line into exactly one triple.
@@ -52,7 +51,7 @@ fn parse_line(trimmed: &str, lineno: usize) -> Result<Triple, TurtleError> {
             column: 1,
         });
     }
-    let parsed = parse_turtle(trimmed).map_err(|mut e| {
+    let parsed = parse_turtle_raw(trimmed).map_err(|mut e| {
         e.line = lineno + 1;
         e
     })?;
@@ -70,8 +69,12 @@ fn parse_line(trimmed: &str, lineno: usize) -> Result<Triple, TurtleError> {
 
 /// Parses N-Triples directly into a graph, returning the number of triples
 /// newly added.
-pub fn parse_ntriples_into(input: &str, graph: &mut Graph) -> Result<usize, TurtleError> {
-    let triples = parse_ntriples(input)?;
+pub fn parse_ntriples_into(
+    input: &str,
+    graph: &mut Graph,
+    opts: &ParseOptions,
+) -> Result<usize, RdfError> {
+    let triples = parse_ntriples(input, opts)?;
     let mut added = 0;
     for t in &triples {
         if graph.insert(t) {
@@ -97,6 +100,13 @@ mod tests {
     use super::*;
     use crate::term::Term;
 
+    fn syntax(err: RdfError) -> TurtleError {
+        match err {
+            RdfError::Syntax(e) => e,
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
     #[test]
     fn parse_basic_document() {
         let ts = parse_ntriples(
@@ -104,6 +114,7 @@ mod tests {
              <http://e/a> <http://e/p> <http://e/b> .\n\
              \n\
              <http://e/a> <http://e/q> \"lit\"@en .\n",
+            &ParseOptions::default(),
         )
         .unwrap();
         assert_eq!(ts.len(), 2);
@@ -111,14 +122,17 @@ mod tests {
 
     #[test]
     fn rejects_directives() {
-        assert!(parse_ntriples("@prefix e: <http://e/> .").is_err());
+        assert!(parse_ntriples("@prefix e: <http://e/> .", &ParseOptions::default()).is_err());
     }
 
     #[test]
     fn rejects_multi_triple_lines() {
-        let err =
-            parse_ntriples("<http://e/a> <http://e/p> <http://e/b> , <http://e/c> .").unwrap_err();
-        assert!(err.message.contains("exactly one"));
+        let err = parse_ntriples(
+            "<http://e/a> <http://e/p> <http://e/b> , <http://e/c> .",
+            &ParseOptions::default(),
+        )
+        .unwrap_err();
+        assert!(syntax(err).message.contains("exactly one"));
     }
 
     #[test]
@@ -126,9 +140,10 @@ mod tests {
         let err = parse_ntriples(
             "<http://e/a> <http://e/p> <http://e/b> .\n\
              <http://e/a> <http://e/p> \"broken .\n",
+            &ParseOptions::default(),
         )
         .unwrap_err();
-        assert_eq!(err.line, 2);
+        assert_eq!(syntax(err).line, 2);
     }
 
     #[test]
@@ -142,7 +157,7 @@ mod tests {
         );
         let nt = write_ntriples(&g);
         let mut g2 = Graph::new();
-        parse_ntriples_into(&nt, &mut g2).unwrap();
+        parse_ntriples_into(&nt, &mut g2, &ParseOptions::default()).unwrap();
         assert_eq!(g.len(), g2.len());
         for t in g.iter_triples() {
             assert!(g2.contains(&t));
@@ -153,8 +168,10 @@ mod tests {
     fn guarded_parse_respects_input_cap() {
         use crate::governor::{Budget, Resource};
         let guard = Budget::new().with_max_input_bytes(8).start();
-        let err =
-            parse_ntriples_guarded("<http://e/a> <http://e/p> <http://e/b> .", &guard).unwrap_err();
+        let opts = ParseOptions {
+            guard: Some(&guard),
+        };
+        let err = parse_ntriples("<http://e/a> <http://e/p> <http://e/b> .", &opts).unwrap_err();
         match err {
             RdfError::Exhausted(e) => assert_eq!(e.resource, Resource::InputSize),
             other => panic!("expected Exhausted, got {other:?}"),
@@ -164,15 +181,20 @@ mod tests {
     #[test]
     fn guarded_parse_passes_unlimited() {
         let guard = Guard::default();
-        let ts =
-            parse_ntriples_guarded("<http://e/a> <http://e/p> <http://e/b> .\n", &guard).unwrap();
+        let opts = ParseOptions {
+            guard: Some(&guard),
+        };
+        let ts = parse_ntriples("<http://e/a> <http://e/p> <http://e/b> .\n", &opts).unwrap();
         assert_eq!(ts.len(), 1);
     }
 
     #[test]
     fn guarded_parse_keeps_syntax_errors_typed() {
         let guard = Guard::default();
-        let err = parse_ntriples_guarded("not ntriples at all", &guard).unwrap_err();
+        let opts = ParseOptions {
+            guard: Some(&guard),
+        };
+        let err = parse_ntriples("not ntriples at all", &opts).unwrap_err();
         match err {
             RdfError::Syntax(e) => assert_eq!(e.line, 1),
             other => panic!("expected Syntax, got {other:?}"),

@@ -15,7 +15,7 @@ use crate::governor::{Exhausted, Guard};
 use crate::graph::Graph;
 use crate::term::{BlankNode, Iri, Literal, Term, Triple};
 use crate::vocab::{rdf, xsd};
-use crate::RdfError;
+use crate::{ParseOptions, RdfError};
 
 /// A Turtle parse error with 1-based line/column location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,18 +38,15 @@ impl fmt::Display for TurtleError {
 impl std::error::Error for TurtleError {}
 
 /// Parses a Turtle document into a list of triples.
-pub fn parse_turtle(input: &str) -> Result<Vec<Triple>, TurtleError> {
-    let mut parser = Parser::new(input);
-    parser.parse_document()?;
-    Ok(parser.triples)
-}
-
-/// Parses a Turtle document under an execution [`Guard`]: the input-size
-/// cap is checked up front and the deadline / cancellation flag at every
-/// statement and object boundary. A tripped budget surfaces as
-/// [`RdfError::Exhausted`]; syntax errors keep their line/column via
-/// [`RdfError::Syntax`].
-pub fn parse_turtle_guarded(input: &str, guard: &Guard) -> Result<Vec<Triple>, RdfError> {
+///
+/// With `opts.guard` set, the input-size cap is checked up front and
+/// the deadline / cancellation flag at every statement and object
+/// boundary; a tripped budget surfaces as [`RdfError::Exhausted`].
+/// Syntax errors keep their line/column via [`RdfError::Syntax`].
+pub fn parse_turtle(input: &str, opts: &ParseOptions) -> Result<Vec<Triple>, RdfError> {
+    let Some(guard) = opts.guard else {
+        return Ok(parse_turtle_raw(input)?);
+    };
     guard.check_input(input.len())?;
     let mut parser = Parser::new(input);
     parser.guard = Some(guard);
@@ -62,9 +59,28 @@ pub fn parse_turtle_guarded(input: &str, guard: &Guard) -> Result<Vec<Triple>, R
     }
 }
 
-/// Parses a Turtle document directly into a [`Graph`].
-pub fn parse_turtle_into(input: &str, graph: &mut Graph) -> Result<usize, TurtleError> {
-    let triples = parse_turtle(input)?;
+/// Unguarded parse with the raw syntax-error type; also the per-line
+/// workhorse of the N-Triples reader.
+pub(crate) fn parse_turtle_raw(input: &str) -> Result<Vec<Triple>, TurtleError> {
+    let mut parser = Parser::new(input);
+    parser.parse_document()?;
+    Ok(parser.triples)
+}
+
+/// Parses a Turtle document under an execution [`Guard`].
+#[deprecated(note = "use parse_turtle(input, &ParseOptions { guard: Some(guard) })")]
+pub fn parse_turtle_guarded(input: &str, guard: &Guard) -> Result<Vec<Triple>, RdfError> {
+    parse_turtle(input, &ParseOptions { guard: Some(guard) })
+}
+
+/// Parses a Turtle document directly into a [`Graph`], returning the
+/// number of triples newly added.
+pub fn parse_turtle_into(
+    input: &str,
+    graph: &mut Graph,
+    opts: &ParseOptions,
+) -> Result<usize, RdfError> {
+    let triples = parse_turtle(input, opts)?;
     let mut added = 0;
     for t in &triples {
         if graph.insert(t) {
@@ -814,7 +830,11 @@ mod tests {
     use super::*;
 
     fn parse_ok(src: &str) -> Vec<Triple> {
-        parse_turtle(src).expect("parse should succeed")
+        parse_turtle(src, &ParseOptions::default()).expect("parse should succeed")
+    }
+
+    fn parse_err(src: &str) -> TurtleError {
+        parse_turtle_raw(src).expect_err("parse should fail")
     }
 
     #[test]
@@ -943,19 +963,19 @@ mod tests {
 
     #[test]
     fn undeclared_prefix_errors() {
-        let err = parse_turtle("x:a x:p x:b .").unwrap_err();
+        let err = parse_err("x:a x:p x:b .");
         assert!(err.message.contains("undeclared prefix"));
         assert_eq!(err.line, 1);
     }
 
     #[test]
     fn unterminated_string_errors() {
-        assert!(parse_turtle(r#"@prefix e: <http://e/> . e:a e:p "oops ."#).is_err());
+        assert!(parse_turtle_raw(r#"@prefix e: <http://e/> . e:a e:p "oops ."#).is_err());
     }
 
     #[test]
     fn error_location_is_tracked() {
-        let err = parse_turtle("@prefix e: <http://e/> .\ne:a e:p % .").unwrap_err();
+        let err = parse_err("@prefix e: <http://e/> .\ne:a e:p % .");
         assert_eq!(err.line, 2);
     }
 
@@ -970,8 +990,10 @@ mod tests {
     fn guarded_parse_trips_on_input_cap() {
         use crate::governor::{Budget, Resource};
         let guard = Budget::new().with_max_input_bytes(4).start();
-        let err =
-            parse_turtle_guarded("<http://e/a> <http://e/p> <http://e/b> .", &guard).unwrap_err();
+        let opts = ParseOptions {
+            guard: Some(&guard),
+        };
+        let err = parse_turtle("<http://e/a> <http://e/p> <http://e/b> .", &opts).unwrap_err();
         match err {
             RdfError::Exhausted(e) => {
                 assert_eq!(e.resource, Resource::InputSize);
@@ -989,7 +1011,13 @@ mod tests {
         let guard = Budget::new().with_cancel(flag).start();
         // Enough statements that the amortized check fires.
         let doc = "<http://e/a> <http://e/p> <http://e/b> .\n".repeat(600);
-        let err = parse_turtle_guarded(&doc, &guard).unwrap_err();
+        let err = parse_turtle(
+            &doc,
+            &ParseOptions {
+                guard: Some(&guard),
+            },
+        )
+        .unwrap_err();
         match err {
             RdfError::Exhausted(e) => assert_eq!(e.resource, Resource::Cancelled),
             other => panic!("expected Exhausted, got {other:?}"),
@@ -999,9 +1027,11 @@ mod tests {
     #[test]
     fn guarded_parse_is_transparent_when_unlimited() {
         let guard = Guard::default();
-        let ts = parse_turtle_guarded(
+        let ts = parse_turtle(
             "@prefix e: <http://e/> . e:a e:p e:b , e:c ; e:q (e:d e:f) .",
-            &guard,
+            &ParseOptions {
+                guard: Some(&guard),
+            },
         )
         .unwrap();
         assert_eq!(
@@ -1013,8 +1043,10 @@ mod tests {
     #[test]
     fn guarded_parse_keeps_syntax_location() {
         let guard = Guard::default();
-        let err =
-            parse_turtle_guarded("@prefix e: <http://e/> .\ne:a e:p % .", &guard).unwrap_err();
+        let opts = ParseOptions {
+            guard: Some(&guard),
+        };
+        let err = parse_turtle("@prefix e: <http://e/> .\ne:a e:p % .", &opts).unwrap_err();
         match err {
             RdfError::Syntax(e) => assert_eq!(e.line, 2),
             other => panic!("expected Syntax, got {other:?}"),
@@ -1028,11 +1060,12 @@ mod tests {
             "@prefix e: <http://e/> .\n\
              e:a a e:Food ; e:p \"v\"@en ; e:q 42 .",
             &mut g,
+            &ParseOptions::default(),
         )
         .unwrap();
         let ttl = write_turtle(&g, &[("e", "http://e/")]);
         let mut g2 = Graph::new();
-        parse_turtle_into(&ttl, &mut g2).unwrap();
+        parse_turtle_into(&ttl, &mut g2, &ParseOptions::default()).unwrap();
         assert_eq!(g.len(), g2.len());
         for t in g.iter_triples() {
             assert!(g2.contains(&t), "missing {t}");

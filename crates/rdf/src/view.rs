@@ -16,8 +16,26 @@ use std::collections::{BTreeSet, HashMap};
 
 use crate::graph::{Graph, IdTriple};
 use crate::intern::TermId;
+use crate::stats::{GraphStats, PredicateStats};
 use crate::term::{Iri, Term, Triple};
 use crate::vocab::rdf;
+
+/// Computes [`PredicateStats`] by scanning: the fallback used by views
+/// with no incrementally-maintained counters.
+pub(crate) fn scan_predicate_stats<G: GraphView + ?Sized>(g: &G, p: TermId) -> PredicateStats {
+    let matches = g.match_pattern(None, Some(p), None);
+    let mut subjects: BTreeSet<u32> = BTreeSet::new();
+    let mut objects: BTreeSet<u32> = BTreeSet::new();
+    for t in &matches {
+        subjects.insert(t[0].0);
+        objects.insert(t[2].0);
+    }
+    PredicateStats {
+        triples: matches.len() as u64,
+        distinct_subjects: subjects.len() as u64,
+        distinct_objects: objects.len() as u64,
+    }
+}
 
 /// Read-only view of a triple store with an interned dictionary.
 ///
@@ -110,6 +128,21 @@ pub trait GraphView {
             Some(ty) => self.subjects(ty, class_id),
             None => Vec::new(),
         }
+    }
+
+    /// Distribution counters for one predicate, used by the SPARQL
+    /// planner's selectivity estimates. The default implementation
+    /// scans; [`Graph`] and [`Overlay`] answer in O(1) from
+    /// incrementally-maintained [`GraphStats`].
+    fn predicate_stats(&self, p: TermId) -> PredicateStats {
+        scan_predicate_stats(self, p)
+    }
+
+    /// Number of `rdf:type` triples whose object is `class_id` — the
+    /// exact cardinality of a `?x rdf:type <C>` pattern. O(1) on
+    /// [`Graph`] and [`Overlay`].
+    fn class_instance_count(&self, class_id: TermId) -> u64 {
+        self.instances_of(class_id).len() as u64
     }
 
     /// Iterates all triples as interned ids.
@@ -241,6 +274,12 @@ impl GraphView for Graph {
     ) -> Vec<IdTriple> {
         Graph::match_pattern(self, s, p, o)
     }
+    fn predicate_stats(&self, p: TermId) -> PredicateStats {
+        Graph::stats(self).predicate(p)
+    }
+    fn class_instance_count(&self, class_id: TermId) -> u64 {
+        Graph::stats(self).class_instances(class_id)
+    }
     fn iter_ids(&self) -> Box<dyn Iterator<Item = IdTriple> + '_> {
         Box::new(Graph::iter_ids(self))
     }
@@ -287,6 +326,12 @@ macro_rules! deref_graph_view {
                 o: Option<TermId>,
             ) -> Vec<IdTriple> {
                 (**self).match_pattern(s, p, o)
+            }
+            fn predicate_stats(&self, p: TermId) -> PredicateStats {
+                (**self).predicate_stats(p)
+            }
+            fn class_instance_count(&self, class_id: TermId) -> u64 {
+                (**self).class_instance_count(class_id)
             }
             fn iter_ids(&self) -> Box<dyn Iterator<Item = IdTriple> + '_> {
                 (**self).iter_ids()
@@ -356,11 +401,15 @@ pub struct Overlay<B> {
     /// Delta triples in insertion order (for semi-naïve seeding).
     log: Vec<IdTriple>,
     next_bnode: u64,
+    /// Counters over the delta only; reads sum them with the base's.
+    delta_stats: GraphStats,
 }
 
 impl<B: GraphView> Overlay<B> {
     pub fn new(base: B) -> Self {
         let base_terms = u32::try_from(base.term_count()).expect("interner overflow: >4G terms");
+        let mut delta_stats = GraphStats::new();
+        delta_stats.set_rdf_type_id(base.lookup_iri(rdf::TYPE));
         Overlay {
             base,
             base_terms,
@@ -371,6 +420,7 @@ impl<B: GraphView> Overlay<B> {
             osp: BTreeSet::new(),
             log: Vec::new(),
             next_bnode: 0,
+            delta_stats,
         }
     }
 
@@ -423,6 +473,7 @@ impl<B: GraphView> Overlay<B> {
         self.osp.clear();
         self.log.clear();
         self.next_bnode = 0;
+        self.delta_stats.clear();
     }
 
     fn delta_match(
@@ -501,6 +552,23 @@ impl<B: GraphView> GraphView for Overlay<B> {
         out
     }
 
+    fn predicate_stats(&self, p: TermId) -> PredicateStats {
+        let base = self.base.predicate_stats(p);
+        let delta = self.delta_stats.predicate(p);
+        // Distinct counts add across layers (delta triples are never
+        // duplicates of base triples, but a subject/object can recur),
+        // so these are upper bounds — fine for join-order estimates.
+        PredicateStats {
+            triples: base.triples + delta.triples,
+            distinct_subjects: base.distinct_subjects + delta.distinct_subjects,
+            distinct_objects: base.distinct_objects + delta.distinct_objects,
+        }
+    }
+
+    fn class_instance_count(&self, class_id: TermId) -> u64 {
+        self.base.class_instance_count(class_id) + self.delta_stats.class_instances(class_id)
+    }
+
     fn iter_ids(&self) -> Box<dyn Iterator<Item = IdTriple> + '_> {
         Box::new(self.base.iter_ids().chain(self.delta_ids()))
     }
@@ -518,6 +586,7 @@ impl<B: GraphView> GraphStore for Overlay<B> {
         let id = TermId(u32::try_from(raw).expect("interner overflow: >4G terms"));
         self.spill_terms.push(term.clone());
         self.spill_ids.insert(term.clone(), id);
+        self.delta_stats.note_new_term(id, term);
         id
     }
 
@@ -538,13 +607,24 @@ impl<B: GraphView> GraphStore for Overlay<B> {
         if self.base.contains_ids(s, p, o) {
             return false;
         }
-        let new = self.spo.insert([s.0, p.0, o.0]);
-        if new {
-            self.pos.insert([p.0, o.0, s.0]);
-            self.osp.insert([o.0, s.0, p.0]);
-            self.log.push([s, p, o]);
+        if !self.spo.insert([s.0, p.0, o.0]) {
+            return false;
         }
-        new
+        let new_sp = self
+            .spo
+            .range([s.0, p.0, 0]..=[s.0, p.0, u32::MAX])
+            .nth(1)
+            .is_none();
+        let new_po = self
+            .pos
+            .range([p.0, o.0, 0]..=[p.0, o.0, u32::MAX])
+            .next()
+            .is_none();
+        self.pos.insert([p.0, o.0, s.0]);
+        self.osp.insert([o.0, s.0, p.0]);
+        self.log.push([s, p, o]);
+        self.delta_stats.record_insert(s, p, o, new_sp, new_po);
+        true
     }
 }
 

@@ -2,8 +2,9 @@
 //! arbitrary input — they either parse or return a located error.
 
 use feo_rdf::governor::Budget;
-use feo_rdf::ntriples::{parse_ntriples, parse_ntriples_guarded};
-use feo_rdf::turtle::{parse_turtle, parse_turtle_guarded};
+use feo_rdf::ntriples::parse_ntriples;
+use feo_rdf::turtle::parse_turtle;
+use feo_rdf::{ParseOptions, RdfError};
 use proptest::prelude::*;
 
 const VALID_TURTLE: &str = "@prefix e: <http://e/> .\n\
@@ -15,9 +16,14 @@ const VALID_NTRIPLES: &str = "<http://e/a> <http://e/p> <http://e/b> .\n\
      <http://e/a> <http://e/q> \"lit\"^^<http://www.w3.org/2001/XMLSchema#string> .\n\
      _:b0 <http://e/r> \"x\"@en .";
 
+const UNGUARDED: ParseOptions = ParseOptions { guard: None };
+
 /// A parse error must carry a position inside (or one past) the input:
 /// 1-based line within the document, column within that line.
-fn assert_located(err: &feo_rdf::turtle::TurtleError, input: &str) {
+fn assert_located(err: &RdfError, input: &str) {
+    let RdfError::Syntax(err) = err else {
+        panic!("unguarded parse cannot exhaust: {err:?}");
+    };
     let lines: Vec<&str> = input.split('\n').collect();
     assert!(err.line >= 1, "line is 1-based: {err:?}");
     assert!(
@@ -52,19 +58,19 @@ proptest! {
 
     #[test]
     fn turtle_never_panics_on_arbitrary_input(input in ".{0,200}") {
-        let _ = parse_turtle(&input);
+        let _ = parse_turtle(&input, &UNGUARDED);
     }
 
     #[test]
     fn turtle_never_panics_on_grammar_like_input(
         input in "[@<>\"'a-z:#._;,()\\[\\]\\\\ \n0-9-]{0,120}"
     ) {
-        let _ = parse_turtle(&input);
+        let _ = parse_turtle(&input, &UNGUARDED);
     }
 
     #[test]
     fn ntriples_never_panics(input in ".{0,200}") {
-        let _ = parse_ntriples(&input);
+        let _ = parse_ntriples(&input, &UNGUARDED);
     }
 
     /// Near-valid documents: random mutations of a valid document must
@@ -72,7 +78,7 @@ proptest! {
     #[test]
     fn mutated_valid_document(cut in 0usize..120, insert in ".{0,4}") {
         let mutated = splice(VALID_TURTLE, cut, 0, &insert);
-        let _ = parse_turtle(&mutated);
+        let _ = parse_turtle(&mutated, &UNGUARDED);
     }
 
     /// Deletion + insertion mutations of valid Turtle: every rejection
@@ -84,7 +90,7 @@ proptest! {
         insert in "[@<>\"'a-z:#._;,()\\[\\]\\\\ \n0-9-]{0,6}"
     ) {
         let mutated = splice(VALID_TURTLE, cut, del, &insert);
-        if let Err(e) = parse_turtle(&mutated) {
+        if let Err(e) = parse_turtle(&mutated, &UNGUARDED) {
             assert_located(&e, &mutated);
         }
     }
@@ -98,28 +104,29 @@ proptest! {
         insert in "[<>\"'^_:@a-z#. \n0-9-]{0,6}"
     ) {
         let mutated = splice(VALID_NTRIPLES, cut, del, &insert);
-        if let Err(e) = parse_ntriples(&mutated) {
+        if let Err(e) = parse_ntriples(&mutated, &UNGUARDED) {
             assert_located(&e, &mutated);
         }
     }
 
-    /// The guarded entry points share the panic-freedom contract: under
-    /// an unlimited guard they behave exactly like the plain parsers,
-    /// and under a tiny input cap they return a typed budget error
-    /// instead of touching the document at all.
+    /// The guarded configuration shares the panic-freedom contract:
+    /// under an unlimited guard it behaves exactly like the unguarded
+    /// parse, and under a tiny input cap it returns a typed budget
+    /// error instead of touching the document at all.
     #[test]
     fn guarded_parsers_never_panic(cut in 0usize..120, insert in ".{0,4}") {
         let mutated = splice(VALID_TURTLE, cut, 0, &insert);
         let unlimited = Budget::new().start();
-        let plain = parse_turtle(&mutated);
-        let guarded = parse_turtle_guarded(&mutated, &unlimited);
+        let plain = parse_turtle(&mutated, &UNGUARDED);
+        let guarded = parse_turtle(&mutated, &ParseOptions { guard: Some(&unlimited) });
         assert_eq!(plain.is_ok(), guarded.is_ok());
 
         let capped = Budget::new().with_max_input_bytes(1).start();
         if mutated.len() > 1 {
-            let res = parse_turtle_guarded(&mutated, &capped);
-            prop_assert!(matches!(res, Err(feo_rdf::RdfError::Exhausted(_))));
+            let res = parse_turtle(&mutated, &ParseOptions { guard: Some(&capped) });
+            prop_assert!(matches!(res, Err(RdfError::Exhausted(_))));
         }
-        let _ = parse_ntriples_guarded(&mutated, &Budget::new().start());
+        let relimited = Budget::new().start();
+        let _ = parse_ntriples(&mutated, &ParseOptions { guard: Some(&relimited) });
     }
 }

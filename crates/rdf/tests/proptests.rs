@@ -98,7 +98,7 @@ proptest! {
         }
         let nt = write_ntriples(&g);
         let mut g2 = Graph::new();
-        parse_ntriples_into(&nt, &mut g2).unwrap();
+        parse_ntriples_into(&nt, &mut g2, &Default::default()).unwrap();
         prop_assert_eq!(g.len(), g2.len());
         for t in g.iter_triples() {
             prop_assert!(g2.contains(&t));
@@ -113,7 +113,7 @@ proptest! {
         }
         let ttl = write_turtle(&g, &[("ex", "http://example.org/resource/")]);
         let mut g2 = Graph::new();
-        parse_turtle_into(&ttl, &mut g2).unwrap();
+        parse_turtle_into(&ttl, &mut g2, &Default::default()).unwrap();
         prop_assert_eq!(g.len(), g2.len());
         for t in g.iter_triples() {
             prop_assert!(g2.contains(&t));
@@ -143,7 +143,7 @@ proptest! {
         );
         let nt = write_ntriples(&g);
         let mut g2 = Graph::new();
-        parse_ntriples_into(&nt, &mut g2).unwrap();
+        parse_ntriples_into(&nt, &mut g2, &Default::default()).unwrap();
         let got = g2.iter_triples().next().unwrap().object;
         prop_assert_eq!(got, lit);
     }

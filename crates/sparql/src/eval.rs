@@ -24,6 +24,9 @@ use feo_rdf::{Graph, GraphStore, GraphView, Overlay, Term, TermId, Triple};
 use crate::ast::*;
 use crate::error::{Result, SparqlError};
 use crate::parser::parse_query;
+use crate::plan::{
+    plan_query, BgpPlan, ElementPlan, GroupPlan, Plan, Planner, QueryOptions, HASH_JOIN_MIN_INPUT,
+};
 use crate::results::{QueryResult, SolutionTable};
 use crate::value::{
     as_integer, as_numeric, as_string, ebv, order_key, str_builtin, values_compare, values_equal,
@@ -33,7 +36,8 @@ use crate::value::{
 /// One solution: a slot per registered variable.
 type Binding = Vec<Option<TermId>>;
 
-/// Evaluator tuning knobs (primarily for ablation studies).
+/// Evaluator tuning knobs for the deprecated `*_with` entry points.
+#[deprecated(note = "use `QueryOptions { planner, .. }` with `query` / `execute`")]
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Greedily reorder BGP triple patterns by bound-position count
@@ -42,61 +46,131 @@ pub struct ExecOptions {
     pub reorder_bgp: bool,
 }
 
+#[allow(deprecated)]
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions { reorder_bgp: true }
     }
 }
 
+#[allow(deprecated)]
+impl ExecOptions {
+    /// The planner the legacy knob selected: greedy reordering or
+    /// author order. The cost-based planner did not exist behind this
+    /// options type.
+    fn planner(&self) -> Planner {
+        if self.reorder_bgp {
+            Planner::Greedy
+        } else {
+            Planner::Off
+        }
+    }
+}
+
 /// Parses and executes `text` against any [`GraphView`].
+///
+/// The one SPARQL entry point: [`QueryOptions`] carries the execution
+/// [`Guard`] (input-size cap on the query text, solution budget on
+/// join-row production, deadline / cancellation polling in hot loops —
+/// a tripped budget surfaces as [`SparqlError::Exhausted`]), the
+/// [`Planner`] choice, and EXPLAIN mode (return the rendered plan as
+/// [`QueryResult::Plan`] instead of executing).
 ///
 /// The view is read-only; computed terms (query constants, BIND results,
 /// VALUES data) are interned into a private scratch [`Overlay`] that is
 /// discarded with the evaluation, so the caller's dictionary and triple
 /// set are untouched. Pass `&graph` for shared reads; `&mut graph` still
 /// compiles for older call sites.
-pub fn query<G: GraphView>(graph: G, text: &str) -> Result<QueryResult> {
+pub fn query<G: GraphView>(graph: G, text: &str, opts: &QueryOptions) -> Result<QueryResult> {
+    if let Some(guard) = opts.guard {
+        guard.check_input(text.len())?;
+    }
     let q = parse_query(text)?;
-    execute(graph, &q)
+    execute(graph, &q, opts)
 }
 
-/// Executes a parsed query with default options.
-pub fn execute<G: GraphView>(graph: G, q: &Query) -> Result<QueryResult> {
-    execute_with(graph, q, &ExecOptions::default())
-}
-
-/// Parses and executes with explicit options.
-pub fn query_with<G: GraphView>(graph: G, text: &str, opts: &ExecOptions) -> Result<QueryResult> {
-    let q = parse_query(text)?;
-    execute_with(graph, &q, opts)
-}
-
-/// Executes a parsed query with explicit options.
-pub fn execute_with<G: GraphView>(graph: G, q: &Query, opts: &ExecOptions) -> Result<QueryResult> {
+/// Executes a parsed query (see [`query`] for the options contract).
+///
+/// With [`Planner::CostBased`] the query is compiled to a [`Plan`] from
+/// the view's statistics before any row flows; callers that reuse one
+/// plan across many executions (the engine's plan cache) should compile
+/// once with [`plan_query`] and call [`execute_prepared`].
+pub fn execute<G: GraphView>(graph: G, q: &Query, opts: &QueryOptions) -> Result<QueryResult> {
+    if opts.explain || opts.planner == Planner::CostBased {
+        let plan = plan_query(&graph, q);
+        if opts.explain {
+            return Ok(QueryResult::Plan(plan.render(q, opts.planner)));
+        }
+        return execute_inner(graph, q, opts, Some(&plan));
+    }
     execute_inner(graph, q, opts, None)
 }
 
-/// Parses and executes under an execution [`Guard`]: the input-size cap
-/// is applied to the query text, join-row production is charged against
-/// the guard's solution budget, and the deadline / cancellation flag is
-/// polled inside BGP matching and property-path closure loops. A tripped
-/// budget surfaces as [`SparqlError::Exhausted`].
-pub fn query_guarded<G: GraphView>(graph: G, text: &str, guard: &Guard) -> Result<QueryResult> {
-    guard.check_input(text.len())?;
+/// Executes a parsed query with a previously compiled [`Plan`].
+///
+/// The plan must come from [`plan_query`] on the same query; a plan
+/// whose shape does not match degrades to greedy ordering for the
+/// mismatched nodes rather than misevaluating.
+pub fn execute_prepared<G: GraphView>(
+    graph: G,
+    q: &Query,
+    plan: &Plan,
+    opts: &QueryOptions,
+) -> Result<QueryResult> {
+    if opts.explain {
+        return Ok(QueryResult::Plan(plan.render(q, opts.planner)));
+    }
+    execute_inner(graph, q, opts, Some(plan))
+}
+
+/// Parses and executes with the legacy options struct.
+#[deprecated(note = "use `query(graph, text, &QueryOptions { planner, .. })`")]
+#[allow(deprecated)]
+pub fn query_with<G: GraphView>(graph: G, text: &str, opts: &ExecOptions) -> Result<QueryResult> {
     let q = parse_query(text)?;
-    execute_guarded(graph, &q, guard)
+    execute_inner(
+        graph,
+        &q,
+        &QueryOptions {
+            planner: opts.planner(),
+            ..QueryOptions::default()
+        },
+        None,
+    )
+}
+
+/// Executes a parsed query with the legacy options struct.
+#[deprecated(note = "use `execute(graph, q, &QueryOptions { planner, .. })`")]
+#[allow(deprecated)]
+pub fn execute_with<G: GraphView>(graph: G, q: &Query, opts: &ExecOptions) -> Result<QueryResult> {
+    execute_inner(
+        graph,
+        q,
+        &QueryOptions {
+            planner: opts.planner(),
+            ..QueryOptions::default()
+        },
+        None,
+    )
+}
+
+/// Parses and executes under an execution [`Guard`].
+#[deprecated(note = "use `query(graph, text, &QueryOptions::guarded(guard))`")]
+pub fn query_guarded<G: GraphView>(graph: G, text: &str, guard: &Guard) -> Result<QueryResult> {
+    query(graph, text, &QueryOptions::guarded(guard))
 }
 
 /// Executes a parsed query under an execution [`Guard`].
+#[deprecated(note = "use `execute(graph, q, &QueryOptions::guarded(guard))`")]
 pub fn execute_guarded<G: GraphView>(graph: G, q: &Query, guard: &Guard) -> Result<QueryResult> {
-    execute_inner(graph, q, &ExecOptions::default(), Some(guard))
+    execute(graph, q, &QueryOptions::guarded(guard))
 }
 
 fn execute_inner<G: GraphView>(
     graph: G,
     q: &Query,
-    opts: &ExecOptions,
-    guard: Option<&Guard>,
+    opts: &QueryOptions,
+    plan: Option<&Plan>,
 ) -> Result<QueryResult> {
     let mut vars = VarTable::default();
     register_group_vars(&q.where_pattern, &mut vars);
@@ -104,12 +178,16 @@ fn execute_inner<G: GraphView>(
     let mut ctx = Ctx {
         g: Overlay::new(graph),
         vars,
-        opts: opts.clone(),
-        guard,
+        planner: opts.planner,
+        guard: opts.guard,
         tripped: Cell::new(None),
     };
 
-    let rows = ctx.eval_group(&q.where_pattern, vec![vec![None; ctx.vars.len()]])?;
+    let rows = ctx.eval_group(
+        &q.where_pattern,
+        vec![vec![None; ctx.vars.len()]],
+        plan.map(|p| &p.root),
+    )?;
 
     let result = match &q.form {
         QueryForm::Ask => Ok(QueryResult::Boolean(!rows.is_empty())),
@@ -129,9 +207,11 @@ fn execute_inner<G: GraphView>(
 }
 
 /// Variable registry: maps names (and blank-node labels, prefixed with
-/// `_:`) to binding slots.
+/// `_:`) to binding slots. Registration order is deterministic, so the
+/// planner (which builds its own table from the same query) sees the
+/// same slot numbering as the evaluator.
 #[derive(Debug, Default, Clone)]
-struct VarTable {
+pub(crate) struct VarTable {
     names: Vec<String>,
     index: HashMap<String, usize>,
 }
@@ -151,12 +231,12 @@ impl VarTable {
         i
     }
 
-    fn get(&self, name: &str) -> Option<usize> {
+    pub(crate) fn get(&self, name: &str) -> Option<usize> {
         self.index.get(name).copied()
     }
 }
 
-fn register_group_vars(group: &GroupPattern, vars: &mut VarTable) {
+pub(crate) fn register_group_vars(group: &GroupPattern, vars: &mut VarTable) {
     for el in &group.elements {
         match el {
             GroupElement::Triples(ts) => {
@@ -233,7 +313,7 @@ fn register_expr_vars(e: &Expr, vars: &mut VarTable) {
     }
 }
 
-fn register_modifier_vars(q: &Query, vars: &mut VarTable) {
+pub(crate) fn register_modifier_vars(q: &Query, vars: &mut VarTable) {
     if let QueryForm::Select {
         projection: Projection::Items(items),
         ..
@@ -281,9 +361,10 @@ struct Ctx<'a, G: GraphView> {
     /// preserves the "unknown constant finds nothing" semantics.
     g: Overlay<G>,
     vars: VarTable,
-    opts: ExecOptions,
-    /// Execution governor for the guarded entry points; `None` on the
-    /// legacy paths.
+    /// Fallback BGP strategy when no plan step applies (plan shape
+    /// mismatch, EXISTS subgroups, the non-cost-based planners).
+    planner: Planner,
+    /// Execution governor; `None` runs unguarded.
     guard: Option<&'a Guard>,
     /// Trip recorded from `&self` evaluation paths (property-path
     /// closures) that cannot return a `Result`; checked at element
@@ -337,19 +418,46 @@ impl<'a, G: GraphView> Ctx<'a, G> {
 
     // ---- group patterns ------------------------------------------------
 
-    fn eval_group(&mut self, group: &GroupPattern, input: Vec<Binding>) -> Result<Vec<Binding>> {
+    /// Evaluates one group pattern. `plan` (when present) is walked in
+    /// lockstep with `group.elements`: element `i` consults plan node
+    /// `i`, recursing with the matching subplan. A shape mismatch at any
+    /// node simply drops the plan for that node — evaluation stays
+    /// correct, only the precomputed order is lost.
+    fn eval_group(
+        &mut self,
+        group: &GroupPattern,
+        input: Vec<Binding>,
+        plan: Option<&GroupPlan>,
+    ) -> Result<Vec<Binding>> {
         let mut rows = input;
         let mut filters: Vec<&Expr> = Vec::new();
-        for el in &group.elements {
+        for (i, el) in group.elements.iter().enumerate() {
             self.checkpoint()?;
+            let sub = plan.and_then(|p| p.elements.get(i));
             match el {
                 GroupElement::Filter(e) => filters.push(e),
-                GroupElement::Triples(ts) => rows = self.eval_bgp(ts, rows)?,
-                GroupElement::Group(inner) => rows = self.eval_group(inner, rows)?,
+                GroupElement::Triples(ts) => {
+                    let bp = match sub {
+                        Some(ElementPlan::Bgp(bp)) => Some(bp),
+                        _ => None,
+                    };
+                    rows = self.eval_bgp(ts, rows, bp)?;
+                }
+                GroupElement::Group(inner) => {
+                    let gp = match sub {
+                        Some(ElementPlan::Group(gp)) => Some(gp),
+                        _ => None,
+                    };
+                    rows = self.eval_group(inner, rows, gp)?;
+                }
                 GroupElement::Optional(inner) => {
+                    let gp = match sub {
+                        Some(ElementPlan::Optional(gp)) => Some(gp),
+                        _ => None,
+                    };
                     let mut out = Vec::new();
                     for b in rows {
-                        let extended = self.eval_group(inner, vec![b.clone()])?;
+                        let extended = self.eval_group(inner, vec![b.clone()], gp)?;
                         if extended.is_empty() {
                             out.push(b);
                         } else {
@@ -359,15 +467,24 @@ impl<'a, G: GraphView> Ctx<'a, G> {
                     rows = out;
                 }
                 GroupElement::Union(arms) => {
+                    let arm_plans = match sub {
+                        Some(ElementPlan::Union(ps)) => Some(ps),
+                        _ => None,
+                    };
                     let mut out = Vec::new();
-                    for arm in arms {
-                        out.extend(self.eval_group(arm, rows.clone())?);
+                    for (j, arm) in arms.iter().enumerate() {
+                        let ap = arm_plans.and_then(|ps| ps.get(j));
+                        out.extend(self.eval_group(arm, rows.clone(), ap)?);
                     }
                     rows = out;
                 }
                 GroupElement::Minus(inner) => {
+                    let gp = match sub {
+                        Some(ElementPlan::Minus(gp)) => Some(gp),
+                        _ => None,
+                    };
                     let empty = vec![vec![None; self.vars.len()]];
-                    let rhs = self.eval_group(inner, empty)?;
+                    let rhs = self.eval_group(inner, empty, gp)?;
                     rows.retain(|b| {
                         !rhs.iter().any(|r| {
                             let mut shared = false;
@@ -474,8 +591,30 @@ impl<'a, G: GraphView> Ctx<'a, G> {
         &mut self,
         patterns: &[TriplePattern],
         input: Vec<Binding>,
+        plan: Option<&BgpPlan>,
     ) -> Result<Vec<Binding>> {
-        if !self.opts.reorder_bgp {
+        // Planned path: execute the precomputed order, with each step's
+        // hash-join decision. A malformed plan (wrong length, index out
+        // of range, duplicate steps) falls through to the row-time
+        // strategies below.
+        if let Some(bp) = plan {
+            if bgp_plan_matches(bp, patterns.len()) {
+                let mut rows = input;
+                for step in &bp.steps {
+                    let tp = &patterns[step.pattern];
+                    rows = if step.hash_join && rows.len() >= HASH_JOIN_MIN_INPUT {
+                        self.match_triple_pattern_hash(tp, rows)?
+                    } else {
+                        self.match_triple_pattern(tp, rows)?
+                    };
+                    if rows.is_empty() {
+                        break;
+                    }
+                }
+                return Ok(rows);
+            }
+        }
+        if self.planner == Planner::Off {
             let mut rows = input;
             for tp in patterns {
                 rows = self.match_triple_pattern(tp, rows)?;
@@ -498,15 +637,17 @@ impl<'a, G: GraphView> Ctx<'a, G> {
         let mut remaining: Vec<&TriplePattern> = patterns.iter().collect();
         let mut ordered: Vec<&TriplePattern> = Vec::with_capacity(remaining.len());
         while !remaining.is_empty() {
-            // max_by_key on a nonempty list always yields a winner; fall
-            // back to author order rather than panicking if it ever
-            // doesn't.
-            let best_idx = remaining
-                .iter()
-                .enumerate()
-                .map(|(i, tp)| (i, self.pattern_selectivity(tp, &bound)))
-                .max_by_key(|&(_, s)| s)
-                .map_or(0, |(i, _)| i);
+            // Strictly-greater keeps the first maximum, so ties resolve
+            // to author order and the solution sequence is deterministic.
+            let mut best_idx = 0;
+            let mut best_score = 0;
+            for (i, tp) in remaining.iter().enumerate() {
+                let score = self.pattern_selectivity(tp, &bound);
+                if i == 0 || score > best_score {
+                    best_idx = i;
+                    best_score = score;
+                }
+            }
             let tp = remaining.remove(best_idx);
             for slot in self.pattern_var_slots(tp) {
                 bound.insert(slot);
@@ -639,6 +780,96 @@ impl<'a, G: GraphView> Ctx<'a, G> {
                             nb[slot] = Some(mo);
                         }
                         out.push(nb);
+                    }
+                }
+            }
+            uncharged += out.len() - produced_before;
+            if uncharged >= CHARGE_BATCH {
+                self.charge_solutions(uncharged)?;
+                uncharged = 0;
+            }
+        }
+        self.charge_solutions(uncharged)?;
+        Ok(out)
+    }
+
+    /// Hash-join variant of [`Self::match_triple_pattern`] for plain-IRI
+    /// predicates: one index scan over the pattern's predicate (narrowed
+    /// by any ground endpoints) builds the join side, then each input
+    /// row probes hash maps instead of running its own B-tree range
+    /// scan. Probe structures are built lazily per boundness signature,
+    /// because rows in one solution set can differ in which endpoint
+    /// variables they bind (OPTIONAL, UNION).
+    fn match_triple_pattern_hash(
+        &mut self,
+        tp: &TriplePattern,
+        rows: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
+        let Path::Iri(p) = &tp.path else {
+            // Planner only marks plain predicates; stay correct anyway.
+            return self.match_triple_pattern(tp, rows);
+        };
+        const CHARGE_BATCH: usize = 256;
+        let Some(p_id) = self.g.lookup_iri(p) else {
+            // Unknown predicate: every row finds nothing.
+            return Ok(Vec::new());
+        };
+        let s_slot = self.term_slot(&tp.subject);
+        let o_slot = self.term_slot(&tp.object);
+        let s_ground = match &tp.subject {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let o_ground = match &tp.object {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let scan: Vec<[TermId; 3]> = self.g.match_pattern(s_ground, Some(p_id), o_ground);
+        let mut by_s: Option<HashMap<TermId, Vec<usize>>> = None;
+        let mut by_o: Option<HashMap<TermId, Vec<usize>>> = None;
+        let mut by_so: Option<HashSet<(TermId, TermId)>> = None;
+        let mut out = Vec::new();
+        let mut uncharged: usize = 0;
+        for b in rows {
+            let produced_before = out.len();
+            let s_val = s_slot.and_then(|slot| b[slot]);
+            let o_val = o_slot.and_then(|slot| b[slot]);
+            match (s_val, o_val) {
+                (Some(sv), Some(ov)) => {
+                    let set =
+                        by_so.get_or_insert_with(|| scan.iter().map(|t| (t[0], t[2])).collect());
+                    if set.contains(&(sv, ov)) {
+                        out.push(b);
+                    }
+                }
+                (Some(sv), None) => {
+                    let map = by_s.get_or_insert_with(|| index_scan(&scan, 0));
+                    if let Some(hits) = map.get(&sv) {
+                        for &i in hits {
+                            let mut nb = b.clone();
+                            if bind(&mut nb, o_slot, scan[i][2]) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                }
+                (None, Some(ov)) => {
+                    let map = by_o.get_or_insert_with(|| index_scan(&scan, 2));
+                    if let Some(hits) = map.get(&ov) {
+                        for &i in hits {
+                            let mut nb = b.clone();
+                            if bind(&mut nb, s_slot, scan[i][0]) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                }
+                (None, None) => {
+                    for t in &scan {
+                        let mut nb = b.clone();
+                        if bind(&mut nb, s_slot, t[0]) && bind(&mut nb, o_slot, t[2]) {
+                            out.push(nb);
+                        }
                     }
                 }
             }
@@ -915,7 +1146,7 @@ impl<'a, G: GraphView> Ctx<'a, G> {
             }
             Expr::Call(builtin, args) => self.call(*builtin, args, b),
             Expr::Exists(group, negated) => {
-                let found = match self.eval_group(group, vec![b.clone()]) {
+                let found = match self.eval_group(group, vec![b.clone()], None) {
                     Ok(rows) => !rows.is_empty(),
                     Err(_) => false,
                 };
@@ -1632,7 +1863,7 @@ impl<'a, G: GraphView> Ctx<'a, G> {
                 }
             }
         }
-        Ok(QueryResult::Graph(out))
+        Ok(QueryResult::Graph(Box::new(out)))
     }
 
     fn template_term(&self, tp: &TermPattern, b: &Binding, row: usize) -> Option<Term> {
@@ -1651,6 +1882,48 @@ impl<'a, G: GraphView> Ctx<'a, G> {
 
 /// Row-sort helper alias (descending flags per ORDER BY condition).
 type BoolMask = Vec<bool>;
+
+/// A plan is executable against `n` patterns when it covers each
+/// pattern exactly once.
+fn bgp_plan_matches(bp: &BgpPlan, n: usize) -> bool {
+    if bp.steps.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for step in &bp.steps {
+        let Some(slot) = seen.get_mut(step.pattern) else {
+            return false;
+        };
+        if *slot {
+            return false;
+        }
+        *slot = true;
+    }
+    true
+}
+
+/// Binds `val` into `slot` (when the position is a variable), reporting
+/// false on a conflict with an existing binding — the shared-variable
+/// case (`?x p ?x`) and probe-side rebinding both funnel through here.
+fn bind(b: &mut Binding, slot: Option<usize>, val: TermId) -> bool {
+    let Some(slot) = slot else { return true };
+    match b[slot] {
+        None => {
+            b[slot] = Some(val);
+            true
+        }
+        Some(existing) => existing == val,
+    }
+}
+
+/// Hash index over one column of a scan (0 = subject, 2 = object).
+fn index_scan(scan: &[[TermId; 3]], col: usize) -> HashMap<TermId, Vec<usize>> {
+    let mut map: HashMap<TermId, Vec<usize>> = HashMap::new();
+    for (i, t) in scan.iter().enumerate() {
+        map.entry(t[col]).or_default().push(i);
+    }
+    map
+}
 
 fn contains_aggregate(e: &Expr) -> bool {
     match e {

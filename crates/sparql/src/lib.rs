@@ -4,12 +4,18 @@
 //! substitute for the Jena/ARQ-style engine the paper used to evaluate
 //! its competency questions (§IV–§V).
 //!
-//! Pipeline: [`lexer`] → [`parser`] → direct evaluation ([`eval`]) with
-//! solution sets. Supported: SELECT / ASK / CONSTRUCT, BGPs with greedy
-//! join reordering, OPTIONAL, UNION, MINUS, FILTER (incl. EXISTS /
-//! NOT EXISTS), BIND, VALUES, property paths (`^ / | * + ?` and negated
-//! sets), the builtin function library, GROUP BY with aggregates, HAVING,
-//! ORDER BY, DISTINCT / REDUCED, LIMIT / OFFSET.
+//! Pipeline: [`lexer`] → [`parser`] → cost-based planning ([`plan`]) →
+//! evaluation ([`eval`]) with solution sets. Supported: SELECT / ASK /
+//! CONSTRUCT, BGPs with statistics-driven join ordering (greedy and
+//! author-order fallbacks via [`Planner`]), OPTIONAL, UNION, MINUS,
+//! FILTER (incl. EXISTS / NOT EXISTS), BIND, VALUES, property paths
+//! (`^ / | * + ?` and negated sets), the builtin function library,
+//! GROUP BY with aggregates, HAVING, ORDER BY, DISTINCT / REDUCED,
+//! LIMIT / OFFSET.
+//!
+//! The single entry point is [`query`] / [`execute`] with
+//! [`QueryOptions`] carrying the governor guard, the planner choice,
+//! and EXPLAIN mode:
 //!
 //! ```
 //! use feo_rdf::Graph;
@@ -20,10 +26,11 @@
 //! parse_turtle_into(r#"
 //!     @prefix feo: <https://purl.org/heals/feo#> .
 //!     feo:Autumn a feo:SeasonCharacteristic .
-//! "#, &mut g).unwrap();
+//! "#, &mut g, &Default::default()).unwrap();
 //! let result = query(&g,
 //!     "PREFIX feo: <https://purl.org/heals/feo#>
-//!      SELECT ?c WHERE { ?c a feo:SeasonCharacteristic }").unwrap();
+//!      SELECT ?c WHERE { ?c a feo:SeasonCharacteristic }",
+//!     &Default::default()).unwrap();
 //! let table = result.expect_solutions();
 //! assert!(table.contains_local("c", "Autumn"));
 //! ```
@@ -33,13 +40,17 @@ pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod regexlite;
 pub mod results;
 pub mod value;
 
 pub use error::{Result, SparqlError};
+#[allow(deprecated)]
 pub use eval::{
-    execute, execute_guarded, execute_with, query, query_guarded, query_with, ExecOptions,
+    execute, execute_guarded, execute_prepared, execute_with, query, query_guarded, query_with,
+    ExecOptions,
 };
 pub use parser::parse_query;
+pub use plan::{plan_query, Plan, Planner, QueryOptions};
 pub use results::{QueryResult, SolutionTable};

@@ -1,0 +1,723 @@
+//! Cost-based query planning.
+//!
+//! [`plan_query`] compiles a parsed [`Query`] into an explicit [`Plan`]
+//! before any row flows: per BGP it picks a join order by selectivity
+//! estimates read from the graph's incrementally-maintained statistics
+//! ([`feo_rdf::GraphStats`] via [`GraphView::predicate_stats`] /
+//! [`GraphView::class_instance_count`]), records which hexastore index
+//! the evaluator's dispatch will hit for each pattern, and marks steps
+//! whose build side is large enough that a hash join beats per-row
+//! B-tree range scans. The evaluator executes the plan verbatim instead
+//! of re-deriving an order on every call; [`feo-core`'s plan cache]
+//! reuses one plan across repeated questions on an unchanged snapshot.
+//!
+//! Estimates are deliberately simple — uniform-distribution formulas
+//! over per-predicate triple / distinct-subject / distinct-object
+//! counts, exact counts for `?x rdf:type <C>` — because join-order
+//! quality needs only the relative magnitudes to be right. Ties keep
+//! author order, so a plan is always deterministic for a given query
+//! and snapshot.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use feo_rdf::governor::Guard;
+use feo_rdf::vocab::rdf;
+use feo_rdf::GraphView;
+
+use crate::ast::{
+    GroupElement, GroupPattern, LiteralPattern, Path, Query, TermPattern, TriplePattern,
+};
+use crate::eval::{register_group_vars, register_modifier_vars, VarTable};
+
+/// Join-order strategy for BGP evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Planner {
+    /// Evaluate triple patterns in author order (the ablation baseline).
+    Off,
+    /// Greedy bound-position reordering, decided per call while rows
+    /// flow — the pre-planner behavior.
+    Greedy,
+    /// Compile a [`Plan`] up front from graph statistics: estimated
+    /// join order, index choice, and hash-join placement per BGP.
+    #[default]
+    CostBased,
+}
+
+impl Planner {
+    /// Stable lowercase name used in plan renderings and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Planner::Off => "off",
+            Planner::Greedy => "greedy",
+            Planner::CostBased => "cost-based",
+        }
+    }
+}
+
+/// The one options struct accepted by [`crate::query`] / [`crate::execute`].
+///
+/// Replaces the previous `ExecOptions` + `*_guarded` duals: the guard,
+/// the planner choice, and EXPLAIN mode travel together.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions<'a> {
+    /// Execution governor: input-size cap on the query text, solution
+    /// budget on join-row production, deadline / cancellation polling in
+    /// hot loops. `None` runs unguarded.
+    pub guard: Option<&'a Guard>,
+    /// Join-order strategy.
+    pub planner: Planner,
+    /// When set, return the rendered plan as [`crate::QueryResult::Plan`]
+    /// instead of executing — SQL `EXPLAIN` semantics.
+    pub explain: bool,
+}
+
+impl<'a> QueryOptions<'a> {
+    /// Options running under `guard` with the default planner.
+    pub fn guarded(guard: &'a Guard) -> Self {
+        QueryOptions {
+            guard: Some(guard),
+            ..QueryOptions::default()
+        }
+    }
+}
+
+/// Which access path the evaluator's pattern dispatch hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexChoice {
+    /// Subject-bound prefix scan (subject, or subject+object, known).
+    Spo,
+    /// Predicate-bound prefix scan (predicate, or predicate+object).
+    Pos,
+    /// Object-bound prefix scan with the predicate free.
+    Osp,
+    /// Full scan: nothing usefully bound.
+    Full,
+    /// Complex property path — closure evaluation, not an index scan.
+    Path,
+}
+
+impl IndexChoice {
+    fn name(&self) -> &'static str {
+        match self {
+            IndexChoice::Spo => "spo",
+            IndexChoice::Pos => "pos",
+            IndexChoice::Osp => "osp",
+            IndexChoice::Full => "full",
+            IndexChoice::Path => "path",
+        }
+    }
+}
+
+/// A compiled query plan, mirroring the query's group-pattern tree.
+///
+/// The evaluator walks plan and AST in lockstep; a structural mismatch
+/// (a plan compiled from a different query) degrades to the greedy
+/// strategy for the mismatched node instead of misevaluating.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    pub root: GroupPlan,
+}
+
+/// Plan node for one group pattern: one entry per group element.
+#[derive(Debug, Clone, Default)]
+pub struct GroupPlan {
+    pub elements: Vec<ElementPlan>,
+}
+
+/// Plan node for one group element.
+#[derive(Debug, Clone)]
+pub enum ElementPlan {
+    /// A basic graph pattern with its join order.
+    Bgp(BgpPlan),
+    /// Nested `{ ... }` group.
+    Group(GroupPlan),
+    Optional(GroupPlan),
+    Minus(GroupPlan),
+    Union(Vec<GroupPlan>),
+    /// FILTER / BIND / VALUES — no planning decisions to record.
+    Leaf,
+}
+
+/// Execution order for one BGP.
+#[derive(Debug, Clone, Default)]
+pub struct BgpPlan {
+    /// Steps in execution order; `pattern` indexes the author-order
+    /// triple-pattern list.
+    pub steps: Vec<PlanStep>,
+}
+
+/// One join step of a BGP.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// Index of the triple pattern in author order.
+    pub pattern: usize,
+    /// Estimated matching triples for this pattern at this point in the
+    /// join (per input row).
+    pub est_rows: f64,
+    /// Access path the evaluator's dispatch will take.
+    pub index: IndexChoice,
+    /// Build a hash table over the pattern's scan once and probe it per
+    /// input row, instead of a B-tree range scan per row.
+    pub hash_join: bool,
+}
+
+/// Build side below this many triples: per-row range scans are cheap
+/// enough that hashing only adds constant overhead.
+pub(crate) const HASH_JOIN_BUILD_MIN: f64 = 64.0;
+
+/// Fewer input rows than this at runtime: probe setup cannot amortize,
+/// fall back to the nested-loop path.
+pub(crate) const HASH_JOIN_MIN_INPUT: usize = 8;
+
+/// Compiles `q` into a [`Plan`] using `view`'s statistics.
+pub fn plan_query<G: GraphView>(view: &G, q: &Query) -> Plan {
+    let mut vars = VarTable::default();
+    register_group_vars(&q.where_pattern, &mut vars);
+    register_modifier_vars(q, &mut vars);
+    let mut bound: HashSet<usize> = HashSet::new();
+    Plan {
+        root: plan_group(view, &q.where_pattern, &vars, &mut bound),
+    }
+}
+
+fn plan_group<G: GraphView>(
+    view: &G,
+    group: &GroupPattern,
+    vars: &VarTable,
+    bound: &mut HashSet<usize>,
+) -> GroupPlan {
+    let mut elements = Vec::with_capacity(group.elements.len());
+    for el in &group.elements {
+        let planned = match el {
+            GroupElement::Triples(ts) => ElementPlan::Bgp(plan_bgp(view, ts, vars, bound)),
+            GroupElement::Group(inner) => {
+                // Bindings escape a nested group: plan with, and keep, the
+                // shared bound set.
+                ElementPlan::Group(plan_group(view, inner, vars, bound))
+            }
+            GroupElement::Optional(inner) => {
+                // OPTIONAL may leave its variables unbound, so they do not
+                // count as bound for later estimates.
+                let mut inner_bound = bound.clone();
+                ElementPlan::Optional(plan_group(view, inner, vars, &mut inner_bound))
+            }
+            GroupElement::Minus(inner) => {
+                // MINUS evaluates against a fresh empty binding.
+                let mut inner_bound = HashSet::new();
+                ElementPlan::Minus(plan_group(view, inner, vars, &mut inner_bound))
+            }
+            GroupElement::Union(arms) => {
+                // A variable is bound after the union only when every arm
+                // binds it.
+                let mut arm_plans = Vec::with_capacity(arms.len());
+                let mut common: Option<HashSet<usize>> = None;
+                for arm in arms {
+                    let mut arm_bound = bound.clone();
+                    arm_plans.push(plan_group(view, arm, vars, &mut arm_bound));
+                    common = Some(match common {
+                        None => arm_bound,
+                        Some(c) => c.intersection(&arm_bound).copied().collect(),
+                    });
+                }
+                if let Some(c) = common {
+                    bound.extend(c);
+                }
+                ElementPlan::Union(arm_plans)
+            }
+            GroupElement::Bind(_, v) => {
+                if let Some(slot) = vars.get(v) {
+                    bound.insert(slot);
+                }
+                ElementPlan::Leaf
+            }
+            GroupElement::Values(vb) => {
+                for v in &vb.vars {
+                    if let Some(slot) = vars.get(v) {
+                        bound.insert(slot);
+                    }
+                }
+                ElementPlan::Leaf
+            }
+            GroupElement::Filter(_) => ElementPlan::Leaf,
+        };
+        elements.push(planned);
+    }
+    GroupPlan { elements }
+}
+
+fn plan_bgp<G: GraphView>(
+    view: &G,
+    patterns: &[TriplePattern],
+    vars: &VarTable,
+    bound: &mut HashSet<usize>,
+) -> BgpPlan {
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut steps = Vec::with_capacity(patterns.len());
+    while !remaining.is_empty() {
+        // Minimum estimated cardinality wins; a strictly-smaller test
+        // keeps the first minimum, so ties preserve author order.
+        let mut best = 0;
+        let mut best_est = f64::INFINITY;
+        let mut best_index = IndexChoice::Full;
+        for (i, &pi) in remaining.iter().enumerate() {
+            let (est, index) = estimate(view, &patterns[pi], vars, bound);
+            if est < best_est {
+                best = i;
+                best_est = est;
+                best_index = index;
+            }
+        }
+        let pi = remaining.remove(best);
+        let tp = &patterns[pi];
+        let hash_join = hash_join_worthwhile(view, tp, vars, bound);
+        for slot in pattern_var_slots(tp, vars) {
+            bound.insert(slot);
+        }
+        steps.push(PlanStep {
+            pattern: pi,
+            est_rows: best_est,
+            index: best_index,
+            hash_join,
+        });
+    }
+    BgpPlan { steps }
+}
+
+/// Variable/blank slots this pattern can bind.
+fn pattern_var_slots(tp: &TriplePattern, vars: &VarTable) -> Vec<usize> {
+    let mut out = Vec::new();
+    for t in [&tp.subject, &tp.object] {
+        match t {
+            TermPattern::Var(v) => out.extend(vars.get(v)),
+            TermPattern::Blank(l) => out.extend(vars.get(&format!("_:{l}"))),
+            _ => {}
+        }
+    }
+    if let Path::Var(v) = &tp.path {
+        out.extend(vars.get(v));
+    }
+    out
+}
+
+/// Ground terms count as bound; variables and blank labels only when
+/// their slot is in the bound set.
+fn term_bound(tp: &TermPattern, vars: &VarTable, bound: &HashSet<usize>) -> bool {
+    match tp {
+        TermPattern::Var(v) => vars.get(v).is_some_and(|s| bound.contains(&s)),
+        TermPattern::Blank(l) => vars
+            .get(&format!("_:{l}"))
+            .is_some_and(|s| bound.contains(&s)),
+        _ => true,
+    }
+}
+
+/// Estimated matching triples for `tp` given what is bound, and the
+/// access path the evaluator's dispatch will take for that boundness.
+fn estimate<G: GraphView>(
+    view: &G,
+    tp: &TriplePattern,
+    vars: &VarTable,
+    bound: &HashSet<usize>,
+) -> (f64, IndexChoice) {
+    let s_bound = term_bound(&tp.subject, vars, bound);
+    let o_bound = term_bound(&tp.object, vars, bound);
+    let total = view.len() as f64;
+    match &tp.path {
+        Path::Iri(p) => {
+            let Some(pid) = view.lookup_iri(p) else {
+                // Unknown predicate: matches nothing, run it first.
+                return (0.0, IndexChoice::Pos);
+            };
+            let ps = view.predicate_stats(pid);
+            let triples = ps.triples as f64;
+            let ds = ps.distinct_subjects.max(1) as f64;
+            let dout = ps.distinct_objects.max(1) as f64;
+            match (s_bound, o_bound) {
+                (true, true) => ((triples / (ds * dout)).min(1.0), IndexChoice::Spo),
+                (true, false) => (triples / ds, IndexChoice::Spo),
+                (false, true) => {
+                    // `?x rdf:type <C>` has an exact maintained count.
+                    if view.lookup_iri(rdf::TYPE) == Some(pid) {
+                        if let TermPattern::Iri(class) = &tp.object {
+                            let n = match view.lookup_iri(class) {
+                                Some(cid) => view.class_instance_count(cid) as f64,
+                                None => 0.0,
+                            };
+                            return (n, IndexChoice::Pos);
+                        }
+                    }
+                    (triples / dout, IndexChoice::Pos)
+                }
+                (false, false) => (triples, IndexChoice::Pos),
+            }
+        }
+        Path::Var(v) => {
+            // Unknown predicate distribution: decay the total per bound
+            // position rather than pretending to exact counts.
+            let p_bound = vars.get(v).is_some_and(|s| bound.contains(&s));
+            let mut est = total;
+            for b in [s_bound, p_bound, o_bound] {
+                if b {
+                    est = est.sqrt();
+                }
+            }
+            let index = if s_bound {
+                IndexChoice::Spo
+            } else if o_bound {
+                IndexChoice::Osp
+            } else {
+                IndexChoice::Full
+            };
+            (est.max(1.0), index)
+        }
+        _ => {
+            // Complex paths run closure loops; without endpoint anchors
+            // they can touch every node, so order them last.
+            let est = if s_bound || o_bound {
+                total
+            } else {
+                total * 4.0
+            };
+            (est + 1.0, IndexChoice::Path)
+        }
+    }
+}
+
+/// A hash join pays off when the pattern joins on at least one
+/// already-bound variable endpoint and the build-side scan (predicate
+/// plus ground endpoint constants) is big enough to amortize the table.
+fn hash_join_worthwhile<G: GraphView>(
+    view: &G,
+    tp: &TriplePattern,
+    vars: &VarTable,
+    bound: &HashSet<usize>,
+) -> bool {
+    let Path::Iri(p) = &tp.path else {
+        return false;
+    };
+    let is_var = |t: &TermPattern| matches!(t, TermPattern::Var(_) | TermPattern::Blank(_));
+    let s_join = is_var(&tp.subject) && term_bound(&tp.subject, vars, bound);
+    let o_join = is_var(&tp.object) && term_bound(&tp.object, vars, bound);
+    if !s_join && !o_join {
+        return false;
+    }
+    let Some(pid) = view.lookup_iri(p) else {
+        return false;
+    };
+    let ps = view.predicate_stats(pid);
+    let triples = ps.triples as f64;
+    // Ground (non-variable) endpoints shrink the build scan.
+    let scan = match (is_var(&tp.subject), is_var(&tp.object)) {
+        (true, true) => triples,
+        (false, true) => triples / ps.distinct_subjects.max(1) as f64,
+        (true, false) => triples / ps.distinct_objects.max(1) as f64,
+        (false, false) => 1.0,
+    };
+    scan >= HASH_JOIN_BUILD_MIN
+}
+
+// ---- rendering -----------------------------------------------------------
+
+impl Plan {
+    /// Human-readable plan: the group tree with each BGP's join order,
+    /// index choice, estimate, and hash-join placement. `q` must be the
+    /// query this plan was compiled from.
+    pub fn render(&self, q: &Query, planner: Planner) -> String {
+        let mut out = format!("plan planner={}\n", planner.name());
+        render_group(&mut out, &q.where_pattern, &self.root, 0);
+        out
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_group(out: &mut String, group: &GroupPattern, plan: &GroupPlan, depth: usize) {
+    for (i, el) in group.elements.iter().enumerate() {
+        let sub = plan.elements.get(i);
+        match (el, sub) {
+            (GroupElement::Triples(ts), Some(ElementPlan::Bgp(bp))) => {
+                indent(out, depth);
+                out.push_str("bgp\n");
+                for (order, step) in bp.steps.iter().enumerate() {
+                    indent(out, depth + 1);
+                    let pattern = ts
+                        .get(step.pattern)
+                        .map(fmt_pattern)
+                        .unwrap_or_else(|| "<pattern out of range>".to_string());
+                    let join = if step.hash_join { " join=hash" } else { "" };
+                    let _ = writeln!(
+                        out,
+                        "{}. {}  [idx={} est={:.1}{}]",
+                        order + 1,
+                        pattern,
+                        step.index.name(),
+                        step.est_rows,
+                        join
+                    );
+                }
+            }
+            (GroupElement::Group(g), Some(ElementPlan::Group(gp))) => {
+                indent(out, depth);
+                out.push_str("group\n");
+                render_group(out, g, gp, depth + 1);
+            }
+            (GroupElement::Optional(g), Some(ElementPlan::Optional(gp))) => {
+                indent(out, depth);
+                out.push_str("optional\n");
+                render_group(out, g, gp, depth + 1);
+            }
+            (GroupElement::Minus(g), Some(ElementPlan::Minus(gp))) => {
+                indent(out, depth);
+                out.push_str("minus\n");
+                render_group(out, g, gp, depth + 1);
+            }
+            (GroupElement::Union(arms), Some(ElementPlan::Union(arm_plans))) => {
+                indent(out, depth);
+                out.push_str("union\n");
+                for (arm, arm_plan) in arms.iter().zip(arm_plans.iter()) {
+                    indent(out, depth + 1);
+                    out.push_str("arm\n");
+                    render_group(out, arm, arm_plan, depth + 2);
+                }
+            }
+            (GroupElement::Filter(_), _) => {
+                indent(out, depth);
+                out.push_str("filter\n");
+            }
+            (GroupElement::Bind(_, v), _) => {
+                indent(out, depth);
+                let _ = writeln!(out, "bind ?{v}");
+            }
+            (GroupElement::Values(vb), _) => {
+                indent(out, depth);
+                let _ = writeln!(out, "values ({} rows)", vb.rows.len());
+            }
+            (_, _) => {
+                indent(out, depth);
+                out.push_str("<plan/query shape mismatch>\n");
+            }
+        }
+    }
+}
+
+fn fmt_pattern(tp: &TriplePattern) -> String {
+    format!(
+        "{} {} {}",
+        fmt_term(&tp.subject),
+        fmt_path(&tp.path),
+        fmt_term(&tp.object)
+    )
+}
+
+fn fmt_term(tp: &TermPattern) -> String {
+    match tp {
+        TermPattern::Var(v) => format!("?{v}"),
+        TermPattern::Blank(l) => format!("_:{l}"),
+        TermPattern::Iri(i) => format!("<{i}>"),
+        TermPattern::Literal(l) => fmt_literal(l),
+    }
+}
+
+fn fmt_literal(l: &LiteralPattern) -> String {
+    match (&l.language, &l.datatype) {
+        (Some(lang), _) => format!("{:?}@{lang}", l.lexical),
+        (None, Some(dt)) => format!("{:?}^^<{dt}>", l.lexical),
+        (None, None) => format!("{:?}", l.lexical),
+    }
+}
+
+fn fmt_path(p: &Path) -> String {
+    match p {
+        Path::Iri(i) => format!("<{i}>"),
+        Path::Var(v) => format!("?{v}"),
+        Path::Inverse(inner) => format!("^({})", fmt_path(inner)),
+        Path::Sequence(a, b) => format!("({}/{})", fmt_path(a), fmt_path(b)),
+        Path::Alternative(a, b) => format!("({}|{})", fmt_path(a), fmt_path(b)),
+        Path::ZeroOrMore(inner) => format!("({})*", fmt_path(inner)),
+        Path::OneOrMore(inner) => format!("({})+", fmt_path(inner)),
+        Path::ZeroOrOne(inner) => format!("({})?", fmt_path(inner)),
+        Path::Negated(members) => {
+            let parts: Vec<String> = members
+                .iter()
+                .map(|(iri, inv)| {
+                    if *inv {
+                        format!("^<{iri}>")
+                    } else {
+                        format!("<{iri}>")
+                    }
+                })
+                .collect();
+            format!("!({})", parts.join("|"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use feo_rdf::Graph;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        // 1 selective predicate, 1 broad predicate, rdf:type triples.
+        for i in 0..20 {
+            g.insert_iris(
+                &format!("http://e/r{i}"),
+                "http://e/broad",
+                &format!("http://e/v{}", i % 10),
+            );
+        }
+        g.insert_iris("http://e/r0", "http://e/narrow", "http://e/only");
+        for i in 0..5 {
+            g.insert_iris(&format!("http://e/r{i}"), rdf::TYPE, "http://e/SmallClass");
+        }
+        g
+    }
+
+    fn plan_for(g: &Graph, text: &str) -> (Query, Plan) {
+        let q = parse_query(text).expect("test query parses");
+        let plan = plan_query(&g, &q);
+        (q, plan)
+    }
+
+    #[test]
+    fn selective_pattern_ordered_first() {
+        let g = sample_graph();
+        let (_, plan) = plan_for(
+            &g,
+            "SELECT * WHERE { ?r <http://e/broad> ?v . ?r <http://e/narrow> ?o }",
+        );
+        let ElementPlan::Bgp(bp) = &plan.root.elements[0] else {
+            panic!("expected BGP plan");
+        };
+        // narrow (1 triple) runs before broad (20 triples).
+        assert_eq!(bp.steps[0].pattern, 1);
+        assert_eq!(bp.steps[1].pattern, 0);
+        // After ?r binds, broad is estimated per-subject, not total.
+        assert!(bp.steps[1].est_rows < 20.0);
+    }
+
+    #[test]
+    fn rdf_type_uses_exact_class_count() {
+        let g = sample_graph();
+        let (_, plan) = plan_for(
+            &g,
+            "SELECT * WHERE { ?r <http://e/broad> ?v . \
+             ?r a <http://e/SmallClass> }",
+        );
+        let ElementPlan::Bgp(bp) = &plan.root.elements[0] else {
+            panic!("expected BGP plan");
+        };
+        assert_eq!(bp.steps[0].pattern, 1, "class pattern first");
+        assert_eq!(bp.steps[0].est_rows, 5.0, "exact instance count");
+        assert_eq!(bp.steps[0].index, IndexChoice::Pos);
+    }
+
+    #[test]
+    fn ties_keep_author_order() {
+        let g = sample_graph();
+        let (_, plan) = plan_for(
+            &g,
+            "SELECT * WHERE { ?a <http://e/broad> ?b . ?c <http://e/broad> ?d }",
+        );
+        let ElementPlan::Bgp(bp) = &plan.root.elements[0] else {
+            panic!("expected BGP plan");
+        };
+        assert_eq!(bp.steps[0].pattern, 0);
+        assert_eq!(bp.steps[1].pattern, 1);
+    }
+
+    #[test]
+    fn unknown_predicate_runs_first() {
+        let g = sample_graph();
+        let (_, plan) = plan_for(
+            &g,
+            "SELECT * WHERE { ?r <http://e/broad> ?v . ?r <http://e/absent> ?x }",
+        );
+        let ElementPlan::Bgp(bp) = &plan.root.elements[0] else {
+            panic!("expected BGP plan");
+        };
+        assert_eq!(bp.steps[0].pattern, 1);
+        assert_eq!(bp.steps[0].est_rows, 0.0);
+    }
+
+    #[test]
+    fn complex_path_ordered_last() {
+        let g = sample_graph();
+        let (_, plan) = plan_for(
+            &g,
+            "SELECT * WHERE { ?a <http://e/broad>+ ?b . ?c <http://e/narrow> ?d }",
+        );
+        let ElementPlan::Bgp(bp) = &plan.root.elements[0] else {
+            panic!("expected BGP plan");
+        };
+        assert_eq!(bp.steps[0].pattern, 1);
+        assert_eq!(bp.steps[1].index, IndexChoice::Path);
+    }
+
+    #[test]
+    fn hash_join_marked_on_large_bound_scan() {
+        let mut g = Graph::new();
+        for i in 0..200 {
+            g.insert_iris(
+                &format!("http://e/s{i}"),
+                "http://e/link",
+                &format!("http://e/t{}", i % 50),
+            );
+            g.insert_iris(&format!("http://e/s{i}"), "http://e/tag", "http://e/x");
+        }
+        let (_, plan) = plan_for(
+            &g,
+            "SELECT * WHERE { ?s <http://e/tag> <http://e/x> . ?s <http://e/link> ?t }",
+        );
+        let ElementPlan::Bgp(bp) = &plan.root.elements[0] else {
+            panic!("expected BGP plan");
+        };
+        // Second step joins ?s against a 200-triple scan: hash join.
+        let second = &bp.steps[1];
+        assert_eq!(second.pattern, 1);
+        assert!(second.hash_join, "large bound scan should hash: {plan:?}");
+        // First step has no bound variable yet: no hash join.
+        assert!(!bp.steps[0].hash_join);
+    }
+
+    #[test]
+    fn render_lists_steps_in_execution_order() {
+        let g = sample_graph();
+        let (q, plan) = plan_for(
+            &g,
+            "SELECT * WHERE { ?r <http://e/broad> ?v . ?r <http://e/narrow> ?o . \
+             FILTER (?v != ?o) }",
+        );
+        let text = plan.render(&q, Planner::CostBased);
+        assert!(text.starts_with("plan planner=cost-based"), "{text}");
+        let narrow = text.find("narrow").expect("narrow rendered");
+        let broad = text.find("broad").expect("broad rendered");
+        assert!(narrow < broad, "narrow first:\n{text}");
+        assert!(text.contains("filter"), "{text}");
+        assert!(text.contains("idx="), "{text}");
+    }
+
+    #[test]
+    fn plan_mirrors_group_tree() {
+        let g = sample_graph();
+        let (_, plan) = plan_for(
+            &g,
+            "SELECT * WHERE { ?r <http://e/broad> ?v \
+             OPTIONAL { ?r <http://e/narrow> ?o } \
+             { ?x <http://e/broad> ?y } \
+             MINUS { ?r a <http://e/SmallClass> } }",
+        );
+        assert_eq!(plan.root.elements.len(), 4);
+        assert!(matches!(plan.root.elements[0], ElementPlan::Bgp(_)));
+        assert!(matches!(plan.root.elements[1], ElementPlan::Optional(_)));
+        assert!(matches!(plan.root.elements[2], ElementPlan::Group(_)));
+        assert!(matches!(plan.root.elements[3], ElementPlan::Minus(_)));
+    }
+}

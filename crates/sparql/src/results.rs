@@ -15,8 +15,12 @@ pub enum QueryResult {
     Solutions(SolutionTable),
     /// ASK result.
     Boolean(bool),
-    /// CONSTRUCT result.
-    Graph(feo_rdf::Graph),
+    /// CONSTRUCT result (boxed: a `Graph` with its statistics dwarfs the
+    /// other variants).
+    Graph(Box<feo_rdf::Graph>),
+    /// Rendered query plan — returned instead of executing when
+    /// [`crate::QueryOptions::explain`] is set.
+    Plan(String),
 }
 
 impl QueryResult {
@@ -37,7 +41,7 @@ impl QueryResult {
 
     pub fn expect_graph(self) -> feo_rdf::Graph {
         match self {
-            QueryResult::Graph(g) => g,
+            QueryResult::Graph(g) => *g,
             other => panic!("expected CONSTRUCT graph, got {other:?}"),
         }
     }

@@ -11,14 +11,18 @@ use feo_sparql::{query, SolutionTable};
 fn graph(src: &str) -> Graph {
     let mut g = Graph::new();
     let prefixed = format!("@prefix e: <http://e/> .\n{src}");
-    parse_turtle_into(&prefixed, &mut g).expect("fixture parses");
+    parse_turtle_into(&prefixed, &mut g, &Default::default()).expect("fixture parses");
     g
 }
 
 fn select(g: &mut Graph, q: &str) -> SolutionTable {
-    query(g, &format!("PREFIX e: <http://e/>\n{q}"))
-        .expect("query evaluates")
-        .expect_solutions()
+    query(
+        g,
+        &format!("PREFIX e: <http://e/>\n{q}"),
+        &Default::default(),
+    )
+    .expect("query evaluates")
+    .expect_solutions()
 }
 
 #[test]
@@ -60,6 +64,7 @@ fn construct_with_blank_template_mints_per_row() {
     let out = query(
         &mut g,
         "PREFIX e: <http://e/> CONSTRUCT { ?s e:via [ e:to ?o ] } WHERE { ?s e:p ?o }",
+        &Default::default(),
     )
     .unwrap()
     .expect_graph();
@@ -140,15 +145,27 @@ fn negated_property_set_with_inverse() {
 #[test]
 fn zero_or_more_with_both_ends_bound() {
     let g = graph("e:a e:p e:b . e:b e:p e:c .");
-    assert!(query(&g, "PREFIX e: <http://e/> ASK { e:a (e:p*) e:c }")
-        .unwrap()
-        .expect_boolean());
-    assert!(query(&g, "PREFIX e: <http://e/> ASK { e:a (e:p*) e:a }")
-        .unwrap()
-        .expect_boolean());
-    assert!(!query(&g, "PREFIX e: <http://e/> ASK { e:c (e:p+) e:a }")
-        .unwrap()
-        .expect_boolean());
+    assert!(query(
+        &g,
+        "PREFIX e: <http://e/> ASK { e:a (e:p*) e:c }",
+        &Default::default()
+    )
+    .unwrap()
+    .expect_boolean());
+    assert!(query(
+        &g,
+        "PREFIX e: <http://e/> ASK { e:a (e:p*) e:a }",
+        &Default::default()
+    )
+    .unwrap()
+    .expect_boolean());
+    assert!(!query(
+        &g,
+        "PREFIX e: <http://e/> ASK { e:c (e:p+) e:a }",
+        &Default::default()
+    )
+    .unwrap()
+    .expect_boolean());
 }
 
 #[test]

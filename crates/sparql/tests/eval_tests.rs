@@ -10,7 +10,7 @@ fn graph(src: &str) -> Graph {
     let prefixed = format!(
         "@prefix e: <http://e/> .\n@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n{src}"
     );
-    parse_turtle_into(&prefixed, &mut g).expect("fixture turtle parses");
+    parse_turtle_into(&prefixed, &mut g, &Default::default()).expect("fixture turtle parses");
     g
 }
 
@@ -18,7 +18,9 @@ fn select(g: &mut Graph, q: &str) -> SolutionTable {
     let full = format!(
         "PREFIX e: <http://e/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\nPREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n{q}"
     );
-    query(g, &full).expect("query evaluates").expect_solutions()
+    query(g, &full, &Default::default())
+        .expect("query evaluates")
+        .expect_solutions()
 }
 
 fn food_graph() -> Graph {
@@ -281,16 +283,20 @@ fn negated_property_set() {
 #[test]
 fn ask_queries() {
     let g = food_graph();
-    assert!(
-        query(&g, "PREFIX e: <http://e/> ASK { e:curry a e:Recipe }")
-            .unwrap()
-            .expect_boolean()
-    );
-    assert!(
-        !query(&g, "PREFIX e: <http://e/> ASK { e:curry a e:Vegetable }")
-            .unwrap()
-            .expect_boolean()
-    );
+    assert!(query(
+        &g,
+        "PREFIX e: <http://e/> ASK { e:curry a e:Recipe }",
+        &Default::default()
+    )
+    .unwrap()
+    .expect_boolean());
+    assert!(!query(
+        &g,
+        "PREFIX e: <http://e/> ASK { e:curry a e:Vegetable }",
+        &Default::default()
+    )
+    .unwrap()
+    .expect_boolean());
 }
 
 #[test]
@@ -299,6 +305,7 @@ fn construct_builds_graph() {
     let out = query(
         &mut g,
         "PREFIX e: <http://e/> CONSTRUCT { ?v e:inSeason ?s } WHERE { ?v e:availableIn ?s }",
+        &Default::default(),
     )
     .unwrap()
     .expect_graph();
@@ -532,6 +539,7 @@ fn query_result_accessors() {
     let r = query(
         &g,
         "PREFIX e: <http://e/> SELECT ?r WHERE { ?r a e:Recipe }",
+        &Default::default(),
     )
     .unwrap();
     assert!(matches!(r, QueryResult::Solutions(_)));

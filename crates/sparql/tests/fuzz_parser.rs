@@ -47,6 +47,6 @@ proptest! {
             "SELECT ?s WHERE {{ ?s <http://e/p> ?o . FILTER (STRLEN(STR(?s)) {} {n}) }}",
             ops[cmp]
         );
-        let _ = feo_sparql::query(&g, &q);
+        let _ = feo_sparql::query(&g, &q, &Default::default());
     }
 }

@@ -8,12 +8,12 @@ use std::time::Duration;
 use feo_rdf::governor::{Budget, CancelFlag, Guard, Resource};
 use feo_rdf::turtle::parse_turtle_into;
 use feo_rdf::Graph;
-use feo_sparql::{query, query_guarded, SparqlError};
+use feo_sparql::{query, QueryOptions, SparqlError};
 
 fn graph(src: &str) -> Graph {
     let mut g = Graph::new();
     let prefixed = format!("@prefix e: <http://e/> .\n{src}");
-    parse_turtle_into(&prefixed, &mut g).expect("fixture turtle parses");
+    parse_turtle_into(&prefixed, &mut g, &Default::default()).expect("fixture turtle parses");
     g
 }
 
@@ -36,7 +36,12 @@ fn expect_exhausted(err: SparqlError, resource: Resource) {
 fn input_cap_rejects_oversized_query_text() {
     let g = graph("e:a e:p e:b .");
     let guard = Budget::new().with_max_input_bytes(10).start();
-    let err = query_guarded(&g, "SELECT ?s WHERE { ?s ?p ?o }", &guard).unwrap_err();
+    let err = query(
+        &g,
+        "SELECT ?s WHERE { ?s ?p ?o }",
+        &QueryOptions::guarded(&guard),
+    )
+    .unwrap_err();
     expect_exhausted(err, Resource::InputSize);
 }
 
@@ -46,10 +51,10 @@ fn solution_budget_trips_on_cross_product() {
     // the 20-row budget.
     let g = chain_graph(8);
     let guard = Budget::new().with_max_solutions(20).start();
-    let err = query_guarded(
+    let err = query(
         &g,
         "SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f }",
-        &guard,
+        &QueryOptions::guarded(&guard),
     )
     .unwrap_err();
     expect_exhausted(err, Resource::Solutions);
@@ -60,9 +65,13 @@ fn solution_budget_trips_on_cross_product() {
 fn solution_budget_with_headroom_matches_unguarded() {
     let g = chain_graph(8);
     let q = "PREFIX e: <http://e/> SELECT ?a ?b WHERE { ?a e:p ?b }";
-    let unguarded = query(&g, q).unwrap().expect_solutions();
+    let unguarded = query(&g, q, &Default::default())
+        .unwrap()
+        .expect_solutions();
     let guard = Budget::new().with_max_solutions(1_000).start();
-    let guarded = query_guarded(&g, q, &guard).unwrap().expect_solutions();
+    let guarded = query(&g, q, &QueryOptions::guarded(&guard))
+        .unwrap()
+        .expect_solutions();
     assert_eq!(unguarded.len(), guarded.len());
 }
 
@@ -70,8 +79,10 @@ fn solution_budget_with_headroom_matches_unguarded() {
 fn unlimited_guard_is_transparent() {
     let g = chain_graph(8);
     let q = "PREFIX e: <http://e/> SELECT ?a WHERE { ?a e:p+ ?b } ORDER BY ?a";
-    let unguarded = query(&g, q).unwrap().expect_solutions();
-    let guarded = query_guarded(&g, q, &Guard::default())
+    let unguarded = query(&g, q, &Default::default())
+        .unwrap()
+        .expect_solutions();
+    let guarded = query(&g, q, &QueryOptions::guarded(&Guard::default()))
         .unwrap()
         .expect_solutions();
     assert_eq!(unguarded.local_rows(), guarded.local_rows());
@@ -83,7 +94,12 @@ fn cancellation_stops_evaluation() {
     let flag = CancelFlag::new();
     flag.cancel();
     let guard = Budget::new().with_cancel(flag).start();
-    let err = query_guarded(&g, "SELECT ?s WHERE { ?s ?p ?o }", &guard).unwrap_err();
+    let err = query(
+        &g,
+        "SELECT ?s WHERE { ?s ?p ?o }",
+        &QueryOptions::guarded(&guard),
+    )
+    .unwrap_err();
     expect_exhausted(err, Resource::Cancelled);
 }
 
@@ -94,10 +110,10 @@ fn expired_deadline_stops_path_closure() {
     let g = chain_graph(400);
     let guard = Budget::new().with_deadline(Duration::ZERO).start();
     std::thread::sleep(Duration::from_millis(2));
-    let err = query_guarded(
+    let err = query(
         &g,
         "PREFIX e: <http://e/> SELECT ?a ?b WHERE { ?a e:p+ ?b }",
-        &guard,
+        &QueryOptions::guarded(&guard),
     )
     .unwrap_err();
     expect_exhausted(err, Resource::WallClock);
@@ -107,7 +123,7 @@ fn expired_deadline_stops_path_closure() {
 fn syntax_errors_stay_typed_under_guard() {
     let g = graph("e:a e:p e:b .");
     let guard = Guard::default();
-    let err = query_guarded(&g, "SELECT WHERE {", &guard).unwrap_err();
+    let err = query(&g, "SELECT WHERE {", &QueryOptions::guarded(&guard)).unwrap_err();
     assert!(matches!(err, SparqlError::Parse { .. }), "{err:?}");
 }
 
@@ -119,6 +135,7 @@ fn values_query_still_evaluates() {
     let t = query(
         &g,
         "PREFIX e: <http://e/> SELECT ?s ?o WHERE { VALUES ?s { e:a e:c } ?s e:p ?o }",
+        &Default::default(),
     )
     .unwrap()
     .expect_solutions();
@@ -131,6 +148,7 @@ fn select_expression_and_aggregate_projection_still_evaluate() {
     let t = query(
         &g,
         "PREFIX e: <http://e/> SELECT (SUM(?n) AS ?total) WHERE { ?s e:v ?n }",
+        &Default::default(),
     )
     .unwrap()
     .expect_solutions();
@@ -138,6 +156,7 @@ fn select_expression_and_aggregate_projection_still_evaluate() {
     let t = query(
         &g,
         "PREFIX e: <http://e/> SELECT (1 + 2 AS ?three) WHERE { }",
+        &Default::default(),
     )
     .unwrap()
     .expect_solutions();
@@ -150,6 +169,7 @@ fn bgp_reorder_handles_single_and_many_patterns() {
     let t = query(
         &g,
         "PREFIX e: <http://e/> SELECT ?x ?z WHERE { ?x e:p ?y . ?y e:q ?z }",
+        &Default::default(),
     )
     .unwrap()
     .expect_solutions();
@@ -161,7 +181,12 @@ fn literal_expression_parse_errors_are_positioned() {
     // Any parse failure inside an expression must be a positioned error,
     // never a panic.
     let g = graph("e:a e:p e:b .");
-    let err = query(&g, "SELECT ?s WHERE { ?s ?p ?o FILTER(?o = ) }").unwrap_err();
+    let err = query(
+        &g,
+        "SELECT ?s WHERE { ?s ?p ?o FILTER(?o = ) }",
+        &Default::default(),
+    )
+    .unwrap_err();
     match err {
         SparqlError::Parse { line, column, .. } => {
             assert!(line >= 1 && column >= 1);

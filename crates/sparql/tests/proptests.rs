@@ -41,9 +41,9 @@ proptest! {
 
     #[test]
     fn distinct_is_idempotent_and_dedupes(g in arb_graph()) {
-        let all = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
+        let all = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }", &Default::default())
             .unwrap().expect_solutions();
-        let distinct = query(&g, "SELECT DISTINCT ?s ?o WHERE { ?s <http://t/p> ?o }")
+        let distinct = query(&g, "SELECT DISTINCT ?s ?o WHERE { ?s <http://t/p> ?o }", &Default::default())
             .unwrap().expect_solutions();
         // Distinct result is a set.
         let d = rows_sorted(&distinct);
@@ -58,11 +58,11 @@ proptest! {
 
     #[test]
     fn limit_offset_slice(g in arb_graph(), limit in 0usize..10, offset in 0usize..10) {
-        let base = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o } ORDER BY ?s ?o")
+        let base = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o } ORDER BY ?s ?o", &Default::default())
             .unwrap().expect_solutions();
         let sliced = query(&g, &format!(
             "SELECT ?s ?o WHERE {{ ?s <http://t/p> ?o }} ORDER BY ?s ?o LIMIT {limit} OFFSET {offset}"
-        )).unwrap().expect_solutions();
+        ), &Default::default()).unwrap().expect_solutions();
         let expected: Vec<_> = base.rows.iter().skip(offset).take(limit).cloned().collect();
         prop_assert_eq!(sliced.rows, expected);
     }
@@ -70,22 +70,24 @@ proptest! {
     #[test]
     fn union_is_commutative_as_multiset(g in arb_graph()) {
         let ab = query(&g,
-            "SELECT ?s ?o WHERE { { ?s <http://t/p> ?o } UNION { ?s <http://t/q> ?o } }")
+            "SELECT ?s ?o WHERE { { ?s <http://t/p> ?o } UNION { ?s <http://t/q> ?o } }",
+            &Default::default())
             .unwrap().expect_solutions();
         let ba = query(&g,
-            "SELECT ?s ?o WHERE { { ?s <http://t/q> ?o } UNION { ?s <http://t/p> ?o } }")
+            "SELECT ?s ?o WHERE { { ?s <http://t/q> ?o } UNION { ?s <http://t/p> ?o } }",
+            &Default::default())
             .unwrap().expect_solutions();
         prop_assert_eq!(rows_sorted(&ab), rows_sorted(&ba));
     }
 
     #[test]
     fn filter_true_is_identity(g in arb_graph()) {
-        let plain = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
+        let plain = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }", &Default::default())
             .unwrap().expect_solutions();
-        let filtered = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o . FILTER (1 = 1) }")
+        let filtered = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o . FILTER (1 = 1) }", &Default::default())
             .unwrap().expect_solutions();
         prop_assert_eq!(rows_sorted(&plain), rows_sorted(&filtered));
-        let none = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o . FILTER (1 = 2) }")
+        let none = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o . FILTER (1 = 2) }", &Default::default())
             .unwrap().expect_solutions();
         prop_assert!(none.is_empty());
     }
@@ -94,9 +96,9 @@ proptest! {
     fn path_plus_equals_path_star_minus_zero_length(g in arb_graph()) {
         // p+ from a fixed start = p* minus the zero-length pair when the
         // start has no self-loop derivation.
-        let plus = query(&g, "SELECT ?x WHERE { <http://t/n0> (<http://t/p>+) ?x }")
+        let plus = query(&g, "SELECT ?x WHERE { <http://t/n0> (<http://t/p>+) ?x }", &Default::default())
             .unwrap().expect_solutions();
-        let star = query(&g, "SELECT ?x WHERE { <http://t/n0> (<http://t/p>*) ?x }")
+        let star = query(&g, "SELECT ?x WHERE { <http://t/n0> (<http://t/p>*) ?x }", &Default::default())
             .unwrap().expect_solutions();
         let plus_set: std::collections::BTreeSet<_> = rows_sorted(&plus).into_iter().collect();
         let star_set: std::collections::BTreeSet<_> = rows_sorted(&star).into_iter().collect();
@@ -110,28 +112,30 @@ proptest! {
     #[test]
     fn path_sequence_equals_join(g in arb_graph()) {
         let path = query(&g,
-            "SELECT ?s ?o WHERE { ?s (<http://t/p>/<http://t/q>) ?o }")
+            "SELECT ?s ?o WHERE { ?s (<http://t/p>/<http://t/q>) ?o }",
+            &Default::default())
             .unwrap().expect_solutions();
         let join = query(&g,
-            "SELECT DISTINCT ?s ?o WHERE { ?s <http://t/p> ?m . ?m <http://t/q> ?o }")
+            "SELECT DISTINCT ?s ?o WHERE { ?s <http://t/p> ?m . ?m <http://t/q> ?o }",
+            &Default::default())
             .unwrap().expect_solutions();
         prop_assert_eq!(rows_sorted(&path), rows_sorted(&join));
     }
 
     #[test]
     fn ask_agrees_with_select(g in arb_graph()) {
-        let any = query(&g, "SELECT ?s WHERE { ?s <http://t/p> ?o } LIMIT 1")
+        let any = query(&g, "SELECT ?s WHERE { ?s <http://t/p> ?o } LIMIT 1", &Default::default())
             .unwrap().expect_solutions();
-        let ask = query(&g, "ASK { ?s <http://t/p> ?o }")
+        let ask = query(&g, "ASK { ?s <http://t/p> ?o }", &Default::default())
             .unwrap().expect_boolean();
         prop_assert_eq!(ask, !any.is_empty());
     }
 
     #[test]
     fn count_matches_row_count(g in arb_graph()) {
-        let rows = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }")
+        let rows = query(&g, "SELECT ?s ?o WHERE { ?s <http://t/p> ?o }", &Default::default())
             .unwrap().expect_solutions();
-        let counted = query(&g, "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://t/p> ?o }")
+        let counted = query(&g, "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://t/p> ?o }", &Default::default())
             .unwrap().expect_solutions();
         let n: i64 = counted.get(0, "n")
             .and_then(|t| t.as_literal())

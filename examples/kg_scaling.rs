@@ -38,12 +38,16 @@ fn main() {
         let base = g.len();
 
         let t0 = Instant::now();
-        let result = Reasoner::new().materialize(&mut g);
+        let result = Reasoner::new()
+            .materialize(&mut g, &Default::default())
+            .expect("materialize");
         let mat_ms = t0.elapsed().as_millis();
 
         let q = queries::contextual_query(&question);
         let t1 = Instant::now();
-        let _table = query(&g, &q).expect("CQ1 runs").expect_solutions();
+        let _table = query(&g, &q, &Default::default())
+            .expect("CQ1 runs")
+            .expect_solutions();
         let q_ms = t1.elapsed().as_millis();
 
         println!(

@@ -7,7 +7,7 @@
 //! feo explain what-if-pregnant [flags]          counterfactual explanation
 //! feo explain steps <Food> [flags]              trace-based explanation
 //! feo proof <Individual> <fact|foil> [flags]    reasoner proof tree
-//! feo query <SPARQL>                            query the materialized graph
+//! feo query <SPARQL> [--explain] [--planner P]  query the materialized graph
 //! feo export [--raw]                            dump the graph as Turtle
 //! feo list                                      list recipes and ingredients
 //!
@@ -20,9 +20,7 @@
 use std::process::exit;
 
 use feo::core::ecosystem::assemble;
-use feo::core::{ExplanationEngine, Hypothesis, Question};
-use feo::foodkg::{curated, Season, SystemContext, UserProfile};
-use feo::owl::Reasoner;
+use feo::prelude::*;
 use feo::recommender::{HealthCoach, Recommender};
 
 fn main() {
@@ -57,7 +55,7 @@ fn usage_and_exit() -> ! {
            feo explain what-if-pregnant [profile flags]\n\
            feo explain steps <Food> [profile flags]\n\
            feo proof <Individual> <fact|foil> [profile flags]\n\
-           feo query <SPARQL string> [profile flags]\n\
+           feo query <SPARQL string> [--explain] [--planner off|greedy|cost-based]\n\
            feo export [--raw] [profile flags]\n\
            feo list\n\
          \n\
@@ -77,6 +75,8 @@ struct Opts {
     ctx: SystemContext,
     top: usize,
     raw: bool,
+    explain: bool,
+    planner: Planner,
     positional: Vec<String>,
 }
 
@@ -86,6 +86,8 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut region: Option<String> = None;
     let mut top = 10usize;
     let mut raw = false;
+    let mut explain = false;
+    let mut planner = Planner::default();
     let mut positional = Vec::new();
     let mut i = 0;
     let list = |v: &str| -> Vec<String> {
@@ -133,6 +135,18 @@ fn parse_opts(args: &[String]) -> Opts {
                 })
             }
             "--raw" => raw = true,
+            "--explain" => explain = true,
+            "--planner" => {
+                planner = match value("--planner").to_ascii_lowercase().as_str() {
+                    "off" => Planner::Off,
+                    "greedy" => Planner::Greedy,
+                    "cost-based" | "cost" => Planner::CostBased,
+                    other => {
+                        eprintln!("unknown planner '{other}' (off | greedy | cost-based)");
+                        exit(2);
+                    }
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag '{other}'");
                 exit(2);
@@ -153,6 +167,8 @@ fn parse_opts(args: &[String]) -> Opts {
         ctx,
         top,
         raw,
+        explain,
+        planner,
         positional,
     }
 }
@@ -282,24 +298,30 @@ fn cmd_proof(args: &[String]) {
 }
 
 fn cmd_query(args: &[String]) {
-    let Some(sparql) = args.first() else {
+    let opts = parse_opts(args);
+    let Some(sparql) = opts.positional.first() else {
         eprintln!("query needs a SPARQL string");
         exit(2);
     };
-    let opts = parse_opts(&args[1..]);
     let mut g = assemble(&curated(), &opts.user, &opts.ctx);
-    Reasoner::new().materialize(&mut g);
+    let _ = Reasoner::new().materialize(&mut g, &Default::default());
     // Prepend the standard prefixes so short queries work out of the box.
     let full = format!("{}{}", feo::ontology::ns::sparql_prologue(), sparql);
-    match feo::sparql::query(&g, &full) {
-        Ok(feo::sparql::QueryResult::Solutions(t)) => print!("{t}"),
-        Ok(feo::sparql::QueryResult::Boolean(b)) => println!("{b}"),
-        Ok(feo::sparql::QueryResult::Graph(g2)) => {
+    let qopts = QueryOptions {
+        guard: None,
+        planner: opts.planner,
+        explain: opts.explain,
+    };
+    match feo::sparql::query(&g, &full, &qopts) {
+        Ok(QueryResult::Solutions(t)) => print!("{t}"),
+        Ok(QueryResult::Boolean(b)) => println!("{b}"),
+        Ok(QueryResult::Graph(g2)) => {
             print!(
                 "{}",
                 feo::rdf::turtle::write_turtle(&g2, feo::ontology::ns::PREFIXES)
             )
         }
+        Ok(QueryResult::Plan(p)) => print!("{p}"),
         Err(e) => {
             eprintln!("{e}");
             exit(1);
@@ -311,7 +333,7 @@ fn cmd_export(args: &[String]) {
     let opts = parse_opts(args);
     let mut g = assemble(&curated(), &opts.user, &opts.ctx);
     if !opts.raw {
-        Reasoner::new().materialize(&mut g);
+        let _ = Reasoner::new().materialize(&mut g, &Default::default());
     }
     print!(
         "{}",

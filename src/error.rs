@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn question_marks_compose_across_layers() {
         fn pipeline() -> Result<(), FeoError> {
-            feo_rdf::turtle::parse_turtle("broken")?;
+            feo_rdf::turtle::parse_turtle("broken", &Default::default())?;
             Ok(())
         }
         let err = pipeline().unwrap_err();

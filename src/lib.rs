@@ -37,3 +37,33 @@ pub use feo_owl as owl;
 pub use feo_rdf as rdf;
 pub use feo_recommender as recommender;
 pub use feo_sparql as sparql;
+
+/// One-stop imports for the common workflow: build an engine, open
+/// sessions, meter them with budgets, and tune query execution.
+///
+/// ```
+/// use feo::prelude::*;
+///
+/// let base = EngineBase::new(
+///     curated(),
+///     UserProfile::new("u"),
+///     SystemContext::new(Season::Autumn),
+/// )?;
+/// let e = base.explain(
+///     &Question::WhyEat { food: "CauliflowerPotatoCurry".into() },
+///     &ExplainOptions::default(),
+/// )?;
+/// assert!(e.answer.contains("current season"));
+/// # Ok::<(), EngineError>(())
+/// ```
+pub mod prelude {
+    pub use crate::core::{
+        EngineBase, EngineError, ExplainOptions, Explanation, ExplanationEngine, Hypothesis,
+        PlanCacheStats, Question, Session,
+    };
+    pub use crate::error::FeoError;
+    pub use crate::foodkg::{curated, Season, SystemContext, UserProfile};
+    pub use crate::owl::{MaterializeOptions, Reasoner};
+    pub use crate::rdf::governor::{Budget, Exhausted, Guard};
+    pub use crate::sparql::{Planner, QueryOptions, QueryResult};
+}

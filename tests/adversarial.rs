@@ -11,11 +11,11 @@ use feo_foodkg::adversarial::{
     closure_blowup_turtle, cyclic_subclass_turtle, deep_transitive_chain_turtle,
     malformed_turtle_corpus,
 };
-use feo_owl::{Reasoner, ReasonerError};
+use feo_owl::{MaterializeOptions, Reasoner, ReasonerError};
 use feo_rdf::governor::{Budget, CancelFlag, Guard, Resource};
-use feo_rdf::turtle::{parse_turtle_guarded, parse_turtle_into};
-use feo_rdf::{Graph, RdfError};
-use feo_sparql::{query_guarded, SparqlError};
+use feo_rdf::turtle::{parse_turtle, parse_turtle_into};
+use feo_rdf::{Graph, ParseOptions, RdfError};
+use feo_sparql::{query, QueryOptions, SparqlError};
 
 /// Generous ceiling for "the governor actually stopped the work": each
 /// case sets a deadline in the tens of milliseconds; a run that takes
@@ -24,7 +24,7 @@ const HARD_CEILING: Duration = Duration::from_secs(20);
 
 fn load(src: &str) -> Graph {
     let mut g = Graph::new();
-    parse_turtle_into(src, &mut g).expect("adversarial fixture parses");
+    parse_turtle_into(src, &mut g, &Default::default()).expect("adversarial fixture parses");
     g
 }
 
@@ -32,7 +32,12 @@ fn load(src: &str) -> Graph {
 fn malformed_turtle_yields_typed_positioned_errors() {
     let guard = Guard::default();
     for doc in malformed_turtle_corpus() {
-        match parse_turtle_guarded(doc, &guard) {
+        match parse_turtle(
+            doc,
+            &ParseOptions {
+                guard: Some(&guard),
+            },
+        ) {
             Err(RdfError::Syntax(e)) => {
                 assert!(e.line >= 1 && e.column >= 1, "position for {doc:?}");
             }
@@ -48,7 +53,7 @@ fn subclass_cycle_terminates_and_stays_consistent() {
     let mut g = load(&cyclic_subclass_turtle(64));
     let guard = Budget::new().with_deadline(Duration::from_secs(10)).start();
     let result = Reasoner::new()
-        .materialize_guarded(&mut g, &guard)
+        .materialize(&mut g, &MaterializeOptions::guarded(&guard))
         .expect("a subclass cycle is legal OWL and must close within budget");
     assert!(result.converged);
     // Every class in the cycle is equivalent: the victim gets all 64.
@@ -74,7 +79,7 @@ fn deep_transitive_chain_is_cut_by_inference_budget() {
         .with_deadline(Duration::from_secs(15))
         .start();
     let err = Reasoner::new()
-        .materialize_guarded(&mut g, &guard)
+        .materialize(&mut g, &MaterializeOptions::guarded(&guard))
         .expect_err("50M-pair closure cannot fit a 100k budget");
     let ReasonerError::Exhausted { exhausted, partial } = err;
     assert!(
@@ -98,7 +103,7 @@ fn closure_blowup_is_cut_by_round_or_triple_budget() {
     // Membership cascades one equivalence level per round; 40 levels
     // cannot finish in 5 rounds.
     let err = Reasoner::new()
-        .materialize_guarded(&mut g, &guard)
+        .materialize(&mut g, &MaterializeOptions::guarded(&guard))
         .expect_err("40-level cascade cannot fit 5 rounds");
     let ReasonerError::Exhausted { exhausted, partial } = err;
     assert_eq!(exhausted.resource, Resource::Rounds);
@@ -112,15 +117,19 @@ fn pathological_query_on_pathological_graph_is_bounded() {
     let mut g = load(&deep_transitive_chain_turtle(300));
     // Close what a small budget allows, keep the partial graph.
     let guard = Budget::new().with_max_inferred(5_000).start();
-    let _ = Reasoner::new().materialize_guarded(&mut g, &guard);
+    let _ = Reasoner::new().materialize(&mut g, &MaterializeOptions::guarded(&guard));
     // Then hit the partial closure with a cross-product query under a
     // fresh solution budget.
     let guard = Budget::new()
         .with_max_solutions(10_000)
         .with_deadline(Duration::from_secs(10))
         .start();
-    let err = query_guarded(&g, "SELECT * WHERE { ?a ?p ?b . ?c ?q ?d }", &guard)
-        .expect_err("cross-product over thousands of triples must trip");
+    let err = query(
+        &g,
+        "SELECT * WHERE { ?a ?p ?b . ?c ?q ?d }",
+        &QueryOptions::guarded(&guard),
+    )
+    .expect_err("cross-product over thousands of triples must trip");
     match err {
         SparqlError::Exhausted(e) => assert!(
             e.resource == Resource::Solutions || e.resource == Resource::WallClock,
@@ -138,7 +147,7 @@ fn cancellation_interrupts_materialization() {
     flag.cancel();
     let guard = Budget::new().with_cancel(flag).start();
     let err = Reasoner::new()
-        .materialize_guarded(&mut g, &guard)
+        .materialize(&mut g, &MaterializeOptions::guarded(&guard))
         .expect_err("pre-cancelled run must stop");
     assert_eq!(err.exhausted().resource, Resource::Cancelled);
 }
@@ -147,7 +156,12 @@ fn cancellation_interrupts_materialization() {
 fn oversized_documents_are_rejected_before_parsing() {
     let src = deep_transitive_chain_turtle(1_000);
     let guard = Budget::new().with_max_input_bytes(1024).start();
-    match parse_turtle_guarded(&src, &guard) {
+    match parse_turtle(
+        &src,
+        &ParseOptions {
+            guard: Some(&guard),
+        },
+    ) {
         Err(RdfError::Exhausted(e)) => {
             assert_eq!(e.resource, Resource::InputSize);
             assert!(e.spent as usize == src.len());

@@ -93,7 +93,8 @@ fn export_produces_parseable_turtle() {
     let (stdout, _, ok) = feo(&["export", "--raw"]);
     assert!(ok);
     let mut g = feo::rdf::Graph::new();
-    feo::rdf::turtle::parse_turtle_into(&stdout, &mut g).expect("export parses");
+    feo::rdf::turtle::parse_turtle_into(&stdout, &mut g, &Default::default())
+        .expect("export parses");
     assert!(g.len() > 500);
 }
 

@@ -9,7 +9,7 @@ use feo::foodkg::{
     curated, random_profiles, synthetic, user_to_rdf, FoodKg, Season, SyntheticConfig,
     SystemContext, UserProfile,
 };
-use feo::owl::Reasoner;
+use feo::owl::{MaterializeOptions, Reasoner};
 use feo::rdf::{GraphStore, GraphView, Overlay};
 use proptest::prelude::*;
 
@@ -52,18 +52,24 @@ fn delta_matches_full(kg: FoodKg, seed: u64) {
     let mut base = assemble(&kg, &user, &ctx);
     let reasoner = Reasoner::new();
     let rules = reasoner.compile(&mut base);
-    reasoner.materialize_with(&mut base, &rules);
+    reasoner
+        .materialize(&mut base, &MaterializeOptions::with_rules(&rules))
+        .expect("materialize");
 
     // Full path: copy the closed base, add Δ, re-run the whole fixpoint.
     let mut full = base.clone();
     apply_delta(&mut full, &kg, &user, seed);
-    reasoner.materialize_with(&mut full, &rules);
+    reasoner
+        .materialize(&mut full, &MaterializeOptions::with_rules(&rules))
+        .expect("materialize");
 
     // Incremental path: overlay Δ on the shared closed base and close
     // only from the delta.
     let mut overlay = Overlay::new(&base);
     apply_delta(&mut overlay, &kg, &user, seed);
-    reasoner.materialize_delta(&mut overlay, &rules);
+    reasoner
+        .materialize_delta(&mut overlay, &MaterializeOptions::with_rules(&rules))
+        .expect("materialize");
 
     assert_eq!(
         triple_set(&full),
@@ -105,10 +111,14 @@ fn empty_delta_derives_nothing() {
     let mut base = assemble(&kg, &user, &ctx);
     let reasoner = Reasoner::new();
     let rules = reasoner.compile(&mut base);
-    reasoner.materialize_with(&mut base, &rules);
+    reasoner
+        .materialize(&mut base, &MaterializeOptions::with_rules(&rules))
+        .expect("materialize");
 
     let mut overlay = Overlay::new(&base);
-    let result = reasoner.materialize_delta(&mut overlay, &rules);
+    let result = reasoner
+        .materialize_delta(&mut overlay, &MaterializeOptions::with_rules(&rules))
+        .expect("materialize");
     assert_eq!(result.added, 0);
     assert_eq!(overlay.delta_len(), 0);
 }

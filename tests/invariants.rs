@@ -45,9 +45,9 @@ proptest! {
         let user = arb_user(&kg, seed);
         let ctx = SystemContext::new(season);
         let mut g = assemble(&kg, &user, &ctx);
-        let first = Reasoner::new().materialize(&mut g);
+        let first = Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
         prop_assert!(first.is_consistent());
-        let second = Reasoner::new().materialize(&mut g);
+        let second = Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
         prop_assert_eq!(second.added, 0);
     }
 
@@ -58,7 +58,7 @@ proptest! {
         let user = arb_user(&kg, seed);
         let ctx = SystemContext::new(Season::Autumn);
         let mut small = assemble(&kg, &user, &ctx);
-        Reasoner::new().materialize(&mut small);
+        Reasoner::new().materialize(&mut small, &Default::default()).expect("materialize");
 
         let mut big = assemble(&kg, &user, &ctx);
         // Extra assertion: a new liked food.
@@ -68,7 +68,7 @@ proptest! {
             feo::ontology::ns::food::LIKES,
             &extra,
         );
-        Reasoner::new().materialize(&mut big);
+        Reasoner::new().materialize(&mut big, &Default::default()).expect("materialize");
 
         for t in small.iter_triples() {
             prop_assert!(big.contains(&t), "lost derived triple {t}");
@@ -93,7 +93,7 @@ proptest! {
         let presence = if present { feons::PRESENT_IN } else { feons::ABSENT_FROM };
         g.insert_iris("http://t/c", polarity, "http://t/P");
         g.insert_iris("http://t/c", presence, feons::CURRENT_ECOSYSTEM);
-        Reasoner::new().materialize(&mut g);
+        Reasoner::new().materialize(&mut g, &Default::default()).expect("materialize");
         let c = g.lookup_iri("http://t/c").unwrap();
         let class = classify(&g, c);
         prop_assert_ne!(class, Classification::Both);

@@ -66,11 +66,13 @@ fn materialized_export_round_trips_through_turtle() {
 
     let ttl = write_turtle(engine.graph(), feo::ontology::ns::PREFIXES);
     let mut reimported = Graph::new();
-    parse_turtle_into(&ttl, &mut reimported).expect("export parses");
+    parse_turtle_into(&ttl, &mut reimported, &Default::default()).expect("export parses");
     assert_eq!(engine.graph().len(), reimported.len(), "lossless export");
 
     let q = feo::core::queries::contrastive_query(&s.question);
-    let table = query(&reimported, &q).unwrap().expect_solutions();
+    let table = query(&reimported, &q, &Default::default())
+        .unwrap()
+        .expect_solutions();
     assert_eq!(
         table.rows, direct.bindings.rows,
         "same rows over the re-import"

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::thread;
 
-use feo::core::{EngineBase, ExplanationEngine, Hypothesis, Population, Question};
+use feo::core::{EngineBase, ExplainOptions, ExplanationEngine, Hypothesis, Population, Question};
 use feo::foodkg::{curated, Season, SystemContext, UserProfile};
 use feo::recommender::{HealthCoach, Recommender};
 
@@ -59,9 +59,9 @@ fn cq3() -> Question {
 fn cq2_then_cq1_bindings_are_byte_identical() {
     let base = base_full();
 
-    let alone = base.explain(&cq1()).unwrap();
-    let _ = base.explain(&cq2()).unwrap();
-    let after = base.explain(&cq1()).unwrap();
+    let alone = base.explain(&cq1(), &ExplainOptions::default()).unwrap();
+    let _ = base.explain(&cq2(), &ExplainOptions::default()).unwrap();
+    let after = base.explain(&cq1(), &ExplainOptions::default()).unwrap();
 
     assert_eq!(alone.answer, after.answer);
     assert_eq!(alone.bindings.rows, after.bindings.rows);
@@ -80,7 +80,7 @@ fn explain_leaves_the_base_untouched() {
     let triples = base.graph().len();
     let terms = base.graph().term_count();
     for q in [cq1(), cq2(), cq3()] {
-        base.explain(&q).unwrap();
+        base.explain(&q, &ExplainOptions::default()).unwrap();
     }
     assert_eq!(base.graph().len(), triples);
     assert_eq!(base.graph().term_count(), terms);
@@ -94,7 +94,7 @@ fn concurrent_sessions_match_single_threaded() {
     let questions = [cq1(), cq2(), cq3()];
     let expected: Vec<String> = questions
         .iter()
-        .map(|q| base.explain(q).unwrap().answer)
+        .map(|q| base.explain(q, &ExplainOptions::default()).unwrap().answer)
         .collect();
 
     let handles: Vec<_> = (0..9)
@@ -103,7 +103,7 @@ fn concurrent_sessions_match_single_threaded() {
             let q = questions[i % 3].clone();
             thread::spawn(move || {
                 (0..3)
-                    .map(|_| base.explain(&q).unwrap().answer)
+                    .map(|_| base.explain(&q, &ExplainOptions::default()).unwrap().answer)
                     .collect::<Vec<String>>()
             })
         })
@@ -154,8 +154,8 @@ fn builder_order_is_insensitive() {
     ];
     for q in dependents {
         assert_eq!(
-            a.explain(&q).unwrap().answer,
-            b.explain(&q).unwrap().answer,
+            a.explain(&q, &ExplainOptions::default()).unwrap().answer,
+            b.explain(&q, &ExplainOptions::default()).unwrap().answer,
             "{q:?} differs between builder orders"
         );
     }
@@ -174,6 +174,6 @@ fn legacy_engine_still_accumulates_and_converts_to_base() {
     assert_eq!(first.answer, second.answer);
     // The owned base can be extracted and shared afterwards.
     let base: EngineBase = engine.into_base();
-    let third = base.explain(&cq1()).unwrap();
+    let third = base.explain(&cq1(), &ExplainOptions::default()).unwrap();
     assert_eq!(first.answer, third.answer);
 }
