@@ -43,9 +43,15 @@ echo "== no deprecated calls in-tree"
 # #[allow(deprecated)]) are fine; new *calls* are not.
 RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo check --workspace --all-targets --offline
 
-echo "== tier-1: release build + tests"
+echo "== tier-1: release build + tests (sequential: FEO_THREADS=1)"
+# The default Parallelism::Auto honours FEO_THREADS, so the same suite
+# run at 1 and 4 workers exercises both the sequential and the parallel
+# code paths end to end.
 cargo build --release --offline
-cargo test -q --offline
+FEO_THREADS=1 cargo test -q --offline
+
+echo "== tier-1: tests (parallel: FEO_THREADS=4)"
+FEO_THREADS=4 cargo test -q --offline
 
 echo "== workspace tests"
 cargo test -q --offline --workspace
@@ -65,5 +71,20 @@ echo "== planner smoke (bounded wall-clock)"
 # The paired planner-gain harness must run end to end; full numbers go
 # to EXPERIMENTS.md, the smoke run just has to complete.
 timeout 180 cargo run -q --release --offline -p feo-bench --bin planner_gain -- --smoke
+
+echo "== parallel determinism (bounded wall-clock)"
+# Parallelism::Fixed(4) must be byte-identical to Off: closure triples,
+# query tables (row order included), and explain_batch outputs.
+timeout 240 cargo test -q --offline --release --test parallel_determinism
+
+echo "== parallel stress (bounded wall-clock)"
+# Cross-thread cancellation and budget trips during parallel runs must
+# yield typed Exhausted partials — never a panic or a torn closure.
+timeout 240 cargo test -q --offline --release --test parallel_stress
+
+echo "== parallel smoke (bounded wall-clock)"
+# The paired parallel-gain harness must run end to end; full numbers go
+# to EXPERIMENTS.md / BENCH_pr5.json, the smoke run just has to complete.
+timeout 180 cargo run -q --release --offline -p feo-bench --bin parallel_gain -- --smoke
 
 echo "CI green."

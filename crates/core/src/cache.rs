@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 use feo_rdf::GraphView;
 use feo_sparql::ast::Query;
@@ -47,9 +47,14 @@ struct CachedPlan {
 /// Interior-mutable cache living on the shared, otherwise-immutable
 /// [`crate::EngineBase`]. All operations take `&self`, so any number of
 /// concurrent sessions can share one cache through an `Arc`d base.
+///
+/// Hits take only the read lock, so a batch of sessions replaying the
+/// same question templates in parallel never serialize on the hot path;
+/// the write lock is held just long enough to insert a freshly planned
+/// entry.
 #[derive(Default)]
 pub(crate) struct PlanCache {
-    entries: Mutex<HashMap<String, CachedPlan>>,
+    entries: RwLock<HashMap<String, CachedPlan>>,
     epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -69,7 +74,7 @@ impl PlanCache {
             // A poisoned lock only means another thread panicked while
             // holding it; the map is still structurally sound, so keep
             // serving rather than propagate the panic.
-            let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = entries.get(text) {
                 if hit.epoch == epoch {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -80,7 +85,7 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let query = Arc::new(parse_query(text)?);
         let plan = Arc::new(plan_query(&view, &query));
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
         entries.insert(
             text.to_string(),
             CachedPlan {
@@ -99,7 +104,7 @@ impl PlanCache {
     pub(crate) fn invalidate(&self) {
         self.epoch.fetch_add(1, Ordering::AcqRel);
         self.entries
-            .lock()
+            .write()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
     }
@@ -108,7 +113,7 @@ impl PlanCache {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            entries: self.entries.read().unwrap_or_else(|e| e.into_inner()).len(),
             epoch: self.epoch.load(Ordering::Acquire),
         }
     }

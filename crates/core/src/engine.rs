@@ -26,7 +26,8 @@ use feo_owl::{
     CompiledRules, InferenceResult, MaterializeOptions, Reasoner, ReasonerError, ReasonerOptions,
 };
 use feo_rdf::governor::{Budget, Exhausted, Guard};
-use feo_rdf::{Graph, GraphView, IdTriple, Overlay, Term};
+use feo_rdf::pool::map_chunks;
+use feo_rdf::{Graph, GraphView, IdTriple, Overlay, Parallelism, Term};
 use feo_recommender::{RecommendationSet, TraceStep};
 use feo_sparql::{
     execute, execute_prepared, parse_query, Planner, QueryOptions, QueryResult, SolutionTable,
@@ -96,6 +97,11 @@ pub struct ExplainOptions<'a> {
     /// cost-based planner also routes through the base's snapshot-keyed
     /// plan cache.
     pub planner: Planner,
+    /// Worker count for the session's incremental closes and query
+    /// evaluation — and, in [`EngineBase::explain_batch`], for fanning
+    /// the questions themselves across threads. A throughput knob only:
+    /// results are identical at every setting.
+    pub parallelism: Parallelism,
 }
 
 impl<'a> ExplainOptions<'a> {
@@ -104,6 +110,7 @@ impl<'a> ExplainOptions<'a> {
         ExplainOptions {
             guard: Some(guard),
             planner: Planner::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -334,6 +341,7 @@ impl EngineBase {
             inference: InferenceResult::default(),
             guard: None,
             planner: Planner::default(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -409,6 +417,101 @@ impl EngineBase {
         })
     }
 
+    /// Answers a batch of questions concurrently — one throwaway
+    /// [`Session`] per question, all reading this shared snapshot.
+    ///
+    /// Questions are partitioned contiguously across the worker pool
+    /// ([`ExplainOptions::parallelism`], with the `FEO_THREADS` override
+    /// honoured by [`Parallelism::Auto`]); each worker answers its slice
+    /// in input order and the slices are merged back in input order, so
+    /// the result vector is byte-identical to calling
+    /// [`EngineBase::explain`] in a loop. Batch-level parallelism
+    /// replaces intra-question parallelism: with more than one worker
+    /// active, each session closes and queries sequentially rather than
+    /// oversubscribing the machine with nested pools.
+    ///
+    /// A guard in `opts` meters the whole batch. Questions that trip (or
+    /// start after the trip) report [`EngineError::Exhausted`] in their
+    /// own slot instead of aborting the batch — per-question errors like
+    /// [`EngineError::UnknownEntity`] likewise stay in their slot. For
+    /// the aggregate completed/skipped view, see
+    /// [`EngineBase::explain_batch_with_budget`].
+    pub fn explain_batch(
+        &self,
+        questions: &[Question],
+        opts: &ExplainOptions<'_>,
+    ) -> Vec<Result<Explanation, EngineError>> {
+        let workers = opts.parallelism.workers();
+        let per_question = ExplainOptions {
+            parallelism: if workers > 1 {
+                Parallelism::Off
+            } else {
+                opts.parallelism
+            },
+            ..*opts
+        };
+        map_chunks(workers, 1, questions, |_, chunk| {
+            chunk
+                .iter()
+                .map(|q| self.explain(q, &per_question))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Parallel counterpart of [`EngineBase::explain_with_budget`]: the
+    /// batch fans out across the pool under one shared [`Budget`], and
+    /// the outcome aggregates what finished before the budget tripped.
+    ///
+    /// Unlike the sequential form, workers race the shared budget — so
+    /// *which* questions land in `completed` versus `skipped` after a
+    /// trip depends on scheduling. The guarantees that do hold at every
+    /// worker count: every returned explanation is complete and correct,
+    /// `completed` ∪ `skipped` covers the batch exactly once, and a run
+    /// whose budget never trips is byte-identical to the sequential
+    /// path. Non-budget errors abort with `Err` as before.
+    pub fn explain_batch_with_budget(
+        &self,
+        questions: &[Question],
+        budget: &Budget,
+        parallelism: Parallelism,
+    ) -> Result<BudgetedOutcome, EngineError> {
+        let guard = budget.start();
+        let opts = ExplainOptions {
+            guard: Some(&guard),
+            planner: Planner::default(),
+            parallelism,
+        };
+        let results = self.explain_batch(questions, &opts);
+        let mut explanations = Vec::new();
+        let mut completed = Vec::new();
+        let mut skipped = Vec::new();
+        let mut exhausted = None;
+        for (question, result) in questions.iter().zip(results) {
+            match result {
+                Ok(explanation) => {
+                    completed.push(explanation.explanation_type);
+                    explanations.push(explanation);
+                }
+                Err(EngineError::Exhausted(e)) => {
+                    skipped.push(question.explanation_type());
+                    exhausted.get_or_insert(e);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(BudgetedOutcome {
+            explanations,
+            degradation: exhausted.map(|exhausted| DegradationReport {
+                exhausted,
+                completed,
+                skipped,
+            }),
+        })
+    }
+
     /// Renders the reasoner's proof tree for `individual rdf:type class`
     /// over the base closure. Requires [`EngineBase::new_with_proofs`];
     /// returns `None` when the typing does not hold or was asserted
@@ -467,6 +570,9 @@ pub struct Session<'a> {
     guard: Option<&'a Guard>,
     /// SPARQL planner used by this session's competency queries.
     planner: Planner,
+    /// Worker count for this session's incremental closes and query
+    /// evaluation.
+    parallelism: Parallelism,
 }
 
 impl<'a> Session<'a> {
@@ -506,10 +612,11 @@ impl<'a> Session<'a> {
     /// query and its plan come from the base's snapshot-keyed cache —
     /// plans are computed against the shared base snapshot, whose
     /// statistics the per-session delta is far too small to flip.
-    fn run_query<V: GraphView>(&self, view: V, q: &str) -> Result<QueryResult, EngineError> {
+    fn run_query<V: GraphView + Sync>(&self, view: V, q: &str) -> Result<QueryResult, EngineError> {
         let opts = QueryOptions {
             guard: self.guard,
             planner: self.planner,
+            parallelism: self.parallelism,
             explain: false,
         };
         if self.planner == Planner::CostBased {
@@ -530,6 +637,7 @@ impl<'a> Session<'a> {
     ) -> Result<Explanation, EngineError> {
         self.guard = opts.guard;
         self.planner = opts.planner;
+        self.parallelism = opts.parallelism;
         match question {
             Question::WhyEat { food } => self.contextual(question, food),
             Question::WhyEatOver { .. } => self.contrastive(question),
@@ -568,6 +676,7 @@ impl<'a> Session<'a> {
         let opts = MaterializeOptions {
             guard: self.guard,
             rules: Some(&self.base.rules),
+            parallelism: self.parallelism,
         };
         let (inference, tripped) = match reasoner.materialize_delta(&mut self.overlay, &opts) {
             Ok(inference) => (inference, None),
@@ -820,6 +929,7 @@ impl<'a> Session<'a> {
             &MaterializeOptions {
                 guard: self.guard,
                 rules: Some(&self.base.rules),
+                parallelism: self.parallelism,
             },
         )?;
 

@@ -44,3 +44,7 @@ pub use factfoil::{classify, figure3_matrix, Classification};
 pub use knowledge::Population;
 pub use question::{ExplanationType, Hypothesis, Question};
 pub use scenarios::{all_scenarios, scenario_a, scenario_b, scenario_c, Scenario};
+
+// `ExplainOptions::parallelism` is part of this crate's public API;
+// re-export its type so callers don't need a separate feo-rdf import.
+pub use feo_rdf::Parallelism;

@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 use feo_rdf::governor::{Exhausted, Guard, Resource};
+use feo_rdf::pool::{map_chunks, Parallelism};
 use feo_rdf::vocab::{owl, rdf, rdfs};
 use feo_rdf::{GraphStore, GraphView, Overlay, TermId};
 
@@ -187,6 +188,11 @@ pub struct MaterializeOptions<'a> {
     pub guard: Option<&'a Guard>,
     /// Precompiled rule tables; `None` compiles from the store itself.
     pub rules: Option<&'a CompiledRules>,
+    /// Worker threads for the semi-naïve rounds. The closure is
+    /// byte-identical whatever the setting (see the "Deterministic
+    /// parallelism" notes on [`Reasoner::materialize`]); derivation
+    /// tracking forces the sequential path regardless.
+    pub parallelism: Parallelism,
 }
 
 impl<'a> MaterializeOptions<'a> {
@@ -194,15 +200,15 @@ impl<'a> MaterializeOptions<'a> {
     pub fn guarded(guard: &'a Guard) -> Self {
         MaterializeOptions {
             guard: Some(guard),
-            rules: None,
+            ..Default::default()
         }
     }
 
     /// Options with only precompiled rules set.
     pub fn with_rules(rules: &'a CompiledRules) -> Self {
         MaterializeOptions {
-            guard: None,
             rules: Some(rules),
+            ..Default::default()
         }
     }
 }
@@ -255,9 +261,18 @@ impl Reasoner {
     ///   carrying the partial statistics — triples derived before the
     ///   trip stay in the graph. Unguarded runs never error (round caps
     ///   surface as `converged: false` instead).
+    /// - with `parallelism` resolving to more than one worker, each
+    ///   semi-naïve round partitions its frontier across a scoped worker
+    ///   pool; every worker fires the compiled rules against the shared
+    ///   read-only store and the candidate buffers are merged **in pinned
+    ///   chunk order** on the calling thread, so the final closure is
+    ///   byte-identical to a sequential run. Budgets are charged at the
+    ///   merge (one choke point, exact counts) and workers poll the
+    ///   shared guard, so guarded runs still end exact-or-`Exhausted`.
+    ///   Derivation tracking forces the sequential path.
     pub fn materialize(
         &self,
-        graph: &mut impl GraphStore,
+        graph: &mut (impl GraphStore + Sync),
         opts: &MaterializeOptions,
     ) -> Result<InferenceResult, ReasonerError> {
         let compiled;
@@ -270,6 +285,7 @@ impl Reasoner {
         };
         let mut engine = Engine::new(graph, rules, &self.options);
         engine.guard = opts.guard;
+        engine.workers = opts.parallelism.workers();
         settle(engine.run())
     }
 
@@ -277,7 +293,7 @@ impl Reasoner {
     #[deprecated(note = "use `materialize(graph, &MaterializeOptions::guarded(guard))`")]
     pub fn materialize_guarded(
         &self,
-        graph: &mut impl GraphStore,
+        graph: &mut (impl GraphStore + Sync),
         guard: &Guard,
     ) -> Result<InferenceResult, ReasonerError> {
         self.materialize(graph, &MaterializeOptions::guarded(guard))
@@ -294,7 +310,7 @@ impl Reasoner {
     #[deprecated(note = "use `materialize(graph, &MaterializeOptions::with_rules(rules))`")]
     pub fn materialize_with(
         &self,
-        graph: &mut impl GraphStore,
+        graph: &mut (impl GraphStore + Sync),
         rules: &CompiledRules,
     ) -> InferenceResult {
         self.materialize(graph, &MaterializeOptions::with_rules(rules))
@@ -306,7 +322,7 @@ impl Reasoner {
     #[deprecated(note = "use `materialize` with `MaterializeOptions { guard, rules }`")]
     pub fn materialize_with_guarded(
         &self,
-        graph: &mut impl GraphStore,
+        graph: &mut (impl GraphStore + Sync),
         rules: &CompiledRules,
         guard: &Guard,
     ) -> Result<InferenceResult, ReasonerError> {
@@ -315,6 +331,7 @@ impl Reasoner {
             &MaterializeOptions {
                 guard: Some(guard),
                 rules: Some(rules),
+                ..Default::default()
             },
         )
     }
@@ -339,7 +356,7 @@ impl Reasoner {
     /// snapshot pipeline exists to avoid). With a guard set, a trip
     /// leaves the triples derived so far in the overlay's delta; the
     /// caller decides whether to keep or discard the partial closure.
-    pub fn materialize_delta<B: GraphView>(
+    pub fn materialize_delta<B: GraphView + Sync>(
         &self,
         overlay: &mut Overlay<B>,
         opts: &MaterializeOptions,
@@ -355,12 +372,13 @@ impl Reasoner {
         };
         let mut engine = Engine::new(overlay, rules, &self.options);
         engine.guard = opts.guard;
+        engine.workers = opts.parallelism.workers();
         settle(engine.run_delta(&seed))
     }
 
     /// Deprecated form of [`Reasoner::materialize_delta`] with a guard.
     #[deprecated(note = "use `materialize_delta` with `MaterializeOptions { guard, rules }`")]
-    pub fn materialize_delta_guarded<B: GraphView>(
+    pub fn materialize_delta_guarded<B: GraphView + Sync>(
         &self,
         overlay: &mut Overlay<B>,
         rules: &CompiledRules,
@@ -371,6 +389,7 @@ impl Reasoner {
             &MaterializeOptions {
                 guard: Some(guard),
                 rules: Some(rules),
+                ..Default::default()
             },
         )
     }
@@ -601,6 +620,182 @@ fn collect_step_props(expr: &ClassExpr, out: &mut BTreeSet<TermId>) {
     }
 }
 
+/// Frontier sizes below these stay on the calling thread: the fixed
+/// cost of spawning scoped workers only pays for itself once a round
+/// carries at least a few hundred rule firings.
+const PARALLEL_MIN_FRONTIER: usize = 96;
+const PARALLEL_MIN_CANDIDATES: usize = 64;
+
+/// A rule conclusion collected by a pool worker, to be merged into the
+/// store sequentially through `Engine::add_by`. Workers only run when
+/// derivation tracking is off, so no premises travel with it.
+struct Candidate {
+    rule: &'static str,
+    triple: [TermId; 3],
+}
+
+/// Pushes `t` as a candidate unless the store already holds it. The
+/// merge re-checks membership on insert, so this filter is purely an
+/// optimization that keeps duplicate work off the merge thread.
+fn emit<V: GraphView + ?Sized>(
+    g: &V,
+    out: &mut Vec<Candidate>,
+    rule: &'static str,
+    t: [TermId; 3],
+) {
+    if !g.contains_ids(t[0], t[1], t[2]) {
+        out.push(Candidate { rule, triple: t });
+    }
+}
+
+/// Fires every delta-driven instance rule for one non-`sameAs` triple
+/// against a read-only store, collecting conclusions instead of
+/// inserting them. This is the parallel dual of the rule body in
+/// `Engine::drain_queue_worklist` and must derive exactly the same
+/// conclusions for a given (store, aliases, triple) snapshot; `sameAs`
+/// triples never reach it — the merge step owns the alias machinery.
+fn fire_rules<V: GraphView + ?Sized>(
+    g: &V,
+    rules: &CompiledRules,
+    aliases: &HashMap<TermId, BTreeSet<TermId>>,
+    [s, p, o]: [TermId; 3],
+    out: &mut Vec<Candidate>,
+) {
+    // cax-sco: type inheritance through the named-class closure.
+    if p == rules.rdf_type {
+        if let Some(sups) = rules.sup_class.get(&o) {
+            for &sup in sups {
+                emit(g, out, "cax-sco", [s, rules.rdf_type, sup]);
+            }
+        }
+        return;
+    }
+    // prp-spo1
+    if let Some(sups) = rules.sup_prop.get(&p) {
+        for &q in sups {
+            emit(g, out, "prp-spo1", [s, q, o]);
+        }
+    }
+    // prp-inv
+    if let Some(invs) = rules.inverses.get(&p) {
+        for &q in invs {
+            emit(g, out, "prp-inv", [o, q, s]);
+        }
+    }
+    // prp-symp
+    if rules.symmetric.contains(&p) {
+        emit(g, out, "prp-symp", [o, p, s]);
+    }
+    // prp-trp
+    if rules.transitive.contains(&p) {
+        for z in g.objects(o, p) {
+            emit(g, out, "prp-trp", [s, p, z]);
+        }
+        for t in g.match_pattern(None, Some(p), Some(s)) {
+            emit(g, out, "prp-trp", [t[0], p, o]);
+        }
+    }
+    // prp-dom / prp-rng
+    if let Some(cs) = rules.domains.get(&p) {
+        for c in cs {
+            collect_membership(g, rules, s, c, out);
+        }
+    }
+    if let Some(cs) = rules.ranges.get(&p) {
+        for c in cs {
+            collect_membership(g, rules, o, c, out);
+        }
+    }
+    // prp-fp: functional — two objects are the same individual.
+    if rules.functional.contains(&p) {
+        for o2 in g.objects(s, p) {
+            if o2 != o && g.term(o).is_resource() && g.term(o2).is_resource() {
+                emit(g, out, "prp-fp", [o, rules.same_as, o2]);
+            }
+        }
+    }
+    // prp-ifp
+    if rules.inverse_functional.contains(&p) {
+        for s2 in g.subjects(p, o) {
+            if s2 != s {
+                emit(g, out, "prp-ifp", [s, rules.same_as, s2]);
+            }
+        }
+    }
+    // eq-rep: replicate across known aliases of s and o.
+    if let Some(al) = aliases.get(&s) {
+        for &a in al {
+            emit(g, out, "eq-rep-s", [a, p, o]);
+        }
+    }
+    if let Some(al) = aliases.get(&o) {
+        for &a in al {
+            emit(g, out, "eq-rep-o", [s, p, a]);
+        }
+    }
+}
+
+/// Read-only dual of `Engine::satisfies`, shared by the sequential and
+/// parallel sweeps so the two cannot drift apart.
+fn satisfies_in<V: GraphView + ?Sized>(
+    g: &V,
+    rules: &CompiledRules,
+    x: TermId,
+    expr: &ClassExpr,
+) -> bool {
+    match expr {
+        ClassExpr::Named(c) => g.contains_ids(x, rules.rdf_type, *c),
+        ClassExpr::IntersectionOf(es) => es.iter().all(|e| satisfies_in(g, rules, x, e)),
+        ClassExpr::UnionOf(es) => es.iter().any(|e| satisfies_in(g, rules, x, e)),
+        ClassExpr::SomeValuesFrom { property, filler } => g
+            .objects(x, *property)
+            .into_iter()
+            .any(|o| satisfies_in(g, rules, o, filler)),
+        ClassExpr::HasValue { property, value } => g.contains_ids(x, *property, *value),
+        ClassExpr::OneOf(ids) => ids.contains(&x),
+        // Open-world: membership in a complement or universal
+        // restriction is never derived, matching OWL 2 RL.
+        ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_) => false,
+    }
+}
+
+/// Read-only dual of `Engine::apply_membership_by`: collects the
+/// membership consequences of `x ∈ expr` as candidates instead of
+/// asserting them, and must mirror its case analysis exactly.
+fn collect_membership<V: GraphView + ?Sized>(
+    g: &V,
+    rules: &CompiledRules,
+    x: TermId,
+    expr: &ClassExpr,
+    out: &mut Vec<Candidate>,
+) {
+    match expr {
+        ClassExpr::Named(c) => emit(g, out, "cls", [x, rules.rdf_type, *c]),
+        ClassExpr::IntersectionOf(es) => {
+            for e in es {
+                collect_membership(g, rules, x, e, out);
+            }
+        }
+        ClassExpr::HasValue { property, value } => emit(g, out, "cls-hv1", [x, *property, *value]),
+        ClassExpr::AllValuesFrom { property, filler } => {
+            // cls-avf: every p-successor of x is in the filler.
+            for o in g.objects(x, *property) {
+                collect_membership(g, rules, o, filler, out);
+            }
+        }
+        ClassExpr::OneOf(ids) if ids.len() == 1 => {
+            // Singleton enumeration: x is that individual.
+            emit(g, out, "cls-oo", [x, rules.same_as, ids[0]]);
+        }
+        // No existential introduction (matches OWL 2 RL), and nothing
+        // sound to conclude from a union or general enumeration.
+        ClassExpr::SomeValuesFrom { .. }
+        | ClassExpr::UnionOf(_)
+        | ClassExpr::OneOf(_)
+        | ClassExpr::ComplementOf(_) => {}
+    }
+}
+
 /// The running fixpoint state over any [`GraphStore`].
 struct Engine<'a, S: GraphStore> {
     g: &'a mut S,
@@ -624,9 +819,12 @@ struct Engine<'a, S: GraphStore> {
     /// Set when the guard trips; every hot loop bails out once this is
     /// populated so the engine unwinds quickly with its partial result.
     tripped: Option<Exhausted>,
+    /// Resolved worker count for the round-partitioned drain and the
+    /// complex-axiom sweeps; 1 keeps every loop on the calling thread.
+    workers: usize,
 }
 
-impl<'a, S: GraphStore> Engine<'a, S> {
+impl<'a, S: GraphStore + Sync> Engine<'a, S> {
     fn new(g: &'a mut S, rules: &'a CompiledRules, opts: &'a ReasonerOptions) -> Self {
         Engine {
             g,
@@ -645,6 +843,7 @@ impl<'a, S: GraphStore> Engine<'a, S> {
             chain_cursor: 0,
             guard: None,
             tripped: None,
+            workers: 1,
         }
     }
 
@@ -833,6 +1032,12 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         let cand = self.expanded_dirty();
         let tracking = self.opts.track_derivations;
         for (sub, sup) in &rules.complex {
+            if self.complex_axiom_parallel(&cand, sub, sup) {
+                if self.tripped.is_some() {
+                    return;
+                }
+                continue;
+            }
             for &x in &cand {
                 if self.guard_tripped() {
                     return;
@@ -1077,8 +1282,91 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         }
     }
 
-    /// Instance-rule propagation driven by a worklist of new triples.
+    /// Instance-rule propagation over the pending queue. Dispatches to
+    /// the round-partitioned parallel drain when a pool is configured;
+    /// derivation tracking keeps the sequential worklist because proof
+    /// recording depends on first-derivation-wins processing order.
+    /// Both drains compute the same monotone fixpoint — the queue is
+    /// fully empty on return and the derived triple set is identical.
     fn drain_queue(&mut self) {
+        if self.workers > 1 && !self.opts.track_derivations {
+            self.drain_queue_rounds();
+        } else {
+            self.drain_queue_worklist();
+        }
+    }
+
+    /// Round-partitioned dual of [`Engine::drain_queue_worklist`]: the
+    /// queue frontier is split into `owl:sameAs` triples (which mutate
+    /// the alias map and so stay sequential) and plain triples, which
+    /// fan out across the pool. Each worker fires the compiled rules
+    /// against the shared read-only store into a local candidate
+    /// buffer; buffers are merged on this thread in pinned chunk order
+    /// through [`Engine::add_by`] — the single choke point that
+    /// re-checks set membership, charges the budget, and extends the
+    /// next frontier. Rules are monotone, so frontier order cannot
+    /// change the least fixpoint, and B-tree storage erases insertion
+    /// order: the final closure is byte-identical to the worklist's.
+    fn drain_queue_rounds(&mut self) {
+        let same_as = self.rules.same_as;
+        loop {
+            if self.guard_tripped() || self.queue.is_empty() {
+                return;
+            }
+            let mut plain: Vec<[TermId; 3]> = Vec::with_capacity(self.queue.len());
+            let mut same: Vec<[TermId; 3]> = Vec::new();
+            for t in self.queue.drain(..) {
+                if t[1] == same_as {
+                    same.push(t);
+                } else {
+                    plain.push(t);
+                }
+            }
+            let buffers = {
+                let g: &S = self.g;
+                let rules = self.rules;
+                let aliases = &self.aliases;
+                let guard = self.guard;
+                map_chunks(self.workers, PARALLEL_MIN_FRONTIER, &plain, |_, chunk| {
+                    let mut out = Vec::new();
+                    for &t in chunk {
+                        if let Some(gd) = guard {
+                            // A tripped deadline/cancellation stops this
+                            // worker; the merge loop surfaces the trip.
+                            if gd.check_time().is_err() {
+                                break;
+                            }
+                        }
+                        fire_rules(g, rules, aliases, t, &mut out);
+                    }
+                    out
+                })
+            };
+            for c in buffers.into_iter().flatten() {
+                if self.tripped.is_some() {
+                    return;
+                }
+                let [s, p, o] = c.triple;
+                self.add_by(c.rule, &[], s, p, o);
+            }
+            // sameAs triples merge the alias machinery sequentially.
+            // Plain triples of this frontier are already in the store,
+            // so `replicate_for_alias` sees them; later frontiers fire
+            // eq-rep from the updated alias map inside the workers.
+            for [s, p, o] in same {
+                if self.guard_tripped() {
+                    return;
+                }
+                self.note_alias(s, o);
+                self.add_by("eq-sym", &[[s, p, o]], o, same_as, s);
+                self.replicate_for_alias(s, o);
+                self.replicate_for_alias(o, s);
+            }
+        }
+    }
+
+    /// Instance-rule propagation driven by a worklist of new triples.
+    fn drain_queue_worklist(&mut self) {
         while let Some([s, p, o]) = self.queue.pop_front() {
             if self.guard_tripped() {
                 return;
@@ -1229,12 +1517,70 @@ impl<'a, S: GraphStore> Engine<'a, S> {
         }
     }
 
+    /// Parallel satisfaction sweep for one complex axiom: workers check
+    /// `satisfies` read-only over candidate chunks and collect the
+    /// membership consequences; the merge applies them through
+    /// [`Engine::add_by`] in pinned chunk order. Returns `false` when
+    /// the axiom should take the sequential path instead (no pool,
+    /// derivation tracking, or too few candidates to pay for fan-out).
+    ///
+    /// Unlike the sequential sweep, workers evaluate every candidate
+    /// against the pre-pass snapshot, so a membership that depends on
+    /// another candidate's new membership lands one outer round later.
+    /// The outer fixpoint loop runs until nothing changes, so the final
+    /// closure is identical either way.
+    fn complex_axiom_parallel(
+        &mut self,
+        cand: &[TermId],
+        sub: &ClassExpr,
+        sup: &ClassExpr,
+    ) -> bool {
+        if self.workers <= 1 || self.opts.track_derivations || cand.len() < PARALLEL_MIN_CANDIDATES
+        {
+            return false;
+        }
+        let buffers = {
+            let g: &S = self.g;
+            let rules = self.rules;
+            let guard = self.guard;
+            map_chunks(self.workers, PARALLEL_MIN_CANDIDATES, cand, |_, chunk| {
+                let mut out = Vec::new();
+                for &x in chunk {
+                    if let Some(gd) = guard {
+                        if gd.check_time().is_err() {
+                            break;
+                        }
+                    }
+                    if satisfies_in(g, rules, x, sub) {
+                        collect_membership(g, rules, x, sup, &mut out);
+                    }
+                }
+                out
+            })
+        };
+        for c in buffers.into_iter().flatten() {
+            if self.tripped.is_some() {
+                return true;
+            }
+            let [s, p, o] = c.triple;
+            self.add_by(c.rule, &[], s, p, o);
+        }
+        true
+    }
+
     /// One pass over all complex subclass-like axioms.
     fn complex_pass(&mut self) {
-        let axioms = self.rules.complex.clone();
+        let rules = self.rules;
         let tracking = self.opts.track_derivations;
-        for (sub, sup) in &axioms {
-            for x in self.candidates(sub) {
+        for (sub, sup) in &rules.complex {
+            let cand = self.candidates(sub);
+            if self.complex_axiom_parallel(&cand, sub, sup) {
+                if self.tripped.is_some() {
+                    return;
+                }
+                continue;
+            }
+            for x in cand {
                 if self.guard_tripped() {
                     return;
                 }
@@ -1293,21 +1639,7 @@ impl<'a, S: GraphStore> Engine<'a, S> {
     /// Sound membership check: does the graph entail `x ∈ expr` using only
     /// already-materialized triples?
     fn satisfies(&self, x: TermId, expr: &ClassExpr) -> bool {
-        match expr {
-            ClassExpr::Named(c) => self.g.contains_ids(x, self.rules.rdf_type, *c),
-            ClassExpr::IntersectionOf(es) => es.iter().all(|e| self.satisfies(x, e)),
-            ClassExpr::UnionOf(es) => es.iter().any(|e| self.satisfies(x, e)),
-            ClassExpr::SomeValuesFrom { property, filler } => self
-                .g
-                .objects(x, *property)
-                .into_iter()
-                .any(|o| self.satisfies(o, filler)),
-            ClassExpr::HasValue { property, value } => self.g.contains_ids(x, *property, *value),
-            ClassExpr::OneOf(ids) => ids.contains(&x),
-            // Open-world: membership in a complement or universal
-            // restriction is never derived, matching OWL 2 RL.
-            ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_) => false,
-        }
+        satisfies_in(&*self.g, self.rules, x, expr)
     }
 
     /// Asserts the consequences of `x ∈ expr`.

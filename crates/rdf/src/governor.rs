@@ -10,9 +10,12 @@
 //! every layer returns instead of looping or panicking when a limit trips.
 //!
 //! The guard is designed to cost (almost) nothing on the happy path:
-//! counter bumps are plain `Cell` arithmetic, and the wall clock is only
-//! consulted every [`TIME_CHECK_INTERVAL`] ticks. A guard started from an
-//! unlimited budget short-circuits every check.
+//! counter bumps are relaxed atomic increments, and the wall clock is
+//! only consulted every [`TIME_CHECK_INTERVAL`] ticks. A guard started
+//! from an unlimited budget short-circuits every check. Because the
+//! counters are atomics the guard is `Sync`: the parallel execution
+//! paths (see [`crate::pool`]) share one `&Guard` across worker threads
+//! so a budget covers the whole execution, not one thread's slice.
 //!
 //! ```
 //! use std::time::Duration;
@@ -27,9 +30,8 @@
 //! assert_eq!(err.resource, Resource::InferredTriples);
 //! ```
 
-use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -201,19 +203,22 @@ impl Budget {
             max_input_bytes: self.max_input_bytes,
             cancel: self.cancel.clone(),
             unlimited: self.is_unlimited(),
-            inferred: Cell::new(0),
-            rounds: Cell::new(0),
-            solutions: Cell::new(0),
-            ticks: Cell::new(0),
+            inferred: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            solutions: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
         }
     }
 }
 
 /// The live meter for one execution, shared by reference across every
-/// pipeline layer (parser → reasoner → evaluator). Counters use `Cell`
-/// so read-only evaluation paths can tick through `&Guard`; the guard is
-/// therefore single-threaded by design — cross-thread interruption goes
-/// through the [`CancelFlag`] instead.
+/// pipeline layer (parser → reasoner → evaluator). Counters are relaxed
+/// atomics so read-only evaluation paths can tick through `&Guard` and
+/// the parallel paths can charge one shared guard from several worker
+/// threads: totals stay exact under concurrent charging, and whichever
+/// thread pushes a counter past its limit observes the trip. Cooperative
+/// cross-thread interruption additionally goes through the
+/// [`CancelFlag`].
 #[derive(Debug)]
 pub struct Guard {
     started: Instant,
@@ -224,10 +229,10 @@ pub struct Guard {
     max_input_bytes: Option<u64>,
     cancel: Option<CancelFlag>,
     unlimited: bool,
-    inferred: Cell<u64>,
-    rounds: Cell<u64>,
-    solutions: Cell<u64>,
-    ticks: Cell<u64>,
+    inferred: AtomicU64,
+    rounds: AtomicU64,
+    solutions: AtomicU64,
+    ticks: AtomicU64,
 }
 
 impl Default for Guard {
@@ -245,8 +250,7 @@ impl Guard {
         if self.unlimited {
             return Ok(());
         }
-        let t = self.ticks.get().wrapping_add(1);
-        self.ticks.set(t);
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
         if !t.is_multiple_of(TIME_CHECK_INTERVAL) {
             return Ok(());
         }
@@ -289,8 +293,7 @@ impl Guard {
         if self.unlimited {
             return Ok(());
         }
-        let total = self.inferred.get() + n;
-        self.inferred.set(total);
+        let total = self.inferred.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(limit) = self.max_inferred {
             if total > limit {
                 return Err(Exhausted {
@@ -309,8 +312,7 @@ impl Guard {
         if self.unlimited {
             return Ok(());
         }
-        let total = self.rounds.get() + 1;
-        self.rounds.set(total);
+        let total = self.rounds.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(limit) = self.max_rounds {
             if total > limit {
                 return Err(Exhausted {
@@ -330,8 +332,7 @@ impl Guard {
         if self.unlimited {
             return Ok(());
         }
-        let total = self.solutions.get() + n;
-        self.solutions.set(total);
+        let total = self.solutions.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(limit) = self.max_solutions {
             if total > limit {
                 return Err(Exhausted {
@@ -364,15 +365,15 @@ impl Guard {
     }
 
     pub fn inferred_spent(&self) -> u64 {
-        self.inferred.get()
+        self.inferred.load(Ordering::Relaxed)
     }
 
     pub fn rounds_spent(&self) -> u64 {
-        self.rounds.get()
+        self.rounds.load(Ordering::Relaxed)
     }
 
     pub fn solutions_spent(&self) -> u64 {
-        self.solutions.get()
+        self.solutions.load(Ordering::Relaxed)
     }
 }
 

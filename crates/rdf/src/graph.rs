@@ -103,6 +103,13 @@ impl Graph {
         }
     }
 
+    /// Iterates all `(id, term)` pairs of the dictionary in id order.
+    /// Ids are dense, so this enumerates every id the graph has ever
+    /// handed out (terms are never evicted).
+    pub fn iter_terms(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.dict.iter()
+    }
+
     /// A fresh blank node unique within this graph.
     pub fn fresh_bnode(&mut self) -> TermId {
         loop {

@@ -36,6 +36,7 @@ pub mod governor;
 pub mod graph;
 pub mod intern;
 pub mod ntriples;
+pub mod pool;
 pub mod stats;
 pub mod term;
 pub mod turtle;
@@ -45,6 +46,7 @@ pub mod vocab;
 pub use governor::{Budget, CancelFlag, Exhausted, Guard, Resource};
 pub use graph::{Graph, IdTriple};
 pub use intern::{Interner, TermId};
+pub use pool::Parallelism;
 pub use stats::{GraphStats, PredicateStats};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};
 pub use view::{GraphStore, GraphView, Overlay};

@@ -18,6 +18,7 @@ use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
 use feo_rdf::governor::{Exhausted, Guard};
+use feo_rdf::pool::map_chunks;
 use feo_rdf::vocab::xsd;
 use feo_rdf::{Graph, GraphStore, GraphView, Overlay, Term, TermId, Triple};
 
@@ -26,6 +27,7 @@ use crate::error::{Result, SparqlError};
 use crate::parser::parse_query;
 use crate::plan::{
     plan_query, BgpPlan, ElementPlan, GroupPlan, Plan, Planner, QueryOptions, HASH_JOIN_MIN_INPUT,
+    PARALLEL_MIN_INPUT,
 };
 use crate::results::{QueryResult, SolutionTable};
 use crate::value::{
@@ -81,7 +83,11 @@ impl ExecOptions {
 /// discarded with the evaluation, so the caller's dictionary and triple
 /// set are untouched. Pass `&graph` for shared reads; `&mut graph` still
 /// compiles for older call sites.
-pub fn query<G: GraphView>(graph: G, text: &str, opts: &QueryOptions) -> Result<QueryResult> {
+pub fn query<G: GraphView + Sync>(
+    graph: G,
+    text: &str,
+    opts: &QueryOptions,
+) -> Result<QueryResult> {
     if let Some(guard) = opts.guard {
         guard.check_input(text.len())?;
     }
@@ -95,7 +101,11 @@ pub fn query<G: GraphView>(graph: G, text: &str, opts: &QueryOptions) -> Result<
 /// the view's statistics before any row flows; callers that reuse one
 /// plan across many executions (the engine's plan cache) should compile
 /// once with [`plan_query`] and call [`execute_prepared`].
-pub fn execute<G: GraphView>(graph: G, q: &Query, opts: &QueryOptions) -> Result<QueryResult> {
+pub fn execute<G: GraphView + Sync>(
+    graph: G,
+    q: &Query,
+    opts: &QueryOptions,
+) -> Result<QueryResult> {
     if opts.explain || opts.planner == Planner::CostBased {
         let plan = plan_query(&graph, q);
         if opts.explain {
@@ -111,7 +121,7 @@ pub fn execute<G: GraphView>(graph: G, q: &Query, opts: &QueryOptions) -> Result
 /// The plan must come from [`plan_query`] on the same query; a plan
 /// whose shape does not match degrades to greedy ordering for the
 /// mismatched nodes rather than misevaluating.
-pub fn execute_prepared<G: GraphView>(
+pub fn execute_prepared<G: GraphView + Sync>(
     graph: G,
     q: &Query,
     plan: &Plan,
@@ -126,7 +136,11 @@ pub fn execute_prepared<G: GraphView>(
 /// Parses and executes with the legacy options struct.
 #[deprecated(note = "use `query(graph, text, &QueryOptions { planner, .. })`")]
 #[allow(deprecated)]
-pub fn query_with<G: GraphView>(graph: G, text: &str, opts: &ExecOptions) -> Result<QueryResult> {
+pub fn query_with<G: GraphView + Sync>(
+    graph: G,
+    text: &str,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
     let q = parse_query(text)?;
     execute_inner(
         graph,
@@ -142,7 +156,11 @@ pub fn query_with<G: GraphView>(graph: G, text: &str, opts: &ExecOptions) -> Res
 /// Executes a parsed query with the legacy options struct.
 #[deprecated(note = "use `execute(graph, q, &QueryOptions { planner, .. })`")]
 #[allow(deprecated)]
-pub fn execute_with<G: GraphView>(graph: G, q: &Query, opts: &ExecOptions) -> Result<QueryResult> {
+pub fn execute_with<G: GraphView + Sync>(
+    graph: G,
+    q: &Query,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
     execute_inner(
         graph,
         q,
@@ -156,17 +174,25 @@ pub fn execute_with<G: GraphView>(graph: G, q: &Query, opts: &ExecOptions) -> Re
 
 /// Parses and executes under an execution [`Guard`].
 #[deprecated(note = "use `query(graph, text, &QueryOptions::guarded(guard))`")]
-pub fn query_guarded<G: GraphView>(graph: G, text: &str, guard: &Guard) -> Result<QueryResult> {
+pub fn query_guarded<G: GraphView + Sync>(
+    graph: G,
+    text: &str,
+    guard: &Guard,
+) -> Result<QueryResult> {
     query(graph, text, &QueryOptions::guarded(guard))
 }
 
 /// Executes a parsed query under an execution [`Guard`].
 #[deprecated(note = "use `execute(graph, q, &QueryOptions::guarded(guard))`")]
-pub fn execute_guarded<G: GraphView>(graph: G, q: &Query, guard: &Guard) -> Result<QueryResult> {
+pub fn execute_guarded<G: GraphView + Sync>(
+    graph: G,
+    q: &Query,
+    guard: &Guard,
+) -> Result<QueryResult> {
     execute(graph, q, &QueryOptions::guarded(guard))
 }
 
-fn execute_inner<G: GraphView>(
+fn execute_inner<G: GraphView + Sync>(
     graph: G,
     q: &Query,
     opts: &QueryOptions,
@@ -181,6 +207,7 @@ fn execute_inner<G: GraphView>(
         planner: opts.planner,
         guard: opts.guard,
         tripped: Cell::new(None),
+        workers: opts.parallelism.workers(),
     };
 
     let rows = ctx.eval_group(
@@ -370,9 +397,12 @@ struct Ctx<'a, G: GraphView> {
     /// closures) that cannot return a `Result`; checked at element
     /// boundaries and again when evaluation finishes.
     tripped: Cell<Option<Exhausted>>,
+    /// Resolved worker count for planner-marked parallel steps; 1 keeps
+    /// every join on the calling thread.
+    workers: usize,
 }
 
-impl<'a, G: GraphView> Ctx<'a, G> {
+impl<'a, G: GraphView + Sync> Ctx<'a, G> {
     /// Amortized governor poll for `&self` hot loops. Returns true when
     /// execution should stop; the trip is stashed in `self.tripped` and
     /// surfaced as an error at the next fallible boundary.
@@ -602,8 +632,18 @@ impl<'a, G: GraphView> Ctx<'a, G> {
                 let mut rows = input;
                 for step in &bp.steps {
                     let tp = &patterns[step.pattern];
+                    // Planner-marked parallel steps fan out only when a
+                    // pool is configured and the input side is wide
+                    // enough to amortize worker startup.
+                    let par = self.workers > 1 && step.parallel && rows.len() >= PARALLEL_MIN_INPUT;
                     rows = if step.hash_join && rows.len() >= HASH_JOIN_MIN_INPUT {
-                        self.match_triple_pattern_hash(tp, rows)?
+                        if par {
+                            self.match_triple_pattern_hash_par(tp, rows)?
+                        } else {
+                            self.match_triple_pattern_hash(tp, rows)?
+                        }
+                    } else if par {
+                        self.match_triple_pattern_par(tp, rows)?
                     } else {
                         self.match_triple_pattern(tp, rows)?
                     };
@@ -724,11 +764,6 @@ impl<'a, G: GraphView> Ctx<'a, G> {
         tp: &TriplePattern,
         rows: Vec<Binding>,
     ) -> Result<Vec<Binding>> {
-        // Solution charging is batched: a guard call per input binding
-        // costs ~2% on small queries, so produced rows accumulate locally
-        // and are charged every `CHARGE_BATCH` rows (bounding overshoot
-        // to one batch plus one binding's matches).
-        const CHARGE_BATCH: usize = 256;
         let mut uncharged: usize = 0;
         let mut out = Vec::new();
         for b in rows {
@@ -809,7 +844,6 @@ impl<'a, G: GraphView> Ctx<'a, G> {
             // Planner only marks plain predicates; stay correct anyway.
             return self.match_triple_pattern(tp, rows);
         };
-        const CHARGE_BATCH: usize = 256;
         let Some(p_id) = self.g.lookup_iri(p) else {
             // Unknown predicate: every row finds nothing.
             return Ok(Vec::new());
@@ -880,6 +914,227 @@ impl<'a, G: GraphView> Ctx<'a, G> {
             }
         }
         self.charge_solutions(uncharged)?;
+        Ok(out)
+    }
+
+    /// Row-partitioned dual of [`Self::match_triple_pattern`] for simple
+    /// (plain-IRI or variable) predicates: ground terms are interned
+    /// once up front, then input rows split into contiguous chunks and
+    /// workers match read-only against the shared view. Chunk outputs
+    /// concatenate in pinned input order, so the solution sequence is
+    /// identical to the sequential loop's. Workers charge the shared
+    /// guard directly (its counters are atomic); a trip stops the
+    /// worker's chunk and surfaces as a typed error after the merge —
+    /// overshoot is bounded by one charge batch per worker.
+    fn match_triple_pattern_par(
+        &mut self,
+        tp: &TriplePattern,
+        rows: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
+        let s_slot = self.term_slot(&tp.subject);
+        let o_slot = self.term_slot(&tp.object);
+        let s_ground = match &tp.subject {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let o_ground = match &tp.object {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let (p_fixed, p_slot) = match &tp.path {
+            Path::Iri(p) => match self.g.lookup_iri(p) {
+                Some(id) => (Some(id), None),
+                // Unknown predicate: every row finds nothing.
+                None => return Ok(Vec::new()),
+            },
+            Path::Var(v) => (None, self.vars.get(v)),
+            // Complex paths keep the sequential closure evaluator.
+            _ => return self.match_triple_pattern(tp, rows),
+        };
+        let g = &self.g;
+        let guard = self.guard;
+        let results = map_chunks(self.workers, PARALLEL_MIN_INPUT, &rows, |_, chunk| {
+            let mut out: Vec<Binding> = Vec::new();
+            let mut uncharged = 0usize;
+            let mut trip: Option<Exhausted> = None;
+            for b in chunk {
+                if let Some(gd) = guard {
+                    if let Err(e) = gd.check_time() {
+                        trip = Some(e);
+                        break;
+                    }
+                }
+                let s_val = s_ground.or_else(|| s_slot.and_then(|sl| b[sl]));
+                let o_val = o_ground.or_else(|| o_slot.and_then(|sl| b[sl]));
+                let p_val = p_fixed.or_else(|| p_slot.and_then(|sl| b[sl]));
+                let before = out.len();
+                for [ms, mp, mo] in g.match_pattern(s_val, p_val, o_val) {
+                    let mut nb = b.clone();
+                    if let Some(slot) = s_slot {
+                        nb[slot] = Some(ms);
+                    }
+                    if let Some(slot) = p_slot {
+                        nb[slot] = Some(mp);
+                    }
+                    if let Some(slot) = o_slot {
+                        nb[slot] = Some(mo);
+                    }
+                    out.push(nb);
+                }
+                uncharged += out.len() - before;
+                if uncharged >= CHARGE_BATCH {
+                    if let Err(e) = charge(guard, &mut uncharged) {
+                        trip = Some(e);
+                        break;
+                    }
+                }
+            }
+            if trip.is_none() {
+                trip = charge(guard, &mut uncharged).err();
+            }
+            (out, trip)
+        });
+        self.merge_partitions(results)
+    }
+
+    /// Parallel dual of [`Self::match_triple_pattern_hash`]: the build
+    /// side hashes in sharded chunks across the pool (each worker hashes
+    /// one contiguous slice of the scan, keyed by global scan index),
+    /// then input rows probe the shards in parallel. Probing consults
+    /// shards in chunk order and shard hit lists are ascending, so per
+    /// key the concatenated hits reproduce exactly the single-map scan
+    /// order — the output multiset and sequence match the sequential
+    /// path for every worker count.
+    fn match_triple_pattern_hash_par(
+        &mut self,
+        tp: &TriplePattern,
+        rows: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
+        let Path::Iri(p) = &tp.path else {
+            // Planner only marks plain predicates; stay correct anyway.
+            return self.match_triple_pattern(tp, rows);
+        };
+        let Some(p_id) = self.g.lookup_iri(p) else {
+            // Unknown predicate: every row finds nothing.
+            return Ok(Vec::new());
+        };
+        let s_slot = self.term_slot(&tp.subject);
+        let o_slot = self.term_slot(&tp.object);
+        let s_ground = match &tp.subject {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let o_ground = match &tp.object {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let scan: Vec<[TermId; 3]> = self.g.match_pattern(s_ground, Some(p_id), o_ground);
+        // One cheap pass decides which probe structures the row set
+        // needs (rows can differ in boundness under OPTIONAL / UNION).
+        let (mut need_s, mut need_o, mut need_so) = (false, false, false);
+        for b in &rows {
+            let sb = s_slot.and_then(|sl| b[sl]).is_some();
+            let ob = o_slot.and_then(|sl| b[sl]).is_some();
+            match (sb, ob) {
+                (true, true) => need_so = true,
+                (true, false) => need_s = true,
+                (false, true) => need_o = true,
+                (false, false) => {}
+            }
+        }
+        let workers = self.workers;
+        let by_s = need_s.then(|| build_shards(workers, &scan, 0));
+        let by_o = need_o.then(|| build_shards(workers, &scan, 2));
+        let by_so: Option<HashSet<(TermId, TermId)>> =
+            need_so.then(|| scan.iter().map(|t| (t[0], t[2])).collect());
+        let guard = self.guard;
+        let results = map_chunks(workers, PARALLEL_MIN_INPUT, &rows, |_, chunk| {
+            let mut out: Vec<Binding> = Vec::new();
+            let mut uncharged = 0usize;
+            let mut trip: Option<Exhausted> = None;
+            for b in chunk {
+                if let Some(gd) = guard {
+                    if let Err(e) = gd.check_time() {
+                        trip = Some(e);
+                        break;
+                    }
+                }
+                let before = out.len();
+                let s_val = s_slot.and_then(|sl| b[sl]);
+                let o_val = o_slot.and_then(|sl| b[sl]);
+                match (s_val, o_val) {
+                    (Some(sv), Some(ov)) => {
+                        if by_so.as_ref().is_some_and(|set| set.contains(&(sv, ov))) {
+                            out.push(b.clone());
+                        }
+                    }
+                    (Some(sv), None) => {
+                        for shard in by_s.iter().flatten() {
+                            if let Some(hits) = shard.get(&sv) {
+                                for &i in hits {
+                                    let mut nb = b.clone();
+                                    if bind(&mut nb, o_slot, scan[i][2]) {
+                                        out.push(nb);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (None, Some(ov)) => {
+                        for shard in by_o.iter().flatten() {
+                            if let Some(hits) = shard.get(&ov) {
+                                for &i in hits {
+                                    let mut nb = b.clone();
+                                    if bind(&mut nb, s_slot, scan[i][0]) {
+                                        out.push(nb);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (None, None) => {
+                        for t in &scan {
+                            let mut nb = b.clone();
+                            if bind(&mut nb, s_slot, t[0]) && bind(&mut nb, o_slot, t[2]) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                }
+                uncharged += out.len() - before;
+                if uncharged >= CHARGE_BATCH {
+                    if let Err(e) = charge(guard, &mut uncharged) {
+                        trip = Some(e);
+                        break;
+                    }
+                }
+            }
+            if trip.is_none() {
+                trip = charge(guard, &mut uncharged).err();
+            }
+            (out, trip)
+        });
+        self.merge_partitions(results)
+    }
+
+    /// Concatenates per-chunk outputs in pinned order; the first worker
+    /// trip (if any) is recorded and surfaced as a typed error.
+    fn merge_partitions(
+        &self,
+        results: Vec<(Vec<Binding>, Option<Exhausted>)>,
+    ) -> Result<Vec<Binding>> {
+        let mut out = Vec::new();
+        let mut trip: Option<Exhausted> = None;
+        for (chunk_out, chunk_trip) in results {
+            out.extend(chunk_out);
+            if trip.is_none() {
+                trip = chunk_trip;
+            }
+        }
+        if let Some(e) = trip {
+            self.tripped.set(Some(e));
+            return Err(SparqlError::Exhausted(e));
+        }
         Ok(out)
     }
 
@@ -1923,6 +2178,39 @@ fn index_scan(scan: &[[TermId; 3]], col: usize) -> HashMap<TermId, Vec<usize>> {
         map.entry(t[col]).or_default().push(i);
     }
     map
+}
+
+/// Solution charging is batched: a guard call per input binding costs
+/// ~2% on small queries, so produced rows accumulate locally and are
+/// charged every `CHARGE_BATCH` rows (bounding overshoot to one batch
+/// plus one binding's matches per charging thread).
+const CHARGE_BATCH: usize = 256;
+
+/// Flushes a worker's accumulated row count into the shared guard.
+fn charge(guard: Option<&Guard>, uncharged: &mut usize) -> std::result::Result<(), Exhausted> {
+    let n = std::mem::take(uncharged);
+    match guard {
+        Some(g) if n > 0 => g.add_solutions(n as u64),
+        _ => Ok(()),
+    }
+}
+
+/// Sharded parallel dual of [`index_scan`]: each worker hashes one
+/// contiguous chunk of the scan, keying hits by **global** scan index.
+/// Probing every shard in chunk order yields hit indices in ascending
+/// order — exactly the sequence the single-map build produces.
+fn build_shards(
+    workers: usize,
+    scan: &[[TermId; 3]],
+    col: usize,
+) -> Vec<HashMap<TermId, Vec<usize>>> {
+    map_chunks(workers, PARALLEL_MIN_INPUT, scan, |start, chunk| {
+        let mut map: HashMap<TermId, Vec<usize>> = HashMap::new();
+        for (i, t) in chunk.iter().enumerate() {
+            map.entry(t[col]).or_default().push(start + i);
+        }
+        map
+    })
 }
 
 fn contains_aggregate(e: &Expr) -> bool {

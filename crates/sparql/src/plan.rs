@@ -22,6 +22,7 @@ use std::collections::HashSet;
 use std::fmt::Write as _;
 
 use feo_rdf::governor::Guard;
+use feo_rdf::pool::Parallelism;
 use feo_rdf::vocab::rdf;
 use feo_rdf::GraphView;
 
@@ -70,6 +71,11 @@ pub struct QueryOptions<'a> {
     /// When set, return the rendered plan as [`crate::QueryResult::Plan`]
     /// instead of executing — SQL `EXPLAIN` semantics.
     pub explain: bool,
+    /// Worker pool for planner-marked joins (leaf scans and hash-join
+    /// build/probe over large intermediaries). Whatever the setting, the
+    /// solution multiset is identical — partitions merge in pinned input
+    /// order — so this is a throughput knob, never a semantics knob.
+    pub parallelism: Parallelism,
 }
 
 impl<'a> QueryOptions<'a> {
@@ -160,6 +166,11 @@ pub struct PlanStep {
     /// Build a hash table over the pattern's scan once and probe it per
     /// input row, instead of a B-tree range scan per row.
     pub hash_join: bool,
+    /// This step's estimated work is large enough that partitioning the
+    /// input rows (and the hash build) across a worker pool pays for the
+    /// fan-out. The evaluator additionally requires enough input rows at
+    /// runtime ([`PARALLEL_MIN_INPUT`]) and a configured pool.
+    pub parallel: bool,
 }
 
 /// Build side below this many triples: per-row range scans are cheap
@@ -169,6 +180,15 @@ pub(crate) const HASH_JOIN_BUILD_MIN: f64 = 64.0;
 /// Fewer input rows than this at runtime: probe setup cannot amortize,
 /// fall back to the nested-loop path.
 pub(crate) const HASH_JOIN_MIN_INPUT: usize = 8;
+
+/// Estimated per-row matches above which the planner marks a step
+/// parallelizable: below this the per-row work is too small for thread
+/// fan-out to beat the sequential loop.
+pub(crate) const PARALLEL_EST_MIN: f64 = 256.0;
+
+/// Fewer input rows than this at runtime: partitioning cannot amortize
+/// worker startup, stay sequential even on a parallel-marked step.
+pub(crate) const PARALLEL_MIN_INPUT: usize = 128;
 
 /// Compiles `q` into a [`Plan`] using `view`'s statistics.
 pub fn plan_query<G: GraphView>(view: &G, q: &Query) -> Plan {
@@ -271,6 +291,10 @@ fn plan_bgp<G: GraphView>(
         let pi = remaining.remove(best);
         let tp = &patterns[pi];
         let hash_join = hash_join_worthwhile(view, tp, vars, bound);
+        // Hash-join steps have O(1) probes, so parallelism pays once the
+        // input side is wide (the runtime row gate); scan steps need the
+        // per-row work itself to clear the cardinality threshold.
+        let parallel = hash_join || best_est >= PARALLEL_EST_MIN;
         for slot in pattern_var_slots(tp, vars) {
             bound.insert(slot);
         }
@@ -279,6 +303,7 @@ fn plan_bgp<G: GraphView>(
             est_rows: best_est,
             index: best_index,
             hash_join,
+            parallel,
         });
     }
     BgpPlan { steps }
@@ -450,14 +475,16 @@ fn render_group(out: &mut String, group: &GroupPattern, plan: &GroupPlan, depth:
                         .map(fmt_pattern)
                         .unwrap_or_else(|| "<pattern out of range>".to_string());
                     let join = if step.hash_join { " join=hash" } else { "" };
+                    let par = if step.parallel { " par" } else { "" };
                     let _ = writeln!(
                         out,
-                        "{}. {}  [idx={} est={:.1}{}]",
+                        "{}. {}  [idx={} est={:.1}{}{}]",
                         order + 1,
                         pattern,
                         step.index.name(),
                         step.est_rows,
-                        join
+                        join,
+                        par
                     );
                 }
             }

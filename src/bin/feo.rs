@@ -56,6 +56,7 @@ fn usage_and_exit() -> ! {
            feo explain steps <Food> [profile flags]\n\
            feo proof <Individual> <fact|foil> [profile flags]\n\
            feo query <SPARQL string> [--explain] [--planner off|greedy|cost-based]\n\
+                     [--threads off|auto|N]\n\
            feo export [--raw] [profile flags]\n\
            feo list\n\
          \n\
@@ -77,6 +78,7 @@ struct Opts {
     raw: bool,
     explain: bool,
     planner: Planner,
+    parallelism: Parallelism,
     positional: Vec<String>,
 }
 
@@ -88,6 +90,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut raw = false;
     let mut explain = false;
     let mut planner = Planner::default();
+    let mut parallelism = Parallelism::default();
     let mut positional = Vec::new();
     let mut i = 0;
     let list = |v: &str| -> Vec<String> {
@@ -147,6 +150,19 @@ fn parse_opts(args: &[String]) -> Opts {
                     }
                 }
             }
+            "--threads" => {
+                parallelism = match value("--threads").to_ascii_lowercase().as_str() {
+                    "off" | "1" => Parallelism::Off,
+                    "auto" => Parallelism::Auto,
+                    n => match n.parse::<usize>() {
+                        Ok(n) if n > 0 => Parallelism::Fixed(n),
+                        _ => {
+                            eprintln!("--threads needs a positive integer, 'off', or 'auto'");
+                            exit(2);
+                        }
+                    },
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag '{other}'");
                 exit(2);
@@ -169,6 +185,7 @@ fn parse_opts(args: &[String]) -> Opts {
         raw,
         explain,
         planner,
+        parallelism,
         positional,
     }
 }
@@ -310,6 +327,7 @@ fn cmd_query(args: &[String]) {
     let qopts = QueryOptions {
         guard: None,
         planner: opts.planner,
+        parallelism: opts.parallelism,
         explain: opts.explain,
     };
     match feo::sparql::query(&g, &full, &qopts) {

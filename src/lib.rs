@@ -65,5 +65,6 @@ pub mod prelude {
     pub use crate::foodkg::{curated, Season, SystemContext, UserProfile};
     pub use crate::owl::{MaterializeOptions, Reasoner};
     pub use crate::rdf::governor::{Budget, Exhausted, Guard};
+    pub use crate::rdf::Parallelism;
     pub use crate::sparql::{Planner, QueryOptions, QueryResult};
 }
