@@ -87,4 +87,16 @@ echo "== parallel smoke (bounded wall-clock)"
 # to EXPERIMENTS.md / BENCH_pr5.json, the smoke run just has to complete.
 timeout 180 cargo run -q --release --offline -p feo-bench --bin parallel_gain -- --smoke
 
+echo "== epoch ledger (bounded wall-clock, both thread modes)"
+# Time travel must be byte-identical (explain_as_of replays old answers
+# exactly), branches must never perturb parent epochs, and the hash
+# chain must verify — at 1 and 4 workers alike.
+FEO_THREADS=1 timeout 240 cargo test -q --offline --release --test ledger
+FEO_THREADS=4 timeout 240 cargo test -q --offline --release --test ledger
+
+echo "== ledger ops smoke (bounded wall-clock)"
+# The paired ledger-ops harness must run end to end; full numbers go to
+# BENCH_pr6.json, the smoke run just has to complete.
+timeout 180 cargo run -q --release --offline -p feo-bench --bin ledger_ops -- --smoke
+
 echo "CI green."

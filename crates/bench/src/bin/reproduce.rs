@@ -11,6 +11,7 @@
 use feo_core::{competency, figure3_matrix, scenario_a, ExplanationEngine, Population, Question};
 use feo_foodkg::{curated, Season, SystemContext, UserProfile};
 use feo_ontology::report::{characteristic_tree, property_lattice};
+use feo_rdf::GraphView;
 use feo_recommender::{HealthCoach, Recommender};
 
 fn main() {
@@ -160,7 +161,9 @@ fn fig4() {
     let s = scenario_a();
     let mut engine = s.engine().expect("consistent");
     let e = engine.explain(&s.question).expect("explained");
-    let g = engine.graph();
+    // The question individual lives in the layer the explain committed,
+    // so render from the ledger's head view, not the sealed base.
+    let g = engine.base().ledger().head_view();
 
     let focus = [
         "CauliflowerPotatoCurry",

@@ -1,17 +1,23 @@
-//! Snapshot-keyed SPARQL plan cache.
+//! Epoch-keyed SPARQL plan cache.
 //!
 //! The engine answers every question by instantiating a handful of
 //! SPARQL templates, so the same query text recurs across sessions over
 //! one [`crate::EngineBase`]. Parsing and cost-based planning are pure
-//! functions of (query text, graph statistics), and the base graph is
-//! immutable between commits — so both can be cached on the base and
-//! shared by every session.
+//! functions of (query text, graph statistics), and with the epoch
+//! ledger every epoch's graph is immutable forever — so entries are
+//! keyed by `(EpochId, query text)` and each entry is a pure function
+//! of its key.
 //!
-//! Entries are keyed by query text and stamped with the base's *snapshot
-//! epoch*. Committing a session delta into the base
-//! ([`crate::EngineBase`]'s absorb) bumps the epoch, which invalidates
-//! every cached plan at once: the statistics that justified the old join
-//! orders no longer describe the graph.
+//! This keying also closes the race the old design documented: entries
+//! used to be stamped with an epoch read *before* planning, so a lookup
+//! racing an invalidate could insert a plan computed against new
+//! statistics under an old stamp. Now the caller passes the epoch and
+//! the matching epoch view together; whatever interleaving occurs, an
+//! entry under key `(e, q)` always holds the plan for epoch `e`'s
+//! statistics. Commits invalidate nothing — the head moves to a fresh
+//! key, while entries for older epochs stay retained so time-travel
+//! queries keep hitting cached plans. A capacity bound evicts the
+//! entries furthest from the head when the cache grows too large.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,25 +27,28 @@ use feo_rdf::GraphView;
 use feo_sparql::ast::Query;
 use feo_sparql::{parse_query, plan_query, Plan, SparqlError};
 
+/// Entries retained across all epochs before eviction kicks in.
+const MAX_ENTRIES: usize = 256;
+
 /// Hit/miss counters and current state of a [`crate::EngineBase`]'s plan
 /// cache — exposed so tests (and curious callers) can verify that
-/// repeated questions reuse cached plans and that commits invalidate
-/// them.
+/// repeated questions reuse cached plans and that commits re-key the
+/// head without disturbing older epochs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Lookups answered from the cache without re-parsing or re-planning.
     pub hits: u64,
-    /// Lookups that had to parse and plan (first sight of a query text,
-    /// or its entry was stamped with an older epoch).
+    /// Lookups that had to parse and plan (first sight of a
+    /// (epoch, query) pair).
     pub misses: u64,
-    /// Entries currently cached.
+    /// Entries currently cached, across all retained epochs.
     pub entries: usize,
-    /// Current snapshot epoch; bumped on every commit into the base.
+    /// The head epoch last announced via [`PlanCache::advance_head`] —
+    /// the ledger's newest commit.
     pub epoch: u64,
 }
 
 struct CachedPlan {
-    epoch: u64,
     query: Arc<Query>,
     plan: Arc<Plan>,
 }
@@ -54,42 +63,48 @@ struct CachedPlan {
 /// entry.
 #[derive(Default)]
 pub(crate) struct PlanCache {
-    entries: RwLock<HashMap<String, CachedPlan>>,
-    epoch: AtomicU64,
+    entries: RwLock<HashMap<(u64, String), CachedPlan>>,
+    head: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl PlanCache {
-    /// Returns the parsed query and its plan, reusing a cached pair when
-    /// one exists for the current epoch; otherwise parses `text`, plans
-    /// it against `view`'s statistics, and caches the result.
+    /// Returns the parsed query and its plan for `epoch`, reusing a
+    /// cached pair when one exists; otherwise parses `text`, plans it
+    /// against `view`'s statistics, and caches the result under
+    /// `(epoch, text)`.
+    ///
+    /// Correctness contract: `view` must be the graph view *of*
+    /// `epoch`. The key and the statistics travel together, so a
+    /// concurrent commit can never smuggle a plan for one epoch under
+    /// another epoch's key.
     pub(crate) fn get_or_insert<G: GraphView>(
         &self,
         text: &str,
+        epoch: u64,
         view: G,
     ) -> Result<(Arc<Query>, Arc<Plan>), SparqlError> {
-        let epoch = self.epoch.load(Ordering::Acquire);
         {
             // A poisoned lock only means another thread panicked while
             // holding it; the map is still structurally sound, so keep
             // serving rather than propagate the panic.
             let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
-            if let Some(hit) = entries.get(text) {
-                if hit.epoch == epoch {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((Arc::clone(&hit.query), Arc::clone(&hit.plan)));
-                }
+            if let Some(hit) = entries.get(&(epoch, text.to_string())) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(&hit.query), Arc::clone(&hit.plan)));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let query = Arc::new(parse_query(text)?);
         let plan = Arc::new(plan_query(&view, &query));
         let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        if entries.len() >= MAX_ENTRIES {
+            Self::evict(&mut entries, self.head.load(Ordering::Acquire), epoch);
+        }
         entries.insert(
-            text.to_string(),
+            (epoch, text.to_string()),
             CachedPlan {
-                epoch,
                 query: Arc::clone(&query),
                 plan: Arc::clone(&plan),
             },
@@ -97,16 +112,24 @@ impl PlanCache {
         Ok((query, plan))
     }
 
-    /// Bumps the snapshot epoch and drops every cached entry. Called when
-    /// a session delta is committed into the base graph. Entries inserted
-    /// by lookups that raced the bump carry the old epoch and are
-    /// rejected at their next lookup.
-    pub(crate) fn invalidate(&self) {
-        self.epoch.fetch_add(1, Ordering::AcqRel);
-        self.entries
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .clear();
+    /// Drops the entries whose epoch lies furthest from the head,
+    /// sparing the epoch currently being inserted.
+    fn evict(entries: &mut HashMap<(u64, String), CachedPlan>, head: u64, inserting: u64) {
+        let victim = entries
+            .keys()
+            .map(|(e, _)| *e)
+            .filter(|&e| e != inserting)
+            .max_by_key(|&e| head.abs_diff(e));
+        if let Some(victim) = victim {
+            entries.retain(|(e, _), _| *e != victim);
+        }
+    }
+
+    /// Announces a new head epoch after a commit. Nothing is dropped:
+    /// older epochs' plans remain valid for time-travel queries and stay
+    /// cached; only lookups at the new head will miss (fresh keys).
+    pub(crate) fn advance_head(&self, head: u64) {
+        self.head.fetch_max(head, Ordering::AcqRel);
     }
 
     pub(crate) fn stats(&self) -> PlanCacheStats {
@@ -114,7 +137,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.read().unwrap_or_else(|e| e.into_inner()).len(),
-            epoch: self.epoch.load(Ordering::Acquire),
+            epoch: self.head.load(Ordering::Acquire),
         }
     }
 }
@@ -136,8 +159,8 @@ mod tests {
     fn repeated_lookup_hits() {
         let cache = PlanCache::default();
         let g = graph();
-        cache.get_or_insert(Q, &g).expect("parses");
-        cache.get_or_insert(Q, &g).expect("parses");
+        cache.get_or_insert(Q, 0, &g).expect("parses");
+        cache.get_or_insert(Q, 0, &g).expect("parses");
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
@@ -145,23 +168,27 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_bumps_epoch_and_clears() {
+    fn commits_retain_old_epochs() {
         let cache = PlanCache::default();
         let g = graph();
-        cache.get_or_insert(Q, &g).expect("parses");
-        cache.invalidate();
+        cache.get_or_insert(Q, 0, &g).expect("parses");
+        cache.advance_head(1);
+        // Head lookups re-plan under the new key…
+        cache.get_or_insert(Q, 1, &g).expect("parses");
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().entries, 2);
+        // …but time-travel back to epoch 0 still hits.
+        cache.get_or_insert(Q, 0, &g).expect("parses");
         let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "epoch-0 plan must survive the commit");
         assert_eq!(stats.epoch, 1);
-        assert_eq!(stats.entries, 0);
-        cache.get_or_insert(Q, &g).expect("parses");
-        assert_eq!(cache.stats().misses, 2, "old entry must not be reused");
     }
 
     #[test]
     fn parse_errors_are_not_cached() {
         let cache = PlanCache::default();
         let g = graph();
-        assert!(cache.get_or_insert("SELEKT nonsense", &g).is_err());
+        assert!(cache.get_or_insert("SELEKT nonsense", 0, &g).is_err());
         assert_eq!(cache.stats().entries, 0);
     }
 
@@ -169,8 +196,98 @@ mod tests {
     fn distinct_texts_get_distinct_entries() {
         let cache = PlanCache::default();
         let g = graph();
-        cache.get_or_insert(Q, &g).expect("parses");
-        cache.get_or_insert("ASK { ?s ?p ?o }", &g).expect("parses");
+        cache.get_or_insert(Q, 0, &g).expect("parses");
+        cache
+            .get_or_insert("ASK { ?s ?p ?o }", 0, &g)
+            .expect("parses");
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn eviction_drops_epochs_furthest_from_head() {
+        let cache = PlanCache::default();
+        let g = graph();
+        // Fill the cache across many epochs with distinct texts.
+        let mut epoch = 0u64;
+        while cache.stats().entries < MAX_ENTRIES {
+            cache
+                .get_or_insert(&format!("SELECT ?s WHERE {{ ?s ?p {epoch} }}"), epoch, &g)
+                .expect("parses");
+            epoch += 1;
+        }
+        cache.advance_head(epoch);
+        cache.get_or_insert(Q, epoch, &g).expect("parses");
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= MAX_ENTRIES,
+            "capacity bound holds: {stats:?}"
+        );
+        // The head insert itself survived.
+        cache.get_or_insert(Q, epoch, &g).expect("parses");
+        assert!(cache.stats().hits >= 1);
+    }
+
+    /// The race the old design documented: lookups racing a commit. With
+    /// `(epoch, query)` keys an entry is a pure function of its key, so
+    /// hammering lookups across epochs while the head advances must
+    /// never produce a cross-epoch mix-up — every returned plan equals a
+    /// freshly computed plan for the same key.
+    #[test]
+    fn concurrent_lookups_across_epochs_never_cross_contaminate() {
+        let cache = PlanCache::default();
+        // Two graphs with deliberately different statistics so a plan
+        // computed against the wrong view is distinguishable.
+        let small = graph();
+        let mut big = Graph::new();
+        for i in 0..64 {
+            big.insert_iris(
+                &format!("http://e/s{i}"),
+                "http://e/p",
+                &format!("http://e/o{}", i % 4),
+            );
+            big.insert_iris(&format!("http://e/s{i}"), "http://e/q", "http://e/x");
+        }
+        let texts = [
+            "SELECT ?s WHERE { ?s <http://e/p> ?o . ?s <http://e/q> ?x }",
+            "SELECT ?s WHERE { ?s <http://e/q> ?x . ?s <http://e/p> ?o }",
+            Q,
+        ];
+        let expect = |epoch: u64, text: &str| {
+            let view: &Graph = if epoch.is_multiple_of(2) {
+                &small
+            } else {
+                &big
+            };
+            let q = parse_query(text).expect("parses");
+            format!("{:?}", plan_query(&view, &q))
+        };
+
+        std::thread::scope(|s| {
+            for worker in 0..8 {
+                let cache = &cache;
+                let small = &small;
+                let big = &big;
+                let texts = &texts;
+                let expect = &expect;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let epoch = (worker as u64 + i) % 6;
+                        let view: &Graph = if epoch.is_multiple_of(2) { small } else { big };
+                        let text = texts[(i as usize + worker) % texts.len()];
+                        let (_, plan) = cache.get_or_insert(text, epoch, view).expect("parses");
+                        assert_eq!(
+                            format!("{plan:?}"),
+                            expect(epoch, text),
+                            "plan under key ({epoch}, {text:?}) diverged"
+                        );
+                        if i % 50 == 0 {
+                            cache.advance_head(epoch);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
     }
 }

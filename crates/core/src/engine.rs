@@ -1,20 +1,29 @@
 //! The explanation engine — the paper's pipeline end to end.
 //!
-//! The engine is split along the snapshot + overlay architecture:
+//! The engine is split along the snapshot + ledger architecture:
 //!
 //! - [`EngineBase`] assembles the reasoning graph (TBoxes + FoodKG +
 //!   user + system context + knowledge records), compiles the OWL rule
-//!   set once, and materializes the closure once. It is immutable after
-//!   construction and can be shared behind an `Arc` across threads.
-//! - [`Session`] answers questions against a borrowed base. Question
-//!   individuals are asserted into a per-session [`Overlay`] and closed
-//!   incrementally with the precompiled rules — the base graph is never
-//!   touched, so concurrent sessions cannot observe each other.
+//!   set once, materializes the closure once, and seals the result as
+//!   epoch 0 of an append-only [`Ledger`]. Committing a session delta
+//!   ([`EngineBase::commit`]) appends an immutable layer — with its own
+//!   intern spill, its per-commit closure, and a chained
+//!   tamper-evidence hash — instead of destructively absorbing it, so
+//!   every historical epoch stays addressable:
+//!   [`EngineBase::at_epoch`] / [`EngineBase::explain_as_of`] reproduce
+//!   old answers byte-identically, and named branches
+//!   ([`EngineBase::branch_create`]) fork counterfactual worlds from
+//!   any epoch without copying the base closure.
+//! - [`Session`] answers questions against a borrowed epoch view.
+//!   Question individuals are asserted into a per-session [`Overlay`]
+//!   and closed incrementally with the precompiled rules — committed
+//!   layers are never touched, so concurrent sessions cannot observe
+//!   each other.
 //! - [`ExplanationEngine`] is the original single-owner façade: it wraps
-//!   an [`EngineBase`] and commits each session's delta back into the
-//!   base, preserving the accumulate-across-questions behaviour (and
-//!   proof trees) of earlier versions while using the incremental
-//!   closure underneath.
+//!   an [`EngineBase`] and commits each session's delta as a new epoch,
+//!   preserving the accumulate-across-questions behaviour (and proof
+//!   trees) of earlier versions while using the incremental closure
+//!   underneath.
 //!
 //! Each `explain` call asserts the question individual, re-closes the
 //! view, evaluates the explanation type's SPARQL template, and renders
@@ -26,12 +35,13 @@ use feo_owl::{
     CompiledRules, InferenceResult, MaterializeOptions, Reasoner, ReasonerError, ReasonerOptions,
 };
 use feo_rdf::governor::{Budget, Exhausted, Guard};
+use feo_rdf::ledger::{diff_views, BranchChain, EpochId, Ledger, LedgerView};
 use feo_rdf::pool::map_chunks;
 use feo_rdf::{Graph, GraphView, IdTriple, Overlay, Parallelism, Term};
 use feo_recommender::{RecommendationSet, TraceStep};
 use feo_sparql::{
-    execute, execute_prepared, parse_query, Planner, QueryOptions, QueryResult, SolutionTable,
-    SparqlError,
+    execute, execute_prepared, parse_query, plan_query, Planner, QueryOptions, QueryResult,
+    SolutionTable, SparqlError,
 };
 
 use crate::cache::{PlanCache, PlanCacheStats};
@@ -60,6 +70,12 @@ pub enum EngineError {
     /// [`feo_rdf::governor`]). Catch this to degrade gracefully — or use
     /// [`EngineBase::explain_with_budget`], which does it for you.
     Exhausted(Exhausted),
+    /// A time-travel call named an epoch past the ledger head.
+    UnknownEpoch(u64),
+    /// A branch operation named a branch that was never created.
+    UnknownBranch(String),
+    /// `branch_create` was given a name already in use (or `"main"`).
+    DuplicateBranch(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -80,6 +96,11 @@ impl std::fmt::Display for EngineError {
                 )
             }
             EngineError::Exhausted(e) => write!(f, "explanation stopped early: {e}"),
+            EngineError::UnknownEpoch(n) => write!(f, "unknown epoch: {n} is past the ledger head"),
+            EngineError::UnknownBranch(name) => write!(f, "unknown branch: {name}"),
+            EngineError::DuplicateBranch(name) => {
+                write!(f, "branch name already in use: {name}")
+            }
         }
     }
 }
@@ -188,25 +209,94 @@ impl BudgetedOutcome {
     }
 }
 
-/// The shared, materialized snapshot of the reasoning world.
+/// One line of [`EngineBase::history`]: what a commit added and the
+/// chained hash sealing it.
+#[derive(Debug, Clone)]
+pub struct CommitInfo {
+    pub epoch: EpochId,
+    /// Provenance label recorded at commit time (`"base"` for epoch 0).
+    pub label: String,
+    /// Triples this epoch added (the whole closed base for epoch 0).
+    pub triples: usize,
+    /// Dictionary terms this epoch added.
+    pub terms: usize,
+    /// How many of the added triples the per-commit closure derived.
+    pub inferred: usize,
+    /// Chained tamper-evidence hash at this epoch.
+    pub hash: u64,
+}
+
+/// One line of [`EngineBase::branch_list`].
+#[derive(Debug, Clone)]
+pub struct BranchInfo {
+    pub name: String,
+    /// Main-chain epoch the branch forked from.
+    pub fork: EpochId,
+    /// Commits the branch has made since forking.
+    pub commits: usize,
+    /// The branch's head epoch (fork + its own commits).
+    pub head: EpochId,
+    /// Hash of the branch's newest layer (`None` before any commit).
+    pub head_hash: Option<u64>,
+}
+
+/// Content-level difference between two branch heads, as rendered
+/// triples (each view renders through its own dictionary, so diverged
+/// id spaces compare correctly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchDiff {
+    pub only_in_a: Vec<String>,
+    pub only_in_b: Vec<String>,
+}
+
+impl BranchDiff {
+    /// True when both heads hold exactly the same triples.
+    pub fn is_empty(&self) -> bool {
+        self.only_in_a.is_empty() && self.only_in_b.is_empty()
+    }
+}
+
+struct NamedBranch {
+    name: String,
+    chain: BranchChain,
+}
+
+/// Per-commit provenance kept alongside the ledger layers (entry `k`
+/// describes epoch `k + 1`).
+struct CommitNote {
+    label: String,
+    inferred: usize,
+}
+
+/// The shared, materialized snapshot of the reasoning world — the
+/// anchor of an append-only epoch [`Ledger`].
 ///
 /// Built once per (KG, user, context) triple: the graph is assembled,
-/// the rule set compiled from the TBox, and the closure materialized.
-/// After that the base is read-only — [`EngineBase::explain`] takes
-/// `&self` and spins up a throwaway [`Session`] per question, so one
-/// base behind an `Arc` serves any number of threads concurrently.
+/// the rule set compiled from the TBox, and the closure materialized as
+/// epoch 0. Reads take `&self` — [`EngineBase::explain`] spins up a
+/// throwaway [`Session`] per question, so one base behind an `Arc`
+/// serves any number of threads concurrently. Commits take `&mut self`
+/// and append immutable layers; old epochs stay addressable through
+/// [`EngineBase::at_epoch`] and named branches.
 pub struct EngineBase {
     kg: FoodKg,
     user: UserProfile,
     ctx: SystemContext,
-    graph: Graph,
+    /// Epoch 0 (the closed base) plus every committed delta layer.
+    ledger: Ledger,
+    /// Provenance for each committed layer, parallel to `ledger.layers()`.
+    commit_log: Vec<CommitNote>,
+    /// Named counterfactual worlds forked from main-chain epochs.
+    branches: Vec<NamedBranch>,
     rules: CompiledRules,
+    /// Closure statistics and derivations aggregated across the base
+    /// and every main-chain commit (branch closures stay branch-local).
     inference: InferenceResult,
     population: Option<Population>,
     recommendations: Option<RecommendationSet>,
     track_proofs: bool,
-    /// Parsed queries and their cost-based plans, keyed by query text and
-    /// the base's snapshot epoch (see [`crate::cache`]).
+    /// Parsed queries and their cost-based plans, keyed by
+    /// `(EpochId, query text)` (see [`crate::cache`]).
     plan_cache: PlanCache,
 }
 
@@ -257,7 +347,9 @@ impl EngineBase {
             kg,
             user,
             ctx,
-            graph,
+            ledger: Ledger::new(graph),
+            commit_log: Vec::new(),
+            branches: Vec::new(),
             rules,
             inference,
             population: None,
@@ -277,18 +369,12 @@ impl EngineBase {
     /// Adds a reference population (enables case-based and statistical
     /// explanations). The population ABox is closed incrementally — it
     /// is written into an overlay, `materialize_delta` derives its
-    /// consequences against the already-closed base, and the delta is
-    /// merged back — rather than re-running the full fixpoint.
-    /// Order-insensitive with [`EngineBase::with_recommendations`].
+    /// consequences against the already-closed head, and the delta is
+    /// committed as a new epoch — rather than re-running the full
+    /// fixpoint. Order-insensitive with
+    /// [`EngineBase::with_recommendations`].
     pub fn with_population(mut self, population: Population) -> Self {
-        let reasoner = Self::reasoner(self.track_proofs);
-        let mut overlay = Overlay::new(&self.graph);
-        population.to_rdf(&mut overlay);
-        let inference = reasoner
-            .materialize_delta(&mut overlay, &MaterializeOptions::with_rules(&self.rules))
-            .unwrap_or_else(|e| e.into_partial());
-        let (spill, delta) = overlay.into_delta();
-        self.absorb(spill, delta, inference);
+        self.commit_with("population", |overlay| population.to_rdf(overlay));
         self.population = Some(population);
         self
     }
@@ -300,49 +386,326 @@ impl EngineBase {
         self
     }
 
-    /// Merges an overlay delta into the base graph. Spill terms are
-    /// interned in overlay-id order, which re-creates the same dense
-    /// ids in the base dictionary — so the delta's id triples and any
-    /// derivation records stay valid verbatim.
-    fn absorb(&mut self, spill: Vec<Term>, delta: Vec<IdTriple>, inference: InferenceResult) {
-        let before = self.graph.term_count();
-        let spilled = spill.len();
-        for term in &spill {
-            self.graph.intern(term);
-        }
-        debug_assert_eq!(self.graph.term_count(), before + spilled);
-        for [s, p, o] in delta {
-            self.graph.insert_ids(s, p, o);
-        }
+    /// Commits a closed session delta as a new epoch on the main chain
+    /// and returns its [`EpochId`]. The delta follows the
+    /// [`Overlay::into_delta`] contract: spill terms in overlay-id
+    /// order (which the ledger layer preserves verbatim, so the delta's
+    /// id triples and any derivation records stay valid), triples in
+    /// SPO order. `inference` is the per-commit closure that produced
+    /// the delta — it is recorded alongside the layer, never recomputed
+    /// on replay.
+    pub fn commit(
+        &mut self,
+        spill: Vec<Term>,
+        delta: Vec<IdTriple>,
+        inference: InferenceResult,
+    ) -> EpochId {
+        self.commit_labeled("session", spill, delta, inference)
+    }
+
+    /// [`EngineBase::commit`] with a provenance label for
+    /// [`EngineBase::history`].
+    pub fn commit_labeled(
+        &mut self,
+        label: &str,
+        spill: Vec<Term>,
+        delta: Vec<IdTriple>,
+        inference: InferenceResult,
+    ) -> EpochId {
+        let epoch = self.ledger.commit(spill, delta);
+        self.commit_log.push(CommitNote {
+            label: label.to_string(),
+            inferred: inference.added,
+        });
         self.inference.added += inference.added;
         self.inference.warnings.extend(inference.warnings);
         self.inference
             .inconsistencies
             .extend(inference.inconsistencies);
         self.inference.derivations.extend(inference.derivations);
-        // The snapshot changed: statistics that justified cached join
-        // orders are stale, so every cached plan is invalidated at once.
-        self.plan_cache.invalidate();
+        // Old epochs' cached plans stay valid (their statistics are
+        // frozen with their layers); only the head key moves.
+        self.plan_cache.advance_head(epoch.0);
+        epoch
     }
 
-    /// Hit/miss counters and current epoch of the snapshot-keyed plan
-    /// cache shared by this base's sessions.
+    /// Runs `write` against a fresh overlay on the head view, closes
+    /// the delta incrementally with the precompiled rules, and commits
+    /// the result as a new epoch. The one-stop commit entry point used
+    /// by [`EngineBase::with_population`], branch materialization, and
+    /// tests.
+    pub fn commit_with<F>(&mut self, label: &str, write: F) -> EpochId
+    where
+        F: for<'v> FnOnce(&mut Overlay<LedgerView<'v>>),
+    {
+        let (spill, delta, inference) = {
+            let mut overlay = Overlay::new(self.ledger.head_view());
+            write(&mut overlay);
+            let inference = Self::reasoner(self.track_proofs)
+                .materialize_delta(&mut overlay, &MaterializeOptions::with_rules(&self.rules))
+                .unwrap_or_else(|e| e.into_partial());
+            let (spill, delta) = overlay.into_delta();
+            (spill, delta, inference)
+        };
+        self.commit_labeled(label, spill, delta, inference)
+    }
+
+    /// Deprecated forerunner of [`EngineBase::commit`]: same delta
+    /// contract, but the epoch id was discarded and historical epochs
+    /// were unreachable.
+    #[deprecated(
+        note = "use `commit` — deltas now append to the epoch ledger and return an \
+                         `EpochId`; old epochs stay addressable via `at_epoch`"
+    )]
+    pub fn absorb(&mut self, spill: Vec<Term>, delta: Vec<IdTriple>, inference: InferenceResult) {
+        let _ = self.commit(spill, delta, inference);
+    }
+
+    /// Hit/miss counters and head epoch of the epoch-keyed plan cache
+    /// shared by this base's sessions.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
     }
 
-    /// Opens a question-answering session over this base. The session
-    /// writes only into its private overlay; any number of sessions can
-    /// run concurrently over one base.
+    /// The newest committed epoch on the main chain.
+    pub fn head(&self) -> EpochId {
+        self.ledger.head()
+    }
+
+    /// The underlying epoch ledger — layers, hashes, and raw views.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The commit chain, oldest first: epoch 0 (the sealed base) plus
+    /// one line per committed layer.
+    pub fn history(&self) -> Vec<CommitInfo> {
+        let base = self.ledger.base();
+        let mut out = vec![CommitInfo {
+            epoch: EpochId(0),
+            label: "base".to_string(),
+            triples: base.len(),
+            terms: base.term_count(),
+            inferred: self
+                .inference
+                .added
+                .saturating_sub(self.commit_log.iter().map(|n| n.inferred).sum::<usize>()),
+            hash: self.ledger.hash_at(EpochId(0)).unwrap_or_default(),
+        }];
+        for (i, (layer, note)) in self
+            .ledger
+            .layers()
+            .iter()
+            .zip(&self.commit_log)
+            .enumerate()
+        {
+            out.push(CommitInfo {
+                epoch: EpochId(i as u64 + 1),
+                label: note.label.clone(),
+                triples: layer.len(),
+                terms: layer.term_len(),
+                inferred: note.inferred,
+                hash: layer.hash(),
+            });
+        }
+        out
+    }
+
+    /// Opens a question-answering session over the head epoch. The
+    /// session writes only into its private overlay; any number of
+    /// sessions can run concurrently over one base.
     pub fn session(&self) -> Session<'_> {
+        let epoch = self.ledger.head();
         Session {
             base: self,
-            overlay: Overlay::new(&self.graph),
+            epoch,
+            cache_epoch: Some(epoch.0),
+            overlay: Overlay::new(self.ledger.head_view()),
             inference: InferenceResult::default(),
             guard: None,
             planner: Planner::default(),
             parallelism: Parallelism::default(),
         }
+    }
+
+    /// Opens a session pinned at a historical epoch — the view stacks
+    /// exactly the first `epoch` layers, so answers reproduce what the
+    /// engine knew then, byte for byte. `None` past the head.
+    ///
+    /// Structured side-channels that never lived in the graph
+    /// (recommender traces, the population's presence flag) are not
+    /// versioned: graph-backed answers are epoch-exact, trace-based
+    /// ones reflect the current recommender output.
+    pub fn at_epoch(&self, epoch: EpochId) -> Option<Session<'_>> {
+        let view = self.ledger.view(epoch)?;
+        Some(Session {
+            base: self,
+            epoch,
+            cache_epoch: Some(epoch.0),
+            overlay: Overlay::new(view),
+            inference: InferenceResult::default(),
+            guard: None,
+            planner: Planner::default(),
+            parallelism: Parallelism::default(),
+        })
+    }
+
+    /// Answers `question` exactly as the engine would have at `epoch`:
+    /// the session view stacks only the layers committed up to then,
+    /// and plans come from the per-epoch cache partition, so later
+    /// commits cannot perturb the answer.
+    pub fn explain_as_of(
+        &self,
+        epoch: EpochId,
+        question: &Question,
+        opts: &ExplainOptions<'_>,
+    ) -> Result<Explanation, EngineError> {
+        self.at_epoch(epoch)
+            .ok_or(EngineError::UnknownEpoch(epoch.0))?
+            .explain(question, opts)
+    }
+
+    /// Runs a SPARQL query over a historical epoch's view.
+    pub fn query_as_of(&self, epoch: EpochId, sparql: &str) -> Result<QueryResult, EngineError> {
+        self.at_epoch(epoch)
+            .ok_or(EngineError::UnknownEpoch(epoch.0))?
+            .query(sparql)
+    }
+
+    // ---- named branches ----------------------------------------------
+
+    fn branch(&self, name: &str) -> Option<&NamedBranch> {
+        self.branches.iter().find(|b| b.name == name)
+    }
+
+    /// Forks a named branch at `from`. The branch shares the base and
+    /// the forked prefix by reference — nothing is copied; it diverges
+    /// only through its own commits ([`EngineBase::branch_commit_with`]
+    /// / [`EngineBase::branch_apply`]).
+    pub fn branch_create(&mut self, name: &str, from: EpochId) -> Result<EpochId, EngineError> {
+        if name == "main" || self.branch(name).is_some() {
+            return Err(EngineError::DuplicateBranch(name.to_string()));
+        }
+        let chain = self
+            .ledger
+            .fork(from)
+            .ok_or(EngineError::UnknownEpoch(from.0))?;
+        self.branches.push(NamedBranch {
+            name: name.to_string(),
+            chain,
+        });
+        Ok(from)
+    }
+
+    /// Runs `write` against an overlay on the branch's head view,
+    /// closes it incrementally, and commits the delta onto the branch's
+    /// own chain. The main chain and every other branch are untouched.
+    pub fn branch_commit_with<F>(&mut self, name: &str, write: F) -> Result<EpochId, EngineError>
+    where
+        F: for<'v> FnOnce(&mut Overlay<LedgerView<'v>>),
+    {
+        let track = self.track_proofs;
+        let rules = &self.rules;
+        let ledger = &self.ledger;
+        let branch = self
+            .branches
+            .iter_mut()
+            .find(|b| b.name == name)
+            .ok_or_else(|| EngineError::UnknownBranch(name.to_string()))?;
+        let (spill, delta) = {
+            let mut overlay = Overlay::new(ledger.branch_view(&branch.chain));
+            write(&mut overlay);
+            Self::reasoner(track)
+                .materialize_delta(&mut overlay, &MaterializeOptions::with_rules(rules))
+                .map(|_| ())
+                .unwrap_or_else(|e| {
+                    let _ = e.into_partial();
+                });
+            overlay.into_delta()
+        };
+        Ok(ledger.commit_branch(&mut branch.chain, spill, delta))
+    }
+
+    /// Applies a hypothesis as a commit on the named branch — the
+    /// branch-world form of a counterfactual session: the hypothesis
+    /// ABox is closed incrementally against the branch head and the
+    /// result appended to the branch chain.
+    pub fn branch_apply(
+        &mut self,
+        name: &str,
+        hypothesis: &Hypothesis,
+    ) -> Result<EpochId, EngineError> {
+        let user = self.user.clone();
+        self.branch_commit_with(name, |overlay| {
+            apply_hypothesis(hypothesis, &user, overlay);
+        })
+    }
+
+    /// Opens a session over the named branch's head view. Branch
+    /// sessions plan queries fresh (the epoch-keyed plan cache is
+    /// main-chain only: a branch epoch's statistics differ from the
+    /// main epoch with the same number).
+    pub fn branch_session(&self, name: &str) -> Option<Session<'_>> {
+        let branch = self.branch(name)?;
+        Some(Session {
+            base: self,
+            epoch: branch.chain.head(),
+            cache_epoch: None,
+            overlay: Overlay::new(self.ledger.branch_view(&branch.chain)),
+            inference: InferenceResult::default(),
+            guard: None,
+            planner: Planner::default(),
+            parallelism: Parallelism::default(),
+        })
+    }
+
+    /// Answers a question in a throwaway session over a branch head.
+    pub fn explain_on_branch(
+        &self,
+        name: &str,
+        question: &Question,
+        opts: &ExplainOptions<'_>,
+    ) -> Result<Explanation, EngineError> {
+        self.branch_session(name)
+            .ok_or_else(|| EngineError::UnknownBranch(name.to_string()))?
+            .explain(question, opts)
+    }
+
+    /// All branches, in creation order.
+    pub fn branch_list(&self) -> Vec<BranchInfo> {
+        self.branches
+            .iter()
+            .map(|b| BranchInfo {
+                name: b.name.clone(),
+                fork: b.chain.fork_epoch(),
+                commits: b.chain.layers().len(),
+                head: b.chain.head(),
+                head_hash: b.chain.head_hash(),
+            })
+            .collect()
+    }
+
+    fn diff_view<'s>(&'s self, name: &str) -> Result<LedgerView<'s>, EngineError> {
+        if name == "main" {
+            return Ok(self.ledger.head_view());
+        }
+        self.branch(name)
+            .map(|b| self.ledger.branch_view(&b.chain))
+            .ok_or_else(|| EngineError::UnknownBranch(name.to_string()))
+    }
+
+    /// Content-level difference between two branch heads (`"main"`
+    /// names the main chain): triples only in `a` and triples only in
+    /// `b`. The shared base and common prefix cancel out — only
+    /// diverged layers contribute.
+    pub fn branch_diff(&self, a: &str, b: &str) -> Result<BranchDiff, EngineError> {
+        let va = self.diff_view(a)?;
+        let vb = self.diff_view(b)?;
+        let (only_in_a, only_in_b) = diff_views(&va, &vb);
+        Ok(BranchDiff {
+            only_in_a,
+            only_in_b,
+        })
     }
 
     /// Answers a question in a fresh throwaway session. Takes `&self`,
@@ -513,26 +876,31 @@ impl EngineBase {
     }
 
     /// Renders the reasoner's proof tree for `individual rdf:type class`
-    /// over the base closure. Requires [`EngineBase::new_with_proofs`];
+    /// over the head closure. Requires [`EngineBase::new_with_proofs`];
     /// returns `None` when the typing does not hold or was asserted
     /// rather than inferred.
     pub fn proof_of_type(&self, individual_local: &str, class_iri: &str) -> Option<String> {
-        let ind = self.graph.lookup_iri(&FoodKg::iri(individual_local))?;
-        let ty = self.graph.lookup_iri(feo_rdf::vocab::rdf::TYPE)?;
-        let class = self.graph.lookup_iri(class_iri)?;
-        if !self.graph.contains_ids(ind, ty, class) {
+        let view = self.ledger.head_view();
+        let ind = view.lookup_iri(&FoodKg::iri(individual_local))?;
+        let ty = view.lookup_iri(feo_rdf::vocab::rdf::TYPE)?;
+        let class = view.lookup_iri(class_iri)?;
+        if !view.contains_ids(ind, ty, class) {
             return None;
         }
         let node = feo_owl::proof(&self.inference, [ind, ty, class]);
-        Some(node.render(&self.graph))
+        Some(node.render(&view))
     }
 
     pub fn inference(&self) -> &InferenceResult {
         &self.inference
     }
 
+    /// The sealed epoch-0 base graph (TBox + curated ABox + recipe
+    /// export, fully closed at build time). Later commits live in ledger
+    /// layers stacked on top — see [`EngineBase::ledger`] for the full
+    /// head view.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.ledger.base()
     }
 
     /// The rule set compiled from the base TBox, reused by every
@@ -554,14 +922,23 @@ impl EngineBase {
     }
 }
 
-/// A per-question view over a shared [`EngineBase`].
+/// A per-question view over a shared [`EngineBase`], pinned at one
+/// epoch of its ledger (the head for [`EngineBase::session`], any
+/// historical epoch for [`EngineBase::at_epoch`], a branch head for
+/// [`EngineBase::branch_session`]).
 ///
 /// Question individuals (and everything the reasoner derives from them)
 /// land in the session's [`Overlay`]; SPARQL templates evaluate over the
-/// unioned base + delta view. Dropping the session discards the delta.
+/// stacked epoch view + delta. Dropping the session discards the delta.
 pub struct Session<'a> {
     base: &'a EngineBase,
-    overlay: Overlay<&'a Graph>,
+    /// The ledger epoch this session's view is pinned at.
+    epoch: EpochId,
+    /// Plan-cache partition key: `Some(epoch)` for main-chain sessions,
+    /// `None` for branch sessions (branch epochs would collide with
+    /// main epochs of the same number).
+    cache_epoch: Option<u64>,
+    overlay: Overlay<LedgerView<'a>>,
     /// Closure stats and derivations accumulated by this session's
     /// incremental closes (disjoint from the base's own inference).
     inference: InferenceResult,
@@ -581,6 +958,11 @@ impl<'a> Session<'a> {
         self.base
     }
 
+    /// The ledger epoch this session's view is pinned at.
+    pub fn epoch(&self) -> EpochId {
+        self.epoch
+    }
+
     /// Inference accumulated by this session's incremental closes.
     pub fn inference(&self) -> &InferenceResult {
         &self.inference
@@ -592,8 +974,8 @@ impl<'a> Session<'a> {
     }
 
     /// Decomposes the session into its overlay and inference — used by
-    /// [`ExplanationEngine`] to commit the delta into an owned base.
-    pub fn into_parts(self) -> (Overlay<&'a Graph>, InferenceResult) {
+    /// [`ExplanationEngine`] to commit the delta as a ledger epoch.
+    pub fn into_parts(self) -> (Overlay<LedgerView<'a>>, InferenceResult) {
         (self.overlay, self.inference)
     }
 
@@ -609,9 +991,10 @@ impl<'a> Session<'a> {
 
     /// Evaluates a competency query over `view`, under the session guard
     /// when one is installed. With the cost-based planner the parsed
-    /// query and its plan come from the base's snapshot-keyed cache —
-    /// plans are computed against the shared base snapshot, whose
-    /// statistics the per-session delta is far too small to flip.
+    /// query and its plan come from the base's epoch-keyed cache —
+    /// plans are computed against this session's pinned epoch view,
+    /// whose statistics the per-session delta is far too small to flip.
+    /// Branch sessions (no cache partition) plan fresh every time.
     fn run_query<V: GraphView + Sync>(&self, view: V, q: &str) -> Result<QueryResult, EngineError> {
         let opts = QueryOptions {
             guard: self.guard,
@@ -620,11 +1003,26 @@ impl<'a> Session<'a> {
             explain: false,
         };
         if self.planner == Planner::CostBased {
-            let (parsed, plan) = self.base.plan_cache.get_or_insert(q, self.base.graph())?;
+            if let Some(epoch) = self.cache_epoch {
+                let (parsed, plan) =
+                    self.base
+                        .plan_cache
+                        .get_or_insert(q, epoch, self.overlay.base())?;
+                return Ok(execute_prepared(view, &parsed, &plan, &opts)?);
+            }
+            let parsed = parse_query(q)?;
+            let plan = plan_query(self.overlay.base(), &parsed);
             return Ok(execute_prepared(view, &parsed, &plan, &opts)?);
         }
         let parsed = parse_query(q)?;
         Ok(execute(view, &parsed, &opts)?)
+    }
+
+    /// Runs an arbitrary SPARQL query over this session's epoch view
+    /// plus its private delta — the entry point behind
+    /// `feo query --as-of`.
+    pub fn query(&self, sparql: &str) -> Result<QueryResult, EngineError> {
+        self.run_query(&self.overlay, sparql)
     }
 
     /// Answers a question with the matching explanation type, under the
@@ -918,10 +1316,13 @@ impl<'a> Session<'a> {
         hypothesis: &Hypothesis,
     ) -> Result<Explanation, EngineError> {
         // Counterfactuals reason over a hypothetical world: a throwaway
-        // overlay on the shared base (no clone). The hypothesis is pure
+        // overlay on this session's epoch view (the view is a stack of
+        // references — no triples are copied). The hypothesis is pure
         // ABox, so the precompiled rules close it incrementally; the
-        // world is discarded when this call returns.
-        let mut world = Overlay::new(self.base.graph());
+        // world is discarded when this call returns. For a *persistent*
+        // what-if world, use [`EngineBase::branch_create`] +
+        // [`EngineBase::branch_apply`] instead.
+        let mut world = Overlay::new(self.overlay.base().clone());
         apply_hypothesis(hypothesis, &self.base.user, &mut world);
         assert_question(question, &mut world);
         Reasoner::new().materialize_delta(
@@ -1233,14 +1634,15 @@ impl ExplanationEngine {
         self
     }
 
-    /// Answers a question, then folds the session's delta (question
-    /// triples, derived classifications, derivations) into the base.
+    /// Answers a question, then commits the session's delta (question
+    /// triples, derived classifications, derivations) as a new epoch on
+    /// the base's ledger.
     pub fn explain(&mut self, question: &Question) -> Result<Explanation, EngineError> {
         let mut session = self.base.session();
         let result = session.explain(question, &ExplainOptions::default());
         let (overlay, inference) = session.into_parts();
         let (spill, delta) = overlay.into_delta();
-        self.base.absorb(spill, delta, inference);
+        self.base.commit_labeled("explain", spill, delta, inference);
         result
     }
 

@@ -36,8 +36,8 @@ pub mod scenarios;
 
 pub use cache::PlanCacheStats;
 pub use engine::{
-    BudgetedOutcome, DegradationReport, EngineBase, EngineError, ExplainOptions, ExplanationEngine,
-    Session,
+    BranchDiff, BranchInfo, BudgetedOutcome, CommitInfo, DegradationReport, EngineBase,
+    EngineError, ExplainOptions, ExplanationEngine, Session,
 };
 pub use explanation::{humanize, Explanation};
 pub use factfoil::{classify, figure3_matrix, Classification};
@@ -45,6 +45,7 @@ pub use knowledge::Population;
 pub use question::{ExplanationType, Hypothesis, Question};
 pub use scenarios::{all_scenarios, scenario_a, scenario_b, scenario_c, Scenario};
 
-// `ExplainOptions::parallelism` is part of this crate's public API;
-// re-export its type so callers don't need a separate feo-rdf import.
-pub use feo_rdf::Parallelism;
+// `ExplainOptions::parallelism` and the ledger handle types are part of
+// this crate's public API; re-export them so callers don't need a
+// separate feo-rdf import.
+pub use feo_rdf::{EpochId, Ledger, LedgerView, Parallelism};

@@ -1,8 +1,8 @@
 //! Plan-cache behavior at the engine level: repeated `explain` calls on
-//! an unchanged snapshot must reuse cached plans (hits grow, misses do
+//! an unchanged epoch must reuse cached plans (hits grow, misses do
 //! not), the ablation planners must bypass the cache, and committing a
-//! session delta into the base must bump the snapshot epoch and drop
-//! every entry.
+//! session delta must move the head to a fresh cache partition while
+//! older epochs' entries stay retained for time-travel queries.
 
 use feo_core::{EngineBase, ExplainOptions, ExplanationEngine, Question};
 use feo_foodkg::{curated, Season, SystemContext, UserProfile};
@@ -107,11 +107,13 @@ fn ablation_planners_bypass_the_cache() {
     assert_eq!(stats.entries, 0);
 }
 
-/// The legacy façade commits every question's delta into its base, so
-/// each `explain` bumps the snapshot epoch and clears the cache —
-/// cached plans never outlive the statistics that justified them.
+/// The legacy façade commits every question's delta onto the ledger, so
+/// each `explain` advances the head epoch. With epoch-keyed entries a
+/// commit drops nothing: the head lookup re-plans under a fresh key
+/// (the statistics changed) while earlier epochs' plans stay retained
+/// for time-travel queries.
 #[test]
-fn facade_commit_invalidates_the_cache() {
+fn facade_commit_rekeys_the_head() {
     let user = UserProfile::new("user").likes(&["BroccoliCheddarSoup"]);
     let ctx = SystemContext::new(Season::Autumn);
     let mut engine = ExplanationEngine::new(curated(), user, ctx).unwrap();
@@ -122,7 +124,10 @@ fn facade_commit_invalidates_the_cache() {
         stats.epoch >= 2,
         "every façade explain commits, bumping the epoch: {stats:?}"
     );
-    assert_eq!(stats.entries, 0, "commit drops all cached plans");
+    assert!(
+        stats.entries >= 2,
+        "old epochs' plans stay retained for time travel: {stats:?}"
+    );
     assert!(
         stats.misses >= 2,
         "post-commit repeats must re-plan against fresh statistics: {stats:?}"

@@ -6,7 +6,7 @@
 
 use std::collections::HashSet;
 
-use feo_rdf::{Graph, TermId};
+use feo_rdf::{GraphView, TermId};
 
 use crate::reasoner::InferenceResult;
 
@@ -20,14 +20,16 @@ pub struct ProofNode {
 }
 
 impl ProofNode {
-    /// Renders the proof as an indented tree using local names.
-    pub fn render(&self, g: &Graph) -> String {
+    /// Renders the proof as an indented tree using local names. Takes
+    /// any [`GraphView`], so proofs render over plain graphs, overlays,
+    /// and stacked ledger views alike.
+    pub fn render<G: GraphView + ?Sized>(&self, g: &G) -> String {
         let mut out = String::new();
         self.render_into(g, &mut out, 0);
         out
     }
 
-    fn render_into(&self, g: &Graph, out: &mut String, depth: usize) {
+    fn render_into<G: GraphView + ?Sized>(&self, g: &G, out: &mut String, depth: usize) {
         let [s, p, o] = self.triple;
         out.push_str(&"  ".repeat(depth));
         out.push_str(&format!(

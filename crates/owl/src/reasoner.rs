@@ -190,8 +190,9 @@ pub struct MaterializeOptions<'a> {
     pub rules: Option<&'a CompiledRules>,
     /// Worker threads for the semi-naïve rounds. The closure is
     /// byte-identical whatever the setting (see the "Deterministic
-    /// parallelism" notes on [`Reasoner::materialize`]); derivation
-    /// tracking forces the sequential path regardless.
+    /// parallelism" notes on [`Reasoner::materialize`]); with derivation
+    /// tracking on, workers capture each conclusion's premises and the
+    /// pinned-order merge records them.
     pub parallelism: Parallelism,
 }
 
@@ -269,7 +270,9 @@ impl Reasoner {
     ///   byte-identical to a sequential run. Budgets are charged at the
     ///   merge (one choke point, exact counts) and workers poll the
     ///   shared guard, so guarded runs still end exact-or-`Exhausted`.
-    ///   Derivation tracking forces the sequential path.
+    ///   With derivation tracking on, workers capture per-conclusion
+    ///   premises and the merge records them in the same pinned order,
+    ///   so proofs are parallel-safe too.
     pub fn materialize(
         &self,
         graph: &mut (impl GraphStore + Sync),
@@ -627,11 +630,15 @@ const PARALLEL_MIN_FRONTIER: usize = 96;
 const PARALLEL_MIN_CANDIDATES: usize = 64;
 
 /// A rule conclusion collected by a pool worker, to be merged into the
-/// store sequentially through `Engine::add_by`. Workers only run when
-/// derivation tracking is off, so no premises travel with it.
+/// store sequentially through `Engine::add_by`. With derivation
+/// tracking on, the premise triples travel with the conclusion so the
+/// merge records the same derivation the sequential worklist would
+/// (premises always reference already-inserted triples, so the
+/// derivation DAG stays acyclic regardless of merge order).
 struct Candidate {
     rule: &'static str,
     triple: [TermId; 3],
+    premises: Vec<[TermId; 3]>,
 }
 
 /// Pushes `t` as a candidate unless the store already holds it. The
@@ -642,9 +649,14 @@ fn emit<V: GraphView + ?Sized>(
     out: &mut Vec<Candidate>,
     rule: &'static str,
     t: [TermId; 3],
+    premises: Vec<[TermId; 3]>,
 ) {
     if !g.contains_ids(t[0], t[1], t[2]) {
-        out.push(Candidate { rule, triple: t });
+        out.push(Candidate {
+            rule,
+            triple: t,
+            premises,
+        });
     }
 }
 
@@ -652,20 +664,31 @@ fn emit<V: GraphView + ?Sized>(
 /// against a read-only store, collecting conclusions instead of
 /// inserting them. This is the parallel dual of the rule body in
 /// `Engine::drain_queue_worklist` and must derive exactly the same
-/// conclusions for a given (store, aliases, triple) snapshot; `sameAs`
-/// triples never reach it — the merge step owns the alias machinery.
+/// conclusions — with, when `tracking`, exactly the same premises —
+/// for a given (store, aliases, triple) snapshot; `sameAs` triples
+/// never reach it — the merge step owns the alias machinery.
 fn fire_rules<V: GraphView + ?Sized>(
     g: &V,
     rules: &CompiledRules,
     aliases: &HashMap<TermId, BTreeSet<TermId>>,
     [s, p, o]: [TermId; 3],
+    tracking: bool,
     out: &mut Vec<Candidate>,
 ) {
+    // Premise capture mirrors `drain_queue_worklist` rule for rule;
+    // without tracking, no premises travel (empty vecs are free).
+    let prem = |ps: &[[TermId; 3]]| if tracking { ps.to_vec() } else { Vec::new() };
     // cax-sco: type inheritance through the named-class closure.
     if p == rules.rdf_type {
         if let Some(sups) = rules.sup_class.get(&o) {
             for &sup in sups {
-                emit(g, out, "cax-sco", [s, rules.rdf_type, sup]);
+                emit(
+                    g,
+                    out,
+                    "cax-sco",
+                    [s, rules.rdf_type, sup],
+                    prem(&[[s, p, o]]),
+                );
             }
         }
         return;
@@ -673,44 +696,56 @@ fn fire_rules<V: GraphView + ?Sized>(
     // prp-spo1
     if let Some(sups) = rules.sup_prop.get(&p) {
         for &q in sups {
-            emit(g, out, "prp-spo1", [s, q, o]);
+            emit(g, out, "prp-spo1", [s, q, o], prem(&[[s, p, o]]));
         }
     }
     // prp-inv
     if let Some(invs) = rules.inverses.get(&p) {
         for &q in invs {
-            emit(g, out, "prp-inv", [o, q, s]);
+            emit(g, out, "prp-inv", [o, q, s], prem(&[[s, p, o]]));
         }
     }
     // prp-symp
     if rules.symmetric.contains(&p) {
-        emit(g, out, "prp-symp", [o, p, s]);
+        emit(g, out, "prp-symp", [o, p, s], prem(&[[s, p, o]]));
     }
     // prp-trp
     if rules.transitive.contains(&p) {
         for z in g.objects(o, p) {
-            emit(g, out, "prp-trp", [s, p, z]);
+            emit(g, out, "prp-trp", [s, p, z], prem(&[[s, p, o], [o, p, z]]));
         }
         for t in g.match_pattern(None, Some(p), Some(s)) {
-            emit(g, out, "prp-trp", [t[0], p, o]);
+            emit(
+                g,
+                out,
+                "prp-trp",
+                [t[0], p, o],
+                prem(&[[t[0], p, s], [s, p, o]]),
+            );
         }
     }
     // prp-dom / prp-rng
     if let Some(cs) = rules.domains.get(&p) {
         for c in cs {
-            collect_membership(g, rules, s, c, out);
+            collect_membership(g, rules, s, c, tracking, &[], out);
         }
     }
     if let Some(cs) = rules.ranges.get(&p) {
         for c in cs {
-            collect_membership(g, rules, o, c, out);
+            collect_membership(g, rules, o, c, tracking, &[], out);
         }
     }
     // prp-fp: functional — two objects are the same individual.
     if rules.functional.contains(&p) {
         for o2 in g.objects(s, p) {
             if o2 != o && g.term(o).is_resource() && g.term(o2).is_resource() {
-                emit(g, out, "prp-fp", [o, rules.same_as, o2]);
+                emit(
+                    g,
+                    out,
+                    "prp-fp",
+                    [o, rules.same_as, o2],
+                    prem(&[[s, p, o], [s, p, o2]]),
+                );
             }
         }
     }
@@ -718,19 +753,25 @@ fn fire_rules<V: GraphView + ?Sized>(
     if rules.inverse_functional.contains(&p) {
         for s2 in g.subjects(p, o) {
             if s2 != s {
-                emit(g, out, "prp-ifp", [s, rules.same_as, s2]);
+                emit(
+                    g,
+                    out,
+                    "prp-ifp",
+                    [s, rules.same_as, s2],
+                    prem(&[[s, p, o], [s2, p, o]]),
+                );
             }
         }
     }
     // eq-rep: replicate across known aliases of s and o.
     if let Some(al) = aliases.get(&s) {
         for &a in al {
-            emit(g, out, "eq-rep-s", [a, p, o]);
+            emit(g, out, "eq-rep-s", [a, p, o], prem(&[[s, p, o]]));
         }
     }
     if let Some(al) = aliases.get(&o) {
         for &a in al {
-            emit(g, out, "eq-rep-o", [s, p, a]);
+            emit(g, out, "eq-rep-o", [s, p, a], prem(&[[s, p, o]]));
         }
     }
 }
@@ -759,33 +800,107 @@ fn satisfies_in<V: GraphView + ?Sized>(
     }
 }
 
+/// Satisfaction check that also collects the witnessing triples — the
+/// read-only dual of [`satisfies_in`] used for derivation tracking, and
+/// the single implementation behind `Engine::witnesses` so the
+/// sequential and parallel sweeps record identical premises.
+fn witnesses_in<V: GraphView + ?Sized>(
+    g: &V,
+    rules: &CompiledRules,
+    x: TermId,
+    expr: &ClassExpr,
+    out: &mut Vec<[TermId; 3]>,
+) -> bool {
+    match expr {
+        ClassExpr::Named(c) => {
+            if g.contains_ids(x, rules.rdf_type, *c) {
+                out.push([x, rules.rdf_type, *c]);
+                true
+            } else {
+                false
+            }
+        }
+        ClassExpr::IntersectionOf(es) => {
+            let mark = out.len();
+            for e in es {
+                if !witnesses_in(g, rules, x, e, out) {
+                    out.truncate(mark);
+                    return false;
+                }
+            }
+            true
+        }
+        ClassExpr::UnionOf(es) => es.iter().any(|e| witnesses_in(g, rules, x, e, out)),
+        ClassExpr::SomeValuesFrom { property, filler } => {
+            for o in g.objects(x, *property) {
+                let mark = out.len();
+                out.push([x, *property, o]);
+                if witnesses_in(g, rules, o, filler, out) {
+                    return true;
+                }
+                out.truncate(mark);
+            }
+            false
+        }
+        ClassExpr::HasValue { property, value } => {
+            if g.contains_ids(x, *property, *value) {
+                out.push([x, *property, *value]);
+                true
+            } else {
+                false
+            }
+        }
+        ClassExpr::OneOf(ids) => ids.contains(&x),
+        ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_) => false,
+    }
+}
+
 /// Read-only dual of `Engine::apply_membership_by`: collects the
 /// membership consequences of `x ∈ expr` as candidates instead of
-/// asserting them, and must mirror its case analysis exactly.
+/// asserting them, and must mirror its case analysis exactly —
+/// including how `premises` accumulate the walked edge through
+/// universal restrictions when `tracking`.
 fn collect_membership<V: GraphView + ?Sized>(
     g: &V,
     rules: &CompiledRules,
     x: TermId,
     expr: &ClassExpr,
+    tracking: bool,
+    premises: &[[TermId; 3]],
     out: &mut Vec<Candidate>,
 ) {
+    let prem = || {
+        if tracking {
+            premises.to_vec()
+        } else {
+            Vec::new()
+        }
+    };
     match expr {
-        ClassExpr::Named(c) => emit(g, out, "cls", [x, rules.rdf_type, *c]),
+        ClassExpr::Named(c) => emit(g, out, "cls", [x, rules.rdf_type, *c], prem()),
         ClassExpr::IntersectionOf(es) => {
             for e in es {
-                collect_membership(g, rules, x, e, out);
+                collect_membership(g, rules, x, e, tracking, premises, out);
             }
         }
-        ClassExpr::HasValue { property, value } => emit(g, out, "cls-hv1", [x, *property, *value]),
+        ClassExpr::HasValue { property, value } => {
+            emit(g, out, "cls-hv1", [x, *property, *value], prem())
+        }
         ClassExpr::AllValuesFrom { property, filler } => {
             // cls-avf: every p-successor of x is in the filler.
             for o in g.objects(x, *property) {
-                collect_membership(g, rules, o, filler, out);
+                if tracking {
+                    let mut with_edge = premises.to_vec();
+                    with_edge.push([x, *property, o]);
+                    collect_membership(g, rules, o, filler, tracking, &with_edge, out);
+                } else {
+                    collect_membership(g, rules, o, filler, tracking, &[], out);
+                }
             }
         }
         ClassExpr::OneOf(ids) if ids.len() == 1 => {
             // Singleton enumeration: x is that individual.
-            emit(g, out, "cls-oo", [x, rules.same_as, ids[0]]);
+            emit(g, out, "cls-oo", [x, rules.same_as, ids[0]], prem());
         }
         // No existential introduction (matches OWL 2 RL), and nothing
         // sound to conclude from a union or general enumeration.
@@ -1284,12 +1399,13 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
 
     /// Instance-rule propagation over the pending queue. Dispatches to
     /// the round-partitioned parallel drain when a pool is configured;
-    /// derivation tracking keeps the sequential worklist because proof
-    /// recording depends on first-derivation-wins processing order.
-    /// Both drains compute the same monotone fixpoint — the queue is
-    /// fully empty on return and the derived triple set is identical.
+    /// with derivation tracking on, workers capture each conclusion's
+    /// premises alongside it and the pinned-order merge records them,
+    /// so proof-tracking builds take the parallel path too. Both drains
+    /// compute the same monotone fixpoint — the queue is fully empty on
+    /// return and the derived triple set is identical.
     fn drain_queue(&mut self) {
-        if self.workers > 1 && !self.opts.track_derivations {
+        if self.workers > 1 {
             self.drain_queue_rounds();
         } else {
             self.drain_queue_worklist();
@@ -1327,6 +1443,7 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
                 let rules = self.rules;
                 let aliases = &self.aliases;
                 let guard = self.guard;
+                let tracking = self.opts.track_derivations;
                 map_chunks(self.workers, PARALLEL_MIN_FRONTIER, &plain, |_, chunk| {
                     let mut out = Vec::new();
                     for &t in chunk {
@@ -1337,7 +1454,7 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
                                 break;
                             }
                         }
-                        fire_rules(g, rules, aliases, t, &mut out);
+                        fire_rules(g, rules, aliases, t, tracking, &mut out);
                     }
                     out
                 })
@@ -1347,7 +1464,7 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
                     return;
                 }
                 let [s, p, o] = c.triple;
-                self.add_by(c.rule, &[], s, p, o);
+                self.add_by(c.rule, &c.premises, s, p, o);
             }
             // sameAs triples merge the alias machinery sequentially.
             // Plain triples of this frontier are already in the store,
@@ -1520,9 +1637,12 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
     /// Parallel satisfaction sweep for one complex axiom: workers check
     /// `satisfies` read-only over candidate chunks and collect the
     /// membership consequences; the merge applies them through
-    /// [`Engine::add_by`] in pinned chunk order. Returns `false` when
-    /// the axiom should take the sequential path instead (no pool,
-    /// derivation tracking, or too few candidates to pay for fan-out).
+    /// [`Engine::add_by`] in pinned chunk order. With derivation
+    /// tracking on, workers collect witness triples ([`witnesses_in`])
+    /// and attach them as the candidates' premises, mirroring the
+    /// sequential sweep. Returns `false` when the axiom should take the
+    /// sequential path instead (no pool, or too few candidates to pay
+    /// for fan-out).
     ///
     /// Unlike the sequential sweep, workers evaluate every candidate
     /// against the pre-pass snapshot, so a membership that depends on
@@ -1535,14 +1655,14 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
         sub: &ClassExpr,
         sup: &ClassExpr,
     ) -> bool {
-        if self.workers <= 1 || self.opts.track_derivations || cand.len() < PARALLEL_MIN_CANDIDATES
-        {
+        if self.workers <= 1 || cand.len() < PARALLEL_MIN_CANDIDATES {
             return false;
         }
         let buffers = {
             let g: &S = self.g;
             let rules = self.rules;
             let guard = self.guard;
+            let tracking = self.opts.track_derivations;
             map_chunks(self.workers, PARALLEL_MIN_CANDIDATES, cand, |_, chunk| {
                 let mut out = Vec::new();
                 for &x in chunk {
@@ -1551,8 +1671,13 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
                             break;
                         }
                     }
-                    if satisfies_in(g, rules, x, sub) {
-                        collect_membership(g, rules, x, sup, &mut out);
+                    if tracking {
+                        let mut witnesses = Vec::new();
+                        if witnesses_in(g, rules, x, sub, &mut witnesses) {
+                            collect_membership(g, rules, x, sup, tracking, &witnesses, &mut out);
+                        }
+                    } else if satisfies_in(g, rules, x, sub) {
+                        collect_membership(g, rules, x, sup, tracking, &[], &mut out);
                     }
                 }
                 out
@@ -1563,7 +1688,7 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
                 return true;
             }
             let [s, p, o] = c.triple;
-            self.add_by(c.rule, &[], s, p, o);
+            self.add_by(c.rule, &c.premises, s, p, o);
         }
         true
     }
@@ -1686,48 +1811,7 @@ impl<'a, S: GraphStore + Sync> Engine<'a, S> {
     /// used for derivation tracking. Semantically identical to
     /// [`Engine::satisfies`].
     fn witnesses(&self, x: TermId, expr: &ClassExpr, out: &mut Vec<[TermId; 3]>) -> bool {
-        match expr {
-            ClassExpr::Named(c) => {
-                if self.g.contains_ids(x, self.rules.rdf_type, *c) {
-                    out.push([x, self.rules.rdf_type, *c]);
-                    true
-                } else {
-                    false
-                }
-            }
-            ClassExpr::IntersectionOf(es) => {
-                let mark = out.len();
-                for e in es {
-                    if !self.witnesses(x, e, out) {
-                        out.truncate(mark);
-                        return false;
-                    }
-                }
-                true
-            }
-            ClassExpr::UnionOf(es) => es.iter().any(|e| self.witnesses(x, e, out)),
-            ClassExpr::SomeValuesFrom { property, filler } => {
-                for o in self.g.objects(x, *property) {
-                    let mark = out.len();
-                    out.push([x, *property, o]);
-                    if self.witnesses(o, filler, out) {
-                        return true;
-                    }
-                    out.truncate(mark);
-                }
-                false
-            }
-            ClassExpr::HasValue { property, value } => {
-                if self.g.contains_ids(x, *property, *value) {
-                    out.push([x, *property, *value]);
-                    true
-                } else {
-                    false
-                }
-            }
-            ClassExpr::OneOf(ids) => ids.contains(&x),
-            ClassExpr::AllValuesFrom { .. } | ClassExpr::ComplementOf(_) => false,
-        }
+        witnesses_in(&*self.g, self.rules, x, expr, out)
     }
 
     /// Individuals that could plausibly satisfy `expr` — a superset filter

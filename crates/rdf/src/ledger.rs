@@ -1,0 +1,723 @@
+//! Append-only epoch ledger: a closed base graph plus a chain of
+//! committed, immutable delta [`Layer`]s.
+//!
+//! Where [`Overlay`](crate::view::Overlay) is a *private, mutable*
+//! write layer for one in-flight session, a [`Layer`] is what that
+//! delta becomes once committed: frozen term spill, frozen sorted
+//! triple indexes, frozen statistics, and a tamper-evidence hash
+//! chained from its parent. The [`Ledger`] owns the base (epoch 0) and
+//! the committed chain; a [`LedgerView`] stacks the base plus any
+//! prefix of the chain, so *every historical epoch stays addressable* —
+//! nothing is ever absorbed away.
+//!
+//! Id-space contract (same as `Overlay`): layer `k`'s spill ids start
+//! at the total term count of its prefix, so id triples recorded inside
+//! a session — including reasoner derivation records — stay valid
+//! verbatim after the session's delta is committed as a layer.
+//!
+//! Branches are [`BranchChain`]s: a fork epoch on the main chain plus a
+//! private chain of layers. A branch view shares the base and the
+//! forked prefix by reference — forking copies nothing.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, IdTriple};
+use crate::intern::TermId;
+use crate::stats::{GraphStats, PredicateStats};
+use crate::term::{Term, Triple};
+use crate::view::GraphView;
+use crate::vocab::rdf;
+
+/// Position on a commit chain. Epoch 0 is the closed base; epoch `n`
+/// stacks the first `n` committed layers on top of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EpochId(pub u64);
+
+impl std::fmt::Display for EpochId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+// ---- FNV-1a hashing (hand-rolled: the chain must not depend on the
+// std hasher's per-process seed) --------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, v: u64) -> u64 {
+    fnv_bytes(h, &v.to_le_bytes())
+}
+
+fn fnv_triple(h: u64, [s, p, o]: IdTriple) -> u64 {
+    fnv_u64(
+        fnv_u64(fnv_u64(h, u64::from(s.0)), u64::from(p.0)),
+        u64::from(o.0),
+    )
+}
+
+fn fnv_term(h: u64, term: &Term) -> u64 {
+    // Debug rendering is deterministic and distinguishes term kinds.
+    fnv_bytes(h, format!("{term:?}").as_bytes())
+}
+
+// ---- sorted-slice range scans ----------------------------------------
+
+/// Matches `[a, b, *]` / `[a, *, *]` / `[*, *, *]` prefixes of a sorted
+/// permuted index, the slice dual of `Overlay`'s BTree range scans.
+fn scan2(sorted: &[[u32; 3]], a: Option<u32>, b: Option<u32>) -> &[[u32; 3]] {
+    let (lo, hi) = match (a, b) {
+        (Some(a), Some(b)) => ([a, b, 0], [a, b, u32::MAX]),
+        (Some(a), None) => ([a, 0, 0], [a, u32::MAX, u32::MAX]),
+        (None, _) => return sorted,
+    };
+    let start = sorted.partition_point(|t| *t < lo);
+    let end = sorted.partition_point(|t| *t <= hi);
+    &sorted[start..end]
+}
+
+// ---- Layer -----------------------------------------------------------
+
+/// One committed, immutable delta: the intern spill and triples a
+/// session added, with their statistics and a chained content hash.
+#[derive(Debug)]
+pub struct Layer {
+    /// First spill id — the total term count of this layer's prefix.
+    term_base: u32,
+    /// Spill dictionary: term `i` holds id `term_base + i`.
+    terms: Vec<Term>,
+    term_ids: HashMap<Term, TermId>,
+    /// Delta triples in three sorted permutations (`[s,p,o]`,
+    /// `[p,o,s]`, `[o,s,p]`), mirroring `Graph`'s indexes.
+    spo: Vec<[u32; 3]>,
+    pos: Vec<[u32; 3]>,
+    osp: Vec<[u32; 3]>,
+    /// Counters over this delta only; views sum them across the stack.
+    stats: GraphStats,
+    /// FNV-1a over the parent epoch's hash, the spill, and the triples.
+    hash: u64,
+}
+
+impl Layer {
+    /// Freezes a session delta into a layer. `terms` and `delta` follow
+    /// the `Overlay::into_delta` contract: spill term `i` has id
+    /// `term_base + i`, and `delta` is in SPO order.
+    fn new(
+        term_base: u32,
+        parent_hash: u64,
+        rdf_type: Option<TermId>,
+        terms: Vec<Term>,
+        delta: Vec<IdTriple>,
+    ) -> Layer {
+        let mut term_ids = HashMap::with_capacity(terms.len());
+        let mut stats = GraphStats::new();
+        stats.set_rdf_type_id(rdf_type);
+        for (i, t) in terms.iter().enumerate() {
+            let id = TermId(term_base + i as u32);
+            term_ids.insert(t.clone(), id);
+            stats.note_new_term(id, t);
+        }
+
+        let mut spo: Vec<[u32; 3]> = delta.iter().map(|&[s, p, o]| [s.0, p.0, o.0]).collect();
+        spo.sort_unstable();
+        spo.dedup();
+        let mut pos: Vec<[u32; 3]> = spo.iter().map(|&[s, p, o]| [p, o, s]).collect();
+        pos.sort_unstable();
+        let mut osp: Vec<[u32; 3]> = spo.iter().map(|&[s, p, o]| [o, s, p]).collect();
+        osp.sort_unstable();
+
+        // Replay the delta into the stats exactly as live inserts would.
+        let mut seen_sp: HashMap<[u32; 2], ()> = HashMap::new();
+        let mut seen_po: HashMap<[u32; 2], ()> = HashMap::new();
+        for &[s, p, o] in &spo {
+            let new_sp = seen_sp.insert([s, p], ()).is_none();
+            let new_po = seen_po.insert([p, o], ()).is_none();
+            stats.record_insert(TermId(s), TermId(p), TermId(o), new_sp, new_po);
+        }
+
+        let mut hash = fnv_u64(parent_hash, u64::from(term_base));
+        for t in &terms {
+            hash = fnv_term(hash, t);
+        }
+        for &[s, p, o] in &spo {
+            hash = fnv_triple(hash, [TermId(s), TermId(p), TermId(o)]);
+        }
+
+        Layer {
+            term_base,
+            terms,
+            term_ids,
+            spo,
+            pos,
+            osp,
+            stats,
+            hash,
+        }
+    }
+
+    /// Number of delta triples in this layer.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Number of terms this layer spilled into the dictionary.
+    pub fn term_len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The chained tamper-evidence hash of this layer.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// First spill id of this layer.
+    pub fn term_base(&self) -> u32 {
+        self.term_base
+    }
+
+    fn contains(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo.binary_search(&[s.0, p.0, o.0]).is_ok()
+    }
+
+    fn matches(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<IdTriple> {
+        let id = |x: TermId| x.0;
+        match (s.map(id), p.map(id), o.map(id)) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.contains(TermId(s), TermId(p), TermId(o)) {
+                    vec![[TermId(s), TermId(p), TermId(o)]]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), p, None) => scan2(&self.spo, Some(s), p)
+                .iter()
+                .map(|&[s, p, o]| [TermId(s), TermId(p), TermId(o)])
+                .collect(),
+            (None, Some(p), o) => scan2(&self.pos, Some(p), o)
+                .iter()
+                .map(|&[p, o, s]| [TermId(s), TermId(p), TermId(o)])
+                .collect(),
+            (Some(s), None, Some(o)) => scan2(&self.osp, Some(o), Some(s))
+                .iter()
+                .map(|&[o, s, p]| [TermId(s), TermId(p), TermId(o)])
+                .collect(),
+            (None, None, Some(o)) => scan2(&self.osp, Some(o), None)
+                .iter()
+                .map(|&[o, s, p]| [TermId(s), TermId(p), TermId(o)])
+                .collect(),
+            (None, None, None) => self
+                .spo
+                .iter()
+                .map(|&[s, p, o]| [TermId(s), TermId(p), TermId(o)])
+                .collect(),
+        }
+    }
+
+    fn iter_ids(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.spo
+            .iter()
+            .map(|&[s, p, o]| [TermId(s), TermId(p), TermId(o)])
+    }
+}
+
+// ---- Ledger ----------------------------------------------------------
+
+/// The main commit chain: a closed base graph (epoch 0) plus committed
+/// layers (epoch `k` = base + first `k` layers). Append-only — layers
+/// are never mutated or removed, so old epochs remain addressable and
+/// any number of views can read the chain concurrently.
+#[derive(Debug)]
+pub struct Ledger {
+    base: Graph,
+    base_hash: u64,
+    rdf_type: Option<TermId>,
+    layers: Vec<std::sync::Arc<Layer>>,
+}
+
+impl Ledger {
+    /// Seals `base` as epoch 0 of a new chain.
+    pub fn new(base: Graph) -> Ledger {
+        let mut h = fnv_u64(FNV_OFFSET, base.term_count() as u64);
+        h = fnv_u64(h, base.len() as u64);
+        for t in base.iter_ids() {
+            h = fnv_triple(h, t);
+        }
+        let rdf_type = base.lookup_iri(rdf::TYPE);
+        Ledger {
+            base,
+            base_hash: h,
+            rdf_type,
+            layers: Vec::new(),
+        }
+    }
+
+    /// The epoch-0 graph.
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The newest committed epoch.
+    pub fn head(&self) -> EpochId {
+        EpochId(self.layers.len() as u64)
+    }
+
+    /// The committed layers, oldest first.
+    pub fn layers(&self) -> &[std::sync::Arc<Layer>] {
+        &self.layers
+    }
+
+    /// The chained hash at `epoch` (the base hash for epoch 0), or
+    /// `None` past the head.
+    pub fn hash_at(&self, epoch: EpochId) -> Option<u64> {
+        match epoch.0 {
+            0 => Some(self.base_hash),
+            n => self.layers.get(n as usize - 1).map(|l| l.hash()),
+        }
+    }
+
+    /// Total term count visible at `epoch`, or `None` past the head.
+    pub fn term_count_at(&self, epoch: EpochId) -> Option<usize> {
+        if epoch.0 as usize > self.layers.len() {
+            return None;
+        }
+        Some(
+            self.base.term_count()
+                + self.layers[..epoch.0 as usize]
+                    .iter()
+                    .map(|l| l.term_len())
+                    .sum::<usize>(),
+        )
+    }
+
+    /// Commits a session delta (per the `Overlay::into_delta` contract:
+    /// spill ids start at the head's term count, triples in SPO order)
+    /// as a new layer and returns the new head epoch.
+    pub fn commit(&mut self, terms: Vec<Term>, delta: Vec<IdTriple>) -> EpochId {
+        let head = self.head();
+        let term_base = self
+            .term_count_at(head)
+            .unwrap_or_else(|| self.base.term_count());
+        debug_assert!(
+            delta
+                .iter()
+                .flatten()
+                .all(|id| (id.0 as usize) < term_base + terms.len()),
+            "delta references ids beyond the committed dictionary"
+        );
+        let parent = self.hash_at(head).unwrap_or(self.base_hash);
+        let layer = Layer::new(term_base as u32, parent, self.rdf_type, terms, delta);
+        self.layers.push(std::sync::Arc::new(layer));
+        self.head()
+    }
+
+    /// A view of the chain at `epoch`, or `None` past the head.
+    pub fn view(&self, epoch: EpochId) -> Option<LedgerView<'_>> {
+        if epoch.0 as usize > self.layers.len() {
+            return None;
+        }
+        Some(LedgerView::stack(
+            &self.base,
+            self.layers[..epoch.0 as usize].iter().map(|l| &**l),
+        ))
+    }
+
+    /// The view at the head epoch.
+    pub fn head_view(&self) -> LedgerView<'_> {
+        LedgerView::stack(&self.base, self.layers.iter().map(|l| &**l))
+    }
+
+    /// Forks a branch chain at `epoch`, or `None` past the head. The
+    /// branch shares the base and prefix by reference — nothing is
+    /// copied.
+    pub fn fork(&self, epoch: EpochId) -> Option<BranchChain> {
+        if epoch.0 as usize > self.layers.len() {
+            return None;
+        }
+        Some(BranchChain {
+            fork: epoch,
+            layers: Vec::new(),
+        })
+    }
+
+    /// The view of a branch: the forked prefix plus the branch's own
+    /// layers.
+    pub fn branch_view<'a>(&'a self, chain: &'a BranchChain) -> LedgerView<'a> {
+        LedgerView::stack(
+            &self.base,
+            self.layers[..chain.fork.0 as usize]
+                .iter()
+                .map(|l| &**l)
+                .chain(chain.layers.iter().map(|l| &**l)),
+        )
+    }
+
+    /// Commits a delta onto a branch chain; returns the branch's new
+    /// head (counted over the whole stacked chain, prefix included).
+    pub fn commit_branch(
+        &self,
+        chain: &mut BranchChain,
+        terms: Vec<Term>,
+        delta: Vec<IdTriple>,
+    ) -> EpochId {
+        let term_base = self.branch_view(chain).term_count();
+        debug_assert!(
+            delta
+                .iter()
+                .flatten()
+                .all(|id| (id.0 as usize) < term_base + terms.len()),
+            "branch delta references ids beyond the branch dictionary"
+        );
+        let parent = chain
+            .layers
+            .last()
+            .map(|l| l.hash())
+            .or_else(|| self.hash_at(chain.fork))
+            .unwrap_or(self.base_hash);
+        let layer = Layer::new(term_base as u32, parent, self.rdf_type, terms, delta);
+        chain.layers.push(std::sync::Arc::new(layer));
+        chain.head()
+    }
+
+    /// Recomputes every layer hash from its parent and content,
+    /// returning the first epoch whose stored hash disagrees (chain
+    /// intact ⇒ `None`).
+    pub fn verify_chain(&self) -> Option<EpochId> {
+        let mut parent = self.base_hash;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut h = fnv_u64(parent, u64::from(layer.term_base));
+            for t in &layer.terms {
+                h = fnv_term(h, t);
+            }
+            for &[s, p, o] in &layer.spo {
+                h = fnv_triple(h, [TermId(s), TermId(p), TermId(o)]);
+            }
+            if h != layer.hash {
+                return Some(EpochId(i as u64 + 1));
+            }
+            parent = layer.hash;
+        }
+        None
+    }
+}
+
+// ---- BranchChain -----------------------------------------------------
+
+/// A named-world commit chain diverging from a ledger epoch. Owns only
+/// its private layers; the base and the forked prefix stay in the
+/// parent [`Ledger`].
+#[derive(Debug, Default)]
+pub struct BranchChain {
+    fork: EpochId,
+    layers: Vec<std::sync::Arc<Layer>>,
+}
+
+impl BranchChain {
+    /// The main-chain epoch this branch forked from.
+    pub fn fork_epoch(&self) -> EpochId {
+        self.fork
+    }
+
+    /// Branch-private layers, oldest first.
+    pub fn layers(&self) -> &[std::sync::Arc<Layer>] {
+        &self.layers
+    }
+
+    /// The branch's head epoch: fork epoch + private commits.
+    pub fn head(&self) -> EpochId {
+        EpochId(self.fork.0 + self.layers.len() as u64)
+    }
+
+    /// The newest private layer's hash, if any commit diverged yet.
+    pub fn head_hash(&self) -> Option<u64> {
+        self.layers.last().map(|l| l.hash())
+    }
+}
+
+// ---- LedgerView ------------------------------------------------------
+
+/// A read-only stack of the base graph plus an ordered run of layers —
+/// the [`GraphView`] of one epoch (main chain prefix, or prefix +
+/// branch layers). Cheap to construct and [`Clone`]: it holds
+/// references only.
+#[derive(Debug, Clone)]
+pub struct LedgerView<'a> {
+    base: &'a Graph,
+    layers: Vec<&'a Layer>,
+    terms: usize,
+    triples: usize,
+}
+
+impl<'a> LedgerView<'a> {
+    fn stack(base: &'a Graph, layers: impl Iterator<Item = &'a Layer>) -> LedgerView<'a> {
+        let layers: Vec<&'a Layer> = layers.collect();
+        let terms = base.term_count() + layers.iter().map(|l| l.term_len()).sum::<usize>();
+        let triples = base.len() + layers.iter().map(|l| l.len()).sum::<usize>();
+        LedgerView {
+            base,
+            layers,
+            terms,
+            triples,
+        }
+    }
+
+    /// The epoch-0 graph under this stack.
+    pub fn base_graph(&self) -> &'a Graph {
+        self.base
+    }
+
+    /// Number of stacked layers above the base.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl GraphView for LedgerView<'_> {
+    fn len(&self) -> usize {
+        self.triples
+    }
+
+    fn term_count(&self) -> usize {
+        self.terms
+    }
+
+    fn lookup(&self, term: &Term) -> Option<TermId> {
+        if let Some(id) = self.base.lookup(term) {
+            return Some(id);
+        }
+        // A term spills into at most one layer of a consistent stack.
+        self.layers
+            .iter()
+            .find_map(|l| l.term_ids.get(term).copied())
+    }
+
+    fn term(&self, id: TermId) -> &Term {
+        if (id.0 as usize) < self.base.term_count() {
+            return self.base.term(id);
+        }
+        // Layers are ordered by ascending term_base: the owner is the
+        // last layer whose base is <= id.
+        let idx = self.layers.partition_point(|l| l.term_base <= id.0);
+        let layer = &self.layers[idx.saturating_sub(1)];
+        &layer.terms[(id.0 - layer.term_base) as usize]
+    }
+
+    fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.base.contains_ids(s, p, o) || self.layers.iter().any(|l| l.contains(s, p, o))
+    }
+
+    fn match_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<IdTriple> {
+        let mut out = self.base.match_pattern(s, p, o);
+        for l in &self.layers {
+            if !l.is_empty() {
+                out.extend(l.matches(s, p, o));
+            }
+        }
+        out
+    }
+
+    fn predicate_stats(&self, p: TermId) -> PredicateStats {
+        let mut acc = self.base.stats().predicate(p);
+        // Distinct counts add across layers (a subject can recur), so
+        // these are upper bounds — fine for join-order estimates, and
+        // identical to what Overlay reports for the same stack.
+        for l in &self.layers {
+            let d = l.stats.predicate(p);
+            acc.triples += d.triples;
+            acc.distinct_subjects += d.distinct_subjects;
+            acc.distinct_objects += d.distinct_objects;
+        }
+        acc
+    }
+
+    fn class_instance_count(&self, class_id: TermId) -> u64 {
+        self.base.stats().class_instances(class_id)
+            + self
+                .layers
+                .iter()
+                .map(|l| l.stats.class_instances(class_id))
+                .sum::<u64>()
+    }
+
+    fn iter_ids(&self) -> Box<dyn Iterator<Item = IdTriple> + '_> {
+        Box::new(
+            self.base
+                .iter_ids()
+                .chain(self.layers.iter().flat_map(|l| l.iter_ids())),
+        )
+    }
+}
+
+/// Renders a view's triples as sorted canonical strings — the
+/// content-level form used by [`diff_views`].
+pub fn triple_strings(view: &LedgerView<'_>) -> Vec<String> {
+    let mut v: Vec<String> = view.iter_triples().map(|t: Triple| t.to_string()).collect();
+    v.sort();
+    v
+}
+
+/// Content-level symmetric difference of two views: triples only in
+/// `a`, and triples only in `b`, each sorted. Rendering goes through
+/// each view's own dictionary, so diverged branches with clashing id
+/// spaces compare correctly.
+pub fn diff_views(a: &LedgerView<'_>, b: &LedgerView<'_>) -> (Vec<String>, Vec<String>) {
+    let sa = triple_strings(a);
+    let sb = triple_strings(b);
+    let set_a: std::collections::BTreeSet<&String> = sa.iter().collect();
+    let set_b: std::collections::BTreeSet<&String> = sb.iter().collect();
+    let only_a = sa.iter().filter(|t| !set_b.contains(t)).cloned().collect();
+    let only_b = sb.iter().filter(|t| !set_a.contains(t)).cloned().collect();
+    (only_a, only_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{GraphStore, Overlay};
+
+    fn seed_graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert_iris("urn:a", rdf::TYPE, "urn:C");
+        g.insert_iris("urn:a", "urn:p", "urn:b");
+        g.insert_iris("urn:b", "urn:p", "urn:c");
+        g
+    }
+
+    fn commit_overlay(ledger: &mut Ledger, write: impl FnOnce(&mut Overlay<&Graph>)) -> EpochId {
+        let mut ov = Overlay::new(ledger.base());
+        // Stack the committed layers under the overlay by replaying: for
+        // tests we only write fresh triples, so an overlay over the base
+        // with matching term_base suffices when the ledger has no layers.
+        write(&mut ov);
+        let (terms, delta) = ov.into_delta();
+        ledger.commit(terms, delta)
+    }
+
+    #[test]
+    fn epoch_zero_is_the_base() {
+        let ledger = Ledger::new(seed_graph());
+        assert_eq!(ledger.head(), EpochId(0));
+        let v = ledger.view(EpochId(0)).expect("epoch 0 exists");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.term_count(), ledger.base().term_count());
+        assert!(ledger.view(EpochId(1)).is_none());
+    }
+
+    #[test]
+    fn commit_appends_and_old_epochs_stay_addressable() {
+        let mut ledger = Ledger::new(seed_graph());
+        let e1 = commit_overlay(&mut ledger, |ov| {
+            ov.insert_iris("urn:c", "urn:p", "urn:d");
+        });
+        assert_eq!(e1, EpochId(1));
+        let e2 = commit_overlay(&mut ledger, |ov| {
+            ov.insert_iris("urn:d", "urn:p", "urn:e");
+        });
+        assert_eq!(e2, EpochId(2));
+
+        assert_eq!(ledger.view(EpochId(0)).map(|v| v.len()), Some(3));
+        assert_eq!(ledger.view(EpochId(1)).map(|v| v.len()), Some(4));
+        assert_eq!(ledger.view(EpochId(2)).map(|v| v.len()), Some(5));
+
+        // Stacked lookups resolve spilled terms through the right layer.
+        let head = ledger.head_view();
+        let d = head.lookup(&Term::iri("urn:d")).expect("spilled in e1");
+        assert_eq!(head.term(d), &Term::iri("urn:d"));
+        let e = head.lookup(&Term::iri("urn:e")).expect("spilled in e2");
+        assert_eq!(head.term(e), &Term::iri("urn:e"));
+    }
+
+    #[test]
+    fn hashes_chain_and_verify() {
+        let mut ledger = Ledger::new(seed_graph());
+        commit_overlay(&mut ledger, |ov| {
+            ov.insert_iris("urn:c", "urn:p", "urn:d");
+        });
+        let h0 = ledger.hash_at(EpochId(0)).expect("base hash");
+        let h1 = ledger.hash_at(EpochId(1)).expect("layer hash");
+        assert_ne!(h0, h1);
+        assert_eq!(ledger.verify_chain(), None);
+
+        // Identical content yields an identical chain.
+        let mut other = Ledger::new(seed_graph());
+        commit_overlay(&mut other, |ov| {
+            ov.insert_iris("urn:c", "urn:p", "urn:d");
+        });
+        assert_eq!(other.hash_at(EpochId(1)), Some(h1));
+
+        // Different content diverges.
+        let mut third = Ledger::new(seed_graph());
+        commit_overlay(&mut third, |ov| {
+            ov.insert_iris("urn:c", "urn:p", "urn:x");
+        });
+        assert_ne!(third.hash_at(EpochId(1)), Some(h1));
+    }
+
+    #[test]
+    fn branches_fork_without_copying_and_stay_isolated() {
+        let mut ledger = Ledger::new(seed_graph());
+        commit_overlay(&mut ledger, |ov| {
+            ov.insert_iris("urn:c", "urn:p", "urn:d");
+        });
+        let head_before = ledger.head();
+        let hash_before = ledger.hash_at(head_before);
+
+        let mut branch = ledger.fork(EpochId(1)).expect("fork at head");
+        let mut ov = Overlay::new(ledger.branch_view(&branch));
+        ov.insert_iris("urn:z", "urn:p", "urn:w");
+        let (terms, delta) = ov.into_delta();
+        let bhead = ledger.commit_branch(&mut branch, terms, delta);
+        assert_eq!(bhead, EpochId(2));
+
+        // Branch sees its commit; the main chain is untouched.
+        assert_eq!(ledger.branch_view(&branch).len(), 5);
+        assert_eq!(ledger.head(), head_before);
+        assert_eq!(ledger.hash_at(head_before), hash_before);
+        assert_eq!(ledger.verify_chain(), None);
+
+        let (only_b, only_m) = diff_views(&ledger.branch_view(&branch), &ledger.head_view());
+        assert_eq!(only_b.len(), 1);
+        assert!(only_b[0].contains("urn:z"));
+        assert!(only_m.is_empty());
+    }
+
+    #[test]
+    fn view_matches_equivalent_overlay() {
+        let mut ledger = Ledger::new(seed_graph());
+        commit_overlay(&mut ledger, |ov| {
+            ov.insert_iris("urn:c", "urn:p", "urn:d");
+            ov.insert_iris("urn:d", rdf::TYPE, "urn:C");
+        });
+        let view = ledger.head_view();
+
+        let mut ov = Overlay::new(ledger.base());
+        ov.insert_iris("urn:c", "urn:p", "urn:d");
+        ov.insert_iris("urn:d", rdf::TYPE, "urn:C");
+
+        assert_eq!(view.len(), ov.len());
+        assert_eq!(view.term_count(), ov.term_count());
+        let p = view.lookup(&Term::iri("urn:p")).expect("p interned");
+        assert_eq!(view.predicate_stats(p), ov.predicate_stats(p));
+        let c = view.lookup(&Term::iri("urn:C")).expect("C interned");
+        assert_eq!(view.class_instance_count(c), ov.class_instance_count(c));
+        let all_v: Vec<IdTriple> = view.match_pattern(None, None, None);
+        let all_o: Vec<IdTriple> = ov.match_pattern(None, None, None);
+        assert_eq!(all_v.len(), all_o.len());
+    }
+}

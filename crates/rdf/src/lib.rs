@@ -35,6 +35,7 @@
 pub mod governor;
 pub mod graph;
 pub mod intern;
+pub mod ledger;
 pub mod ntriples;
 pub mod pool;
 pub mod stats;
@@ -46,6 +47,7 @@ pub mod vocab;
 pub use governor::{Budget, CancelFlag, Exhausted, Guard, Resource};
 pub use graph::{Graph, IdTriple};
 pub use intern::{Interner, TermId};
+pub use ledger::{BranchChain, EpochId, Layer, Ledger, LedgerView};
 pub use pool::Parallelism;
 pub use stats::{GraphStats, PredicateStats};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};

@@ -84,8 +84,9 @@ pub fn parse_ntriples_into(
     Ok(added)
 }
 
-/// Serializes a graph as N-Triples in deterministic (sorted) order.
-pub fn write_ntriples(graph: &Graph) -> String {
+/// Serializes any graph view as N-Triples in deterministic (sorted)
+/// order.
+pub fn write_ntriples<G: crate::GraphView + ?Sized>(graph: &G) -> String {
     let mut lines: Vec<String> = graph.iter_triples().map(|t| t.to_string()).collect();
     lines.sort();
     let mut out = lines.join("\n");

@@ -766,10 +766,12 @@ pub fn resolve_iri(base: Option<&str>, reference: &str) -> String {
     format!("{stem}{reference}")
 }
 
-/// Serializes a graph as Turtle, using the provided prefix map
-/// (`prefix name → namespace IRI`) to compact IRIs. Output is
-/// deterministic: subjects and predicates appear in dictionary-id order.
-pub fn write_turtle(graph: &Graph, prefixes: &[(&str, &str)]) -> String {
+/// Serializes a graph view as Turtle, using the provided prefix map
+/// (`prefix name → namespace IRI`) to compact IRIs. Accepts any
+/// [`GraphView`] — plain graphs, overlays, and stacked ledger views
+/// export alike. Output is deterministic: subjects and predicates
+/// appear in sorted term order.
+pub fn write_turtle<G: crate::GraphView + ?Sized>(graph: &G, prefixes: &[(&str, &str)]) -> String {
     let mut out = String::new();
     for (name, ns) in prefixes {
         out.push_str(&format!("@prefix {name}: <{ns}> .\n"));

@@ -87,8 +87,9 @@ fn pred(i: u64, type_bias: bool) -> String {
 
 /// Drives one random interleaving. Ops (from a u64 stream):
 /// insert, remove, and "commit" — open an overlay, apply a few inserts
-/// there, then absorb the delta into the base the same way
-/// `EngineBase::absorb` does (intern spill in order, insert delta).
+/// there, then merge the delta into the base store (intern spill in
+/// order, insert delta), the raw-graph analogue of what the epoch
+/// ledger freezes into a layer on `EngineBase::commit`.
 fn run_walk(ops: &[u64]) -> Graph {
     let mut g = Graph::new();
     let mut i = ops.iter().copied();

@@ -8,6 +8,8 @@
 //! feo explain steps <Food> [flags]              trace-based explanation
 //! feo proof <Individual> <fact|foil> [flags]    reasoner proof tree
 //! feo query <SPARQL> [--explain] [--planner P]  query the materialized graph
+//! feo history [--commit S ...]                  show the epoch ledger chain
+//! feo branch create|diff|list ...               named what-if branch worlds
 //! feo export [--raw]                            dump the graph as Turtle
 //! feo list                                      list recipes and ingredients
 //!
@@ -15,11 +17,19 @@
 //!   --likes A,B   --dislikes A,B   --allergies A,B   --diet D
 //!   --goals G1,G2 --region R       --season spring|summer|autumn|winter
 //!   --pregnant    --top N
+//!
+//! ledger flags (the CLI is stateless, so each invocation builds its
+//! chain from hypothesis specs S = pregnant | diet:<D> | allergic:<I>):
+//!   --commit S       commit S as an epoch on the main chain (repeatable)
+//!   --as-of N        answer `query`/`explain` at epoch N instead of head
+//!   --branch name=S  fork a branch at head and apply S (repeatable)
+//!   --from N         fork epoch for `branch create`
+//!   --apply S        hypothesis applied by `branch create` (repeatable)
 //! ```
 
 use std::process::exit;
 
-use feo::core::ecosystem::assemble;
+use feo::core::ecosystem::{apply_hypothesis, assemble};
 use feo::prelude::*;
 use feo::recommender::{HealthCoach, Recommender};
 
@@ -34,6 +44,8 @@ fn main() {
         "explain" => cmd_explain(rest),
         "proof" => cmd_proof(rest),
         "query" => cmd_query(rest),
+        "history" => cmd_history(rest),
+        "branch" => cmd_branch(rest),
         "export" => cmd_export(rest),
         "list" => cmd_list(),
         "help" | "--help" | "-h" => usage_and_exit(),
@@ -50,13 +62,17 @@ fn usage_and_exit() -> ! {
          \n\
          USAGE:\n\
            feo recommend [profile flags]\n\
-           feo explain why-eat <Food> [profile flags]\n\
+           feo explain why-eat <Food> [profile flags] [--as-of N] [--commit S]\n\
            feo explain why-over <FoodA> <FoodB> [profile flags]\n\
            feo explain what-if-pregnant [profile flags]\n\
            feo explain steps <Food> [profile flags]\n\
            feo proof <Individual> <fact|foil> [profile flags]\n\
            feo query <SPARQL string> [--explain] [--planner off|greedy|cost-based]\n\
-                     [--threads off|auto|N]\n\
+                     [--threads off|auto|N] [--as-of N] [--commit S]\n\
+           feo history [--commit S] [profile flags]\n\
+           feo branch create <name> [--from N] [--apply S] [--commit S]\n\
+           feo branch diff <a> <b> [--branch name=S] [--commit S]\n\
+           feo branch list [--branch name=S] [--commit S]\n\
            feo export [--raw] [profile flags]\n\
            feo list\n\
          \n\
@@ -64,9 +80,29 @@ fn usage_and_exit() -> ! {
            --likes A,B --dislikes A,B --allergies A,B --diet D --goals G,H\n\
            --region R --season spring|summer|autumn|winter --pregnant --top N\n\
          \n\
+         LEDGER FLAGS (hypothesis spec S = pregnant | diet:<D> | allergic:<I>):\n\
+           --commit S committed as an epoch on the main chain (repeatable);\n\
+           --as-of N answers at epoch N; --branch name=S forks a branch at\n\
+           head and applies S; `branch diff` accepts branch names or 'main'.\n\
+         \n\
          Identifiers are CamelCase local names from `feo list`\n\
          (e.g. ButternutSquashSoup, Broccoli, Vegetarian, HighFiberGoal)."
     );
+    exit(2);
+}
+
+/// Parses a hypothesis spec: `pregnant`, `diet:<Diet>`, `allergic:<Ingredient>`.
+fn parse_hypothesis(spec: &str) -> Hypothesis {
+    if spec.eq_ignore_ascii_case("pregnant") {
+        return Hypothesis::Pregnant;
+    }
+    if let Some(d) = spec.strip_prefix("diet:") {
+        return Hypothesis::FollowedDiet(d.to_string());
+    }
+    if let Some(i) = spec.strip_prefix("allergic:") {
+        return Hypothesis::AllergicTo(i.to_string());
+    }
+    eprintln!("bad hypothesis spec '{spec}' (pregnant | diet:<D> | allergic:<I>)");
     exit(2);
 }
 
@@ -80,6 +116,11 @@ struct Opts {
     planner: Planner,
     parallelism: Parallelism,
     positional: Vec<String>,
+    as_of: Option<u64>,
+    commits: Vec<(String, Hypothesis)>,
+    branches: Vec<(String, Hypothesis)>,
+    from: Option<u64>,
+    apply: Vec<(String, Hypothesis)>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -91,6 +132,11 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut explain = false;
     let mut planner = Planner::default();
     let mut parallelism = Parallelism::default();
+    let mut as_of: Option<u64> = None;
+    let mut commits: Vec<(String, Hypothesis)> = Vec::new();
+    let mut branches: Vec<(String, Hypothesis)> = Vec::new();
+    let mut from: Option<u64> = None;
+    let mut apply: Vec<(String, Hypothesis)> = Vec::new();
     let mut positional = Vec::new();
     let mut i = 0;
     let list = |v: &str| -> Vec<String> {
@@ -163,6 +209,34 @@ fn parse_opts(args: &[String]) -> Opts {
                     },
                 }
             }
+            "--as-of" => {
+                as_of = Some(value("--as-of").parse().unwrap_or_else(|_| {
+                    eprintln!("--as-of needs an epoch number");
+                    exit(2);
+                }))
+            }
+            "--commit" => {
+                let spec = value("--commit");
+                commits.push((spec.clone(), parse_hypothesis(&spec)));
+            }
+            "--apply" => {
+                let spec = value("--apply");
+                apply.push((spec.clone(), parse_hypothesis(&spec)));
+            }
+            "--from" => {
+                from = Some(value("--from").parse().unwrap_or_else(|_| {
+                    eprintln!("--from needs an epoch number");
+                    exit(2);
+                }))
+            }
+            "--branch" => {
+                let v = value("--branch");
+                let Some((name, spec)) = v.split_once('=') else {
+                    eprintln!("--branch needs name=<hypothesis spec>");
+                    exit(2);
+                };
+                branches.push((name.to_string(), parse_hypothesis(spec)));
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag '{other}'");
                 exit(2);
@@ -187,7 +261,37 @@ fn parse_opts(args: &[String]) -> Opts {
         planner,
         parallelism,
         positional,
+        as_of,
+        commits,
+        branches,
+        from,
+        apply,
     }
+}
+
+/// Builds an `EngineBase` over the curated KG and commits each
+/// `--commit` hypothesis as one epoch on the main chain, then forks
+/// each `--branch name=spec` at the head and applies its hypothesis.
+fn base_with_chain(opts: &Opts) -> EngineBase {
+    let mut base =
+        EngineBase::new(curated(), opts.user.clone(), opts.ctx.clone()).unwrap_or_else(|e| {
+            eprintln!("failed to build engine: {e}");
+            exit(1);
+        });
+    for (spec, hypothesis) in &opts.commits {
+        let user = opts.user.clone();
+        base.commit_with(spec, |overlay| apply_hypothesis(hypothesis, &user, overlay));
+    }
+    for (name, hypothesis) in &opts.branches {
+        let head = base.head();
+        let created = base.branch_create(name, head);
+        let applied = created.and_then(|_| base.branch_apply(name, hypothesis));
+        if let Err(e) = applied {
+            eprintln!("branch '{name}': {e}");
+            exit(1);
+        }
+    }
+    base
 }
 
 fn engine_for(opts: &Opts, proofs: bool) -> ExplanationEngine {
@@ -256,6 +360,23 @@ fn cmd_explain(args: &[String]) {
             exit(2);
         }
     };
+    if let Some(n) = opts.as_of {
+        let base = base_with_chain(&opts);
+        match base.explain_as_of(EpochId(n), &question, &ExplainOptions::default()) {
+            Ok(e) => {
+                println!("Q: {} (as of epoch {n})", question.text());
+                if !e.bindings.is_empty() {
+                    println!("\n{}", e.bindings);
+                }
+                println!("A: {}", e.answer);
+            }
+            Err(err) => {
+                eprintln!("cannot explain: {err}");
+                exit(1);
+            }
+        }
+        return;
+    }
     let mut engine = engine_for(&opts, false);
     if matches!(question, Question::WhatSteps { .. }) {
         let kg = curated();
@@ -320,10 +441,23 @@ fn cmd_query(args: &[String]) {
         eprintln!("query needs a SPARQL string");
         exit(2);
     };
-    let mut g = assemble(&curated(), &opts.user, &opts.ctx);
-    let _ = Reasoner::new().materialize(&mut g, &Default::default());
     // Prepend the standard prefixes so short queries work out of the box.
     let full = format!("{}{}", feo::ontology::ns::sparql_prologue(), sparql);
+    if let Some(n) = opts.as_of {
+        // Time travel: answer over the ledger view at epoch `n`, not the
+        // raw assembled graph.
+        let base = base_with_chain(&opts);
+        match base.query_as_of(EpochId(n), &full) {
+            Ok(result) => print_query_result(result),
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+    let mut g = assemble(&curated(), &opts.user, &opts.ctx);
+    let _ = Reasoner::new().materialize(&mut g, &Default::default());
     let qopts = QueryOptions {
         guard: None,
         planner: opts.planner,
@@ -331,18 +465,144 @@ fn cmd_query(args: &[String]) {
         explain: opts.explain,
     };
     match feo::sparql::query(&g, &full, &qopts) {
-        Ok(QueryResult::Solutions(t)) => print!("{t}"),
-        Ok(QueryResult::Boolean(b)) => println!("{b}"),
-        Ok(QueryResult::Graph(g2)) => {
+        Ok(result) => print_query_result(result),
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
+}
+
+fn print_query_result(result: QueryResult) {
+    match result {
+        QueryResult::Solutions(t) => print!("{t}"),
+        QueryResult::Boolean(b) => println!("{b}"),
+        QueryResult::Graph(g2) => {
             print!(
                 "{}",
                 feo::rdf::turtle::write_turtle(&g2, feo::ontology::ns::PREFIXES)
             )
         }
-        Ok(QueryResult::Plan(p)) => print!("{p}"),
-        Err(e) => {
-            eprintln!("{e}");
+        QueryResult::Plan(p) => print!("{p}"),
+    }
+}
+
+/// `feo history` — print the epoch ledger: one row per commit with its
+/// label, layer sizes, and chained tamper-evidence hash.
+fn cmd_history(args: &[String]) {
+    let opts = parse_opts(args);
+    let base = base_with_chain(&opts);
+    println!("Epoch ledger ({} commits):", base.head().0);
+    for row in base.history() {
+        println!(
+            "  #{:<3} {:<24} {:>6} triples  {:>5} terms  {:>5} inferred  hash {:016x}",
+            row.epoch.0, row.label, row.triples, row.terms, row.inferred, row.hash
+        );
+    }
+    match base.ledger().verify_chain() {
+        None => println!("chain OK"),
+        Some(epoch) => {
+            eprintln!("chain BROKEN at epoch {}", epoch.0);
             exit(1);
+        }
+    }
+}
+
+/// `feo branch create|diff|list` — named what-if worlds forked from the
+/// epoch ledger. The CLI is stateless, so each invocation first rebuilds
+/// the main chain from `--commit` specs, then forks branches in-process.
+fn cmd_branch(args: &[String]) {
+    let Some(sub) = args.first().cloned() else {
+        eprintln!("branch needs a subcommand (create | diff | list)");
+        exit(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    match sub.as_str() {
+        "create" => {
+            let Some(name) = opts.positional.first().cloned() else {
+                eprintln!("branch create needs a name");
+                exit(2);
+            };
+            let mut base = base_with_chain(&opts);
+            let from = EpochId(opts.from.unwrap_or(base.head().0));
+            if let Err(e) = base.branch_create(&name, from) {
+                eprintln!("branch '{name}': {e}");
+                exit(1);
+            }
+            for (spec, hypothesis) in &opts.apply {
+                if let Err(e) = base.branch_apply(&name, hypothesis) {
+                    eprintln!("branch '{name}' applying {spec}: {e}");
+                    exit(1);
+                }
+            }
+            let Some(info) = base.branch_list().into_iter().find(|b| b.name == name) else {
+                eprintln!("branch '{name}' vanished after creation");
+                exit(1);
+            };
+            println!(
+                "branch '{}' forked at epoch {} with {} commit(s), head {}",
+                info.name, info.fork.0, info.commits, info.head.0
+            );
+            let diff = base.branch_diff(&name, "main").unwrap_or_else(|e| {
+                eprintln!("diff vs main: {e}");
+                exit(1);
+            });
+            println!(
+                "diverges from main by +{} / -{} triples",
+                diff.only_in_a.len(),
+                diff.only_in_b.len()
+            );
+        }
+        "diff" => {
+            if opts.positional.len() < 2 {
+                eprintln!("branch diff needs two names ('main' or --branch names)");
+                exit(2);
+            }
+            let base = base_with_chain(&opts);
+            let (a, b) = (&opts.positional[0], &opts.positional[1]);
+            match base.branch_diff(a, b) {
+                Ok(diff) if diff.is_empty() => println!("branches '{a}' and '{b}' are identical"),
+                Ok(diff) => {
+                    println!("only in '{a}' ({}):", diff.only_in_a.len());
+                    for t in &diff.only_in_a {
+                        println!("  + {t}");
+                    }
+                    println!("only in '{b}' ({}):", diff.only_in_b.len());
+                    for t in &diff.only_in_b {
+                        println!("  - {t}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    exit(1);
+                }
+            }
+        }
+        "list" => {
+            let base = base_with_chain(&opts);
+            let branches = base.branch_list();
+            println!(
+                "main: head {} ({} commits)",
+                base.head().0,
+                base.history().len() - 1
+            );
+            if branches.is_empty() {
+                println!("no branches (fork one with --branch name=<spec>)");
+            }
+            for info in branches {
+                let hash = info
+                    .head_hash
+                    .map(|h| format!("{h:016x}"))
+                    .unwrap_or_else(|| "-".to_string());
+                println!(
+                    "  {:<16} fork #{:<3} +{} commit(s)  head #{:<3} hash {}",
+                    info.name, info.fork.0, info.commits, info.head.0, hash
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown branch subcommand '{other}' (create | diff | list)");
+            exit(2);
         }
     }
 }

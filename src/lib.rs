@@ -58,8 +58,8 @@ pub use feo_sparql as sparql;
 /// ```
 pub mod prelude {
     pub use crate::core::{
-        EngineBase, EngineError, ExplainOptions, Explanation, ExplanationEngine, Hypothesis,
-        PlanCacheStats, Question, Session,
+        BranchDiff, BranchInfo, CommitInfo, EngineBase, EngineError, EpochId, ExplainOptions,
+        Explanation, ExplanationEngine, Hypothesis, PlanCacheStats, Question, Session,
     };
     pub use crate::error::FeoError;
     pub use crate::foodkg::{curated, Season, SystemContext, UserProfile};

@@ -108,6 +108,109 @@ fn list_shows_inventory() {
 }
 
 #[test]
+fn history_prints_the_epoch_chain() {
+    let (stdout, _, ok) = feo(&["history", "--commit", "pregnant", "--commit", "diet:Vegan"]);
+    assert!(ok);
+    assert!(stdout.contains("Epoch ledger (2 commits)"), "{stdout}");
+    assert!(stdout.contains("#0"), "base row: {stdout}");
+    assert!(stdout.contains("pregnant"), "commit label: {stdout}");
+    assert!(stdout.contains("diet:Vegan"), "commit label: {stdout}");
+    assert!(stdout.contains("chain OK"), "hash chain verifies: {stdout}");
+}
+
+#[test]
+fn query_as_of_travels_to_an_old_epoch() {
+    // Epoch 0 predates the pregnancy commit, so the count of pregnancy
+    // characteristics is strictly smaller there than at epoch 1, where
+    // the commit asserted one on the user.
+    let q = "SELECT (COUNT(?u) AS ?n) WHERE { ?u feo:hasCharacteristic feo:Pregnancy }";
+    let count = |stdout: &str| -> usize {
+        stdout
+            .split('|')
+            .filter_map(|cell| cell.trim().parse().ok())
+            .next()
+            .unwrap_or_else(|| panic!("no count in: {stdout}"))
+    };
+    let (at0, _, ok0) = feo(&["query", q, "--as-of", "0", "--commit", "pregnant"]);
+    let (at1, _, ok1) = feo(&["query", q, "--as-of", "1", "--commit", "pregnant"]);
+    assert!(ok0 && ok1);
+    assert_eq!(
+        count(&at0) + 1,
+        count(&at1),
+        "the commit adds exactly the user's pregnancy: {at0} vs {at1}"
+    );
+
+    // Past the head is a clean error, not a panic.
+    let (_, stderr, ok) = feo(&["query", q, "--as-of", "9", "--commit", "pregnant"]);
+    assert!(!ok);
+    assert!(stderr.contains("epoch"), "{stderr}");
+}
+
+#[test]
+fn explain_as_of_reproduces_the_old_answer() {
+    let args_tail = [
+        "--likes",
+        "ButternutSquashSoup",
+        "--commit",
+        "allergic:Broccoli",
+    ];
+    let mut at1 = vec!["explain", "why-eat", "ButternutSquashSoup", "--as-of", "1"];
+    at1.extend_from_slice(&args_tail);
+    let (stdout, _, ok) = feo(&at1);
+    assert!(ok);
+    assert!(stdout.contains("as of epoch 1"), "{stdout}");
+    assert!(stdout.contains("SeasonCharacteristic"), "{stdout}");
+    assert!(stdout.contains("A: "), "{stdout}");
+}
+
+#[test]
+fn branch_create_diff_and_list() {
+    let (stdout, _, ok) = feo(&[
+        "branch", "create", "trial", "--from", "0", "--apply", "pregnant",
+    ]);
+    assert!(ok);
+    assert!(
+        stdout.contains("branch 'trial' forked at epoch 0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("diverges from main by +3"), "{stdout}");
+
+    let (stdout, _, ok) = feo(&[
+        "branch",
+        "diff",
+        "whatif",
+        "main",
+        "--branch",
+        "whatif=pregnant",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("only in 'whatif' (3)"), "{stdout}");
+    assert!(stdout.contains("Pregnancy"), "{stdout}");
+    assert!(stdout.contains("only in 'main' (0)"), "{stdout}");
+
+    let (stdout, _, ok) = feo(&[
+        "branch",
+        "list",
+        "--commit",
+        "allergic:Broccoli",
+        "--branch",
+        "whatif=pregnant",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("main: head 1"), "{stdout}");
+    assert!(stdout.contains("whatif"), "{stdout}");
+    assert!(stdout.contains("fork #1"), "{stdout}");
+
+    // Reserved and unknown names fail cleanly.
+    let (_, stderr, ok) = feo(&["branch", "create", "main"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+    let (_, stderr, ok) = feo(&["branch", "diff", "ghost", "main"]);
+    assert!(!ok);
+    assert!(stderr.contains("ghost"), "{stderr}");
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let (_, stderr, ok) = feo(&["frobnicate"]);
     assert!(!ok);

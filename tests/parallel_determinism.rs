@@ -224,6 +224,74 @@ proptest! {
     }
 }
 
+/// Derivation tracking no longer forces the sequential path: with
+/// tracking on, pool workers capture each conclusion's premises and the
+/// pinned-order merge records them. The closure must stay
+/// byte-identical across worker counts, the parallel run must be
+/// reproducible (same derivation map twice), and every recorded
+/// derivation must be structurally sound — its premises are triples of
+/// the closed graph, so proof trees render without dangling references.
+#[test]
+fn tracked_derivations_survive_the_parallel_path() {
+    use feo::owl::ReasonerOptions;
+
+    let close = |parallelism: Parallelism| {
+        let (mut g, _) = synthetic_world(40, 7);
+        let result = Reasoner::with_options(ReasonerOptions {
+            track_derivations: true,
+            ..Default::default()
+        })
+        .materialize(
+            &mut g,
+            &MaterializeOptions {
+                parallelism,
+                ..Default::default()
+            },
+        )
+        .expect("converges");
+        (g, result)
+    };
+
+    let (seq_g, seq) = close(Parallelism::Off);
+    let (par_g, par) = close(Parallelism::Fixed(4));
+    let (par_g2, par2) = close(Parallelism::Fixed(4));
+
+    // Same fixpoint, and the parallel run is reproducible down to the
+    // recorded derivations.
+    assert_eq!(
+        seq_g.iter_ids().collect::<Vec<_>>(),
+        par_g.iter_ids().collect::<Vec<_>>(),
+        "closure diverged with tracking on"
+    );
+    assert_eq!(par.derivations.len(), par2.derivations.len());
+    for (t, d) in &par.derivations {
+        let again = par2.derivations.get(t).expect("reproducible key set");
+        assert_eq!((d.rule, &d.premises), (again.rule, &again.premises));
+    }
+    assert_eq!(par_g.len(), par_g2.len());
+
+    // Both modes explain every inferred triple, and premises always
+    // reference real triples of the closure (acyclic proof DAG).
+    assert_eq!(seq.derivations.len(), par.derivations.len());
+    assert!(!par.derivations.is_empty(), "tracking recorded nothing");
+    for (t, d) in &par.derivations {
+        assert!(
+            par_g.contains_ids(t[0], t[1], t[2]),
+            "derived triple missing from closure"
+        );
+        for p in &d.premises {
+            assert!(
+                par_g.contains_ids(p[0], p[1], p[2]),
+                "premise of {:?} ({}) not in closure",
+                t,
+                d.rule
+            );
+        }
+        let node = feo::owl::proof(&par, *t);
+        assert!(!node.render(&par_g).is_empty());
+    }
+}
+
 /// `Parallelism::Auto` (the default in every options struct) honours
 /// `FEO_THREADS`, so the suite run under `FEO_THREADS=1` and
 /// `FEO_THREADS=4` exercises both paths; this pins the explicit modes

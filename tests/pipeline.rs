@@ -11,7 +11,7 @@ use feo::foodkg::{
     curated, synthetic, FoodKg, Season, SyntheticConfig, SystemContext, UserProfile,
 };
 use feo::rdf::turtle::{parse_turtle_into, write_turtle};
-use feo::rdf::Graph;
+use feo::rdf::{Graph, GraphView};
 use feo::recommender::{HealthCoach, PopularityRecommender, Recommender};
 use feo::sparql::query;
 
@@ -64,10 +64,13 @@ fn materialized_export_round_trips_through_turtle() {
     let mut engine = s.engine().expect("consistent");
     let direct = engine.explain(&s.question).unwrap();
 
-    let ttl = write_turtle(engine.graph(), feo::ontology::ns::PREFIXES);
+    // Export the full head view — base plus every committed layer (the
+    // façade's explain committed the question delta as an epoch).
+    let head = engine.base().ledger().head_view();
+    let ttl = write_turtle(&head, feo::ontology::ns::PREFIXES);
     let mut reimported = Graph::new();
     parse_turtle_into(&ttl, &mut reimported, &Default::default()).expect("export parses");
-    assert_eq!(engine.graph().len(), reimported.len(), "lossless export");
+    assert_eq!(head.len(), reimported.len(), "lossless export");
 
     let q = feo::core::queries::contrastive_query(&s.question);
     let table = query(&reimported, &q, &Default::default())
