@@ -99,4 +99,90 @@ echo "== ledger ops smoke (bounded wall-clock)"
 # BENCH_pr6.json, the smoke run just has to complete.
 timeout 180 cargo run -q --release --offline -p feo-bench --bin ledger_ops -- --smoke
 
+echo "== serve: HTTP service end-to-end (boot, degrade, shed, drain)"
+# Boot the real binary on an ephemeral port, drive it with curl, then
+# SIGTERM it and require a clean drain (exit 0). Tenant quota is set
+# aggressively low so a same-tenant double-tap deterministically sheds;
+# every other probe uses its own tenant header.
+SERVE_LOG=$(mktemp)
+SERVE_OUT=$(mktemp)
+SERVE_HDR=$(mktemp)
+./target/release/feo serve --port 0 --commit pregnant \
+    --tenant-rate 0.01 --tenant-burst 1 >"$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^feo-serve listening on //p' "$SERVE_LOG" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve: server never announced its address" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+BASE="http://$ADDR"
+
+curl -fsS "$BASE/health" | grep -q '"status":"ok"'
+curl -fsS "$BASE/ready" >/dev/null
+
+# Happy path: a complete batch answers 200 with complete:true.
+code=$(curl -sS -o "$SERVE_OUT" -w '%{http_code}' -H 'X-Feo-Tenant: ci-happy' \
+    -d '{"questions":[{"type":"why-eat","food":"CauliflowerPotatoCurry"}]}' \
+    "$BASE/explain")
+if [ "$code" != 200 ] || ! grep -q '"complete":true' "$SERVE_OUT"; then
+    echo "serve: happy-path explain failed (HTTP $code)" >&2
+    cat "$SERVE_OUT" >&2
+    exit 1
+fi
+
+# Budget trip: max_rounds 1 cannot finish the counterfactual, so the
+# response must be a structured 206 naming the exhausted resource.
+code=$(curl -sS -o "$SERVE_OUT" -w '%{http_code}' -H 'X-Feo-Tenant: ci-degraded' \
+    -d '{"questions":[{"type":"why-eat","food":"CauliflowerPotatoCurry"},{"type":"what-if","hypothesis":"pregnant"}],"budget":{"max_rounds":1}}' \
+    "$BASE/explain")
+if [ "$code" != 206 ] || ! grep -q '"resource":"rounds"' "$SERVE_OUT"; then
+    echo "serve: budget trip did not degrade to 206 (HTTP $code)" >&2
+    cat "$SERVE_OUT" >&2
+    exit 1
+fi
+
+# Quota: the second rapid request from one tenant sheds with 429 and a
+# Retry-After hint — never a 5xx.
+curl -fsS -H 'X-Feo-Tenant: ci-quota' \
+    -d '{"questions":[{"type":"why-eat","food":"CauliflowerPotatoCurry"}]}' \
+    "$BASE/explain" >/dev/null
+code=$(curl -sS -o "$SERVE_OUT" -D "$SERVE_HDR" -w '%{http_code}' \
+    -H 'X-Feo-Tenant: ci-quota' \
+    -d '{"questions":[{"type":"why-eat","food":"CauliflowerPotatoCurry"}]}' \
+    "$BASE/explain")
+if [ "$code" != 429 ] || ! grep -qi '^Retry-After:' "$SERVE_HDR"; then
+    echo "serve: tenant quota did not shed with 429 + Retry-After (HTTP $code)" >&2
+    cat "$SERVE_HDR" "$SERVE_OUT" >&2
+    exit 1
+fi
+
+# SPARQL over HTTP with time travel to the pre-commit epoch.
+code=$(curl -sS -o "$SERVE_OUT" -w '%{http_code}' -H 'X-Feo-Tenant: ci-query' \
+    -d '{"sparql":"ASK { ?s ?p ?o }","as_of":0}' "$BASE/query")
+if [ "$code" != 200 ] || ! grep -q '"boolean":true' "$SERVE_OUT"; then
+    echo "serve: as_of query failed (HTTP $code)" >&2
+    cat "$SERVE_OUT" >&2
+    exit 1
+fi
+
+# Graceful shutdown: SIGTERM drains and the process exits 0.
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "serve: process did not exit cleanly after SIGTERM" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+rm -f "$SERVE_LOG" "$SERVE_OUT" "$SERVE_HDR"
+
+echo "== serve load smoke (bounded wall-clock)"
+# The shed-don't-collapse harness must run end to end; full numbers go
+# to BENCH_pr7.json, the smoke run just has to complete.
+timeout 240 cargo run -q --release --offline -p feo-bench --bin serve_load -- --smoke
+
 echo "CI green."

@@ -1,0 +1,413 @@
+//! Load characterization of the HTTP explanation service.
+//!
+//! Three phases against an in-process `feo_serve::Server` over the
+//! curated knowledge graph:
+//!
+//!  1. **Closed-loop latency**: N clients, each issuing requests
+//!     back-to-back, at increasing concurrency. Reports p50/p99/p999
+//!     per level.
+//!  2. **Open arrival**: requests launched on a fixed schedule
+//!     regardless of completions (the arrival pattern a real fleet
+//!     produces), at a sustainable and an aggressive rate.
+//!  3. **Overload sweep**: a deliberately tiny admission gate
+//!     (`max_inflight=2`, `max_queue=4`) hammered by 32 clients. The
+//!     service must *shed, not collapse*: zero 5xx, fast honest 429s,
+//!     and bounded latency for the requests it does accept.
+//!
+//! Contracts (FAIL on full runs, WARN in `--smoke`):
+//!   - zero 5xx and zero panics across every phase;
+//!   - overload sheds: 429s appear once the gate saturates;
+//!   - shed responses are fast (p99 well under the request deadline —
+//!     rejection must not queue);
+//!   - accepted p99 stays bounded past the admission cap.
+//!
+//! Run with `cargo run --release -p feo-bench --bin serve_load`;
+//! `--smoke` shrinks the load for CI (and leaves `BENCH_pr7.json`
+//! untouched). Full runs write `BENCH_pr7.json` at the repo root.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use feo_core::EngineBase;
+use feo_foodkg::{curated, Season, SystemContext, UserProfile};
+use feo_serve::{AdmissionConfig, ServeConfig, Server, ServerHandle};
+
+const EXPLAIN_BODY: &str = r#"{"questions":[{"type":"why-eat","food":"CauliflowerPotatoCurry"}]}"#;
+
+fn base() -> Arc<EngineBase> {
+    let user = UserProfile::new("bench-user");
+    let ctx = SystemContext::new(Season::Autumn);
+    Arc::new(EngineBase::new(curated(), user, ctx).expect("curated world is consistent"))
+}
+
+fn spawn_server(admission: AdmissionConfig, default_deadline_ms: u64) -> ServerHandle {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        admission,
+        default_deadline_ms,
+        queue_wait_cap_ms: default_deadline_ms,
+        ..ServeConfig::default()
+    };
+    Server::spawn(base(), cfg).expect("bind ephemeral port")
+}
+
+/// One `POST /explain` over a fresh connection (`Connection: close`).
+/// Returns the status code and wall-clock latency.
+fn post_explain(addr: SocketAddr) -> std::io::Result<(u16, Duration)> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        EXPLAIN_BODY.len(),
+        EXPLAIN_BODY
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head = String::from_utf8_lossy(&raw);
+    let status = head
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::other("unparseable response"))?;
+    Ok((status, started.elapsed()))
+}
+
+/// Outcomes of one phase, split by response class.
+#[derive(Default)]
+struct Tally {
+    ok: Vec<Duration>,    // 200 + 206 (work done, possibly degraded)
+    shed: Vec<Duration>,  // 429 + 503 (honest rejection)
+    server_err: usize,    // 5xx
+    transport_err: usize, // connect/read failures
+    degraded: usize,      // 206 specifically
+}
+
+impl Tally {
+    fn absorb(&mut self, result: std::io::Result<(u16, Duration)>) {
+        match result {
+            Ok((status, latency)) => match status {
+                200 => self.ok.push(latency),
+                206 => {
+                    self.degraded += 1;
+                    self.ok.push(latency);
+                }
+                429 | 503 => self.shed.push(latency),
+                500..=599 => self.server_err += 1,
+                _ => self.server_err += 1,
+            },
+            Err(_) => self.transport_err += 1,
+        }
+    }
+
+    fn merge(&mut self, other: Tally) {
+        self.ok.extend(other.ok);
+        self.shed.extend(other.shed);
+        self.server_err += other.server_err;
+        self.transport_err += other.transport_err;
+        self.degraded += other.degraded;
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Closed loop: `clients` threads, each `per_client` sequential
+/// requests.
+fn closed_loop(addr: SocketAddr, clients: usize, per_client: usize) -> Tally {
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut tally = Tally::default();
+                for _ in 0..per_client {
+                    tally.absorb(post_explain(addr));
+                }
+                tally
+            })
+        })
+        .collect();
+    let mut total = Tally::default();
+    for worker in workers {
+        total.merge(worker.join().expect("client thread"));
+    }
+    total
+}
+
+/// Open arrival: one request launched every `interval`, `count` times,
+/// regardless of completions — queueing shows up as latency, not as a
+/// reduced offered rate.
+fn open_arrival(addr: SocketAddr, interval: Duration, count: usize) -> Tally {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..count)
+        .map(|i| {
+            thread::spawn(move || {
+                let due = start + interval * (i as u32);
+                let now = Instant::now();
+                if due > now {
+                    thread::sleep(due - now);
+                }
+                let mut tally = Tally::default();
+                tally.absorb(post_explain(addr));
+                tally
+            })
+        })
+        .collect();
+    let mut total = Tally::default();
+    for worker in workers {
+        total.merge(worker.join().expect("client thread"));
+    }
+    total
+}
+
+struct PhaseReport {
+    phase: String,
+    tally: Tally,
+    ok_p50: Duration,
+    ok_p99: Duration,
+    ok_p999: Duration,
+    shed_p99: Duration,
+}
+
+fn report(phase: String, mut tally: Tally) -> PhaseReport {
+    tally.ok.sort();
+    tally.shed.sort();
+    let ok_p50 = percentile(&tally.ok, 0.50);
+    let ok_p99 = percentile(&tally.ok, 0.99);
+    let ok_p999 = percentile(&tally.ok, 0.999);
+    let shed_p99 = percentile(&tally.shed, 0.99);
+    println!(
+        "  {phase}: ok={} (degraded {}) shed={} 5xx={} transport_err={}",
+        tally.ok.len(),
+        tally.degraded,
+        tally.shed.len(),
+        tally.server_err,
+        tally.transport_err,
+    );
+    println!(
+        "    accepted p50={:.1}ms p99={:.1}ms p999={:.1}ms; shed p99={:.1}ms",
+        ms(ok_p50),
+        ms(ok_p99),
+        ms(ok_p999),
+        ms(shed_p99),
+    );
+    PhaseReport {
+        phase,
+        tally,
+        ok_p50,
+        ok_p99,
+        ok_p999,
+        shed_p99,
+    }
+}
+
+struct Contract {
+    name: &'static str,
+    ok: bool,
+    detail: String,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    println!(
+        "serve_load: HTTP service under load{}:",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut reports: Vec<PhaseReport> = Vec::new();
+
+    // Phase 1: closed-loop at increasing concurrency, roomy gate.
+    {
+        let handle = spawn_server(
+            AdmissionConfig {
+                max_inflight: 8,
+                max_queue: 64,
+                ..AdmissionConfig::default()
+            },
+            5_000,
+        );
+        let addr = handle.addr();
+        let levels: &[usize] = if smoke { &[2] } else { &[2, 8, 32] };
+        let per_client = if smoke { 4 } else { 20 };
+        for &clients in levels {
+            let tally = closed_loop(addr, clients, per_client);
+            reports.push(report(format!("closed c={clients}"), tally));
+        }
+        handle.shutdown_and_join().expect("clean shutdown");
+    }
+
+    // Phase 2: open arrival at a sustainable and an aggressive rate.
+    {
+        let handle = spawn_server(
+            AdmissionConfig {
+                max_inflight: 8,
+                max_queue: 64,
+                ..AdmissionConfig::default()
+            },
+            5_000,
+        );
+        let addr = handle.addr();
+        let rates: &[(u64, usize)] = if smoke {
+            &[(50, 8)]
+        } else {
+            &[(25, 60), (100, 120)]
+        };
+        for &(interval_ms, count) in rates {
+            let tally = open_arrival(addr, Duration::from_millis(interval_ms), count);
+            let rate = 1_000 / interval_ms.max(1);
+            reports.push(report(format!("open {rate}rps"), tally));
+        }
+        handle.shutdown_and_join().expect("clean shutdown");
+    }
+
+    // Phase 3: overload sweep — tiny gate, short deadline, 32 clients.
+    // This is the shed-don't-collapse proof.
+    let overload_deadline_ms: u64 = 300;
+    let overload = {
+        let handle = spawn_server(
+            AdmissionConfig {
+                max_inflight: 2,
+                max_queue: 4,
+                ..AdmissionConfig::default()
+            },
+            overload_deadline_ms,
+        );
+        let addr = handle.addr();
+        let (clients, per_client) = if smoke { (8, 3) } else { (32, 8) };
+        let tally = closed_loop(addr, clients, per_client);
+        let stats = handle.admission_stats();
+        println!(
+            "    admission: admitted={} shed_queue_full={} shed_deadline={} quota={} disconnects={}",
+            stats.admitted,
+            stats.shed_queue_full,
+            stats.shed_deadline,
+            stats.rejected_quota,
+            stats.cancelled_disconnects,
+        );
+        handle.shutdown_and_join().expect("clean shutdown");
+        report(format!("overload c={clients} gate=2+4"), tally)
+    };
+
+    // Contracts.
+    let total_5xx: usize =
+        reports.iter().map(|r| r.tally.server_err).sum::<usize>() + overload.tally.server_err;
+    let total_transport: usize =
+        reports.iter().map(|r| r.tally.transport_err).sum::<usize>() + overload.tally.transport_err;
+    let contracts = [
+        Contract {
+            name: "zero_5xx",
+            ok: total_5xx == 0,
+            detail: format!("{total_5xx} server errors across all phases"),
+        },
+        Contract {
+            name: "zero_transport_errors",
+            ok: total_transport == 0,
+            detail: format!("{total_transport} transport errors across all phases"),
+        },
+        Contract {
+            name: "overload_sheds",
+            ok: !overload.tally.shed.is_empty(),
+            detail: format!(
+                "{} shed vs {} accepted past a 2-slot gate",
+                overload.tally.shed.len(),
+                overload.tally.ok.len()
+            ),
+        },
+        Contract {
+            name: "overload_still_serves",
+            ok: !overload.tally.ok.is_empty(),
+            detail: format!(
+                "{} requests completed under overload",
+                overload.tally.ok.len()
+            ),
+        },
+        Contract {
+            // Shedding must not queue: a rejection may wait at most the
+            // admission window (bounded by the request deadline), never
+            // multiples of it.
+            name: "shed_is_fast",
+            ok: overload.shed_p99 <= Duration::from_millis(2 * overload_deadline_ms),
+            detail: format!(
+                "shed p99 {:.1}ms vs {}ms deadline",
+                ms(overload.shed_p99),
+                overload_deadline_ms
+            ),
+        },
+        Contract {
+            // The accepted tail stays bounded by queue wait + budgeted
+            // execution (+ generous scheduling slack for CI boxes) —
+            // overload must not stretch accepted latency open-endedly.
+            name: "accepted_p99_bounded",
+            ok: overload.ok_p99 <= Duration::from_millis(6 * overload_deadline_ms),
+            detail: format!(
+                "accepted p99 {:.1}ms vs {}ms deadline",
+                ms(overload.ok_p99),
+                overload_deadline_ms
+            ),
+        },
+    ];
+    let mut pass = true;
+    for contract in &contracts {
+        pass &= contract.ok || smoke;
+        let verdict = match (contract.ok, smoke) {
+            (true, _) => "PASS",
+            (false, true) => "WARN",
+            (false, false) => "FAIL",
+        };
+        println!("  {verdict} {}: {}", contract.name, contract.detail);
+    }
+
+    if smoke {
+        println!("  smoke mode: BENCH_pr7.json left untouched");
+        return;
+    }
+    let mut phases: Vec<String> = Vec::new();
+    for r in reports.iter().chain(std::iter::once(&overload)) {
+        phases.push(format!(
+            "    {{\"phase\": \"{}\", \"ok\": {}, \"degraded\": {}, \"shed\": {}, \"server_5xx\": {}, \"transport_err\": {}, \"ok_p50_ms\": {:.2}, \"ok_p99_ms\": {:.2}, \"ok_p999_ms\": {:.2}, \"shed_p99_ms\": {:.2}}}",
+            r.phase,
+            r.tally.ok.len(),
+            r.tally.degraded,
+            r.tally.shed.len(),
+            r.tally.server_err,
+            r.tally.transport_err,
+            ms(r.ok_p50),
+            ms(r.ok_p99),
+            ms(r.ok_p999),
+            ms(r.shed_p99),
+        ));
+    }
+    let contract_rows: Vec<String> = contracts
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"contract\": \"{}\", \"pass\": {}, \"detail\": \"{}\"}}",
+                c.name, c.ok, c.detail
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"mode\": \"full\",\n  \"phases\": [\n{}\n  ],\n  \"contracts\": [\n{}\n  ]\n}}\n",
+        phases.join(",\n"),
+        contract_rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    match std::fs::write(out, json) {
+        Ok(()) => println!("  wrote {out}"),
+        Err(e) => eprintln!("  could not write {out}: {e}"),
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

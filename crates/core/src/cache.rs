@@ -18,6 +18,15 @@
 //! key, while entries for older epochs stay retained so time-travel
 //! queries keep hitting cached plans. A capacity bound evicts the
 //! entries furthest from the head when the cache grows too large.
+//!
+//! Branches partition the key space: a [`PlanKey`] is `(chain, epoch,
+//! query)`, where chain 0 is the main commit chain and each named
+//! branch gets a stable non-zero id at creation. A branch epoch's
+//! statistics differ from the main epoch with the same number, so
+//! without the chain component the keys would collide; with it, branch
+//! sessions reuse cached plans exactly like main-chain sessions —
+//! which is what keeps branch-heavy multi-tenant serving from
+//! re-planning every request.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +38,31 @@ use feo_sparql::{parse_query, plan_query, Plan, SparqlError};
 
 /// Entries retained across all epochs before eviction kicks in.
 const MAX_ENTRIES: usize = 256;
+
+/// The commit chain and epoch a cached plan was computed against.
+/// `chain` 0 is the main ledger chain; named branches get stable
+/// non-zero ids so their epochs never collide with main epochs of the
+/// same number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    pub chain: u64,
+    pub epoch: u64,
+}
+
+impl PlanKey {
+    /// A key on the main commit chain.
+    pub fn main(epoch: u64) -> Self {
+        PlanKey { chain: 0, epoch }
+    }
+
+    /// A key on a named branch's chain (`branch` ids start at 1).
+    pub fn branch(branch: u64, epoch: u64) -> Self {
+        PlanKey {
+            chain: branch,
+            epoch,
+        }
+    }
+}
 
 /// Hit/miss counters and current state of a [`crate::EngineBase`]'s plan
 /// cache — exposed so tests (and curious callers) can verify that
@@ -63,26 +97,26 @@ struct CachedPlan {
 /// entry.
 #[derive(Default)]
 pub(crate) struct PlanCache {
-    entries: RwLock<HashMap<(u64, String), CachedPlan>>,
+    entries: RwLock<HashMap<(PlanKey, String), CachedPlan>>,
     head: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl PlanCache {
-    /// Returns the parsed query and its plan for `epoch`, reusing a
+    /// Returns the parsed query and its plan for `key`, reusing a
     /// cached pair when one exists; otherwise parses `text`, plans it
     /// against `view`'s statistics, and caches the result under
-    /// `(epoch, text)`.
+    /// `(key, text)`.
     ///
     /// Correctness contract: `view` must be the graph view *of*
-    /// `epoch`. The key and the statistics travel together, so a
-    /// concurrent commit can never smuggle a plan for one epoch under
-    /// another epoch's key.
+    /// `key`'s chain and epoch. The key and the statistics travel
+    /// together, so a concurrent commit can never smuggle a plan for
+    /// one epoch under another epoch's key.
     pub(crate) fn get_or_insert<G: GraphView>(
         &self,
         text: &str,
-        epoch: u64,
+        key: PlanKey,
         view: G,
     ) -> Result<(Arc<Query>, Arc<Plan>), SparqlError> {
         {
@@ -90,7 +124,7 @@ impl PlanCache {
             // holding it; the map is still structurally sound, so keep
             // serving rather than propagate the panic.
             let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
-            if let Some(hit) = entries.get(&(epoch, text.to_string())) {
+            if let Some(hit) = entries.get(&(key, text.to_string())) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((Arc::clone(&hit.query), Arc::clone(&hit.plan)));
             }
@@ -100,10 +134,10 @@ impl PlanCache {
         let plan = Arc::new(plan_query(&view, &query));
         let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
         if entries.len() >= MAX_ENTRIES {
-            Self::evict(&mut entries, self.head.load(Ordering::Acquire), epoch);
+            Self::evict(&mut entries, self.head.load(Ordering::Acquire), key);
         }
         entries.insert(
-            (epoch, text.to_string()),
+            (key, text.to_string()),
             CachedPlan {
                 query: Arc::clone(&query),
                 plan: Arc::clone(&plan),
@@ -112,16 +146,18 @@ impl PlanCache {
         Ok((query, plan))
     }
 
-    /// Drops the entries whose epoch lies furthest from the head,
-    /// sparing the epoch currently being inserted.
-    fn evict(entries: &mut HashMap<(u64, String), CachedPlan>, head: u64, inserting: u64) {
+    /// Drops the entries whose epoch lies furthest from the main-chain
+    /// head, sparing the key currently being inserted. Branch entries
+    /// compete on their epoch number like main-chain ones — the head
+    /// distance is a recency proxy either way.
+    fn evict(entries: &mut HashMap<(PlanKey, String), CachedPlan>, head: u64, inserting: PlanKey) {
         let victim = entries
             .keys()
-            .map(|(e, _)| *e)
-            .filter(|&e| e != inserting)
-            .max_by_key(|&e| head.abs_diff(e));
+            .map(|(k, _)| *k)
+            .filter(|&k| k != inserting)
+            .max_by_key(|k| head.abs_diff(k.epoch));
         if let Some(victim) = victim {
-            entries.retain(|(e, _), _| *e != victim);
+            entries.retain(|(k, _), _| *k != victim);
         }
     }
 
@@ -159,8 +195,12 @@ mod tests {
     fn repeated_lookup_hits() {
         let cache = PlanCache::default();
         let g = graph();
-        cache.get_or_insert(Q, 0, &g).expect("parses");
-        cache.get_or_insert(Q, 0, &g).expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::main(0), &g)
+            .expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::main(0), &g)
+            .expect("parses");
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
@@ -171,24 +211,59 @@ mod tests {
     fn commits_retain_old_epochs() {
         let cache = PlanCache::default();
         let g = graph();
-        cache.get_or_insert(Q, 0, &g).expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::main(0), &g)
+            .expect("parses");
         cache.advance_head(1);
         // Head lookups re-plan under the new key…
-        cache.get_or_insert(Q, 1, &g).expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::main(1), &g)
+            .expect("parses");
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().entries, 2);
         // …but time-travel back to epoch 0 still hits.
-        cache.get_or_insert(Q, 0, &g).expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::main(0), &g)
+            .expect("parses");
         let stats = cache.stats();
         assert_eq!(stats.hits, 1, "epoch-0 plan must survive the commit");
         assert_eq!(stats.epoch, 1);
     }
 
     #[test]
+    fn branch_keys_partition_from_main() {
+        let cache = PlanCache::default();
+        let g = graph();
+        // Same epoch number, different chains: distinct entries.
+        cache
+            .get_or_insert(Q, PlanKey::main(3), &g)
+            .expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::branch(1, 3), &g)
+            .expect("parses");
+        assert_eq!(cache.stats().entries, 2, "chains must not collide");
+        // Each chain hits its own entry on replay.
+        cache
+            .get_or_insert(Q, PlanKey::main(3), &g)
+            .expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::branch(1, 3), &g)
+            .expect("parses");
+        assert_eq!(cache.stats().hits, 2);
+        // A second branch is a third partition.
+        cache
+            .get_or_insert(Q, PlanKey::branch(2, 3), &g)
+            .expect("parses");
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
     fn parse_errors_are_not_cached() {
         let cache = PlanCache::default();
         let g = graph();
-        assert!(cache.get_or_insert("SELEKT nonsense", 0, &g).is_err());
+        assert!(cache
+            .get_or_insert("SELEKT nonsense", PlanKey::main(0), &g)
+            .is_err());
         assert_eq!(cache.stats().entries, 0);
     }
 
@@ -196,9 +271,11 @@ mod tests {
     fn distinct_texts_get_distinct_entries() {
         let cache = PlanCache::default();
         let g = graph();
-        cache.get_or_insert(Q, 0, &g).expect("parses");
         cache
-            .get_or_insert("ASK { ?s ?p ?o }", 0, &g)
+            .get_or_insert(Q, PlanKey::main(0), &g)
+            .expect("parses");
+        cache
+            .get_or_insert("ASK { ?s ?p ?o }", PlanKey::main(0), &g)
             .expect("parses");
         assert_eq!(cache.stats().entries, 2);
     }
@@ -211,19 +288,27 @@ mod tests {
         let mut epoch = 0u64;
         while cache.stats().entries < MAX_ENTRIES {
             cache
-                .get_or_insert(&format!("SELECT ?s WHERE {{ ?s ?p {epoch} }}"), epoch, &g)
+                .get_or_insert(
+                    &format!("SELECT ?s WHERE {{ ?s ?p {epoch} }}"),
+                    PlanKey::main(epoch),
+                    &g,
+                )
                 .expect("parses");
             epoch += 1;
         }
         cache.advance_head(epoch);
-        cache.get_or_insert(Q, epoch, &g).expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::main(epoch), &g)
+            .expect("parses");
         let stats = cache.stats();
         assert!(
             stats.entries <= MAX_ENTRIES,
             "capacity bound holds: {stats:?}"
         );
         // The head insert itself survived.
-        cache.get_or_insert(Q, epoch, &g).expect("parses");
+        cache
+            .get_or_insert(Q, PlanKey::main(epoch), &g)
+            .expect("parses");
         assert!(cache.stats().hits >= 1);
     }
 
@@ -274,7 +359,9 @@ mod tests {
                         let epoch = (worker as u64 + i) % 6;
                         let view: &Graph = if epoch.is_multiple_of(2) { small } else { big };
                         let text = texts[(i as usize + worker) % texts.len()];
-                        let (_, plan) = cache.get_or_insert(text, epoch, view).expect("parses");
+                        let (_, plan) = cache
+                            .get_or_insert(text, PlanKey::main(epoch), view)
+                            .expect("parses");
                         assert_eq!(
                             format!("{plan:?}"),
                             expect(epoch, text),

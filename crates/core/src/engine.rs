@@ -44,7 +44,7 @@ use feo_sparql::{
     SolutionTable, SparqlError,
 };
 
-use crate::cache::{PlanCache, PlanCacheStats};
+use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
 use crate::ecosystem::{apply_hypothesis, assemble, assert_question};
 use crate::explanation::{humanize, Explanation};
 use crate::knowledge::{records_to_rdf, Population, EVERYDAY_RECORD, SCIENTIFIC_RECORD};
@@ -258,6 +258,10 @@ impl BranchDiff {
 
 struct NamedBranch {
     name: String,
+    /// Stable non-zero plan-cache chain id (creation order + 1):
+    /// partitions this branch's cached plans from the main chain and
+    /// from every other branch.
+    cache_chain: u64,
     chain: BranchChain,
 }
 
@@ -519,7 +523,7 @@ impl EngineBase {
         Session {
             base: self,
             epoch,
-            cache_epoch: Some(epoch.0),
+            cache_key: Some(PlanKey::main(epoch.0)),
             overlay: Overlay::new(self.ledger.head_view()),
             inference: InferenceResult::default(),
             guard: None,
@@ -541,7 +545,7 @@ impl EngineBase {
         Some(Session {
             base: self,
             epoch,
-            cache_epoch: Some(epoch.0),
+            cache_key: Some(PlanKey::main(epoch.0)),
             overlay: Overlay::new(view),
             inference: InferenceResult::default(),
             guard: None,
@@ -592,6 +596,7 @@ impl EngineBase {
             .ok_or(EngineError::UnknownEpoch(from.0))?;
         self.branches.push(NamedBranch {
             name: name.to_string(),
+            cache_chain: self.branches.len() as u64 + 1,
             chain,
         });
         Ok(from)
@@ -642,15 +647,17 @@ impl EngineBase {
     }
 
     /// Opens a session over the named branch's head view. Branch
-    /// sessions plan queries fresh (the epoch-keyed plan cache is
-    /// main-chain only: a branch epoch's statistics differ from the
-    /// main epoch with the same number).
+    /// sessions share the base's plan cache through their own key
+    /// partition — `(branch id, branch epoch, query)` — so replaying a
+    /// question template on a branch reuses its cached plan instead of
+    /// re-planning every request, without ever colliding with the main
+    /// epoch of the same number.
     pub fn branch_session(&self, name: &str) -> Option<Session<'_>> {
         let branch = self.branch(name)?;
         Some(Session {
             base: self,
             epoch: branch.chain.head(),
-            cache_epoch: None,
+            cache_key: Some(PlanKey::branch(branch.cache_chain, branch.chain.head().0)),
             overlay: Overlay::new(self.ledger.branch_view(&branch.chain)),
             inference: InferenceResult::default(),
             guard: None,
@@ -934,10 +941,10 @@ pub struct Session<'a> {
     base: &'a EngineBase,
     /// The ledger epoch this session's view is pinned at.
     epoch: EpochId,
-    /// Plan-cache partition key: `Some(epoch)` for main-chain sessions,
-    /// `None` for branch sessions (branch epochs would collide with
-    /// main epochs of the same number).
-    cache_epoch: Option<u64>,
+    /// Plan-cache partition key — the chain (main or a named branch)
+    /// and epoch this session's view is pinned at. `None` disables
+    /// caching for this session.
+    cache_key: Option<PlanKey>,
     overlay: Overlay<LedgerView<'a>>,
     /// Closure stats and derivations accumulated by this session's
     /// incremental closes (disjoint from the base's own inference).
@@ -991,10 +998,10 @@ impl<'a> Session<'a> {
 
     /// Evaluates a competency query over `view`, under the session guard
     /// when one is installed. With the cost-based planner the parsed
-    /// query and its plan come from the base's epoch-keyed cache —
+    /// query and its plan come from the base's chain+epoch-keyed cache —
     /// plans are computed against this session's pinned epoch view,
     /// whose statistics the per-session delta is far too small to flip.
-    /// Branch sessions (no cache partition) plan fresh every time.
+    /// Branch sessions hit their own cache partition (see [`PlanKey`]).
     fn run_query<V: GraphView + Sync>(&self, view: V, q: &str) -> Result<QueryResult, EngineError> {
         let opts = QueryOptions {
             guard: self.guard,
@@ -1003,11 +1010,11 @@ impl<'a> Session<'a> {
             explain: false,
         };
         if self.planner == Planner::CostBased {
-            if let Some(epoch) = self.cache_epoch {
+            if let Some(key) = self.cache_key {
                 let (parsed, plan) =
                     self.base
                         .plan_cache
-                        .get_or_insert(q, epoch, self.overlay.base())?;
+                        .get_or_insert(q, key, self.overlay.base())?;
                 return Ok(execute_prepared(view, &parsed, &plan, &opts)?);
             }
             let parsed = parse_query(q)?;
@@ -1022,6 +1029,25 @@ impl<'a> Session<'a> {
     /// plus its private delta — the entry point behind
     /// `feo query --as-of`.
     pub fn query(&self, sparql: &str) -> Result<QueryResult, EngineError> {
+        self.run_query(&self.overlay, sparql)
+    }
+
+    /// Like [`Session::query`], but under the guard, planner, and
+    /// parallelism carried by `opts` (which stick for the rest of this
+    /// session, exactly as with [`Session::explain`]). This is the
+    /// request-scoped entry point the HTTP service uses: the guard
+    /// carries the request's clamped [`Budget`] and its disconnect
+    /// [`feo_rdf::CancelFlag`], so an abandoned or over-budget query
+    /// stops with a typed [`EngineError::Exhausted`] instead of
+    /// burning the worker pool.
+    pub fn query_opts(
+        &mut self,
+        sparql: &str,
+        opts: &ExplainOptions<'a>,
+    ) -> Result<QueryResult, EngineError> {
+        self.guard = opts.guard;
+        self.planner = opts.planner;
+        self.parallelism = opts.parallelism;
         self.run_query(&self.overlay, sparql)
     }
 

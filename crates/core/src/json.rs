@@ -1,0 +1,297 @@
+//! Dependency-free JSON serialization for the serving surface.
+//!
+//! The HTTP explanation service and the `feo --json` CLI flag both need
+//! machine-readable renderings of the same handful of types —
+//! [`DegradationReport`], [`BudgetedOutcome`], [`CommitInfo`],
+//! [`Explanation`], and SPARQL [`QueryResult`]s. Keeping every encoder
+//! here (one [`ToJson`] impl per type, built on one escaping routine)
+//! means the server and the CLI can never drift apart, and neither
+//! needs a serde dependency the build environment doesn't have.
+//!
+//! SELECT results follow the W3C "SPARQL 1.1 Query Results JSON Format"
+//! shape (`head.vars` + `results.bindings`, terms tagged with `type`
+//! and `value`), so standard tooling can consume `/query` responses.
+
+use feo_rdf::governor::{Exhausted, Resource};
+use feo_rdf::Term;
+use feo_sparql::{QueryResult, SolutionTable};
+
+use crate::cache::PlanCacheStats;
+use crate::engine::{BudgetedOutcome, CommitInfo, DegradationReport};
+use crate::explanation::Explanation;
+
+/// A type with a canonical JSON rendering.
+pub trait ToJson {
+    /// The value rendered as a self-contained JSON document (no
+    /// trailing newline).
+    fn to_json(&self) -> String;
+}
+
+/// Escapes `s` per RFC 8259 and wraps it in double quotes.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a slice of strings as a JSON array of strings.
+pub fn json_string_array<S: AsRef<str>>(items: &[S]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(item.as_ref()));
+    }
+    out.push(']');
+    out
+}
+
+/// Stable machine-readable name for a tripped resource (the human
+/// prose stays on `Display`).
+pub fn resource_name(resource: Resource) -> &'static str {
+    match resource {
+        Resource::WallClock => "wall_clock",
+        Resource::InferredTriples => "inferred_triples",
+        Resource::Rounds => "rounds",
+        Resource::Solutions => "solutions",
+        Resource::InputSize => "input_size",
+        Resource::Cancelled => "cancelled",
+    }
+}
+
+impl ToJson for Exhausted {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"resource\":{},\"spent\":{},\"limit\":{},\"message\":{}}}",
+            json_string(resource_name(self.resource)),
+            self.spent,
+            self.limit,
+            json_string(&self.to_string())
+        )
+    }
+}
+
+impl ToJson for DegradationReport {
+    fn to_json(&self) -> String {
+        let labels = |ts: &[crate::question::ExplanationType]| -> String {
+            json_string_array(&ts.iter().map(|t| t.label()).collect::<Vec<_>>())
+        };
+        format!(
+            "{{\"exhausted\":{},\"completed\":{},\"skipped\":{}}}",
+            self.exhausted.to_json(),
+            labels(&self.completed),
+            labels(&self.skipped)
+        )
+    }
+}
+
+impl ToJson for Explanation {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"question\":{},\"type\":{},\"statements\":{},\"answer\":{}}}",
+            json_string(&self.question.text()),
+            json_string(self.explanation_type.label()),
+            json_string_array(&self.statements),
+            json_string(&self.answer)
+        )
+    }
+}
+
+impl ToJson for BudgetedOutcome {
+    fn to_json(&self) -> String {
+        let explanations: Vec<String> = self.explanations.iter().map(ToJson::to_json).collect();
+        let degradation = match &self.degradation {
+            Some(report) => report.to_json(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"complete\":{},\"explanations\":[{}],\"degradation\":{}}}",
+            self.is_complete(),
+            explanations.join(","),
+            degradation
+        )
+    }
+}
+
+impl ToJson for CommitInfo {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"epoch\":{},\"label\":{},\"triples\":{},\"terms\":{},\"inferred\":{},\"hash\":{}}}",
+            self.epoch.0,
+            json_string(&self.label),
+            self.triples,
+            self.terms,
+            self.inferred,
+            // Hex string: a u64 hash can exceed the 2^53 range JSON
+            // numbers survive round-tripping through doubles.
+            json_string(&format!("{:016x}", self.hash))
+        )
+    }
+}
+
+impl ToJson for PlanCacheStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"entries\":{},\"epoch\":{}}}",
+            self.hits, self.misses, self.entries, self.epoch
+        )
+    }
+}
+
+/// One solution term in the W3C results-JSON shape.
+fn term_to_json(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => format!(
+            "{{\"type\":\"uri\",\"value\":{}}}",
+            json_string(iri.as_str())
+        ),
+        Term::BlankNode(b) => format!(
+            "{{\"type\":\"bnode\",\"value\":{}}}",
+            json_string(b.as_str())
+        ),
+        Term::Literal(lit) => {
+            let mut out = format!(
+                "{{\"type\":\"literal\",\"value\":{}",
+                json_string(lit.lexical_form())
+            );
+            if let Some(tag) = lit.language() {
+                out.push_str(",\"xml:lang\":");
+                out.push_str(&json_string(tag));
+            } else {
+                out.push_str(",\"datatype\":");
+                out.push_str(&json_string(lit.datatype().as_str()));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+impl ToJson for SolutionTable {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"head\":{\"vars\":");
+        out.push_str(&json_string_array(&self.vars));
+        out.push_str("},\"results\":{\"bindings\":[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut first = true;
+            for (var, cell) in self.vars.iter().zip(row) {
+                if let Some(term) = cell {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&json_string(var));
+                    out.push(':');
+                    out.push_str(&term_to_json(term));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+impl ToJson for QueryResult {
+    fn to_json(&self) -> String {
+        match self {
+            QueryResult::Solutions(table) => table.to_json(),
+            QueryResult::Boolean(b) => format!("{{\"head\":{{}},\"boolean\":{b}}}"),
+            QueryResult::Graph(g) => {
+                let turtle = feo_rdf::turtle::write_turtle(g, feo_ontology::ns::PREFIXES);
+                format!("{{\"graph\":{}}}", json_string(&turtle))
+            }
+            QueryResult::Plan(plan) => format!("{{\"plan\":{}}}", json_string(plan)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feo_rdf::{EpochId, Literal};
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn exhausted_names_resource_stably() {
+        let e = Exhausted {
+            resource: Resource::WallClock,
+            spent: 12,
+            limit: 10,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"resource\":\"wall_clock\""), "{json}");
+        assert!(json.contains("\"spent\":12"), "{json}");
+    }
+
+    #[test]
+    fn commit_hash_renders_as_hex_string() {
+        let info = CommitInfo {
+            epoch: EpochId(3),
+            label: "session".into(),
+            triples: 7,
+            terms: 2,
+            inferred: 1,
+            hash: 0xdead_beef,
+        };
+        let json = info.to_json();
+        assert!(json.contains("\"epoch\":3"), "{json}");
+        assert!(json.contains("\"hash\":\"00000000deadbeef\""), "{json}");
+    }
+
+    #[test]
+    fn solution_table_uses_w3c_shape() {
+        let table = SolutionTable {
+            vars: vec!["s".into(), "o".into()],
+            rows: vec![vec![
+                Some(Term::iri("http://e/a")),
+                Some(Term::Literal(Literal::lang("hi", "en"))),
+            ]],
+        };
+        let json = table.to_json();
+        assert!(json.contains("\"vars\":[\"s\",\"o\"]"), "{json}");
+        assert!(json.contains("\"type\":\"uri\""), "{json}");
+        assert!(json.contains("\"xml:lang\":\"en\""), "{json}");
+    }
+
+    #[test]
+    fn unbound_cells_are_omitted() {
+        let table = SolutionTable {
+            vars: vec!["s".into(), "o".into()],
+            rows: vec![vec![None, Some(Term::integer(4))]],
+        };
+        let json = table.to_json();
+        assert!(!json.contains("\"s\":"), "{json}");
+        assert!(json.contains("\"o\":"), "{json}");
+        assert!(json.contains("integer"), "typed literal datatype: {json}");
+    }
+}

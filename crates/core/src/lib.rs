@@ -29,18 +29,20 @@ pub mod ecosystem;
 pub mod engine;
 pub mod explanation;
 pub mod factfoil;
+pub mod json;
 pub mod knowledge;
 pub mod queries;
 pub mod question;
 pub mod scenarios;
 
-pub use cache::PlanCacheStats;
+pub use cache::{PlanCacheStats, PlanKey};
 pub use engine::{
     BranchDiff, BranchInfo, BudgetedOutcome, CommitInfo, DegradationReport, EngineBase,
     EngineError, ExplainOptions, ExplanationEngine, Session,
 };
 pub use explanation::{humanize, Explanation};
 pub use factfoil::{classify, figure3_matrix, Classification};
+pub use json::ToJson;
 pub use knowledge::Population;
 pub use question::{ExplanationType, Hypothesis, Question};
 pub use scenarios::{all_scenarios, scenario_a, scenario_b, scenario_c, Scenario};

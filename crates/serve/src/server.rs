@@ -1,0 +1,890 @@
+//! The HTTP explanation service.
+//!
+//! Thread-per-connection over `std::net::TcpListener` — deliberately
+//! boring concurrency: the expensive work (reasoning, SPARQL) is
+//! already parallelized *inside* the engine, so the transport layer
+//! only needs enough threads to keep the admission gate fed. Routes:
+//!
+//! | route            | method | behaviour |
+//! |------------------|--------|-----------|
+//! | `/explain`       | POST   | batch explanation under a clamped [`Budget`]; budget trips → `206` with a [`DegradationReport`](feo_core::DegradationReport) |
+//! | `/query`         | POST   | SPARQL at head, `as_of` an epoch, or on a branch |
+//! | `/health`        | GET    | liveness |
+//! | `/ready`         | GET    | readiness (`503` once draining) |
+//! | `/stats`         | GET    | admission counters + plan-cache stats |
+//!
+//! Every request passes the [`Admission`] gate first; shed requests
+//! get `429` + `Retry-After` before any engine work happens. A
+//! watcher thread per in-flight request `peek`s the client socket and
+//! flips the request's [`CancelFlag`] on disconnect, so abandoned
+//! work stops at the governor's next check instead of running to
+//! completion. Shutdown is drain-then-cancel: stop accepting, reject
+//! new work, wait for in-flight requests up to a deadline, then
+//! cancel stragglers through the same flags.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use feo_core::json::{json_string, ToJson};
+use feo_core::{EngineBase, EngineError, EpochId, ExplainOptions, Hypothesis, Question};
+use feo_rdf::{Budget, CancelFlag, Parallelism};
+use feo_sparql::Planner;
+
+use crate::admission::{Admission, AdmissionConfig, AdmissionStats, Shed};
+use crate::body::Json;
+use crate::http::{write_response, Conn, HttpError, Request, Response};
+
+/// Poll interval of the accept loop (shutdown-flag latency).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Poll interval of the per-request disconnect watcher.
+const WATCH_POLL: Duration = Duration::from_millis(20);
+
+/// Server configuration: transport knobs plus the ceilings every
+/// request budget is clamped to. Clients may *narrow* their budget
+/// below these, never widen it.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    pub admission: AdmissionConfig,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Cap on questions per `/explain` request — a request is one
+    /// budgeted unit of work, not a bulk-import channel.
+    pub max_questions: usize,
+    /// Concurrent connections (idle keep-alives included).
+    pub max_connections: usize,
+    /// Deadline applied when the client doesn't send one.
+    pub default_deadline_ms: u64,
+    /// Ceiling on client-requested deadlines.
+    pub max_deadline_ms: u64,
+    /// Ceiling on inferred triples per request.
+    pub max_inferred: u64,
+    /// Ceiling on reasoner rounds per request.
+    pub max_rounds: u64,
+    /// Ceiling on SPARQL solutions per request.
+    pub max_solutions: u64,
+    /// Queue wait is bounded by `min(deadline, this)` so a generous
+    /// execution deadline cannot buy an unbounded queue slot.
+    pub queue_wait_cap_ms: u64,
+    /// How long shutdown waits for in-flight requests before
+    /// cancelling them.
+    pub drain_deadline_ms: u64,
+    /// Engine parallelism when the request doesn't choose.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            admission: AdmissionConfig::default(),
+            max_body_bytes: 1 << 20,
+            max_questions: 64,
+            max_connections: 256,
+            default_deadline_ms: 2_000,
+            max_deadline_ms: 30_000,
+            max_inferred: 5_000_000,
+            max_rounds: 64,
+            max_solutions: 200_000,
+            queue_wait_cap_ms: 1_000,
+            drain_deadline_ms: 5_000,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+/// Server-level failures (bind errors, accept-loop I/O).
+#[derive(Debug)]
+pub enum ServeError {
+    Io(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(detail) => write!(f, "serve error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What happened during shutdown drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// True when every in-flight request finished inside the drain
+    /// deadline without being cancelled.
+    pub clean: bool,
+    /// Requests force-cancelled at the drain deadline.
+    pub force_cancelled: usize,
+}
+
+/// Shared state every connection thread sees.
+struct Ctx {
+    base: Arc<EngineBase>,
+    cfg: ServeConfig,
+    admission: Arc<Admission>,
+    /// Cancel flags of in-flight requests, for drain-deadline
+    /// force-cancellation.
+    live: Mutex<HashMap<u64, CancelFlag>>,
+    next_request: AtomicU64,
+    connections: AtomicUsize,
+}
+
+impl Ctx {
+    fn register_live(self: &Arc<Self>, cancel: CancelFlag) -> LiveGuard {
+        let id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.live
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, cancel);
+        LiveGuard {
+            ctx: Arc::clone(self),
+            id,
+            done: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Cancels every in-flight request; returns how many were live.
+    fn cancel_live(&self) -> usize {
+        let live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        for flag in live.values() {
+            flag.cancel();
+        }
+        live.len()
+    }
+}
+
+/// RAII registration of an in-flight request: deregisters from the
+/// live map and tells the disconnect watcher to stand down.
+struct LiveGuard {
+    ctx: Arc<Ctx>,
+    id: u64,
+    done: Arc<AtomicBool>,
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::SeqCst);
+        self.ctx
+            .live
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.id);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener. The engine is shared, not owned: several
+    /// servers (or a server plus in-process callers) can serve the
+    /// same [`EngineBase`].
+    pub fn bind(base: Arc<EngineBase>, cfg: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| ServeError::Io(format!("bind {}: {e}", cfg.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(format!("set_nonblocking: {e}")))?;
+        let admission = Arc::new(Admission::new(cfg.admission.clone()));
+        Ok(Server {
+            listener,
+            addr,
+            ctx: Arc::new(Ctx {
+                base,
+                cfg,
+                admission,
+                live: Mutex::new(HashMap::new()),
+                next_request: AtomicU64::new(0),
+                connections: AtomicUsize::new(0),
+            }),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The flag that requests shutdown; share it with a signal
+    /// handler or test harness.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The admission gate (stats for harnesses).
+    pub fn admission(&self) -> Arc<Admission> {
+        Arc::clone(&self.ctx.admission)
+    }
+
+    /// Binds and runs on a background thread; the returned handle
+    /// drives shutdown. This is the entry point tests and the bench
+    /// harness use.
+    pub fn spawn(base: Arc<EngineBase>, cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let server = Server::bind(base, cfg)?;
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_flag();
+        let admission = server.admission();
+        let thread = thread::spawn(move || server.run());
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            admission,
+            thread,
+        })
+    }
+
+    /// Accept loop. Returns after a shutdown request once drain
+    /// completes (or its deadline forces cancellation).
+    pub fn run(self) -> Result<DrainOutcome, ServeError> {
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    workers.retain(|w| !w.is_finished());
+                    let ctx = Arc::clone(&self.ctx);
+                    if ctx.connections.load(Ordering::Relaxed) >= ctx.cfg.max_connections {
+                        reject_over_capacity(stream);
+                        continue;
+                    }
+                    ctx.connections.fetch_add(1, Ordering::Relaxed);
+                    workers.push(thread::spawn(move || {
+                        handle_connection(&ctx, stream);
+                        ctx.connections.fetch_sub(1, Ordering::Relaxed);
+                    }));
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(format!("accept: {e}"))),
+            }
+        }
+        // Drain: reject new work, let in-flight requests finish, then
+        // cancel whatever outlived the deadline.
+        self.ctx.admission.begin_drain();
+        let deadline = Instant::now() + Duration::from_millis(self.ctx.cfg.drain_deadline_ms);
+        let clean = self.ctx.admission.wait_idle(deadline);
+        let force_cancelled = if clean { 0 } else { self.ctx.cancel_live() };
+        if !clean {
+            // Give cancelled requests a moment to trip their guards
+            // and release their permits.
+            let grace = Instant::now() + Duration::from_secs(2);
+            self.ctx.admission.wait_idle(grace);
+        }
+        // Connection threads exit on their own: draining makes
+        // read_request give up on idle keep-alives. Join briefly,
+        // detach stragglers.
+        let join_deadline = Instant::now() + Duration::from_secs(1);
+        for worker in workers {
+            if worker.is_finished() || Instant::now() < join_deadline {
+                let _ = worker.join();
+            }
+        }
+        Ok(DrainOutcome {
+            clean,
+            force_cancelled,
+        })
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    admission: Arc<Admission>,
+    thread: JoinHandle<Result<DrainOutcome, ServeError>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Requests shutdown and waits for the drain to finish.
+    pub fn shutdown_and_join(self) -> Result<DrainOutcome, ServeError> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.thread.join() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(ServeError::Io("server thread panicked".to_string())),
+        }
+    }
+}
+
+/// 503s a connection accepted over the connection cap.
+fn reject_over_capacity(mut stream: TcpStream) {
+    let response =
+        Response::json(503, "{\"error\":\"shed\",\"reason\":\"connection_limit\"}").retry_after(1);
+    let _ = write_response(&mut stream, &response, true);
+}
+
+/// Serves one connection until close, error, or drain.
+fn handle_connection(ctx: &Arc<Ctx>, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut conn = match Conn::new(stream, ctx.cfg.max_body_bytes) {
+        Ok(conn) => conn,
+        Err(_) => return,
+    };
+    let admission = Arc::clone(&ctx.admission);
+    let give_up = move || admission.is_draining();
+    loop {
+        match conn.read_request(&give_up) {
+            Ok(Some(request)) => {
+                let response = catch_unwind(AssertUnwindSafe(|| route(ctx, &request, &conn)))
+                    .unwrap_or_else(|_| {
+                        Response::json(
+                            500,
+                            "{\"error\":\"internal\",\"message\":\"handler panicked\"}",
+                        )
+                    });
+                let close = request.wants_close() || ctx.admission.is_draining();
+                let mut stream = match conn.stream().try_clone() {
+                    Ok(stream) => stream,
+                    Err(_) => return,
+                };
+                if write_response(&mut stream, &response, close).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(error) => {
+                let response = match &error {
+                    HttpError::BodyTooLarge { declared, limit } => Response::json(
+                        413,
+                        format!(
+                            "{{\"error\":\"body_too_large\",\"declared\":{declared},\"limit\":{limit}}}"
+                        ),
+                    ),
+                    HttpError::Syntax(detail) => Response::json(
+                        400,
+                        format!(
+                            "{{\"error\":\"bad_request\",\"message\":{}}}",
+                            json_string(detail)
+                        ),
+                    ),
+                    HttpError::Disconnected | HttpError::Io(_) => return,
+                };
+                if let Ok(mut stream) = conn.stream().try_clone() {
+                    let _ = write_response(&mut stream, &response, true);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one request.
+fn route(ctx: &Arc<Ctx>, request: &Request, conn: &Conn) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/health") => Response::json(
+            200,
+            format!("{{\"status\":\"ok\",\"epoch\":{}}}", ctx.base.head().0),
+        ),
+        ("GET", "/ready") => {
+            if ctx.admission.is_draining() {
+                Response::json(503, "{\"ready\":false,\"reason\":\"draining\"}")
+            } else {
+                Response::json(200, "{\"ready\":true}")
+            }
+        }
+        ("GET", "/stats") => Response::json(200, stats_json(ctx)),
+        ("POST", "/explain") => handle_explain(ctx, request, conn),
+        ("POST", "/query") => handle_query(ctx, request, conn),
+        ("GET" | "POST", _) => Response::json(
+            404,
+            format!(
+                "{{\"error\":\"not_found\",\"path\":{}}}",
+                json_string(request.path())
+            ),
+        ),
+        _ => Response::json(405, "{\"error\":\"method_not_allowed\"}"),
+    }
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::json(
+        400,
+        format!(
+            "{{\"error\":\"bad_request\",\"message\":{}}}",
+            json_string(message)
+        ),
+    )
+}
+
+/// 429/503 for a shed request, with `Retry-After` and a
+/// machine-readable reason.
+fn shed_response(shed: Shed) -> Response {
+    let status = if matches!(shed, Shed::Draining) {
+        503
+    } else {
+        429
+    };
+    Response::json(
+        status,
+        format!(
+            "{{\"error\":\"shed\",\"reason\":{},\"retry_after_secs\":{}}}",
+            json_string(shed.reason()),
+            shed.retry_after_secs()
+        ),
+    )
+    .retry_after(shed.retry_after_secs())
+}
+
+/// Maps engine errors to responses. `sparql_is_client_fault` is true
+/// on `/query`, where a SPARQL error means the *client's* query was
+/// bad (400); on `/explain` the templates are ours, so it's a 500.
+fn engine_error_response(error: &EngineError, sparql_is_client_fault: bool) -> Response {
+    let status = match error {
+        EngineError::Exhausted(exhausted) => {
+            return Response::json(
+                206,
+                format!(
+                    "{{\"complete\":false,\"exhausted\":{}}}",
+                    exhausted.to_json()
+                ),
+            )
+        }
+        EngineError::UnknownEntity(_)
+        | EngineError::MissingRecommendations
+        | EngineError::MissingPopulation
+        | EngineError::UnknownEpoch(_)
+        | EngineError::UnknownBranch(_)
+        | EngineError::DuplicateBranch(_) => 422,
+        EngineError::Sparql(_) if sparql_is_client_fault => 400,
+        EngineError::Sparql(_) | EngineError::Inconsistent(_) => 500,
+    };
+    Response::json(
+        status,
+        format!(
+            "{{\"error\":\"engine\",\"message\":{}}}",
+            json_string(&error.to_string())
+        ),
+    )
+}
+
+/// `/stats` body: admission counters, plan cache, ledger head.
+fn stats_json(ctx: &Ctx) -> String {
+    let a = ctx.admission.stats();
+    format!(
+        "{{\"admission\":{{\"admitted\":{},\"completed\":{},\"shed_queue_full\":{},\"shed_deadline\":{},\"rejected_quota\":{},\"cancelled_disconnects\":{},\"inflight\":{},\"queued\":{},\"ewma_service_micros\":{}}},\"plan_cache\":{},\"epoch\":{},\"draining\":{}}}",
+        a.admitted,
+        a.completed,
+        a.shed_queue_full,
+        a.shed_deadline,
+        a.rejected_quota,
+        a.cancelled_disconnects,
+        a.inflight,
+        a.queued,
+        a.ewma_service_micros,
+        ctx.base.plan_cache_stats().to_json(),
+        ctx.base.head().0,
+        ctx.admission.is_draining(),
+    )
+}
+
+/// Parses the wire form of a question. Type names follow the CLI
+/// verbs (`why-eat`, `why-over`, `steps`, …).
+fn parse_question(value: &Json) -> Result<Question, String> {
+    let Some(kind) = value.get("type").and_then(Json::as_str) else {
+        return Err("question missing a \"type\" string".to_string());
+    };
+    let field = |name: &str| -> Result<String, String> {
+        value
+            .get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("question type {kind:?} needs a {name:?} string"))
+    };
+    match kind {
+        "why-eat" => Ok(Question::WhyEat {
+            food: field("food")?,
+        }),
+        "why-over" => Ok(Question::WhyEatOver {
+            preferred: field("preferred")?,
+            alternative: field("alternative")?,
+        }),
+        "what-if" => Ok(Question::WhatIf {
+            hypothesis: parse_hypothesis(&field("hypothesis")?)?,
+        }),
+        "other-users" => Ok(Question::WhatOtherUsers {
+            food: field("food")?,
+        }),
+        "why-generally" => Ok(Question::WhyGenerally {
+            food: field("food")?,
+        }),
+        "literature" => Ok(Question::WhatLiterature {
+            food: field("food")?,
+        }),
+        "eaten-daily" => Ok(Question::WhatIfEatenDaily {
+            food: field("food")?,
+        }),
+        "diet-evidence" => Ok(Question::WhatEvidenceForDiet {
+            diet: field("diet")?,
+        }),
+        "steps" => Ok(Question::WhatSteps {
+            food: field("food")?,
+        }),
+        other => Err(format!(
+            "unknown question type {other:?} (expected why-eat | why-over | what-if | \
+             other-users | why-generally | literature | eaten-daily | diet-evidence | steps)"
+        )),
+    }
+}
+
+/// Hypothesis spec: `pregnant` | `diet:<Diet>` | `allergic:<Ingredient>`.
+fn parse_hypothesis(spec: &str) -> Result<Hypothesis, String> {
+    if spec == "pregnant" {
+        return Ok(Hypothesis::Pregnant);
+    }
+    if let Some(diet) = spec.strip_prefix("diet:") {
+        if !diet.is_empty() {
+            return Ok(Hypothesis::FollowedDiet(diet.to_string()));
+        }
+    }
+    if let Some(ingredient) = spec.strip_prefix("allergic:") {
+        if !ingredient.is_empty() {
+            return Ok(Hypothesis::AllergicTo(ingredient.to_string()));
+        }
+    }
+    Err(format!(
+        "bad hypothesis {spec:?} (expected pregnant | diet:<Diet> | allergic:<Ingredient>)"
+    ))
+}
+
+/// Builds the request's [`Budget`]: client wishes clamped to server
+/// ceilings, plus the request's cancel flag. Returns the budget and
+/// the effective deadline in milliseconds.
+fn build_budget(
+    cfg: &ServeConfig,
+    body: Option<&Json>,
+    request: &Request,
+    cancel: CancelFlag,
+) -> (Budget, u64) {
+    let spec = body.and_then(|v| v.get("budget"));
+    let header_deadline = request
+        .header("x-feo-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok());
+    let deadline_ms = spec
+        .and_then(|v| v.get("deadline_ms"))
+        .and_then(Json::as_u64)
+        .or(header_deadline)
+        .unwrap_or(cfg.default_deadline_ms)
+        .clamp(1, cfg.max_deadline_ms);
+    let clamped = |name: &str, ceiling: u64| -> u64 {
+        spec.and_then(|v| v.get(name))
+            .and_then(Json::as_u64)
+            .map(|v| v.min(ceiling))
+            .unwrap_or(ceiling)
+            .max(1)
+    };
+    let budget = Budget::new()
+        .with_deadline(Duration::from_millis(deadline_ms))
+        .with_max_inferred(clamped("max_inferred", cfg.max_inferred))
+        .with_max_rounds(clamped("max_rounds", cfg.max_rounds))
+        .with_max_solutions(clamped("max_solutions", cfg.max_solutions))
+        .with_max_input_bytes(cfg.max_body_bytes as u64)
+        .with_cancel(cancel);
+    (budget, deadline_ms)
+}
+
+/// Engine parallelism for one request: client choice capped at 16
+/// workers, else the server default.
+fn request_parallelism(cfg: &ServeConfig, body: &Json) -> Parallelism {
+    match body.get("parallelism").and_then(Json::as_u64) {
+        Some(0) => Parallelism::Off,
+        Some(n) => Parallelism::Fixed(n.min(16) as usize),
+        None => cfg.parallelism,
+    }
+}
+
+/// Watches the client socket while a request executes; flips `cancel`
+/// if the peer disconnects so the governor aborts the work.
+fn spawn_disconnect_watcher(
+    conn: &Conn,
+    cancel: CancelFlag,
+    done: Arc<AtomicBool>,
+    admission: Arc<Admission>,
+) {
+    let Ok(peer) = conn.stream().try_clone() else {
+        return;
+    };
+    if peer.set_read_timeout(Some(WATCH_POLL)).is_err() {
+        return;
+    }
+    thread::spawn(move || {
+        let mut probe = [0u8; 1];
+        while !done.load(Ordering::SeqCst) {
+            match peer.peek(&mut probe) {
+                // EOF: the client hung up mid-request.
+                Ok(0) => {
+                    if !done.load(Ordering::SeqCst) {
+                        cancel.cancel();
+                        admission.note_disconnect_cancel();
+                    }
+                    return;
+                }
+                // Bytes waiting (a pipelined next request) — alive.
+                Ok(_) => thread::sleep(WATCH_POLL),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                // Reset/broken pipe: gone.
+                Err(_) => {
+                    if !done.load(Ordering::SeqCst) {
+                        cancel.cancel();
+                        admission.note_disconnect_cancel();
+                    }
+                    return;
+                }
+            }
+        }
+    });
+}
+
+/// POST `/explain`: parse, admit, execute under budget, map the
+/// outcome to 200 (complete) or 206 (degraded).
+fn handle_explain(ctx: &Arc<Ctx>, request: &Request, conn: &Conn) -> Response {
+    let Some(text) = request.body_utf8() else {
+        return bad_request("body is not UTF-8");
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(error) => return bad_request(&error),
+    };
+    let Some(items) = body.get("questions").and_then(Json::as_array) else {
+        return bad_request("missing \"questions\" array");
+    };
+    if items.is_empty() {
+        return bad_request("\"questions\" is empty");
+    }
+    let max_questions = ctx.cfg.max_questions;
+    if items.len() > max_questions {
+        return bad_request(&format!("at most {max_questions} questions per request"));
+    }
+    let mut questions = Vec::with_capacity(items.len());
+    for item in items {
+        match parse_question(item) {
+            Ok(question) => questions.push(question),
+            Err(error) => return bad_request(&error),
+        }
+    }
+    let parallelism = request_parallelism(&ctx.cfg, &body);
+    let cancel = CancelFlag::new();
+    let (budget, deadline_ms) = build_budget(&ctx.cfg, Some(&body), request, cancel.clone());
+    let tenant = request.header("x-feo-tenant").unwrap_or("anonymous");
+    let wait = Duration::from_millis(deadline_ms.min(ctx.cfg.queue_wait_cap_ms));
+    let permit = match ctx.admission.admit(tenant, Instant::now() + wait) {
+        Ok(permit) => permit,
+        Err(shed) => return shed_response(shed),
+    };
+    let live = ctx.register_live(cancel.clone());
+    spawn_disconnect_watcher(conn, cancel, live.done.clone(), Arc::clone(&ctx.admission));
+    let result = ctx
+        .base
+        .explain_batch_with_budget(&questions, &budget, parallelism);
+    drop(live);
+    drop(permit);
+    match result {
+        Ok(outcome) => {
+            let status = if outcome.is_complete() { 200 } else { 206 };
+            Response::json(status, outcome.to_json())
+        }
+        Err(error) => engine_error_response(&error, false),
+    }
+}
+
+/// POST `/query`: SPARQL against head, a historical epoch (`as_of`),
+/// or a named branch — budget-guarded like `/explain`.
+fn handle_query(ctx: &Arc<Ctx>, request: &Request, conn: &Conn) -> Response {
+    let Some(text) = request.body_utf8() else {
+        return bad_request("body is not UTF-8");
+    };
+    // Either a JSON envelope or a raw query body.
+    let raw_query = request
+        .header("content-type")
+        .map(|ct| ct.starts_with("application/sparql-query"))
+        .unwrap_or(false);
+    let (body, sparql, as_of, branch) = if raw_query {
+        (None, text.to_string(), None, None)
+    } else {
+        let body = match Json::parse(text) {
+            Ok(body) => body,
+            Err(error) => return bad_request(&error),
+        };
+        let Some(sparql) = body
+            .get("sparql")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+        else {
+            return bad_request("missing \"sparql\" string");
+        };
+        let as_of = body.get("as_of").and_then(Json::as_u64);
+        let branch = body
+            .get("branch")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        (Some(body), sparql, as_of, branch)
+    };
+    if as_of.is_some() && branch.is_some() {
+        return bad_request("\"as_of\" and \"branch\" are mutually exclusive");
+    }
+    // Convenience: prepend the standard prologue when the query
+    // doesn't declare its own prefixes.
+    let full = if sparql.to_ascii_lowercase().contains("prefix") {
+        sparql
+    } else {
+        format!("{}{}", feo_ontology::ns::sparql_prologue(), sparql)
+    };
+    let cancel = CancelFlag::new();
+    let (budget, deadline_ms) = build_budget(&ctx.cfg, body.as_ref(), request, cancel.clone());
+    let parallelism = body
+        .as_ref()
+        .map(|b| request_parallelism(&ctx.cfg, b))
+        .unwrap_or(ctx.cfg.parallelism);
+    let tenant = request.header("x-feo-tenant").unwrap_or("anonymous");
+    let wait = Duration::from_millis(deadline_ms.min(ctx.cfg.queue_wait_cap_ms));
+    let permit = match ctx.admission.admit(tenant, Instant::now() + wait) {
+        Ok(permit) => permit,
+        Err(shed) => return shed_response(shed),
+    };
+    let live = ctx.register_live(cancel.clone());
+    spawn_disconnect_watcher(conn, cancel, live.done.clone(), Arc::clone(&ctx.admission));
+    let guard = budget.start();
+    let opts = ExplainOptions {
+        guard: Some(&guard),
+        planner: Planner::default(),
+        parallelism,
+    };
+    let result = match (as_of, branch.as_deref()) {
+        (Some(epoch), None) => match ctx.base.at_epoch(EpochId(epoch)) {
+            Some(mut session) => session.query_opts(&full, &opts),
+            None => Err(EngineError::UnknownEpoch(epoch)),
+        },
+        (None, Some(name)) => match ctx.base.branch_session(name) {
+            Some(mut session) => session.query_opts(&full, &opts),
+            None => Err(EngineError::UnknownBranch(name.to_string())),
+        },
+        _ => ctx.base.session().query_opts(&full, &opts),
+    };
+    drop(live);
+    drop(permit);
+    match result {
+        Ok(query_result) => Response::json(200, query_result.to_json()),
+        Err(error) => engine_error_response(&error, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_wire_forms_parse() {
+        use feo_core::ExplanationType as T;
+        let cases = [
+            (r#"{"type":"why-eat","food":"Chicken"}"#, T::Contextual),
+            (
+                r#"{"type":"why-over","preferred":"A","alternative":"B"}"#,
+                T::Contrastive,
+            ),
+            (
+                r#"{"type":"what-if","hypothesis":"pregnant"}"#,
+                T::Counterfactual,
+            ),
+            (
+                r#"{"type":"what-if","hypothesis":"diet:DashDiet"}"#,
+                T::Counterfactual,
+            ),
+            (
+                r#"{"type":"what-if","hypothesis":"allergic:Peanut"}"#,
+                T::Counterfactual,
+            ),
+            (r#"{"type":"other-users","food":"A"}"#, T::CaseBased),
+            (r#"{"type":"why-generally","food":"A"}"#, T::Everyday),
+            (r#"{"type":"literature","food":"A"}"#, T::Scientific),
+            (r#"{"type":"eaten-daily","food":"A"}"#, T::SimulationBased),
+            (r#"{"type":"diet-evidence","diet":"D"}"#, T::Statistical),
+            (r#"{"type":"steps","food":"A"}"#, T::TraceBased),
+        ];
+        for (doc, expected_type) in cases {
+            let value = Json::parse(doc).expect("parses");
+            let question = parse_question(&value).expect(doc);
+            assert_eq!(question.explanation_type(), expected_type, "for {doc}");
+        }
+    }
+
+    #[test]
+    fn question_parse_errors_name_the_problem() {
+        let missing = Json::parse(r#"{"type":"why-eat"}"#).expect("parses");
+        let err = parse_question(&missing).expect_err("no food");
+        assert!(err.contains("food"), "{err}");
+        let unknown = Json::parse(r#"{"type":"why-not"}"#).expect("parses");
+        let err = parse_question(&unknown).expect_err("unknown type");
+        assert!(err.contains("why-not"), "{err}");
+        assert!(parse_hypothesis("diet:").is_err());
+        assert!(parse_hypothesis("mystery").is_err());
+    }
+
+    #[test]
+    fn budgets_clamp_to_server_ceilings() {
+        let cfg = ServeConfig {
+            max_deadline_ms: 1_000,
+            max_inferred: 500,
+            max_rounds: 8,
+            max_solutions: 100,
+            ..ServeConfig::default()
+        };
+        let body = Json::parse(
+            r#"{"budget":{"deadline_ms":99999,"max_inferred":50,"max_rounds":99,"max_solutions":1000000}}"#,
+        )
+        .expect("parses");
+        let request = Request {
+            method: "POST".to_string(),
+            target: "/explain".to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let (budget, deadline_ms) = build_budget(&cfg, Some(&body), &request, CancelFlag::new());
+        assert_eq!(deadline_ms, 1_000);
+        // Client narrows inferred below the ceiling; widening attempts
+        // are clamped back down.
+        assert_eq!(budget.max_inferred, Some(50));
+        assert_eq!(budget.max_rounds, Some(8));
+        assert_eq!(budget.max_solutions, Some(100));
+    }
+
+    #[test]
+    fn header_deadline_applies_when_body_has_none() {
+        let cfg = ServeConfig::default();
+        let request = Request {
+            method: "POST".to_string(),
+            target: "/explain".to_string(),
+            headers: vec![("x-feo-deadline-ms".to_string(), "250".to_string())],
+            body: Vec::new(),
+        };
+        let (_, deadline_ms) = build_budget(&cfg, None, &request, CancelFlag::new());
+        assert_eq!(deadline_ms, 250);
+    }
+}

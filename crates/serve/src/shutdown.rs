@@ -1,0 +1,39 @@
+//! Process signal plumbing for graceful shutdown, without a libc
+//! dependency: `signal(2)` is declared directly and the handler does
+//! the only thing an async-signal-safe handler may do — store to an
+//! atomic. The serve loop (or any caller) polls [`requested`] and
+//! runs the actual drain outside signal context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that set the shutdown flag.
+/// Idempotent; call once before the accept loop starts.
+pub fn install() {
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// True once a shutdown signal has arrived.
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test/emergency hook: raise the flag programmatically.
+pub fn request() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}

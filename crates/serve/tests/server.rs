@@ -1,0 +1,316 @@
+//! End-to-end tests of the HTTP service: routes, status mapping,
+//! degradation, quotas, disconnect cancellation, and graceful
+//! shutdown — all over real sockets against a real engine.
+
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use common::{get, post, spawn, test_config};
+use feo_serve::{AdmissionConfig, ServeConfig};
+
+const WHY_EAT: &str = r#"{"questions":[{"type":"why-eat","food":"CauliflowerPotatoCurry"}]}"#;
+
+#[test]
+fn health_ready_stats_and_unknown_routes() {
+    let handle = spawn(test_config());
+    let addr = handle.addr();
+
+    let (status, _, body) = get(addr, "/health");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, _, body) = get(addr, "/ready");
+    assert_eq!(status, 200, "{body}");
+
+    let (status, _, body) = get(addr, "/stats");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"admission\""), "{body}");
+    assert!(body.contains("\"plan_cache\""), "{body}");
+
+    let (status, _, _) = get(addr, "/no-such-route");
+    assert_eq!(status, 404);
+
+    // Wrong method on a POST route.
+    let (status, _, _) = get(addr, "/explain");
+    assert_eq!(status, 404);
+
+    let outcome = handle.shutdown_and_join().expect("clean shutdown");
+    assert!(outcome.clean);
+}
+
+#[test]
+fn explain_batch_complete_is_200() {
+    let handle = spawn(test_config());
+    let (status, _, body) = post(handle.addr(), "/explain", WHY_EAT);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"complete\":true"), "{body}");
+    assert!(body.contains("current season"), "{body}");
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn budget_trip_degrades_to_206_with_report() {
+    let handle = spawn(test_config());
+    // max_rounds: 1 cannot finish the counterfactual's delta closure,
+    // so the request degrades deterministically.
+    let body_doc = r#"{"questions":[{"type":"why-eat","food":"CauliflowerPotatoCurry"},{"type":"what-if","hypothesis":"pregnant"}],"budget":{"max_rounds":1}}"#;
+    let (status, _, body) = post(handle.addr(), "/explain", body_doc);
+    assert_eq!(status, 206, "{body}");
+    assert!(body.contains("\"complete\":false"), "{body}");
+    assert!(body.contains("\"degradation\""), "{body}");
+    assert!(body.contains("\"resource\":\"rounds\""), "{body}");
+    assert!(body.contains("\"skipped\""), "{body}");
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn client_errors_get_4xx_not_5xx() {
+    let handle = spawn(test_config());
+    let addr = handle.addr();
+
+    let (status, _, body) = post(addr, "/explain", "{not json");
+    assert_eq!(status, 400, "{body}");
+
+    let (status, _, body) = post(addr, "/explain", r#"{"questions":[]}"#);
+    assert_eq!(status, 400, "{body}");
+
+    let (status, _, body) = post(
+        addr,
+        "/explain",
+        r#"{"questions":[{"type":"warp-drive","food":"X"}]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("warp-drive"), "{body}");
+
+    let (status, _, body) = post(
+        addr,
+        "/explain",
+        r#"{"questions":[{"type":"why-eat","food":"NoSuchFood"}]}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("unknown entity"), "{body}");
+
+    // Bad SPARQL is the client's fault on /query.
+    let (status, _, body) = post(addr, "/query", r#"{"sparql":"SELECT WHERE {"}"#);
+    assert_eq!(status, 400, "{body}");
+
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn query_serves_head_epochs_and_branches() {
+    let handle = spawn(test_config());
+    let addr = handle.addr();
+
+    // Head query, W3C JSON shape.
+    let (status, _, body) = post(
+        addr,
+        "/query",
+        r#"{"sparql":"SELECT ?r WHERE { ?r a food:Recipe } LIMIT 1"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"head\":{\"vars\":[\"r\"]}"), "{body}");
+    assert!(body.contains("\"bindings\""), "{body}");
+
+    // ASK.
+    let (status, _, body) = post(addr, "/query", r#"{"sparql":"ASK { ?s ?p ?o }"}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"boolean\":true"), "{body}");
+
+    // Time travel to the base epoch.
+    let (status, _, body) = post(addr, "/query", r#"{"sparql":"ASK { ?s ?p ?o }","as_of":0}"#);
+    assert_eq!(status, 200, "{body}");
+
+    // Past the head.
+    let (status, _, body) = post(
+        addr,
+        "/query",
+        r#"{"sparql":"ASK { ?s ?p ?o }","as_of":99}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+
+    // Unknown branch.
+    let (status, _, body) = post(
+        addr,
+        "/query",
+        r#"{"sparql":"ASK { ?s ?p ?o }","branch":"nope"}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("unknown branch"), "{body}");
+
+    // Mutually exclusive selectors.
+    let (status, _, _) = post(
+        addr,
+        "/query",
+        r#"{"sparql":"ASK { ?s ?p ?o }","as_of":0,"branch":"b"}"#,
+    );
+    assert_eq!(status, 400);
+
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn raw_sparql_body_works_without_json_envelope() {
+    let handle = spawn(test_config());
+    let (status, _, body) = common::http(
+        handle.addr(),
+        "POST",
+        "/query",
+        &[("Content-Type", "application/sparql-query")],
+        "ASK { ?s ?p ?o }",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"boolean\":true"), "{body}");
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn tenant_quota_yields_429_with_retry_after() {
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            max_inflight: 4,
+            max_queue: 16,
+            tenant_rate: 0.01,
+            tenant_burst: 1.0,
+        },
+        ..test_config()
+    };
+    let handle = spawn(cfg);
+    let addr = handle.addr();
+    let tenant = [("X-Feo-Tenant", "heavy-user")];
+
+    let (status, _, body) = common::http(addr, "POST", "/explain", &tenant, WHY_EAT);
+    assert_eq!(status, 200, "{body}");
+
+    let (status, head, body) = common::http(addr, "POST", "/explain", &tenant, WHY_EAT);
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("over_quota"), "{body}");
+    assert!(head.contains("Retry-After:"), "{head}");
+
+    // A different tenant is unaffected.
+    let other = [("X-Feo-Tenant", "light-user")];
+    let (status, _, body) = common::http(addr, "POST", "/explain", &other, WHY_EAT);
+    assert_eq!(status, 200, "{body}");
+
+    assert_eq!(handle.admission_stats().rejected_quota, 1);
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn overload_sheds_with_429_and_never_5xx() {
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 1,
+            ..AdmissionConfig::default()
+        },
+        default_deadline_ms: 400,
+        queue_wait_cap_ms: 400,
+        ..test_config()
+    };
+    let handle = spawn(cfg);
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut statuses = Vec::new();
+                for _ in 0..4 {
+                    let (status, _, _) = post(addr, "/explain", WHY_EAT);
+                    statuses.push(status);
+                }
+                statuses
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for worker in workers {
+        all.extend(worker.join().expect("client thread"));
+    }
+    assert!(
+        all.iter().all(|s| matches!(s, 200 | 206 | 429)),
+        "unexpected statuses: {all:?}"
+    );
+    assert!(all.contains(&200), "nothing served under overload: {all:?}");
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn client_disconnect_cancels_inflight_work() {
+    let cfg = ServeConfig {
+        max_questions: 4096,
+        ..test_config()
+    };
+    let handle = spawn(cfg);
+    let addr = handle.addr();
+
+    // A deliberately long request: many questions, engine parallelism
+    // off, generous deadline — it can only end early via cancellation.
+    let mut questions = Vec::new();
+    for _ in 0..1000 {
+        questions.push(r#"{"type":"why-eat","food":"CauliflowerPotatoCurry"}"#.to_string());
+        questions.push(r#"{"type":"what-if","hypothesis":"pregnant"}"#.to_string());
+    }
+    let body = format!(
+        r#"{{"questions":[{}],"budget":{{"deadline_ms":25000}},"parallelism":0}}"#,
+        questions.join(",")
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    // Let the request get admitted and start working, then vanish.
+    thread::sleep(Duration::from_millis(150));
+    drop(stream);
+
+    // The watcher must flip the cancel flag and the worker must
+    // release its slot promptly — well before the 25s deadline.
+    let started = Instant::now();
+    let deadline = Duration::from_secs(5);
+    loop {
+        let stats = handle.admission_stats();
+        if stats.cancelled_disconnects >= 1 && stats.inflight == 0 {
+            break;
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "cancellation not observed in {deadline:?}: {stats:?}"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+
+    // The shared engine is still coherent: new requests succeed.
+    let (status, _, body) = post(addr, "/explain", WHY_EAT);
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_drains_inflight_requests() {
+    let handle = spawn(test_config());
+    let addr = handle.addr();
+
+    // A request slow enough to still be in flight when shutdown hits.
+    let inflight = thread::spawn(move || {
+        let body = r#"{"questions":[{"type":"why-eat","food":"CauliflowerPotatoCurry"},{"type":"what-if","hypothesis":"pregnant"},{"type":"why-over","preferred":"CauliflowerPotatoCurry","alternative":"ButternutSquashSoup"}],"budget":{"deadline_ms":20000},"parallelism":0}"#;
+        post(addr, "/explain", body)
+    });
+    thread::sleep(Duration::from_millis(80));
+    let outcome = handle.shutdown_and_join().expect("drain");
+    let (status, _, body) = inflight.join().expect("request thread");
+    assert!(
+        matches!(status, 200 | 206),
+        "in-flight request lost: {status} {body}"
+    );
+    assert!(outcome.clean, "drain cancelled in-flight work: {outcome:?}");
+    assert_eq!(outcome.force_cancelled, 0);
+
+    // The listener is gone afterwards.
+    assert!(TcpStream::connect(addr).is_err());
+}

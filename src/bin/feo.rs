@@ -12,11 +12,12 @@
 //! feo branch create|diff|list ...               named what-if branch worlds
 //! feo export [--raw]                            dump the graph as Turtle
 //! feo list                                      list recipes and ingredients
+//! feo serve [--port N] [serve flags]            run the HTTP explanation service
 //!
 //! profile flags:
 //!   --likes A,B   --dislikes A,B   --allergies A,B   --diet D
 //!   --goals G1,G2 --region R       --season spring|summer|autumn|winter
-//!   --pregnant    --top N
+//!   --pregnant    --top N          --json (machine-readable output)
 //!
 //! ledger flags (the CLI is stateless, so each invocation builds its
 //! chain from hypothesis specs S = pregnant | diet:<D> | allergic:<I>):
@@ -48,6 +49,7 @@ fn main() {
         "branch" => cmd_branch(rest),
         "export" => cmd_export(rest),
         "list" => cmd_list(),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -75,10 +77,14 @@ fn usage_and_exit() -> ! {
            feo branch list [--branch name=S] [--commit S]\n\
            feo export [--raw] [profile flags]\n\
            feo list\n\
+           feo serve [--port N | --addr H:P] [--max-inflight N] [--max-queue N]\n\
+                     [--tenant-rate R --tenant-burst B] [--deadline-ms N]\n\
+                     [--max-deadline-ms N] [--drain-ms N] [profile + ledger flags]\n\
          \n\
          PROFILE FLAGS:\n\
            --likes A,B --dislikes A,B --allergies A,B --diet D --goals G,H\n\
            --region R --season spring|summer|autumn|winter --pregnant --top N\n\
+           --json (emit machine-readable JSON from explain/query/history)\n\
          \n\
          LEDGER FLAGS (hypothesis spec S = pregnant | diet:<D> | allergic:<I>):\n\
            --commit S committed as an epoch on the main chain (repeatable);\n\
@@ -112,6 +118,7 @@ struct Opts {
     ctx: SystemContext,
     top: usize,
     raw: bool,
+    json: bool,
     explain: bool,
     planner: Planner,
     parallelism: Parallelism,
@@ -129,6 +136,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut region: Option<String> = None;
     let mut top = 10usize;
     let mut raw = false;
+    let mut json = false;
     let mut explain = false;
     let mut planner = Planner::default();
     let mut parallelism = Parallelism::default();
@@ -184,6 +192,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 })
             }
             "--raw" => raw = true,
+            "--json" => json = true,
             "--explain" => explain = true,
             "--planner" => {
                 planner = match value("--planner").to_ascii_lowercase().as_str() {
@@ -257,6 +266,7 @@ fn parse_opts(args: &[String]) -> Opts {
         ctx,
         top,
         raw,
+        json,
         explain,
         planner,
         parallelism,
@@ -363,6 +373,7 @@ fn cmd_explain(args: &[String]) {
     if let Some(n) = opts.as_of {
         let base = base_with_chain(&opts);
         match base.explain_as_of(EpochId(n), &question, &ExplainOptions::default()) {
+            Ok(e) if opts.json => println!("{}", e.to_json()),
             Ok(e) => {
                 println!("Q: {} (as of epoch {n})", question.text());
                 if !e.bindings.is_empty() {
@@ -385,6 +396,7 @@ fn cmd_explain(args: &[String]) {
         engine = engine.with_recommendations(recs);
     }
     match engine.explain(&question) {
+        Ok(e) if opts.json => println!("{}", e.to_json()),
         Ok(e) => {
             println!("Q: {}", question.text());
             if !e.bindings.is_empty() {
@@ -448,7 +460,7 @@ fn cmd_query(args: &[String]) {
         // raw assembled graph.
         let base = base_with_chain(&opts);
         match base.query_as_of(EpochId(n), &full) {
-            Ok(result) => print_query_result(result),
+            Ok(result) => print_query_result(result, opts.json),
             Err(e) => {
                 eprintln!("{e}");
                 exit(1);
@@ -465,7 +477,7 @@ fn cmd_query(args: &[String]) {
         explain: opts.explain,
     };
     match feo::sparql::query(&g, &full, &qopts) {
-        Ok(result) => print_query_result(result),
+        Ok(result) => print_query_result(result, opts.json),
         Err(e) => {
             eprintln!("{e}");
             exit(1);
@@ -473,7 +485,13 @@ fn cmd_query(args: &[String]) {
     }
 }
 
-fn print_query_result(result: QueryResult) {
+fn print_query_result(result: QueryResult, json: bool) {
+    if json {
+        // W3C SPARQL 1.1 Query Results JSON Format for SELECT/ASK;
+        // Turtle-in-JSON for CONSTRUCT/DESCRIBE; plan text for --explain.
+        println!("{}", result.to_json());
+        return;
+    }
     match result {
         QueryResult::Solutions(t) => print!("{t}"),
         QueryResult::Boolean(b) => println!("{b}"),
@@ -492,6 +510,20 @@ fn print_query_result(result: QueryResult) {
 fn cmd_history(args: &[String]) {
     let opts = parse_opts(args);
     let base = base_with_chain(&opts);
+    if opts.json {
+        let rows: Vec<String> = base.history().iter().map(|row| row.to_json()).collect();
+        let chain_ok = base.ledger().verify_chain().is_none();
+        println!(
+            "{{\"head\":{},\"chain_ok\":{},\"commits\":[{}]}}",
+            base.head().0,
+            chain_ok,
+            rows.join(",")
+        );
+        if !chain_ok {
+            exit(1);
+        }
+        return;
+    }
     println!("Epoch ledger ({} commits):", base.head().0);
     for row in base.history() {
         println!(
@@ -617,6 +649,109 @@ fn cmd_export(args: &[String]) {
         "{}",
         feo::rdf::turtle::write_turtle(&g, feo::ontology::ns::PREFIXES)
     );
+}
+
+/// `feo serve` — run the HTTP explanation service over the engine
+/// built from the profile and ledger flags. Serve-specific flags are
+/// split off first; everything else (profile, --commit, --branch)
+/// feeds `base_with_chain`, so the service can expose committed
+/// epochs (`as_of`) and branch worlds (`branch`) to `/query`.
+fn cmd_serve(args: &[String]) {
+    let mut cfg = ServeConfig::default();
+    let mut passthrough: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    exit(2);
+                })
+                .clone()
+        };
+        let parse_u64 = |name: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} needs an unsigned integer");
+                exit(2);
+            })
+        };
+        let parse_f64 = |name: &str, v: String| -> f64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} needs a number");
+                exit(2);
+            })
+        };
+        match arg {
+            "--addr" => cfg.addr = value("--addr"),
+            "--port" => cfg.addr = format!("127.0.0.1:{}", parse_u64("--port", value("--port"))),
+            "--max-inflight" => {
+                cfg.admission.max_inflight =
+                    parse_u64("--max-inflight", value("--max-inflight")).max(1) as usize
+            }
+            "--max-queue" => {
+                cfg.admission.max_queue = parse_u64("--max-queue", value("--max-queue")) as usize
+            }
+            "--tenant-rate" => {
+                cfg.admission.tenant_rate = parse_f64("--tenant-rate", value("--tenant-rate"))
+            }
+            "--tenant-burst" => {
+                cfg.admission.tenant_burst = parse_f64("--tenant-burst", value("--tenant-burst"))
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline_ms = parse_u64("--deadline-ms", value("--deadline-ms")).max(1)
+            }
+            "--max-deadline-ms" => {
+                cfg.max_deadline_ms =
+                    parse_u64("--max-deadline-ms", value("--max-deadline-ms")).max(1)
+            }
+            "--drain-ms" => cfg.drain_deadline_ms = parse_u64("--drain-ms", value("--drain-ms")),
+            "--queue-wait-ms" => {
+                cfg.queue_wait_cap_ms = parse_u64("--queue-wait-ms", value("--queue-wait-ms"))
+            }
+            other => passthrough.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let opts = parse_opts(&passthrough);
+    cfg.parallelism = opts.parallelism;
+    let base = std::sync::Arc::new(base_with_chain(&opts));
+    let server = match Server::bind(base, cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    };
+    // The ci.sh serve stage and the bench harness parse this line to
+    // discover the ephemeral port, so keep its shape stable.
+    println!("feo-serve listening on {}", server.local_addr());
+    feo::serve::shutdown::install();
+    let stop = server.shutdown_flag();
+    std::thread::spawn(move || {
+        while !feo::serve::shutdown::requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    match server.run() {
+        Ok(outcome) => {
+            if outcome.clean {
+                eprintln!("feo-serve: drained cleanly, exiting");
+            } else {
+                eprintln!(
+                    "feo-serve: drain deadline hit, force-cancelled {} request(s)",
+                    outcome.force_cancelled
+                );
+            }
+            exit(0);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
 }
 
 fn cmd_list() {

@@ -9,7 +9,9 @@
 //! - [`ontology`] — the EO fragment, FEO, and food TBoxes;
 //! - [`foodkg`] — curated + synthetic food knowledge graphs, users;
 //! - [`recommender`] — the Health Coach simulator and baseline;
-//! - [`core`] — the explanation engine (the paper's contribution).
+//! - [`core`] — the explanation engine (the paper's contribution);
+//! - [`serve`] — the HTTP explanation service (admission control,
+//!   load shedding, graceful degradation and shutdown).
 //!
 //! ```
 //! use feo::core::{ExplanationEngine, Question};
@@ -36,6 +38,7 @@ pub use feo_ontology as ontology;
 pub use feo_owl as owl;
 pub use feo_rdf as rdf;
 pub use feo_recommender as recommender;
+pub use feo_serve as serve;
 pub use feo_sparql as sparql;
 
 /// One-stop imports for the common workflow: build an engine, open
@@ -58,13 +61,15 @@ pub use feo_sparql as sparql;
 /// ```
 pub mod prelude {
     pub use crate::core::{
-        BranchDiff, BranchInfo, CommitInfo, EngineBase, EngineError, EpochId, ExplainOptions,
-        Explanation, ExplanationEngine, Hypothesis, PlanCacheStats, Question, Session,
+        BranchDiff, BranchInfo, BudgetedOutcome, CommitInfo, DegradationReport, EngineBase,
+        EngineError, EpochId, ExplainOptions, Explanation, ExplanationEngine, Hypothesis,
+        PlanCacheStats, Question, Session, ToJson,
     };
     pub use crate::error::FeoError;
     pub use crate::foodkg::{curated, Season, SystemContext, UserProfile};
     pub use crate::owl::{MaterializeOptions, Reasoner};
-    pub use crate::rdf::governor::{Budget, Exhausted, Guard};
+    pub use crate::rdf::governor::{Budget, CancelFlag, Exhausted, Guard};
     pub use crate::rdf::Parallelism;
+    pub use crate::serve::{ServeConfig, Server};
     pub use crate::sparql::{Planner, QueryOptions, QueryResult};
 }
