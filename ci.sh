@@ -99,6 +99,24 @@ echo "== ledger ops smoke (bounded wall-clock)"
 # BENCH_pr6.json, the smoke run just has to complete.
 timeout 180 cargo run -q --release --offline -p feo-bench --bin ledger_ops -- --smoke
 
+echo "== persistent store suite (bounded wall-clock, both thread modes)"
+# The mmap-backed disk store must be a representation change only:
+# differential equivalence against the memory backend (all planners,
+# both thread modes), exhaustive corruption fault injection with typed
+# errors, binary-format fuzzing, and a warm-restart round trip through
+# the real binary (`--store` bootstrap → fresh-process reopen →
+# `feo compact` → byte-identical answers throughout).
+FEO_THREADS=1 timeout 300 cargo test -q --offline --release --test store_equivalence
+FEO_THREADS=4 timeout 300 cargo test -q --offline --release --test store_equivalence
+timeout 180 cargo test -q --offline --release -p feo-rdf --test store_corruption
+timeout 180 cargo test -q --offline --release -p feo-rdf --test fuzz_store
+timeout 300 cargo test -q --offline --release --test warm_restart
+
+echo "== store ops smoke (bounded wall-clock)"
+# The paired store-ops harness must run end to end; full numbers go to
+# BENCH_pr8.json, the smoke run just has to complete.
+timeout 240 cargo run -q --release --offline -p feo-bench --bin store_ops -- --smoke
+
 echo "== serve: HTTP service end-to-end (boot, degrade, shed, drain)"
 # Boot the real binary on an ephemeral port, drive it with curl, then
 # SIGTERM it and require a clean drain (exit 0). Tenant quota is set

@@ -1,0 +1,269 @@
+//! Paired measurement of persistent-store operation costs.
+//!
+//! Same methodology as `ledger_ops`: wall-clock drift on a shared
+//! machine dwarfs the effects being measured, so each comparison
+//! tightly interleaves the two arms and reports the median of
+//! per-round ratios.
+//!
+//! Three workloads:
+//!  1. **Warm open vs cold boot** at 1000 recipes — `EngineBase::open`
+//!     (mmap the segment, replay an empty WAL, recompile rules)
+//!     against `EngineBase::new` (assemble + full OWL 2 RL
+//!     materialization). The whole point of the store: the contract
+//!     demands the warm path be at least 10× faster (ratio ≤ 0.10).
+//!  2. **Save vs cold boot** at 1000 recipes — persisting the closed
+//!     engine must cost no more than the build it snapshots.
+//!  3. **WAL commit vs memory commit** at 200 recipes — a commit on a
+//!     store-attached engine adds one fsynced WAL append, a fixed
+//!     millisecond-scale durability floor; it must stay within a few
+//!     multiples of the in-memory commit.
+//!
+//! Run with `cargo run --release -p feo-bench --bin store_ops`;
+//! `--smoke` shrinks the rounds for CI. Full runs write the results
+//! machine-readably to `BENCH_pr8.json` at the repository root.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use feo_bench::synthetic_fixture;
+use feo_core::ecosystem::apply_hypothesis;
+use feo_core::EngineBase;
+use feo_core::Hypothesis;
+
+struct Params {
+    warmup: usize,
+    repeats: usize,
+    pairs: usize,
+}
+
+fn median(mut ratios: Vec<f64>) -> f64 {
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ratios[ratios.len() / 2]
+}
+
+/// Median over `repeats` rounds of the interleaved-pair total-time
+/// ratio `run(measured) / run(baseline)`.
+fn paired_ratio(params: &Params, mut run: impl FnMut(bool) -> Duration) -> f64 {
+    let mut ratios = Vec::with_capacity(params.repeats);
+    for repeat in 0..params.repeats {
+        let mut measured = Duration::ZERO;
+        let mut baseline = Duration::ZERO;
+        for pair in 0..params.pairs {
+            if (pair + repeat) % 2 == 0 {
+                measured += run(true);
+                baseline += run(false);
+            } else {
+                baseline += run(false);
+                measured += run(true);
+            }
+        }
+        ratios.push(measured.as_secs_f64() / baseline.as_secs_f64());
+    }
+    median(ratios)
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("feo-bench-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Row {
+    workload: &'static str,
+    ratio: f64,
+    contract: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let (recipes, boots, commits) = if smoke {
+        (
+            120,
+            Params {
+                warmup: 1,
+                repeats: 2,
+                pairs: 1,
+            },
+            Params {
+                warmup: 1,
+                repeats: 2,
+                pairs: 3,
+            },
+        )
+    } else {
+        (
+            1000,
+            Params {
+                warmup: 1,
+                repeats: 3,
+                pairs: 3,
+            },
+            Params {
+                warmup: 2,
+                repeats: 5,
+                pairs: 8,
+            },
+        )
+    };
+    println!(
+        "store ops, paired-interleaved medians at {recipes} recipes{}:",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // 1. Warm open vs cold boot. One throwaway build persists the
+    // store; then every measured arm memory-maps it while every
+    // baseline arm redoes assemble + materialize from scratch.
+    {
+        let (kg, user, ctx) = synthetic_fixture(recipes);
+        let dir = store_dir("open");
+        let mut seeded = EngineBase::new(kg.clone(), user.clone(), ctx.clone())
+            .expect("synthetic world is consistent");
+        seeded.save_to(&dir).expect("store saves");
+        drop(seeded);
+
+        let ratio = paired_ratio(&boots, |measured| {
+            let started = Instant::now();
+            if measured {
+                std::hint::black_box(
+                    EngineBase::open(&dir, kg.clone(), user.clone(), ctx.clone())
+                        .expect("store opens"),
+                );
+            } else {
+                std::hint::black_box(
+                    EngineBase::new(kg.clone(), user.clone(), ctx.clone()).expect("consistent"),
+                );
+            }
+            started.elapsed()
+        });
+        println!("  warm mmap open / cold parse+materialize = {ratio:.4}");
+        rows.push(Row {
+            workload: "warm_open_vs_cold_boot",
+            ratio,
+            contract: 0.10,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // 2. Save vs cold boot: writing the dictionary-encoded segment
+    // (sorted runs + stats + fsync) must not exceed the cost of the
+    // build it snapshots.
+    {
+        let (kg, user, ctx) = synthetic_fixture(recipes);
+        let dir = store_dir("save");
+        let mut engine = EngineBase::new(kg.clone(), user.clone(), ctx.clone())
+            .expect("synthetic world is consistent");
+        let ratio = paired_ratio(&boots, |measured| {
+            let started = Instant::now();
+            if measured {
+                engine.save_to(&dir).expect("store saves");
+            } else {
+                std::hint::black_box(
+                    EngineBase::new(kg.clone(), user.clone(), ctx.clone()).expect("consistent"),
+                );
+            }
+            started.elapsed()
+        });
+        println!("  save_to / cold parse+materialize = {ratio:.4}");
+        rows.push(Row {
+            workload: "save_vs_cold_boot",
+            ratio,
+            contract: 1.0,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // 3. WAL-attached commit vs memory commit: durability costs one
+    // fsynced append — a fixed millisecond-scale floor that dominates
+    // a small delta's closure, so the contract only caps it at a few
+    // multiples of the in-memory commit rather than pretending the
+    // fsync is free.
+    {
+        let (kg, user, ctx) = synthetic_fixture(200);
+        let dir = store_dir("commit");
+        let mut disk = EngineBase::new(kg.clone(), user.clone(), ctx.clone())
+            .expect("synthetic world is consistent");
+        disk.save_to(&dir).expect("store saves");
+        let mut mem =
+            EngineBase::new(kg, user.clone(), ctx).expect("synthetic world is consistent");
+        let mut counter = 0usize;
+        let fresh = |counter: &mut usize| {
+            *counter += 1;
+            if counter.is_multiple_of(2) {
+                Hypothesis::FollowedDiet(format!("BenchDiet{counter}"))
+            } else {
+                Hypothesis::AllergicTo(format!("BenchIngredient{counter}"))
+            }
+        };
+        for _ in 0..commits.warmup {
+            let h = fresh(&mut counter);
+            disk.commit_with("bench", |overlay| apply_hypothesis(&h, &user, overlay));
+            let h = fresh(&mut counter);
+            mem.commit_with("bench", |overlay| apply_hypothesis(&h, &user, overlay));
+        }
+        let ratio = paired_ratio(&commits, |measured| {
+            let h = fresh(&mut counter);
+            let engine = if measured { &mut disk } else { &mut mem };
+            let started = Instant::now();
+            std::hint::black_box(
+                engine.commit_with("bench", |overlay| apply_hypothesis(&h, &user, overlay)),
+            );
+            started.elapsed()
+        });
+        assert!(
+            disk.store().is_some(),
+            "WAL appends kept succeeding (store still attached)"
+        );
+        println!("  commit_with + WAL append / memory commit_with = {ratio:.4}");
+        rows.push(Row {
+            workload: "wal_commit_vs_memory_commit",
+            ratio,
+            contract: 4.0,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Acceptance contracts: WARN on smoke rounds (too short to be
+    // meaningful, never gates), FAIL on full runs.
+    let mut pass = true;
+    for row in &rows {
+        let ok = row.ratio <= row.contract;
+        pass &= ok || smoke;
+        let verdict = match (ok, smoke) {
+            (true, _) => "PASS",
+            (false, true) => "WARN",
+            (false, false) => "FAIL",
+        };
+        println!(
+            "  {verdict} {}: {:.4} (contract <= {:.2})",
+            row.workload, row.ratio, row.contract
+        );
+    }
+
+    if smoke {
+        println!("  smoke mode: BENCH_pr8.json left untouched");
+        return;
+    }
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"ratio\": {:.4}, \"contract_max\": {:.2}}}",
+                r.workload, r.ratio, r.contract
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"store_ops\",\n  \"mode\": \"full\",\n  \"recipes\": {recipes},\n  \"baseline\": \"cold parse+materialize / memory commit\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json");
+    match std::fs::write(out, json) {
+        Ok(()) => println!("  wrote {out}"),
+        Err(e) => eprintln!("  could not write {out}: {e}"),
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -34,15 +34,21 @@ use feo_ontology::ns::feo;
 use feo_owl::{
     CompiledRules, InferenceResult, MaterializeOptions, Reasoner, ReasonerError, ReasonerOptions,
 };
+use feo_rdf::disk::OpenOptions as StoreOpenOptions;
 use feo_rdf::governor::{Budget, Exhausted, Guard};
-use feo_rdf::ledger::{diff_views, BranchChain, EpochId, Ledger, LedgerView};
+use feo_rdf::ledger::{diff_views, BaseStore, BranchChain, EpochId, Ledger, LedgerView};
 use feo_rdf::pool::map_chunks;
-use feo_rdf::{Graph, GraphView, IdTriple, Overlay, Parallelism, Term};
+use feo_rdf::{
+    DiskStore, GraphView, IdTriple, Overlay, Parallelism, Segment, StoreError, Term, WalRecord,
+};
+
 use feo_recommender::{RecommendationSet, TraceStep};
 use feo_sparql::{
     execute, execute_prepared, parse_query, plan_query, Planner, QueryOptions, QueryResult,
     SolutionTable, SparqlError,
 };
+use std::path::Path;
+use std::sync::Arc;
 
 use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
 use crate::ecosystem::{apply_hypothesis, assemble, assert_question};
@@ -76,6 +82,9 @@ pub enum EngineError {
     UnknownBranch(String),
     /// `branch_create` was given a name already in use (or `"main"`).
     DuplicateBranch(String),
+    /// The persistent store failed: I/O, corruption, or an incompatible
+    /// on-disk format version (see [`feo_rdf::StoreError`]).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -101,7 +110,14 @@ impl std::fmt::Display for EngineError {
             EngineError::DuplicateBranch(name) => {
                 write!(f, "branch name already in use: {name}")
             }
+            EngineError::Store(e) => write!(f, "persistent store: {e}"),
         }
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
     }
 }
 
@@ -302,6 +318,11 @@ pub struct EngineBase {
     /// Parsed queries and their cost-based plans, keyed by
     /// `(EpochId, query text)` (see [`crate::cache`]).
     plan_cache: PlanCache,
+    /// Attached persistent store, when the base was opened from or
+    /// saved to disk. Commits append WAL records here; a failed append
+    /// detaches the store and surfaces as an inference warning rather
+    /// than poisoning the in-memory chain.
+    store: Option<DiskStore>,
 }
 
 impl EngineBase {
@@ -360,6 +381,7 @@ impl EngineBase {
             recommendations: None,
             track_proofs,
             plan_cache: PlanCache::default(),
+            store: None,
         })
     }
 
@@ -416,6 +438,35 @@ impl EngineBase {
         delta: Vec<IdTriple>,
         inference: InferenceResult,
     ) -> EpochId {
+        // Write-ahead: persist the delta before the in-memory commit so
+        // a crash after this point replays it on reopen. A failed append
+        // detaches the store (the in-memory chain stays authoritative)
+        // and surfaces as a warning instead of an error — callers of
+        // `commit` hold closed session results that must not be lost.
+        if let Some(store) = self.store.take() {
+            let rec = WalRecord {
+                label: label.to_string(),
+                inferred: inference.added as u64,
+                terms: spill.clone(),
+                triples: delta
+                    .iter()
+                    .map(|t| {
+                        [
+                            t[0].index() as u32,
+                            t[1].index() as u32,
+                            t[2].index() as u32,
+                        ]
+                    })
+                    .collect(),
+            };
+            match store.append_delta(&rec) {
+                Ok(()) => self.store = Some(store),
+                Err(e) => self
+                    .inference
+                    .warnings
+                    .push(format!("store detached: WAL append failed: {e}")),
+            }
+        }
         let epoch = self.ledger.commit(spill, delta);
         self.commit_log.push(CommitNote {
             label: label.to_string(),
@@ -574,6 +625,165 @@ impl EngineBase {
         self.at_epoch(epoch)
             .ok_or(EngineError::UnknownEpoch(epoch.0))?
             .query(sparql)
+    }
+
+    // ---- persistent store --------------------------------------------
+
+    /// Saves the main chain into `dir` as a persistent store — the
+    /// sealed epoch-0 base as a dictionary-encoded, memory-mappable
+    /// segment, every committed layer as one WAL record — and attaches
+    /// the store so later commits append to the WAL. Reopen with
+    /// [`EngineBase::open`]; fold the WAL back into the segment with
+    /// [`EngineBase::compact`]. An existing store in `dir` is
+    /// superseded atomically (MANIFEST rename).
+    pub fn save_to(&mut self, dir: &Path) -> Result<(), EngineError> {
+        let records: Vec<WalRecord> = self
+            .ledger
+            .layers()
+            .iter()
+            .zip(&self.commit_log)
+            .map(|(layer, note)| WalRecord {
+                label: note.label.clone(),
+                inferred: note.inferred as u64,
+                terms: layer.spill_terms().to_vec(),
+                triples: layer.spo_raw().to_vec(),
+            })
+            .collect();
+        let base = self.ledger.base();
+        let base_inferred = self
+            .inference
+            .added
+            .saturating_sub(self.commit_log.iter().map(|n| n.inferred).sum::<usize>())
+            as u64;
+        let store = DiskStore::save(dir, base, base.stats(), base_inferred, &records)?;
+        self.store = Some(store);
+        Ok(())
+    }
+
+    /// Opens a store written by [`EngineBase::save_to`]: the segment is
+    /// memory-mapped as the epoch-0 base — no re-assembly, no
+    /// re-materialization — and each WAL record replays through
+    /// [`Ledger::commit`], reconstructing the same chain (same epochs,
+    /// same term ids, same layer hashes), so answers are byte-identical
+    /// to the engine that saved it.
+    ///
+    /// `kg`, `user`, and `ctx` supply the structured side-channels that
+    /// never lived in the graph (recipe metadata, the user id, the
+    /// season); they must match what the store was built from. Traits
+    /// that are not persisted must be re-attached explicitly:
+    /// [`EngineBase::mark_population`] for the population flag,
+    /// [`EngineBase::with_recommendations`] for recommender output.
+    /// Derivations are likewise not persisted, so
+    /// [`EngineBase::proof_of_type`] cannot explain typings inferred
+    /// before the save. A torn WAL tail is repaired during open and
+    /// reported as an inference warning.
+    pub fn open(
+        dir: &Path,
+        kg: FoodKg,
+        user: UserProfile,
+        ctx: SystemContext,
+    ) -> Result<Self, EngineError> {
+        let opened = DiskStore::open(dir, StoreOpenOptions::default())?;
+        let mut inference = InferenceResult {
+            added: opened.segment.base_inferred() as usize,
+            converged: true,
+            ..Default::default()
+        };
+        if let Some(e) = &opened.recovered {
+            inference.warnings.push(format!("wal recovered: {e}"));
+        }
+        let mut ledger = Ledger::from_base(BaseStore::Disk(opened.segment.clone()));
+        let mut commit_log = Vec::new();
+        for rec in &opened.records {
+            ledger.commit(rec.terms.clone(), rec.id_triples());
+            commit_log.push(CommitNote {
+                label: rec.label.clone(),
+                inferred: rec.inferred as usize,
+            });
+            inference.added += rec.inferred as usize;
+        }
+        // Recompile the rule set from the persisted TBox. The segment
+        // dictionary already holds the reasoner's vocabulary (it was
+        // interned before the save), so the compile pass normally spills
+        // nothing; if it ever does, the spill is committed — and
+        // WAL-logged — as its own layer so ids stay aligned on disk.
+        let (rules, spill, delta) = {
+            let mut overlay = Overlay::new(ledger.head_view());
+            let rules = Self::reasoner(false).compile(&mut overlay);
+            let (spill, delta) = overlay.into_delta();
+            (rules, spill, delta)
+        };
+        let plan_cache = PlanCache::default();
+        plan_cache.advance_head(ledger.head().0);
+        let mut engine = EngineBase {
+            kg,
+            user,
+            ctx,
+            ledger,
+            commit_log,
+            branches: Vec::new(),
+            rules,
+            inference,
+            population: None,
+            recommendations: None,
+            track_proofs: false,
+            plan_cache,
+            store: Some(opened.store),
+        };
+        if !spill.is_empty() || !delta.is_empty() {
+            engine.commit_labeled("vocab", spill, delta, InferenceResult::default());
+        }
+        Ok(engine)
+    }
+
+    /// Folds every committed layer into a fresh base segment with an
+    /// empty WAL — log-structured compaction for the attached store.
+    /// The MANIFEST rename publishes the new segment/WAL pair
+    /// atomically, so a crash mid-compaction leaves the old pair
+    /// intact. Afterwards the in-memory chain re-anchors on the new
+    /// segment: history collapses to a single epoch 0, and branches and
+    /// cached plans (both keyed by the old chain's epochs) are dropped.
+    /// Term ids are preserved by the flatten, so accumulated
+    /// derivations stay valid.
+    pub fn compact(&mut self) -> Result<(), EngineError> {
+        let Some(store) = self.store.as_mut() else {
+            return Err(EngineError::Store(StoreError::Corrupt {
+                what: "compact without an attached store (open or save_to first)".to_string(),
+            }));
+        };
+        let stats = self
+            .ledger
+            .layers()
+            .iter()
+            .fold(self.ledger.base().stats().clone(), |acc, layer| {
+                acc.merged_with(layer.stats())
+            });
+        store.compact(
+            &self.ledger.head_view(),
+            &stats,
+            self.inference.added as u64,
+        )?;
+        let segment = Segment::open(&store.segment_path(), true)?;
+        self.ledger = Ledger::from_base(BaseStore::Disk(Arc::new(segment)));
+        self.commit_log.clear();
+        self.branches.clear();
+        self.plan_cache = PlanCache::default();
+        Ok(())
+    }
+
+    /// Flags that a reference population is present without committing
+    /// anything — for warm-opened stores whose population layer was
+    /// already replayed from the WAL. (Committing it again through
+    /// [`EngineBase::with_population`] would append a duplicate layer
+    /// and shift every later epoch.)
+    pub fn mark_population(&mut self, population: Population) {
+        self.population = Some(population);
+    }
+
+    /// The attached persistent store, when the base was opened from or
+    /// saved to disk.
+    pub fn store(&self) -> Option<&DiskStore> {
+        self.store.as_ref()
     }
 
     // ---- named branches ----------------------------------------------
@@ -902,11 +1112,12 @@ impl EngineBase {
         &self.inference
     }
 
-    /// The sealed epoch-0 base graph (TBox + curated ABox + recipe
-    /// export, fully closed at build time). Later commits live in ledger
-    /// layers stacked on top — see [`EngineBase::ledger`] for the full
-    /// head view.
-    pub fn graph(&self) -> &Graph {
+    /// The sealed epoch-0 base (TBox + curated ABox + recipe export,
+    /// fully closed at build time): an in-memory [`feo_rdf::Graph`] for
+    /// a freshly built engine, a memory-mapped [`Segment`] for one
+    /// opened from disk. Later commits live in ledger layers stacked on
+    /// top — see [`EngineBase::ledger`] for the full head view.
+    pub fn graph(&self) -> &BaseStore {
         self.ledger.base()
     }
 
@@ -1694,7 +1905,7 @@ impl ExplanationEngine {
         self.base.inference()
     }
 
-    pub fn graph(&self) -> &Graph {
+    pub fn graph(&self) -> &BaseStore {
         self.base.graph()
     }
 

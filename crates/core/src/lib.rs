@@ -47,7 +47,8 @@ pub use knowledge::Population;
 pub use question::{ExplanationType, Hypothesis, Question};
 pub use scenarios::{all_scenarios, scenario_a, scenario_b, scenario_c, Scenario};
 
-// `ExplainOptions::parallelism` and the ledger handle types are part of
-// this crate's public API; re-export them so callers don't need a
-// separate feo-rdf import.
-pub use feo_rdf::{EpochId, Ledger, LedgerView, Parallelism};
+// `ExplainOptions::parallelism`, the ledger handle types, and the
+// persistent-store types surfaced by `EngineBase::{open, save_to}` are
+// part of this crate's public API; re-export them so callers don't need
+// a separate feo-rdf import.
+pub use feo_rdf::{BaseStore, DiskStore, EpochId, Ledger, LedgerView, Parallelism, StoreError};

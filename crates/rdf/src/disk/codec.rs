@@ -1,0 +1,231 @@
+//! Byte codec shared by segment dictionaries and WAL records.
+//!
+//! Terms are encoded with a one-byte tag and length-prefixed UTF-8
+//! payloads. The encoding is *canonical*: `Literal`'s constructors
+//! normalize at construction (typed `xsd:string` collapses to a simple
+//! literal, language tags are lowercased), so encode∘decode is the
+//! identity on `Term` and equal terms always produce equal bytes. That
+//! makes the byte-sorted dictionary permutation a valid lookup index.
+//!
+//! All decoding goes through [`Reader`], which bounds-checks every read
+//! and returns typed [`StoreError`]s — malformed bytes can never panic.
+
+use super::StoreError;
+use crate::term::{Literal, Term};
+use crate::vocab::xsd;
+
+/// `xsd:string` — typed literals with this datatype are stored as
+/// simple literals (tag 2), mirroring `Literal::typed`'s normalization.
+const XSD_STRING: &str = xsd::STRING;
+
+const TAG_IRI: u8 = 0;
+const TAG_BNODE: u8 = 1;
+const TAG_SIMPLE: u8 = 2;
+const TAG_LANG: u8 = 3;
+const TAG_TYPED: u8 = 4;
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends the canonical encoding of `term` to `out`.
+pub fn encode_term(out: &mut Vec<u8>, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            out.push(TAG_IRI);
+            push_str(out, iri.as_str());
+        }
+        Term::BlankNode(b) => {
+            out.push(TAG_BNODE);
+            push_str(out, b.as_str());
+        }
+        Term::Literal(lit) => {
+            if let Some(lang) = lit.language() {
+                out.push(TAG_LANG);
+                push_str(out, lit.lexical_form());
+                push_str(out, lang);
+            } else if lit.datatype().as_str() != XSD_STRING {
+                out.push(TAG_TYPED);
+                push_str(out, lit.lexical_form());
+                push_str(out, lit.datatype().as_str());
+            } else {
+                out.push(TAG_SIMPLE);
+                push_str(out, lit.lexical_form());
+            }
+        }
+    }
+}
+
+/// Encodes a term to a fresh buffer.
+pub fn term_bytes(term: &Term) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_term(&mut out, term);
+    out
+}
+
+/// Bounds-checked cursor over a byte slice. Every accessor returns a
+/// typed error instead of slicing past the end.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context string used in error messages ("segment dictionary",
+    /// "wal record", …).
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8], what: &'static str) -> Reader<'a> {
+        Reader { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(StoreError::Truncated { what: self.what })?;
+        if end > self.buf.len() {
+            return Err(StoreError::Truncated { what: self.what });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// A `[u32 len][utf-8 bytes]` string.
+    pub fn str(&mut self) -> Result<&'a str, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| StoreError::Corrupt {
+            what: format!("{}: non-utf8 string", self.what),
+        })
+    }
+}
+
+/// Decodes one term from `r`. Trailing bytes are left for the caller —
+/// segment dictionary entries must consume their slice exactly, which
+/// [`decode_term_exact`] enforces.
+pub fn decode_term(r: &mut Reader<'_>) -> Result<Term, StoreError> {
+    let tag = r.u8()?;
+    match tag {
+        TAG_IRI => Ok(Term::iri(r.str()?)),
+        TAG_BNODE => Ok(Term::bnode(r.str()?)),
+        TAG_SIMPLE => Ok(Term::simple(r.str()?)),
+        TAG_LANG => {
+            let lex = r.str()?;
+            let lang = r.str()?;
+            Ok(Term::Literal(Literal::lang(lex, lang)))
+        }
+        TAG_TYPED => {
+            let lex = r.str()?;
+            let dt = r.str()?;
+            Ok(Term::Literal(Literal::typed(
+                lex,
+                crate::term::Iri::new(dt),
+            )))
+        }
+        other => Err(StoreError::Corrupt {
+            what: format!("unknown term tag {other}"),
+        }),
+    }
+}
+
+/// Decodes a term that must occupy the whole slice (a dictionary entry
+/// delimited by the offset table).
+pub fn decode_term_exact(bytes: &[u8], what: &'static str) -> Result<Term, StoreError> {
+    let mut r = Reader::new(bytes, what);
+    let term = decode_term(&mut r)?;
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt {
+            what: format!("{what}: trailing bytes after term"),
+        });
+    }
+    Ok(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: Term) {
+        let bytes = term_bytes(&t);
+        let back = decode_term_exact(&bytes, "test").unwrap();
+        assert_eq!(t, back);
+        // Canonical: re-encoding the decoded term gives the same bytes.
+        assert_eq!(bytes, term_bytes(&back));
+    }
+
+    #[test]
+    fn roundtrips_all_term_kinds() {
+        roundtrip(Term::iri("http://example.org/Apple"));
+        roundtrip(Term::bnode("b42"));
+        roundtrip(Term::simple("crisp"));
+        roundtrip(Term::Literal(Literal::lang("pomme", "FR")));
+        roundtrip(Term::Literal(Literal::typed(
+            "42",
+            crate::term::Iri::new("http://www.w3.org/2001/XMLSchema#integer"),
+        )));
+        // xsd:string-typed literal normalizes to a simple literal and
+        // must encode with the simple tag.
+        let typed_string =
+            Term::Literal(Literal::typed("plain", crate::term::Iri::new(XSD_STRING)));
+        let bytes = term_bytes(&typed_string);
+        assert_eq!(bytes[0], TAG_SIMPLE);
+        roundtrip(typed_string);
+        roundtrip(Term::simple(""));
+    }
+
+    #[test]
+    fn truncated_bytes_yield_typed_errors() {
+        let full = term_bytes(&Term::iri("http://example.org/long-enough"));
+        for cut in 0..full.len() {
+            let err = decode_term_exact(&full[..cut], "test");
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+        // Unknown tag.
+        assert!(matches!(
+            decode_term_exact(&[9, 0, 0, 0, 0], "test"),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Non-UTF-8 payload.
+        let mut bad = vec![TAG_IRI];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            decode_term_exact(&bad, "test"),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Trailing garbage after a valid term.
+        let mut trailing = term_bytes(&Term::simple("x"));
+        trailing.push(0);
+        assert!(matches!(
+            decode_term_exact(&trailing, "test"),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

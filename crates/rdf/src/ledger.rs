@@ -20,7 +20,9 @@
 //! forked prefix by reference — forking copies nothing.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::disk::Segment;
 use crate::graph::{Graph, IdTriple};
 use crate::intern::TermId;
 use crate::stats::{GraphStats, PredicateStats};
@@ -230,6 +232,134 @@ impl Layer {
             .iter()
             .map(|&[s, p, o]| [TermId(s), TermId(p), TermId(o)])
     }
+
+    /// This layer's delta statistics.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// The spill dictionary in id order (term `i` has id
+    /// `term_base() + i`) — what the WAL persists per commit.
+    pub fn spill_terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The delta triples in SPO order as raw ids — what the WAL
+    /// persists per commit.
+    pub fn spo_raw(&self) -> &[[u32; 3]] {
+        &self.spo
+    }
+}
+
+// ---- BaseStore -------------------------------------------------------
+
+/// The epoch-0 graph of a ledger: either the in-memory [`Graph`] the
+/// engine materialized this process, or a memory-mapped [`Segment`]
+/// reopened from disk. Both expose identical dense id spaces and
+/// identical SPO-sorted scans, so every layer, view, and derivation
+/// record works unchanged over either arm.
+// One BaseStore exists per ledger (never in a collection), so the
+// Mem/Disk size disparity costs nothing; boxing the graph would add a
+// pointer chase to every hot-path scan dispatch instead.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum BaseStore {
+    Mem(Graph),
+    Disk(Arc<Segment>),
+}
+
+impl BaseStore {
+    pub fn len(&self) -> usize {
+        match self {
+            BaseStore::Mem(g) => g.len(),
+            BaseStore::Disk(s) => GraphView::len(&**s),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn term_count(&self) -> usize {
+        match self {
+            BaseStore::Mem(g) => g.term_count(),
+            BaseStore::Disk(s) => GraphView::term_count(&**s),
+        }
+    }
+
+    /// The maintained statistics (persisted ones, for a segment).
+    pub fn stats(&self) -> &GraphStats {
+        match self {
+            BaseStore::Mem(g) => g.stats(),
+            BaseStore::Disk(s) => s.stats(),
+        }
+    }
+
+    /// The in-memory graph, when this base is one.
+    pub fn as_graph(&self) -> Option<&Graph> {
+        match self {
+            BaseStore::Mem(g) => Some(g),
+            BaseStore::Disk(_) => None,
+        }
+    }
+
+    /// The mapped segment, when this base is one.
+    pub fn as_segment(&self) -> Option<&Arc<Segment>> {
+        match self {
+            BaseStore::Mem(_) => None,
+            BaseStore::Disk(s) => Some(s),
+        }
+    }
+}
+
+impl GraphView for BaseStore {
+    fn len(&self) -> usize {
+        BaseStore::len(self)
+    }
+    fn term_count(&self) -> usize {
+        BaseStore::term_count(self)
+    }
+    fn lookup(&self, term: &Term) -> Option<TermId> {
+        match self {
+            BaseStore::Mem(g) => g.lookup(term),
+            BaseStore::Disk(s) => GraphView::lookup(&**s, term),
+        }
+    }
+    fn term(&self, id: TermId) -> &Term {
+        match self {
+            BaseStore::Mem(g) => g.term(id),
+            BaseStore::Disk(s) => GraphView::term(&**s, id),
+        }
+    }
+    fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        match self {
+            BaseStore::Mem(g) => g.contains_ids(s, p, o),
+            BaseStore::Disk(seg) => GraphView::contains_ids(&**seg, s, p, o),
+        }
+    }
+    fn match_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<IdTriple> {
+        match self {
+            BaseStore::Mem(g) => g.match_pattern(s, p, o),
+            BaseStore::Disk(seg) => GraphView::match_pattern(&**seg, s, p, o),
+        }
+    }
+    fn predicate_stats(&self, p: TermId) -> PredicateStats {
+        self.stats().predicate(p)
+    }
+    fn class_instance_count(&self, class_id: TermId) -> u64 {
+        self.stats().class_instances(class_id)
+    }
+    fn iter_ids(&self) -> Box<dyn Iterator<Item = IdTriple> + '_> {
+        match self {
+            BaseStore::Mem(g) => Box::new(g.iter_ids()),
+            BaseStore::Disk(s) => GraphView::iter_ids(&**s),
+        }
+    }
 }
 
 // ---- Ledger ----------------------------------------------------------
@@ -240,7 +370,7 @@ impl Layer {
 /// any number of views can read the chain concurrently.
 #[derive(Debug)]
 pub struct Ledger {
-    base: Graph,
+    base: BaseStore,
     base_hash: u64,
     rdf_type: Option<TermId>,
     layers: Vec<std::sync::Arc<Layer>>,
@@ -249,9 +379,17 @@ pub struct Ledger {
 impl Ledger {
     /// Seals `base` as epoch 0 of a new chain.
     pub fn new(base: Graph) -> Ledger {
+        Ledger::from_base(BaseStore::Mem(base))
+    }
+
+    /// Seals any base store — in-memory or a reopened segment — as
+    /// epoch 0. The base hash depends only on content, so a ledger
+    /// rebuilt over a segment chains identically to the one whose
+    /// graph the segment was written from.
+    pub fn from_base(base: BaseStore) -> Ledger {
         let mut h = fnv_u64(FNV_OFFSET, base.term_count() as u64);
         h = fnv_u64(h, base.len() as u64);
-        for t in base.iter_ids() {
+        for t in GraphView::iter_ids(&base) {
             h = fnv_triple(h, t);
         }
         let rdf_type = base.lookup_iri(rdf::TYPE);
@@ -263,8 +401,8 @@ impl Ledger {
         }
     }
 
-    /// The epoch-0 graph.
-    pub fn base(&self) -> &Graph {
+    /// The epoch-0 store.
+    pub fn base(&self) -> &BaseStore {
         &self.base
     }
 
@@ -453,14 +591,14 @@ impl BranchChain {
 /// references only.
 #[derive(Debug, Clone)]
 pub struct LedgerView<'a> {
-    base: &'a Graph,
+    base: &'a BaseStore,
     layers: Vec<&'a Layer>,
     terms: usize,
     triples: usize,
 }
 
 impl<'a> LedgerView<'a> {
-    fn stack(base: &'a Graph, layers: impl Iterator<Item = &'a Layer>) -> LedgerView<'a> {
+    fn stack(base: &'a BaseStore, layers: impl Iterator<Item = &'a Layer>) -> LedgerView<'a> {
         let layers: Vec<&'a Layer> = layers.collect();
         let terms = base.term_count() + layers.iter().map(|l| l.term_len()).sum::<usize>();
         let triples = base.len() + layers.iter().map(|l| l.len()).sum::<usize>();
@@ -472,8 +610,8 @@ impl<'a> LedgerView<'a> {
         }
     }
 
-    /// The epoch-0 graph under this stack.
-    pub fn base_graph(&self) -> &'a Graph {
+    /// The epoch-0 store under this stack.
+    pub fn base_store(&self) -> &'a BaseStore {
         self.base
     }
 
@@ -599,7 +737,10 @@ mod tests {
         g
     }
 
-    fn commit_overlay(ledger: &mut Ledger, write: impl FnOnce(&mut Overlay<&Graph>)) -> EpochId {
+    fn commit_overlay(
+        ledger: &mut Ledger,
+        write: impl FnOnce(&mut Overlay<&BaseStore>),
+    ) -> EpochId {
         let mut ov = Overlay::new(ledger.base());
         // Stack the committed layers under the overlay by replaying: for
         // tests we only write fresh triples, so an overlay over the base

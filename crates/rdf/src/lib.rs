@@ -32,6 +32,7 @@
 //! assert_eq!(g.len(), 1);
 //! ```
 
+pub mod disk;
 pub mod governor;
 pub mod graph;
 pub mod intern;
@@ -44,10 +45,11 @@ pub mod turtle;
 pub mod view;
 pub mod vocab;
 
+pub use disk::{DiskStore, OpenOptions, OpenedStore, Segment, StoreError, WalRecord};
 pub use governor::{Budget, CancelFlag, Exhausted, Guard, Resource};
 pub use graph::{Graph, IdTriple};
 pub use intern::{Interner, TermId};
-pub use ledger::{BranchChain, EpochId, Layer, Ledger, LedgerView};
+pub use ledger::{BaseStore, BranchChain, EpochId, Layer, Ledger, LedgerView};
 pub use pool::Parallelism;
 pub use stats::{GraphStats, PredicateStats};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};
@@ -82,6 +84,9 @@ pub enum RdfError {
     Syntax(TurtleError),
     /// An execution budget tripped before parsing finished.
     Exhausted(Exhausted),
+    /// A persistent-store failure: I/O, corruption, or an incompatible
+    /// on-disk format version.
+    Store(StoreError),
 }
 
 impl fmt::Display for RdfError {
@@ -89,6 +94,7 @@ impl fmt::Display for RdfError {
         match self {
             RdfError::Syntax(e) => e.fmt(f),
             RdfError::Exhausted(e) => e.fmt(f),
+            RdfError::Store(e) => e.fmt(f),
         }
     }
 }
@@ -104,5 +110,11 @@ impl From<TurtleError> for RdfError {
 impl From<Exhausted> for RdfError {
     fn from(e: Exhausted) -> Self {
         RdfError::Exhausted(e)
+    }
+}
+
+impl From<StoreError> for RdfError {
+    fn from(e: StoreError) -> Self {
+        RdfError::Store(e)
     }
 }

@@ -169,6 +169,42 @@ impl GraphStats {
         self.total = 0;
     }
 
+    /// All per-predicate counters as `(raw id, counters)` pairs sorted
+    /// by id — the canonical order used by the on-disk segment format.
+    pub fn predicate_entries(&self) -> Vec<(u32, PredicateStats)> {
+        let mut v: Vec<(u32, PredicateStats)> =
+            self.predicates.iter().map(|(&p, &s)| (p, s)).collect();
+        v.sort_unstable_by_key(|&(p, _)| p);
+        v
+    }
+
+    /// All class-instance counters as `(raw id, count)` pairs sorted by
+    /// id — the canonical order used by the on-disk segment format.
+    pub fn class_entries(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.class_instances.iter().map(|(&c, &n)| (c, n)).collect();
+        v.sort_unstable_by_key(|&(c, _)| c);
+        v
+    }
+
+    /// Rebuilds a stats object from serialized counters — the inverse of
+    /// [`predicate_entries`](Self::predicate_entries) /
+    /// [`class_entries`](Self::class_entries) plus
+    /// [`rdf_type_id`](Self::rdf_type_id) and
+    /// [`total_triples`](Self::total_triples).
+    pub fn from_entries(
+        rdf_type: Option<TermId>,
+        total: u64,
+        predicates: Vec<(u32, PredicateStats)>,
+        class_instances: Vec<(u32, u64)>,
+    ) -> GraphStats {
+        GraphStats {
+            predicates: predicates.into_iter().collect(),
+            class_instances: class_instances.into_iter().collect(),
+            rdf_type,
+            total,
+        }
+    }
+
     /// Folds `other`'s counters into `self` (overlay reads: base stats
     /// plus delta stats). Distinct counts add, so a term present in
     /// both layers is double-counted — the result is an upper bound.

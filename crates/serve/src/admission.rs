@@ -95,6 +95,19 @@ struct Gate {
     inflight: usize,
     queued: usize,
     tenants: HashMap<String, Bucket>,
+    /// Per-tenant admitted/shed tallies, kept even when quotas are
+    /// disabled (the bucket map only exists with `tenant_rate > 0`).
+    counters: HashMap<String, TenantStats>,
+}
+
+/// Per-tenant admission counters served by `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests from this tenant that got an execution slot.
+    pub admitted: u64,
+    /// Requests turned away, for any reason (queue full, deadline,
+    /// quota, draining).
+    pub shed: u64,
 }
 
 /// Counter snapshot served by `/stats`.
@@ -111,6 +124,19 @@ pub struct AdmissionStats {
     /// EWMA of observed service time, microseconds (0 until the first
     /// request completes).
     pub ewma_service_micros: u64,
+}
+
+impl Gate {
+    fn tally_admitted(&mut self, tenant: &str) {
+        self.counters
+            .entry(tenant.to_string())
+            .or_default()
+            .admitted += 1;
+    }
+
+    fn tally_shed(&mut self, tenant: &str) {
+        self.counters.entry(tenant.to_string()).or_default().shed += 1;
+    }
 }
 
 /// The admission gate shared by every connection thread.
@@ -140,6 +166,7 @@ impl Admission {
                 inflight: 0,
                 queued: 0,
                 tenants: HashMap::new(),
+                counters: HashMap::new(),
             }),
             freed: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -164,11 +191,13 @@ impl Admission {
     /// later shed — quota measures offered load, not completed work.
     pub fn admit(&self, tenant: &str, deadline: Instant) -> Result<Permit<'_>, Shed> {
         if self.is_draining() {
+            self.lock().tally_shed(tenant);
             return Err(Shed::Draining);
         }
         let mut gate = self.lock();
         if self.cfg.tenant_rate > 0.0 && !self.take_token(&mut gate, tenant) {
             self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            gate.tally_shed(tenant);
             let wait = (1.0 / self.cfg.tenant_rate).ceil() as u64;
             return Err(Shed::OverQuota {
                 retry_after_secs: wait.max(1),
@@ -176,11 +205,13 @@ impl Admission {
         }
         if gate.inflight < self.cfg.max_inflight {
             gate.inflight += 1;
+            gate.tally_admitted(tenant);
             self.admitted.fetch_add(1, Ordering::Relaxed);
             return Ok(self.permit());
         }
         if gate.queued >= self.cfg.max_queue {
             self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            gate.tally_shed(tenant);
             return Err(Shed::QueueFull {
                 retry_after_secs: self.estimated_drain_secs(gate.queued),
             });
@@ -193,6 +224,7 @@ impl Admission {
         if let Some(expected_wait) = self.estimated_wait(gate.queued) {
             if expected_wait > remaining {
                 self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                gate.tally_shed(tenant);
                 return Err(Shed::Deadline {
                     retry_after_secs: self.estimated_drain_secs(gate.queued),
                 });
@@ -204,8 +236,10 @@ impl Admission {
             if now >= deadline {
                 gate.queued -= 1;
                 self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                gate.tally_shed(tenant);
+                let retry = self.estimated_drain_secs(gate.queued);
                 return Err(Shed::Deadline {
-                    retry_after_secs: self.estimated_drain_secs(gate.queued),
+                    retry_after_secs: retry,
                 });
             }
             let (guard, _timeout) = self
@@ -215,11 +249,13 @@ impl Admission {
             gate = guard;
             if self.is_draining() {
                 gate.queued -= 1;
+                gate.tally_shed(tenant);
                 return Err(Shed::Draining);
             }
             if gate.inflight < self.cfg.max_inflight {
                 gate.queued -= 1;
                 gate.inflight += 1;
+                gate.tally_admitted(tenant);
                 self.admitted.fetch_add(1, Ordering::Relaxed);
                 return Ok(self.permit());
             }
@@ -342,6 +378,20 @@ impl Admission {
             queued: gate.queued,
             ewma_service_micros: self.ewma_service_micros.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-tenant admitted/shed counters, sorted by tenant name for a
+    /// stable `/stats` rendering. Every tenant that ever knocked is
+    /// listed, whether or not quotas are enabled.
+    pub fn tenant_stats(&self) -> Vec<(String, TenantStats)> {
+        let gate = self.lock();
+        let mut out: Vec<(String, TenantStats)> = gate
+            .counters
+            .iter()
+            .map(|(name, stats)| (name.clone(), *stats))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 
@@ -467,6 +517,55 @@ mod tests {
         thread::sleep(Duration::from_millis(80));
         assert!(adm.admit("t1", far()).is_ok());
         assert_eq!(adm.stats().rejected_quota, 1);
+    }
+
+    #[test]
+    fn tenant_counters_split_admissions_and_sheds_by_tenant() {
+        let adm = Admission::new(AdmissionConfig {
+            max_inflight: 16,
+            max_queue: 16,
+            tenant_rate: 50.0,
+            tenant_burst: 2.0,
+        });
+        // t1: two admits, then a quota shed; t2: one admit.
+        let _p1 = adm.admit("t1", far()).expect("t1 #1");
+        let _p2 = adm.admit("t1", far()).expect("t1 #2");
+        assert!(adm.admit("t1", far()).is_err());
+        let _p3 = adm.admit("t2", far()).expect("t2 #1");
+        let tenants = adm.tenant_stats();
+        assert_eq!(
+            tenants,
+            vec![
+                (
+                    "t1".to_string(),
+                    TenantStats {
+                        admitted: 2,
+                        shed: 1
+                    }
+                ),
+                (
+                    "t2".to_string(),
+                    TenantStats {
+                        admitted: 1,
+                        shed: 0
+                    }
+                ),
+            ]
+        );
+        // Draining sheds are tallied per tenant too.
+        adm.begin_drain();
+        assert_eq!(adm.admit("t3", far()).err(), Some(Shed::Draining));
+        let tenants = adm.tenant_stats();
+        assert_eq!(
+            tenants[2],
+            (
+                "t3".to_string(),
+                TenantStats {
+                    admitted: 0,
+                    shed: 1
+                }
+            )
+        );
     }
 
     #[test]

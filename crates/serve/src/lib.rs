@@ -52,7 +52,7 @@ pub mod http;
 pub mod server;
 pub mod shutdown;
 
-pub use admission::{Admission, AdmissionConfig, AdmissionStats, Shed};
+pub use admission::{Admission, AdmissionConfig, AdmissionStats, Shed, TenantStats};
 pub use body::Json;
 pub use http::{Request, Response};
 pub use server::{DrainOutcome, ServeConfig, ServeError, Server, ServerHandle};

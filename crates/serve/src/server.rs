@@ -404,10 +404,18 @@ fn route(ctx: &Arc<Ctx>, request: &Request, conn: &Conn) -> Response {
             format!("{{\"status\":\"ok\",\"epoch\":{}}}", ctx.base.head().0),
         ),
         ("GET", "/ready") => {
+            // `store` reports how the base is backed: "disk" when a
+            // persistent store is attached (memory-mapped segment +
+            // WAL), "memory" for a freshly materialized engine.
+            let store = if ctx.base.store().is_some() {
+                "disk"
+            } else {
+                "memory"
+            };
             if ctx.admission.is_draining() {
                 Response::json(503, "{\"ready\":false,\"reason\":\"draining\"}")
             } else {
-                Response::json(200, "{\"ready\":true}")
+                Response::json(200, format!("{{\"ready\":true,\"store\":\"{store}\"}}"))
             }
         }
         ("GET", "/stats") => Response::json(200, stats_json(ctx)),
@@ -474,7 +482,7 @@ fn engine_error_response(error: &EngineError, sparql_is_client_fault: bool) -> R
         | EngineError::UnknownBranch(_)
         | EngineError::DuplicateBranch(_) => 422,
         EngineError::Sparql(_) if sparql_is_client_fault => 400,
-        EngineError::Sparql(_) | EngineError::Inconsistent(_) => 500,
+        EngineError::Sparql(_) | EngineError::Inconsistent(_) | EngineError::Store(_) => 500,
     };
     Response::json(
         status,
@@ -485,11 +493,26 @@ fn engine_error_response(error: &EngineError, sparql_is_client_fault: bool) -> R
     )
 }
 
-/// `/stats` body: admission counters, plan cache, ledger head.
+/// `/stats` body: admission counters (global and per-tenant), plan
+/// cache, ledger head.
 fn stats_json(ctx: &Ctx) -> String {
     let a = ctx.admission.stats();
+    let tenants = ctx
+        .admission
+        .tenant_stats()
+        .iter()
+        .map(|(name, t)| {
+            format!(
+                "{}:{{\"admitted\":{},\"shed\":{}}}",
+                json_string(name),
+                t.admitted,
+                t.shed
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        "{{\"admission\":{{\"admitted\":{},\"completed\":{},\"shed_queue_full\":{},\"shed_deadline\":{},\"rejected_quota\":{},\"cancelled_disconnects\":{},\"inflight\":{},\"queued\":{},\"ewma_service_micros\":{}}},\"plan_cache\":{},\"epoch\":{},\"draining\":{}}}",
+        "{{\"admission\":{{\"admitted\":{},\"completed\":{},\"shed_queue_full\":{},\"shed_deadline\":{},\"rejected_quota\":{},\"cancelled_disconnects\":{},\"inflight\":{},\"queued\":{},\"ewma_service_micros\":{},\"tenants\":{{{tenants}}}}},\"plan_cache\":{},\"epoch\":{},\"draining\":{}}}",
         a.admitted,
         a.completed,
         a.shed_queue_full,

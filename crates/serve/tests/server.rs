@@ -43,6 +43,74 @@ fn health_ready_stats_and_unknown_routes() {
 }
 
 #[test]
+fn stats_reports_per_tenant_admission_counters() {
+    let mut cfg = test_config();
+    // Quotas on, tiny burst: the third request from one tenant sheds.
+    cfg.admission = AdmissionConfig {
+        max_inflight: 4,
+        max_queue: 16,
+        tenant_rate: 0.5,
+        tenant_burst: 2.0,
+    };
+    let handle = spawn(cfg);
+    let addr = handle.addr();
+
+    let tenant = |name: &str, expect: u16| {
+        let (status, _, body) =
+            common::http(addr, "POST", "/explain", &[("x-feo-tenant", name)], WHY_EAT);
+        assert_eq!(status, expect, "tenant {name}: {body}");
+    };
+    tenant("alice", 200);
+    tenant("alice", 200);
+    tenant("alice", 429); // burst of 2 spent
+    tenant("bob", 200); // own bucket
+
+    let (status, _, body) = get(addr, "/stats");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains(r#""alice":{"admitted":2,"shed":1}"#),
+        "{body}"
+    );
+    assert!(body.contains(r#""bob":{"admitted":1,"shed":0}"#), "{body}");
+    // Global counters agree with the per-tenant split.
+    assert!(body.contains("\"admitted\":3"), "{body}");
+    assert!(body.contains("\"rejected_quota\":1"), "{body}");
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+#[test]
+fn ready_reports_store_backing_mode() {
+    // Memory-backed engine (the default fixture).
+    let handle = spawn(test_config());
+    let (status, _, body) = get(handle.addr(), "/ready");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"store\":\"memory\""), "{body}");
+    handle.shutdown_and_join().expect("clean shutdown");
+
+    // Disk-backed engine: save, reopen via mmap, serve.
+    use feo_foodkg::{curated, Season, SystemContext, UserProfile};
+    let dir = std::env::temp_dir().join(format!("feo-serve-ready-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let user = UserProfile::new("test-user");
+    let ctx = SystemContext::new(Season::Autumn);
+    let mut built =
+        feo_core::EngineBase::new(curated(), user.clone(), ctx.clone()).expect("consistent");
+    built.save_to(&dir).expect("save store");
+    let reopened = feo_core::EngineBase::open(&dir, curated(), user, ctx).expect("reopen store");
+    let handle = feo_serve::Server::spawn(std::sync::Arc::new(reopened), test_config())
+        .expect("bind ephemeral port");
+    let (status, _, body) = get(handle.addr(), "/ready");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"store\":\"disk\""), "{body}");
+    // The disk-backed engine answers the same explanation route.
+    let (status, _, body) = post(handle.addr(), "/explain", WHY_EAT);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("current season"), "{body}");
+    handle.shutdown_and_join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn explain_batch_complete_is_200() {
     let handle = spawn(test_config());
     let (status, _, body) = post(handle.addr(), "/explain", WHY_EAT);

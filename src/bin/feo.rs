@@ -13,6 +13,7 @@
 //! feo export [--raw]                            dump the graph as Turtle
 //! feo list                                      list recipes and ingredients
 //! feo serve [--port N] [serve flags]            run the HTTP explanation service
+//! feo compact --store <dir>                     fold the store's WAL into a new segment
 //!
 //! profile flags:
 //!   --likes A,B   --dislikes A,B   --allergies A,B   --diet D
@@ -26,6 +27,11 @@
 //!   --branch name=S  fork a branch at head and apply S (repeatable)
 //!   --from N         fork epoch for `branch create`
 //!   --apply S        hypothesis applied by `branch create` (repeatable)
+//!
+//! store flags (persistent dictionary-encoded store, `feo-rdf::disk`):
+//!   --store <dir>    open the engine from <dir> (memory-mapped, no
+//!                    re-materialization); first use writes the store.
+//!                    `--commit` epochs append to its WAL.
 //! ```
 
 use std::process::exit;
@@ -50,6 +56,7 @@ fn main() {
         "export" => cmd_export(rest),
         "list" => cmd_list(),
         "serve" => cmd_serve(rest),
+        "compact" => cmd_compact(rest),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -80,6 +87,7 @@ fn usage_and_exit() -> ! {
            feo serve [--port N | --addr H:P] [--max-inflight N] [--max-queue N]\n\
                      [--tenant-rate R --tenant-burst B] [--deadline-ms N]\n\
                      [--max-deadline-ms N] [--drain-ms N] [profile + ledger flags]\n\
+           feo compact --store <dir>\n\
          \n\
          PROFILE FLAGS:\n\
            --likes A,B --dislikes A,B --allergies A,B --diet D --goals G,H\n\
@@ -90,6 +98,12 @@ fn usage_and_exit() -> ! {
            --commit S committed as an epoch on the main chain (repeatable);\n\
            --as-of N answers at epoch N; --branch name=S forks a branch at\n\
            head and applies S; `branch diff` accepts branch names or 'main'.\n\
+         \n\
+         STORE FLAGS:\n\
+           --store <dir> opens `query`/`explain`/`history`/`serve` from a\n\
+           persistent dictionary-encoded store (memory-mapped segment +\n\
+           WAL; written on first use, no re-materialization afterwards).\n\
+           `feo compact --store <dir>` folds the WAL into a new segment.\n\
          \n\
          Identifiers are CamelCase local names from `feo list`\n\
          (e.g. ButternutSquashSoup, Broccoli, Vegetarian, HighFiberGoal)."
@@ -128,6 +142,7 @@ struct Opts {
     branches: Vec<(String, Hypothesis)>,
     from: Option<u64>,
     apply: Vec<(String, Hypothesis)>,
+    store: Option<std::path::PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -145,6 +160,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut branches: Vec<(String, Hypothesis)> = Vec::new();
     let mut from: Option<u64> = None;
     let mut apply: Vec<(String, Hypothesis)> = Vec::new();
+    let mut store: Option<std::path::PathBuf> = None;
     let mut positional = Vec::new();
     let mut i = 0;
     let list = |v: &str| -> Vec<String> {
@@ -238,6 +254,7 @@ fn parse_opts(args: &[String]) -> Opts {
                     exit(2);
                 }))
             }
+            "--store" => store = Some(std::path::PathBuf::from(value("--store"))),
             "--branch" => {
                 let v = value("--branch");
                 let Some((name, spec)) = v.split_once('=') else {
@@ -276,18 +293,44 @@ fn parse_opts(args: &[String]) -> Opts {
         branches,
         from,
         apply,
+        store,
     }
 }
 
 /// Builds an `EngineBase` over the curated KG and commits each
 /// `--commit` hypothesis as one epoch on the main chain, then forks
 /// each `--branch name=spec` at the head and applies its hypothesis.
+///
+/// With `--store <dir>`: an existing store is opened (memory-mapped
+/// segment + WAL replay — assembly and materialization are skipped);
+/// a missing one is bootstrapped by building the engine and saving it.
+/// Either way the store stays attached, so `--commit` epochs append to
+/// its WAL and survive into the next invocation.
 fn base_with_chain(opts: &Opts) -> EngineBase {
-    let mut base =
-        EngineBase::new(curated(), opts.user.clone(), opts.ctx.clone()).unwrap_or_else(|e| {
-            eprintln!("failed to build engine: {e}");
-            exit(1);
-        });
+    let mut base = match &opts.store {
+        Some(dir) if dir.join("MANIFEST").exists() => {
+            EngineBase::open(dir, curated(), opts.user.clone(), opts.ctx.clone()).unwrap_or_else(
+                |e| {
+                    eprintln!("failed to open store {}: {e}", dir.display());
+                    exit(1);
+                },
+            )
+        }
+        maybe_dir => {
+            let mut base = EngineBase::new(curated(), opts.user.clone(), opts.ctx.clone())
+                .unwrap_or_else(|e| {
+                    eprintln!("failed to build engine: {e}");
+                    exit(1);
+                });
+            if let Some(dir) = maybe_dir {
+                if let Err(e) = base.save_to(dir) {
+                    eprintln!("failed to write store {}: {e}", dir.display());
+                    exit(1);
+                }
+            }
+            base
+        }
+    };
     for (spec, hypothesis) in &opts.commits {
         let user = opts.user.clone();
         base.commit_with(spec, |overlay| apply_hypothesis(hypothesis, &user, overlay));
@@ -370,12 +413,29 @@ fn cmd_explain(args: &[String]) {
             exit(2);
         }
     };
-    if let Some(n) = opts.as_of {
-        let base = base_with_chain(&opts);
-        match base.explain_as_of(EpochId(n), &question, &ExplainOptions::default()) {
+    if opts.as_of.is_some() || opts.store.is_some() {
+        // Ledger path: answer over an epoch view of the (possibly
+        // store-backed) chain instead of the single-owner façade.
+        let mut base = base_with_chain(&opts);
+        if matches!(question, Question::WhatSteps { .. }) {
+            let kg = curated();
+            let coach = HealthCoach::new(&kg);
+            base = base.with_recommendations(coach.recommend(&opts.user, &opts.ctx, 50));
+        }
+        let n = opts.as_of.unwrap_or(base.head().0);
+        let eopts = ExplainOptions {
+            guard: None,
+            planner: opts.planner,
+            parallelism: opts.parallelism,
+        };
+        match base.explain_as_of(EpochId(n), &question, &eopts) {
             Ok(e) if opts.json => println!("{}", e.to_json()),
             Ok(e) => {
-                println!("Q: {} (as of epoch {n})", question.text());
+                if opts.as_of.is_some() {
+                    println!("Q: {} (as of epoch {n})", question.text());
+                } else {
+                    println!("Q: {}", question.text());
+                }
                 if !e.bindings.is_empty() {
                     println!("\n{}", e.bindings);
                 }
@@ -455,11 +515,22 @@ fn cmd_query(args: &[String]) {
     };
     // Prepend the standard prefixes so short queries work out of the box.
     let full = format!("{}{}", feo::ontology::ns::sparql_prologue(), sparql);
-    if let Some(n) = opts.as_of {
-        // Time travel: answer over the ledger view at epoch `n`, not the
-        // raw assembled graph.
+    if opts.as_of.is_some() || opts.store.is_some() {
+        // Ledger path: answer over the epoch view (time travel with
+        // --as-of, the store-backed head with --store), not the raw
+        // assembled graph.
         let base = base_with_chain(&opts);
-        match base.query_as_of(EpochId(n), &full) {
+        let epoch = EpochId(opts.as_of.unwrap_or(base.head().0));
+        let Some(mut session) = base.at_epoch(epoch) else {
+            eprintln!("unknown epoch: {} is past the ledger head", epoch.0);
+            exit(1);
+        };
+        let eopts = ExplainOptions {
+            guard: None,
+            planner: opts.planner,
+            parallelism: opts.parallelism,
+        };
+        match session.query_opts(&full, &eopts) {
             Ok(result) => print_query_result(result, opts.json),
             Err(e) => {
                 eprintln!("{e}");
@@ -752,6 +823,36 @@ fn cmd_serve(args: &[String]) {
             exit(1);
         }
     }
+}
+
+/// `feo compact --store <dir>` — open the store (replaying its WAL) and
+/// fold every committed layer into a fresh base segment with an empty
+/// WAL. The swap is atomic (MANIFEST rename), so a crash mid-compaction
+/// leaves the old segment/WAL pair intact.
+fn cmd_compact(args: &[String]) {
+    let opts = parse_opts(args);
+    let Some(dir) = &opts.store else {
+        eprintln!("compact needs --store <dir>");
+        exit(2);
+    };
+    let mut base = EngineBase::open(dir, curated(), opts.user.clone(), opts.ctx.clone())
+        .unwrap_or_else(|e| {
+            eprintln!("failed to open store {}: {e}", dir.display());
+            exit(1);
+        });
+    let folded = base.head().0;
+    if let Err(e) = base.compact() {
+        eprintln!("compact failed: {e}");
+        exit(1);
+    }
+    let index = base.store().map(|s| s.segment_index()).unwrap_or_default();
+    println!(
+        "compacted {} WAL epoch(s) into segment {:06} ({} triples, {} terms)",
+        folded,
+        index,
+        base.graph().len(),
+        base.graph().term_count()
+    );
 }
 
 fn cmd_list() {

@@ -83,6 +83,7 @@ impl From<RdfError> for FeoError {
         match e {
             RdfError::Syntax(e) => FeoError::Syntax(e),
             RdfError::Exhausted(e) => FeoError::Exhausted(e),
+            RdfError::Store(e) => FeoError::Engine(EngineError::Store(e)),
         }
     }
 }

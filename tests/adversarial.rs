@@ -42,6 +42,7 @@ fn malformed_turtle_yields_typed_positioned_errors() {
                 assert!(e.line >= 1 && e.column >= 1, "position for {doc:?}");
             }
             Err(RdfError::Exhausted(e)) => panic!("unlimited guard tripped: {e}"),
+            Err(RdfError::Store(e)) => panic!("parser surfaced a store error: {e}"),
             Ok(_) => panic!("malformed document parsed: {doc:?}"),
         }
     }
