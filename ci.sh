@@ -67,6 +67,18 @@ echo "== planner equivalence (bounded wall-clock)"
 # synthetic KGs, guarded or not.
 timeout 180 cargo test -q --offline --release --test plan_equivalence
 
+echo "== join equivalence (bounded wall-clock, both thread modes)"
+# Hash, sorted-merge, leapfrog, and nested joins (forced and
+# planner-chosen) must return byte-identical row-ordered tables on the
+# memory and mmap backends, overlays included, in both thread modes.
+FEO_THREADS=1 timeout 240 cargo test -q --offline --release --test join_equivalence
+FEO_THREADS=4 timeout 240 cargo test -q --offline --release --test join_equivalence
+
+echo "== join gain smoke (bounded wall-clock)"
+# The paired join-gain harness must run end to end; full numbers go to
+# BENCH_pr10.json, the smoke run just has to complete.
+timeout 240 cargo run -q --release --offline -p feo-bench --bin join_gain -- --smoke
+
 echo "== planner smoke (bounded wall-clock)"
 # The paired planner-gain harness must run end to end; full numbers go
 # to EXPERIMENTS.md, the smoke run just has to complete.

@@ -39,6 +39,24 @@ use feo_sparql::{parse_query, plan_query, Plan, SparqlError};
 /// Entries retained across all epochs before eviction kicks in.
 const MAX_ENTRIES: usize = 256;
 
+/// Lock stripes: a lookup hashes its query text to one of these
+/// independent shards, so concurrent sessions replaying *different*
+/// templates never serialize on one lock — not even on the write path,
+/// where a freshly planned entry previously blocked every reader of the
+/// single map while it was inserted.
+const STRIPES: usize = 16;
+
+/// FNV-1a over the query text picks the stripe: cheap, allocation-free,
+/// stable across runs, and spreads the engine's template set evenly.
+fn stripe_of(text: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % STRIPES as u64) as usize
+}
+
 /// The commit chain and epoch a cached plan was computed against.
 /// `chain` 0 is the main ledger chain; named branches get stable
 /// non-zero ids so their epochs never collide with main epochs of the
@@ -91,13 +109,15 @@ struct CachedPlan {
 /// [`crate::EngineBase`]. All operations take `&self`, so any number of
 /// concurrent sessions can share one cache through an `Arc`d base.
 ///
-/// Hits take only the read lock, so a batch of sessions replaying the
-/// same question templates in parallel never serialize on the hot path;
-/// the write lock is held just long enough to insert a freshly planned
-/// entry.
+/// The map is sharded into [`STRIPES`] independently locked stripes
+/// keyed by a hash of the query text: hits take only their stripe's
+/// read lock, and an insert's write lock stalls only lookups of texts
+/// that hash to the same stripe. The capacity bound applies per stripe
+/// (`MAX_ENTRIES / STRIPES`), so the global bound still holds while
+/// eviction decisions stay local to one lock.
 #[derive(Default)]
 pub(crate) struct PlanCache {
-    entries: RwLock<HashMap<(PlanKey, String), CachedPlan>>,
+    stripes: [RwLock<HashMap<(PlanKey, String), CachedPlan>>; STRIPES],
     head: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -119,11 +139,12 @@ impl PlanCache {
         key: PlanKey,
         view: G,
     ) -> Result<(Arc<Query>, Arc<Plan>), SparqlError> {
+        let stripe = &self.stripes[stripe_of(text)];
         {
             // A poisoned lock only means another thread panicked while
             // holding it; the map is still structurally sound, so keep
             // serving rather than propagate the panic.
-            let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+            let entries = stripe.read().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = entries.get(&(key, text.to_string())) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((Arc::clone(&hit.query), Arc::clone(&hit.plan)));
@@ -132,8 +153,8 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let query = Arc::new(parse_query(text)?);
         let plan = Arc::new(plan_query(&view, &query));
-        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
-        if entries.len() >= MAX_ENTRIES {
+        let mut entries = stripe.write().unwrap_or_else(|e| e.into_inner());
+        if entries.len() >= MAX_ENTRIES / STRIPES {
             Self::evict(&mut entries, self.head.load(Ordering::Acquire), key);
         }
         entries.insert(
@@ -146,10 +167,10 @@ impl PlanCache {
         Ok((query, plan))
     }
 
-    /// Drops the entries whose epoch lies furthest from the main-chain
-    /// head, sparing the key currently being inserted. Branch entries
-    /// compete on their epoch number like main-chain ones — the head
-    /// distance is a recency proxy either way.
+    /// Drops one stripe's entries whose epoch lies furthest from the
+    /// main-chain head, sparing the key currently being inserted.
+    /// Branch entries compete on their epoch number like main-chain
+    /// ones — the head distance is a recency proxy either way.
     fn evict(entries: &mut HashMap<(PlanKey, String), CachedPlan>, head: u64, inserting: PlanKey) {
         let victim = entries
             .keys()
@@ -172,7 +193,11 @@ impl PlanCache {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.read().unwrap_or_else(|e| e.into_inner()).len(),
+            entries: self
+                .stripes
+                .iter()
+                .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+                .sum(),
             epoch: self.head.load(Ordering::Acquire),
         }
     }

@@ -1219,6 +1219,7 @@ impl<'a> Session<'a> {
             planner: self.planner,
             parallelism: self.parallelism,
             explain: false,
+            force_join: None,
         };
         if self.planner == Planner::CostBased {
             if let Some(key) = self.cache_key {

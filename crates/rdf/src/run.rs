@@ -1,0 +1,438 @@
+//! Ordered-run cursors: sorted, seekable streams of the ids at the one
+//! free position of a doubly-ground triple pattern.
+//!
+//! A "run" is what a hexastore permutation already stores for free: the
+//! subjects of `(?v, p, o)` are the tail column of the `pos` index's
+//! `[p, o, *]` prefix, and the objects of `(s, p, ?v)` are the tail of
+//! the `spo` index's `[s, p, *]` prefix — ascending, duplicate-free,
+//! and binary-searchable in every backend (B-tree sets in memory,
+//! sorted slices in committed layers, mmap runs on disk). [`RunCursor`]
+//! exposes them behind `peek` / `advance` / `seek(≥ id)` so the SPARQL
+//! evaluator's leapfrog join can intersect k runs while skipping the
+//! gaps, instead of scanning and hashing each one.
+//!
+//! Layered views (an overlay over a ledger over a base) merge their
+//! per-layer runs with [`MergeRun`], which also reports which layer the
+//! current value came from ([`RunCursor::source`]). That source index
+//! follows the same base-then-delta order as `match_pattern`'s
+//! concatenated scans, which is what lets the leapfrog operator emit
+//! results in exactly the order the scan-based join paths produce.
+
+use std::collections::BTreeSet;
+
+use crate::intern::TermId;
+
+/// A doubly-ground triple pattern with one free position — the shapes
+/// whose match sets are materialized runs in some index permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSpec {
+    /// Subjects `?v` of `(?v, p, o)` — the `pos` `[p, o, *]` prefix.
+    Subjects { p: TermId, o: TermId },
+    /// Objects `?v` of `(s, p, ?v)` — the `spo` `[s, p, *]` prefix.
+    Objects { s: TermId, p: TermId },
+}
+
+/// A sorted, duplicate-free, seekable stream of term ids.
+///
+/// Invariant: successive `peek` values between `advance`s are strictly
+/// increasing. `seek(t)` positions the cursor at the first value `>= t`
+/// (a no-op when already there); seeking backward is not required to
+/// work and callers never do it.
+pub trait RunCursor {
+    /// The value at the cursor, or `None` when exhausted.
+    fn peek(&self) -> Option<TermId>;
+
+    /// Moves to the next (strictly greater) value.
+    fn advance(&mut self);
+
+    /// Positions at the first value `>= target`.
+    fn seek(&mut self, target: TermId);
+
+    /// Which flattened store layer produced the current `peek` value:
+    /// 0 for the base, increasing through deltas in the same order
+    /// `match_pattern` concatenates them. Sorting accepted values by
+    /// `(source, id)` therefore reproduces the concatenated scan order
+    /// of a layered view. Single-layer cursors always report 0.
+    fn source(&self) -> usize {
+        0
+    }
+
+    /// Number of flattened layers under this cursor (1 for leaves).
+    fn source_count(&self) -> usize {
+        1
+    }
+}
+
+/// Owned sorted-vector run: the materializing fallback for views with
+/// no native cursor, and the test workhorse.
+#[derive(Debug, Clone, Default)]
+pub struct VecRun {
+    vals: Vec<u32>,
+    at: usize,
+}
+
+impl VecRun {
+    /// Wraps an already ascending, duplicate-free id vector.
+    pub fn from_sorted(vals: Vec<u32>) -> VecRun {
+        debug_assert!(vals.windows(2).all(|w| w[0] < w[1]));
+        VecRun { vals, at: 0 }
+    }
+
+    /// Sorts and dedups arbitrary ids into a run.
+    pub fn from_unsorted(mut vals: Vec<u32>) -> VecRun {
+        vals.sort_unstable();
+        vals.dedup();
+        VecRun { vals, at: 0 }
+    }
+}
+
+impl RunCursor for VecRun {
+    fn peek(&self) -> Option<TermId> {
+        self.vals.get(self.at).map(|&v| TermId(v))
+    }
+
+    fn advance(&mut self) {
+        if self.at < self.vals.len() {
+            self.at += 1;
+        }
+    }
+
+    fn seek(&mut self, target: TermId) {
+        if self.peek().is_some_and(|v| v >= target) {
+            return;
+        }
+        // Gallop from the current position: leapfrog seeks are usually
+        // short hops, so doubling probes beat a full binary search.
+        let mut step = 1usize;
+        let mut lo = self.at;
+        while lo + step < self.vals.len() && self.vals[lo + step] < target.0 {
+            lo += step;
+            step *= 2;
+        }
+        let hi = (lo + step + 1).min(self.vals.len());
+        self.at = lo + self.vals[lo..hi].partition_point(|&v| v < target.0);
+    }
+}
+
+/// Owned run carrying an explicit per-value source tag: the
+/// materializing `ordered_run` fallback uses the original scan position
+/// as the tag so that re-sorting accepted values by `(source, id)`
+/// reproduces the view's `match_pattern` order exactly, whatever that
+/// order was.
+#[derive(Debug, Clone, Default)]
+pub struct PairRun {
+    /// `(source, id)` pairs sorted by ascending id (ids distinct).
+    pairs: Vec<(usize, u32)>,
+    at: usize,
+}
+
+impl PairRun {
+    /// `pairs` must be sorted by ascending id with distinct ids.
+    pub fn new(pairs: Vec<(usize, u32)>) -> PairRun {
+        debug_assert!(pairs.windows(2).all(|w| w[0].1 < w[1].1));
+        PairRun { pairs, at: 0 }
+    }
+}
+
+impl RunCursor for PairRun {
+    fn peek(&self) -> Option<TermId> {
+        self.pairs.get(self.at).map(|&(_, v)| TermId(v))
+    }
+
+    fn advance(&mut self) {
+        if self.at < self.pairs.len() {
+            self.at += 1;
+        }
+    }
+
+    fn seek(&mut self, target: TermId) {
+        if self.peek().is_some_and(|v| v >= target) {
+            return;
+        }
+        self.at += self.pairs[self.at..].partition_point(|&(_, v)| v < target.0);
+    }
+
+    fn source(&self) -> usize {
+        self.pairs.get(self.at).map(|&(s, _)| s).unwrap_or(0)
+    }
+
+    fn source_count(&self) -> usize {
+        self.pairs
+            .iter()
+            .map(|&(s, _)| s + 1)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+/// Borrowed run over a `[a, b, *]` prefix slice of a sorted permuted
+/// index (a committed layer's `pos`/`spo` vectors): values are the
+/// third column, ascending because the first two are fixed.
+#[derive(Debug, Clone)]
+pub struct SliceRun<'a> {
+    rows: &'a [[u32; 3]],
+    at: usize,
+}
+
+impl<'a> SliceRun<'a> {
+    /// `rows` must share one `[a, b]` prefix and be sorted (any `scan2`
+    /// style prefix sub-slice qualifies).
+    pub fn new(rows: &'a [[u32; 3]]) -> SliceRun<'a> {
+        debug_assert!(rows.windows(2).all(|w| w[0][2] < w[1][2]));
+        SliceRun { rows, at: 0 }
+    }
+}
+
+impl RunCursor for SliceRun<'_> {
+    fn peek(&self) -> Option<TermId> {
+        self.rows.get(self.at).map(|r| TermId(r[2]))
+    }
+
+    fn advance(&mut self) {
+        if self.at < self.rows.len() {
+            self.at += 1;
+        }
+    }
+
+    fn seek(&mut self, target: TermId) {
+        if self.peek().is_some_and(|v| v >= target) {
+            return;
+        }
+        let mut step = 1usize;
+        let mut lo = self.at;
+        while lo + step < self.rows.len() && self.rows[lo + step][2] < target.0 {
+            lo += step;
+            step *= 2;
+        }
+        let hi = (lo + step + 1).min(self.rows.len());
+        self.at = lo + self.rows[lo..hi].partition_point(|r| r[2] < target.0);
+    }
+}
+
+/// Run over a `[a, b, *]` prefix of a B-tree permuted index (the live
+/// in-memory `Graph` / overlay-delta indexes). Seeks re-enter the tree
+/// with a range query — O(log n) with no per-cursor materialization.
+#[derive(Debug, Clone)]
+pub struct BTreeRun<'a> {
+    set: &'a BTreeSet<[u32; 3]>,
+    a: u32,
+    b: u32,
+    cur: Option<u32>,
+}
+
+impl<'a> BTreeRun<'a> {
+    pub fn new(set: &'a BTreeSet<[u32; 3]>, a: u32, b: u32) -> BTreeRun<'a> {
+        let cur = set.range([a, b, 0]..=[a, b, u32::MAX]).next().map(|t| t[2]);
+        BTreeRun { set, a, b, cur }
+    }
+
+    fn from(&self, lo: u32) -> Option<u32> {
+        self.set
+            .range([self.a, self.b, lo]..=[self.a, self.b, u32::MAX])
+            .next()
+            .map(|t| t[2])
+    }
+}
+
+impl RunCursor for BTreeRun<'_> {
+    fn peek(&self) -> Option<TermId> {
+        self.cur.map(TermId)
+    }
+
+    fn advance(&mut self) {
+        self.cur = match self.cur {
+            Some(v) if v < u32::MAX => self.from(v + 1),
+            _ => None,
+        };
+    }
+
+    fn seek(&mut self, target: TermId) {
+        match self.cur {
+            Some(v) if v >= target.0 => {}
+            Some(_) => self.cur = self.from(target.0),
+            None => {}
+        }
+    }
+}
+
+/// K-way merge of per-layer runs with duplicate collapsing — the
+/// cursor of a stacked view (overlay over base, ledger stack).
+///
+/// Well-formed stacks never hold the same triple in two layers
+/// (overlay inserts check the base first; committed layers inherit
+/// that), so collapsing is defensive. `source` reports the flattened
+/// layer index of the part holding the current minimum; nested merges
+/// flatten (a part that is itself a merge occupies a contiguous block
+/// of source indices), matching nested `match_pattern` concatenation.
+pub struct MergeRun<'a> {
+    parts: Vec<Box<dyn RunCursor + 'a>>,
+    /// Flattened source-index offset of each part.
+    offsets: Vec<usize>,
+    total_sources: usize,
+}
+
+impl<'a> MergeRun<'a> {
+    pub fn new(parts: Vec<Box<dyn RunCursor + 'a>>) -> MergeRun<'a> {
+        let mut offsets = Vec::with_capacity(parts.len());
+        let mut total = 0usize;
+        for p in &parts {
+            offsets.push(total);
+            total += p.source_count();
+        }
+        MergeRun {
+            parts,
+            offsets,
+            total_sources: total,
+        }
+    }
+
+    /// Index of the part holding the minimum, if any part is live. The
+    /// earliest part wins ties so `source` stays deterministic.
+    fn min_part(&self) -> Option<usize> {
+        let mut best: Option<(TermId, usize)> = None;
+        for (i, p) in self.parts.iter().enumerate() {
+            if let Some(v) = p.peek() {
+                if best.is_none_or(|(bv, _)| v < bv) {
+                    best = Some((v, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+}
+
+impl RunCursor for MergeRun<'_> {
+    fn peek(&self) -> Option<TermId> {
+        self.parts.iter().filter_map(|p| p.peek()).min()
+    }
+
+    fn advance(&mut self) {
+        let Some(cur) = self.peek() else { return };
+        // Advance every part sitting on the minimum: duplicates across
+        // layers collapse to one value.
+        for p in &mut self.parts {
+            if p.peek() == Some(cur) {
+                p.advance();
+            }
+        }
+    }
+
+    fn seek(&mut self, target: TermId) {
+        for p in &mut self.parts {
+            p.seek(target);
+        }
+    }
+
+    fn source(&self) -> usize {
+        match self.min_part() {
+            Some(i) => self.offsets[i] + self.parts[i].source(),
+            None => 0,
+        }
+    }
+
+    fn source_count(&self) -> usize {
+        self.total_sources
+    }
+}
+
+/// Drains a cursor into `(source, id)` pairs — test/debug helper.
+pub fn drain_run(mut c: Box<dyn RunCursor + '_>) -> Vec<(usize, u32)> {
+    let mut out = Vec::new();
+    while let Some(v) = c.peek() {
+        out.push((c.source(), v.0));
+        c.advance();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(c: &mut dyn RunCursor) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Some(v) = c.peek() {
+            out.push(v.0);
+            c.advance();
+        }
+        out
+    }
+
+    #[test]
+    fn vec_run_seek_lands_on_first_geq() {
+        let mut r = VecRun::from_sorted(vec![2, 5, 9, 40, 41, 100]);
+        r.seek(TermId(6));
+        assert_eq!(r.peek(), Some(TermId(9)));
+        r.seek(TermId(9));
+        assert_eq!(r.peek(), Some(TermId(9)), "seek to current is a no-op");
+        r.seek(TermId(42));
+        assert_eq!(r.peek(), Some(TermId(100)));
+        r.seek(TermId(101));
+        assert_eq!(r.peek(), None);
+    }
+
+    #[test]
+    fn vec_run_from_unsorted_dedups() {
+        let mut r = VecRun::from_unsorted(vec![7, 3, 7, 1]);
+        assert_eq!(vals(&mut r), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn slice_run_reads_third_column() {
+        let rows = [[4, 9, 2], [4, 9, 5], [4, 9, 11]];
+        let mut r = SliceRun::new(&rows);
+        r.seek(TermId(3));
+        assert_eq!(r.peek(), Some(TermId(5)));
+        assert_eq!(vals(&mut r), vec![5, 11]);
+    }
+
+    #[test]
+    fn btree_run_scopes_to_prefix() {
+        let mut set = BTreeSet::new();
+        set.insert([1, 2, 10]);
+        set.insert([1, 2, 20]);
+        set.insert([1, 3, 15]); // different prefix, invisible
+        set.insert([1, 2, 30]);
+        let mut r = BTreeRun::new(&set, 1, 2);
+        assert_eq!(r.peek(), Some(TermId(10)));
+        r.seek(TermId(11));
+        assert_eq!(vals(&mut r), vec![20, 30]);
+    }
+
+    #[test]
+    fn merge_run_interleaves_and_tags_sources() {
+        let a = VecRun::from_sorted(vec![1, 5, 9]);
+        let b = VecRun::from_sorted(vec![2, 5, 10]);
+        let m = MergeRun::new(vec![Box::new(a), Box::new(b)]);
+        assert_eq!(m.source_count(), 2);
+        let drained = drain_run(Box::new(m));
+        // 5 appears in both layers: collapsed once, attributed to the
+        // earliest layer.
+        assert_eq!(drained, vec![(0, 1), (1, 2), (0, 5), (0, 9), (1, 10)]);
+    }
+
+    #[test]
+    fn nested_merge_flattens_source_indexes() {
+        let inner = MergeRun::new(vec![
+            Box::new(VecRun::from_sorted(vec![1])) as Box<dyn RunCursor>,
+            Box::new(VecRun::from_sorted(vec![4])),
+        ]);
+        let outer = MergeRun::new(vec![
+            Box::new(inner) as Box<dyn RunCursor>,
+            Box::new(VecRun::from_sorted(vec![2])),
+        ]);
+        assert_eq!(outer.source_count(), 3);
+        assert_eq!(drain_run(Box::new(outer)), vec![(0, 1), (2, 2), (1, 4)]);
+    }
+
+    #[test]
+    fn merge_run_seek_moves_all_parts() {
+        let a = VecRun::from_sorted(vec![1, 50]);
+        let b = VecRun::from_sorted(vec![2, 60]);
+        let mut m = MergeRun::new(vec![Box::new(a) as Box<dyn RunCursor>, Box::new(b)]);
+        m.seek(TermId(10));
+        assert_eq!(m.peek(), Some(TermId(50)));
+        assert_eq!(m.source(), 0);
+    }
+}

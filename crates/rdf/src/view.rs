@@ -16,6 +16,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use crate::graph::{Graph, IdTriple};
 use crate::intern::TermId;
+use crate::run::{BTreeRun, MergeRun, PairRun, RunCursor, RunSpec};
 use crate::stats::{GraphStats, PredicateStats};
 use crate::term::{Iri, Term, Triple};
 use crate::vocab::rdf;
@@ -130,19 +131,54 @@ pub trait GraphView {
         }
     }
 
+    /// Incrementally-maintained whole-view counters, when this view
+    /// keeps them. Flat stores ([`Graph`], disk segments, ledger bases)
+    /// return theirs; layered views return `None` and instead override
+    /// the derived methods to sum per-layer stats.
+    fn maintained_stats(&self) -> Option<&GraphStats> {
+        None
+    }
+
     /// Distribution counters for one predicate, used by the SPARQL
-    /// planner's selectivity estimates. The default implementation
-    /// scans; [`Graph`] and [`Overlay`] answer in O(1) from
-    /// incrementally-maintained [`GraphStats`].
+    /// planner's selectivity estimates. Answered in O(1) from
+    /// [`Self::maintained_stats`] when available; the scanning fallback
+    /// only runs for views with no maintained counters.
     fn predicate_stats(&self, p: TermId) -> PredicateStats {
-        scan_predicate_stats(self, p)
+        match self.maintained_stats() {
+            Some(st) => st.predicate(p),
+            None => scan_predicate_stats(self, p),
+        }
     }
 
     /// Number of `rdf:type` triples whose object is `class_id` — the
-    /// exact cardinality of a `?x rdf:type <C>` pattern. O(1) on
-    /// [`Graph`] and [`Overlay`].
+    /// exact cardinality of a `?x rdf:type <C>` pattern. O(1) wherever
+    /// [`Self::maintained_stats`] answers.
     fn class_instance_count(&self, class_id: TermId) -> u64 {
-        self.instances_of(class_id).len() as u64
+        match self.maintained_stats() {
+            Some(st) => st.class_instances(class_id),
+            None => self.instances_of(class_id).len() as u64,
+        }
+    }
+
+    /// Sorted, seekable cursor over the ids at the free position of
+    /// `spec` (see [`RunSpec`]). Backends with native sorted runs
+    /// (B-tree permutations, committed-layer vectors, mmap segment
+    /// runs) stream them zero-copy; the default materializes the
+    /// matching scan once, tagging each id with its scan position so
+    /// `(source, id)` ordering still reproduces `match_pattern` order.
+    fn ordered_run(&self, spec: RunSpec) -> Box<dyn RunCursor + '_> {
+        let (scan, col) = match spec {
+            RunSpec::Subjects { p, o } => (self.match_pattern(None, Some(p), Some(o)), 0),
+            RunSpec::Objects { s, p } => (self.match_pattern(Some(s), Some(p), None), 2),
+        };
+        let mut pairs: Vec<(usize, u32)> = scan
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t[col].0))
+            .collect();
+        pairs.sort_by_key(|&(i, v)| (v, i));
+        pairs.dedup_by_key(|&mut (_, v)| v);
+        Box::new(PairRun::new(pairs))
     }
 
     /// Iterates all triples as interned ids.
@@ -274,11 +310,11 @@ impl GraphView for Graph {
     ) -> Vec<IdTriple> {
         Graph::match_pattern(self, s, p, o)
     }
-    fn predicate_stats(&self, p: TermId) -> PredicateStats {
-        Graph::stats(self).predicate(p)
+    fn maintained_stats(&self) -> Option<&GraphStats> {
+        Some(Graph::stats(self))
     }
-    fn class_instance_count(&self, class_id: TermId) -> u64 {
-        Graph::stats(self).class_instances(class_id)
+    fn ordered_run(&self, spec: RunSpec) -> Box<dyn RunCursor + '_> {
+        Box::new(Graph::index_run(self, spec))
     }
     fn iter_ids(&self) -> Box<dyn Iterator<Item = IdTriple> + '_> {
         Box::new(Graph::iter_ids(self))
@@ -327,11 +363,17 @@ macro_rules! deref_graph_view {
             ) -> Vec<IdTriple> {
                 (**self).match_pattern(s, p, o)
             }
+            fn maintained_stats(&self) -> Option<&GraphStats> {
+                (**self).maintained_stats()
+            }
             fn predicate_stats(&self, p: TermId) -> PredicateStats {
                 (**self).predicate_stats(p)
             }
             fn class_instance_count(&self, class_id: TermId) -> u64 {
                 (**self).class_instance_count(class_id)
+            }
+            fn ordered_run(&self, spec: RunSpec) -> Box<dyn RunCursor + '_> {
+                (**self).ordered_run(spec)
             }
             fn iter_ids(&self) -> Box<dyn Iterator<Item = IdTriple> + '_> {
                 (**self).iter_ids()
@@ -567,6 +609,19 @@ impl<B: GraphView> GraphView for Overlay<B> {
 
     fn class_instance_count(&self, class_id: TermId) -> u64 {
         self.base.class_instance_count(class_id) + self.delta_stats.class_instances(class_id)
+    }
+
+    fn ordered_run(&self, spec: RunSpec) -> Box<dyn RunCursor + '_> {
+        if self.spo.is_empty() {
+            return self.base.ordered_run(spec);
+        }
+        // Delta after base: MergeRun's flattened source order matches
+        // `match_pattern`'s base-then-delta concatenation.
+        let delta: Box<dyn RunCursor + '_> = match spec {
+            RunSpec::Subjects { p, o } => Box::new(BTreeRun::new(&self.pos, p.0, o.0)),
+            RunSpec::Objects { s, p } => Box::new(BTreeRun::new(&self.spo, s.0, p.0)),
+        };
+        Box::new(MergeRun::new(vec![self.base.ordered_run(spec), delta]))
     }
 
     fn iter_ids(&self) -> Box<dyn Iterator<Item = IdTriple> + '_> {

@@ -494,9 +494,10 @@ fn engine_error_response(error: &EngineError, sparql_is_client_fault: bool) -> R
 }
 
 /// `/stats` body: admission counters (global and per-tenant), plan
-/// cache, ledger head.
+/// cache, cumulative join-operator counters, ledger head.
 fn stats_json(ctx: &Ctx) -> String {
     let a = ctx.admission.stats();
+    let j = feo_sparql::join_counters();
     let tenants = ctx
         .admission
         .tenant_stats()
@@ -512,7 +513,7 @@ fn stats_json(ctx: &Ctx) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"admission\":{{\"admitted\":{},\"completed\":{},\"shed_queue_full\":{},\"shed_deadline\":{},\"rejected_quota\":{},\"cancelled_disconnects\":{},\"inflight\":{},\"queued\":{},\"ewma_service_micros\":{},\"tenants\":{{{tenants}}}}},\"plan_cache\":{},\"epoch\":{},\"draining\":{}}}",
+        "{{\"admission\":{{\"admitted\":{},\"completed\":{},\"shed_queue_full\":{},\"shed_deadline\":{},\"rejected_quota\":{},\"cancelled_disconnects\":{},\"inflight\":{},\"queued\":{},\"ewma_service_micros\":{},\"tenants\":{{{tenants}}}}},\"plan_cache\":{},\"joins\":{{\"nested\":{},\"hash\":{},\"merge\":{},\"leapfrog\":{}}},\"epoch\":{},\"draining\":{}}}",
         a.admitted,
         a.completed,
         a.shed_queue_full,
@@ -523,6 +524,10 @@ fn stats_json(ctx: &Ctx) -> String {
         a.queued,
         a.ewma_service_micros,
         ctx.base.plan_cache_stats().to_json(),
+        j.nested,
+        j.hash,
+        j.merge,
+        j.leapfrog,
         ctx.base.head().0,
         ctx.admission.is_draining(),
     )

@@ -16,18 +16,19 @@
 
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use feo_rdf::governor::{Exhausted, Guard};
 use feo_rdf::pool::map_chunks;
 use feo_rdf::vocab::xsd;
-use feo_rdf::{Graph, GraphStore, GraphView, Overlay, Term, TermId, Triple};
+use feo_rdf::{Graph, GraphStore, GraphView, Overlay, RunCursor, RunSpec, Term, TermId, Triple};
 
 use crate::ast::*;
 use crate::error::{Result, SparqlError};
 use crate::parser::parse_query;
 use crate::plan::{
-    plan_query, BgpPlan, ElementPlan, GroupPlan, Plan, Planner, QueryOptions, HASH_JOIN_MIN_INPUT,
-    PARALLEL_MIN_INPUT,
+    plan_query, BgpPlan, ElementPlan, GroupPlan, JoinAlgo, Plan, Planner, QueryOptions,
+    HASH_JOIN_MIN_INPUT, PARALLEL_MIN_INPUT,
 };
 use crate::results::{QueryResult, SolutionTable};
 use crate::value::{
@@ -37,6 +38,36 @@ use crate::value::{
 
 /// One solution: a slot per registered variable.
 type Binding = Vec<Option<TermId>>;
+
+// Process-wide join-operator invocation counters, one per physical
+// algorithm. Bumped once per operator execution (not per row) with
+// relaxed ordering — they feed the service's `/stats` endpoint and the
+// benchmarks' sanity checks, never synchronization.
+static NESTED_JOINS: AtomicU64 = AtomicU64::new(0);
+static HASH_JOINS: AtomicU64 = AtomicU64::new(0);
+static MERGE_JOINS: AtomicU64 = AtomicU64::new(0);
+static LEAPFROG_JOINS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the cumulative per-algorithm join-operator counts for
+/// this process (sequential and parallel variants count together; a
+/// fused leapfrog group counts once however many patterns it covers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinCounters {
+    pub nested: u64,
+    pub hash: u64,
+    pub merge: u64,
+    pub leapfrog: u64,
+}
+
+/// Reads the process-wide join counters (see [`JoinCounters`]).
+pub fn join_counters() -> JoinCounters {
+    JoinCounters {
+        nested: NESTED_JOINS.load(Ordering::Relaxed),
+        hash: HASH_JOINS.load(Ordering::Relaxed),
+        merge: MERGE_JOINS.load(Ordering::Relaxed),
+        leapfrog: LEAPFROG_JOINS.load(Ordering::Relaxed),
+    }
+}
 
 /// Evaluator tuning knobs for the deprecated `*_with` entry points.
 #[deprecated(note = "use `QueryOptions { planner, .. }` with `query` / `execute`")]
@@ -205,6 +236,7 @@ fn execute_inner<G: GraphView + Sync>(
         g: Overlay::new(graph),
         vars,
         planner: opts.planner,
+        force: opts.force_join,
         guard: opts.guard,
         tripped: Cell::new(None),
         workers: opts.parallelism.workers(),
@@ -391,6 +423,10 @@ struct Ctx<'a, G: GraphView> {
     /// Fallback BGP strategy when no plan step applies (plan shape
     /// mismatch, EXISTS subgroups, the non-cost-based planners).
     planner: Planner,
+    /// Join-algorithm override from [`QueryOptions::force_join`]: swaps
+    /// the physical operator per planned step without touching join
+    /// order (results are byte-identical under every algorithm).
+    force: Option<JoinAlgo>,
     /// Execution governor; `None` runs unguarded.
     guard: Option<&'a Guard>,
     /// Trip recorded from `&self` evaluation paths (property-path
@@ -623,33 +659,88 @@ impl<'a, G: GraphView + Sync> Ctx<'a, G> {
         input: Vec<Binding>,
         plan: Option<&BgpPlan>,
     ) -> Result<Vec<Binding>> {
-        // Planned path: execute the precomputed order, with each step's
-        // hash-join decision. A malformed plan (wrong length, index out
-        // of range, duplicate steps) falls through to the row-time
-        // strategies below.
+        // Planned path: execute the precomputed order with each step's
+        // join-algorithm choice. Consecutive steps sharing a star-group
+        // id run as one fused leapfrog intersection; `force_join` swaps
+        // operators without touching order. A malformed plan (wrong
+        // length, index out of range, duplicate steps) falls through to
+        // the row-time strategies below.
         if let Some(bp) = plan {
             if bgp_plan_matches(bp, patterns.len()) {
                 let mut rows = input;
-                for step in &bp.steps {
-                    let tp = &patterns[step.pattern];
+                let mut i = 0;
+                while i < bp.steps.len() {
+                    let step = &bp.steps[i];
                     // Planner-marked parallel steps fan out only when a
                     // pool is configured and the input side is wide
                     // enough to amortize worker startup.
                     let par = self.workers > 1 && step.parallel && rows.len() >= PARALLEL_MIN_INPUT;
-                    rows = if step.hash_join && rows.len() >= HASH_JOIN_MIN_INPUT {
-                        if par {
-                            self.match_triple_pattern_hash_par(tp, rows)?
-                        } else {
-                            self.match_triple_pattern_hash(tp, rows)?
+                    if let Some(gid) = step.star {
+                        let mut j = i + 1;
+                        while j < bp.steps.len() && bp.steps[j].star == Some(gid) {
+                            j += 1;
                         }
-                    } else if par {
-                        self.match_triple_pattern_par(tp, rows)?
-                    } else {
-                        self.match_triple_pattern(tp, rows)?
+                        // A forced non-leapfrog algorithm splits the
+                        // group into its members; each then executes
+                        // below under the forced operator.
+                        if j - i >= 2 && matches!(self.force, None | Some(JoinAlgo::Leapfrog)) {
+                            let members: Vec<&TriplePattern> = bp.steps[i..j]
+                                .iter()
+                                .map(|s| &patterns[s.pattern])
+                                .collect();
+                            rows = self.match_star_leapfrog(&members, rows, par)?;
+                            if rows.is_empty() {
+                                break;
+                            }
+                            i = j;
+                            continue;
+                        }
+                    }
+                    let tp = &patterns[step.pattern];
+                    // Forcing an algorithm bypasses the input-width gate
+                    // so differential tests exercise the operator on any
+                    // row count; the planner's own choices keep it.
+                    let (algo, forced) = match self.force {
+                        None | Some(JoinAlgo::Leapfrog) => {
+                            // A star member reaching here has no group
+                            // to intersect with; nested is the per-step
+                            // equivalent.
+                            let a = match step.algo {
+                                JoinAlgo::Leapfrog => JoinAlgo::Nested,
+                                a => a,
+                            };
+                            (a, false)
+                        }
+                        Some(a) => (a, true),
+                    };
+                    let wide = forced || rows.len() >= HASH_JOIN_MIN_INPUT;
+                    rows = match algo {
+                        JoinAlgo::Hash if wide => {
+                            if par {
+                                self.match_triple_pattern_hash_par(tp, rows)?
+                            } else {
+                                self.match_triple_pattern_hash(tp, rows)?
+                            }
+                        }
+                        JoinAlgo::Merge if wide => {
+                            if par {
+                                self.match_triple_pattern_merge_par(tp, rows)?
+                            } else {
+                                self.match_triple_pattern_merge(tp, rows)?
+                            }
+                        }
+                        _ => {
+                            if par {
+                                self.match_triple_pattern_par(tp, rows)?
+                            } else {
+                                self.match_triple_pattern(tp, rows)?
+                            }
+                        }
                     };
                     if rows.is_empty() {
                         break;
                     }
+                    i += 1;
                 }
                 return Ok(rows);
             }
@@ -764,6 +855,7 @@ impl<'a, G: GraphView + Sync> Ctx<'a, G> {
         tp: &TriplePattern,
         rows: Vec<Binding>,
     ) -> Result<Vec<Binding>> {
+        NESTED_JOINS.fetch_add(1, Ordering::Relaxed);
         let mut uncharged: usize = 0;
         let mut out = Vec::new();
         for b in rows {
@@ -844,6 +936,7 @@ impl<'a, G: GraphView + Sync> Ctx<'a, G> {
             // Planner only marks plain predicates; stay correct anyway.
             return self.match_triple_pattern(tp, rows);
         };
+        HASH_JOINS.fetch_add(1, Ordering::Relaxed);
         let Some(p_id) = self.g.lookup_iri(p) else {
             // Unknown predicate: every row finds nothing.
             return Ok(Vec::new());
@@ -917,6 +1010,254 @@ impl<'a, G: GraphView + Sync> Ctx<'a, G> {
         Ok(out)
     }
 
+    /// Sorted-merge variant of [`Self::match_triple_pattern_hash`]: the
+    /// planner marks joins whose one-predicate scan arrives already
+    /// ordered on the join column (`pos` scans sort by object, per-
+    /// subject `spo` scans by object, per-object scans by subject), so
+    /// instead of hashing the scan this operator binary-searches a
+    /// sorted key directory built in one linear pass. Layered views
+    /// concatenate per-layer sorted ranges; a linear sortedness check
+    /// catches that case and one stable sort by key restores the
+    /// directory invariant while keeping per-key hits in scan order —
+    /// the exact hit sequence the hash path's index map yields, so
+    /// results stay byte-identical. Rows whose boundness does not match
+    /// the key column (OPTIONAL / UNION mixtures) fall back to the same
+    /// lazily built hash index the hash operator uses.
+    fn match_triple_pattern_merge(
+        &mut self,
+        tp: &TriplePattern,
+        rows: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
+        let Path::Iri(p) = &tp.path else {
+            // Planner only marks plain predicates; stay correct anyway.
+            return self.match_triple_pattern(tp, rows);
+        };
+        MERGE_JOINS.fetch_add(1, Ordering::Relaxed);
+        let Some(p_id) = self.g.lookup_iri(p) else {
+            // Unknown predicate: every row finds nothing.
+            return Ok(Vec::new());
+        };
+        let s_slot = self.term_slot(&tp.subject);
+        let o_slot = self.term_slot(&tp.object);
+        let s_ground = match &tp.subject {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let o_ground = match &tp.object {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let scan: Vec<[TermId; 3]> = self.g.match_pattern(s_ground, Some(p_id), o_ground);
+        let key_col = merge_key_col(s_ground, o_ground);
+        let dir = KeyDirectory::build(&scan, key_col);
+        let mut fallback: Option<HashMap<TermId, Vec<usize>>> = None;
+        let mut out = Vec::new();
+        let mut uncharged: usize = 0;
+        for b in rows {
+            let produced_before = out.len();
+            let s_val = s_slot.and_then(|slot| b[slot]);
+            let o_val = o_slot.and_then(|slot| b[slot]);
+            match (s_val, o_val) {
+                (Some(sv), Some(ov)) => {
+                    let (kv, other_col, other_v) = if key_col == 0 {
+                        (sv, 2, ov)
+                    } else {
+                        (ov, 0, sv)
+                    };
+                    if dir.hits(kv).iter().any(|&i| scan[i][other_col] == other_v) {
+                        out.push(b);
+                    }
+                }
+                (Some(sv), None) if key_col == 0 => {
+                    for &i in dir.hits(sv) {
+                        let mut nb = b.clone();
+                        if bind(&mut nb, o_slot, scan[i][2]) {
+                            out.push(nb);
+                        }
+                    }
+                }
+                (None, Some(ov)) if key_col == 2 => {
+                    for &i in dir.hits(ov) {
+                        let mut nb = b.clone();
+                        if bind(&mut nb, s_slot, scan[i][0]) {
+                            out.push(nb);
+                        }
+                    }
+                }
+                (Some(sv), None) => {
+                    let map = fallback.get_or_insert_with(|| index_scan(&scan, 0));
+                    if let Some(hits) = map.get(&sv) {
+                        for &i in hits {
+                            let mut nb = b.clone();
+                            if bind(&mut nb, o_slot, scan[i][2]) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                }
+                (None, Some(ov)) => {
+                    let map = fallback.get_or_insert_with(|| index_scan(&scan, 2));
+                    if let Some(hits) = map.get(&ov) {
+                        for &i in hits {
+                            let mut nb = b.clone();
+                            if bind(&mut nb, s_slot, scan[i][0]) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                }
+                (None, None) => {
+                    for t in &scan {
+                        let mut nb = b.clone();
+                        if bind(&mut nb, s_slot, t[0]) && bind(&mut nb, o_slot, t[2]) {
+                            out.push(nb);
+                        }
+                    }
+                }
+            }
+            uncharged += out.len() - produced_before;
+            if uncharged >= CHARGE_BATCH {
+                self.charge_solutions(uncharged)?;
+                uncharged = 0;
+            }
+        }
+        self.charge_solutions(uncharged)?;
+        Ok(out)
+    }
+
+    /// Parallel dual of [`Self::match_triple_pattern_merge`]: the key
+    /// directory is built once up front (it is a shared read-only
+    /// structure like the hash path's shards), rows probe it in
+    /// contiguous chunks, and chunk outputs concatenate in pinned input
+    /// order — the solution sequence matches the sequential merge for
+    /// every worker count. Off-key fallback rows are detected in one
+    /// boundness pass so the fallback hash shards exist before workers
+    /// start.
+    fn match_triple_pattern_merge_par(
+        &mut self,
+        tp: &TriplePattern,
+        rows: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
+        let Path::Iri(p) = &tp.path else {
+            // Planner only marks plain predicates; stay correct anyway.
+            return self.match_triple_pattern(tp, rows);
+        };
+        MERGE_JOINS.fetch_add(1, Ordering::Relaxed);
+        let Some(p_id) = self.g.lookup_iri(p) else {
+            // Unknown predicate: every row finds nothing.
+            return Ok(Vec::new());
+        };
+        let s_slot = self.term_slot(&tp.subject);
+        let o_slot = self.term_slot(&tp.object);
+        let s_ground = match &tp.subject {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let o_ground = match &tp.object {
+            TermPattern::Var(_) | TermPattern::Blank(_) => None,
+            ground => Some(self.intern_ground(ground)?),
+        };
+        let scan: Vec<[TermId; 3]> = self.g.match_pattern(s_ground, Some(p_id), o_ground);
+        let key_col = merge_key_col(s_ground, o_ground);
+        let dir = KeyDirectory::build(&scan, key_col);
+        // One boundness pass decides whether any row joins on the
+        // non-key column and needs the hash fallback shards.
+        let mut need_fallback = false;
+        for b in &rows {
+            let sb = s_slot.and_then(|sl| b[sl]).is_some();
+            let ob = o_slot.and_then(|sl| b[sl]).is_some();
+            need_fallback |= if key_col == 0 { !sb && ob } else { sb && !ob };
+        }
+        let other_col = if key_col == 0 { 2 } else { 0 };
+        let workers = self.workers;
+        let fallback = need_fallback.then(|| build_shards(workers, &scan, other_col));
+        let guard = self.guard;
+        let results = map_chunks(workers, PARALLEL_MIN_INPUT, &rows, |_, chunk| {
+            let mut out: Vec<Binding> = Vec::new();
+            let mut uncharged = 0usize;
+            let mut trip: Option<Exhausted> = None;
+            for b in chunk {
+                if let Some(gd) = guard {
+                    if let Err(e) = gd.check_time() {
+                        trip = Some(e);
+                        break;
+                    }
+                }
+                let before = out.len();
+                let s_val = s_slot.and_then(|sl| b[sl]);
+                let o_val = o_slot.and_then(|sl| b[sl]);
+                match (s_val, o_val) {
+                    (Some(sv), Some(ov)) => {
+                        let (kv, oc, other_v) = if key_col == 0 {
+                            (sv, 2, ov)
+                        } else {
+                            (ov, 0, sv)
+                        };
+                        if dir.hits(kv).iter().any(|&i| scan[i][oc] == other_v) {
+                            out.push(b.clone());
+                        }
+                    }
+                    (Some(sv), None) if key_col == 0 => {
+                        for &i in dir.hits(sv) {
+                            let mut nb = b.clone();
+                            if bind(&mut nb, o_slot, scan[i][2]) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                    (None, Some(ov)) if key_col == 2 => {
+                        for &i in dir.hits(ov) {
+                            let mut nb = b.clone();
+                            if bind(&mut nb, s_slot, scan[i][0]) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                    (Some(v), None) | (None, Some(v)) => {
+                        // Off-key join: probe the fallback shards in
+                        // chunk order (ascending global indices, same
+                        // as the sequential lazy map).
+                        let (bind_slot, bind_col) = if key_col == 0 {
+                            (s_slot, 0)
+                        } else {
+                            (o_slot, 2)
+                        };
+                        for shard in fallback.iter().flatten() {
+                            if let Some(hits) = shard.get(&v) {
+                                for &i in hits {
+                                    let mut nb = b.clone();
+                                    if bind(&mut nb, bind_slot, scan[i][bind_col]) {
+                                        out.push(nb);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (None, None) => {
+                        for t in &scan {
+                            let mut nb = b.clone();
+                            if bind(&mut nb, s_slot, t[0]) && bind(&mut nb, o_slot, t[2]) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                }
+                uncharged += out.len() - before;
+                if uncharged >= CHARGE_BATCH {
+                    if let Err(e) = charge(guard, &mut uncharged) {
+                        trip = Some(e);
+                        break;
+                    }
+                }
+            }
+            if trip.is_none() {
+                trip = charge(guard, &mut uncharged).err();
+            }
+            (out, trip)
+        });
+        self.merge_partitions(results)
+    }
+
     /// Row-partitioned dual of [`Self::match_triple_pattern`] for simple
     /// (plain-IRI or variable) predicates: ground terms are interned
     /// once up front, then input rows split into contiguous chunks and
@@ -951,6 +1292,7 @@ impl<'a, G: GraphView + Sync> Ctx<'a, G> {
             // Complex paths keep the sequential closure evaluator.
             _ => return self.match_triple_pattern(tp, rows),
         };
+        NESTED_JOINS.fetch_add(1, Ordering::Relaxed);
         let g = &self.g;
         let guard = self.guard;
         let results = map_chunks(self.workers, PARALLEL_MIN_INPUT, &rows, |_, chunk| {
@@ -1014,6 +1356,7 @@ impl<'a, G: GraphView + Sync> Ctx<'a, G> {
             // Planner only marks plain predicates; stay correct anyway.
             return self.match_triple_pattern(tp, rows);
         };
+        HASH_JOINS.fetch_add(1, Ordering::Relaxed);
         let Some(p_id) = self.g.lookup_iri(p) else {
             // Unknown predicate: every row finds nothing.
             return Ok(Vec::new());
@@ -1115,6 +1458,202 @@ impl<'a, G: GraphView + Sync> Ctx<'a, G> {
             (out, trip)
         });
         self.merge_partitions(results)
+    }
+
+    /// Fused multiway star join: `members` are k triple patterns sharing
+    /// one variable, each with a plain-IRI predicate and a ground other
+    /// endpoint, so each contributes an ordered run (see
+    /// [`feo_rdf::RunSpec`]) over the shared variable's candidates. A
+    /// leapfrog intersection seeks the k cursors through each other's
+    /// gaps — O(k · min-run · log) instead of scanning and hashing every
+    /// run — and the accepted values then extend the input rows.
+    ///
+    /// Output order is byte-identical to executing the members as
+    /// sequential binary joins: each accepted value is tagged with the
+    /// layer ([`RunCursor::source`]) it came from in the *first*
+    /// member's cursor, and emission sorts by `(source, id)` — exactly
+    /// the concatenated scan order `match_pattern` yields for that
+    /// member, while the remaining members act as pure filters.
+    fn match_star_leapfrog(
+        &mut self,
+        members: &[&TriplePattern],
+        rows: Vec<Binding>,
+        par: bool,
+    ) -> Result<Vec<Binding>> {
+        // Resolve the shared slot and one run spec per member; any shape
+        // the planner would not have fused (stale plan) falls back to
+        // nested execution, which is always correct.
+        let mut v_slot: Option<usize> = None;
+        let mut specs: Vec<RunSpec> = Vec::with_capacity(members.len());
+        for tp in members {
+            let Path::Iri(p) = &tp.path else {
+                return self.star_fallback(members, rows);
+            };
+            let p_id = self.g.lookup_iri(p);
+            let s_slot = self.term_slot(&tp.subject);
+            let o_slot = self.term_slot(&tp.object);
+            let (slot, spec) = match (s_slot, o_slot) {
+                (Some(slot), None) => {
+                    let o = self.intern_ground(&tp.object)?;
+                    (slot, p_id.map(|p| RunSpec::Subjects { p, o }))
+                }
+                (None, Some(slot)) => {
+                    let s = self.intern_ground(&tp.subject)?;
+                    (slot, p_id.map(|p| RunSpec::Objects { s, p }))
+                }
+                _ => return self.star_fallback(members, rows),
+            };
+            if *v_slot.get_or_insert(slot) != slot {
+                return self.star_fallback(members, rows);
+            }
+            match spec {
+                Some(sp) => specs.push(sp),
+                // Unknown predicate: that member matches nothing, so the
+                // whole intersection is empty (the hash operator returns
+                // the same empty solution set).
+                None => return Ok(Vec::new()),
+            }
+        }
+        let Some(v_slot) = v_slot else {
+            return self.star_fallback(members, rows);
+        };
+        LEAPFROG_JOINS.fetch_add(1, Ordering::Relaxed);
+
+        // Intersect the k ordered runs: repeatedly seek every cursor to
+        // the current maximum until all agree, accept, advance the
+        // anchor (the first member — the planner sorts the smallest
+        // estimated run first).
+        let mut inter: Vec<(usize, TermId)> = Vec::new();
+        {
+            let mut cursors: Vec<Box<dyn RunCursor + '_>> =
+                specs.iter().map(|&sp| self.g.ordered_run(sp)).collect();
+            let mut ticks = 0u32;
+            'outer: while let Some(first) = cursors[0].peek() {
+                let mut hi = first;
+                loop {
+                    let mut agreed = true;
+                    for c in cursors.iter_mut() {
+                        c.seek(hi);
+                        match c.peek() {
+                            None => break 'outer,
+                            Some(v) if v > hi => {
+                                hi = v;
+                                agreed = false;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    ticks += cursors.len() as u32;
+                    if ticks >= 1024 {
+                        ticks = 0;
+                        self.checkpoint()?;
+                    }
+                    if agreed {
+                        break;
+                    }
+                }
+                inter.push((cursors[0].source(), hi));
+                cursors[0].advance();
+            }
+        }
+
+        // Ascending ids for bound-row membership tests; emission order
+        // for unbound rows re-sorts by (source, id) — stable, and values
+        // within one source are already ascending.
+        let sorted_v: Vec<TermId> = inter.iter().map(|&(_, v)| v).collect();
+        let mut emit = inter;
+        emit.sort_by_key(|&(src, _)| src);
+
+        if par {
+            let guard = self.guard;
+            let results = map_chunks(self.workers, PARALLEL_MIN_INPUT, &rows, |_, chunk| {
+                let mut out: Vec<Binding> = Vec::new();
+                let mut uncharged = 0usize;
+                let mut trip: Option<Exhausted> = None;
+                for b in chunk {
+                    if let Some(gd) = guard {
+                        if let Err(e) = gd.check_time() {
+                            trip = Some(e);
+                            break;
+                        }
+                    }
+                    let before = out.len();
+                    match b[v_slot] {
+                        Some(v) => {
+                            if sorted_v.binary_search(&v).is_ok() {
+                                out.push(b.clone());
+                            }
+                        }
+                        None => {
+                            for &(_, v) in &emit {
+                                let mut nb = b.clone();
+                                nb[v_slot] = Some(v);
+                                out.push(nb);
+                            }
+                        }
+                    }
+                    uncharged += out.len() - before;
+                    if uncharged >= CHARGE_BATCH {
+                        if let Err(e) = charge(guard, &mut uncharged) {
+                            trip = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if trip.is_none() {
+                    trip = charge(guard, &mut uncharged).err();
+                }
+                (out, trip)
+            });
+            return self.merge_partitions(results);
+        }
+
+        let mut out = Vec::new();
+        let mut uncharged = 0usize;
+        for b in rows {
+            let before = out.len();
+            match b[v_slot] {
+                // Already-bound shared variable (OPTIONAL / UNION rows):
+                // membership test against the intersection.
+                Some(v) => {
+                    if sorted_v.binary_search(&v).is_ok() {
+                        out.push(b);
+                    }
+                }
+                None => {
+                    for &(_, v) in &emit {
+                        let mut nb = b.clone();
+                        nb[v_slot] = Some(v);
+                        out.push(nb);
+                    }
+                }
+            }
+            uncharged += out.len() - before;
+            if uncharged >= CHARGE_BATCH {
+                self.charge_solutions(uncharged)?;
+                uncharged = 0;
+            }
+        }
+        self.charge_solutions(uncharged)?;
+        Ok(out)
+    }
+
+    /// Stale-plan escape for [`Self::match_star_leapfrog`]: executes the
+    /// group members as sequential nested-loop joins, which is correct
+    /// for any pattern shape.
+    fn star_fallback(
+        &mut self,
+        members: &[&TriplePattern],
+        rows: Vec<Binding>,
+    ) -> Result<Vec<Binding>> {
+        let mut rows = rows;
+        for tp in members {
+            rows = self.match_triple_pattern(tp, rows)?;
+            if rows.is_empty() {
+                break;
+            }
+        }
+        Ok(rows)
     }
 
     /// Concatenates per-chunk outputs in pinned order; the first worker
@@ -2168,6 +2707,65 @@ fn bind(b: &mut Binding, slot: Option<usize>, val: TermId) -> bool {
             true
         }
         Some(existing) => existing == val,
+    }
+}
+
+/// The scan column a merge join keys on, given which endpoints the scan
+/// was narrowed by: per-subject `spo` scans sort by object, per-object
+/// (and full-predicate `pos`) scans sort by subject and object
+/// respectively — mirroring the planner's `merge_worthwhile` analysis
+/// of the hexastore permutations.
+fn merge_key_col(s_ground: Option<TermId>, o_ground: Option<TermId>) -> usize {
+    if s_ground.is_some() {
+        2
+    } else if o_ground.is_some() {
+        0
+    } else {
+        2
+    }
+}
+
+/// Sorted key directory over one column of a predicate scan: distinct
+/// keys ascending, `hits(key)` returning that key's scan positions in
+/// ascending order. Single-layer scans arrive presorted and keep their
+/// identity order for free; layered concatenations (overlay deltas,
+/// ledger layers) get one stable sort, which preserves per-key
+/// ascending scan positions — the invariant that keeps merge-join
+/// output byte-identical to the hash path's index-map probes.
+struct KeyDirectory {
+    keys: Vec<TermId>,
+    starts: Vec<usize>,
+    order: Vec<usize>,
+}
+
+impl KeyDirectory {
+    fn build(scan: &[[TermId; 3]], col: usize) -> KeyDirectory {
+        let mut order: Vec<usize> = (0..scan.len()).collect();
+        if scan.windows(2).any(|w| w[0][col] > w[1][col]) {
+            order.sort_by_key(|&i| scan[i][col]);
+        }
+        let mut keys: Vec<TermId> = Vec::new();
+        let mut starts: Vec<usize> = Vec::new();
+        for (pos, &i) in order.iter().enumerate() {
+            let k = scan[i][col];
+            if keys.last() != Some(&k) {
+                keys.push(k);
+                starts.push(pos);
+            }
+        }
+        starts.push(order.len());
+        KeyDirectory {
+            keys,
+            starts,
+            order,
+        }
+    }
+
+    fn hits(&self, key: TermId) -> &[usize] {
+        match self.keys.binary_search(&key) {
+            Ok(k) => &self.order[self.starts[k]..self.starts[k + 1]],
+            Err(_) => &[],
+        }
     }
 }
 

@@ -48,9 +48,9 @@ pub mod value;
 pub use error::{Result, SparqlError};
 #[allow(deprecated)]
 pub use eval::{
-    execute, execute_guarded, execute_prepared, execute_with, query, query_guarded, query_with,
-    ExecOptions,
+    execute, execute_guarded, execute_prepared, execute_with, join_counters, query, query_guarded,
+    query_with, ExecOptions, JoinCounters,
 };
 pub use parser::parse_query;
-pub use plan::{plan_query, Plan, Planner, QueryOptions};
+pub use plan::{plan_query, JoinAlgo, Plan, Planner, QueryOptions};
 pub use results::{QueryResult, SolutionTable};

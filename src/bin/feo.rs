@@ -546,6 +546,7 @@ fn cmd_query(args: &[String]) {
         planner: opts.planner,
         parallelism: opts.parallelism,
         explain: opts.explain,
+        force_join: None,
     };
     match feo::sparql::query(&g, &full, &qopts) {
         Ok(result) => print_query_result(result, opts.json),
